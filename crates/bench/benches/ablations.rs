@@ -1,0 +1,63 @@
+//! Ablation micro-benches for the design choices DESIGN.md calls out:
+//! DTW band width, the DDTW/WDTW variants, and kernel bandwidth
+//! sensitivity (runtime side; the accuracy side lives in the experiment
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use tsdist_core::elastic::{DerivativeDtw, Dtw, WeightedDtw};
+use tsdist_core::kernel::Gak;
+use tsdist_core::measure::Distance;
+
+fn series(m: usize, phase: f64) -> Vec<f64> {
+    (0..m).map(|i| (i as f64 * 0.21 + phase).sin()).collect()
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10).measurement_time(Duration::from_millis(600));
+
+    let x = series(256, 0.0);
+    let y = series(256, 1.1);
+
+    // DTW cost grows linearly with the band radius.
+    for &w in &[1.0f64, 5.0, 10.0, 25.0, 50.0, 100.0] {
+        group.bench_with_input(BenchmarkId::new("dtw_band_pct", w as u32), &w, |b, &w| {
+            let d = Dtw::with_window_pct(w);
+            b.iter(|| black_box(d.distance(&x, &y)))
+        });
+    }
+
+    // Variant overhead relative to plain DTW.
+    group.bench_function("dtw_plain_10pct", |b| {
+        let d = Dtw::with_window_pct(10.0);
+        b.iter(|| black_box(d.distance(&x, &y)))
+    });
+    group.bench_function("ddtw_10pct", |b| {
+        let d = DerivativeDtw::with_window_pct(10.0);
+        b.iter(|| black_box(d.distance(&x, &y)))
+    });
+    group.bench_function("wdtw_g0.05", |b| {
+        let d = WeightedDtw::new(0.05);
+        b.iter(|| black_box(d.distance(&x, &y)))
+    });
+
+    // GAK runtime is bandwidth-independent (same DP), a useful contrast
+    // to DTW whose band changes the work.
+    for &sigma in &[0.1f64, 1.0, 10.0] {
+        group.bench_with_input(
+            BenchmarkId::new("gak_sigma", format!("{sigma}")),
+            &sigma,
+            |b, &s| {
+                let k = Gak::new(s);
+                b.iter(|| black_box(k.log_kernel(&x, &y)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Distance cost versus series length — the asymptotic classes behind
+//! Figure 9: lock-step O(m), sliding O(m log m), elastic and alignment
+//! kernels O(m^2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use tsdist_core::elastic::{Dtw, Msm, Twe};
+use tsdist_core::kernel::{Gak, Kdtw, Sink};
+use tsdist_core::lockstep::{Euclidean, Lorentzian};
+use tsdist_core::measure::{Distance, Kernel};
+use tsdist_core::sliding::CrossCorrelation;
+
+fn series(m: usize, phase: f64) -> Vec<f64> {
+    (0..m).map(|i| (i as f64 * 0.17 + phase).sin()).collect()
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_vs_length");
+    group.sample_size(10).measurement_time(Duration::from_millis(800));
+
+    for &m in &[64usize, 256, 1024] {
+        let x = series(m, 0.0);
+        let y = series(m, 0.9);
+
+        group.bench_with_input(BenchmarkId::new("ED_O(m)", m), &m, |b, _| {
+            b.iter(|| black_box(Euclidean.distance(&x, &y)))
+        });
+        group.bench_with_input(BenchmarkId::new("Lorentzian_O(m)", m), &m, |b, _| {
+            b.iter(|| black_box(Lorentzian.distance(&x, &y)))
+        });
+        group.bench_with_input(BenchmarkId::new("NCC_c_O(mlogm)", m), &m, |b, _| {
+            let sbd = CrossCorrelation::sbd();
+            b.iter(|| black_box(sbd.distance(&x, &y)))
+        });
+        group.bench_with_input(BenchmarkId::new("SINK_O(mlogm)", m), &m, |b, _| {
+            let k = Sink::new(5.0);
+            b.iter(|| black_box(k.kernel(&x, &y)))
+        });
+        group.bench_with_input(BenchmarkId::new("DTW10_O(m*w)", m), &m, |b, _| {
+            let d = Dtw::with_window_pct(10.0);
+            b.iter(|| black_box(d.distance(&x, &y)))
+        });
+        // Quadratic measures only up to 256 to keep the suite fast.
+        if m <= 256 {
+            group.bench_with_input(BenchmarkId::new("DTW100_O(m^2)", m), &m, |b, _| {
+                let d = Dtw::unconstrained();
+                b.iter(|| black_box(d.distance(&x, &y)))
+            });
+            group.bench_with_input(BenchmarkId::new("MSM_O(m^2)", m), &m, |b, _| {
+                let d = Msm::new(0.5);
+                b.iter(|| black_box(d.distance(&x, &y)))
+            });
+            group.bench_with_input(BenchmarkId::new("TWE_O(m^2)", m), &m, |b, _| {
+                let d = Twe::new(1.0, 1e-4);
+                b.iter(|| black_box(d.distance(&x, &y)))
+            });
+            group.bench_with_input(BenchmarkId::new("GAK_O(m^2)", m), &m, |b, _| {
+                let k = Gak::new(0.5);
+                b.iter(|| black_box(k.log_kernel(&x, &y)))
+            });
+            group.bench_with_input(BenchmarkId::new("KDTW_O(m^2)", m), &m, |b, _| {
+                let k = Kdtw::new(0.125);
+                b.iter(|| black_box(k.log_kernel_value(&x, &y)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! FFT substrate scaling: radix-2 vs Bluestein, and FFT cross-correlation
+//! vs the direct O(m^2) computation — the speedup that makes sliding
+//! measures practical (Section 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use tsdist_fft::{cross_correlation, cross_correlation_naive, fft, Complex};
+
+fn signal(m: usize) -> Vec<f64> {
+    (0..m).map(|i| (i as f64 * 0.23).sin()).collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(10).measurement_time(Duration::from_millis(600));
+
+    for &m in &[256usize, 1024, 4096] {
+        // Power of two: radix-2 path.
+        group.bench_with_input(BenchmarkId::new("radix2", m), &m, |b, &m| {
+            let base: Vec<Complex> = (0..m).map(|i| Complex::from_real(i as f64)).collect();
+            b.iter(|| {
+                let mut buf = base.clone();
+                fft(&mut buf);
+                black_box(buf[0])
+            })
+        });
+        // Off-by-one length: Bluestein path.
+        group.bench_with_input(BenchmarkId::new("bluestein", m + 1), &m, |b, &m| {
+            let base: Vec<Complex> = (0..m + 1).map(|i| Complex::from_real(i as f64)).collect();
+            b.iter(|| {
+                let mut buf = base.clone();
+                fft(&mut buf);
+                black_box(buf[0])
+            })
+        });
+    }
+
+    for &m in &[128usize, 512] {
+        let x = signal(m);
+        let y = signal(m);
+        group.bench_with_input(BenchmarkId::new("crosscorr_fft", m), &m, |b, _| {
+            b.iter(|| black_box(cross_correlation(&x, &y).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("crosscorr_naive", m), &m, |b, _| {
+            b.iter(|| black_box(cross_correlation_naive(&x, &y).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Cost of the 8 normalization methods (Section 4) — all O(m), with
+//! constant factors differing by an order of magnitude (MedianNorm sorts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use tsdist_core::normalization::Normalization;
+
+fn bench_normalizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalization");
+    group.sample_size(10).measurement_time(Duration::from_millis(400));
+    let x: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.0).collect();
+    for norm in Normalization::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("apply_1024", norm.name()),
+            &norm,
+            |b, norm| b.iter(|| black_box(norm.apply(&x))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalizations);
+criterion_main!(benches);

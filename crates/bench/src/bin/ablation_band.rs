@@ -1,0 +1,44 @@
+//! Ablation: DTW accuracy and cost versus Sakoe–Chiba band width.
+//!
+//! The paper's Table 4 tunes δ over 0..20 plus 100; this ablation shows
+//! *why* that grid shape is right: accuracy typically peaks at a small
+//! band (warping helps locally, unconstrained warping overfits noise)
+//! while cost grows linearly with the band.
+
+use std::time::Instant;
+
+use tsdist_bench::{archive_accuracies, csv_block, ExperimentConfig};
+use tsdist_core::elastic::Dtw;
+use tsdist_core::normalization::Normalization;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let archive = cfg.archive();
+    let bands = [0.0, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 50.0, 100.0];
+
+    let mut acc_row = Vec::with_capacity(bands.len());
+    let mut sec_row = Vec::with_capacity(bands.len());
+    for &b in &bands {
+        let start = Instant::now();
+        let accs = archive_accuracies(&archive, &Dtw::with_window_pct(b), Normalization::ZScore);
+        sec_row.push(start.elapsed().as_secs_f64());
+        acc_row.push(accs.iter().sum::<f64>() / accs.len() as f64);
+    }
+
+    let header = format!(
+        "series,{}",
+        bands
+            .iter()
+            .map(|b| format!("band_{b}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let out = format!(
+        "## Ablation: DTW band width (accuracy and total inference seconds)\n{}",
+        csv_block(
+            &header,
+            &[("accuracy".into(), acc_row), ("seconds".into(), sec_row)]
+        )
+    );
+    cfg.save("ablation_band.csv", &out);
+}

@@ -1,0 +1,40 @@
+//! Ablation: the DTW variant zoo (Section 7's DDTW, WDTW, CID) against
+//! plain DTW under unsupervised settings — the paper cites evidence
+//! that these variants bring no significant improvement, which this
+//! experiment checks on the synthetic archive.
+
+use tsdist_bench::{archive_accuracies, ExperimentConfig};
+use tsdist_core::elastic::{Cid, DerivativeDtw, Dtw, ItakuraDtw, WeightedDtw};
+use tsdist_core::measure::Distance;
+use tsdist_core::normalization::Normalization;
+use tsdist_eval::{compare_to_baseline, render_table};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let archive = cfg.archive();
+    let norm = Normalization::ZScore;
+
+    let baseline = archive_accuracies(&archive, &Dtw::with_window_pct(10.0), norm);
+
+    let variants: Vec<(&str, Box<dyn Distance>)> = vec![
+        ("DDTW(δ=10)", Box::new(DerivativeDtw::with_window_pct(10.0))),
+        ("WDTW(g=0.05)", Box::new(WeightedDtw::new(0.05))),
+        ("CID-DTW(δ=10)", Box::new(Cid::new(Dtw::with_window_pct(10.0)))),
+        ("DTW-Itakura(s=2)", Box::new(ItakuraDtw::new(2.0))),
+        ("DTW(δ=100)", Box::new(Dtw::unconstrained())),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, m) in &variants {
+        let accs = archive_accuracies(&archive, m.as_ref(), norm);
+        rows.push(compare_to_baseline(name.to_string(), &accs, &baseline));
+    }
+    rows.sort_by(|a, b| b.average_accuracy.partial_cmp(&a.average_accuracy).unwrap());
+    let table = render_table(
+        "Ablation: DTW variants vs DTW(δ=10)",
+        &rows,
+        "DTW(δ=10) (baseline)",
+        &baseline,
+    );
+    cfg.save("ablation_variants.txt", &table);
+}

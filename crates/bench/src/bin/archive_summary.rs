@@ -1,0 +1,13 @@
+//! Prints the descriptive statistics of the synthetic archive used by the
+//! experiments — the analogue of the UCR archive listing the paper
+//! quotes in Section 3.
+
+use tsdist_bench::ExperimentConfig;
+use tsdist_data::ArchiveSummary;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let archive = cfg.archive();
+    let summary = ArchiveSummary::of(&archive);
+    cfg.save("archive_summary.txt", &summary.render());
+}

@@ -1,0 +1,31 @@
+//! Figure 1: how each of the 8 normalization methods transforms a pair of
+//! time series (the paper uses two series of ECGFiveDays; we use two
+//! series of an ECG-like shape-archetype dataset). Emits CSV series
+//! suitable for plotting.
+
+use tsdist_bench::{csv_block, ExperimentConfig};
+use tsdist_core::normalization::Normalization;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let archive = cfg.archive();
+    let ds = &archive[0]; // shape archetype
+    let a = &ds.train[0];
+    let b = &ds.train[1];
+
+    let mut rows: Vec<(String, Vec<f64>)> = vec![
+        ("raw/a".into(), a.clone()),
+        ("raw/b".into(), b.clone()),
+    ];
+    for norm in Normalization::ALL {
+        rows.push((format!("{}/a", norm.name()), norm.apply(a)));
+        rows.push((format!("{}/b", norm.name()), norm.apply(b)));
+    }
+    let header = format!("series,{}", (0..a.len()).map(|i| format!("t{i}")).collect::<Vec<_>>().join(","));
+    let out = format!(
+        "## Figure 1: normalization transforms of two series from {}\n{}",
+        ds.name,
+        csv_block(&header, &rows)
+    );
+    cfg.save("figure1.csv", &out);
+}

@@ -1,0 +1,30 @@
+//! Figure 3: critical-difference ranking of the Lorentzian distance under
+//! each normalization method, against ED (z-score).
+
+use tsdist_bench::{archive_accuracies, ExperimentConfig};
+use tsdist_core::lockstep::{Euclidean, Lorentzian};
+use tsdist_core::normalization::Normalization;
+use tsdist_eval::rank_measures;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let archive = cfg.archive();
+
+    let mut names = Vec::new();
+    let mut columns = Vec::new();
+    for norm in Normalization::ALL {
+        names.push(format!("Lorentzian [{}]", norm.name()));
+        columns.push(archive_accuracies(&archive, &Lorentzian, norm));
+    }
+    names.push("ED [z-score]".into());
+    columns.push(archive_accuracies(&archive, &Euclidean, Normalization::ZScore));
+
+    let table: Vec<Vec<f64>> = (0..archive.len())
+        .map(|d| columns.iter().map(|c| c[d]).collect())
+        .collect();
+    let analysis = rank_measures(&names, &table);
+    cfg.save(
+        "figure3.txt",
+        &analysis.render("Figure 3: Lorentzian × normalizations vs ED (z-score)"),
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 4: critical-difference ranking of NCC_c under different
+//! normalization methods, with Lorentzian (UnitLength) as the baseline.
+//! Tanh is excluded, as in the paper (it trails the baseline on more
+//! datasets despite a higher average).
+
+use tsdist_bench::{archive_accuracies, ExperimentConfig};
+use tsdist_core::lockstep::Lorentzian;
+use tsdist_core::normalization::Normalization;
+use tsdist_core::sliding::CrossCorrelation;
+use tsdist_eval::rank_measures;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let archive = cfg.archive();
+    let sbd = CrossCorrelation::sbd();
+
+    let norms = [
+        Normalization::ZScore,
+        Normalization::MeanNorm,
+        Normalization::UnitLength,
+        Normalization::AdaptiveScaling,
+        Normalization::MinMax,
+    ];
+    let mut names = Vec::new();
+    let mut columns = Vec::new();
+    for norm in norms {
+        names.push(format!("NCC_c [{}]", norm.name()));
+        columns.push(archive_accuracies(&archive, &sbd, norm));
+    }
+    names.push("Lorentzian [UnitLength]".into());
+    columns.push(archive_accuracies(&archive, &Lorentzian, Normalization::UnitLength));
+
+    let table: Vec<Vec<f64>> = (0..archive.len())
+        .map(|d| columns.iter().map(|c| c[d]).collect())
+        .collect();
+    let analysis = rank_measures(&names, &table);
+    cfg.save(
+        "figure4.txt",
+        &analysis.render("Figure 4: NCC_c × normalizations vs Lorentzian"),
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 9: accuracy-to-runtime scatter of the most prominent measures.
+//! Runtime is inference only (computing the test-by-train matrix and
+//! classifying), as in the paper; each point is the archive average.
+//! Embeddings report their encode+compare inference cost.
+
+use tsdist_bench::ExperimentConfig;
+use tsdist_core::elastic::{Dtw, Erp, Msm, Twe};
+use tsdist_core::kernel::{Gak, Kdtw, Sink};
+use tsdist_core::lockstep::{Euclidean, Lorentzian};
+use tsdist_core::measure::{Distance, KernelDistance};
+use tsdist_core::normalization::Normalization;
+use tsdist_core::params::unsupervised as u;
+use tsdist_core::sliding::CrossCorrelation;
+use tsdist_eval::{measure_inference, parallel_map, prepare};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let archive = cfg.archive();
+    let prepared: Vec<_> = archive
+        .iter()
+        .map(|d| prepare(d, Normalization::ZScore))
+        .collect();
+
+    let measures: Vec<(&str, Box<dyn Distance>)> = vec![
+        ("ED", Box::new(Euclidean)),
+        ("Lorentzian", Box::new(Lorentzian)),
+        ("NCC_c", Box::new(CrossCorrelation::sbd())),
+        ("SINK", Box::new(KernelDistance(Sink::new(u::SINK_GAMMA)))),
+        ("DTW(δ=10)", Box::new(Dtw::with_window_pct(10.0))),
+        ("MSM(c=0.5)", Box::new(Msm::new(u::MSM_COST))),
+        ("TWE", Box::new(Twe::new(u::TWE_LAMBDA, u::TWE_NU))),
+        ("ERP", Box::new(Erp::new())),
+        ("GAK(γ=0.1)", Box::new(KernelDistance(Gak::new(u::GAK_GAMMA)))),
+        ("KDTW(γ=0.125)", Box::new(KernelDistance(Kdtw::new(u::KDTW_GAMMA)))),
+    ];
+
+    let mut out = String::from("## Figure 9: accuracy vs inference runtime\n");
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>14}\n",
+        "measure", "avg acc", "total sec"
+    ));
+    for (name, m) in &measures {
+        let results = parallel_map(prepared.len(), |i| measure_inference(m.as_ref(), &prepared[i]));
+        let acc: f64 =
+            results.iter().map(|r| r.accuracy).sum::<f64>() / results.len() as f64;
+        let secs: f64 = results.iter().map(|r| r.seconds).sum();
+        out.push_str(&format!("{name:<16} {acc:>10.4} {secs:>14.4}\n"));
+    }
+    cfg.save("figure9.txt", &out);
+}

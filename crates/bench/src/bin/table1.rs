@@ -1,0 +1,31 @@
+//! Table 1: summary of the evaluation — measure categories, cardinality,
+//! and the number of scaling (normalization) methods evaluated per
+//! category. Generated from the registry so the numbers cannot drift from
+//! the implementation.
+
+use tsdist_bench::ExperimentConfig;
+use tsdist_core::registry::{table1_summary, Category};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let mut out = String::new();
+    out.push_str("## Table 1: evaluation summary\n");
+    out.push_str(&format!(
+        "{:<12} {:>20} {:>16}\n",
+        "Category", "Category Cardinality", "Scaling Methods"
+    ));
+    let name = |c: Category| match c {
+        Category::LockStep => "Lock-step",
+        Category::Sliding => "Sliding",
+        Category::Elastic => "Elastic",
+        Category::Kernel => "Kernel",
+        Category::Embedding => "Embedding",
+    };
+    let mut total = 0;
+    for (cat, n, norms) in table1_summary() {
+        total += n;
+        out.push_str(&format!("{:<12} {:>20} {:>16}\n", name(cat), n, norms));
+    }
+    out.push_str(&format!("{:<12} {:>20}\n", "Total", total));
+    cfg.save("table1.txt", &out);
+}

@@ -1,0 +1,46 @@
+//! Table 3: sliding (cross-correlation) measures × normalization methods
+//! against the best lock-step measure (Lorentzian). As in the paper, only
+//! combinations with average accuracy above the Lorentzian baseline are
+//! listed; the full grid is saved as CSV.
+
+use tsdist_bench::{archive_accuracies, ExperimentConfig};
+use tsdist_core::lockstep::Lorentzian;
+use tsdist_core::normalization::Normalization;
+use tsdist_core::registry::sliding_measures;
+use tsdist_eval::{compare_to_baseline, render_table};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let archive = cfg.archive();
+
+    // The paper's Table 3 baseline: Lorentzian under UnitLength (its
+    // z-score twin — identical accuracies, as the paper notes).
+    let baseline = archive_accuracies(&archive, &Lorentzian, Normalization::UnitLength);
+    let base_avg: f64 = baseline.iter().sum::<f64>() / baseline.len() as f64;
+
+    let mut rows = Vec::new();
+    let mut csv = String::from("measure,normalization,avg_accuracy\n");
+    for measure in sliding_measures() {
+        for norm in Normalization::ALL {
+            let accs = archive_accuracies(&archive, measure.as_ref(), norm);
+            let avg: f64 = accs.iter().sum::<f64>() / accs.len() as f64;
+            csv.push_str(&format!("{},{},{:.4}\n", measure.name(), norm.name(), avg));
+            if avg > base_avg {
+                rows.push(compare_to_baseline(
+                    format!("{} [{}]", measure.name(), norm.name()),
+                    &accs,
+                    &baseline,
+                ));
+            }
+        }
+    }
+    rows.sort_by(|a, b| b.average_accuracy.partial_cmp(&a.average_accuracy).unwrap());
+    let table = render_table(
+        "Table 3: sliding measures vs Lorentzian",
+        &rows,
+        "Lorentzian [UnitLength] (baseline)",
+        &baseline,
+    );
+    cfg.save("table3.txt", &table);
+    cfg.save("table3_full.csv", &csv);
+}

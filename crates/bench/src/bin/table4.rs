@@ -1,0 +1,55 @@
+//! Table 4: the parameter grids used for supervised tuning, printed from
+//! the `tsdist_core::params` constants (the single source of truth the
+//! tuning code actually reads).
+
+use tsdist_bench::ExperimentConfig;
+use tsdist_core::params as p;
+
+fn fmt_grid(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let mut out = String::new();
+    out.push_str("## Table 4: parameter grids (supervised tuning)\n");
+    out.push_str(&format!("MSM        c ∈ {{{}}}\n", fmt_grid(&p::MSM_COSTS)));
+    out.push_str(&format!("DTW        δ ∈ {{{}}}\n", fmt_grid(&p::DTW_WINDOWS)));
+    out.push_str(&format!("EDR        ε ∈ {{{}}}\n", fmt_grid(&p::EDR_EPSILONS)));
+    out.push_str(&format!(
+        "LCSS       δ ∈ {{{}}}, ε ∈ {{{}}}\n",
+        fmt_grid(&p::LCSS_DELTAS),
+        fmt_grid(&p::LCSS_EPSILONS)
+    ));
+    out.push_str(&format!(
+        "TWE        λ ∈ {{{}}}, ν ∈ {{{}}}\n",
+        fmt_grid(&p::TWE_LAMBDAS),
+        fmt_grid(&p::TWE_NUS)
+    ));
+    out.push_str(&format!(
+        "Swale      ε ∈ {{{}}}, p ∈ {{{}}}, r ∈ {{{}}}\n",
+        fmt_grid(&p::SWALE_EPSILONS),
+        p::SWALE_PENALTY,
+        p::SWALE_REWARD
+    ));
+    out.push_str(&format!("Minkowski  p ∈ {{{}}}\n", fmt_grid(&p::MINKOWSKI_PS)));
+    out.push_str(&format!("KDTW       γ ∈ {{{}}}\n", fmt_grid(&p::kdtw_gammas())));
+    out.push_str(&format!("GAK        γ ∈ {{{}}}\n", fmt_grid(&p::GAK_GAMMAS)));
+    out.push_str(&format!("SINK       γ ∈ {{{}}}\n", fmt_grid(&p::sink_gammas())));
+    out.push_str(&format!("RBF        γ ∈ {{{}}}\n", fmt_grid(&p::rbf_gammas())));
+    out.push_str(&format!(
+        "RWS        γ ∈ {{{}}}, D_max = {}\n",
+        fmt_grid(&p::RWS_GAMMAS),
+        p::RWS_D_MAX
+    ));
+    out.push_str(&format!(
+        "SIDL       λ ∈ {{{}}}, r ∈ {{{}}}\n",
+        fmt_grid(&p::SIDL_LAMBDAS),
+        fmt_grid(&p::SIDL_RATIOS)
+    ));
+    cfg.save("table4.txt", &out);
+}

@@ -1,0 +1,65 @@
+//! Table 5 + Figures 5/6: elastic measures against NCC_c, under both the
+//! supervised (LOOCCV grid tuning, Table 4) and unsupervised (the paper's
+//! fixed parameters) settings; the same per-dataset accuracies feed the
+//! critical-difference rankings of Figures 5 (supervised) and 6
+//! (unsupervised). All series are z-normalized, as in Section 7.
+
+use tsdist_bench::{archive_accuracies, ExperimentConfig};
+use tsdist_core::normalization::Normalization;
+use tsdist_core::registry::{elastic_families, elastic_unsupervised};
+use tsdist_core::sliding::CrossCorrelation;
+use tsdist_eval::{
+    compare_to_baseline, evaluate_distance_supervised, parallel_map, rank_measures, render_table,
+};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let archive = cfg.archive();
+    let norm = Normalization::ZScore;
+
+    let baseline = archive_accuracies(&archive, &CrossCorrelation::sbd(), norm);
+
+    let mut rows = Vec::new();
+    let mut sup_cols: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut unsup_cols: Vec<(String, Vec<f64>)> = Vec::new();
+    // Supervised setting: LOOCCV tuning over the Table 4 grids.
+    for family in elastic_families() {
+        let accs: Vec<f64> = parallel_map(archive.len(), |i| {
+            evaluate_distance_supervised(&family.grid, &archive[i], norm).test_accuracy
+        });
+        rows.push(compare_to_baseline(
+            format!("{} [LOOCCV]", family.family),
+            &accs,
+            &baseline,
+        ));
+        sup_cols.push((family.family.to_string(), accs));
+    }
+    // Unsupervised setting: the paper's fixed parameters.
+    for (name, measure) in elastic_unsupervised() {
+        let accs = archive_accuracies(&archive, measure.as_ref(), norm);
+        rows.push(compare_to_baseline(name.clone(), &accs, &baseline));
+        unsup_cols.push((name, accs));
+    }
+
+    rows.sort_by(|a, b| b.average_accuracy.partial_cmp(&a.average_accuracy).unwrap());
+    let table = render_table(
+        "Table 5: elastic measures vs NCC_c (supervised and unsupervised)",
+        &rows,
+        "NCC_c (baseline)",
+        &baseline,
+    );
+    cfg.save("table5.txt", &table);
+
+    // Figures 5 and 6: the same accuracies, ranked with Friedman+Nemenyi.
+    for (fname, title, mut cols) in [
+        ("figure5.txt", "Figure 5: elastic + sliding ranking (supervised tuning)", sup_cols),
+        ("figure6.txt", "Figure 6: elastic + sliding ranking (unsupervised parameters)", unsup_cols),
+    ] {
+        cols.push(("NCC_c".into(), baseline.clone()));
+        let names: Vec<String> = cols.iter().map(|(n, _)| n.clone()).collect();
+        let matrix: Vec<Vec<f64>> = (0..archive.len())
+            .map(|d| cols.iter().map(|(_, c)| c[d]).collect())
+            .collect();
+        cfg.save(fname, &rank_measures(&names, &matrix).render(title));
+    }
+}

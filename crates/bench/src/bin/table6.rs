@@ -1,0 +1,88 @@
+//! Table 6 + Figures 7/8: kernel measures against NCC_c, under both the
+//! supervised (LOOCCV over Table 4's γ grids) and unsupervised (fixed γ)
+//! settings. The same per-dataset accuracies, together with the
+//! competitive elastic measures (MSM, TWE, DTW), feed the
+//! critical-difference rankings of Figures 7 (supervised) and 8
+//! (unsupervised); weak measures are omitted from the figures, as in the
+//! paper.
+
+use tsdist_bench::{archive_accuracies, archive_kernel_accuracies, ExperimentConfig};
+use tsdist_core::normalization::Normalization;
+use tsdist_core::registry::{elastic_families, kernel_families, kernel_unsupervised};
+use tsdist_core::sliding::CrossCorrelation;
+use tsdist_eval::{
+    compare_to_baseline, evaluate_distance_supervised, evaluate_kernel_supervised, parallel_map,
+    rank_measures, render_table,
+};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let archive = cfg.archive();
+    let baseline =
+        archive_accuracies(&archive, &CrossCorrelation::sbd(), Normalization::ZScore);
+
+    let mut rows = Vec::new();
+    let mut sup_cols: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut unsup_cols: Vec<(String, Vec<f64>)> = Vec::new();
+    let fig_kernels = ["KDTW", "GAK", "SINK"];
+    for family in kernel_families() {
+        let accs: Vec<f64> = parallel_map(archive.len(), |i| {
+            evaluate_kernel_supervised(&family.grid, &archive[i]).test_accuracy
+        });
+        rows.push(compare_to_baseline(
+            format!("{} [LOOCCV]", family.family),
+            &accs,
+            &baseline,
+        ));
+        if fig_kernels.contains(&family.family) {
+            sup_cols.push((family.family.to_string(), accs));
+        }
+    }
+    for (name, kernel) in kernel_unsupervised() {
+        let accs = archive_kernel_accuracies(&archive, kernel.as_ref());
+        rows.push(compare_to_baseline(name.clone(), &accs, &baseline));
+        if !name.starts_with("RBF") {
+            unsup_cols.push((name, accs));
+        }
+    }
+
+    rows.sort_by(|a, b| b.average_accuracy.partial_cmp(&a.average_accuracy).unwrap());
+    let table = render_table(
+        "Table 6: kernel measures vs NCC_c (supervised and unsupervised)",
+        &rows,
+        "NCC_c (baseline)",
+        &baseline,
+    );
+    cfg.save("table6.txt", &table);
+
+    // Figures 7/8: add the competitive elastic measures and NCC_c, then
+    // rank with Friedman+Nemenyi.
+    let norm = Normalization::ZScore;
+    let keep_elastic = ["MSM", "TWE", "DTW"];
+    for family in elastic_families() {
+        if keep_elastic.contains(&family.family) {
+            sup_cols.push((
+                family.family.to_string(),
+                parallel_map(archive.len(), |i| {
+                    evaluate_distance_supervised(&family.grid, &archive[i], norm).test_accuracy
+                }),
+            ));
+        }
+    }
+    for (name, measure) in tsdist_core::registry::elastic_unsupervised() {
+        if name.starts_with("MSM") || name.starts_with("TWE") || name == "DTW(δ=10)" {
+            unsup_cols.push((name, archive_accuracies(&archive, measure.as_ref(), norm)));
+        }
+    }
+    for (fname, title, mut cols) in [
+        ("figure7.txt", "Figure 7: kernels + elastic + sliding (supervised)", sup_cols),
+        ("figure8.txt", "Figure 8: kernels + elastic + sliding (unsupervised)", unsup_cols),
+    ] {
+        cols.push(("NCC_c".into(), baseline.clone()));
+        let names: Vec<String> = cols.iter().map(|(n, _)| n.clone()).collect();
+        let matrix: Vec<Vec<f64>> = (0..archive.len())
+            .map(|d| cols.iter().map(|(_, c)| c[d]).collect())
+            .collect();
+        cfg.save(fname, &rank_measures(&names, &matrix).render(title));
+    }
+}

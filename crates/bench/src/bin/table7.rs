@@ -1,0 +1,51 @@
+//! Table 7: embedding measures against NCC_c. Representations share the
+//! same length (the paper fixes 100; scaled to the training-set size for
+//! small archives) and are compared with ED under the 1-NN framework.
+//! GRAIL/RWS/SIDL tune their γ/ratio with LOOCCV on the embedded training
+//! split, following the recommended-values protocol of Section 9.
+
+use tsdist_bench::{archive_accuracies, ExperimentConfig};
+use tsdist_core::normalization::Normalization;
+use tsdist_core::params::EMBEDDING_DIMS;
+use tsdist_core::registry::embedding_families;
+use tsdist_core::sliding::CrossCorrelation;
+use tsdist_eval::{compare_to_baseline, evaluate_embedding_supervised, parallel_map, render_table};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let archive = cfg.archive();
+    let baseline =
+        archive_accuracies(&archive, &CrossCorrelation::sbd(), Normalization::ZScore);
+
+    // Representation length: the paper's 100, capped by the smallest
+    // training split (Nystroem cannot produce more dimensions than
+    // landmarks).
+    let min_train = archive.iter().map(|d| d.n_train()).min().unwrap_or(EMBEDDING_DIMS);
+    let dims = EMBEDDING_DIMS.min(min_train);
+
+    let mut rows = Vec::new();
+    // Family grids are rebuilt per dataset because SIDL's atom length
+    // depends on the series length.
+    let family_names = ["GRAIL", "RWS", "SPIRAL", "SIDL"];
+    for fname in family_names {
+        let accs: Vec<f64> = parallel_map(archive.len(), |i| {
+            let ds = &archive[i];
+            let fams = embedding_families(dims, ds.series_len(), cfg.seed);
+            let (_, grid) = fams
+                .into_iter()
+                .find(|(n, _)| *n == fname)
+                .expect("family registered");
+            evaluate_embedding_supervised(&grid, ds).test_accuracy
+        });
+        rows.push(compare_to_baseline(format!("{fname} [LOOCCV]"), &accs, &baseline));
+    }
+
+    rows.sort_by(|a, b| b.average_accuracy.partial_cmp(&a.average_accuracy).unwrap());
+    let table = render_table(
+        "Table 7: embedding measures vs NCC_c",
+        &rows,
+        "NCC_c (baseline)",
+        &baseline,
+    );
+    cfg.save("table7.txt", &table);
+}

@@ -1,0 +1,170 @@
+//! # tsdist-bench
+//!
+//! The reproduction harness: shared infrastructure for the per-table and
+//! per-figure experiment binaries in `src/bin/` (see `DESIGN.md` for the
+//! experiment index) and the Criterion micro-benchmarks in `benches/`.
+//!
+//! Every experiment binary accepts:
+//!
+//! * `--datasets N` — archive size (default 42, the paper uses 128),
+//! * `--seed S` — archive seed (default 20),
+//! * `--quick` — small datasets for smoke runs,
+//! * `--out DIR` — results directory (default `results/`).
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use tsdist_core::measure::{Distance, Kernel};
+use tsdist_core::normalization::Normalization;
+use tsdist_data::synthetic::{generate_archive, ArchiveConfig};
+use tsdist_data::Dataset;
+use tsdist_eval::{evaluate_distance, evaluate_kernel, parallel_map};
+
+/// Configuration shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Number of synthetic datasets in the archive.
+    pub n_datasets: usize,
+    /// Archive seed.
+    pub seed: u64,
+    /// Use the small (CI-scale) dataset sizes.
+    pub quick: bool,
+    /// Directory for result files.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            n_datasets: 42,
+            seed: 20,
+            quick: false,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Parses `--datasets`, `--seed`, `--quick`, `--out` from the process
+    /// arguments; unknown arguments abort with a usage message.
+    pub fn from_args() -> Self {
+        let mut cfg = ExperimentConfig::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--datasets" => {
+                    cfg.n_datasets = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--datasets needs a positive integer"));
+                }
+                "--seed" => {
+                    cfg.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--quick" => cfg.quick = true,
+                "--out" => {
+                    cfg.out_dir = args
+                        .next()
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| usage("--out needs a directory"));
+                }
+                other => usage(&format!("unknown argument {other:?}")),
+            }
+        }
+        cfg
+    }
+
+    /// Generates the experiment archive for this configuration.
+    pub fn archive(&self) -> Vec<Dataset> {
+        let archive_cfg = if self.quick {
+            ArchiveConfig::quick(self.n_datasets, self.seed)
+        } else {
+            ArchiveConfig::standard(self.n_datasets, self.seed)
+        };
+        generate_archive(&archive_cfg)
+    }
+
+    /// Writes a result artifact to `<out>/<name>` and echoes it to stdout.
+    pub fn save(&self, name: &str, content: &str) {
+        std::fs::create_dir_all(&self.out_dir).expect("create results directory");
+        let path = self.out_dir.join(name);
+        std::fs::write(&path, content).expect("write result file");
+        println!("{content}");
+        eprintln!("[saved {}]", path.display());
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: <bin> [--datasets N] [--seed S] [--quick] [--out DIR]");
+    std::process::exit(2)
+}
+
+/// Per-dataset accuracies of a distance measure across an archive,
+/// parallelized over datasets.
+pub fn archive_accuracies(
+    archive: &[Dataset],
+    d: &dyn Distance,
+    norm: Normalization,
+) -> Vec<f64> {
+    parallel_map(archive.len(), |i| evaluate_distance(d, &archive[i], norm))
+}
+
+/// Per-dataset accuracies of a kernel across an archive.
+pub fn archive_kernel_accuracies(archive: &[Dataset], k: &dyn Kernel) -> Vec<f64> {
+    parallel_map(archive.len(), |i| evaluate_kernel(k, &archive[i]))
+}
+
+/// Formats labelled value rows as a simple CSV block — used by the figure
+/// binaries to emit plottable data.
+pub fn csv_block(header: &str, rows: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    out.push_str(header);
+    out.push('\n');
+    for (label, values) in rows {
+        out.push_str(label);
+        for v in values {
+            out.push_str(&format!(",{v:.6}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdist_core::lockstep::Euclidean;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(cfg.n_datasets, 42);
+        assert!(!cfg.quick);
+    }
+
+    #[test]
+    fn quick_archive_generates_and_evaluates() {
+        let cfg = ExperimentConfig {
+            n_datasets: 3,
+            quick: true,
+            ..Default::default()
+        };
+        let archive = cfg.archive();
+        assert_eq!(archive.len(), 3);
+        let accs = archive_accuracies(&archive, &Euclidean, Normalization::ZScore);
+        assert_eq!(accs.len(), 3);
+        assert!(accs.iter().all(|a| (0.0..=1.0).contains(a)));
+    }
+
+    #[test]
+    fn csv_block_formats_rows() {
+        let block = csv_block("name,a,b", &[("x".into(), vec![1.0, 2.0])]);
+        assert!(block.starts_with("name,a,b\n"));
+        assert!(block.contains("x,1.000000,2.000000"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Measure lookup by name for the CLI.
+
+use tsdist_core::elastic::{Dtw, Edr, Erp, Lcss, Msm, Swale, Twe};
+use tsdist_core::kernel::{Gak, Kdtw, Rbf, Sink};
+use tsdist_core::lockstep as ls;
+use tsdist_core::measure::{Distance, KernelDistance};
+use tsdist_core::params;
+use tsdist_core::registry::lockstep_parameter_free;
+use tsdist_core::sliding::{CrossCorrelation, NccVariant};
+
+/// Resolves a measure name (case-insensitive; the names printed by
+/// `tsdist measures`) to a boxed distance. Parameterized measures accept
+/// `name:param[,param]` syntax, e.g. `dtw:10`, `msm:0.5`, `twe:1,0.0001`.
+pub fn resolve(spec: &str) -> Result<Box<dyn Distance>, String> {
+    let (name, args) = match spec.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (spec, None),
+    };
+    let lname = name.to_ascii_lowercase();
+
+    let parse1 = |default: f64| -> Result<f64, String> {
+        match args {
+            None => Ok(default),
+            Some(a) => a
+                .parse()
+                .map_err(|_| format!("bad parameter {a:?} for {name}")),
+        }
+    };
+    let parse2 = |d1: f64, d2: f64| -> Result<(f64, f64), String> {
+        match args {
+            None => Ok((d1, d2)),
+            Some(a) => {
+                let mut it = a.split(',');
+                let p1 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad parameters {a:?} for {name}"))?;
+                let p2 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("bad parameters {a:?} for {name}"))?;
+                Ok((p1, p2))
+            }
+        }
+    };
+
+    // Parameterized measures first.
+    match lname.as_str() {
+        "dtw" => return Ok(Box::new(Dtw::with_window_pct(parse1(10.0)?))),
+        "msm" => return Ok(Box::new(Msm::new(parse1(params::unsupervised::MSM_COST)?))),
+        "twe" => {
+            let (l, n) = parse2(params::unsupervised::TWE_LAMBDA, params::unsupervised::TWE_NU)?;
+            return Ok(Box::new(Twe::new(l, n)));
+        }
+        "edr" => return Ok(Box::new(Edr::new(parse1(params::unsupervised::EDR_EPSILON)?))),
+        "lcss" => {
+            let (e, d) = parse2(
+                params::unsupervised::LCSS_EPSILON,
+                params::unsupervised::LCSS_DELTA,
+            )?;
+            return Ok(Box::new(Lcss::new(e, d)));
+        }
+        "swale" => {
+            let e = parse1(params::unsupervised::SWALE_EPSILON)?;
+            return Ok(Box::new(Swale::new(
+                e,
+                params::SWALE_REWARD,
+                params::SWALE_PENALTY,
+            )));
+        }
+        "erp" => return Ok(Box::new(Erp::new())),
+        "minkowski" => return Ok(Box::new(ls::Minkowski::new(parse1(3.0)?))),
+        "ncc" => return Ok(Box::new(CrossCorrelation::new(NccVariant::Raw))),
+        "ncc_b" => return Ok(Box::new(CrossCorrelation::new(NccVariant::Biased))),
+        "ncc_u" => return Ok(Box::new(CrossCorrelation::new(NccVariant::Unbiased))),
+        "ncc_c" | "sbd" => return Ok(Box::new(CrossCorrelation::sbd())),
+        "rbf" => {
+            return Ok(Box::new(KernelDistance(Rbf::new(parse1(
+                params::unsupervised::RBF_GAMMA,
+            )?))))
+        }
+        "sink" => {
+            return Ok(Box::new(KernelDistance(Sink::new(parse1(
+                params::unsupervised::SINK_GAMMA,
+            )?))))
+        }
+        "gak" => {
+            return Ok(Box::new(KernelDistance(Gak::new(parse1(
+                params::unsupervised::GAK_GAMMA,
+            )?))))
+        }
+        "kdtw" => {
+            return Ok(Box::new(KernelDistance(Kdtw::new(parse1(
+                params::unsupervised::KDTW_GAMMA,
+            )?))))
+        }
+        _ => {}
+    }
+
+    // Parameter-free lock-step measures by their registry name.
+    for m in lockstep_parameter_free() {
+        if m.name().eq_ignore_ascii_case(name) {
+            return Ok(m);
+        }
+    }
+    Err(format!(
+        "unknown measure {spec:?}; run `tsdist measures` for the list"
+    ))
+}
+
+/// All resolvable names, for `tsdist measures`.
+pub fn available() -> Vec<String> {
+    let mut names: Vec<String> = lockstep_parameter_free()
+        .iter()
+        .map(|m| m.name())
+        .collect();
+    names.extend(
+        [
+            "Minkowski:<p>",
+            "NCC",
+            "NCC_b",
+            "NCC_u",
+            "NCC_c (alias: SBD)",
+            "DTW:<window%>",
+            "LCSS:<eps,window%>",
+            "EDR:<eps>",
+            "ERP",
+            "MSM:<cost>",
+            "TWE:<lambda,nu>",
+            "Swale:<eps>",
+            "RBF:<gamma>",
+            "SINK:<gamma>",
+            "GAK:<gamma>",
+            "KDTW:<nu>",
+        ]
+        .iter()
+        .map(|s| s.to_string()),
+    );
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_lockstep_names_case_insensitively() {
+        assert!(resolve("lorentzian").is_ok());
+        assert!(resolve("ED").is_ok());
+        assert!(resolve("DISSIM").is_ok());
+    }
+
+    #[test]
+    fn resolves_parameterized_specs() {
+        assert_eq!(resolve("dtw:5").unwrap().name(), "DTW(δ=5)");
+        assert_eq!(resolve("msm:0.1").unwrap().name(), "MSM(c=0.1)");
+        assert!(resolve("twe:0.5,0.01").unwrap().name().contains("0.5"));
+        assert_eq!(resolve("sbd").unwrap().name(), "NCC_c");
+    }
+
+    #[test]
+    fn defaults_are_the_papers_unsupervised_picks() {
+        assert_eq!(resolve("msm").unwrap().name(), "MSM(c=0.5)");
+        assert!(resolve("kdtw").unwrap().name().contains("0.125"));
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(resolve("nope").is_err());
+        assert!(resolve("dtw:abc").is_err());
+        assert!(resolve("twe:1").is_err());
+    }
+
+    #[test]
+    fn every_advertised_lockstep_name_resolves() {
+        for m in lockstep_parameter_free() {
+            assert!(resolve(&m.name()).is_ok(), "{} must resolve", m.name());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Lower bounds for DTW, used to prune expensive comparisons in 1-NN
+//! search.
+//!
+//! Section 10 of the paper notes that elastic-measure runtimes can be
+//! substantially improved with lower bounding. We implement the two
+//! classics — LB_Kim and LB_Keogh — plus the envelope computation, and
+//! the evaluation crate exposes a pruned 1-NN search built on them (an
+//! ablation experiment in the bench harness measures the pruning rate).
+//!
+//! Both bounds hold for *squared-cost* DTW as implemented in
+//! [`super::Dtw`], i.e. `lb(x, y) <= dtw(x, y)`.
+
+/// LB_Kim (simplified 4-point form): squared differences of first and
+/// last points are unavoidable costs for any warping path.
+pub fn lb_kim(x: &[f64], y: &[f64]) -> f64 {
+    if x.is_empty() || y.is_empty() {
+        return 0.0;
+    }
+    let first = x[0] - y[0];
+    let last = x[x.len() - 1] - y[y.len() - 1];
+    first * first + last * last
+}
+
+/// The Keogh warping envelope of `y` for band radius `band`:
+/// `upper[i] = max(y[i-band ..= i+band])`, `lower[i] = min(...)`.
+pub fn keogh_envelope(y: &[f64], band: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = y.len();
+    let mut upper = Vec::with_capacity(n);
+    let mut lower = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(n - 1);
+        let mut mx = f64::NEG_INFINITY;
+        let mut mn = f64::INFINITY;
+        for &v in &y[lo..=hi] {
+            mx = mx.max(v);
+            mn = mn.min(v);
+        }
+        upper.push(mx);
+        lower.push(mn);
+    }
+    (upper, lower)
+}
+
+/// LB_Keogh: the squared distance from `x` to the envelope of `y`.
+/// Requires equal lengths (as in the paper's rectangular datasets).
+///
+/// # Panics
+/// Panics if `x.len() != upper.len()`.
+pub fn lb_keogh(x: &[f64], upper: &[f64], lower: &[f64]) -> f64 {
+    assert_eq!(x.len(), upper.len(), "envelope length mismatch");
+    assert_eq!(x.len(), lower.len(), "envelope length mismatch");
+    let mut acc = 0.0;
+    for i in 0..x.len() {
+        let v = x[i];
+        if v > upper[i] {
+            let d = v - upper[i];
+            acc += d * d;
+        } else if v < lower[i] {
+            let d = lower[i] - v;
+            acc += d * d;
+        }
+    }
+    acc
+}
+
+/// Convenience: LB_Keogh computing the envelope on the fly.
+pub fn lb_keogh_full(x: &[f64], y: &[f64], band: usize) -> f64 {
+    let (upper, lower) = keogh_envelope(y, band);
+    lb_keogh(x, &upper, &lower)
+}
+
+/// LB_ERP: `|sum(x) - sum(y)|` lower-bounds the ERP distance with gap
+/// reference 0 (Chen & Ng 2004) — every ERP edit script must account for
+/// the total mass difference.
+pub fn lb_erp(x: &[f64], y: &[f64]) -> f64 {
+    (x.iter().sum::<f64>() - y.iter().sum::<f64>()).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elastic::dtw::dtw_banded;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_series(rng: &mut StdRng, m: usize) -> Vec<f64> {
+        (0..m).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    #[test]
+    fn envelope_brackets_the_series() {
+        let y = [0.0, 3.0, -1.0, 2.0, 1.0];
+        let (u, l) = keogh_envelope(&y, 1);
+        for i in 0..y.len() {
+            assert!(l[i] <= y[i] && y[i] <= u[i]);
+        }
+        // Radius 1 takes neighbour extremes.
+        assert_eq!(u[0], 3.0);
+        assert_eq!(l[2], -1.0);
+    }
+
+    #[test]
+    fn envelope_with_zero_band_is_the_series() {
+        let y = [1.0, -2.0, 0.5];
+        let (u, l) = keogh_envelope(&y, 0);
+        assert_eq!(u, y.to_vec());
+        assert_eq!(l, y.to_vec());
+    }
+
+    #[test]
+    fn lb_kim_lower_bounds_dtw() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..50 {
+            let x = random_series(&mut rng, 24);
+            let y = random_series(&mut rng, 24);
+            let lb = lb_kim(&x, &y);
+            let d = dtw_banded(&x, &y, 24);
+            assert!(lb <= d + 1e-9, "LB_Kim {lb} > DTW {d}");
+        }
+    }
+
+    #[test]
+    fn lb_keogh_lower_bounds_banded_dtw() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for band in [0usize, 2, 5, 23] {
+            for _ in 0..30 {
+                let x = random_series(&mut rng, 24);
+                let y = random_series(&mut rng, 24);
+                let lb = lb_keogh_full(&x, &y, band);
+                let d = dtw_banded(&x, &y, band);
+                assert!(lb <= d + 1e-9, "LB_Keogh {lb} > DTW {d} (band {band})");
+            }
+        }
+    }
+
+    #[test]
+    fn lb_keogh_zero_inside_envelope() {
+        let y = [0.0, 1.0, 2.0, 1.0, 0.0];
+        // x stays within y's radius-2 envelope.
+        let x = [0.5, 1.5, 1.0, 0.5, 0.5];
+        assert_eq!(lb_keogh_full(&x, &y, 2), 0.0);
+    }
+
+    #[test]
+    fn lb_keogh_tightens_with_smaller_band() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = random_series(&mut rng, 32);
+        let y = random_series(&mut rng, 32);
+        let wide = lb_keogh_full(&x, &y, 16);
+        let narrow = lb_keogh_full(&x, &y, 2);
+        assert!(narrow >= wide);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(lb_kim(&[], &[]), 0.0);
+        assert_eq!(lb_erp(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn lb_erp_lower_bounds_erp() {
+        use crate::elastic::Erp;
+        use crate::measure::Distance;
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..50 {
+            let x = random_series(&mut rng, 20);
+            let y = random_series(&mut rng, 24);
+            let lb = lb_erp(&x, &y);
+            let d = Erp::new().distance(&x, &y);
+            assert!(lb <= d + 1e-9, "LB_ERP {lb} > ERP {d}");
+        }
+    }
+}

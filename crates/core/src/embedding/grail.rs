@@ -1,0 +1,125 @@
+//! GRAIL: Generic RepresentAtIon Learning (Paparrizos & Franklin 2019).
+//!
+//! GRAIL approximates the feature space of the SINK kernel with the
+//! Nyström method: `k` landmark series are selected from the training
+//! split, the normalized landmark kernel matrix is eigendecomposed, and
+//! each series is represented by its projected kernel values against the
+//! landmarks. ED over these representations approximates the SINK
+//! similarity — this is the only embedding the paper finds to reach
+//! NCC_c-level accuracy.
+
+use super::{select_landmarks, Embedding};
+use crate::kernel::Sink;
+use crate::measure::Kernel;
+use tsdist_linalg::{nystroem_features, Matrix};
+
+/// The GRAIL embedding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Grail {
+    /// SINK exponent weight γ.
+    pub gamma: f64,
+    /// Number of landmark series.
+    pub landmarks: usize,
+    /// Representation length (dimensions kept after eigendecomposition).
+    pub dims: usize,
+    /// Seed for landmark selection.
+    pub seed: u64,
+}
+
+impl Grail {
+    /// Creates a GRAIL embedder.
+    pub fn new(gamma: f64, landmarks: usize, dims: usize, seed: u64) -> Self {
+        assert!(gamma > 0.0, "GRAIL gamma must be positive");
+        assert!(landmarks > 0 && dims > 0, "landmarks and dims must be positive");
+        Grail {
+            gamma,
+            landmarks,
+            dims,
+            seed,
+        }
+    }
+
+    fn normalized_sink(&self, kernel: &Sink, x: &[f64], y: &[f64], kxx: f64, kyy: f64) -> f64 {
+        kernel.kernel(x, y) / (kxx * kyy).sqrt().max(f64::MIN_POSITIVE)
+    }
+}
+
+impl Embedding for Grail {
+    fn name(&self) -> String {
+        format!("GRAIL(γ={})", self.gamma)
+    }
+
+    fn embed(&self, series: &[Vec<f64>], n_train: usize) -> Matrix {
+        let kernel = Sink::new(self.gamma);
+        let lm_idx = select_landmarks(series, n_train.max(1), self.landmarks, self.seed);
+        let k = lm_idx.len();
+        let n = series.len();
+
+        // Self-kernels for coefficient normalization.
+        let self_k: Vec<f64> = series.iter().map(|s| kernel.self_kernel(s)).collect();
+
+        // Landmark kernel matrix (k x k) and data-to-landmark matrix (n x k).
+        let k_ll = Matrix::from_fn(k, k, |i, j| {
+            let (a, b) = (lm_idx[i], lm_idx[j]);
+            self.normalized_sink(&kernel, &series[a], &series[b], self_k[a], self_k[b])
+        });
+        let k_nl = Matrix::from_fn(n, k, |i, j| {
+            let b = lm_idx[j];
+            self.normalized_sink(&kernel, &series[i], &series[b], self_k[i], self_k[b])
+        });
+
+        nystroem_features(&k_ll, &k_nl, self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, m: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..m).map(|j| ((j as f64 * 0.5) + i as f64 * 0.7).sin()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn representation_length_is_capped_by_landmarks() {
+        let s = toy(10, 20);
+        let z = Grail::new(5.0, 4, 100, 0).embed(&s, 8);
+        assert!(z.cols() <= 4);
+        assert_eq!(z.rows(), 10);
+    }
+
+    #[test]
+    fn embedding_preserves_sink_similarity_approximately() {
+        // Z Z^T should approximate the normalized SINK matrix when the
+        // landmark set is the whole fitting set.
+        let s = toy(6, 24);
+        let g = Grail::new(5.0, 6, 6, 0);
+        let z = g.embed(&s, 6);
+        let kernel = Sink::new(5.0);
+        let self_k: Vec<f64> = s.iter().map(|x| kernel.self_kernel(x)).collect();
+        for i in 0..6 {
+            for j in 0..6 {
+                let approx: f64 = z.row(i).iter().zip(z.row(j)).map(|(a, b)| a * b).sum();
+                let exact =
+                    kernel.kernel(&s[i], &s[j]) / (self_k[i] * self_k[j]).sqrt();
+                assert!(
+                    (approx - exact).abs() < 1e-6,
+                    "({i},{j}): {approx} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_series_have_identical_rows() {
+        let mut s = toy(5, 16);
+        s.push(s[0].clone());
+        let z = Grail::new(5.0, 4, 4, 0).embed(&s, 5);
+        let last = z.rows() - 1;
+        for c in 0..z.cols() {
+            assert!((z[(0, c)] - z[(last, c)]).abs() < 1e-9);
+        }
+    }
+}

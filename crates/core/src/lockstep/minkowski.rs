@@ -1,0 +1,122 @@
+//! The Minkowski (Lp) family: Euclidean, City-block, Minkowski, Chebyshev.
+
+use super::{lockstep_measure, zip_sum};
+use crate::measure::Distance;
+
+lockstep_measure!(
+    /// Euclidean distance (L2 norm), the paper's lock-step baseline (M2):
+    /// `sqrt(sum (x_i - y_i)^2)`.
+    Euclidean,
+    "ED",
+    |x, y| zip_sum(x, y, |a, b| (a - b) * (a - b)).sqrt()
+);
+
+lockstep_measure!(
+    /// City-block / Manhattan distance (L1 norm): `sum |x_i - y_i|`.
+    CityBlock,
+    "Manhattan",
+    |x, y| zip_sum(x, y, |a, b| (a - b).abs())
+);
+
+lockstep_measure!(
+    /// Chebyshev distance (L-infinity norm): `max |x_i - y_i|`.
+    Chebyshev,
+    "Chebyshev",
+    |x, y| x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+);
+
+/// Minkowski distance (Lp norm) with tunable order `p`:
+/// `(sum |x_i - y_i|^p)^(1/p)`.
+///
+/// The only lock-step measure requiring supervised tuning; Table 4's grid
+/// spans `p` from 0.1 (a "fractional norm") to 20.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minkowski {
+    /// The order of the norm; must be positive (values below 1 give a
+    /// well-defined dissimilarity even though it is no longer a metric).
+    pub p: f64,
+}
+
+impl Minkowski {
+    /// Creates the Lp measure.
+    ///
+    /// # Panics
+    /// Panics if `p` is not strictly positive.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0, "Minkowski order must be positive, got {p}");
+        Minkowski { p }
+    }
+}
+
+impl Distance for Minkowski {
+    fn name(&self) -> String {
+        format!("Minkowski(p={})", self.p)
+    }
+
+    fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
+        zip_sum(x, y, |a, b| (a - b).abs().powf(self.p)).powf(1.0 / self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: [f64; 4] = [1.0, 2.0, 3.0, 4.0];
+    const Y: [f64; 4] = [2.0, 2.0, 1.0, 6.0];
+    // diffs: -1, 0, 2, -2
+
+    #[test]
+    fn euclidean_hand_value() {
+        assert!((Euclidean.distance(&X, &Y) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cityblock_hand_value() {
+        assert_eq!(CityBlock.distance(&X, &Y), 5.0);
+    }
+
+    #[test]
+    fn chebyshev_hand_value() {
+        assert_eq!(Chebyshev.distance(&X, &Y), 2.0);
+    }
+
+    #[test]
+    fn minkowski_reduces_to_special_cases() {
+        assert!((Minkowski::new(2.0).distance(&X, &Y) - Euclidean.distance(&X, &Y)).abs() < 1e-12);
+        assert!((Minkowski::new(1.0).distance(&X, &Y) - CityBlock.distance(&X, &Y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_approaches_chebyshev_for_large_p() {
+        let d = Minkowski::new(50.0).distance(&X, &Y);
+        assert!((d - Chebyshev.distance(&X, &Y)).abs() < 0.1);
+    }
+
+    #[test]
+    fn lp_norms_are_monotone_decreasing_in_p() {
+        let d1 = Minkowski::new(1.0).distance(&X, &Y);
+        let d2 = Minkowski::new(2.0).distance(&X, &Y);
+        let d5 = Minkowski::new(5.0).distance(&X, &Y);
+        assert!(d1 >= d2 && d2 >= d5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_order_panics() {
+        let _ = Minkowski::new(0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_for_euclidean() {
+        let z = [0.0, 5.0, -1.0, 2.0];
+        let dxz = Euclidean.distance(&X, &z);
+        let dxy = Euclidean.distance(&X, &Y);
+        let dyz = Euclidean.distance(&Y, &z);
+        assert!(dxz <= dxy + dyz + 1e-12);
+    }
+}

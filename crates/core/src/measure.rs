@@ -1,0 +1,173 @@
+//! The core distance-measure abstraction.
+
+/// A pairwise dissimilarity between two equal-purpose time series.
+///
+/// Implementations must be thread-safe ([`Send`] + [`Sync`]) because the
+/// evaluation platform computes dissimilarity matrices in parallel.
+///
+/// The contract is deliberately loose — mirroring the paper, which mixes
+/// metrics (ED, MSM), non-metrics (DTW), and similarity-derived scores
+/// (NCC variants): implementations need only be *order-meaningful* (lower
+/// = more similar) and deterministic. They are **not** required to satisfy
+/// the triangle inequality, symmetry, or non-negativity.
+pub trait Distance: Send + Sync {
+    /// Human-readable measure name, e.g. `"Lorentzian"` or `"DTW(δ=10)"`.
+    fn name(&self) -> String;
+
+    /// The dissimilarity between `x` and `y`.
+    ///
+    /// Implementations may assume `x` and `y` are non-empty and, unless
+    /// documented otherwise, of equal length (the dataset substrate
+    /// guarantees rectangular datasets).
+    fn distance(&self, x: &[f64], y: &[f64]) -> f64;
+}
+
+impl<D: Distance + ?Sized> Distance for Box<D> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
+        (**self).distance(x, y)
+    }
+}
+
+impl<D: Distance + ?Sized> Distance for &D {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
+        (**self).distance(x, y)
+    }
+}
+
+/// A positive semi-definite kernel (similarity) function.
+///
+/// Kernels are converted to dissimilarities for 1-NN classification via
+/// the normalized form `d(x, y) = 1 - k(x, y) / sqrt(k(x,x) * k(y,y))`;
+/// the evaluation platform caches the self-similarities `k(x,x)`.
+pub trait Kernel: Send + Sync {
+    /// Human-readable kernel name, e.g. `"GAK(γ=0.1)"`.
+    fn name(&self) -> String;
+
+    /// The kernel value `k(x, y)`.
+    fn kernel(&self, x: &[f64], y: &[f64]) -> f64;
+
+    /// The self-similarity `k(x, x)`; override when cheaper than the
+    /// general case.
+    fn self_kernel(&self, x: &[f64]) -> f64 {
+        self.kernel(x, x)
+    }
+
+    /// The *logarithm* of the kernel value. Alignment kernels (GAK, KDTW)
+    /// override this because their raw values underflow `f64` for long
+    /// series; the normalized dissimilarity is computed entirely in log
+    /// space from this method.
+    fn log_kernel(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.kernel(x, y).max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Log of the self-similarity.
+    fn log_self_kernel(&self, x: &[f64]) -> f64 {
+        self.log_kernel(x, x)
+    }
+}
+
+impl<K: Kernel + ?Sized> Kernel for Box<K> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn kernel(&self, x: &[f64], y: &[f64]) -> f64 {
+        (**self).kernel(x, y)
+    }
+    fn self_kernel(&self, x: &[f64]) -> f64 {
+        (**self).self_kernel(x)
+    }
+    fn log_kernel(&self, x: &[f64], y: &[f64]) -> f64 {
+        (**self).log_kernel(x, y)
+    }
+    fn log_self_kernel(&self, x: &[f64]) -> f64 {
+        (**self).log_self_kernel(x)
+    }
+}
+
+/// Adapter exposing a [`Kernel`] as a [`Distance`] through the normalized
+/// kernel dissimilarity. Self-similarities are recomputed per call; the
+/// evaluation platform prefers its cached kernel path, but this adapter
+/// makes every kernel usable anywhere a distance is expected.
+pub struct KernelDistance<K: Kernel>(pub K);
+
+impl<K: Kernel> Distance for KernelDistance<K> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
+        let lxy = self.0.log_kernel(x, y);
+        let lxx = self.0.log_self_kernel(x);
+        let lyy = self.0.log_self_kernel(y);
+        if !lxx.is_finite() || !lyy.is_finite() {
+            return 1.0;
+        }
+        1.0 - (lxy - 0.5 * (lxx + lyy)).exp()
+    }
+}
+
+/// Numerical guard added to denominators and log arguments throughout the
+/// lock-step measures; many of Cha's formulas assume strictly positive
+/// probability densities while z-normalized time series contain zeros and
+/// negative values.
+pub const EPS: f64 = 1e-10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dot;
+    impl Kernel for Dot {
+        fn name(&self) -> String {
+            "dot".into()
+        }
+        fn kernel(&self, x: &[f64], y: &[f64]) -> f64 {
+            x.iter().zip(y).map(|(a, b)| a * b).sum()
+        }
+    }
+
+    #[test]
+    fn kernel_distance_is_zero_for_identical_inputs() {
+        let d = KernelDistance(Dot);
+        let x = [1.0, 2.0, 3.0];
+        assert!(d.distance(&x, &x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_distance_is_one_minus_cosine_for_dot_kernel() {
+        let d = KernelDistance(Dot);
+        let x = [1.0, 0.0];
+        let y = [0.0, 1.0];
+        assert!((d.distance(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [1.0, 1.0];
+        let expected = 1.0 - 1.0 / 2.0f64.sqrt();
+        assert!((d.distance(&x, &z) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_kernel_norm_yields_unit_distance() {
+        let d = KernelDistance(Dot);
+        assert_eq!(d.distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn boxed_distance_delegates() {
+        struct Abs;
+        impl Distance for Abs {
+            fn name(&self) -> String {
+                "abs".into()
+            }
+            fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
+                x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum()
+            }
+        }
+        let b: Box<dyn Distance> = Box::new(Abs);
+        assert_eq!(b.name(), "abs");
+        assert_eq!(b.distance(&[1.0], &[3.0]), 2.0);
+    }
+}

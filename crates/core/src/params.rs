@@ -1,0 +1,166 @@
+//! The parameter grids of Table 4, verbatim.
+//!
+//! Supervised (LOOCCV) tuning searches these grids on the training split;
+//! the unsupervised setting uses the paper's fixed picks (Tables 5/6).
+
+/// MSM cost grid.
+pub const MSM_COSTS: [f64; 10] = [0.01, 0.1, 1.0, 10.0, 100.0, 0.05, 0.5, 5.0, 50.0, 500.0];
+
+/// DTW Sakoe–Chiba window grid (% of series length).
+pub const DTW_WINDOWS: [f64; 22] = [
+    0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0,
+    17.0, 18.0, 19.0, 20.0, 100.0,
+];
+
+/// EDR epsilon grid.
+pub const EDR_EPSILONS: [f64; 19] = [
+    0.001, 0.003, 0.005, 0.007, 0.009, 0.01, 0.03, 0.05, 0.07, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5,
+    0.6, 0.7, 0.8, 0.9,
+];
+
+/// LCSS window grid (% of series length).
+pub const LCSS_DELTAS: [f64; 2] = [5.0, 10.0];
+
+/// LCSS epsilon grid (same thresholds as EDR plus 1.0).
+pub const LCSS_EPSILONS: [f64; 20] = [
+    0.001, 0.003, 0.005, 0.007, 0.009, 0.01, 0.03, 0.05, 0.07, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5,
+    0.6, 0.7, 0.8, 0.9, 1.0,
+];
+
+/// TWE lambda grid.
+pub const TWE_LAMBDAS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// TWE nu grid.
+pub const TWE_NUS: [f64; 6] = [0.00001, 0.0001, 0.001, 0.01, 0.1, 1.0];
+
+/// Swale epsilon grid (`p = 5`, `r = 1` fixed).
+pub const SWALE_EPSILONS: [f64; 15] = [
+    0.01, 0.03, 0.05, 0.07, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+];
+
+/// Swale gap penalty.
+pub const SWALE_PENALTY: f64 = 5.0;
+
+/// Swale match reward.
+pub const SWALE_REWARD: f64 = 1.0;
+
+/// Minkowski order grid.
+pub const MINKOWSKI_PS: [f64; 20] = [
+    0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.3, 1.5, 1.7, 1.9, 2.0, 3.0, 5.0, 7.0, 9.0, 11.0, 13.0,
+    15.0, 17.0, 20.0,
+];
+
+/// KDTW gamma grid: `2^-15 ..= 2^0`.
+pub fn kdtw_gammas() -> Vec<f64> {
+    (-15..=0).map(|e| 2f64.powi(e)).collect()
+}
+
+/// GAK gamma (bandwidth) grid.
+pub const GAK_GAMMAS: [f64; 26] = [
+    0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0,
+    12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0, 19.0, 20.0,
+];
+
+/// SINK gamma grid: `1 ..= 20`.
+pub fn sink_gammas() -> Vec<f64> {
+    (1..=20).map(|g| g as f64).collect()
+}
+
+/// RBF gamma grid: `2^-15 ..= 2^0`.
+pub fn rbf_gammas() -> Vec<f64> {
+    (-15..=0).map(|e| 2f64.powi(e)).collect()
+}
+
+/// GRAIL gamma grid (same as SINK).
+pub fn grail_gammas() -> Vec<f64> {
+    sink_gammas()
+}
+
+/// RWS gamma grid (Table 4's log-spaced grid).
+pub const RWS_GAMMAS: [f64; 23] = [
+    1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.14, 0.19, 0.28, 0.39, 0.56, 0.79, 1.12, 1.58, 2.23, 3.16,
+    4.46, 6.30, 8.91, 10.0, 31.62, 1e2, 3e2, 1e3,
+];
+
+/// RWS maximum random-series length.
+pub const RWS_D_MAX: usize = 25;
+
+/// SIDL sparsity grid.
+pub const SIDL_LAMBDAS: [f64; 3] = [0.1, 1.0, 10.0];
+
+/// SIDL atom-length ratio grid (fraction of series length).
+pub const SIDL_RATIOS: [f64; 3] = [0.1, 0.25, 0.5];
+
+/// The representation length the paper fixes for all embeddings.
+pub const EMBEDDING_DIMS: usize = 100;
+
+/// The paper's unsupervised parameter picks (Tables 5 and 6).
+pub mod unsupervised {
+    /// MSM: `c = 0.5`.
+    pub const MSM_COST: f64 = 0.5;
+    /// TWE: `λ = 1`.
+    pub const TWE_LAMBDA: f64 = 1.0;
+    /// TWE: `ν = 0.0001`.
+    pub const TWE_NU: f64 = 0.0001;
+    /// DTW: `δ = 10` (the "cheap default") and `δ = 100` (parameter-free).
+    pub const DTW_WINDOWS: [f64; 2] = [100.0, 10.0];
+    /// EDR: `ε = 0.1`.
+    pub const EDR_EPSILON: f64 = 0.1;
+    /// Swale: `ε = 0.2`.
+    pub const SWALE_EPSILON: f64 = 0.2;
+    /// LCSS: `δ = 5, ε = 0.2`.
+    pub const LCSS_DELTA: f64 = 5.0;
+    /// LCSS: `ε = 0.2`.
+    pub const LCSS_EPSILON: f64 = 0.2;
+    /// KDTW: `γ = 0.125`.
+    pub const KDTW_GAMMA: f64 = 0.125;
+    /// GAK: `γ = 0.1`.
+    pub const GAK_GAMMA: f64 = 0.1;
+    /// SINK: `γ = 5`.
+    pub const SINK_GAMMA: f64 = 5.0;
+    /// RBF: `γ = 2` — the paper's Table 6 unsupervised row.
+    pub const RBF_GAMMA: f64 = 1.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_sizes_match_table_4() {
+        assert_eq!(MSM_COSTS.len(), 10);
+        assert_eq!(DTW_WINDOWS.len(), 22);
+        assert_eq!(EDR_EPSILONS.len(), 19);
+        assert_eq!(LCSS_EPSILONS.len(), 20);
+        assert_eq!(TWE_LAMBDAS.len() * TWE_NUS.len(), 30);
+        assert_eq!(SWALE_EPSILONS.len(), 15);
+        assert_eq!(MINKOWSKI_PS.len(), 20);
+        assert_eq!(kdtw_gammas().len(), 16);
+        assert_eq!(GAK_GAMMAS.len(), 26);
+        assert_eq!(sink_gammas().len(), 20);
+        assert_eq!(rbf_gammas().len(), 16);
+        assert_eq!(RWS_GAMMAS.len(), 23);
+    }
+
+    #[test]
+    fn kdtw_grid_spans_the_right_range() {
+        let g = kdtw_gammas();
+        assert_eq!(g[0], 2f64.powi(-15));
+        assert_eq!(*g.last().unwrap(), 1.0);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn unsupervised_picks_live_in_their_grids() {
+        assert!(MSM_COSTS.contains(&unsupervised::MSM_COST));
+        assert!(TWE_LAMBDAS.contains(&unsupervised::TWE_LAMBDA));
+        assert!(TWE_NUS.contains(&unsupervised::TWE_NU));
+        assert!(EDR_EPSILONS.contains(&unsupervised::EDR_EPSILON));
+        assert!(kdtw_gammas().contains(&unsupervised::KDTW_GAMMA));
+        assert!(GAK_GAMMAS.contains(&unsupervised::GAK_GAMMA));
+        assert!(sink_gammas().contains(&unsupervised::SINK_GAMMA));
+        for w in unsupervised::DTW_WINDOWS {
+            assert!(DTW_WINDOWS.contains(&w));
+        }
+    }
+}

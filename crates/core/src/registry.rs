@@ -1,0 +1,373 @@
+//! A registry enumerating every measure of the study with its Table 4
+//! parameter grid — the single source of truth for the evaluation
+//! platform and the Table 1 summary.
+
+use crate::elastic::{Dtw, Edr, Erp, Lcss, Msm, Swale, Twe};
+use crate::embedding::{Embedding, Grail, Rws, Sidl, Spiral};
+use crate::kernel::{Gak, Kdtw, Rbf, Sink};
+use crate::lockstep as ls;
+use crate::measure::{Distance, Kernel};
+use crate::params;
+use crate::sliding::{CrossCorrelation, NccVariant};
+
+/// The five measure categories of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Point-i-to-point-i measures (Section 5).
+    LockStep,
+    /// Cross-correlation measures (Section 6).
+    Sliding,
+    /// Warping-alignment measures (Section 7).
+    Elastic,
+    /// Kernel functions (Section 8).
+    Kernel,
+    /// Representation-learning measures (Section 9).
+    Embedding,
+}
+
+/// A family of distance measures sharing one name and a parameter grid
+/// (a single-element grid for parameter-free measures).
+pub struct DistanceFamily {
+    /// Family name, e.g. `"DTW"`.
+    pub family: &'static str,
+    /// One instance per Table 4 grid point.
+    pub grid: Vec<Box<dyn Distance>>,
+}
+
+/// A family of kernel functions with its parameter grid.
+pub struct KernelFamily {
+    /// Family name, e.g. `"GAK"`.
+    pub family: &'static str,
+    /// One instance per Table 4 grid point.
+    pub grid: Vec<Box<dyn Kernel>>,
+}
+
+/// The 51 parameter-free lock-step measures (everything in Section 5
+/// except the tunable Minkowski).
+pub fn lockstep_parameter_free() -> Vec<Box<dyn Distance>> {
+    vec![
+        Box::new(ls::Euclidean),
+        Box::new(ls::CityBlock),
+        Box::new(ls::Chebyshev),
+        Box::new(ls::Sorensen),
+        Box::new(ls::Gower),
+        Box::new(ls::Soergel),
+        Box::new(ls::KulczynskiD),
+        Box::new(ls::Canberra),
+        Box::new(ls::Lorentzian),
+        Box::new(ls::Intersection),
+        Box::new(ls::WaveHedges),
+        Box::new(ls::Czekanowski),
+        Box::new(ls::Motyka),
+        Box::new(ls::KulczynskiS),
+        Box::new(ls::Ruzicka),
+        Box::new(ls::Tanimoto),
+        Box::new(ls::InnerProduct),
+        Box::new(ls::HarmonicMean),
+        Box::new(ls::Cosine),
+        Box::new(ls::KumarHassebrook),
+        Box::new(ls::Jaccard),
+        Box::new(ls::Dice),
+        Box::new(ls::Fidelity),
+        Box::new(ls::Bhattacharyya),
+        Box::new(ls::Hellinger),
+        Box::new(ls::Matusita),
+        Box::new(ls::SquaredChord),
+        Box::new(ls::SquaredEuclidean),
+        Box::new(ls::PearsonChiSq),
+        Box::new(ls::NeymanChiSq),
+        Box::new(ls::SquaredChiSq),
+        Box::new(ls::ProbSymmetricChiSq),
+        Box::new(ls::Divergence),
+        Box::new(ls::Clark),
+        Box::new(ls::AdditiveSymmetricChiSq),
+        Box::new(ls::KullbackLeibler),
+        Box::new(ls::Jeffreys),
+        Box::new(ls::KDivergence),
+        Box::new(ls::Topsoe),
+        Box::new(ls::JensenShannon),
+        Box::new(ls::JensenDifference),
+        Box::new(ls::Taneja),
+        Box::new(ls::KumarJohnson),
+        Box::new(ls::AvgL1Linf),
+        Box::new(ls::VicisWaveHedges),
+        Box::new(ls::VicisSymmetricChiSq1),
+        Box::new(ls::VicisSymmetricChiSq2),
+        Box::new(ls::VicisSymmetricChiSq3),
+        Box::new(ls::MaxSymmetricChiSq),
+        Box::new(ls::Dissim),
+        Box::new(ls::AdaptiveScalingDistance),
+    ]
+}
+
+/// The Minkowski family with its Table 4 grid — the only supervised
+/// lock-step measure.
+pub fn minkowski_family() -> DistanceFamily {
+    DistanceFamily {
+        family: "Minkowski",
+        grid: params::MINKOWSKI_PS
+            .iter()
+            .map(|&p| Box::new(ls::Minkowski::new(p)) as Box<dyn Distance>)
+            .collect(),
+    }
+}
+
+/// The 4 sliding measures of Section 6.
+pub fn sliding_measures() -> Vec<Box<dyn Distance>> {
+    NccVariant::ALL
+        .iter()
+        .map(|&v| Box::new(CrossCorrelation::new(v)) as Box<dyn Distance>)
+        .collect()
+}
+
+/// The 7 elastic families with their Table 4 grids (supervised setting).
+pub fn elastic_families() -> Vec<DistanceFamily> {
+    let dtw = DistanceFamily {
+        family: "DTW",
+        grid: params::DTW_WINDOWS
+            .iter()
+            .map(|&w| Box::new(Dtw::with_window_pct(w)) as Box<dyn Distance>)
+            .collect(),
+    };
+    let lcss = DistanceFamily {
+        family: "LCSS",
+        grid: params::LCSS_DELTAS
+            .iter()
+            .flat_map(|&d| {
+                params::LCSS_EPSILONS
+                    .iter()
+                    .map(move |&e| Box::new(Lcss::new(e, d)) as Box<dyn Distance>)
+            })
+            .collect(),
+    };
+    let edr = DistanceFamily {
+        family: "EDR",
+        grid: params::EDR_EPSILONS
+            .iter()
+            .map(|&e| Box::new(Edr::new(e)) as Box<dyn Distance>)
+            .collect(),
+    };
+    let erp = DistanceFamily {
+        family: "ERP",
+        grid: vec![Box::new(Erp::new())],
+    };
+    let msm = DistanceFamily {
+        family: "MSM",
+        grid: params::MSM_COSTS
+            .iter()
+            .map(|&c| Box::new(Msm::new(c)) as Box<dyn Distance>)
+            .collect(),
+    };
+    let twe = DistanceFamily {
+        family: "TWE",
+        grid: params::TWE_LAMBDAS
+            .iter()
+            .flat_map(|&l| {
+                params::TWE_NUS
+                    .iter()
+                    .map(move |&n| Box::new(Twe::new(l, n)) as Box<dyn Distance>)
+            })
+            .collect(),
+    };
+    let swale = DistanceFamily {
+        family: "Swale",
+        grid: params::SWALE_EPSILONS
+            .iter()
+            .map(|&e| {
+                Box::new(Swale::new(e, params::SWALE_REWARD, params::SWALE_PENALTY))
+                    as Box<dyn Distance>
+            })
+            .collect(),
+    };
+    vec![msm, twe, dtw, edr, lcss, swale, erp]
+}
+
+/// The elastic measures with the paper's fixed unsupervised parameters
+/// (Table 5): `(display name, instance)`.
+pub fn elastic_unsupervised() -> Vec<(String, Box<dyn Distance>)> {
+    use params::unsupervised as u;
+    vec![
+        ("MSM(c=0.5)".into(), Box::new(Msm::new(u::MSM_COST)) as Box<dyn Distance>),
+        (
+            "TWE(λ=1,ν=0.0001)".into(),
+            Box::new(Twe::new(u::TWE_LAMBDA, u::TWE_NU)),
+        ),
+        ("DTW(δ=100)".into(), Box::new(Dtw::with_window_pct(100.0))),
+        ("DTW(δ=10)".into(), Box::new(Dtw::with_window_pct(10.0))),
+        ("EDR(ε=0.1)".into(), Box::new(Edr::new(u::EDR_EPSILON))),
+        (
+            "Swale(ε=0.2)".into(),
+            Box::new(Swale::new(u::SWALE_EPSILON, params::SWALE_REWARD, params::SWALE_PENALTY)),
+        ),
+        (
+            "LCSS(δ=5,ε=0.2)".into(),
+            Box::new(Lcss::new(u::LCSS_EPSILON, u::LCSS_DELTA)),
+        ),
+        ("ERP".into(), Box::new(Erp::new())),
+    ]
+}
+
+/// The 4 kernel families with their Table 4 grids (supervised setting).
+pub fn kernel_families() -> Vec<KernelFamily> {
+    vec![
+        KernelFamily {
+            family: "KDTW",
+            grid: params::kdtw_gammas()
+                .into_iter()
+                .map(|g| Box::new(Kdtw::new(g)) as Box<dyn Kernel>)
+                .collect(),
+        },
+        KernelFamily {
+            family: "GAK",
+            grid: params::GAK_GAMMAS
+                .iter()
+                .map(|&g| Box::new(Gak::new(g)) as Box<dyn Kernel>)
+                .collect(),
+        },
+        KernelFamily {
+            family: "SINK",
+            grid: params::sink_gammas()
+                .into_iter()
+                .map(|g| Box::new(Sink::new(g)) as Box<dyn Kernel>)
+                .collect(),
+        },
+        KernelFamily {
+            family: "RBF",
+            grid: params::rbf_gammas()
+                .into_iter()
+                .map(|g| Box::new(Rbf::new(g)) as Box<dyn Kernel>)
+                .collect(),
+        },
+    ]
+}
+
+/// Kernels with the paper's fixed unsupervised parameters (Table 6).
+pub fn kernel_unsupervised() -> Vec<(String, Box<dyn Kernel>)> {
+    use params::unsupervised as u;
+    vec![
+        ("KDTW(γ=0.125)".into(), Box::new(Kdtw::new(u::KDTW_GAMMA)) as Box<dyn Kernel>),
+        ("GAK(γ=0.1)".into(), Box::new(Gak::new(u::GAK_GAMMA))),
+        ("SINK(γ=5)".into(), Box::new(Sink::new(u::SINK_GAMMA))),
+        ("RBF(γ=1)".into(), Box::new(Rbf::new(u::RBF_GAMMA))),
+    ]
+}
+
+/// The 4 embedding families. Each entry is `(family name, grid)` where a
+/// grid point is a boxed embedder; `dims` is the shared representation
+/// length (the paper uses 100) and `seed` makes runs reproducible.
+/// `series_len` resolves SIDL's atom-length ratios.
+pub fn embedding_families(
+    dims: usize,
+    series_len: usize,
+    seed: u64,
+) -> Vec<(&'static str, Vec<Box<dyn Embedding>>)> {
+    let landmarks = dims.max(4);
+    let grail = params::grail_gammas()
+        .into_iter()
+        .map(|g| Box::new(Grail::new(g, landmarks, dims, seed)) as Box<dyn Embedding>)
+        .collect();
+    let rws = params::RWS_GAMMAS
+        .iter()
+        .map(|&g| Box::new(Rws::new(g, dims, params::RWS_D_MAX, seed)) as Box<dyn Embedding>)
+        .collect();
+    let spiral = vec![Box::new(Spiral::new(1.0, landmarks, dims, seed)) as Box<dyn Embedding>];
+    let sidl = params::SIDL_RATIOS
+        .iter()
+        .map(|&r| {
+            let atom_len = ((series_len as f64 * r).round() as usize).max(2);
+            Box::new(Sidl::new(dims, atom_len, 2, seed)) as Box<dyn Embedding>
+        })
+        .collect();
+    vec![
+        ("GRAIL", grail),
+        ("RWS", rws),
+        ("SPIRAL", spiral),
+        ("SIDL", sidl),
+    ]
+}
+
+/// The Table 1 inventory: `(category, measure count, normalization
+/// methods evaluated)`.
+pub fn table1_summary() -> Vec<(Category, usize, usize)> {
+    vec![
+        (Category::LockStep, 52, 8),
+        (Category::Sliding, 4, 8),
+        (Category::Elastic, 7, 1),
+        (Category::Kernel, 4, 1),
+        (Category::Embedding, 4, 1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lockstep_cardinality_is_52() {
+        // 51 parameter-free + the Minkowski family.
+        assert_eq!(lockstep_parameter_free().len(), 51);
+        assert_eq!(minkowski_family().grid.len(), 20);
+    }
+
+    #[test]
+    fn sliding_cardinality_is_4() {
+        assert_eq!(sliding_measures().len(), 4);
+    }
+
+    #[test]
+    fn elastic_families_match_table_4() {
+        let fams = elastic_families();
+        assert_eq!(fams.len(), 7);
+        let sizes: Vec<(&str, usize)> =
+            fams.iter().map(|f| (f.family, f.grid.len())).collect();
+        assert!(sizes.contains(&("DTW", 22)));
+        assert!(sizes.contains(&("MSM", 10)));
+        assert!(sizes.contains(&("TWE", 30)));
+        assert!(sizes.contains(&("EDR", 19)));
+        assert!(sizes.contains(&("LCSS", 40)));
+        assert!(sizes.contains(&("Swale", 15)));
+        assert!(sizes.contains(&("ERP", 1)));
+    }
+
+    #[test]
+    fn kernel_families_match_table_4() {
+        let fams = kernel_families();
+        assert_eq!(fams.len(), 4);
+        let sizes: Vec<(&str, usize)> =
+            fams.iter().map(|f| (f.family, f.grid.len())).collect();
+        assert!(sizes.contains(&("KDTW", 16)));
+        assert!(sizes.contains(&("GAK", 26)));
+        assert!(sizes.contains(&("SINK", 20)));
+        assert!(sizes.contains(&("RBF", 16)));
+    }
+
+    #[test]
+    fn total_measure_count_is_71() {
+        let total = 52 + sliding_measures().len() + elastic_families().len()
+            + kernel_families().len()
+            + embedding_families(10, 50, 0).len();
+        assert_eq!(total, 71);
+    }
+
+    #[test]
+    fn unsupervised_sets_are_complete() {
+        assert_eq!(elastic_unsupervised().len(), 8); // 7 measures, DTW twice
+        assert_eq!(kernel_unsupervised().len(), 4);
+    }
+
+    #[test]
+    fn embedding_grids_are_non_empty() {
+        for (name, grid) in embedding_families(16, 64, 1) {
+            assert!(!grid.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let t = table1_summary();
+        let total: usize = t.iter().map(|(_, n, _)| n).sum();
+        assert_eq!(total, 71);
+        assert_eq!(t[0], (Category::LockStep, 52, 8));
+        assert_eq!(t[1], (Category::Sliding, 4, 8));
+    }
+}

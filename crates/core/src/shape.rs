@@ -1,0 +1,218 @@
+//! Shape extraction: the SBD-based centroid of k-Shape (Paparrizos &
+//! Gravano 2015).
+//!
+//! The paper's Section 6 builds on the k-Shape line of work, which made
+//! the cross-correlation measure state of the art for clustering. The
+//! missing primitive there is the *shape centroid*: the series that
+//! maximizes the summed squared NCC_c similarity to a set of (shift-
+//! aligned, z-normalized) series. After aligning every series to a
+//! reference, the centroid is the dominant eigenvector of the centered
+//! Gram matrix `Q S^T S Q` — computed here with the workspace's power
+//! iteration.
+
+use tsdist_fft::cross_correlation;
+use tsdist_linalg::{dominant_eigenpair, Matrix};
+
+/// Aligns `x` to `reference` by the shift maximizing their
+/// cross-correlation; out-of-range positions are zero-filled (the SBD
+/// convention). Both series should be z-normalized for meaningful lags.
+pub fn align_to(reference: &[f64], x: &[f64]) -> Vec<f64> {
+    let m = x.len();
+    if m == 0 || reference.is_empty() {
+        return x.to_vec();
+    }
+    let cc = cross_correlation(reference, x);
+    let (argmax, _) = cc
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite correlation"))
+        .expect("non-empty correlation");
+    // Shift s: reference[i] pairs with x[i - s].
+    let s = argmax as isize - (x.len() as isize - 1);
+    let mut out = vec![0.0; m];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let j = i as isize - s;
+        if (0..m as isize).contains(&j) {
+            *slot = x[j as usize];
+        }
+    }
+    out
+}
+
+/// One round of k-Shape shape extraction: aligns every series to
+/// `reference`, then returns the z-normalized dominant eigenvector of the
+/// centered Gram matrix — the series most correlated with all aligned
+/// members. The sign is fixed to correlate positively with the
+/// reference.
+///
+/// # Panics
+/// Panics if `series` is empty or lengths are inconsistent.
+pub fn shape_extraction(series: &[Vec<f64>], reference: &[f64]) -> Vec<f64> {
+    assert!(!series.is_empty(), "cannot extract a shape from nothing");
+    let m = reference.len();
+    assert!(series.iter().all(|s| s.len() == m), "length mismatch");
+
+    // Aligned, stacked series.
+    let aligned: Vec<Vec<f64>> = series.iter().map(|x| align_to(reference, x)).collect();
+
+    // M = S^T S (m x m), then center: Q M Q with Q = I - (1/m) 1 1^T.
+    let mut gram = Matrix::zeros(m, m);
+    for s in &aligned {
+        for i in 0..m {
+            if s[i] == 0.0 {
+                continue;
+            }
+            for j in 0..m {
+                gram[(i, j)] += s[i] * s[j];
+            }
+        }
+    }
+    let centered = center_both_sides(&gram);
+    let (_, mut centroid) = dominant_eigenpair(&centered, 300);
+
+    // Orient towards the reference and z-normalize.
+    let dot: f64 = centroid.iter().zip(reference).map(|(a, b)| a * b).sum();
+    if dot < 0.0 {
+        for v in centroid.iter_mut() {
+            *v = -*v;
+        }
+    }
+    znorm(&mut centroid);
+    centroid
+}
+
+/// Iterated shape extraction starting from the first series, the way
+/// k-Shape refines a cluster centroid.
+pub fn kshape_centroid(series: &[Vec<f64>], iterations: usize) -> Vec<f64> {
+    assert!(!series.is_empty(), "cannot extract a shape from nothing");
+    let mut reference = {
+        let mut r = series[0].clone();
+        znorm(&mut r);
+        r
+    };
+    for _ in 0..iterations.max(1) {
+        reference = shape_extraction(series, &reference);
+    }
+    reference
+}
+
+/// `Q A Q` with `Q = I - (1/m) 1 1^T` (projects out the mean on both
+/// sides).
+fn center_both_sides(a: &Matrix) -> Matrix {
+    let m = a.rows();
+    let mf = m as f64;
+    // Row and column means, grand mean.
+    let mut row_mean = vec![0.0; m];
+    let mut col_mean = vec![0.0; m];
+    let mut grand = 0.0;
+    for i in 0..m {
+        for j in 0..m {
+            let v = a[(i, j)];
+            row_mean[i] += v;
+            col_mean[j] += v;
+            grand += v;
+        }
+    }
+    for v in row_mean.iter_mut() {
+        *v /= mf;
+    }
+    for v in col_mean.iter_mut() {
+        *v /= mf;
+    }
+    grand /= mf * mf;
+    Matrix::from_fn(m, m, |i, j| a[(i, j)] - row_mean[i] - col_mean[j] + grand)
+}
+
+fn znorm(x: &mut [f64]) {
+    let n = x.len() as f64;
+    let mean = x.iter().sum::<f64>() / n;
+    let sd = (x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n)
+        .sqrt()
+        .max(1e-12);
+    for v in x.iter_mut() {
+        *v = (*v - mean) / sd;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::Distance;
+    use crate::normalization::Normalization;
+    use crate::sliding::CrossCorrelation;
+
+    fn bump(m: usize, center: f64) -> Vec<f64> {
+        Normalization::ZScore.apply(
+            &(0..m)
+                .map(|i| (-((i as f64 - center) / 4.0).powi(2) / 2.0).exp())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn alignment_moves_the_peak_onto_the_reference() {
+        let reference = bump(64, 20.0);
+        let shifted = bump(64, 35.0);
+        let aligned = align_to(&reference, &shifted);
+        let peak = aligned
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak.abs_diff(20) <= 1, "peak at {peak}, expected ~20");
+    }
+
+    #[test]
+    fn alignment_of_identical_series_is_identity() {
+        let x = bump(32, 12.0);
+        let aligned = align_to(&x, &x);
+        for (a, b) in aligned.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn centroid_of_shifted_copies_matches_the_shape() {
+        // Several shifted copies of the same bump: the extracted shape
+        // should have SBD ~ 0 to each member.
+        let members: Vec<Vec<f64>> = [16.0, 22.0, 28.0, 34.0, 40.0]
+            .iter()
+            .map(|&c| bump(64, c))
+            .collect();
+        let centroid = kshape_centroid(&members, 3);
+        let sbd = CrossCorrelation::sbd();
+        for m in &members {
+            let d = sbd.distance(&centroid, m);
+            assert!(d < 0.12, "centroid too far from a member: {d}");
+        }
+    }
+
+    #[test]
+    fn centroid_is_z_normalized() {
+        let members: Vec<Vec<f64>> = [10.0, 20.0, 30.0].iter().map(|&c| bump(48, c)).collect();
+        let c = kshape_centroid(&members, 2);
+        let mean: f64 = c.iter().sum::<f64>() / c.len() as f64;
+        let var: f64 = c.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / c.len() as f64;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_separates_two_different_shapes() {
+        // The centroid of class A bumps stays closer to A members than to
+        // a sawtooth.
+        let a: Vec<Vec<f64>> = [15.0, 25.0, 35.0].iter().map(|&c| bump(64, c)).collect();
+        let saw = Normalization::ZScore
+            .apply(&(0..64).map(|i| (i % 8) as f64).collect::<Vec<_>>());
+        let centroid = kshape_centroid(&a, 2);
+        let sbd = CrossCorrelation::sbd();
+        assert!(sbd.distance(&centroid, &a[0]) < sbd.distance(&centroid, &saw));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing")]
+    fn empty_input_panics() {
+        let _ = kshape_centroid(&[], 1);
+    }
+}

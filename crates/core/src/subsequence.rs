@@ -1,0 +1,275 @@
+//! Subsequence similarity search: MASS and the matrix profile.
+//!
+//! The paper's introduction motivates distance measures through the
+//! tasks they fuel — querying, motif discovery, anomaly detection — and
+//! cites Mueen's MASS as "the fastest similarity search algorithm for
+//! time series subsequences under Euclidean distance". This module
+//! implements that stack on top of the workspace's FFT substrate:
+//!
+//! * [`sliding_mean_std`] — O(n) rolling statistics,
+//! * [`mass`] — the z-normalized Euclidean *distance profile* of a query
+//!   against every window of a long series, in O(n log n),
+//! * [`matrix_profile`] — the all-windows self-join (each window's
+//!   distance to its best non-trivial match), the primitive behind motif
+//!   and discord discovery,
+//! * [`top_motif`] / [`top_discord`] — the classic consumers.
+
+use tsdist_fft::cross_correlation;
+
+/// Rolling mean and (population) standard deviation of every length-`w`
+/// window of `x`. Returns `n - w + 1` pairs.
+///
+/// # Panics
+/// Panics if `w == 0` or `w > x.len()`.
+pub fn sliding_mean_std(x: &[f64], w: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(w > 0, "window must be positive");
+    assert!(w <= x.len(), "window longer than the series");
+    let n = x.len();
+    let wf = w as f64;
+    let mut means = Vec::with_capacity(n - w + 1);
+    let mut stds = Vec::with_capacity(n - w + 1);
+    let mut sum: f64 = x[..w].iter().sum();
+    let mut sum_sq: f64 = x[..w].iter().map(|v| v * v).sum();
+    for i in 0..=(n - w) {
+        if i > 0 {
+            sum += x[i + w - 1] - x[i - 1];
+            sum_sq += x[i + w - 1] * x[i + w - 1] - x[i - 1] * x[i - 1];
+        }
+        let mean = sum / wf;
+        let var = (sum_sq / wf - mean * mean).max(0.0);
+        means.push(mean);
+        stds.push(var.sqrt());
+    }
+    (means, stds)
+}
+
+/// MASS: the z-normalized Euclidean distance between `query` and every
+/// length-`|query|` window of `series`, computed with one FFT
+/// cross-correlation. Output length is `series.len() - query.len() + 1`.
+///
+/// Constant windows (zero variance) are reported at the maximum possible
+/// z-normalized distance `sqrt(4w)` unless the query is constant too.
+///
+/// # Panics
+/// Panics if the query is empty or longer than the series.
+pub fn mass(query: &[f64], series: &[f64]) -> Vec<f64> {
+    let w = query.len();
+    assert!(w > 0, "empty query");
+    assert!(w <= series.len(), "query longer than the series");
+    let wf = w as f64;
+
+    let q_mean = query.iter().sum::<f64>() / wf;
+    let q_var = query.iter().map(|v| (v - q_mean) * (v - q_mean)).sum::<f64>() / wf;
+    let q_std = q_var.sqrt();
+    let query_constant = q_std <= 1e-12;
+
+    // Dot products of the query against every window: the shifts
+    // 0..=(n - w) of the cross-correlation sequence.
+    let cc = cross_correlation(series, query);
+    let (means, stds) = sliding_mean_std(series, w);
+    let n_windows = series.len() - w + 1;
+
+    let mut out = Vec::with_capacity(n_windows);
+    for i in 0..n_windows {
+        // Shift s = i corresponds to index s + (w - 1) in our convention.
+        let qt = cc[i + w - 1];
+        let window_constant = stds[i] <= 1e-12;
+        let d2 = match (query_constant, window_constant) {
+            (true, true) => 0.0,
+            (true, false) | (false, true) => 4.0 * wf, // max distance
+            (false, false) => {
+                let corr = (qt - wf * q_mean * means[i]) / (wf * q_std * stds[i]);
+                (2.0 * wf * (1.0 - corr.clamp(-1.0, 1.0))).max(0.0)
+            }
+        };
+        out.push(d2.sqrt());
+    }
+    out
+}
+
+/// The matrix profile of `series` for window length `w`: for each window,
+/// the z-normalized ED to its nearest *non-trivial* match (exclusion zone
+/// `w / 2` around the window itself) and that match's index.
+///
+/// This is the O(n² log n) MASS-per-window formulation (STAMP without
+/// sampling) — ample for the workloads in this repository.
+///
+/// # Panics
+/// Panics if `w < 2` or fewer than two non-overlapping windows exist.
+pub fn matrix_profile(series: &[f64], w: usize) -> (Vec<f64>, Vec<usize>) {
+    assert!(w >= 2, "window too short");
+    assert!(
+        series.len() >= 2 * w,
+        "need at least two non-overlapping windows"
+    );
+    let n_windows = series.len() - w + 1;
+    let exclusion = (w / 2).max(1);
+
+    let mut profile = vec![f64::INFINITY; n_windows];
+    let mut index = vec![0usize; n_windows];
+    for i in 0..n_windows {
+        let query = &series[i..i + w];
+        let dists = mass(query, series);
+        let mut best = f64::INFINITY;
+        let mut best_j = usize::MAX;
+        for (j, &d) in dists.iter().enumerate() {
+            if j.abs_diff(i) <= exclusion {
+                continue; // trivial match
+            }
+            if d < best {
+                best = d;
+                best_j = j;
+            }
+        }
+        profile[i] = best;
+        index[i] = best_j;
+    }
+    (profile, index)
+}
+
+/// The top motif: the pair of windows with the smallest matrix-profile
+/// value, as `(i, j, distance)`.
+pub fn top_motif(series: &[f64], w: usize) -> (usize, usize, f64) {
+    let (profile, index) = matrix_profile(series, w);
+    let (i, &d) = profile
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite profile"))
+        .expect("non-empty profile");
+    (i, index[i], d)
+}
+
+/// The top discord: the window with the *largest* matrix-profile value
+/// (the subsequence farthest from everything else), as `(i, distance)`.
+pub fn top_discord(series: &[f64], w: usize) -> (usize, f64) {
+    let (profile, _) = matrix_profile(series, w);
+    let (i, &d) = profile
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite profile"))
+        .expect("non-empty profile");
+    (i, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn znorm_ed(a: &[f64], b: &[f64]) -> f64 {
+        let z = |x: &[f64]| -> Vec<f64> {
+            let n = x.len() as f64;
+            let mean = x.iter().sum::<f64>() / n;
+            let sd = (x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n)
+                .sqrt()
+                .max(1e-300);
+            x.iter().map(|v| (v - mean) / sd).collect()
+        };
+        let (za, zb) = (z(a), z(b));
+        za.iter()
+            .zip(&zb)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn sliding_stats_match_direct_computation() {
+        let x = [1.0, 4.0, 2.0, 8.0, 5.0, 7.0];
+        let w = 3;
+        let (means, stds) = sliding_mean_std(&x, w);
+        assert_eq!(means.len(), 4);
+        for i in 0..4 {
+            let window = &x[i..i + w];
+            let mean = window.iter().sum::<f64>() / w as f64;
+            let var = window.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / w as f64;
+            assert!((means[i] - mean).abs() < 1e-12);
+            assert!((stds[i] - var.sqrt()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mass_matches_naive_znormalized_ed() {
+        let series: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.7).sin() + (i as f64 * 0.13).cos() * 0.5)
+            .collect();
+        let query = series[10..22].to_vec();
+        let dists = mass(&query, &series);
+        assert_eq!(dists.len(), 64 - 12 + 1);
+        for (i, &d) in dists.iter().enumerate() {
+            let naive = znorm_ed(&query, &series[i..i + 12]);
+            assert!(
+                (d - naive).abs() < 1e-6,
+                "window {i}: mass {d} vs naive {naive}"
+            );
+        }
+        // The query's own position is an exact match.
+        assert!(dists[10] < 1e-6);
+    }
+
+    #[test]
+    fn mass_handles_constant_windows() {
+        let mut series = vec![0.5; 40];
+        for (i, v) in series.iter_mut().enumerate().skip(20).take(10) {
+            *v = (i as f64 * 0.9).sin();
+        }
+        let query: Vec<f64> = (0..8).map(|i| (i as f64 * 0.9).sin()).collect();
+        let dists = mass(&query, &series);
+        assert!(dists.iter().all(|d| d.is_finite()));
+        // Constant windows are maximally distant from a varying query.
+        assert!(dists[0] >= dists.iter().cloned().fold(f64::INFINITY, f64::min));
+    }
+
+    #[test]
+    fn matrix_profile_finds_planted_motif() {
+        // A noisy-ish base with the same pattern planted at 10 and 60.
+        let mut series: Vec<f64> = (0..100).map(|i| ((i * 37 % 19) as f64) / 7.0).collect();
+        let pattern: Vec<f64> = (0..12).map(|i| (i as f64 * 0.9).sin() * 3.0).collect();
+        series[10..22].copy_from_slice(&pattern);
+        series[60..72].copy_from_slice(&pattern);
+
+        let (i, j, d) = top_motif(&series, 12);
+        let pair = if i < j { (i, j) } else { (j, i) };
+        assert_eq!(pair, (10, 60), "motif at the planted positions");
+        assert!(d < 1e-6, "planted copies are exact: d = {d}");
+    }
+
+    #[test]
+    fn matrix_profile_finds_planted_discord() {
+        // A periodic signal with one corrupted cycle.
+        let period = 16;
+        let mut series: Vec<f64> = (0..10 * period)
+            .map(|i| (std::f64::consts::TAU * (i % period) as f64 / period as f64).sin())
+            .collect();
+        for (i, v) in series
+            .iter_mut()
+            .enumerate()
+            .skip(5 * period)
+            .take(period)
+        {
+            *v = 0.1 * *v + ((i * 7 % 5) as f64) / 2.0;
+        }
+        let (i, d) = top_discord(&series, period);
+        assert!(
+            i.abs_diff(5 * period) <= period,
+            "discord at {i}, expected near {}",
+            5 * period
+        );
+        assert!(d > 1.0);
+    }
+
+    #[test]
+    fn exclusion_zone_prevents_trivial_matches() {
+        let series: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+        let (profile, index) = matrix_profile(&series, 8);
+        for (i, &j) in index.iter().enumerate() {
+            assert!(i.abs_diff(j) > 4, "window {i} matched trivially at {j}");
+        }
+        assert!(profile.iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "two non-overlapping")]
+    fn too_short_series_panics() {
+        let _ = matrix_profile(&[1.0, 2.0, 3.0], 2);
+    }
+}

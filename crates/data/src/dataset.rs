@@ -1,0 +1,277 @@
+//! Labelled time-series datasets with a fixed train/test split.
+//!
+//! The paper's evaluation framework (Section 3) deliberately respects the
+//! train/test split shipped with each UCR dataset instead of re-sampling,
+//! to make the evaluation "as close to deterministic as possible". The
+//! [`Dataset`] type mirrors that: a named pair of labelled series
+//! collections whose split never changes.
+
+/// A class label. UCR labels are small integers; we normalize them to
+/// `usize` class indices at load/generation time.
+pub type Label = usize;
+
+/// A labelled time-series dataset with a fixed train/test split.
+///
+/// All series in a dataset have the same length (the preprocessing in
+/// [`crate::preprocess`] takes care of resampling and missing values
+/// before a `Dataset` is constructed).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (e.g. `"ECGFiveDays"` or `"synthetic/shift-03"`).
+    pub name: String,
+    /// Training series, one `Vec<f64>` per series.
+    pub train: Vec<Vec<f64>>,
+    /// Class label of each training series.
+    pub train_labels: Vec<Label>,
+    /// Test series.
+    pub test: Vec<Vec<f64>>,
+    /// Class label of each test series.
+    pub test_labels: Vec<Label>,
+}
+
+/// Errors raised when constructing or validating a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Train series and label counts disagree.
+    TrainLabelMismatch {
+        /// Number of training series.
+        series: usize,
+        /// Number of training labels.
+        labels: usize,
+    },
+    /// Test series and label counts disagree.
+    TestLabelMismatch {
+        /// Number of test series.
+        series: usize,
+        /// Number of test labels.
+        labels: usize,
+    },
+    /// A split is empty.
+    EmptySplit(&'static str),
+    /// Series lengths are not all equal.
+    UnequalLengths {
+        /// The expected (first-seen) length.
+        expected: usize,
+        /// The offending length.
+        found: usize,
+    },
+    /// A series contains NaN or infinite values.
+    NonFiniteValue {
+        /// Which split the bad series is in.
+        split: &'static str,
+        /// Index of the offending series.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::TrainLabelMismatch { series, labels } => {
+                write!(f, "{series} training series but {labels} labels")
+            }
+            DatasetError::TestLabelMismatch { series, labels } => {
+                write!(f, "{series} test series but {labels} labels")
+            }
+            DatasetError::EmptySplit(which) => write!(f, "empty {which} split"),
+            DatasetError::UnequalLengths { expected, found } => {
+                write!(f, "series length {found} differs from expected {expected}")
+            }
+            DatasetError::NonFiniteValue { split, index } => {
+                write!(f, "non-finite value in {split} series {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Constructs and validates a dataset.
+    pub fn new(
+        name: impl Into<String>,
+        train: Vec<Vec<f64>>,
+        train_labels: Vec<Label>,
+        test: Vec<Vec<f64>>,
+        test_labels: Vec<Label>,
+    ) -> Result<Self, DatasetError> {
+        let ds = Dataset {
+            name: name.into(),
+            train,
+            train_labels,
+            test,
+            test_labels,
+        };
+        ds.validate()?;
+        Ok(ds)
+    }
+
+    /// Checks the structural invariants (matching label counts, non-empty
+    /// splits, equal series lengths, finite values).
+    pub fn validate(&self) -> Result<(), DatasetError> {
+        if self.train.len() != self.train_labels.len() {
+            return Err(DatasetError::TrainLabelMismatch {
+                series: self.train.len(),
+                labels: self.train_labels.len(),
+            });
+        }
+        if self.test.len() != self.test_labels.len() {
+            return Err(DatasetError::TestLabelMismatch {
+                series: self.test.len(),
+                labels: self.test_labels.len(),
+            });
+        }
+        if self.train.is_empty() {
+            return Err(DatasetError::EmptySplit("train"));
+        }
+        if self.test.is_empty() {
+            return Err(DatasetError::EmptySplit("test"));
+        }
+        let m = self.train[0].len();
+        for (split, series) in [("train", &self.train), ("test", &self.test)] {
+            for (i, s) in series.iter().enumerate() {
+                if s.len() != m {
+                    return Err(DatasetError::UnequalLengths {
+                        expected: m,
+                        found: s.len(),
+                    });
+                }
+                if s.iter().any(|v| !v.is_finite()) {
+                    return Err(DatasetError::NonFiniteValue { split, index: i });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Length of every series in the dataset.
+    pub fn series_len(&self) -> usize {
+        self.train[0].len()
+    }
+
+    /// Number of training series.
+    pub fn n_train(&self) -> usize {
+        self.train.len()
+    }
+
+    /// Number of test series.
+    pub fn n_test(&self) -> usize {
+        self.test.len()
+    }
+
+    /// Number of distinct classes across both splits.
+    pub fn n_classes(&self) -> usize {
+        let mut labels: Vec<Label> = self
+            .train_labels
+            .iter()
+            .chain(&self.test_labels)
+            .copied()
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+
+    /// Applies a transformation to every series in both splits, returning
+    /// a new dataset. Used to apply normalizations up front.
+    pub fn map_series(&self, mut f: impl FnMut(&[f64]) -> Vec<f64>) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            train: self.train.iter().map(|s| f(s)).collect(),
+            train_labels: self.train_labels.clone(),
+            test: self.test.iter().map(|s| f(s)).collect(),
+            test_labels: self.test_labels.clone(),
+        }
+    }
+
+    /// Returns a copy with at most `n` training series, preserving order
+    /// (used by the Figure 10 convergence experiment).
+    pub fn with_train_prefix(&self, n: usize) -> Dataset {
+        let n = n.min(self.train.len());
+        Dataset {
+            name: self.name.clone(),
+            train: self.train[..n].to_vec(),
+            train_labels: self.train_labels[..n].to_vec(),
+            test: self.test.clone(),
+            test_labels: self.test_labels.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            "tiny",
+            vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+            vec![0, 1],
+            vec![vec![0.5, 0.5]],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_dataset_passes() {
+        let d = tiny();
+        assert_eq!(d.series_len(), 2);
+        assert_eq!(d.n_train(), 2);
+        assert_eq!(d.n_test(), 1);
+        assert_eq!(d.n_classes(), 2);
+    }
+
+    #[test]
+    fn label_mismatch_is_rejected() {
+        let e = Dataset::new("bad", vec![vec![1.0]], vec![], vec![vec![1.0]], vec![0]);
+        assert!(matches!(e, Err(DatasetError::TrainLabelMismatch { .. })));
+    }
+
+    #[test]
+    fn unequal_lengths_rejected() {
+        let e = Dataset::new(
+            "bad",
+            vec![vec![1.0, 2.0], vec![1.0]],
+            vec![0, 1],
+            vec![vec![1.0, 2.0]],
+            vec![0],
+        );
+        assert!(matches!(e, Err(DatasetError::UnequalLengths { .. })));
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let e = Dataset::new(
+            "bad",
+            vec![vec![1.0, f64::NAN]],
+            vec![0],
+            vec![vec![1.0, 2.0]],
+            vec![0],
+        );
+        assert!(matches!(e, Err(DatasetError::NonFiniteValue { .. })));
+    }
+
+    #[test]
+    fn empty_split_rejected() {
+        let e = Dataset::new("bad", vec![], vec![], vec![vec![1.0]], vec![0]);
+        assert!(matches!(e, Err(DatasetError::EmptySplit("train"))));
+    }
+
+    #[test]
+    fn map_series_preserves_structure() {
+        let d = tiny().map_series(|s| s.iter().map(|v| v * 2.0).collect());
+        assert_eq!(d.train[0], vec![0.0, 2.0]);
+        assert_eq!(d.train_labels, vec![0, 1]);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn train_prefix_truncates() {
+        let d = tiny().with_train_prefix(1);
+        assert_eq!(d.n_train(), 1);
+        assert_eq!(d.train_labels, vec![0]);
+        // Larger than available is a no-op.
+        assert_eq!(tiny().with_train_prefix(99).n_train(), 2);
+    }
+}

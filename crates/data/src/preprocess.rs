@@ -1,0 +1,166 @@
+//! Preprocessing steps that make raw archives compatible with all distance
+//! measures, mirroring the paper's handling of the 2018 UCR archive:
+//! shorter series are resampled to the longest length in the dataset and
+//! missing values are filled with linear interpolation (Section 3,
+//! "Datasets").
+
+/// Fills NaN gaps by linear interpolation between the nearest finite
+/// neighbours; leading/trailing gaps are extended from the nearest finite
+/// value. A series with no finite value at all becomes all zeros.
+pub fn fill_missing_linear(series: &[f64]) -> Vec<f64> {
+    let n = series.len();
+    let mut out = series.to_vec();
+    if n == 0 {
+        return out;
+    }
+    if series.iter().all(|v| !v.is_finite()) {
+        return vec![0.0; n];
+    }
+
+    // Forward pass: indices of finite values.
+    let finite: Vec<usize> = (0..n).filter(|&i| series[i].is_finite()).collect();
+
+    // Leading gap.
+    let first = finite[0];
+    for v in out.iter_mut().take(first) {
+        *v = series[first];
+    }
+    // Trailing gap.
+    let last = *finite.last().expect("at least one finite value");
+    for v in out.iter_mut().skip(last + 1) {
+        *v = series[last];
+    }
+    // Interior gaps.
+    for w in finite.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if b > a + 1 {
+            let va = series[a];
+            let vb = series[b];
+            let span = (b - a) as f64;
+            for (i, slot) in out.iter_mut().enumerate().take(b).skip(a + 1) {
+                let t = (i - a) as f64 / span;
+                *slot = va + t * (vb - va);
+            }
+        }
+    }
+    out
+}
+
+/// Linearly resamples `series` to `target_len` points, preserving the first
+/// and last samples. `target_len == series.len()` is a clone.
+///
+/// # Panics
+/// Panics if `series` is empty or `target_len == 0`.
+pub fn resample_linear(series: &[f64], target_len: usize) -> Vec<f64> {
+    assert!(!series.is_empty(), "cannot resample an empty series");
+    assert!(target_len > 0, "target length must be positive");
+    let n = series.len();
+    if n == 1 {
+        return vec![series[0]; target_len];
+    }
+    if target_len == 1 {
+        return vec![series[0]];
+    }
+    let mut out = Vec::with_capacity(target_len);
+    let scale = (n - 1) as f64 / (target_len - 1) as f64;
+    for i in 0..target_len {
+        let pos = i as f64 * scale;
+        let lo = pos.floor() as usize;
+        if lo + 1 >= n {
+            out.push(series[n - 1]);
+        } else {
+            let frac = pos - lo as f64;
+            out.push(series[lo] * (1.0 - frac) + series[lo + 1] * frac);
+        }
+    }
+    out
+}
+
+/// Applies the paper's archive-compatibility pipeline to a ragged,
+/// possibly-NaN-containing collection: fill missing values, then resample
+/// every series to the longest length present.
+pub fn harmonize(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let max_len = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    series
+        .iter()
+        .map(|s| {
+            let filled = fill_missing_linear(s);
+            resample_linear(&filled, max_len)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_gap_is_interpolated() {
+        let s = [1.0, f64::NAN, f64::NAN, 4.0];
+        assert_eq!(fill_missing_linear(&s), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn edge_gaps_are_extended() {
+        let s = [f64::NAN, 2.0, 3.0, f64::NAN, f64::NAN];
+        assert_eq!(fill_missing_linear(&s), vec![2.0, 2.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn all_nan_becomes_zeros() {
+        let s = [f64::NAN, f64::NAN];
+        assert_eq!(fill_missing_linear(&s), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn no_gaps_is_identity() {
+        let s = [1.0, -2.0, 3.5];
+        assert_eq!(fill_missing_linear(&s), s.to_vec());
+    }
+
+    #[test]
+    fn resample_identity_length() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(resample_linear(&s, 3), s.to_vec());
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let s = [5.0, 1.0, 9.0, 2.0];
+        for &len in &[2usize, 7, 16, 101] {
+            let r = resample_linear(&s, len);
+            assert_eq!(r.len(), len);
+            assert_eq!(r[0], 5.0);
+            assert!((r[len - 1] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upsampling_a_line_stays_a_line() {
+        let s = [0.0, 1.0, 2.0, 3.0];
+        let r = resample_linear(&s, 7);
+        for (i, v) in r.iter().enumerate() {
+            assert!((v - i as f64 * 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_series_resamples_to_constant() {
+        let r = resample_linear(&[2.5], 5);
+        assert_eq!(r, vec![2.5; 5]);
+    }
+
+    #[test]
+    fn harmonize_produces_equal_lengths() {
+        let raw = vec![
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![1.0, f64::NAN, 3.0],
+            vec![2.0, 2.0],
+        ];
+        let fixed = harmonize(&raw);
+        assert!(fixed.iter().all(|s| s.len() == 5));
+        assert!(fixed.iter().flatten().all(|v| v.is_finite()));
+        // The NaN in the second series was filled before resampling.
+        assert!((fixed[1][2] - 2.0).abs() < 1e-12);
+    }
+}

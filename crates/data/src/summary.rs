@@ -1,0 +1,169 @@
+//! Archive summaries — the descriptive statistics the paper quotes for
+//! the UCR archive ("each dataset contains from 40 to 24,000 time series,
+//! the lengths vary from 15 to 2,844, ...").
+
+use crate::dataset::Dataset;
+
+/// Descriptive statistics of one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Training-series count.
+    pub n_train: usize,
+    /// Test-series count.
+    pub n_test: usize,
+    /// Series length.
+    pub length: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Fraction of the majority class over both splits (class imbalance).
+    pub majority_fraction: f64,
+}
+
+impl DatasetSummary {
+    /// Summarizes a dataset.
+    pub fn of(ds: &Dataset) -> Self {
+        let mut counts: Vec<usize> = Vec::new();
+        for &l in ds.train_labels.iter().chain(&ds.test_labels) {
+            if l >= counts.len() {
+                counts.resize(l + 1, 0);
+            }
+            counts[l] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        let majority = counts.iter().copied().max().unwrap_or(0);
+        DatasetSummary {
+            name: ds.name.clone(),
+            n_train: ds.n_train(),
+            n_test: ds.n_test(),
+            length: ds.series_len(),
+            n_classes: ds.n_classes(),
+            majority_fraction: if total == 0 {
+                0.0
+            } else {
+                majority as f64 / total as f64
+            },
+        }
+    }
+}
+
+/// Aggregate statistics over an archive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveSummary {
+    /// Number of datasets.
+    pub n_datasets: usize,
+    /// Smallest / largest per-dataset series count (train + test).
+    pub series_count_range: (usize, usize),
+    /// Smallest / largest series length.
+    pub length_range: (usize, usize),
+    /// Smallest / largest class count.
+    pub class_range: (usize, usize),
+    /// Per-dataset summaries.
+    pub datasets: Vec<DatasetSummary>,
+}
+
+impl ArchiveSummary {
+    /// Summarizes an archive.
+    ///
+    /// # Panics
+    /// Panics on an empty archive.
+    pub fn of(archive: &[Dataset]) -> Self {
+        assert!(!archive.is_empty(), "empty archive");
+        let datasets: Vec<DatasetSummary> = archive.iter().map(DatasetSummary::of).collect();
+        let counts: Vec<usize> = datasets.iter().map(|d| d.n_train + d.n_test).collect();
+        let lengths: Vec<usize> = datasets.iter().map(|d| d.length).collect();
+        let classes: Vec<usize> = datasets.iter().map(|d| d.n_classes).collect();
+        let range = |v: &[usize]| {
+            (
+                v.iter().copied().min().expect("non-empty"),
+                v.iter().copied().max().expect("non-empty"),
+            )
+        };
+        ArchiveSummary {
+            n_datasets: archive.len(),
+            series_count_range: range(&counts),
+            length_range: range(&lengths),
+            class_range: range(&classes),
+            datasets,
+        }
+    }
+
+    /// Renders a text table of the archive (one row per dataset plus an
+    /// aggregate header), like the UCR archive's listing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "archive: {} datasets; series/dataset {}-{}; lengths {}-{}; classes {}-{}\n",
+            self.n_datasets,
+            self.series_count_range.0,
+            self.series_count_range.1,
+            self.length_range.0,
+            self.length_range.1,
+            self.class_range.0,
+            self.class_range.1,
+        ));
+        out.push_str(&format!(
+            "{:<28} {:>6} {:>6} {:>7} {:>8} {:>9}\n",
+            "dataset", "train", "test", "length", "classes", "majority"
+        ));
+        for d in &self.datasets {
+            out.push_str(&format!(
+                "{:<28} {:>6} {:>6} {:>7} {:>8} {:>9.3}\n",
+                d.name, d.n_train, d.n_test, d.length, d.n_classes, d.majority_fraction
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate_archive, ArchiveConfig};
+
+    #[test]
+    fn dataset_summary_fields() {
+        let ds = Dataset::new(
+            "t",
+            vec![vec![1.0, 2.0], vec![2.0, 3.0], vec![3.0, 4.0]],
+            vec![0, 0, 1],
+            vec![vec![1.5, 2.5]],
+            vec![0],
+        )
+        .unwrap();
+        let s = DatasetSummary::of(&ds);
+        assert_eq!(s.n_train, 3);
+        assert_eq!(s.n_test, 1);
+        assert_eq!(s.length, 2);
+        assert_eq!(s.n_classes, 2);
+        assert!((s.majority_fraction - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn archive_summary_ranges_cover_all_datasets() {
+        let archive = generate_archive(&ArchiveConfig::quick(7, 5));
+        let s = ArchiveSummary::of(&archive);
+        assert_eq!(s.n_datasets, 7);
+        assert_eq!(s.datasets.len(), 7);
+        for d in &s.datasets {
+            assert!(d.length >= s.length_range.0 && d.length <= s.length_range.1);
+            assert!(d.n_classes >= s.class_range.0 && d.n_classes <= s.class_range.1);
+        }
+    }
+
+    #[test]
+    fn render_contains_every_dataset_name() {
+        let archive = generate_archive(&ArchiveConfig::quick(3, 5));
+        let text = ArchiveSummary::of(&archive).render();
+        for ds in &archive {
+            assert!(text.contains(&ds.name), "missing {}", ds.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty archive")]
+    fn empty_archive_panics() {
+        let _ = ArchiveSummary::of(&[]);
+    }
+}

@@ -1,0 +1,531 @@
+//! A seeded synthetic archive that stands in for the UCR Time-Series
+//! Archive.
+//!
+//! The real archive cannot be redistributed here, so we generate
+//! class-labelled datasets whose *distortion structure* reproduces the
+//! phenomena that drive the paper's findings:
+//!
+//! * **Shape** datasets: classes differ by smooth base shape; instances
+//!   add noise only. Lock-step measures suffice.
+//! * **Shifted** datasets: instances are randomly shifted in time. Sliding
+//!   measures (the NCC family) dominate lock-step ones — the mechanism
+//!   behind the paper's M3 finding.
+//! * **Warped** datasets: instances undergo smooth local time warping.
+//!   Elastic measures (DTW, MSM, TWE, ...) dominate — M4's territory.
+//! * **HeavyTailed** datasets: occasional large spikes contaminate the
+//!   noise. L1-family lock-step measures (Lorentzian, Manhattan) are more
+//!   robust than ED — the mechanism behind the paper's M2 finding.
+//! * **AmplitudeScaled** datasets: instances are rescaled/offset, so the
+//!   choice of normalization matters — M1's territory.
+//! * **Trended** datasets: instances carry random linear trends.
+//! * **Mixed** datasets: shift + warp + noise together, the hard case.
+//!
+//! Each dataset's class shapes, sizes, and distortion magnitudes are drawn
+//! from a per-dataset RNG seeded deterministically from the archive seed,
+//! so a given `ArchiveConfig` always produces the identical archive.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::preprocess::harmonize;
+
+/// The distortion archetype of a synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Archetype {
+    /// Distinct smooth shapes per class; additive Gaussian noise only.
+    Shape,
+    /// Shape + random time shift per instance.
+    Shifted,
+    /// Shape + smooth local time warping per instance.
+    Warped,
+    /// Shape + Gaussian noise contaminated with sparse large spikes.
+    HeavyTailed,
+    /// Shape + per-instance amplitude scaling and offset.
+    AmplitudeScaled,
+    /// Shape + random linear trend per instance.
+    Trended,
+    /// Shift + warp + noise together.
+    Mixed,
+}
+
+impl Archetype {
+    /// All archetypes, in the order the archive cycles through them.
+    pub const ALL: [Archetype; 7] = [
+        Archetype::Shape,
+        Archetype::Shifted,
+        Archetype::Warped,
+        Archetype::HeavyTailed,
+        Archetype::AmplitudeScaled,
+        Archetype::Trended,
+        Archetype::Mixed,
+    ];
+
+    /// Short name used in dataset names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Archetype::Shape => "shape",
+            Archetype::Shifted => "shift",
+            Archetype::Warped => "warp",
+            Archetype::HeavyTailed => "heavytail",
+            Archetype::AmplitudeScaled => "ampscale",
+            Archetype::Trended => "trend",
+            Archetype::Mixed => "mixed",
+        }
+    }
+}
+
+/// Configuration of the synthetic archive.
+#[derive(Debug, Clone)]
+pub struct ArchiveConfig {
+    /// Number of datasets to generate.
+    pub n_datasets: usize,
+    /// Master seed; everything is derived deterministically from it.
+    pub seed: u64,
+    /// Series length range (inclusive).
+    pub length: (usize, usize),
+    /// Number of classes range (inclusive).
+    pub classes: (usize, usize),
+    /// Total training-series count range (inclusive).
+    pub train_size: (usize, usize),
+    /// Total test-series count range (inclusive).
+    pub test_size: (usize, usize),
+    /// Fraction of datasets that carry missing values / varying lengths
+    /// (exercising the harmonization path, like the 2018 UCR archive).
+    pub irregular_fraction: f64,
+}
+
+impl ArchiveConfig {
+    /// A small archive for unit/integration tests (fast).
+    pub fn quick(n_datasets: usize, seed: u64) -> Self {
+        ArchiveConfig {
+            n_datasets,
+            seed,
+            length: (40, 80),
+            classes: (2, 4),
+            train_size: (12, 24),
+            test_size: (20, 40),
+            irregular_fraction: 0.1,
+        }
+    }
+
+    /// The default reproduction-scale archive: big enough for stable
+    /// statistics, small enough to run the full study on a laptop.
+    pub fn standard(n_datasets: usize, seed: u64) -> Self {
+        ArchiveConfig {
+            n_datasets,
+            seed,
+            length: (64, 160),
+            classes: (2, 6),
+            train_size: (20, 50),
+            test_size: (40, 90),
+            irregular_fraction: 0.08,
+        }
+    }
+}
+
+/// Generates the full archive described by `config`.
+pub fn generate_archive(config: &ArchiveConfig) -> Vec<Dataset> {
+    (0..config.n_datasets)
+        .map(|i| generate_dataset(config, i))
+        .collect()
+}
+
+/// Generates dataset `index` of the archive (deterministic in
+/// `(config.seed, index)`).
+pub fn generate_dataset(config: &ArchiveConfig, index: usize) -> Dataset {
+    let archetype = Archetype::ALL[index % Archetype::ALL.len()];
+    // SplitMix64-style seed derivation keeps per-dataset streams independent.
+    let seed = splitmix64(config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)));
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let m = rng.gen_range(config.length.0..=config.length.1);
+    let k = rng.gen_range(config.classes.0..=config.classes.1);
+    let n_train = rng.gen_range(config.train_size.0..=config.train_size.1).max(k);
+    let n_test = rng.gen_range(config.test_size.0..=config.test_size.1).max(k);
+    let irregular = rng.gen_bool(config.irregular_fraction);
+
+    let params = DistortionParams::sample(archetype, &mut rng);
+
+    // Classes are *related*: every class shape is the dataset's base shape
+    // plus a small class-specific delta. The separation factor controls
+    // dataset difficulty — with independent random shapes per class every
+    // measure scores near 100% and no differences are observable; related
+    // classes put accuracies in the UCR-like 0.5-0.9 band.
+    let base = random_shape(&mut rng, m);
+    let separation = rng.gen_range(0.25..0.6);
+    let shapes: Vec<Vec<f64>> = (0..k)
+        .map(|_| {
+            let delta = random_shape(&mut rng, m);
+            let mut shape: Vec<f64> = base
+                .iter()
+                .zip(&delta)
+                .map(|(b, d)| b + separation * d)
+                .collect();
+            znorm_in_place(&mut shape);
+            shape
+        })
+        .collect();
+
+    let make_split = |n: usize, rng: &mut StdRng| -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut series = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            // Round-robin guarantees every class appears in both splits.
+            let class = i % k;
+            labels.push(class);
+            series.push(generate_instance(&shapes[class], &params, rng));
+        }
+        (series, labels)
+    };
+
+    let (mut train, train_labels) = make_split(n_train, &mut rng);
+    let (mut test, test_labels) = make_split(n_test, &mut rng);
+
+    if irregular {
+        inject_irregularities(&mut train, &mut rng);
+        inject_irregularities(&mut test, &mut rng);
+        let n_train_series = train.len();
+        let mut all = train;
+        all.extend(test);
+        let fixed = harmonize(&all);
+        test = fixed[n_train_series..].to_vec();
+        train = fixed[..n_train_series].to_vec();
+    }
+
+    let name = format!("synthetic/{}-{:03}", archetype.name(), index);
+    Dataset::new(name, train, train_labels, test, test_labels)
+        .expect("generator produced an invalid dataset")
+}
+
+/// Per-dataset distortion magnitudes, sampled once per dataset so datasets
+/// of the same archetype still differ in difficulty.
+#[derive(Debug, Clone, Copy)]
+struct DistortionParams {
+    noise_sigma: f64,
+    max_shift_frac: f64,
+    warp_strength: f64,
+    spike_prob: f64,
+    spike_scale: f64,
+    amp_range: (f64, f64),
+    offset_range: (f64, f64),
+    trend_slope: f64,
+}
+
+impl DistortionParams {
+    fn sample(archetype: Archetype, rng: &mut StdRng) -> Self {
+        let mut p = DistortionParams {
+            noise_sigma: rng.gen_range(0.5..1.0),
+            max_shift_frac: 0.0,
+            warp_strength: 0.0,
+            spike_prob: 0.0,
+            spike_scale: 0.0,
+            amp_range: (1.0, 1.0),
+            offset_range: (0.0, 0.0),
+            trend_slope: 0.0,
+        };
+        match archetype {
+            Archetype::Shape => {}
+            Archetype::Shifted => {
+                p.max_shift_frac = rng.gen_range(0.15..0.35);
+            }
+            Archetype::Warped => {
+                p.warp_strength = rng.gen_range(0.35..0.75);
+                p.noise_sigma *= 0.8;
+            }
+            Archetype::HeavyTailed => {
+                p.spike_prob = rng.gen_range(0.02..0.06);
+                p.spike_scale = rng.gen_range(4.0..9.0);
+            }
+            Archetype::AmplitudeScaled => {
+                p.amp_range = (0.4, 2.5);
+                p.offset_range = (-2.0, 2.0);
+            }
+            Archetype::Trended => {
+                p.trend_slope = rng.gen_range(1.0..3.0);
+            }
+            Archetype::Mixed => {
+                p.max_shift_frac = rng.gen_range(0.08..0.2);
+                p.warp_strength = rng.gen_range(0.2..0.45);
+                p.noise_sigma *= 0.9;
+            }
+        }
+        p
+    }
+}
+
+/// A smooth random base shape of length `m`: a short random Fourier series
+/// plus a few Gaussian bumps, z-normalized.
+fn random_shape(rng: &mut StdRng, m: usize) -> Vec<f64> {
+    let harmonics = rng.gen_range(2..=5);
+    let mut freqs = Vec::with_capacity(harmonics);
+    let mut amps = Vec::with_capacity(harmonics);
+    let mut phases = Vec::with_capacity(harmonics);
+    for h in 0..harmonics {
+        freqs.push(rng.gen_range(1.0..7.0));
+        amps.push(rng.gen_range(0.4..1.0) / (h as f64 + 1.0));
+        phases.push(rng.gen_range(0.0..std::f64::consts::TAU));
+    }
+    let n_bumps = rng.gen_range(1..=3);
+    let mut bumps = Vec::with_capacity(n_bumps);
+    for _ in 0..n_bumps {
+        let center = rng.gen_range(0.1..0.9);
+        let width = rng.gen_range(0.02..0.12);
+        let height: f64 = rng.gen_range(0.8..2.2) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        bumps.push((center, width, height));
+    }
+
+    let mut shape: Vec<f64> = (0..m)
+        .map(|i| {
+            let t = i as f64 / m as f64;
+            let mut v = 0.0;
+            for h in 0..harmonics {
+                v += amps[h] * (std::f64::consts::TAU * freqs[h] * t + phases[h]).sin();
+            }
+            for &(c, w, height) in &bumps {
+                let d = (t - c) / w;
+                v += height * (-0.5 * d * d).exp();
+            }
+            v
+        })
+        .collect();
+    znorm_in_place(&mut shape);
+    shape
+}
+
+fn znorm_in_place(x: &mut [f64]) {
+    let n = x.len() as f64;
+    let mean = x.iter().sum::<f64>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let sd = var.sqrt().max(1e-12);
+    for v in x.iter_mut() {
+        *v = (*v - mean) / sd;
+    }
+}
+
+/// Samples one instance of a class shape with the dataset's distortions.
+fn generate_instance(shape: &[f64], p: &DistortionParams, rng: &mut StdRng) -> Vec<f64> {
+    let m = shape.len();
+
+    // 1. Smooth monotone time warp (identity when warp_strength == 0).
+    let warped: Vec<f64> = if p.warp_strength > 0.0 {
+        let warp_map = random_warp_map(rng, m, p.warp_strength);
+        warp_map
+            .iter()
+            .map(|&pos| sample_linear(shape, pos * (m - 1) as f64))
+            .collect()
+    } else {
+        shape.to_vec()
+    };
+
+    // 2. Circular shift.
+    let shifted: Vec<f64> = if p.max_shift_frac > 0.0 {
+        let max_s = ((m as f64) * p.max_shift_frac) as isize;
+        let s = rng.gen_range(-max_s..=max_s);
+        (0..m)
+            .map(|i| {
+                let j = (i as isize - s).rem_euclid(m as isize) as usize;
+                warped[j]
+            })
+            .collect()
+    } else {
+        warped
+    };
+
+    // 3. Amplitude / offset / trend / noise / spikes.
+    let amp = if p.amp_range.0 != p.amp_range.1 {
+        rng.gen_range(p.amp_range.0..p.amp_range.1)
+    } else {
+        1.0
+    };
+    let offset = if p.offset_range.0 != p.offset_range.1 {
+        rng.gen_range(p.offset_range.0..p.offset_range.1)
+    } else {
+        0.0
+    };
+    let slope = if p.trend_slope > 0.0 {
+        rng.gen_range(-p.trend_slope..p.trend_slope)
+    } else {
+        0.0
+    };
+
+    (0..m)
+        .map(|i| {
+            let t = i as f64 / m as f64;
+            let mut v = amp * shifted[i] + offset + slope * t;
+            v += p.noise_sigma * gaussian(rng);
+            if p.spike_prob > 0.0 && rng.gen_bool(p.spike_prob) {
+                v += p.spike_scale * gaussian(rng);
+            }
+            v
+        })
+        .collect()
+}
+
+/// A smooth monotone map `[0,1] -> [0,1]` built from a random piecewise-
+/// linear density with `strength` controlling how far it bends from the
+/// identity.
+fn random_warp_map(rng: &mut StdRng, m: usize, strength: f64) -> Vec<f64> {
+    let knots = 6;
+    let mut increments: Vec<f64> = (0..knots)
+        .map(|_| rng.gen_range((1.0 - strength).max(0.05)..(1.0 + strength)))
+        .collect();
+    let total: f64 = increments.iter().sum();
+    for v in &mut increments {
+        *v /= total;
+    }
+    // Cumulative knot positions of the warp at knot boundaries.
+    let mut cum = vec![0.0];
+    for &inc in &increments {
+        cum.push(cum.last().unwrap() + inc);
+    }
+    (0..m)
+        .map(|i| {
+            let t = i as f64 / (m.max(2) - 1) as f64;
+            let seg = ((t * knots as f64).floor() as usize).min(knots - 1);
+            let frac = t * knots as f64 - seg as f64;
+            (cum[seg] + frac * increments[seg]).clamp(0.0, 1.0)
+        })
+        .collect()
+}
+
+/// Linear interpolation of `x` at fractional position `pos` (clamped).
+fn sample_linear(x: &[f64], pos: f64) -> f64 {
+    let pos = pos.clamp(0.0, (x.len() - 1) as f64);
+    let lo = pos.floor() as usize;
+    if lo + 1 >= x.len() {
+        x[x.len() - 1]
+    } else {
+        let frac = pos - lo as f64;
+        x[lo] * (1.0 - frac) + x[lo + 1] * frac
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids a rand_distr dependency).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Knocks NaN holes into ~5% of values and truncates a few series, to
+/// exercise the harmonization path.
+fn inject_irregularities(series: &mut [Vec<f64>], rng: &mut StdRng) {
+    for s in series.iter_mut() {
+        if rng.gen_bool(0.3) {
+            let holes = (s.len() / 20).max(1);
+            for _ in 0..holes {
+                let i = rng.gen_range(0..s.len());
+                s[i] = f64::NAN;
+            }
+        }
+        if rng.gen_bool(0.2) && s.len() > 10 {
+            let new_len = rng.gen_range(s.len() * 7 / 10..s.len());
+            s.truncate(new_len);
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ArchiveConfig::quick(7, 42);
+        let a = generate_archive(&cfg);
+        let b = generate_archive(&cfg);
+        assert_eq!(a.len(), 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.train, y.train);
+            assert_eq!(x.test, y.test);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_dataset(&ArchiveConfig::quick(1, 1), 0);
+        let b = generate_dataset(&ArchiveConfig::quick(1, 2), 0);
+        assert_ne!(a.train, b.train);
+    }
+
+    #[test]
+    fn all_archetypes_are_cycled() {
+        let cfg = ArchiveConfig::quick(14, 7);
+        let archive = generate_archive(&cfg);
+        for (i, arch) in Archetype::ALL.iter().enumerate() {
+            assert!(archive[i].name.contains(arch.name()));
+            assert!(archive[i + 7].name.contains(arch.name()));
+        }
+    }
+
+    #[test]
+    fn datasets_are_valid_and_within_config_bounds() {
+        let cfg = ArchiveConfig::standard(14, 3);
+        for ds in generate_archive(&cfg) {
+            ds.validate().unwrap();
+            assert!(ds.series_len() >= cfg.length.0);
+            assert!(ds.n_classes() >= cfg.classes.0 && ds.n_classes() <= cfg.classes.1);
+            assert!(ds.n_train() >= cfg.train_size.0.min(ds.n_classes()));
+        }
+    }
+
+    #[test]
+    fn every_class_appears_in_both_splits() {
+        let cfg = ArchiveConfig::quick(7, 11);
+        for ds in generate_archive(&cfg) {
+            let k = ds.n_classes();
+            let mut train_classes: Vec<usize> = ds.train_labels.clone();
+            train_classes.sort_unstable();
+            train_classes.dedup();
+            assert_eq!(train_classes.len(), k, "{}", ds.name);
+            let mut test_classes: Vec<usize> = ds.test_labels.clone();
+            test_classes.sort_unstable();
+            test_classes.dedup();
+            assert_eq!(test_classes.len(), k, "{}", ds.name);
+        }
+    }
+
+    #[test]
+    fn warp_map_is_monotone_and_spans_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let map = random_warp_map(&mut rng, 100, 0.6);
+            assert!(map[0] >= 0.0 && map[0] < 0.05);
+            assert!(*map.last().unwrap() > 0.95 && *map.last().unwrap() <= 1.0);
+            for w in map.windows(2) {
+                assert!(w[1] >= w[0] - 1e-12, "warp map not monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn base_shapes_are_z_normalized() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = random_shape(&mut rng, 128);
+        let mean: f64 = s.iter().sum::<f64>() / s.len() as f64;
+        let var: f64 = s.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / s.len() as f64;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

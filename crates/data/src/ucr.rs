@@ -1,0 +1,362 @@
+//! Loader for the UCR archive text format.
+//!
+//! Each line of a UCR file is `label<sep>v1<sep>v2<sep>...` where the
+//! separator is a comma (2018 archive) or tab/whitespace (older
+//! releases). Missing values appear as `NaN`. Labels may be arbitrary
+//! integers (including negatives); they are remapped to dense `0..k`
+//! class indices, consistently across the train and test files.
+//!
+//! The loader applies the paper's compatibility pipeline
+//! ([`crate::preprocess::harmonize`]) so that varying-length or
+//! missing-value datasets come out rectangular and finite, exactly as the
+//! paper prepared the 2018 archive.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use crate::dataset::{Dataset, DatasetError};
+use crate::preprocess::harmonize;
+
+/// Errors raised while parsing UCR-format data.
+#[derive(Debug)]
+pub enum UcrError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (bad number, missing label, no values).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The parsed data failed dataset validation.
+    Invalid(DatasetError),
+}
+
+impl fmt::Display for UcrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UcrError::Io(e) => write!(f, "I/O error: {e}"),
+            UcrError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            UcrError::Invalid(e) => write!(f, "invalid dataset: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UcrError {}
+
+impl From<std::io::Error> for UcrError {
+    fn from(e: std::io::Error) -> Self {
+        UcrError::Io(e)
+    }
+}
+
+/// One parsed split: raw labels and (possibly ragged, NaN-containing) series.
+#[derive(Debug, Clone, Default)]
+pub struct RawSplit {
+    /// Raw labels as they appear in the file.
+    pub labels: Vec<i64>,
+    /// Raw series values.
+    pub series: Vec<Vec<f64>>,
+}
+
+/// Parses UCR-format text. Empty lines are skipped. `NaN` (any case)
+/// parses as a missing value.
+pub fn parse_ucr_text(text: &str) -> Result<RawSplit, UcrError> {
+    let mut split = RawSplit::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let sep_is_comma = line.contains(',');
+        let mut fields = if sep_is_comma {
+            itertools_split(line, ',')
+        } else {
+            line.split_whitespace().map(str::to_owned).collect()
+        };
+        if fields.len() < 2 {
+            return Err(UcrError::Parse {
+                line: lineno + 1,
+                message: "expected a label followed by at least one value".into(),
+            });
+        }
+        let label_str = fields.remove(0);
+        // UCR labels are integral but sometimes serialized as "1.0".
+        let label = label_str
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.fract() == 0.0 && v.is_finite())
+            .map(|v| v as i64)
+            .ok_or_else(|| UcrError::Parse {
+                line: lineno + 1,
+                message: format!("bad label {label_str:?}"),
+            })?;
+        let mut values = Vec::with_capacity(fields.len());
+        for fstr in &fields {
+            if fstr.eq_ignore_ascii_case("nan") || fstr.is_empty() {
+                values.push(f64::NAN);
+            } else {
+                let v: f64 = fstr.parse().map_err(|_| UcrError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad value {fstr:?}"),
+                })?;
+                values.push(v);
+            }
+        }
+        // Trailing NaNs in the 2018 archive denote varying lengths: trim them
+        // so resampling works on the real observations.
+        while values.len() > 1 && values.last().is_some_and(|v| v.is_nan()) {
+            values.pop();
+        }
+        split.labels.push(label);
+        split.series.push(values);
+    }
+    Ok(split)
+}
+
+fn itertools_split(line: &str, sep: char) -> Vec<String> {
+    line.split(sep).map(|s| s.trim().to_owned()).collect()
+}
+
+/// Builds a [`Dataset`] from two parsed splits: remaps labels to dense
+/// class indices (consistent across splits) and harmonizes lengths and
+/// missing values across *both* splits together, so train and test end up
+/// with the same series length.
+pub fn dataset_from_splits(
+    name: impl Into<String>,
+    train: RawSplit,
+    test: RawSplit,
+) -> Result<Dataset, UcrError> {
+    let mut label_map: BTreeMap<i64, usize> = BTreeMap::new();
+    for l in train.labels.iter().chain(&test.labels) {
+        let next = label_map.len();
+        label_map.entry(*l).or_insert(next);
+    }
+    let train_labels: Vec<usize> = train.labels.iter().map(|l| label_map[l]).collect();
+    let test_labels: Vec<usize> = test.labels.iter().map(|l| label_map[l]).collect();
+
+    let n_train = train.series.len();
+    let mut all = train.series;
+    all.extend(test.series);
+    let fixed = harmonize(&all);
+    let test_series = fixed[n_train..].to_vec();
+    let train_series = fixed[..n_train].to_vec();
+
+    Dataset::new(name, train_series, train_labels, test_series, test_labels)
+        .map_err(UcrError::Invalid)
+}
+
+/// Serializes one split of a dataset as UCR-format tab-separated text
+/// (`label<TAB>v1<TAB>v2...`), the inverse of [`parse_ucr_text`]. Labels
+/// are written as the dense class indices.
+pub fn to_ucr_text(series: &[Vec<f64>], labels: &[usize]) -> String {
+    assert_eq!(series.len(), labels.len(), "series/label count mismatch");
+    let mut out = String::new();
+    for (s, label) in series.iter().zip(labels) {
+        out.push_str(&label.to_string());
+        for v in s {
+            out.push('\t');
+            out.push_str(&format!("{v:.12e}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a dataset as a `<Name>_TRAIN.tsv` / `<Name>_TEST.tsv` pair in
+/// `dir`, the archive's layout, so that [`load_ucr_dataset`] round-trips.
+pub fn write_ucr_dataset(ds: &Dataset, dir: impl AsRef<Path>) -> Result<(), UcrError> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    // Dataset names may contain '/' (the synthetic archive does); keep
+    // the last path component for the file stem.
+    let stem = ds.name.rsplit('/').next().unwrap_or(&ds.name);
+    fs::write(
+        dir.join(format!("{stem}_TRAIN.tsv")),
+        to_ucr_text(&ds.train, &ds.train_labels),
+    )?;
+    fs::write(
+        dir.join(format!("{stem}_TEST.tsv")),
+        to_ucr_text(&ds.test, &ds.test_labels),
+    )?;
+    Ok(())
+}
+
+/// Loads a dataset from a pair of UCR-format files (the archive's
+/// `<Name>_TRAIN.tsv` / `<Name>_TEST.tsv` convention).
+pub fn load_ucr_dataset(
+    name: impl Into<String>,
+    train_path: impl AsRef<Path>,
+    test_path: impl AsRef<Path>,
+) -> Result<Dataset, UcrError> {
+    let train = parse_ucr_text(&fs::read_to_string(train_path)?)?;
+    let test = parse_ucr_text(&fs::read_to_string(test_path)?)?;
+    dataset_from_splits(name, train, test)
+}
+
+/// Loads every dataset under `root`, where each subdirectory follows the
+/// UCR layout (`<Name>/<Name>_TRAIN.tsv` + `<Name>/<Name>_TEST.tsv`; the
+/// `.txt`/`.csv` extensions are also accepted). Subdirectories without a
+/// train/test pair are skipped. Datasets are returned sorted by name so
+/// runs are deterministic regardless of filesystem order.
+pub fn load_ucr_archive(root: impl AsRef<Path>) -> Result<Vec<Dataset>, UcrError> {
+    let root = root.as_ref();
+    let mut datasets = Vec::new();
+    let mut entries: Vec<_> = fs::read_dir(root)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    entries.sort();
+    for dir in entries {
+        let Some(name) = dir.file_name().map(|s| s.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        for ext in ["tsv", "txt", "csv"] {
+            let train = dir.join(format!("{name}_TRAIN.{ext}"));
+            let test = dir.join(format!("{name}_TEST.{ext}"));
+            if train.exists() && test.exists() {
+                datasets.push(load_ucr_dataset(&name, &train, &test)?);
+                break;
+            }
+        }
+    }
+    Ok(datasets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archive_walker_finds_written_datasets() {
+        let root = std::env::temp_dir().join("tsdist_ucr_archive_walk");
+        let _ = std::fs::remove_dir_all(&root);
+        for (name, label_offset) in [("Alpha", 0usize), ("Beta", 1usize)] {
+            let ds = Dataset::new(
+                name,
+                vec![vec![0.0, 1.0, 2.0], vec![2.0, 1.0, 0.0]],
+                vec![label_offset % 2, (label_offset + 1) % 2],
+                vec![vec![0.1, 1.1, 2.1]],
+                vec![0],
+            )
+            .unwrap();
+            write_ucr_dataset(&ds, root.join(name)).unwrap();
+        }
+        // A distractor directory without a pair.
+        std::fs::create_dir_all(root.join("NotADataset")).unwrap();
+        let archive = load_ucr_archive(&root).unwrap();
+        assert_eq!(archive.len(), 2);
+        assert_eq!(archive[0].name, "Alpha");
+        assert_eq!(archive[1].name, "Beta");
+    }
+
+    #[test]
+    fn parses_tab_separated() {
+        let text = "1\t0.5\t0.7\t0.9\n2\t1.0\t1.1\t1.2\n";
+        let s = parse_ucr_text(text).unwrap();
+        assert_eq!(s.labels, vec![1, 2]);
+        assert_eq!(s.series[0], vec![0.5, 0.7, 0.9]);
+    }
+
+    #[test]
+    fn parses_comma_separated_with_nan() {
+        let text = "-1,0.5,NaN,0.9\n1,1.0,1.1,1.2\n";
+        let s = parse_ucr_text(text).unwrap();
+        assert_eq!(s.labels, vec![-1, 1]);
+        assert!(s.series[0][1].is_nan());
+    }
+
+    #[test]
+    fn trailing_nans_are_trimmed_as_varying_length() {
+        let text = "1,0.5,0.7,NaN,NaN\n";
+        let s = parse_ucr_text(text).unwrap();
+        assert_eq!(s.series[0], vec![0.5, 0.7]);
+    }
+
+    #[test]
+    fn float_labels_are_accepted() {
+        let s = parse_ucr_text("3.0,1.0,2.0\n").unwrap();
+        assert_eq!(s.labels, vec![3]);
+    }
+
+    #[test]
+    fn bad_value_is_reported_with_line_number() {
+        let e = parse_ucr_text("1,0.5\n1,oops\n").unwrap_err();
+        match e {
+            UcrError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labels_are_densified_consistently() {
+        let train = parse_ucr_text("5,1.0,2.0\n-1,3.0,4.0\n").unwrap();
+        let test = parse_ucr_text("5,0.0,1.0\n").unwrap();
+        let ds = dataset_from_splits("t", train, test).unwrap();
+        // First-seen order: 5 -> 0, -1 -> 1.
+        assert_eq!(ds.train_labels, vec![0, 1]);
+        assert_eq!(ds.test_labels, vec![0]);
+        assert_eq!(ds.n_classes(), 2);
+    }
+
+    #[test]
+    fn ragged_series_are_harmonized_across_splits() {
+        let train = parse_ucr_text("1,1.0,2.0,3.0,4.0\n").unwrap();
+        let test = parse_ucr_text("1,5.0,6.0\n").unwrap();
+        let ds = dataset_from_splits("t", train, test).unwrap();
+        assert_eq!(ds.series_len(), 4);
+        assert_eq!(ds.test[0].len(), 4);
+        assert_eq!(ds.test[0][0], 5.0);
+        assert_eq!(ds.test[0][3], 6.0);
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let s = parse_ucr_text("\n1,1.0,2.0\n\n\n2,3.0,4.0\n").unwrap();
+        assert_eq!(s.labels.len(), 2);
+    }
+
+    #[test]
+    fn write_then_load_roundtrips_values() {
+        let ds = Dataset::new(
+            "demo",
+            vec![vec![0.125, -3.5, 2.0], vec![1.0, 2.0, 3.0]],
+            vec![0, 1],
+            vec![vec![-0.25, 0.5, 0.75]],
+            vec![1],
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("tsdist_ucr_write_test");
+        write_ucr_dataset(&ds, &dir).unwrap();
+        let back = load_ucr_dataset(
+            "demo",
+            dir.join("demo_TRAIN.tsv"),
+            dir.join("demo_TEST.tsv"),
+        )
+        .unwrap();
+        assert_eq!(back.train_labels, ds.train_labels);
+        assert_eq!(back.test_labels, ds.test_labels);
+        for (a, b) in back.train.iter().flatten().zip(ds.train.iter().flatten()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn load_from_files_roundtrip() {
+        let dir = std::env::temp_dir().join("tsdist_ucr_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let train_p = dir.join("X_TRAIN.tsv");
+        let test_p = dir.join("X_TEST.tsv");
+        std::fs::write(&train_p, "1\t0.1\t0.2\n2\t0.3\t0.4\n").unwrap();
+        std::fs::write(&test_p, "1\t0.5\t0.6\n").unwrap();
+        let ds = load_ucr_dataset("X", &train_p, &test_p).unwrap();
+        assert_eq!(ds.n_train(), 2);
+        assert_eq!(ds.n_test(), 1);
+        assert_eq!(ds.series_len(), 2);
+    }
+}

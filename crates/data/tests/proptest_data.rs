@@ -1,0 +1,106 @@
+//! Property-based tests for the dataset substrate.
+
+use proptest::prelude::*;
+use tsdist_data::preprocess::{fill_missing_linear, harmonize, resample_linear};
+use tsdist_data::synthetic::{generate_dataset, ArchiveConfig};
+use tsdist_data::ucr::{dataset_from_splits, parse_ucr_text};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Interpolation leaves fully finite series untouched and always
+    /// produces finite output for partially finite input.
+    #[test]
+    fn fill_missing_is_identity_on_finite_and_total_on_mixed(
+        values in proptest::collection::vec(-100.0f64..100.0, 1..64),
+        holes in proptest::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        prop_assert_eq!(fill_missing_linear(&values), values.clone());
+        let mut holey = values.clone();
+        for h in &holes {
+            let i = h.index(holey.len());
+            holey[i] = f64::NAN;
+        }
+        let filled = fill_missing_linear(&holey);
+        prop_assert_eq!(filled.len(), holey.len());
+        prop_assert!(filled.iter().all(|v| v.is_finite()));
+        // Finite positions are preserved.
+        for (orig, new) in holey.iter().zip(&filled) {
+            if orig.is_finite() {
+                prop_assert_eq!(*orig, *new);
+            }
+        }
+    }
+
+    /// Resampling preserves endpoints and the value range.
+    #[test]
+    fn resample_preserves_endpoints_and_range(
+        values in proptest::collection::vec(-100.0f64..100.0, 2..64),
+        target in 2usize..128,
+    ) {
+        let out = resample_linear(&values, target);
+        prop_assert_eq!(out.len(), target);
+        prop_assert!((out[0] - values[0]).abs() < 1e-9);
+        prop_assert!((out[target - 1] - values[values.len() - 1]).abs() < 1e-9);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(out.iter().all(|&v| v >= lo - 1e-9 && v <= hi + 1e-9));
+    }
+
+    /// Harmonization always yields a rectangular, finite collection.
+    #[test]
+    fn harmonize_is_rectangular_and_finite(
+        lens in proptest::collection::vec(1usize..32, 1..8),
+    ) {
+        let raw: Vec<Vec<f64>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (0..l).map(|j| (i * 31 + j) as f64 * 0.1).collect())
+            .collect();
+        let fixed = harmonize(&raw);
+        let max_len = lens.iter().copied().max().unwrap();
+        prop_assert!(fixed.iter().all(|s| s.len() == max_len));
+        prop_assert!(fixed.iter().flatten().all(|v| v.is_finite()));
+    }
+
+    /// Every synthetic dataset validates and has a consistent shape for
+    /// arbitrary seeds and indices.
+    #[test]
+    fn synthetic_datasets_always_validate(seed in 0u64..1000, index in 0usize..28) {
+        let ds = generate_dataset(&ArchiveConfig::quick(28, seed), index);
+        prop_assert!(ds.validate().is_ok());
+        prop_assert!(ds.n_classes() >= 2);
+    }
+
+    /// UCR text written from numbers parses back to the same values.
+    #[test]
+    fn ucr_roundtrip(
+        rows in proptest::collection::vec(
+            (0i64..5, proptest::collection::vec(-100.0f64..100.0, 2..16)),
+            2..8,
+        ),
+    ) {
+        let text: String = rows
+            .iter()
+            .map(|(label, vals)| {
+                let vs: Vec<String> = vals.iter().map(|v| format!("{v:.12}")).collect();
+                format!("{label}\t{}", vs.join("\t"))
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = parse_ucr_text(&text).unwrap();
+        prop_assert_eq!(parsed.labels.len(), rows.len());
+        for ((label, vals), (plabel, pvals)) in
+            rows.iter().zip(parsed.labels.iter().zip(&parsed.series))
+        {
+            prop_assert_eq!(label, plabel);
+            prop_assert_eq!(vals.len(), pvals.len());
+            for (a, b) in vals.iter().zip(pvals) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+        // And the split builds a valid dataset when reused for both sides.
+        let ds = dataset_from_splits("prop", parsed.clone(), parsed);
+        prop_assert!(ds.is_ok());
+    }
+}

@@ -1,0 +1,293 @@
+//! Statistical comparison of measures over an archive, reproducing the
+//! paper's table rows and critical-difference figures.
+
+use tsdist_stats::{
+    friedman_test, holm_adjust, nemenyi_critical_difference, wilcoxon_signed_rank,
+    FriedmanResult,
+};
+
+/// One row of a comparison table (Tables 2/3/5/6/7): a measure against
+/// the baseline over all datasets.
+#[derive(Debug, Clone)]
+pub struct PairwiseComparison {
+    /// Measure (and normalization) name.
+    pub name: String,
+    /// Mean accuracy across datasets.
+    pub average_accuracy: f64,
+    /// Datasets where the measure beats the baseline.
+    pub better: usize,
+    /// Datasets where the accuracies tie.
+    pub equal: usize,
+    /// Datasets where the baseline wins.
+    pub worse: usize,
+    /// Two-sided Wilcoxon p-value (`None` when all accuracies tie).
+    pub p_value: Option<f64>,
+    /// `true` when the measure beats the baseline with statistical
+    /// significance (Wilcoxon at 95%, as in the paper).
+    pub significantly_better: bool,
+    /// `true` when the measure is significantly *worse* (the paper's
+    /// "frowning face" marker in Tables 6/7).
+    pub significantly_worse: bool,
+}
+
+/// The significance level of the paper's pairwise Wilcoxon tests (95%).
+pub const WILCOXON_ALPHA: f64 = 0.05;
+
+/// The significance level of the paper's Friedman/Nemenyi analysis (90%).
+pub const NEMENYI_ALPHA: f64 = 0.10;
+
+/// Compares per-dataset accuracies of a measure against a baseline.
+///
+/// # Panics
+/// Panics if the vectors differ in length or are empty.
+pub fn compare_to_baseline(
+    name: impl Into<String>,
+    accuracies: &[f64],
+    baseline: &[f64],
+) -> PairwiseComparison {
+    assert_eq!(accuracies.len(), baseline.len(), "dataset count mismatch");
+    assert!(!accuracies.is_empty(), "no datasets");
+    let mut better = 0;
+    let mut equal = 0;
+    let mut worse = 0;
+    for (a, b) in accuracies.iter().zip(baseline) {
+        if a > b {
+            better += 1;
+        } else if a < b {
+            worse += 1;
+        } else {
+            equal += 1;
+        }
+    }
+    let test = wilcoxon_signed_rank(accuracies, baseline);
+    let p_value = test.map(|t| t.p_value);
+    let won_more = better > worse;
+    let significant = p_value.is_some_and(|p| p < WILCOXON_ALPHA);
+    PairwiseComparison {
+        name: name.into(),
+        average_accuracy: accuracies.iter().sum::<f64>() / accuracies.len() as f64,
+        better,
+        equal,
+        worse,
+        p_value,
+        significantly_better: significant && won_more,
+        significantly_worse: significant && !won_more,
+    }
+}
+
+/// Renders comparison rows as a paper-style text table (the layout of
+/// Tables 2/3/5/6/7), with the baseline as the final row.
+pub fn render_table(
+    title: &str,
+    rows: &[PairwiseComparison],
+    baseline_name: &str,
+    baseline_accuracies: &[f64],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!(
+        "{:<34} {:>7} {:>9} {:>5} {:>5} {:>5}  {}\n",
+        "Measure", "Better", "Avg Acc", ">", "=", "<", "p-value"
+    ));
+    for r in rows {
+        let marker = if r.significantly_better {
+            "yes"
+        } else if r.significantly_worse {
+            "WORSE"
+        } else {
+            "no"
+        };
+        out.push_str(&format!(
+            "{:<34} {:>7} {:>9.4} {:>5} {:>5} {:>5}  {}\n",
+            r.name,
+            marker,
+            r.average_accuracy,
+            r.better,
+            r.equal,
+            r.worse,
+            r.p_value
+                .map(|p| format!("{p:.4}"))
+                .unwrap_or_else(|| "-".into()),
+        ));
+    }
+    let base_avg = baseline_accuracies.iter().sum::<f64>() / baseline_accuracies.len().max(1) as f64;
+    out.push_str(&format!(
+        "{:<34} {:>7} {:>9.4} {:>5} {:>5} {:>5}  -\n",
+        baseline_name, "-", base_avg, "-", "-", "-",
+    ));
+    out
+}
+
+/// Holm-adjusted p-values for a family of comparisons against one
+/// baseline (rows with no test — all ties — keep `None`). A row remains
+/// significant after adjustment when its adjusted p-value stays below
+/// [`WILCOXON_ALPHA`]; this controls the family-wise error rate across
+/// all rows of a table.
+pub fn holm_adjusted_p_values(rows: &[PairwiseComparison]) -> Vec<Option<f64>> {
+    let raw: Vec<f64> = rows.iter().filter_map(|r| r.p_value).collect();
+    let adjusted = holm_adjust(&raw);
+    let mut iter = adjusted.into_iter();
+    rows.iter()
+        .map(|r| r.p_value.map(|_| iter.next().expect("one adjusted value per raw p")))
+        .collect()
+}
+
+/// A multi-measure ranking analysis (the content of Figures 2-8):
+/// Friedman test plus the Nemenyi critical difference.
+#[derive(Debug, Clone)]
+pub struct RankingAnalysis {
+    /// Measure names, in input order.
+    pub names: Vec<String>,
+    /// The Friedman test result (average ranks are in input order).
+    pub friedman: FriedmanResult,
+    /// The Nemenyi critical difference at [`NEMENYI_ALPHA`].
+    pub critical_difference: f64,
+}
+
+impl RankingAnalysis {
+    /// Measures sorted best (lowest average rank) first, as
+    /// `(name, average rank)`.
+    pub fn sorted_ranks(&self) -> Vec<(String, f64)> {
+        let mut pairs: Vec<(String, f64)> = self
+            .names
+            .iter()
+            .cloned()
+            .zip(self.friedman.average_ranks.iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        pairs
+    }
+
+    /// Whether measure `i` and measure `j` (input order) differ
+    /// significantly under Nemenyi.
+    pub fn significantly_different(&self, i: usize, j: usize) -> bool {
+        (self.friedman.average_ranks[i] - self.friedman.average_ranks[j]).abs()
+            >= self.critical_difference
+    }
+
+    /// Renders a text critical-difference diagram: measures sorted by
+    /// average rank, with the CD value and a bracket connecting the group
+    /// of top measures not significantly different from the best.
+    pub fn render(&self, title: &str) -> String {
+        let sorted = self.sorted_ranks();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## {title}\nFriedman χ² = {:.3} (p = {:.5}), N = {} datasets, CD(α={}) = {:.3}\n",
+            self.friedman.chi_squared,
+            self.friedman.p_value,
+            self.friedman.n_datasets,
+            NEMENYI_ALPHA,
+            self.critical_difference
+        ));
+        let best_rank = sorted.first().map(|p| p.1).unwrap_or(0.0);
+        for (name, rank) in &sorted {
+            let tied_with_best = rank - best_rank < self.critical_difference;
+            out.push_str(&format!(
+                "  {:>6.3}  {}{}\n",
+                rank,
+                name,
+                if tied_with_best { "  ─┤" } else { "" }
+            ));
+        }
+        out.push_str("(─┤ marks the group not significantly different from the top rank)\n");
+        out
+    }
+}
+
+/// Runs the Friedman + Nemenyi analysis over an accuracy table
+/// (`accuracies[d][m]` = accuracy of measure `m` on dataset `d`).
+pub fn rank_measures(names: &[String], accuracies: &[Vec<f64>]) -> RankingAnalysis {
+    assert!(!names.is_empty());
+    assert!(accuracies.iter().all(|row| row.len() == names.len()));
+    let friedman = friedman_test(accuracies);
+    let critical_difference =
+        nemenyi_critical_difference(NEMENYI_ALPHA, names.len(), accuracies.len());
+    RankingAnalysis {
+        names: names.to_vec(),
+        friedman,
+        critical_difference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_better_equal_worse() {
+        let a = [0.9, 0.5, 0.7, 0.7];
+        let b = [0.8, 0.6, 0.7, 0.6];
+        let c = compare_to_baseline("A", &a, &b);
+        assert_eq!((c.better, c.equal, c.worse), (2, 1, 1));
+    }
+
+    #[test]
+    fn dominant_measure_is_significantly_better() {
+        let a: Vec<f64> = (0..30).map(|i| 0.8 + (i % 7) as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..30).map(|i| 0.6 + (i % 5) as f64 * 0.01).collect();
+        let c = compare_to_baseline("A", &a, &b);
+        assert!(c.significantly_better);
+        assert!(!c.significantly_worse);
+    }
+
+    #[test]
+    fn dominated_measure_is_significantly_worse() {
+        let a: Vec<f64> = (0..30).map(|i| 0.4 + (i % 7) as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..30).map(|i| 0.6 + (i % 5) as f64 * 0.01).collect();
+        let c = compare_to_baseline("A", &a, &b);
+        assert!(c.significantly_worse);
+    }
+
+    #[test]
+    fn identical_accuracies_are_not_significant() {
+        let a = [0.5; 10];
+        let c = compare_to_baseline("A", &a, &a);
+        assert!(c.p_value.is_none());
+        assert!(!c.significantly_better && !c.significantly_worse);
+        assert_eq!(c.equal, 10);
+    }
+
+    #[test]
+    fn ranking_orders_measures() {
+        let names = vec!["best".to_string(), "mid".into(), "worst".into()];
+        let table: Vec<Vec<f64>> = (0..25)
+            .map(|d| {
+                let b = (d % 4) as f64 * 0.01;
+                vec![0.9 + b, 0.7 + b, 0.5 + b]
+            })
+            .collect();
+        let analysis = rank_measures(&names, &table);
+        let sorted = analysis.sorted_ranks();
+        assert_eq!(sorted[0].0, "best");
+        assert_eq!(sorted[2].0, "worst");
+        assert!(analysis.significantly_different(0, 2));
+        let text = analysis.render("Figure X");
+        assert!(text.contains("best"));
+        assert!(text.contains("CD"));
+    }
+
+    #[test]
+    fn holm_annotation_aligns_with_rows() {
+        let base = [0.5, 0.6, 0.7, 0.55];
+        let strong: Vec<f64> = base.iter().map(|v| v + 0.2).collect();
+        let rows = vec![
+            compare_to_baseline("strong", &strong, &base),
+            compare_to_baseline("tied", &base, &base),
+        ];
+        let adj = holm_adjusted_p_values(&rows);
+        assert_eq!(adj.len(), 2);
+        assert!(adj[0].is_some());
+        assert!(adj[1].is_none(), "all-ties row has no p-value");
+        assert!(adj[0].unwrap() >= rows[0].p_value.unwrap());
+    }
+
+    #[test]
+    fn render_table_contains_all_rows() {
+        let a = [0.9, 0.8];
+        let b = [0.7, 0.75];
+        let rows = vec![compare_to_baseline("Lorentzian", &a, &b)];
+        let text = render_table("Table 2", &rows, "ED (z-score)", &b);
+        assert!(text.contains("Lorentzian"));
+        assert!(text.contains("ED (z-score)"));
+    }
+}

@@ -1,0 +1,226 @@
+//! High-level evaluation of measures on datasets: normalization handling,
+//! the supervised (LOOCCV) and unsupervised settings, and category-
+//! specific paths for distances, kernels, and embeddings.
+
+use crate::matrices::{distance_matrix, embedding_matrices, kernel_matrices};
+use crate::nn::{loocv_accuracy, one_nn_accuracy};
+use tsdist_core::embedding::Embedding;
+use tsdist_core::measure::{Distance, Kernel};
+use tsdist_core::normalization::{AdaptiveScaled, Normalization};
+use tsdist_data::Dataset;
+
+/// Applies the study's preprocessing: every series is first z-normalized
+/// (the paper z-normalizes all datasets for archive compatibility), then
+/// the evaluation normalization is applied on top.
+pub fn prepare(ds: &Dataset, norm: Normalization) -> Dataset {
+    ds.map_series(|s| {
+        let z = Normalization::ZScore.apply(s);
+        norm.apply(&z)
+    })
+}
+
+/// Outcome of a supervised (grid-tuned) evaluation on one dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisedOutcome {
+    /// Test accuracy of the selected grid point.
+    pub test_accuracy: f64,
+    /// LOOCV training accuracy of the selected grid point.
+    pub train_accuracy: f64,
+    /// Index of the selected grid point (ties break to the first).
+    pub best_index: usize,
+}
+
+/// Test accuracy of one distance measure on one dataset under one
+/// normalization (the unsupervised path for parameter-free measures).
+///
+/// When `norm` is the pairwise [`Normalization::AdaptiveScaling`], the
+/// measure is wrapped in [`AdaptiveScaled`].
+pub fn evaluate_distance(d: &dyn Distance, ds: &Dataset, norm: Normalization) -> f64 {
+    let prepared = prepare(ds, norm);
+    let e = if norm.is_pairwise() {
+        let wrapped = AdaptiveScaled::new(d);
+        distance_matrix(&wrapped, &prepared.test, &prepared.train)
+    } else {
+        distance_matrix(d, &prepared.test, &prepared.train)
+    };
+    one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels)
+}
+
+/// Supervised evaluation of a parameter grid: every grid point's LOOCV
+/// training accuracy is computed from `W`; the best (first on ties, in
+/// grid order — matching the deterministic tuning of Section 3) is then
+/// scored on the test split.
+pub fn evaluate_distance_supervised(
+    grid: &[Box<dyn Distance>],
+    ds: &Dataset,
+    norm: Normalization,
+) -> SupervisedOutcome {
+    assert!(!grid.is_empty(), "empty parameter grid");
+    let prepared = prepare(ds, norm);
+    let mut best_idx = 0;
+    let mut best_train = f64::NEG_INFINITY;
+    for (idx, d) in grid.iter().enumerate() {
+        let w = if norm.is_pairwise() {
+            let wrapped = AdaptiveScaled::new(d);
+            distance_matrix(&wrapped, &prepared.train, &prepared.train)
+        } else {
+            distance_matrix(d.as_ref(), &prepared.train, &prepared.train)
+        };
+        let train_acc = loocv_accuracy(&w, &prepared.train_labels);
+        if train_acc > best_train {
+            best_train = train_acc;
+            best_idx = idx;
+        }
+    }
+    let test_accuracy = evaluate_distance(grid[best_idx].as_ref(), ds, norm);
+    SupervisedOutcome {
+        test_accuracy,
+        train_accuracy: best_train,
+        best_index: best_idx,
+    }
+}
+
+/// Test accuracy of one kernel on one dataset (kernels are evaluated
+/// under z-normalization, as in Section 8).
+pub fn evaluate_kernel(k: &dyn Kernel, ds: &Dataset) -> f64 {
+    let prepared = prepare(ds, Normalization::ZScore);
+    let (_, e) = kernel_matrices(k, &prepared.train, &prepared.test);
+    one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels)
+}
+
+/// Supervised evaluation of a kernel grid (LOOCV on `W`, test on `E`).
+pub fn evaluate_kernel_supervised(grid: &[Box<dyn Kernel>], ds: &Dataset) -> SupervisedOutcome {
+    assert!(!grid.is_empty(), "empty parameter grid");
+    let prepared = prepare(ds, Normalization::ZScore);
+    let mut best_idx = 0;
+    let mut best_train = f64::NEG_INFINITY;
+    let mut best_e = None;
+    for (idx, k) in grid.iter().enumerate() {
+        let (w, e) = kernel_matrices(k.as_ref(), &prepared.train, &prepared.test);
+        let train_acc = loocv_accuracy(&w, &prepared.train_labels);
+        if train_acc > best_train {
+            best_train = train_acc;
+            best_idx = idx;
+            best_e = Some(e);
+        }
+    }
+    let e = best_e.expect("at least one grid point");
+    SupervisedOutcome {
+        test_accuracy: one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels),
+        train_accuracy: best_train,
+        best_index: best_idx,
+    }
+}
+
+/// Test accuracy of one embedding on one dataset: fit on the train split,
+/// embed everything, compare representations with ED.
+pub fn evaluate_embedding(emb: &dyn Embedding, ds: &Dataset) -> f64 {
+    let prepared = prepare(ds, Normalization::ZScore);
+    let mut all = prepared.train.clone();
+    all.extend(prepared.test.iter().cloned());
+    let z = emb.embed(&all, prepared.train.len());
+    let (_, e) = embedding_matrices(&z, prepared.train.len());
+    one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels)
+}
+
+/// Supervised evaluation of an embedding grid.
+pub fn evaluate_embedding_supervised(
+    grid: &[Box<dyn Embedding>],
+    ds: &Dataset,
+) -> SupervisedOutcome {
+    assert!(!grid.is_empty(), "empty parameter grid");
+    let prepared = prepare(ds, Normalization::ZScore);
+    let mut all = prepared.train.clone();
+    all.extend(prepared.test.iter().cloned());
+    let n_train = prepared.train.len();
+
+    let mut best_idx = 0;
+    let mut best_train = f64::NEG_INFINITY;
+    let mut best_e = None;
+    for (idx, emb) in grid.iter().enumerate() {
+        let z = emb.embed(&all, n_train);
+        let (w, e) = embedding_matrices(&z, n_train);
+        let train_acc = loocv_accuracy(&w, &prepared.train_labels);
+        if train_acc > best_train {
+            best_train = train_acc;
+            best_idx = idx;
+            best_e = Some(e);
+        }
+    }
+    let e = best_e.expect("at least one grid point");
+    SupervisedOutcome {
+        test_accuracy: one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels),
+        train_accuracy: best_train,
+        best_index: best_idx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdist_core::elastic::Dtw;
+    use tsdist_core::kernel::Rbf;
+    use tsdist_core::lockstep::Euclidean;
+    use tsdist_data::synthetic::{generate_dataset, ArchiveConfig};
+
+    fn easy_dataset() -> Dataset {
+        // Archetype index 0 (Shape) is the easiest.
+        generate_dataset(&ArchiveConfig::quick(1, 42), 0)
+    }
+
+    #[test]
+    fn euclidean_beats_chance_on_shape_data() {
+        let ds = easy_dataset();
+        let acc = evaluate_distance(&Euclidean, &ds, Normalization::ZScore);
+        let chance = 1.0 / ds.n_classes() as f64;
+        assert!(acc > chance, "acc {acc} <= chance {chance}");
+    }
+
+    #[test]
+    fn prepare_applies_znorm_then_method() {
+        let ds = easy_dataset();
+        let p = prepare(&ds, Normalization::MinMax);
+        for s in &p.train {
+            let lo = s.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!((lo - 0.0).abs() < 1e-12 && (hi - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn supervised_tuning_selects_a_grid_point() {
+        let ds = easy_dataset();
+        let grid: Vec<Box<dyn Distance>> = vec![
+            Box::new(Dtw::with_window_pct(0.0)),
+            Box::new(Dtw::with_window_pct(10.0)),
+        ];
+        let out = evaluate_distance_supervised(&grid, &ds, Normalization::ZScore);
+        assert!(out.best_index < 2);
+        assert!((0.0..=1.0).contains(&out.test_accuracy));
+        assert!((0.0..=1.0).contains(&out.train_accuracy));
+    }
+
+    #[test]
+    fn supervised_ties_break_to_first_grid_point() {
+        let ds = easy_dataset();
+        // Identical grid points: the first must win.
+        let grid: Vec<Box<dyn Distance>> = vec![Box::new(Euclidean), Box::new(Euclidean)];
+        let out = evaluate_distance_supervised(&grid, &ds, Normalization::ZScore);
+        assert_eq!(out.best_index, 0);
+    }
+
+    #[test]
+    fn kernel_evaluation_beats_chance_on_shape_data() {
+        let ds = easy_dataset();
+        let acc = evaluate_kernel(&Rbf::new(0.01), &ds);
+        let chance = 1.0 / ds.n_classes() as f64;
+        assert!(acc > chance, "acc {acc} <= chance {chance}");
+    }
+
+    #[test]
+    fn adaptive_scaling_normalization_runs_via_wrapper() {
+        let ds = easy_dataset();
+        let acc = evaluate_distance(&Euclidean, &ds, Normalization::AdaptiveScaling);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

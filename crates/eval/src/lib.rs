@@ -1,0 +1,55 @@
+//! # tsdist-eval
+//!
+//! The evaluation platform of the study (Section 3): dissimilarity
+//! matrices, the 1-NN classifier of Algorithm 1, LOOCV parameter tuning,
+//! and the statistical comparison machinery that produces the paper's
+//! tables (pairwise Wilcoxon) and critical-difference figures (Friedman +
+//! Nemenyi).
+//!
+//! The typical flow for one experiment:
+//!
+//! ```
+//! use tsdist_core::lockstep::{Euclidean, Lorentzian};
+//! use tsdist_core::normalization::Normalization;
+//! use tsdist_data::synthetic::{generate_archive, ArchiveConfig};
+//! use tsdist_eval::{compare_to_baseline, evaluate_distance};
+//!
+//! let archive = generate_archive(&ArchiveConfig::quick(7, 42));
+//! let lorentzian: Vec<f64> = archive
+//!     .iter()
+//!     .map(|ds| evaluate_distance(&Lorentzian, ds, Normalization::ZScore))
+//!     .collect();
+//! let ed: Vec<f64> = archive
+//!     .iter()
+//!     .map(|ds| evaluate_distance(&Euclidean, ds, Normalization::ZScore))
+//!     .collect();
+//! let row = compare_to_baseline("Lorentzian (z-score)", &lorentzian, &ed);
+//! assert_eq!(row.better + row.equal + row.worse, 7);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod evaluator;
+pub mod knn;
+pub mod matrices;
+pub mod nn;
+pub mod parallel;
+pub mod runtime;
+pub mod study;
+
+pub use comparison::{
+    compare_to_baseline, holm_adjusted_p_values, rank_measures, render_table,
+    PairwiseComparison, RankingAnalysis, NEMENYI_ALPHA, WILCOXON_ALPHA,
+};
+pub use evaluator::{
+    evaluate_distance, evaluate_distance_supervised, evaluate_embedding,
+    evaluate_embedding_supervised, evaluate_kernel, evaluate_kernel_supervised, prepare,
+    SupervisedOutcome,
+};
+pub use matrices::{distance_matrices, distance_matrix, embedding_matrices, kernel_matrices};
+pub use knn::{knn_accuracy, ConfusionMatrix};
+pub use nn::{loocv_accuracy, one_nn_accuracy};
+pub use parallel::{parallel_map, worker_count};
+pub use runtime::{measure_inference, pruned_dtw_search, PrunedSearchStats, RuntimeMeasurement};
+pub use study::{run_study, Entrant, StudyReport};

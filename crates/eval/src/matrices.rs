@@ -1,0 +1,157 @@
+//! Construction of the dissimilarity matrices `W` and `E`.
+//!
+//! Section 3 of the paper decouples distance-matrix computation from
+//! classification: `W` (train x train) drives leave-one-out parameter
+//! tuning, `E` (test x train) drives the reported test accuracy.
+//!
+//! Matrix construction here is deliberately *serial*: the experiment
+//! harness parallelizes at the dataset x measure granularity (see
+//! [`crate::parallel`]), which keeps every core busy without nested
+//! thread pools.
+
+use tsdist_core::measure::{Distance, Kernel};
+use tsdist_linalg::Matrix;
+
+/// Computes the `rows.len() x cols.len()` dissimilarity matrix
+/// `M[i][j] = d(rows[i], cols[j])`.
+pub fn distance_matrix(d: &dyn Distance, rows: &[Vec<f64>], cols: &[Vec<f64>]) -> Matrix {
+    let r = rows.len();
+    let c = cols.len();
+    let mut flat = Vec::with_capacity(r * c);
+    for row in rows {
+        for col in cols {
+            flat.push(d.distance(row, col));
+        }
+    }
+    Matrix::from_vec(r, c, flat)
+}
+
+/// Computes both matrices for a distance measure: `W` (train x train) and
+/// `E` (test x train).
+pub fn distance_matrices(
+    d: &dyn Distance,
+    train: &[Vec<f64>],
+    test: &[Vec<f64>],
+) -> (Matrix, Matrix) {
+    (
+        distance_matrix(d, train, train),
+        distance_matrix(d, test, train),
+    )
+}
+
+/// Computes `W` and `E` for a kernel using the normalized dissimilarity
+/// `1 - exp(log k(x,y) - (log k(x,x) + log k(y,y)) / 2)`, with the log
+/// self-similarities computed once per series instead of per pair.
+pub fn kernel_matrices(k: &dyn Kernel, train: &[Vec<f64>], test: &[Vec<f64>]) -> (Matrix, Matrix) {
+    let log_self_train: Vec<f64> = train.iter().map(|s| k.log_self_kernel(s)).collect();
+    let log_self_test: Vec<f64> = test.iter().map(|s| k.log_self_kernel(s)).collect();
+
+    let build = |rows: &[Vec<f64>], rows_self: &[f64]| -> Matrix {
+        let r = rows.len();
+        let c = train.len();
+        let mut flat = Vec::with_capacity(r * c);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, col) in train.iter().enumerate() {
+                let lxy = k.log_kernel(row, col);
+                let norm = 0.5 * (rows_self[i] + log_self_train[j]);
+                flat.push(if norm.is_finite() {
+                    1.0 - (lxy - norm).exp()
+                } else {
+                    1.0
+                });
+            }
+        }
+        Matrix::from_vec(r, c, flat)
+    };
+
+    (
+        build(train, &log_self_train),
+        build(test, &log_self_test),
+    )
+}
+
+/// Computes `W` and `E` as plain Euclidean distances between embedding
+/// rows (`z` holds train rows first, then test rows) — how the paper
+/// compares embedding measures.
+pub fn embedding_matrices(z: &Matrix, n_train: usize) -> (Matrix, Matrix) {
+    let n = z.rows();
+    assert!(n_train <= n, "n_train exceeds embedded row count");
+    let ed = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let w = Matrix::from_fn(n_train, n_train, |i, j| ed(z.row(i), z.row(j)));
+    let e = Matrix::from_fn(n - n_train, n_train, |i, j| ed(z.row(n_train + i), z.row(j)));
+    (w, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdist_core::lockstep::Euclidean;
+
+    fn toy(n: usize, m: usize, off: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..m).map(|j| (i * m + j) as f64 * 0.1 + off).collect())
+            .collect()
+    }
+
+    #[test]
+    fn distance_matrix_matches_direct_calls() {
+        let rows = toy(4, 6, 0.0);
+        let cols = toy(3, 6, 0.5);
+        let m = distance_matrix(&Euclidean, &rows, &cols);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 3);
+        for i in 0..4 {
+            for j in 0..3 {
+                use tsdist_core::measure::Distance;
+                assert_eq!(m[(i, j)], Euclidean.distance(&rows[i], &cols[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn train_matrix_diagonal_is_zero_for_metrics() {
+        let train = toy(5, 8, 0.0);
+        let (w, _) = distance_matrices(&Euclidean, &train, &toy(2, 8, 1.0));
+        for i in 0..5 {
+            assert_eq!(w[(i, i)], 0.0);
+        }
+    }
+
+    #[test]
+    fn kernel_matrices_match_kernel_distance_adapter() {
+        use tsdist_core::kernel::Rbf;
+        use tsdist_core::measure::{Distance, KernelDistance};
+        let train = toy(4, 6, 0.0);
+        let test = toy(3, 6, 0.3);
+        let (w, e) = kernel_matrices(&Rbf::new(0.1), &train, &test);
+        let adapter = KernelDistance(Rbf::new(0.1));
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((w[(i, j)] - adapter.distance(&train[i], &train[j])).abs() < 1e-12);
+            }
+        }
+        for i in 0..3 {
+            for j in 0..4 {
+                assert!((e[(i, j)] - adapter.distance(&test[i], &train[j])).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_matrices_have_correct_shapes() {
+        let z = Matrix::from_fn(7, 3, |i, j| (i * 3 + j) as f64);
+        let (w, e) = embedding_matrices(&z, 5);
+        assert_eq!((w.rows(), w.cols()), (5, 5));
+        assert_eq!((e.rows(), e.cols()), (2, 5));
+        // Self-distance zero on the diagonal.
+        for i in 0..5 {
+            assert_eq!(w[(i, i)], 0.0);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The 1-NN classifier of Algorithm 1, plus its leave-one-out variant.
+
+use tsdist_data::Label;
+use tsdist_linalg::Matrix;
+
+/// Algorithm 1 verbatim: test accuracy of the 1-NN classifier given the
+/// test-by-train dissimilarity matrix `E`. Ties break to the *first*
+/// training series with the minimal distance (strict `<` comparison), as
+/// in the paper's pseudocode.
+///
+/// # Panics
+/// Panics if the matrix shape disagrees with the label vectors.
+pub fn one_nn_accuracy(e: &Matrix, test_labels: &[Label], train_labels: &[Label]) -> f64 {
+    assert_eq!(e.rows(), test_labels.len(), "row/label count mismatch");
+    assert_eq!(e.cols(), train_labels.len(), "col/label count mismatch");
+    assert!(e.cols() > 0, "no training series");
+    let mut correct = 0usize;
+    for (i, &true_label) in test_labels.iter().enumerate() {
+        let mut best_dist = f64::INFINITY;
+        let mut predicted = train_labels[0];
+        for (j, &candidate) in train_labels.iter().enumerate() {
+            let dist = e[(i, j)];
+            if dist < best_dist {
+                best_dist = dist;
+                predicted = candidate;
+            }
+        }
+        if predicted == true_label {
+            correct += 1;
+        }
+    }
+    correct as f64 / test_labels.len() as f64
+}
+
+/// Leave-one-out training accuracy from the train-by-train matrix `W`:
+/// the same classifier, with each series' self-comparison excluded. The
+/// paper uses this (LOOCCV) to tune parameters on the training split.
+///
+/// # Panics
+/// Panics if `W` is not square or disagrees with the labels.
+pub fn loocv_accuracy(w: &Matrix, train_labels: &[Label]) -> f64 {
+    assert_eq!(w.rows(), w.cols(), "W must be square");
+    assert_eq!(w.rows(), train_labels.len(), "shape/label mismatch");
+    let p = train_labels.len();
+    if p <= 1 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for i in 0..p {
+        let mut best_dist = f64::INFINITY;
+        let mut predicted = None;
+        for (j, &candidate) in train_labels.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let dist = w[(i, j)];
+            if dist < best_dist {
+                best_dist = dist;
+                predicted = Some(candidate);
+            }
+        }
+        if predicted == Some(train_labels[i]) {
+            correct += 1;
+        }
+    }
+    correct as f64 / p as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_scores_one() {
+        // Test series 0 nearest to train 0 (class 0), test 1 to train 1.
+        let e = Matrix::from_vec(2, 2, vec![0.1, 5.0, 5.0, 0.1]);
+        let acc = one_nn_accuracy(&e, &[0, 1], &[0, 1]);
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn total_confusion_scores_zero() {
+        let e = Matrix::from_vec(2, 2, vec![5.0, 0.1, 0.1, 5.0]);
+        assert_eq!(one_nn_accuracy(&e, &[0, 1], &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn ties_break_to_first_training_series() {
+        // Both training series at equal distance: Algorithm 1's strict
+        // `<` keeps the first.
+        let e = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        assert_eq!(one_nn_accuracy(&e, &[0], &[0, 1]), 1.0);
+        assert_eq!(one_nn_accuracy(&e, &[1], &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn negative_distances_are_legal() {
+        // Similarity-derived measures (e.g. -NCC) produce negative values.
+        let e = Matrix::from_vec(1, 2, vec![-3.0, -1.0]);
+        assert_eq!(one_nn_accuracy(&e, &[1], &[1, 0]), 1.0);
+    }
+
+    #[test]
+    fn loocv_excludes_self() {
+        // W diagonal is zero (self-distance); without exclusion everything
+        // would be trivially correct.
+        let w = Matrix::from_vec(
+            3,
+            3,
+            vec![
+                0.0, 1.0, 9.0, //
+                1.0, 0.0, 9.0, //
+                9.0, 9.0, 0.0,
+            ],
+        );
+        // Series 0 and 1 are mutual NNs (same class), series 2's NN is
+        // series 0 (different class).
+        let acc = loocv_accuracy(&w, &[0, 0, 1]);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loocv_single_series_is_zero() {
+        let w = Matrix::from_vec(1, 1, vec![0.0]);
+        assert_eq!(loocv_accuracy(&w, &[0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn shape_mismatch_panics() {
+        let e = Matrix::zeros(2, 2);
+        let _ = one_nn_accuracy(&e, &[0], &[0, 1]);
+    }
+}

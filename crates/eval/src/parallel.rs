@@ -1,0 +1,98 @@
+//! A minimal work-stealing-free parallel map over indices.
+//!
+//! The evaluation platform's unit of work (a dissimilarity-matrix row, a
+//! dataset) is coarse enough that a shared atomic counter over scoped
+//! threads saturates all cores without any dependency beyond `std`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use (the machine's available parallelism).
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(i)` for every `i in 0..n` across all cores, writing results
+/// into the returned vector at position `i`. `f` must be `Sync` (it is
+/// shared by reference across threads).
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send + Default,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = worker_count().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let mut results: Vec<T> = Vec::with_capacity(n);
+    results.resize_with(n, T::default);
+    let next = AtomicUsize::new(0);
+    // SAFETY-free: each worker claims a distinct index and writes a
+    // distinct slot; we hand out disjoint &mut via raw pointer arithmetic
+    // guarded by the atomic counter.
+    let results_ptr = SendPtr(results.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            let results_ptr = &results_ptr;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                // Each index is claimed exactly once, so this write is
+                // exclusive.
+                unsafe {
+                    *results_ptr.0.add(i) = value;
+                }
+            });
+        }
+    });
+    results
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_every_index_exactly_once() {
+        let out = parallel_map(1000, |i| i * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(parallel_map(0, |i| i).is_empty());
+        assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn handles_non_copy_results() {
+        let out = parallel_map(64, |i| vec![i; i % 5]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), i % 5);
+            assert!(v.iter().all(|&x| x == i));
+        }
+    }
+
+    #[test]
+    fn heavy_work_is_correct() {
+        let out = parallel_map(100, |i| (0..1000).map(|j| (i * j) % 97).sum::<usize>());
+        let serial: Vec<usize> = (0..100)
+            .map(|i| (0..1000).map(|j| (i * j) % 97).sum::<usize>())
+            .collect();
+        assert_eq!(out, serial);
+    }
+}

@@ -1,0 +1,132 @@
+//! Inference-time measurement for the accuracy-to-runtime analysis
+//! (Figure 9) and the pruned 1-NN search built on DTW lower bounds
+//! (the Section 10 discussion of lower bounding).
+
+use std::time::Instant;
+
+use crate::matrices::distance_matrix;
+use crate::nn::one_nn_accuracy;
+use tsdist_core::elastic::{dtw::dtw_banded, keogh_envelope, lb_keogh, lb_kim};
+use tsdist_core::measure::Distance;
+use tsdist_data::Dataset;
+
+/// Accuracy and wall-clock inference time of one measure on one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RuntimeMeasurement {
+    /// 1-NN test accuracy.
+    pub accuracy: f64,
+    /// Seconds spent computing `E` and classifying (inference only, as in
+    /// Figure 9).
+    pub seconds: f64,
+}
+
+/// Measures inference cost: the time to compute the test-by-train matrix
+/// and classify. Parameter tuning is deliberately excluded, matching the
+/// paper ("runtime performance includes only inference time").
+pub fn measure_inference(d: &dyn Distance, ds: &Dataset) -> RuntimeMeasurement {
+    let start = Instant::now();
+    let e = distance_matrix(d, &ds.test, &ds.train);
+    let accuracy = one_nn_accuracy(&e, &ds.test_labels, &ds.train_labels);
+    RuntimeMeasurement {
+        accuracy,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Statistics from a lower-bound-pruned DTW 1-NN search.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PrunedSearchStats {
+    /// 1-NN test accuracy (identical to the exact search by construction).
+    pub accuracy: f64,
+    /// Fraction of candidate comparisons answered by LB_Kim or LB_Keogh
+    /// without running the full DTW.
+    pub pruned_fraction: f64,
+}
+
+/// Exact DTW 1-NN with LB_Kim -> LB_Keogh -> DTW cascading, the classic
+/// acceleration the paper points to in Section 10. `band` is the absolute
+/// Sakoe–Chiba radius.
+pub fn pruned_dtw_search(ds: &Dataset, band: usize) -> PrunedSearchStats {
+    let envelopes: Vec<(Vec<f64>, Vec<f64>)> = ds
+        .train
+        .iter()
+        .map(|t| keogh_envelope(t, band))
+        .collect();
+
+    let mut pruned = 0usize;
+    let mut total = 0usize;
+    let mut correct = 0usize;
+    for (q, query) in ds.test.iter().enumerate() {
+        let mut best = f64::INFINITY;
+        let mut predicted = ds.train_labels[0];
+        for (j, candidate) in ds.train.iter().enumerate() {
+            total += 1;
+            if lb_kim(query, candidate) >= best {
+                pruned += 1;
+                continue;
+            }
+            let (upper, lower) = &envelopes[j];
+            if lb_keogh(query, upper, lower) >= best {
+                pruned += 1;
+                continue;
+            }
+            let d = dtw_banded(query, candidate, band);
+            if d < best {
+                best = d;
+                predicted = ds.train_labels[j];
+            }
+        }
+        if predicted == ds.test_labels[q] {
+            correct += 1;
+        }
+    }
+    PrunedSearchStats {
+        accuracy: correct as f64 / ds.test.len().max(1) as f64,
+        pruned_fraction: pruned as f64 / total.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{evaluate_distance, prepare};
+    use tsdist_core::elastic::Dtw;
+    use tsdist_core::lockstep::Euclidean;
+    use tsdist_core::normalization::Normalization;
+    use tsdist_data::synthetic::{generate_dataset, ArchiveConfig};
+
+    #[test]
+    fn inference_measurement_reports_accuracy_and_time() {
+        let ds = generate_dataset(&ArchiveConfig::quick(1, 5), 0);
+        let m = measure_inference(&Euclidean, &ds);
+        assert!((0.0..=1.0).contains(&m.accuracy));
+        assert!(m.seconds >= 0.0);
+    }
+
+    #[test]
+    fn pruned_search_matches_exact_dtw_accuracy() {
+        let raw = generate_dataset(&ArchiveConfig::quick(1, 9), 2);
+        let ds = prepare(&raw, Normalization::ZScore);
+        let band = (ds.series_len() as f64 * 0.1).ceil() as usize;
+        let stats = pruned_dtw_search(&ds, band);
+        let exact = evaluate_distance(
+            &Dtw::with_window_pct(10.0),
+            &raw,
+            Normalization::ZScore,
+        );
+        assert!(
+            (stats.accuracy - exact).abs() < 1e-12,
+            "pruned {} vs exact {exact}",
+            stats.accuracy
+        );
+        assert!((0.0..=1.0).contains(&stats.pruned_fraction));
+    }
+
+    #[test]
+    fn pruning_actually_fires_on_separable_data() {
+        let raw = generate_dataset(&ArchiveConfig::quick(1, 3), 0);
+        let ds = prepare(&raw, Normalization::ZScore);
+        let stats = pruned_dtw_search(&ds, 2);
+        assert!(stats.pruned_fraction > 0.0, "no comparisons pruned");
+    }
+}

@@ -1,0 +1,232 @@
+//! Fast Fourier Transform implementations.
+//!
+//! Two algorithms are provided:
+//!
+//! * an in-place iterative radix-2 Cooley–Tukey transform for power-of-two
+//!   lengths, and
+//! * Bluestein's chirp-z algorithm for arbitrary lengths, which reduces a
+//!   length-`n` DFT to a circular convolution of power-of-two length.
+//!
+//! [`fft`] / [`ifft`] dispatch automatically. The inverse transform applies
+//! the conventional `1/n` scaling so that `ifft(fft(x)) == x`.
+
+use crate::complex::Complex;
+
+/// Returns `true` if `n` is a power of two (zero is not).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Smallest power of two `>= n`.
+#[inline]
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place radix-2 Cooley–Tukey FFT.
+///
+/// `inverse` selects the sign of the twiddle exponent; no scaling is applied
+/// here (callers of the inverse transform scale by `1/n`).
+///
+/// # Panics
+/// Panics if `buf.len()` is not a power of two.
+fn fft_radix2(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(is_power_of_two(n), "radix-2 FFT requires power-of-two length");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2] * w;
+                buf[start + k] = u + v;
+                buf[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's algorithm: arbitrary-length DFT via circular convolution.
+fn fft_bluestein(input: &mut [Complex], inverse: bool) {
+    let n = input.len();
+    if n <= 1 {
+        return;
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+
+    // Chirp: w[k] = exp(sign * i * pi * k^2 / n).
+    // k^2 mod 2n avoids precision loss for large k.
+    let mut chirp = Vec::with_capacity(n);
+    let two_n = (2 * n) as u64;
+    for k in 0..n as u64 {
+        let k2 = (k * k) % two_n;
+        let ang = sign * std::f64::consts::PI * k2 as f64 / n as f64;
+        chirp.push(Complex::cis(ang));
+    }
+
+    let m = next_power_of_two(2 * n - 1);
+    let mut a = vec![Complex::ZERO; m];
+    let mut b = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    fft_radix2(&mut a, false);
+    fft_radix2(&mut b, false);
+    for i in 0..m {
+        a[i] *= b[i];
+    }
+    fft_radix2(&mut a, true);
+    let scale = 1.0 / m as f64;
+    for k in 0..n {
+        input[k] = a[k].scale(scale) * chirp[k];
+    }
+}
+
+/// Forward DFT of `buf`, in place. Works for any length.
+pub fn fft(buf: &mut [Complex]) {
+    if is_power_of_two(buf.len()) || buf.len() <= 1 {
+        fft_radix2(buf, false);
+    } else {
+        fft_bluestein(buf, false);
+    }
+}
+
+/// Inverse DFT of `buf`, in place, scaled by `1/n`. Works for any length.
+pub fn ifft(buf: &mut [Complex]) {
+    let n = buf.len();
+    if n <= 1 {
+        return;
+    }
+    if is_power_of_two(n) {
+        fft_radix2(buf, true);
+    } else {
+        fft_bluestein(buf, true);
+    }
+    let scale = 1.0 / n as f64;
+    for z in buf.iter_mut() {
+        *z = z.scale(scale);
+    }
+}
+
+/// Forward DFT of a real signal; returns the full complex spectrum.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    fft(&mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc += v * Complex::cis(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch: {x:?} vs {y:?} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn radix2_matches_naive_dft() {
+        for &n in &[1usize, 2, 4, 8, 16, 64] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let mut y = x.clone();
+            fft(&mut y);
+            assert_close(&y, &dft_naive(&x), 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        for &n in &[3usize, 5, 6, 7, 12, 15, 31, 100] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let mut y = x.clone();
+            fft(&mut y);
+            assert_close(&y, &dft_naive(&x), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft_all_lengths() {
+        for n in 1..40usize {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(i as f64 * 0.1 - 1.0, (i * i % 7) as f64))
+                .collect();
+            let mut y = x.clone();
+            fft(&mut y);
+            ifft(&mut y);
+            assert_close(&y, &x, 1e-9 * (n.max(1)) as f64);
+        }
+    }
+
+    #[test]
+    fn fft_real_of_constant_is_impulse() {
+        let y = fft_real(&[1.0; 8]);
+        assert!((y[0].re - 8.0).abs() < 1e-12);
+        for z in &y[1..] {
+            assert!(z.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<f64> = (0..37).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let spec = fft_real(&x);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+}

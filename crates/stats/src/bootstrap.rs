@@ -1,0 +1,199 @@
+//! Bootstrap confidence intervals for summary statistics.
+//!
+//! The paper stresses that "average accuracy across datasets is
+//! meaningless when not accompanied by rigorous statistical analysis";
+//! besides the rank-based tests, a percentile-bootstrap confidence
+//! interval for the mean (or the mean *difference*) is the standard way
+//! to attach uncertainty to the averages the tables report.
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapInterval {
+    /// The point estimate (statistic of the original sample).
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lower: f64,
+    /// Upper bound of the interval.
+    pub upper: f64,
+    /// Confidence level (e.g. 0.95).
+    pub confidence: f64,
+}
+
+/// Deterministic xorshift-based resampler — the bootstrap needs speed and
+/// reproducibility, not cryptographic quality, and keeping it here avoids
+/// a `rand` dependency for the stats crate.
+struct Resampler {
+    state: u64,
+}
+
+impl Resampler {
+    fn new(seed: u64) -> Self {
+        Resampler {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next_index(&mut self, n: usize) -> usize {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        ((x.wrapping_mul(0x2545_F491_4F6C_DD1D)) >> 33) as usize % n
+    }
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic of
+/// one sample.
+///
+/// # Panics
+/// Panics on an empty sample, `resamples == 0`, or a confidence level
+/// outside `(0, 1)`.
+pub fn bootstrap_ci(
+    sample: &[f64],
+    statistic: impl Fn(&[f64]) -> f64,
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> BootstrapInterval {
+    assert!(!sample.is_empty(), "empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let n = sample.len();
+    let estimate = statistic(sample);
+
+    let mut rng = Resampler::new(seed);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut scratch = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in scratch.iter_mut() {
+            *slot = sample[rng.next_index(n)];
+        }
+        stats.push(statistic(&scratch));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+
+    let alpha = 1.0 - confidence;
+    let lo_idx = ((alpha / 2.0) * resamples as f64).floor() as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64).ceil() as usize)
+        .min(resamples)
+        .saturating_sub(1);
+    BootstrapInterval {
+        estimate,
+        lower: stats[lo_idx.min(resamples - 1)],
+        upper: stats[hi_idx],
+        confidence,
+    }
+}
+
+/// Bootstrap CI for the mean of a sample.
+pub fn bootstrap_mean_ci(
+    sample: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> BootstrapInterval {
+    bootstrap_ci(
+        sample,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        resamples,
+        confidence,
+        seed,
+    )
+}
+
+/// Bootstrap CI for the mean *paired difference* `x - y` (e.g. two
+/// measures' per-dataset accuracies). An interval excluding zero is
+/// evidence of a systematic difference.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn bootstrap_paired_diff_ci(
+    x: &[f64],
+    y: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> BootstrapInterval {
+    assert_eq!(x.len(), y.len(), "paired samples must have equal length");
+    let diffs: Vec<f64> = x.iter().zip(y).map(|(a, b)| a - b).collect();
+    bootstrap_mean_ci(&diffs, resamples, confidence, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contains_estimate_and_is_ordered() {
+        let sample: Vec<f64> = (0..50).map(|i| (i % 11) as f64).collect();
+        let ci = bootstrap_mean_ci(&sample, 1000, 0.95, 7);
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+        assert!(ci.lower < ci.upper);
+    }
+
+    #[test]
+    fn interval_is_deterministic_in_the_seed() {
+        let sample: Vec<f64> = (0..30).map(|i| (i as f64 * 0.37).sin()).collect();
+        let a = bootstrap_mean_ci(&sample, 500, 0.9, 42);
+        let b = bootstrap_mean_ci(&sample, 500, 0.9, 42);
+        assert_eq!(a, b);
+        let c = bootstrap_mean_ci(&sample, 500, 0.9, 43);
+        assert!(a.lower != c.lower || a.upper != c.upper);
+    }
+
+    #[test]
+    fn constant_sample_collapses_the_interval() {
+        let ci = bootstrap_mean_ci(&[2.5; 20], 200, 0.95, 1);
+        assert_eq!(ci.lower, 2.5);
+        assert_eq!(ci.upper, 2.5);
+        assert_eq!(ci.estimate, 2.5);
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_interval() {
+        let sample: Vec<f64> = (0..40).map(|i| ((i * 13) % 17) as f64).collect();
+        let narrow = bootstrap_mean_ci(&sample, 2000, 0.8, 5);
+        let wide = bootstrap_mean_ci(&sample, 2000, 0.99, 5);
+        assert!(wide.upper - wide.lower >= narrow.upper - narrow.lower);
+    }
+
+    #[test]
+    fn paired_diff_excludes_zero_for_dominant_measure() {
+        let x: Vec<f64> = (0..40).map(|i| 0.8 + (i % 5) as f64 * 0.01).collect();
+        let y: Vec<f64> = (0..40).map(|i| 0.6 + (i % 7) as f64 * 0.01).collect();
+        let ci = bootstrap_paired_diff_ci(&x, &y, 1000, 0.95, 3);
+        assert!(ci.lower > 0.0, "interval {ci:?} should exclude zero");
+    }
+
+    #[test]
+    fn paired_diff_includes_zero_for_identical_measures() {
+        let x: Vec<f64> = (0..40).map(|i| 0.5 + ((i * 7) % 13) as f64 * 0.01).collect();
+        let y: Vec<f64> = x.iter().rev().copied().collect();
+        let ci = bootstrap_paired_diff_ci(&x, &y, 1000, 0.95, 3);
+        assert!(ci.lower <= 0.0 && ci.upper >= 0.0, "interval {ci:?}");
+    }
+
+    #[test]
+    fn custom_statistic_median() {
+        let sample: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 100.0];
+        let ci = bootstrap_ci(
+            &sample,
+            |s| {
+                let mut v = s.to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v[v.len() / 2]
+            },
+            500,
+            0.9,
+            11,
+        );
+        // The median is robust to the outlier: the interval stays small.
+        assert!(ci.estimate <= 4.0);
+        assert!(ci.upper <= 100.0);
+    }
+}

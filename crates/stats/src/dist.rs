@@ -1,0 +1,310 @@
+//! Probability distributions needed by the statistical tests.
+//!
+//! Everything is implemented from scratch: the error function (and with it
+//! the normal CDF), the regularized incomplete gamma function (and with it
+//! the chi-squared CDF), and the distribution of the range of `k` standard
+//! normals (the infinite-degrees-of-freedom studentized range used by the
+//! Nemenyi test).
+
+/// The error function `erf(x)`, accurate to about 1.2e-7 (Numerical
+/// Recipes rational Chebyshev approximation), which is ample for p-values.
+pub fn erf(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        1.0 - ans
+    } else {
+        ans - 1.0
+    }
+}
+
+/// Standard normal probability density.
+#[inline]
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function.
+#[inline]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Inverse of the standard normal CDF (Acklam's algorithm, relative error
+/// below 1.15e-9).
+///
+/// # Panics
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation).
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise
+/// (Numerical Recipes `gammp`).
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p domain error: a={a}, x={x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-14 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a,x), then P = 1 - Q.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-14 {
+                break;
+            }
+        }
+        1.0 - (-x + a * x.ln() - ln_gamma(a)).exp() * h
+    }
+}
+
+/// Chi-squared cumulative distribution function with `k` degrees of freedom.
+pub fn chi_squared_cdf(x: f64, k: f64) -> f64 {
+    assert!(k > 0.0, "chi_squared_cdf requires k > 0");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    gamma_p(k / 2.0, x / 2.0)
+}
+
+/// CDF of the range of `k` independent standard normals evaluated at `q`:
+/// the infinite-degrees-of-freedom studentized range distribution.
+///
+/// `F_R(q) = k * Integral phi(z) * [Phi(z) - Phi(z - q)]^{k-1} dz`.
+///
+/// Numerically integrated with Simpson's rule over `[-8, 8 + q]`.
+pub fn studentized_range_cdf(q: f64, k: usize) -> f64 {
+    assert!(k >= 2, "range of fewer than two variables is degenerate");
+    if q <= 0.0 {
+        return 0.0;
+    }
+    let lo = -8.5f64;
+    let hi = 8.5f64;
+    let steps = 2000usize; // even
+    let h = (hi - lo) / steps as f64;
+    let f = |z: f64| -> f64 {
+        let inner = (normal_cdf(z) - normal_cdf(z - q)).max(0.0);
+        normal_pdf(z) * inner.powi(k as i32 - 1)
+    };
+    let mut acc = f(lo) + f(hi);
+    for i in 1..steps {
+        let z = lo + i as f64 * h;
+        acc += f(z) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    (k as f64 * acc * h / 3.0).clamp(0.0, 1.0)
+}
+
+/// Upper-`alpha` quantile of the infinite-df studentized range: the value
+/// `q` with `P(range > q) = alpha`, found by bisection.
+pub fn studentized_range_quantile(alpha: f64, k: usize) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0);
+    let target = 1.0 - alpha;
+    let (mut lo, mut hi) = (0.0f64, 20.0f64);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if studentized_range_cdf(mid, k) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.959964) - 0.975).abs() < 1e-5);
+        assert!((normal_cdf(-1.644854) - 0.05).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        for &p in &[0.001, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 0.999] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn chi_squared_known_values() {
+        // Median of chi2(2) is 2 ln 2 ~= 1.3863.
+        assert!((chi_squared_cdf(1.3862944, 2.0) - 0.5).abs() < 1e-6);
+        // P(chi2(1) <= 3.841459) = 0.95.
+        assert!((chi_squared_cdf(3.841459, 1.0) - 0.95).abs() < 1e-5);
+        // P(chi2(10) <= 18.307) = 0.95.
+        assert!((chi_squared_cdf(18.307, 10.0) - 0.95).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ln_gamma_factorials() {
+        // Gamma(n) = (n-1)!.
+        assert!((ln_gamma(5.0) - (24.0f64).ln()).abs() < 1e-10);
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn studentized_range_k2_matches_normal_difference() {
+        // For k = 2, the range is |X - Y| with X,Y iid N(0,1), i.e.
+        // |N(0, 2)|: P(range <= q) = 2 Phi(q / sqrt(2)) - 1.
+        for &q in &[0.5, 1.0, 2.0, 3.0] {
+            let expected = 2.0 * normal_cdf(q / 2.0f64.sqrt()) - 1.0;
+            let got = studentized_range_cdf(q, 2);
+            assert!((got - expected).abs() < 1e-6, "q={q}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn studentized_range_quantiles_match_published_tables() {
+        // q_{0.05}(k, inf) from standard tables.
+        let table = [(2, 2.772), (3, 3.314), (4, 3.633), (5, 3.858), (10, 4.474)];
+        for (k, expected) in table {
+            let got = studentized_range_quantile(0.05, k);
+            assert!(
+                (got - expected).abs() < 0.01,
+                "k={k}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn nemenyi_critical_values_match_demsar() {
+        // Demsar (2006) Table 5 lists q_alpha = q_{alpha,k,inf} / sqrt(2).
+        let demsar_005 = [
+            (2, 1.960),
+            (3, 2.343),
+            (4, 2.569),
+            (5, 2.728),
+            (6, 2.850),
+            (10, 3.164),
+        ];
+        for (k, expected) in demsar_005 {
+            let got = studentized_range_quantile(0.05, k) / 2.0f64.sqrt();
+            assert!(
+                (got - expected).abs() < 0.01,
+                "k={k}: got {got}, expected {expected}"
+            );
+        }
+        let demsar_010 = [(2, 1.645), (3, 2.052), (7, 2.693)];
+        for (k, expected) in demsar_010 {
+            let got = studentized_range_quantile(0.10, k) / 2.0f64.sqrt();
+            assert!(
+                (got - expected).abs() < 0.01,
+                "k={k}: got {got}, expected {expected}"
+            );
+        }
+    }
+}

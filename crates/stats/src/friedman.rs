@@ -1,0 +1,191 @@
+//! The Friedman test and the post-hoc Nemenyi test.
+//!
+//! Following Demšar (2006), which the paper cites as its statistical
+//! methodology: to compare `k` measures over `N` datasets, each dataset
+//! ranks the measures (rank 1 = most accurate, midranks on ties); the
+//! Friedman test checks whether the average ranks deviate significantly
+//! from the all-equal null; if so, the Nemenyi post-hoc test declares two
+//! measures different when their average ranks differ by at least the
+//! critical difference `CD = q_alpha * sqrt(k(k+1) / (6N))`.
+
+use crate::dist::{chi_squared_cdf, studentized_range_quantile};
+use crate::rank::average_ranks_descending;
+
+/// Result of a Friedman test over an `N x k` accuracy table.
+#[derive(Debug, Clone)]
+pub struct FriedmanResult {
+    /// Average rank of each of the `k` measures (lower = better).
+    pub average_ranks: Vec<f64>,
+    /// The (tie-corrected) Friedman chi-squared statistic.
+    pub chi_squared: f64,
+    /// Degrees of freedom, `k - 1`.
+    pub dof: usize,
+    /// P-value from the chi-squared approximation.
+    pub p_value: f64,
+    /// Number of datasets `N`.
+    pub n_datasets: usize,
+}
+
+impl FriedmanResult {
+    /// Whether the ranks differ significantly at level `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs the Friedman test.
+///
+/// `accuracies[d]` holds the per-measure accuracy on dataset `d`; all rows
+/// must have the same width `k >= 2`, and there must be at least one row.
+/// Higher accuracy is better (receives a lower rank).
+///
+/// # Panics
+/// Panics on ragged input, `k < 2`, or `N == 0`.
+pub fn friedman_test(accuracies: &[Vec<f64>]) -> FriedmanResult {
+    let n = accuracies.len();
+    assert!(n > 0, "friedman_test requires at least one dataset");
+    let k = accuracies[0].len();
+    assert!(k >= 2, "friedman_test requires at least two measures");
+    assert!(
+        accuracies.iter().all(|row| row.len() == k),
+        "friedman_test requires a rectangular table"
+    );
+
+    let mut rank_sums = vec![0.0; k];
+    // Tie correction: sum over datasets of (t^3 - t) per tie group.
+    let mut tie_term = 0.0;
+    for row in accuracies {
+        let ranks = average_ranks_descending(row);
+        for (s, r) in rank_sums.iter_mut().zip(&ranks) {
+            *s += r;
+        }
+        for g in crate::rank::tie_group_sizes(row) {
+            let t = g as f64;
+            tie_term += t * t * t - t;
+        }
+    }
+    let average_ranks: Vec<f64> = rank_sums.iter().map(|s| s / n as f64).collect();
+
+    let nf = n as f64;
+    let kf = k as f64;
+    // Tie-corrected Friedman statistic (Conover form):
+    // chi2 = [12 * sum Rj^2 - 3 N^2 k (k+1)^2] / [N k (k+1) - C]
+    // with C = tie_term / (k - 1).
+    let sum_r2: f64 = rank_sums.iter().map(|s| s * s).sum();
+    let numerator = 12.0 * sum_r2 / nf - 3.0 * nf * kf * (kf + 1.0) * (kf + 1.0);
+    let denominator = kf * (kf + 1.0) - tie_term / (nf * (kf - 1.0));
+    let chi_squared = if denominator.abs() < 1e-12 {
+        0.0
+    } else {
+        (numerator / denominator).max(0.0)
+    };
+
+    let dof = k - 1;
+    let p_value = 1.0 - chi_squared_cdf(chi_squared, dof as f64);
+
+    FriedmanResult {
+        average_ranks,
+        chi_squared,
+        dof,
+        p_value,
+        n_datasets: n,
+    }
+}
+
+/// The Nemenyi critical difference for `k` measures over `n` datasets at
+/// significance level `alpha`: two measures are significantly different if
+/// their average ranks differ by at least this amount.
+pub fn nemenyi_critical_difference(alpha: f64, k: usize, n: usize) -> f64 {
+    assert!(k >= 2 && n >= 1);
+    let q_alpha = studentized_range_quantile(alpha, k) / 2.0f64.sqrt();
+    q_alpha * ((k * (k + 1)) as f64 / (6.0 * n as f64)).sqrt()
+}
+
+/// Full post-hoc analysis: pairs `(i, j)` of measure indices whose average
+/// ranks differ by at least the critical difference.
+pub fn nemenyi_significant_pairs(
+    result: &FriedmanResult,
+    alpha: f64,
+) -> (f64, Vec<(usize, usize)>) {
+    let k = result.average_ranks.len();
+    let cd = nemenyi_critical_difference(alpha, k, result.n_datasets);
+    let mut pairs = Vec::new();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if (result.average_ranks[i] - result.average_ranks[j]).abs() >= cd {
+                pairs.push((i, j));
+            }
+        }
+    }
+    (cd, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_measures_are_not_significant() {
+        // Every measure identical on every dataset: all midranks, chi2 = 0.
+        let table: Vec<Vec<f64>> = (0..10).map(|_| vec![0.5, 0.5, 0.5]).collect();
+        let r = friedman_test(&table);
+        assert!(r.chi_squared.abs() < 1e-9);
+        assert!(!r.significant_at(0.10));
+        assert!(r.average_ranks.iter().all(|&x| (x - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn dominant_measure_is_detected() {
+        // Measure 0 always best, measure 2 always worst, over 20 datasets.
+        let table: Vec<Vec<f64>> = (0..20)
+            .map(|d| {
+                let base = 0.5 + (d % 5) as f64 * 0.02;
+                vec![base + 0.2, base + 0.1, base]
+            })
+            .collect();
+        let r = friedman_test(&table);
+        assert!(r.significant_at(0.01), "p = {}", r.p_value);
+        assert_eq!(r.average_ranks, vec![1.0, 2.0, 3.0]);
+        let (cd, pairs) = nemenyi_significant_pairs(&r, 0.10);
+        assert!(cd > 0.0);
+        // Best and worst are separated by 2 ranks, clearly above CD for N=20, k=3.
+        assert!(pairs.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn friedman_statistic_matches_hand_computed_example() {
+        // Classic textbook example without ties, k = 3, N = 4:
+        // ranks per row fixed as (1,2,3) in varying orders.
+        let table = vec![
+            vec![0.9, 0.8, 0.7], // ranks 1,2,3
+            vec![0.9, 0.8, 0.7], // ranks 1,2,3
+            vec![0.8, 0.9, 0.7], // ranks 2,1,3
+            vec![0.9, 0.7, 0.8], // ranks 1,3,2
+        ];
+        // Rank sums: [5, 8, 11]; chi2 = 12/(4*3*4) * (25+64+121) - 3*4*4 = 4.5.
+        let r = friedman_test(&table);
+        assert!((r.chi_squared - 4.5).abs() < 1e-9, "chi2 = {}", r.chi_squared);
+        assert_eq!(r.dof, 2);
+    }
+
+    #[test]
+    fn critical_difference_shrinks_with_more_datasets() {
+        let cd_small = nemenyi_critical_difference(0.10, 5, 10);
+        let cd_large = nemenyi_critical_difference(0.10, 5, 100);
+        assert!(cd_large < cd_small);
+    }
+
+    #[test]
+    fn critical_difference_known_value() {
+        // Demsar example: k = 5, N = 30, alpha = 0.05 -> CD ~= 1.102.
+        // q_0.05(5) = 2.728, CD = 2.728 * sqrt(5*6 / (6*30)) = 2.728 * 0.4082.
+        let cd = nemenyi_critical_difference(0.05, 5, 30);
+        assert!((cd - 1.113).abs() < 0.02, "cd = {cd}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn ragged_input_panics() {
+        let _ = friedman_test(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+}

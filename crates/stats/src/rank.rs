@@ -1,0 +1,112 @@
+//! Ranking utilities with midrank tie handling.
+
+/// Assigns ranks `1..=n` to `values`, giving tied values the average of the
+/// ranks they span (midranks). Lower values receive lower ranks.
+///
+/// NaN values are not permitted.
+///
+/// # Panics
+/// Panics if any value is NaN.
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("average_ranks: NaN value encountered")
+    });
+
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // items i..=j are tied; their midrank is the mean of ranks i+1..=j+1.
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Ranks where *higher* values receive *lower* (better) ranks: rank 1 is the
+/// best. This is the convention for ranking classifiers by accuracy.
+pub fn average_ranks_descending(values: &[f64]) -> Vec<f64> {
+    let negated: Vec<f64> = values.iter().map(|v| -v).collect();
+    average_ranks(&negated)
+}
+
+/// Sizes of each tie group in `values` (groups of size 1 included), used
+/// for tie-correction terms.
+pub fn tie_group_sizes(values: &[f64]) -> Vec<usize> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("tie_group_sizes: NaN"));
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        groups.push(j - i + 1);
+        i = j + 1;
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranks_without_ties() {
+        assert_eq!(average_ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn tied_values_get_midranks() {
+        // [1, 2, 2, 3] -> ranks [1, 2.5, 2.5, 4]
+        assert_eq!(
+            average_ranks(&[1.0, 2.0, 2.0, 3.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
+    }
+
+    #[test]
+    fn all_tied_values_share_the_middle_rank() {
+        assert_eq!(average_ranks(&[5.0; 5]), vec![3.0; 5]);
+    }
+
+    #[test]
+    fn descending_ranks_put_best_first() {
+        // Accuracies: 0.9 is best -> rank 1.
+        assert_eq!(
+            average_ranks_descending(&[0.5, 0.9, 0.7]),
+            vec![3.0, 1.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn rank_sum_is_invariant() {
+        let vals = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        let n = vals.len() as f64;
+        let sum: f64 = average_ranks(&vals).iter().sum();
+        assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_groups() {
+        assert_eq!(tie_group_sizes(&[1.0, 2.0, 2.0, 2.0, 3.0, 3.0]), vec![1, 3, 2]);
+        assert_eq!(tie_group_sizes(&[1.0, 2.0, 3.0]), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(average_ranks(&[]).is_empty());
+        assert!(tie_group_sizes(&[]).is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! The Wilcoxon signed-rank test for paired samples.
+//!
+//! This is the pairwise test the paper uses (with a 95% confidence level)
+//! to decide whether one measure's per-dataset accuracies are significantly
+//! different from another's. Zero differences are discarded (the classic
+//! Wilcoxon treatment); tied absolute differences receive midranks. The
+//! exact null distribution is used for small samples (`n <= 20`, only valid
+//! without ties), and the normal approximation with tie correction and
+//! continuity correction otherwise.
+
+use crate::dist::normal_cdf;
+use crate::rank::average_ranks;
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilcoxonResult {
+    /// Sum of ranks of positive differences (`x - y > 0`).
+    pub w_plus: f64,
+    /// Sum of ranks of negative differences.
+    pub w_minus: f64,
+    /// Number of non-zero differences actually used.
+    pub n_used: usize,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl WilcoxonResult {
+    /// Whether the test rejects the null at the given significance level
+    /// (e.g. `0.05` for the paper's 95% confidence).
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs a two-sided Wilcoxon signed-rank test on paired samples.
+///
+/// Returns `None` if fewer than one non-zero difference remains (the test
+/// is undefined), mirroring how statistical packages refuse the degenerate
+/// case.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> Option<WilcoxonResult> {
+    assert_eq!(x.len(), y.len(), "paired test requires equal lengths");
+    let diffs: Vec<f64> = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return None;
+    }
+
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = average_ranks(&abs);
+    let mut w_plus = 0.0;
+    let mut w_minus = 0.0;
+    for (d, r) in diffs.iter().zip(&ranks) {
+        if *d > 0.0 {
+            w_plus += r;
+        } else {
+            w_minus += r;
+        }
+    }
+
+    let has_ties = {
+        let mut sorted = abs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.windows(2).any(|w| w[0] == w[1])
+    };
+
+    let p_value = if n <= 20 && !has_ties {
+        exact_p_value(w_plus.min(w_minus) as u64, n)
+    } else {
+        normal_approx_p_value(w_plus, &ranks, n)
+    };
+
+    Some(WilcoxonResult {
+        w_plus,
+        w_minus,
+        n_used: n,
+        p_value: p_value.clamp(0.0, 1.0),
+    })
+}
+
+/// Exact two-sided p-value for the statistic `w = min(W+, W-)` with `n`
+/// untied non-zero differences. Counts, for each achievable rank-sum `s`,
+/// the number of sign assignments with `W+ = s` via dynamic programming.
+fn exact_p_value(w: u64, n: usize) -> f64 {
+    let max_sum = n * (n + 1) / 2;
+    // counts[s] = number of subsets of {1..n} summing to s.
+    let mut counts = vec![0.0f64; max_sum + 1];
+    counts[0] = 1.0;
+    for r in 1..=n {
+        for s in (r..=max_sum).rev() {
+            counts[s] += counts[s - r];
+        }
+    }
+    let total = 2f64.powi(n as i32);
+    // Two-sided: P(min(W+,W-) <= w) = P(W+ <= w) + P(W+ >= max_sum - w).
+    // By symmetry of the null distribution those are equal.
+    let tail: f64 = counts[..=(w as usize).min(max_sum)].iter().sum();
+    (2.0 * tail / total).min(1.0)
+}
+
+/// Normal approximation with tie correction and continuity correction.
+fn normal_approx_p_value(w_plus: f64, ranks: &[f64], n: usize) -> f64 {
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    // Tie-corrected variance: sum of squared ranks / 4.
+    let var: f64 = ranks.iter().map(|r| r * r).sum::<f64>() / 4.0;
+    if var == 0.0 {
+        return 1.0;
+    }
+    let z = (w_plus - mean).abs() - 0.5; // continuity correction
+    let z = z.max(0.0) / var.sqrt();
+    2.0 * (1.0 - normal_cdf(z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_degenerate() {
+        let x = [1.0, 2.0, 3.0];
+        assert!(wilcoxon_signed_rank(&x, &x).is_none());
+    }
+
+    #[test]
+    fn symmetric_statistics() {
+        let x = [1.0, 2.5, 3.0, 4.0, 2.0, 7.0];
+        let y = [2.0, 2.0, 1.0, 4.5, 6.0, 3.0];
+        let a = wilcoxon_signed_rank(&x, &y).unwrap();
+        let b = wilcoxon_signed_rank(&y, &x).unwrap();
+        assert_eq!(a.w_plus, b.w_minus);
+        assert_eq!(a.w_minus, b.w_plus);
+        assert!((a.p_value - b.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_sums_total_correctly() {
+        let x = [5.0, 1.0, 8.0, 3.0, 9.0];
+        let y = [4.0, 2.0, 6.0, 7.0, 1.0];
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        let n = r.n_used as f64;
+        assert!((r.w_plus + r.w_minus - n * (n + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strongly_different_samples_are_significant() {
+        // x consistently larger than y across 30 pairs with varied gaps.
+        let x: Vec<f64> = (0..30).map(|i| 10.0 + (i % 7) as f64 * 0.618 + i as f64 * 0.01).collect();
+        let y: Vec<f64> = (0..30).map(|i| 5.0 + (i % 5) as f64 * 0.3).collect();
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!(r.p_value < 0.001, "p = {}", r.p_value);
+        assert!(r.significant_at(0.05));
+    }
+
+    #[test]
+    fn alternating_differences_are_not_significant() {
+        let x: Vec<f64> = (0..24).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = (0..24).map(|i| if i % 2 == 1 { 1.0 } else { 0.0 }).collect();
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!(r.p_value > 0.45, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn exact_small_sample_known_p_value() {
+        // n = 5, all differences positive with distinct magnitudes:
+        // W- = 0, exact two-sided p = 2 * (1/32) = 0.0625.
+        let x = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!((r.p_value - 0.0625).abs() < 1e-12, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn zero_differences_are_dropped() {
+        let x = [1.0, 2.0, 3.0, 5.0, 9.0];
+        let y = [1.0, 2.0, 4.0, 4.0, 2.0];
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert_eq!(r.n_used, 3);
+    }
+
+    #[test]
+    fn normal_approx_agrees_with_exact_on_moderate_samples() {
+        // n = 15 distinct differences: compare exact vs forced-normal paths.
+        let x: Vec<f64> = (0..15).map(|i| i as f64 * 1.37).collect();
+        let y: Vec<f64> = (0..15)
+            .map(|i| i as f64 * 1.37 + if i % 3 == 0 { 2.0 + i as f64 } else { -1.0 - i as f64 * 0.5 })
+            .collect();
+        let r = wilcoxon_signed_rank(&y, &x).unwrap();
+        let ranks = {
+            let diffs: Vec<f64> = y.iter().zip(&x).map(|(a, b)| (a - b).abs()).collect();
+            average_ranks(&diffs)
+        };
+        let approx = normal_approx_p_value(r.w_plus, &ranks, r.n_used);
+        assert!(
+            (approx - r.p_value).abs() < 0.05,
+            "exact {} vs approx {}",
+            r.p_value,
+            approx
+        );
+    }
+}

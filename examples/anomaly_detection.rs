@@ -1,0 +1,92 @@
+//! Nearest-neighbour anomaly detection over subsequences.
+//!
+//! The classic discord-style detector: slide a window over a long
+//! recording, score each window by its distance to its nearest
+//! *non-overlapping* neighbour, and flag the windows with the largest
+//! scores. The choice of distance measure decides what counts as
+//! anomalous — exactly why the paper's re-ranking of measures matters for
+//! downstream tasks (Section 1 lists anomaly detection among them).
+//!
+//! ```sh
+//! cargo run --release --example anomaly_detection
+//! ```
+
+use tsdist::measures::elastic::Msm;
+use tsdist::measures::lockstep::Euclidean;
+use tsdist::measures::{Distance, Normalization};
+
+/// A long quasi-periodic recording with one injected anomaly: a beat
+/// whose second half collapses.
+fn recording(n: usize, period: usize, anomaly_at: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let phase = (i % period) as f64 / period as f64;
+            let beat = (std::f64::consts::TAU * phase).sin()
+                + 0.4 * (2.0 * std::f64::consts::TAU * phase).sin();
+            // Deterministic pseudo-noise.
+            let noise = (((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5) * 0.15;
+            if i >= anomaly_at && i < anomaly_at + period / 2 {
+                0.15 * beat + noise // the collapsed beat
+            } else {
+                beat + noise
+            }
+        })
+        .collect()
+}
+
+/// Score every window by the distance to its nearest non-overlapping
+/// neighbour window (higher = more anomalous).
+fn discord_scores(signal: &[f64], window: usize, d: &dyn Distance) -> Vec<f64> {
+    let norm = Normalization::ZScore;
+    let windows: Vec<Vec<f64>> = signal
+        .windows(window)
+        .step_by(window / 2)
+        .map(|w| norm.apply(w))
+        .collect();
+    (0..windows.len())
+        .map(|i| {
+            let mut best = f64::INFINITY;
+            for (j, other) in windows.iter().enumerate() {
+                // Skip self and overlapping windows.
+                if i.abs_diff(j) < 2 {
+                    continue;
+                }
+                best = best.min(d.distance(&windows[i], other));
+            }
+            best
+        })
+        .collect()
+}
+
+fn main() {
+    let period = 64;
+    let n = 24 * period;
+    let anomaly_at = 10 * period + period / 4;
+    let signal = recording(n, period, anomaly_at);
+    let window = period;
+
+    println!("recording: {n} samples, anomaly injected at sample {anomaly_at}\n");
+
+    for (name, measure) in [
+        ("ED", Box::new(Euclidean) as Box<dyn Distance>),
+        ("MSM(c=0.5)", Box::new(Msm::new(0.5))),
+    ] {
+        let scores = discord_scores(&signal, window, measure.as_ref());
+        let (top_idx, top_score) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty");
+        let top_sample = top_idx * window / 2;
+        let hit = top_sample.abs_diff(anomaly_at) <= period;
+        println!(
+            "{name:<12} top discord at window {top_idx} (sample ~{top_sample}), score {top_score:.3} -> {}",
+            if hit { "FOUND the anomaly" } else { "missed" }
+        );
+        assert!(hit, "{name} should locate the collapsed beat");
+    }
+
+    println!("\nBoth measures flag the collapsed beat; on noisier data the");
+    println!("robust measures from the paper's Table 2 (Lorentzian, MSM)");
+    println!("keep the discord gap while ED's gap erodes.");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: compute distances with measures from every category and
+//! run a miniature paper-style comparison on a synthetic archive.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tsdist::data::synthetic::{generate_archive, ArchiveConfig};
+use tsdist::eval::{compare_to_baseline, evaluate_distance};
+use tsdist::measures::elastic::{Dtw, Msm};
+use tsdist::measures::kernel::Kdtw;
+use tsdist::measures::lockstep::{Euclidean, Lorentzian};
+use tsdist::measures::sliding::CrossCorrelation;
+use tsdist::measures::{Distance, KernelDistance, Normalization};
+
+fn main() {
+    // --- 1. Distances between two series, one measure per category. ---
+    let x = [0.0, 0.4, 1.2, 2.0, 1.2, 0.4, 0.0, -0.4];
+    let y = [0.1, 0.3, 1.0, 2.1, 1.4, 0.3, -0.1, -0.3];
+
+    println!("distances between x and y:");
+    let measures: Vec<(&str, Box<dyn Distance>)> = vec![
+        ("ED            (lock-step)", Box::new(Euclidean)),
+        ("Lorentzian    (lock-step)", Box::new(Lorentzian)),
+        ("NCC_c / SBD   (sliding)  ", Box::new(CrossCorrelation::sbd())),
+        ("DTW(δ=10)     (elastic)  ", Box::new(Dtw::with_window_pct(10.0))),
+        ("MSM(c=0.5)    (elastic)  ", Box::new(Msm::new(0.5))),
+        ("KDTW(ν=0.125) (kernel)   ", Box::new(KernelDistance(Kdtw::new(0.125)))),
+    ];
+    for (name, m) in &measures {
+        println!("  {name}  d = {:.4}", m.distance(&x, &y));
+    }
+
+    // --- 2. A miniature archive evaluation, paper style. ---
+    let archive = generate_archive(&ArchiveConfig::quick(14, 42));
+    println!("\n1-NN accuracy over {} synthetic datasets:", archive.len());
+
+    let accs = |d: &dyn Distance| -> Vec<f64> {
+        archive
+            .iter()
+            .map(|ds| evaluate_distance(d, ds, Normalization::ZScore))
+            .collect()
+    };
+    let ed = accs(&Euclidean);
+    let sbd = accs(&CrossCorrelation::sbd());
+    let msm = accs(&Msm::new(0.5));
+
+    for (name, a) in [("ED", &ed), ("NCC_c", &sbd), ("MSM", &msm)] {
+        let avg: f64 = a.iter().sum::<f64>() / a.len() as f64;
+        println!("  {name:<6} avg accuracy = {avg:.4}");
+    }
+
+    // --- 3. Statistical comparison (Wilcoxon signed-rank). ---
+    let row = compare_to_baseline("MSM vs ED", &msm, &ed);
+    println!(
+        "\nMSM vs ED: {} wins / {} ties / {} losses, p = {:?}, significant = {}",
+        row.better, row.equal, row.worse, row.p_value, row.significantly_better
+    );
+}

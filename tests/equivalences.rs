@@ -1,0 +1,100 @@
+//! Cross-measure equivalences the paper leans on.
+//!
+//! Section 5 criticizes an earlier study for missing that several
+//! measures are *equivalent* under specific normalizations and must
+//! therefore produce identical 1-NN accuracies. These tests pin the
+//! equivalences down in our implementation.
+
+use tsdist::data::synthetic::{generate_dataset, ArchiveConfig};
+use tsdist::eval::evaluate_distance;
+use tsdist::measures::lockstep::{
+    CityBlock, Cosine, Czekanowski, Euclidean, Gower, InnerProduct, Intersection, Minkowski,
+    Sorensen, SquaredEuclidean,
+};
+use tsdist::measures::sliding::{CrossCorrelation, NccVariant};
+use tsdist::measures::{Distance, Normalization};
+
+fn datasets() -> Vec<tsdist::data::Dataset> {
+    let cfg = ArchiveConfig::quick(6, 77);
+    (0..6).map(|i| generate_dataset(&cfg, i)).collect()
+}
+
+/// Two measures must produce identical accuracy on every dataset under
+/// the given normalization.
+fn assert_accuracy_equal(a: &dyn Distance, b: &dyn Distance, norm: Normalization) {
+    for ds in datasets() {
+        let acc_a = evaluate_distance(a, &ds, norm);
+        let acc_b = evaluate_distance(b, &ds, norm);
+        assert_eq!(
+            acc_a, acc_b,
+            "{} vs {} disagree on {} under {}",
+            a.name(),
+            b.name(),
+            ds.name,
+            norm.name()
+        );
+    }
+}
+
+#[test]
+fn ed_and_squared_ed_are_order_equivalent() {
+    // Squaring is monotone on non-negative distances.
+    assert_accuracy_equal(&Euclidean, &SquaredEuclidean, Normalization::ZScore);
+    assert_accuracy_equal(&Euclidean, &SquaredEuclidean, Normalization::MinMax);
+}
+
+#[test]
+fn ed_equals_cosine_and_inner_product_under_unit_length() {
+    // For unit-norm vectors ED^2 = 2 - 2<x,y>: all three are monotone
+    // transforms of each other — the classic equivalence from Section 5.
+    assert_accuracy_equal(&Euclidean, &Cosine, Normalization::UnitLength);
+    assert_accuracy_equal(&Euclidean, &InnerProduct, Normalization::UnitLength);
+}
+
+#[test]
+fn minkowski_special_cases_match_their_named_measures() {
+    assert_accuracy_equal(&Minkowski::new(2.0), &Euclidean, Normalization::ZScore);
+    assert_accuracy_equal(&Minkowski::new(1.0), &CityBlock, Normalization::ZScore);
+}
+
+#[test]
+fn czekanowski_equals_sorensen_everywhere() {
+    for norm in Normalization::ALL {
+        assert_accuracy_equal(&Czekanowski, &Sorensen, norm);
+    }
+}
+
+#[test]
+fn manhattan_family_order_equivalences() {
+    // Gower = L1/m and Intersection = L1/2 are monotone transforms of
+    // Manhattan for fixed-length data.
+    assert_accuracy_equal(&CityBlock, &Gower, Normalization::ZScore);
+    assert_accuracy_equal(&CityBlock, &Intersection, Normalization::MinMax);
+}
+
+#[test]
+fn ncc_variants_coincide_under_zscore() {
+    // Table 3's observation: under z-score (and UnitLength) NCC, NCC_b,
+    // and NCC_c produce the same accuracies (all norms equal sqrt(m) /
+    // 1), so their orderings coincide.
+    let raw = CrossCorrelation::new(NccVariant::Raw);
+    let biased = CrossCorrelation::new(NccVariant::Biased);
+    let coeff = CrossCorrelation::new(NccVariant::Coefficient);
+    assert_accuracy_equal(&raw, &biased, Normalization::ZScore);
+    assert_accuracy_equal(&biased, &coeff, Normalization::ZScore);
+    assert_accuracy_equal(&raw, &coeff, Normalization::UnitLength);
+}
+
+#[test]
+fn zscore_and_unit_length_give_identical_accuracy_for_scale_invariant_measures() {
+    // UnitLength differs from z-score only by a per-series positive
+    // scale after centering... for NCC_c (scale-invariant) the two give
+    // the same matrix up to scale, hence identical decisions, matching
+    // the identical rows in the paper's Tables 2-3.
+    let sbd = CrossCorrelation::sbd();
+    for ds in datasets() {
+        let a = evaluate_distance(&sbd, &ds, Normalization::ZScore);
+        let b = evaluate_distance(&sbd, &ds, Normalization::UnitLength);
+        assert_eq!(a, b, "NCC_c should agree under z-score and UnitLength");
+    }
+}
