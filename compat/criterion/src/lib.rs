@@ -1,0 +1,265 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small functional benchmark harness exposing the API surface its benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Each benchmark warms up briefly, then runs timed batches until
+//! a wall-clock budget is spent, and prints the mean time per iteration.
+//! There are no statistical reports, baselines, or HTML output; numbers
+//! are indicative, suitable for before/after comparison in one session.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier; mirrors `criterion::BenchmarkId::new(name, param)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// An id from a parameter alone, rendered as just the parameter.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name: `&str` or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Converts to the rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    /// Mean nanoseconds per iteration, recorded by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then running batches until the time
+    /// budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run for ~10% of the budget (at least one iteration) to
+        // stabilise caches and estimate per-iteration cost.
+        let warm_budget = self.budget.mul_f64(0.1);
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= warm_budget {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Measurement: batches sized to ~10ms each, until the budget ends.
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        while total_time < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_time += start.elapsed();
+            total_iters += batch;
+        }
+        self.mean_ns = total_time.as_secs_f64() * 1e9 / total_iters as f64;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn run_one(label: &str, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        budget,
+        mean_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.mean_ns.is_nan() {
+        println!("{label:<40} (no measurement)");
+    } else {
+        println!("{label:<40} time: {}", format_time(b.mean_ns));
+    }
+}
+
+/// A named group of related benchmarks; mirrors
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by wall-clock
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark wall-clock measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Accepted for API compatibility; ignored.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, self.budget, |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_one(&label, self.budget, |b| f(b));
+        self
+    }
+
+    /// Ends the group (stateless in the stub).
+    pub fn finish(self) {}
+}
+
+/// Top-level harness; mirrors `criterion::Criterion`.
+pub struct Criterion {
+    default_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Short default so full bench suites finish quickly; benches
+            // that need more call `measurement_time` themselves.
+            default_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.default_budget,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_label();
+        run_one(&label, self.default_budget, |b| f(b));
+        self
+    }
+}
+
+/// Declares a runner function invoking each benchmark target; mirrors
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking each group; mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_mean() {
+        let mut c = Criterion {
+            default_budget: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2u64 + 2)));
+        group.finish();
+    }
+}

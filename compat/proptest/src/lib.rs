@@ -1,0 +1,99 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of `proptest` its test suites use: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`, range and tuple strategies,
+//! [`collection::vec`], [`sample::Index`], and the `prop_assert*` /
+//! `prop_assume!` macros. Cases are generated from a deterministic
+//! per-test RNG (seeded from the test's module path and name), so runs
+//! are reproducible. Shrinking and failure persistence are intentionally
+//! not implemented: a failing case fails the test directly with the
+//! generated values visible via the assertion message.
+
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Entry point mirroring `proptest::proptest!`.
+///
+/// Accepts an optional `#![proptest_config(...)]` header followed by any
+/// number of test functions whose arguments use `name in strategy` syntax.
+/// Each function body is run [`test_runner::ProptestConfig::cases`] times
+/// with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property; mirrors `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property; mirrors `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property; mirrors `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current generated case when its precondition fails; mirrors
+/// `prop_assume!`. Expands to `continue` in the per-case loop, so it is
+/// only valid at the top level of a `proptest!` body (which is how the
+/// workspace uses it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

@@ -1,0 +1,40 @@
+//! Sampling helpers; mirrors `proptest::sample::Index`.
+
+use crate::strategy::{Arbitrary, Strategy};
+use crate::test_runner::TestRng;
+
+/// A length-agnostic index: generated once, projected onto any collection
+/// length via [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Maps this abstract index onto a collection of `len` elements.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`, matching upstream behaviour.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+}
+
+/// Canonical strategy for [`Index`].
+#[derive(Debug, Clone, Copy)]
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+
+    fn generate(&self, rng: &mut TestRng) -> Index {
+        Index(rng.next_u64() as usize)
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = IndexStrategy;
+
+    fn arbitrary() -> IndexStrategy {
+        IndexStrategy
+    }
+}

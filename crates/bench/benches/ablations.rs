@@ -17,7 +17,9 @@ fn series(m: usize, phase: f64) -> Vec<f64> {
 
 fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
-    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600));
 
     let x = series(256, 0.0);
     let y = series(256, 1.1);

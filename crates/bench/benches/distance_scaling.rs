@@ -1,6 +1,8 @@
 //! Distance cost versus series length — the asymptotic classes behind
 //! Figure 9: lock-step O(m), sliding O(m log m), elastic and alignment
-//! kernels O(m^2).
+//! kernels O(m^2) — plus the train-by-train `W` construction cost through
+//! the batch engine (workspace reuse + symmetric triangle + row
+//! parallelism) against the naive allocating double loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -11,6 +13,9 @@ use tsdist_core::kernel::{Gak, Kdtw, Sink};
 use tsdist_core::lockstep::{Euclidean, Lorentzian};
 use tsdist_core::measure::{Distance, Kernel};
 use tsdist_core::sliding::CrossCorrelation;
+use tsdist_core::Workspace;
+use tsdist_eval::symmetric_distance_matrix;
+use tsdist_linalg::Matrix;
 
 fn series(m: usize, phase: f64) -> Vec<f64> {
     (0..m).map(|i| (i as f64 * 0.17 + phase).sin()).collect()
@@ -18,7 +23,9 @@ fn series(m: usize, phase: f64) -> Vec<f64> {
 
 fn bench_distances(c: &mut Criterion) {
     let mut group = c.benchmark_group("distance_vs_length");
-    group.sample_size(10).measurement_time(Duration::from_millis(800));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800));
 
     for &m in &[64usize, 256, 1024] {
         let x = series(m, 0.0);
@@ -69,5 +76,56 @@ fn bench_distances(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_distances);
+/// One DTW δ=10% call: allocating path vs. reused-workspace path.
+fn bench_workspace_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw10_call");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800));
+    let d = Dtw::with_window_pct(10.0);
+    for &m in &[256usize, 1024] {
+        let x = series(m, 0.0);
+        let y = series(m, 0.9);
+        group.bench_with_input(BenchmarkId::new("alloc", m), &m, |b, _| {
+            b.iter(|| black_box(d.distance(&x, &y)))
+        });
+        group.bench_with_input(BenchmarkId::new("workspace", m), &m, |b, _| {
+            let mut ws = Workspace::new();
+            b.iter(|| black_box(d.distance_ws(&x, &y, &mut ws)))
+        });
+    }
+    group.finish();
+}
+
+/// Train-by-train `W` construction for DTW δ=10%: the seed's allocating
+/// serial double loop against the batch engine (per-worker workspaces,
+/// upper triangle + mirror, row-parallel).
+fn bench_w_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("w_construction_dtw10");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1500));
+    let d = Dtw::with_window_pct(10.0);
+    for &(n, m) in &[(24usize, 128usize), (48, 256)] {
+        let items: Vec<Vec<f64>> = (0..n).map(|i| series(m, i as f64 * 0.31)).collect();
+        let id = format!("{n}x{n}_len{m}");
+        group.bench_with_input(BenchmarkId::new("serial_alloc", &id), &n, |b, _| {
+            b.iter(|| {
+                let w = Matrix::from_fn(n, n, |i, j| d.distance(&items[i], &items[j]));
+                black_box(w)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batch_engine", &id), &n, |b, _| {
+            b.iter(|| black_box(symmetric_distance_matrix(&d, &items)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distances,
+    bench_workspace_reuse,
+    bench_w_construction
+);
 criterion_main!(benches);

@@ -14,7 +14,9 @@ fn signal(m: usize) -> Vec<f64> {
 
 fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
-    group.sample_size(10).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600));
 
     for &m in &[256usize, 1024, 4096] {
         // Power of two: radix-2 path.

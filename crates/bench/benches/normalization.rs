@@ -9,8 +9,12 @@ use tsdist_core::normalization::Normalization;
 
 fn bench_normalizations(c: &mut Criterion) {
     let mut group = c.benchmark_group("normalization");
-    group.sample_size(10).measurement_time(Duration::from_millis(400));
-    let x: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.0).collect();
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400));
+    let x: Vec<f64> = (0..1024)
+        .map(|i| (i as f64 * 0.37).sin() * 3.0 + 1.0)
+        .collect();
     for norm in Normalization::ALL {
         group.bench_with_input(
             BenchmarkId::new("apply_1024", norm.name()),

@@ -15,7 +15,9 @@ use tsdist_eval::{distance_matrix, loocv_accuracy, one_nn_accuracy, prepare, pru
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900));
 
     let raw = generate_dataset(&ArchiveConfig::quick(1, 13), 1);
     let ds = prepare(&raw, Normalization::ZScore);

@@ -10,16 +10,14 @@ fn main() {
     let cfg = ExperimentConfig::from_args();
     let archive = cfg.archive();
 
-    let stats: Vec<(String, tsdist_eval::PrunedSearchStats)> =
-        parallel_map(archive.len(), |i| {
-            let ds = prepare(&archive[i], Normalization::ZScore);
-            let band = (ds.series_len() as f64 * 0.1).ceil() as usize;
-            (archive[i].name.clone(), pruned_dtw_search(&ds, band))
-        });
+    let stats: Vec<(String, tsdist_eval::PrunedSearchStats)> = parallel_map(archive.len(), |i| {
+        let ds = prepare(&archive[i], Normalization::ZScore);
+        let band = (ds.series_len() as f64 * 0.1).ceil() as usize;
+        (archive[i].name.clone(), pruned_dtw_search(&ds, band))
+    });
 
-    let mut out = String::from(
-        "## Ablation: LB_Kim + LB_Keogh pruning in exact DTW(δ=10) 1-NN search\n",
-    );
+    let mut out =
+        String::from("## Ablation: LB_Kim + LB_Keogh pruning in exact DTW(δ=10) 1-NN search\n");
     out.push_str(&format!(
         "{:<28} {:>10} {:>8}\n",
         "dataset", "pruned", "acc"

@@ -19,7 +19,10 @@ fn main() {
     let variants: Vec<(&str, Box<dyn Distance>)> = vec![
         ("DDTW(δ=10)", Box::new(DerivativeDtw::with_window_pct(10.0))),
         ("WDTW(g=0.05)", Box::new(WeightedDtw::new(0.05))),
-        ("CID-DTW(δ=10)", Box::new(Cid::new(Dtw::with_window_pct(10.0)))),
+        (
+            "CID-DTW(δ=10)",
+            Box::new(Cid::new(Dtw::with_window_pct(10.0))),
+        ),
         ("DTW-Itakura(s=2)", Box::new(ItakuraDtw::new(2.0))),
         ("DTW(δ=100)", Box::new(Dtw::unconstrained())),
     ];

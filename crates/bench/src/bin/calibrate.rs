@@ -5,7 +5,7 @@
 
 use tsdist_bench::{archive_accuracies, ExperimentConfig};
 use tsdist_core::elastic::{Dtw, Msm, Twe};
-use tsdist_core::lockstep::{Euclidean, Lorentzian, CityBlock};
+use tsdist_core::lockstep::{CityBlock, Euclidean, Lorentzian};
 use tsdist_core::measure::Distance;
 use tsdist_core::normalization::Normalization;
 use tsdist_core::sliding::CrossCorrelation;
@@ -24,13 +24,26 @@ fn main() {
         ("TWE", Box::new(Twe::new(1.0, 1e-4))),
     ];
     println!("{:<12} {:>8}  per-archetype means", "measure", "avg");
-    let arche_names = ["shape", "shift", "warp", "heavytail", "ampscale", "trend", "mixed"];
+    let arche_names = [
+        "shape",
+        "shift",
+        "warp",
+        "heavytail",
+        "ampscale",
+        "trend",
+        "mixed",
+    ];
     for (name, m) in &measures {
         let accs = archive_accuracies(&archive, m.as_ref(), Normalization::ZScore);
         let avg: f64 = accs.iter().sum::<f64>() / accs.len() as f64;
         print!("{name:<12} {avg:>8.4}  ");
         for (ai, an) in arche_names.iter().enumerate() {
-            let vals: Vec<f64> = accs.iter().enumerate().filter(|(i, _)| i % 7 == ai).map(|(_, v)| *v).collect();
+            let vals: Vec<f64> = accs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 7 == ai)
+                .map(|(_, v)| *v)
+                .collect();
             if !vals.is_empty() {
                 let m = vals.iter().sum::<f64>() / vals.len() as f64;
                 print!("{an}={m:.3} ");

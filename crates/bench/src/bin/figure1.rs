@@ -13,15 +13,19 @@ fn main() {
     let a = &ds.train[0];
     let b = &ds.train[1];
 
-    let mut rows: Vec<(String, Vec<f64>)> = vec![
-        ("raw/a".into(), a.clone()),
-        ("raw/b".into(), b.clone()),
-    ];
+    let mut rows: Vec<(String, Vec<f64>)> =
+        vec![("raw/a".into(), a.clone()), ("raw/b".into(), b.clone())];
     for norm in Normalization::ALL {
         rows.push((format!("{}/a", norm.name()), norm.apply(a)));
         rows.push((format!("{}/b", norm.name()), norm.apply(b)));
     }
-    let header = format!("series,{}", (0..a.len()).map(|i| format!("t{i}")).collect::<Vec<_>>().join(","));
+    let header = format!(
+        "series,{}",
+        (0..a.len())
+            .map(|i| format!("t{i}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     let out = format!(
         "## Figure 1: normalization transforms of two series from {}\n{}",
         ds.name,

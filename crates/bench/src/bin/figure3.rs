@@ -17,7 +17,11 @@ fn main() {
         columns.push(archive_accuracies(&archive, &Lorentzian, norm));
     }
     names.push("ED [z-score]".into());
-    columns.push(archive_accuracies(&archive, &Euclidean, Normalization::ZScore));
+    columns.push(archive_accuracies(
+        &archive,
+        &Euclidean,
+        Normalization::ZScore,
+    ));
 
     let table: Vec<Vec<f64>> = (0..archive.len())
         .map(|d| columns.iter().map(|c| c[d]).collect())

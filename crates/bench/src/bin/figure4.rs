@@ -28,7 +28,11 @@ fn main() {
         columns.push(archive_accuracies(&archive, &sbd, norm));
     }
     names.push("Lorentzian [UnitLength]".into());
-    columns.push(archive_accuracies(&archive, &Lorentzian, Normalization::UnitLength));
+    columns.push(archive_accuracies(
+        &archive,
+        &Lorentzian,
+        Normalization::UnitLength,
+    ));
 
     let table: Vec<Vec<f64>> = (0..archive.len())
         .map(|d| columns.iter().map(|c| c[d]).collect())

@@ -30,8 +30,14 @@ fn main() {
         ("MSM(c=0.5)", Box::new(Msm::new(u::MSM_COST))),
         ("TWE", Box::new(Twe::new(u::TWE_LAMBDA, u::TWE_NU))),
         ("ERP", Box::new(Erp::new())),
-        ("GAK(γ=0.1)", Box::new(KernelDistance(Gak::new(u::GAK_GAMMA)))),
-        ("KDTW(γ=0.125)", Box::new(KernelDistance(Kdtw::new(u::KDTW_GAMMA)))),
+        (
+            "GAK(γ=0.1)",
+            Box::new(KernelDistance(Gak::new(u::GAK_GAMMA))),
+        ),
+        (
+            "KDTW(γ=0.125)",
+            Box::new(KernelDistance(Kdtw::new(u::KDTW_GAMMA))),
+        ),
     ];
 
     let mut out = String::from("## Figure 9: accuracy vs inference runtime\n");
@@ -40,9 +46,10 @@ fn main() {
         "measure", "avg acc", "total sec"
     ));
     for (name, m) in &measures {
-        let results = parallel_map(prepared.len(), |i| measure_inference(m.as_ref(), &prepared[i]));
-        let acc: f64 =
-            results.iter().map(|r| r.accuracy).sum::<f64>() / results.len() as f64;
+        let results = parallel_map(prepared.len(), |i| {
+            measure_inference(m.as_ref(), &prepared[i])
+        });
+        let acc: f64 = results.iter().map(|r| r.accuracy).sum::<f64>() / results.len() as f64;
         let secs: f64 = results.iter().map(|r| r.seconds).sum();
         out.push_str(&format!("{name:<16} {acc:>10.4} {secs:>14.4}\n"));
     }

@@ -18,8 +18,14 @@ fn main() {
     let mut out = String::new();
     out.push_str("## Table 4: parameter grids (supervised tuning)\n");
     out.push_str(&format!("MSM        c ∈ {{{}}}\n", fmt_grid(&p::MSM_COSTS)));
-    out.push_str(&format!("DTW        δ ∈ {{{}}}\n", fmt_grid(&p::DTW_WINDOWS)));
-    out.push_str(&format!("EDR        ε ∈ {{{}}}\n", fmt_grid(&p::EDR_EPSILONS)));
+    out.push_str(&format!(
+        "DTW        δ ∈ {{{}}}\n",
+        fmt_grid(&p::DTW_WINDOWS)
+    ));
+    out.push_str(&format!(
+        "EDR        ε ∈ {{{}}}\n",
+        fmt_grid(&p::EDR_EPSILONS)
+    ));
     out.push_str(&format!(
         "LCSS       δ ∈ {{{}}}, ε ∈ {{{}}}\n",
         fmt_grid(&p::LCSS_DELTAS),
@@ -36,11 +42,26 @@ fn main() {
         p::SWALE_PENALTY,
         p::SWALE_REWARD
     ));
-    out.push_str(&format!("Minkowski  p ∈ {{{}}}\n", fmt_grid(&p::MINKOWSKI_PS)));
-    out.push_str(&format!("KDTW       γ ∈ {{{}}}\n", fmt_grid(&p::kdtw_gammas())));
-    out.push_str(&format!("GAK        γ ∈ {{{}}}\n", fmt_grid(&p::GAK_GAMMAS)));
-    out.push_str(&format!("SINK       γ ∈ {{{}}}\n", fmt_grid(&p::sink_gammas())));
-    out.push_str(&format!("RBF        γ ∈ {{{}}}\n", fmt_grid(&p::rbf_gammas())));
+    out.push_str(&format!(
+        "Minkowski  p ∈ {{{}}}\n",
+        fmt_grid(&p::MINKOWSKI_PS)
+    ));
+    out.push_str(&format!(
+        "KDTW       γ ∈ {{{}}}\n",
+        fmt_grid(&p::kdtw_gammas())
+    ));
+    out.push_str(&format!(
+        "GAK        γ ∈ {{{}}}\n",
+        fmt_grid(&p::GAK_GAMMAS)
+    ));
+    out.push_str(&format!(
+        "SINK       γ ∈ {{{}}}\n",
+        fmt_grid(&p::sink_gammas())
+    ));
+    out.push_str(&format!(
+        "RBF        γ ∈ {{{}}}\n",
+        fmt_grid(&p::rbf_gammas())
+    ));
     out.push_str(&format!(
         "RWS        γ ∈ {{{}}}, D_max = {}\n",
         fmt_grid(&p::RWS_GAMMAS),

@@ -52,8 +52,16 @@ fn main() {
 
     // Figures 5 and 6: the same accuracies, ranked with Friedman+Nemenyi.
     for (fname, title, mut cols) in [
-        ("figure5.txt", "Figure 5: elastic + sliding ranking (supervised tuning)", sup_cols),
-        ("figure6.txt", "Figure 6: elastic + sliding ranking (unsupervised parameters)", unsup_cols),
+        (
+            "figure5.txt",
+            "Figure 5: elastic + sliding ranking (supervised tuning)",
+            sup_cols,
+        ),
+        (
+            "figure6.txt",
+            "Figure 6: elastic + sliding ranking (unsupervised parameters)",
+            unsup_cols,
+        ),
     ] {
         cols.push(("NCC_c".into(), baseline.clone()));
         let names: Vec<String> = cols.iter().map(|(n, _)| n.clone()).collect();

@@ -18,8 +18,7 @@ use tsdist_eval::{
 fn main() {
     let cfg = ExperimentConfig::from_args();
     let archive = cfg.archive();
-    let baseline =
-        archive_accuracies(&archive, &CrossCorrelation::sbd(), Normalization::ZScore);
+    let baseline = archive_accuracies(&archive, &CrossCorrelation::sbd(), Normalization::ZScore);
 
     let mut rows = Vec::new();
     let mut sup_cols: Vec<(String, Vec<f64>)> = Vec::new();
@@ -75,8 +74,16 @@ fn main() {
         }
     }
     for (fname, title, mut cols) in [
-        ("figure7.txt", "Figure 7: kernels + elastic + sliding (supervised)", sup_cols),
-        ("figure8.txt", "Figure 8: kernels + elastic + sliding (unsupervised)", unsup_cols),
+        (
+            "figure7.txt",
+            "Figure 7: kernels + elastic + sliding (supervised)",
+            sup_cols,
+        ),
+        (
+            "figure8.txt",
+            "Figure 8: kernels + elastic + sliding (unsupervised)",
+            unsup_cols,
+        ),
     ] {
         cols.push(("NCC_c".into(), baseline.clone()));
         let names: Vec<String> = cols.iter().map(|(n, _)| n.clone()).collect();

@@ -14,13 +14,16 @@ use tsdist_eval::{compare_to_baseline, evaluate_embedding_supervised, parallel_m
 fn main() {
     let cfg = ExperimentConfig::from_args();
     let archive = cfg.archive();
-    let baseline =
-        archive_accuracies(&archive, &CrossCorrelation::sbd(), Normalization::ZScore);
+    let baseline = archive_accuracies(&archive, &CrossCorrelation::sbd(), Normalization::ZScore);
 
     // Representation length: the paper's 100, capped by the smallest
     // training split (Nystroem cannot produce more dimensions than
     // landmarks).
-    let min_train = archive.iter().map(|d| d.n_train()).min().unwrap_or(EMBEDDING_DIMS);
+    let min_train = archive
+        .iter()
+        .map(|d| d.n_train())
+        .min()
+        .unwrap_or(EMBEDDING_DIMS);
     let dims = EMBEDDING_DIMS.min(min_train);
 
     let mut rows = Vec::new();
@@ -37,7 +40,11 @@ fn main() {
                 .expect("family registered");
             evaluate_embedding_supervised(&grid, ds).test_accuracy
         });
-        rows.push(compare_to_baseline(format!("{fname} [LOOCCV]"), &accs, &baseline));
+        rows.push(compare_to_baseline(
+            format!("{fname} [LOOCCV]"),
+            &accs,
+            &baseline,
+        ));
     }
 
     rows.sort_by(|a, b| b.average_accuracy.partial_cmp(&a.average_accuracy).unwrap());

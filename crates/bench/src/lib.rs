@@ -106,11 +106,7 @@ fn usage(message: &str) -> ! {
 
 /// Per-dataset accuracies of a distance measure across an archive,
 /// parallelized over datasets.
-pub fn archive_accuracies(
-    archive: &[Dataset],
-    d: &dyn Distance,
-    norm: Normalization,
-) -> Vec<f64> {
+pub fn archive_accuracies(archive: &[Dataset], d: &dyn Distance, norm: Normalization) -> Vec<f64> {
     parallel_map(archive.len(), |i| evaluate_distance(d, &archive[i], norm))
 }
 

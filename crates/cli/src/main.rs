@@ -210,6 +210,9 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
         names.push(m.name());
         accs.push(acc);
     }
+    if accs.is_empty() {
+        return Err("no measures given; run `tsdist measures` for the list".into());
+    }
     // Report against the first measure as the baseline, paper style.
     let baseline = vec![accs[0]];
     let rows: Vec<_> = names
@@ -240,8 +243,7 @@ fn cmd_evaluate_archive(args: &[String]) -> Result<(), String> {
     let [root] = rest.as_slice() else {
         return Err("usage: tsdist evaluate-archive <archive-root> [--measures m1,m2,...]".into());
     };
-    let archive =
-        load_ucr_archive(Path::new(root)).map_err(|e| format!("loading archive: {e}"))?;
+    let archive = load_ucr_archive(Path::new(root)).map_err(|e| format!("loading archive: {e}"))?;
     if archive.len() < 2 {
         return Err(format!(
             "archive at {root} has {} dataset(s); need at least 2 for statistics",
@@ -291,12 +293,18 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let (seed, rest) = take_flag(&rest, "--seed")?;
     let (quick, rest) = take_bool_flag(&rest, "--quick");
     let [out_dir] = rest.as_slice() else {
-        return Err(
-            "usage: tsdist generate <out-dir> [--datasets N] [--seed S] [--quick]".into(),
-        );
+        return Err("usage: tsdist generate <out-dir> [--datasets N] [--seed S] [--quick]".into());
     };
-    let n: usize = datasets.as_deref().unwrap_or("14").parse().map_err(|_| "bad --datasets")?;
-    let seed: u64 = seed.as_deref().unwrap_or("20").parse().map_err(|_| "bad --seed")?;
+    let n: usize = datasets
+        .as_deref()
+        .unwrap_or("14")
+        .parse()
+        .map_err(|_| "bad --datasets")?;
+    let seed: u64 = seed
+        .as_deref()
+        .unwrap_or("20")
+        .parse()
+        .map_err(|_| "bad --seed")?;
     let cfg = if quick {
         ArchiveConfig::quick(n, seed)
     } else {

@@ -49,10 +49,17 @@ pub fn resolve(spec: &str) -> Result<Box<dyn Distance>, String> {
         "dtw" => return Ok(Box::new(Dtw::with_window_pct(parse1(10.0)?))),
         "msm" => return Ok(Box::new(Msm::new(parse1(params::unsupervised::MSM_COST)?))),
         "twe" => {
-            let (l, n) = parse2(params::unsupervised::TWE_LAMBDA, params::unsupervised::TWE_NU)?;
+            let (l, n) = parse2(
+                params::unsupervised::TWE_LAMBDA,
+                params::unsupervised::TWE_NU,
+            )?;
             return Ok(Box::new(Twe::new(l, n)));
         }
-        "edr" => return Ok(Box::new(Edr::new(parse1(params::unsupervised::EDR_EPSILON)?))),
+        "edr" => {
+            return Ok(Box::new(Edr::new(parse1(
+                params::unsupervised::EDR_EPSILON,
+            )?)))
+        }
         "lcss" => {
             let (e, d) = parse2(
                 params::unsupervised::LCSS_EPSILON,
@@ -110,10 +117,7 @@ pub fn resolve(spec: &str) -> Result<Box<dyn Distance>, String> {
 
 /// All resolvable names, for `tsdist measures`.
 pub fn available() -> Vec<String> {
-    let mut names: Vec<String> = lockstep_parameter_free()
-        .iter()
-        .map(|m| m.name())
-        .collect();
+    let mut names: Vec<String> = lockstep_parameter_free().iter().map(|m| m.name()).collect();
     names.extend(
         [
             "Minkowski:<p>",

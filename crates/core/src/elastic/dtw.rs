@@ -8,6 +8,7 @@
 //! to the Euclidean alignment.
 
 use crate::measure::Distance;
+use crate::workspace::Workspace;
 
 /// DTW distance with a Sakoe–Chiba band.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +55,10 @@ impl Distance for Dtw {
     fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
         dtw_banded(x, y, self.band(x.len(), y.len()))
     }
+
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        dtw_banded_ws(x, y, self.band(x.len(), y.len()), ws)
+    }
 }
 
 /// Banded DTW with squared local costs and a two-row rolling DP — the
@@ -92,6 +97,39 @@ pub fn dtw_banded(x: &[f64], y: &[f64], band: usize) -> f64 {
     prev[n]
 }
 
+/// Allocation-free twin of [`dtw_banded`]: the DP rows live in `ws`.
+/// Bit-identical results (same operations in the same order).
+pub fn dtw_banded_ws(x: &[f64], y: &[f64], band: usize, ws: &mut Workspace) -> f64 {
+    let m = x.len();
+    let n = y.len();
+    if m == 0 || n == 0 {
+        return if m == n { 0.0 } else { f64::INFINITY };
+    }
+
+    const INF: f64 = f64::INFINITY;
+    let (mut prev, mut curr) = ws.dp_rows2(n + 1);
+    prev.fill(INF);
+    prev[0] = 0.0;
+
+    for i in 1..=m {
+        curr.fill(INF);
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(n);
+        if lo > hi {
+            std::mem::swap(&mut prev, &mut curr);
+            continue;
+        }
+        for j in lo..=hi {
+            let d = x[i - 1] - y[j - 1];
+            let cost = d * d;
+            let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[n]
+}
+
 /// Derivative DTW (Keogh & Pazzani 2001): DTW applied to the estimated
 /// first derivative
 /// `d_i = ((x_i - x_{i-1}) + (x_{i+1} - x_{i-1}) / 2) / 2`,
@@ -112,11 +150,21 @@ impl DerivativeDtw {
 
     /// Keogh's derivative estimate; endpoints copy their neighbour.
     pub fn derivative(x: &[f64]) -> Vec<f64> {
+        let mut d = Vec::new();
+        Self::derivative_into(x, &mut d);
+        d
+    }
+
+    /// [`DerivativeDtw::derivative`] writing into a reused buffer
+    /// (cleared first).
+    pub fn derivative_into(x: &[f64], d: &mut Vec<f64>) {
         let m = x.len();
+        d.clear();
         if m < 3 {
-            return vec![0.0; m];
+            d.resize(m, 0.0);
+            return;
         }
-        let mut d = Vec::with_capacity(m);
+        d.reserve(m);
         d.push(0.0);
         for i in 1..m - 1 {
             d.push(((x[i] - x[i - 1]) + (x[i + 1] - x[i - 1]) / 2.0) / 2.0);
@@ -124,7 +172,6 @@ impl DerivativeDtw {
         d.push(0.0);
         d[0] = d[1];
         d[m - 1] = d[m - 2];
-        d
     }
 }
 
@@ -136,6 +183,19 @@ impl Distance for DerivativeDtw {
     fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
         self.dtw
             .distance(&Self::derivative(x), &Self::derivative(y))
+    }
+
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        // The derivatives live in the aux arenas so the DP rows remain
+        // free for the nested banded-DTW call.
+        let mut dx = ws.take_aux();
+        let mut dy = ws.take_aux2();
+        Self::derivative_into(x, &mut dx);
+        Self::derivative_into(y, &mut dy);
+        let d = self.dtw.distance_ws(&dx, &dy, ws);
+        ws.put_aux(dx);
+        ws.put_aux2(dy);
+        d
     }
 }
 
@@ -188,6 +248,35 @@ impl Distance for WeightedDtw {
             std::mem::swap(&mut prev, &mut curr);
         }
         prev[n]
+    }
+
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let m = x.len();
+        let n = y.len();
+        if m == 0 || n == 0 {
+            return if m == n { 0.0 } else { f64::INFINITY };
+        }
+        const INF: f64 = f64::INFINITY;
+        let half = m.max(n) as f64 / 2.0;
+        let mut weights = ws.take_aux();
+        weights.extend((0..m.max(n)).map(|k| 1.0 / (1.0 + (-self.g * (k as f64 - half)).exp())));
+
+        let (mut prev, mut curr) = ws.dp_rows2(n + 1);
+        prev.fill(INF);
+        prev[0] = 0.0;
+        for i in 1..=m {
+            curr.fill(INF);
+            for j in 1..=n {
+                let d = x[i - 1] - y[j - 1];
+                let w = weights[i.abs_diff(j)];
+                let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
+                curr[j] = w * d * d + best;
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        let out = prev[n];
+        ws.put_aux(weights);
+        out
     }
 }
 
@@ -247,7 +336,11 @@ mod tests {
         let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.5).sin()).collect();
         let mut last = 0.0;
         for amp in [0.0, 0.2, 0.5, 1.0] {
-            let y: Vec<f64> = x.iter().enumerate().map(|(i, v)| v + amp * ((i % 3) as f64 - 1.0)).collect();
+            let y: Vec<f64> = x
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v + amp * ((i % 3) as f64 - 1.0))
+                .collect();
             let d = Dtw::unconstrained().distance(&x, &y);
             assert!(d >= last - 1e-12);
             last = d;

@@ -1,6 +1,7 @@
 //! The edit-distance-based elastic measures: LCSS, EDR, ERP, and Swale.
 
 use crate::measure::Distance;
+use crate::workspace::Workspace;
 
 /// Longest Common Subsequence distance (Vlachos et al. 2002).
 ///
@@ -38,11 +39,37 @@ impl Distance for Lcss {
         if m == 0 || n == 0 {
             return 1.0;
         }
-        let band = ((self.delta_pct / 100.0 * m.max(n) as f64).ceil() as usize)
-            .max(m.abs_diff(n));
+        let band = ((self.delta_pct / 100.0 * m.max(n) as f64).ceil() as usize).max(m.abs_diff(n));
 
         let mut prev = vec![0u32; n + 1];
         let mut curr = vec![0u32; n + 1];
+        for i in 1..=m {
+            curr.fill(0);
+            let lo = i.saturating_sub(band).max(1);
+            let hi = (i + band).min(n);
+            for j in lo..=hi {
+                if (x[i - 1] - y[j - 1]).abs() < self.epsilon {
+                    curr[j] = prev[j - 1] + 1;
+                } else {
+                    curr[j] = prev[j].max(curr[j - 1]);
+                }
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        let lcss = prev.iter().copied().max().unwrap_or(0) as f64;
+        1.0 - lcss / m.min(n) as f64
+    }
+
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let m = x.len();
+        let n = y.len();
+        if m == 0 || n == 0 {
+            return 1.0;
+        }
+        let band = ((self.delta_pct / 100.0 * m.max(n) as f64).ceil() as usize).max(m.abs_diff(n));
+
+        let (mut prev, mut curr) = ws.int_rows2(n + 1);
+        prev.fill(0);
         for i in 1..=m {
             curr.fill(0);
             let lo = i.saturating_sub(band).max(1);
@@ -93,6 +120,29 @@ impl Distance for Edr {
         }
         let mut prev: Vec<u32> = (0..=n as u32).collect();
         let mut curr = vec![0u32; n + 1];
+        for i in 1..=m {
+            curr[0] = i as u32;
+            for j in 1..=n {
+                let subcost = u32::from((x[i - 1] - y[j - 1]).abs() > self.epsilon);
+                curr[j] = (prev[j - 1] + subcost)
+                    .min(prev[j] + 1)
+                    .min(curr[j - 1] + 1);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[n] as f64 / m.max(n) as f64
+    }
+
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let m = x.len();
+        let n = y.len();
+        if m == 0 || n == 0 {
+            return if m == n { 0.0 } else { 1.0 };
+        }
+        let (mut prev, mut curr) = ws.int_rows2(n + 1);
+        for (j, slot) in prev.iter_mut().enumerate() {
+            *slot = j as u32;
+        }
         for i in 1..=m {
             curr[0] = i as u32;
             for j in 1..=n {
@@ -160,6 +210,32 @@ impl Distance for Erp {
         }
         prev[n]
     }
+
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let m = x.len();
+        let n = y.len();
+        let g = self.gap;
+        let (mut prev, mut curr) = ws.dp_rows2(n + 1);
+        // Row 0: deleting all of y against gaps (same running sum as the
+        // allocating path's `scan`).
+        prev[0] = 0.0;
+        let mut acc = 0.0;
+        for j in 1..=n {
+            acc += (y[j - 1] - g).abs();
+            prev[j] = acc;
+        }
+        for i in 1..=m {
+            curr[0] = prev[0] + (x[i - 1] - g).abs();
+            for j in 1..=n {
+                let match_cost = prev[j - 1] + (x[i - 1] - y[j - 1]).abs();
+                let del_x = prev[j] + (x[i - 1] - g).abs();
+                let del_y = curr[j - 1] + (y[j - 1] - g).abs();
+                curr[j] = match_cost.min(del_x).min(del_y);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[n]
+    }
 }
 
 /// Sequence Weighted ALignmEnt (Swale; Morse & Patel 2007).
@@ -192,7 +268,10 @@ impl Swale {
 
 impl Distance for Swale {
     fn name(&self) -> String {
-        format!("Swale(ε={},r={},p={})", self.epsilon, self.reward, self.penalty)
+        format!(
+            "Swale(ε={},r={},p={})",
+            self.epsilon, self.reward, self.penalty
+        )
     }
 
     fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
@@ -203,6 +282,30 @@ impl Distance for Swale {
         }
         let mut prev: Vec<f64> = (0..=n).map(|j| -self.penalty * j as f64).collect();
         let mut curr = vec![0.0; n + 1];
+        for i in 1..=m {
+            curr[0] = -self.penalty * i as f64;
+            for j in 1..=n {
+                if (x[i - 1] - y[j - 1]).abs() <= self.epsilon {
+                    curr[j] = prev[j - 1] + self.reward;
+                } else {
+                    curr[j] = (prev[j] - self.penalty).max(curr[j - 1] - self.penalty);
+                }
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        -prev[n]
+    }
+
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let m = x.len();
+        let n = y.len();
+        if m == 0 || n == 0 {
+            return 0.0;
+        }
+        let (mut prev, mut curr) = ws.dp_rows2(n + 1);
+        for (j, slot) in prev.iter_mut().enumerate() {
+            *slot = -self.penalty * j as f64;
+        }
         for i in 1..=m {
             curr[0] = -self.penalty * i as f64;
             for j in 1..=n {

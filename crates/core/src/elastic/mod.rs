@@ -28,7 +28,7 @@ pub mod msm;
 pub mod twe;
 pub mod variants;
 
-pub use dtw::{dtw_banded, DerivativeDtw, Dtw, WeightedDtw};
+pub use dtw::{dtw_banded, dtw_banded_ws, DerivativeDtw, Dtw, WeightedDtw};
 pub use edit::{Edr, Erp, Lcss, Swale};
 pub use lower_bounds::{keogh_envelope, lb_erp, lb_keogh, lb_keogh_full, lb_kim};
 pub use msm::Msm;
@@ -89,8 +89,7 @@ mod tests {
             .map(|i| (-((i as f64 - 10.0) / 3.0).powi(2) / 2.0).exp())
             .collect();
 
-        let ed_ratio =
-            Euclidean.distance(&x, &warped) / Euclidean.distance(&x, &other).max(1e-12);
+        let ed_ratio = Euclidean.distance(&x, &warped) / Euclidean.distance(&x, &other).max(1e-12);
         let dtw = Dtw::with_window_pct(20.0);
         let dtw_ratio = dtw.distance(&x, &warped) / dtw.distance(&x, &other).max(1e-12);
         assert!(

@@ -6,6 +6,7 @@
 //! one of the two measures the paper finds significantly better than DTW.
 
 use crate::measure::Distance;
+use crate::workspace::Workspace;
 
 /// TWE distance with deletion penalty `lambda` and stiffness `nu`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +66,38 @@ impl Distance for Twe {
                 // Delete in x.
                 let dx = prev[j] + (xi(i) - xi(i - 1)).abs() + self.nu + self.lambda;
                 // Delete in y.
+                let dy = curr[j - 1] + (yj(j) - yj(j - 1)).abs() + self.nu + self.lambda;
+                curr[j] = m_cost.min(dx).min(dy);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[n]
+    }
+
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let m = x.len();
+        let n = y.len();
+        if m == 0 || n == 0 {
+            return if m == n { 0.0 } else { f64::INFINITY };
+        }
+        let xi = |i: usize| if i == 0 { 0.0 } else { x[i - 1] };
+        let yj = |j: usize| if j == 0 { 0.0 } else { y[j - 1] };
+
+        let (mut prev, mut curr) = ws.dp_rows2(n + 1);
+        prev[0] = 0.0;
+        // Row 0: delete all of y.
+        for j in 1..=n {
+            prev[j] = prev[j - 1] + (yj(j) - yj(j - 1)).abs() + self.nu + self.lambda;
+        }
+
+        for i in 1..=m {
+            curr[0] = prev[0] + (xi(i) - xi(i - 1)).abs() + self.nu + self.lambda;
+            for j in 1..=n {
+                let m_cost = prev[j - 1]
+                    + (xi(i) - yj(j)).abs()
+                    + (xi(i - 1) - yj(j - 1)).abs()
+                    + 2.0 * self.nu * (i as f64 - j as f64).abs();
+                let dx = prev[j] + (xi(i) - xi(i - 1)).abs() + self.nu + self.lambda;
                 let dy = curr[j - 1] + (yj(j) - yj(j - 1)).abs() + self.nu + self.lambda;
                 curr[j] = m_cost.min(dx).min(dy);
             }

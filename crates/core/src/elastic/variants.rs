@@ -7,6 +7,7 @@
 //! ablation benches.
 
 use crate::measure::Distance;
+use crate::workspace::Workspace;
 
 /// Complexity-Invariant Distance (Batista et al. 2014): scales any base
 /// distance by the ratio of the two series' complexity estimates,
@@ -54,6 +55,23 @@ impl<D: Distance> Distance for Cid<D> {
         }
         d * hi / lo
     }
+
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let d = self.inner.distance_ws(x, y, ws);
+        let cx = Self::complexity(x);
+        let cy = Self::complexity(y);
+        let (hi, lo) = if cx >= cy { (cx, cy) } else { (cy, cx) };
+        if lo <= f64::EPSILON {
+            return d;
+        }
+        d * hi / lo
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // The complexity correction is symmetric; symmetry hinges on the
+        // wrapped measure.
+        self.inner.is_symmetric()
+    }
 }
 
 /// DTW constrained by the Itakura parallelogram instead of the
@@ -72,7 +90,10 @@ impl ItakuraDtw {
     /// # Panics
     /// Panics if `max_slope <= 1`.
     pub fn new(max_slope: f64) -> Self {
-        assert!(max_slope > 1.0, "Itakura slope must exceed 1, got {max_slope}");
+        assert!(
+            max_slope > 1.0,
+            "Itakura slope must exceed 1, got {max_slope}"
+        );
         ItakuraDtw { max_slope }
     }
 
@@ -126,6 +147,40 @@ impl Distance for ItakuraDtw {
             super::dtw::dtw_banded(x, y, m.max(n))
         }
     }
+
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let m = x.len();
+        let n = y.len();
+        if m == 0 || n == 0 {
+            return if m == n { 0.0 } else { f64::INFINITY };
+        }
+        const INF: f64 = f64::INFINITY;
+        let result = {
+            let (mut prev, mut curr) = ws.dp_rows2(n + 1);
+            prev.fill(INF);
+            prev[0] = 0.0;
+            for i in 1..=m {
+                curr.fill(INF);
+                for j in 1..=n {
+                    if !self.inside(i, j, m, n) {
+                        continue;
+                    }
+                    let d = x[i - 1] - y[j - 1];
+                    let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
+                    if best.is_finite() {
+                        curr[j] = d * d + best;
+                    }
+                }
+                std::mem::swap(&mut prev, &mut curr);
+            }
+            prev[n]
+        };
+        if result.is_finite() {
+            result
+        } else {
+            super::dtw::dtw_banded_ws(x, y, m.max(n), ws)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -152,8 +207,7 @@ mod tests {
         let cid = Cid::new(Euclidean);
         // smooth-vs-jagged gets inflated relative to smooth-vs-flatish.
         let ratio_cid = cid.distance(&smooth, &jagged) / cid.distance(&smooth, &flatish);
-        let ratio_ed =
-            Euclidean.distance(&smooth, &jagged) / Euclidean.distance(&smooth, &flatish);
+        let ratio_ed = Euclidean.distance(&smooth, &jagged) / Euclidean.distance(&smooth, &flatish);
         assert!(ratio_cid > ratio_ed);
     }
 

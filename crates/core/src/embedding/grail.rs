@@ -30,7 +30,10 @@ impl Grail {
     /// Creates a GRAIL embedder.
     pub fn new(gamma: f64, landmarks: usize, dims: usize, seed: u64) -> Self {
         assert!(gamma > 0.0, "GRAIL gamma must be positive");
-        assert!(landmarks > 0 && dims > 0, "landmarks and dims must be positive");
+        assert!(
+            landmarks > 0 && dims > 0,
+            "landmarks and dims must be positive"
+        );
         Grail {
             gamma,
             landmarks,
@@ -78,7 +81,11 @@ mod tests {
 
     fn toy(n: usize, m: usize) -> Vec<Vec<f64>> {
         (0..n)
-            .map(|i| (0..m).map(|j| ((j as f64 * 0.5) + i as f64 * 0.7).sin()).collect())
+            .map(|i| {
+                (0..m)
+                    .map(|j| ((j as f64 * 0.5) + i as f64 * 0.7).sin())
+                    .collect()
+            })
             .collect()
     }
 
@@ -102,8 +109,7 @@ mod tests {
         for i in 0..6 {
             for j in 0..6 {
                 let approx: f64 = z.row(i).iter().zip(z.row(j)).map(|(a, b)| a * b).sum();
-                let exact =
-                    kernel.kernel(&s[i], &s[j]) / (self_k[i] * self_k[j]).sqrt();
+                let exact = kernel.kernel(&s[i], &s[j]) / (self_k[i] * self_k[j]).sqrt();
                 assert!(
                     (approx - exact).abs() < 1e-6,
                     "({i},{j}): {approx} vs {exact}"

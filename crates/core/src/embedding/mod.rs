@@ -52,7 +52,12 @@ pub trait Embedding: Send + Sync {
 /// landmark is the seed index, each further landmark is the series
 /// farthest (max-min ED) from those already chosen. Returns indices into
 /// `series[..n_fit]`.
-pub(crate) fn select_landmarks(series: &[Vec<f64>], n_fit: usize, k: usize, seed: u64) -> Vec<usize> {
+pub(crate) fn select_landmarks(
+    series: &[Vec<f64>],
+    n_fit: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<usize> {
     let n = n_fit.min(series.len());
     let k = k.min(n);
     if k == 0 {
@@ -60,9 +65,8 @@ pub(crate) fn select_landmarks(series: &[Vec<f64>], n_fit: usize, k: usize, seed
     }
     let mut chosen = Vec::with_capacity(k);
     chosen.push((seed as usize) % n);
-    let ed2 = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum()
-    };
+    let ed2 =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum() };
     let mut min_dist: Vec<f64> = (0..n)
         .map(|i| ed2(&series[i], &series[chosen[0]]))
         .collect();
@@ -87,7 +91,11 @@ mod tests {
 
     fn toy_series(n: usize, m: usize) -> Vec<Vec<f64>> {
         (0..n)
-            .map(|i| (0..m).map(|j| ((i * 7 + j * 3) % 11) as f64 / 5.0 - 1.0).collect())
+            .map(|i| {
+                (0..m)
+                    .map(|j| ((i * 7 + j * 3) % 11) as f64 / 5.0 - 1.0)
+                    .collect()
+            })
             .collect()
     }
 
@@ -113,7 +121,10 @@ mod tests {
     #[test]
     fn landmark_selection_is_deterministic() {
         let s = toy_series(15, 12);
-        assert_eq!(select_landmarks(&s, 15, 6, 9), select_landmarks(&s, 15, 6, 9));
+        assert_eq!(
+            select_landmarks(&s, 15, 6, 9),
+            select_landmarks(&s, 15, 6, 9)
+        );
     }
 
     #[test]
@@ -128,7 +139,12 @@ mod tests {
         for e in embeddings {
             let z = e.embed(&s, 10);
             assert_eq!(z.rows(), 14, "{}", e.name());
-            assert!(z.cols() <= 6 || z.cols() == 6, "{}: cols {}", e.name(), z.cols());
+            assert!(
+                z.cols() <= 6 || z.cols() == 6,
+                "{}: cols {}",
+                e.name(),
+                z.cols()
+            );
             assert!(z.cols() >= 1);
             for i in 0..z.rows() {
                 for v in z.row(i) {
@@ -142,10 +158,22 @@ mod tests {
     fn embeddings_are_deterministic() {
         let s = toy_series(10, 16);
         for (a, b) in [
-            (Grail::new(5.0, 6, 4, 1).embed(&s, 8), Grail::new(5.0, 6, 4, 1).embed(&s, 8)),
-            (Rws::new(1.0, 4, 10, 1).embed(&s, 8), Rws::new(1.0, 4, 10, 1).embed(&s, 8)),
-            (Spiral::new(1.0, 6, 4, 1).embed(&s, 8), Spiral::new(1.0, 6, 4, 1).embed(&s, 8)),
-            (Sidl::new(4, 6, 2, 1).embed(&s, 8), Sidl::new(4, 6, 2, 1).embed(&s, 8)),
+            (
+                Grail::new(5.0, 6, 4, 1).embed(&s, 8),
+                Grail::new(5.0, 6, 4, 1).embed(&s, 8),
+            ),
+            (
+                Rws::new(1.0, 4, 10, 1).embed(&s, 8),
+                Rws::new(1.0, 4, 10, 1).embed(&s, 8),
+            ),
+            (
+                Spiral::new(1.0, 6, 4, 1).embed(&s, 8),
+                Spiral::new(1.0, 6, 4, 1).embed(&s, 8),
+            ),
+            (
+                Sidl::new(4, 6, 2, 1).embed(&s, 8),
+                Sidl::new(4, 6, 2, 1).embed(&s, 8),
+            ),
         ] {
             assert!(a.max_abs_diff(&b) < 1e-12);
         }
@@ -156,7 +184,9 @@ mod tests {
         // Two tight clusters; GRAIL embeddings must separate them.
         let m = 32;
         let mk = |phase: f64, eps: f64| -> Vec<f64> {
-            (0..m).map(|j| (j as f64 * 0.4 + phase).sin() + eps).collect()
+            (0..m)
+                .map(|j| (j as f64 * 0.4 + phase).sin() + eps)
+                .collect()
         };
         let mut series = Vec::new();
         for i in 0..6 {
@@ -167,7 +197,11 @@ mod tests {
         }
         let z = Grail::new(5.0, 8, 8, 3).embed(&series, 12);
         let ed = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt()
         };
         let within = ed(z.row(0), z.row(1));
         let across = ed(z.row(0), z.row(6));

@@ -141,7 +141,11 @@ mod tests {
 
     fn toy(n: usize, m: usize) -> Vec<Vec<f64>> {
         (0..n)
-            .map(|i| (0..m).map(|j| (j as f64 * 0.5 + i as f64 * 1.3).sin()).collect())
+            .map(|i| {
+                (0..m)
+                    .map(|j| (j as f64 * 0.5 + i as f64 * 1.3).sin())
+                    .collect()
+            })
             .collect()
     }
 

@@ -32,7 +32,10 @@ impl Spiral {
     /// Creates a SPIRAL embedder.
     pub fn new(gamma: f64, landmarks: usize, dims: usize, seed: u64) -> Self {
         assert!(gamma > 0.0, "SPIRAL gamma must be positive");
-        assert!(landmarks > 0 && dims > 0, "landmarks and dims must be positive");
+        assert!(
+            landmarks > 0 && dims > 0,
+            "landmarks and dims must be positive"
+        );
         Spiral {
             gamma,
             landmarks,

@@ -21,6 +21,7 @@
 //! `log k(x, y)` to full precision.
 
 use crate::measure::Kernel;
+use crate::workspace::Workspace;
 
 /// GAK with Gaussian bandwidth multiplier γ.
 ///
@@ -94,6 +95,50 @@ impl Gak {
             prev[n].ln() + log_scale
         }
     }
+
+    /// [`Gak::log_kernel`] with rolling rows drawn from `ws` instead of
+    /// fresh allocations; bit-identical to the allocating path.
+    pub fn log_kernel_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let m = x.len();
+        let n = y.len();
+        if m == 0 || n == 0 {
+            return if m == n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        let sigma_eff = self.sigma * (m.max(n) as f64).sqrt();
+        let inv = 1.0 / (2.0 * sigma_eff * sigma_eff);
+
+        let (mut prev, mut curr) = ws.dp_rows2(n + 1);
+        prev.fill(0.0);
+        prev[0] = 1.0;
+        let mut log_scale = 0.0f64;
+
+        for i in 1..=m {
+            curr[0] = 0.0;
+            let xi = x[i - 1];
+            let mut row_max = 0.0f64;
+            for j in 1..=n {
+                let d = xi - y[j - 1];
+                let k_local = (-d * d * inv).exp();
+                let kappa = k_local / (2.0 - k_local);
+                let v = kappa * (prev[j] + curr[j - 1] + prev[j - 1]);
+                curr[j] = v;
+                row_max = row_max.max(v);
+            }
+            if row_max > 0.0 && !(1e-120..=1e120).contains(&row_max) {
+                let f = 1.0 / row_max;
+                for v in curr.iter_mut() {
+                    *v *= f;
+                }
+                log_scale += row_max.ln();
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        if prev[n] <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            prev[n].ln() + log_scale
+        }
+    }
 }
 
 impl Kernel for Gak {
@@ -110,6 +155,20 @@ impl Kernel for Gak {
 
     fn log_kernel(&self, x: &[f64], y: &[f64]) -> f64 {
         Gak::log_kernel(self, x, y)
+    }
+
+    fn kernel_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        Gak::log_kernel_ws(self, x, y, ws).exp()
+    }
+
+    fn log_kernel_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        Gak::log_kernel_ws(self, x, y, ws)
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // The per-row rescale triggers on *row* maxima, which transposing
+        // the DP changes; values match only to rounding, not bit-for-bit.
+        false
     }
 }
 
@@ -153,7 +212,9 @@ mod tests {
     #[test]
     fn rescaled_dp_matches_logsumexp_oracle() {
         let x: Vec<f64> = (0..60).map(|i| (i as f64 * 0.3).sin() * 2.0).collect();
-        let y: Vec<f64> = (0..60).map(|i| (i as f64 * 0.31 + 0.4).cos() * 1.5).collect();
+        let y: Vec<f64> = (0..60)
+            .map(|i| (i as f64 * 0.31 + 0.4).cos() * 1.5)
+            .collect();
         for sigma in [0.05, 0.5, 1.0, 5.0] {
             let g = Gak::new(sigma);
             let fast = g.log_kernel(&x, &y);

@@ -22,6 +22,7 @@
 
 use super::log_add;
 use crate::measure::Kernel;
+use crate::workspace::Workspace;
 
 /// KDTW with stiffness ν (the paper's γ grid, `2^-15 ..= 2^0`; the
 /// unsupervised pick is `γ = 0.125`).
@@ -133,6 +134,86 @@ impl Kdtw {
         };
         log_add(log_k, log_kp)
     }
+
+    /// [`Kdtw::log_kernel_value`] with the four rolling rows and the
+    /// diagonal cache drawn from `ws`; bit-identical to the allocating
+    /// path.
+    pub fn log_kernel_value_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let m = x.len();
+        let n = y.len();
+        if m == 0 || n == 0 {
+            return if m == n { 0.0 } else { f64::NEG_INFINITY };
+        }
+
+        let min_mn = m.min(n);
+        let mut diag = ws.take_aux();
+        diag.extend((0..min_mn).map(|i| self.local(x[i], y[i])));
+        let result = {
+            let diag_at = |i: usize| diag[(i - 1).min(min_mn - 1)];
+
+            let (mut k_prev, mut k_curr, mut kp_prev, mut kp_curr) = ws.dp_rows4(n + 1);
+            let mut k_scale = 0.0f64;
+            let mut kp_scale = 0.0f64;
+
+            // Row 0.
+            k_prev[0] = 1.0;
+            kp_prev[0] = 1.0;
+            for j in 1..=n {
+                k_prev[j] = k_prev[j - 1] * self.local(x[0], y[j - 1]);
+                kp_prev[j] = kp_prev[j - 1] * diag_at(j);
+            }
+
+            for i in 1..=m {
+                k_curr[0] = k_prev[0] * self.local(x[i - 1], y[0]);
+                kp_curr[0] = kp_prev[0] * diag_at(i);
+                let mut k_max = k_curr[0];
+                let mut kp_max = kp_curr[0];
+                for j in 1..=n {
+                    let lk = self.local(x[i - 1], y[j - 1]);
+                    let v = lk * (k_prev[j] + k_curr[j - 1] + k_prev[j - 1]);
+                    k_curr[j] = v;
+                    k_max = k_max.max(v);
+
+                    let mut w = kp_prev[j] * diag_at(i) + kp_curr[j - 1] * diag_at(j);
+                    if i == j {
+                        w += kp_prev[j - 1] * lk;
+                    }
+                    kp_curr[j] = w;
+                    kp_max = kp_max.max(w);
+                }
+                if k_max > 0.0 && !(1e-120..=1e120).contains(&k_max) {
+                    let f = 1.0 / k_max;
+                    for v in k_curr.iter_mut() {
+                        *v *= f;
+                    }
+                    k_scale += k_max.ln();
+                }
+                if kp_max > 0.0 && !(1e-120..=1e120).contains(&kp_max) {
+                    let f = 1.0 / kp_max;
+                    for v in kp_curr.iter_mut() {
+                        *v *= f;
+                    }
+                    kp_scale += kp_max.ln();
+                }
+                std::mem::swap(&mut k_prev, &mut k_curr);
+                std::mem::swap(&mut kp_prev, &mut kp_curr);
+            }
+
+            let log_k = if k_prev[n] > 0.0 {
+                k_prev[n].ln() + k_scale
+            } else {
+                f64::NEG_INFINITY
+            };
+            let log_kp = if kp_prev[n] > 0.0 {
+                kp_prev[n].ln() + kp_scale
+            } else {
+                f64::NEG_INFINITY
+            };
+            log_add(log_k, log_kp)
+        };
+        ws.put_aux(diag);
+        result
+    }
 }
 
 impl Kernel for Kdtw {
@@ -146,6 +227,20 @@ impl Kernel for Kdtw {
 
     fn log_kernel(&self, x: &[f64], y: &[f64]) -> f64 {
         self.log_kernel_value(x, y)
+    }
+
+    fn kernel_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        self.log_kernel_value_ws(x, y, ws).exp()
+    }
+
+    fn log_kernel_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        self.log_kernel_value_ws(x, y, ws)
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // Per-row rescaling triggers on row maxima; transposing changes
+        // which rows rescale, so values agree only to rounding.
+        false
     }
 }
 

@@ -13,6 +13,7 @@
 //! places SINK and NCC_c together in the accuracy-to-runtime sweet spot.
 
 use crate::measure::Kernel;
+use crate::workspace::Workspace;
 use tsdist_fft::cross_correlation;
 
 /// The SINK kernel with exponent weight γ.
@@ -46,6 +47,29 @@ impl Kernel for Sink {
             .iter()
             .map(|&cc| (self.gamma * cc / denom).exp())
             .sum()
+    }
+
+    fn kernel_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let nx: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let ny: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let denom = (nx * ny).max(f64::MIN_POSITIVE);
+        ws.cc_scratch()
+            .cross_correlation(x, y)
+            .iter()
+            .map(|&cc| (self.gamma * cc / denom).exp())
+            .sum()
+    }
+
+    fn log_kernel_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        // Mirrors the trait's default `log_kernel` formula over the
+        // scratch-buffer kernel path.
+        self.kernel_ws(x, y, ws).max(f64::MIN_POSITIVE).ln()
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // cross_correlation(x, y) and (y, x) are reverses computed through
+        // different FFT pairings; equal only to rounding.
+        false
     }
 }
 
@@ -97,7 +121,11 @@ mod tests {
         // Larger gamma concentrates weight on the best shift, so the
         // normalized similarity to an unrelated series shrinks.
         let x = znorm(&(0..32).map(|i| (i as f64 * 0.7).sin()).collect::<Vec<_>>());
-        let y = znorm(&(0..32).map(|i| ((i * i % 13) as f64) - 6.0).collect::<Vec<_>>());
+        let y = znorm(
+            &(0..32)
+                .map(|i| ((i * i % 13) as f64) - 6.0)
+                .collect::<Vec<_>>(),
+        );
         let sim = |g: f64| {
             let k = Sink::new(g);
             k.kernel(&x, &y) / (k.self_kernel(&x) * k.self_kernel(&y)).sqrt()

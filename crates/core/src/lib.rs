@@ -17,6 +17,19 @@
 //! grids in [`params`], and a [`registry`] enumerating everything for the
 //! evaluation platform.
 //!
+//! ## The workspace hot path
+//!
+//! Batch callers (dissimilarity-matrix construction, 1-NN search) compare
+//! millions of pairs, so every measure also exposes an allocation-free
+//! entry point: [`Distance::distance_ws`] / [`Kernel::log_kernel_ws`] take
+//! a [`Workspace`] — a reusable scratch arena of DP rows, auxiliary
+//! vectors, and FFT buffers — and return *bit-identical* results to the
+//! allocating methods (enforced by the `ws_equivalence` test suite over
+//! the whole registry). Measures for which `d(x, y)` and `d(y, x)` are
+//! bit-identical on equal-length inputs advertise it via
+//! [`Distance::is_symmetric`], which lets matrix builders compute only the
+//! upper triangle of train-by-train matrices.
+//!
 //! ```
 //! use tsdist_core::measure::Distance;
 //! use tsdist_core::lockstep::{Euclidean, Lorentzian};
@@ -45,6 +58,8 @@ pub mod registry;
 pub mod shape;
 pub mod sliding;
 pub mod subsequence;
+pub mod workspace;
 
 pub use measure::{Distance, Kernel, KernelDistance, EPS};
 pub use normalization::{AdaptiveScaled, Normalization};
+pub use workspace::Workspace;

@@ -84,11 +84,7 @@ mod tests {
 
     #[test]
     fn all_symmetric() {
-        for m in [
-            &Taneja as &dyn Distance,
-            &KumarJohnson,
-            &AvgL1Linf,
-        ] {
+        for m in [&Taneja as &dyn Distance, &KumarJohnson, &AvgL1Linf] {
             assert!(
                 (m.distance(&X, &Y) - m.distance(&Y, &X)).abs() < 1e-12,
                 "{} not symmetric",

@@ -6,6 +6,7 @@
 use super::{clamp_pos, lockstep_measure, zip_sum};
 
 lockstep_measure!(
+    asymmetric
     /// Kullback–Leibler divergence: `sum x ln(x/y)`. Asymmetric.
     KullbackLeibler,
     "KullbackLeibler",
@@ -26,6 +27,7 @@ lockstep_measure!(
 );
 
 lockstep_measure!(
+    asymmetric
     /// K divergence: `sum x ln(2x / (x+y))`.
     KDivergence,
     "KDivergence",
@@ -94,9 +96,7 @@ mod tests {
         // Symmetric for this particular swap; use a non-symmetric pair.
         assert!((fwd - bwd).abs() < 1e-12);
         let z = [0.6, 0.3, 0.1];
-        assert!(
-            (KullbackLeibler.distance(&x, &z) - KullbackLeibler.distance(&z, &x)).abs() > 1e-6
-        );
+        assert!((KullbackLeibler.distance(&x, &z) - KullbackLeibler.distance(&z, &x)).abs() > 1e-6);
     }
 
     #[test]
@@ -108,17 +108,13 @@ mod tests {
 
     #[test]
     fn topsoe_is_twice_jensen_shannon() {
-        assert!(
-            (Topsoe.distance(&X, &Y) - 2.0 * JensenShannon.distance(&X, &Y)).abs() < 1e-12
-        );
+        assert!((Topsoe.distance(&X, &Y) - 2.0 * JensenShannon.distance(&X, &Y)).abs() < 1e-12);
     }
 
     #[test]
     fn jensen_shannon_equals_jensen_difference() {
         // Algebraically identical for densities.
-        assert!(
-            (JensenShannon.distance(&X, &Y) - JensenDifference.distance(&X, &Y)).abs() < 1e-10
-        );
+        assert!((JensenShannon.distance(&X, &Y) - JensenDifference.distance(&X, &Y)).abs() < 1e-10);
     }
 
     #[test]

@@ -25,11 +25,7 @@ impl Distance for Dissim {
     fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
         let m = x.len().min(y.len());
         if m < 2 {
-            return x
-                .iter()
-                .zip(y)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            return x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum();
         }
         let mut acc = 0.0;
         for i in 0..m - 1 {
@@ -71,6 +67,12 @@ impl Distance for AdaptiveScalingDistance {
             })
             .sum::<f64>()
             .sqrt()
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // The optimal scaling factor a* = (x·y)/(y·y) is fit to the second
+        // argument only.
+        false
     }
 }
 

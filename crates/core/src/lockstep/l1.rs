@@ -114,8 +114,7 @@ mod tests {
         outlier[0] = 4.0; // same L1 mass as inlier
         let l1_ratio = super::super::CityBlock.distance(&base, &outlier)
             / super::super::CityBlock.distance(&base, &inlier);
-        let lor_ratio =
-            Lorentzian.distance(&base, &outlier) / Lorentzian.distance(&base, &inlier);
+        let lor_ratio = Lorentzian.distance(&base, &outlier) / Lorentzian.distance(&base, &inlier);
         assert!((l1_ratio - 1.0).abs() < 1e-12);
         assert!(lor_ratio < 0.55, "Lorentzian should discount the spike");
     }

@@ -18,6 +18,7 @@
 use crate::measure::EPS;
 
 pub mod combinations;
+pub mod entropy;
 pub mod extra;
 pub mod fidelity;
 pub mod inner_product;
@@ -25,11 +26,12 @@ pub mod intersection;
 pub mod l1;
 pub mod minkowski;
 pub mod squared_l2;
-pub mod entropy;
 pub mod vicis;
 
 pub use combinations::{AvgL1Linf, KumarJohnson, Taneja};
-pub use entropy::{Jeffreys, JensenDifference, JensenShannon, KDivergence, KullbackLeibler, Topsoe};
+pub use entropy::{
+    Jeffreys, JensenDifference, JensenShannon, KDivergence, KullbackLeibler, Topsoe,
+};
 pub use extra::{AdaptiveScalingDistance, Dissim};
 pub use fidelity::{Bhattacharyya, Fidelity, Hellinger, Matusita, SquaredChord};
 pub use inner_product::{Cosine, Dice, HarmonicMean, InnerProduct, Jaccard, KumarHassebrook};
@@ -73,7 +75,29 @@ pub(crate) fn zip_sum(x: &[f64], y: &[f64], mut f: impl FnMut(f64, f64) -> f64) 
 
 /// Defines a parameter-free lock-step measure as a unit struct
 /// implementing [`crate::measure::Distance`].
+///
+/// Prefix the definition with `asymmetric` for measures whose formula
+/// treats the two arguments differently (KL, χ² variants): these override
+/// [`crate::measure::Distance::is_symmetric`] to `false` so the batch
+/// matrix engine computes both triangles.
 macro_rules! lockstep_measure {
+    (asymmetric $(#[$doc:meta])* $name:ident, $label:expr, |$x:ident, $y:ident| $body:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct $name;
+
+        impl crate::measure::Distance for $name {
+            fn name(&self) -> String {
+                $label.into()
+            }
+            fn distance(&self, $x: &[f64], $y: &[f64]) -> f64 {
+                $body
+            }
+            fn is_symmetric(&self) -> bool {
+                false
+            }
+        }
+    };
     ($(#[$doc:meta])* $name:ident, $label:expr, |$x:ident, $y:ident| $body:expr) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

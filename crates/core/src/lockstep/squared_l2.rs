@@ -13,6 +13,7 @@ lockstep_measure!(
 );
 
 lockstep_measure!(
+    asymmetric
     /// Pearson chi-squared distance: `sum (x-y)^2 / y`.
     PearsonChiSq,
     "PearsonChiSq",
@@ -20,6 +21,7 @@ lockstep_measure!(
 );
 
 lockstep_measure!(
+    asymmetric
     /// Neyman chi-squared distance: `sum (x-y)^2 / x`.
     NeymanChiSq,
     "NeymanChiSq",
@@ -82,9 +84,7 @@ mod tests {
 
     #[test]
     fn pearson_and_neyman_are_transposes() {
-        assert!(
-            (PearsonChiSq.distance(&X, &Y) - NeymanChiSq.distance(&Y, &X)).abs() < 1e-12
-        );
+        assert!((PearsonChiSq.distance(&X, &Y) - NeymanChiSq.distance(&Y, &X)).abs() < 1e-12);
     }
 
     #[test]

@@ -1,4 +1,15 @@
 //! The core distance-measure abstraction.
+//!
+//! Besides the original [`Distance::distance`] entry point, every measure
+//! exposes [`Distance::distance_ws`], an allocation-free twin taking a
+//! [`Workspace`] of reusable scratch buffers, and declares via
+//! [`Distance::is_symmetric`] whether `d(x, y)` and `d(y, x)` are
+//! *bit-identical* — the contract the batch matrix engine in
+//! `tsdist-eval` relies on to compute only the upper triangle of
+//! train×train matrices. The same pair of extensions exists on
+//! [`Kernel`] ([`Kernel::log_kernel_ws`], [`Kernel::is_symmetric`]).
+
+use crate::workspace::Workspace;
 
 /// A pairwise dissimilarity between two equal-purpose time series.
 ///
@@ -20,6 +31,35 @@ pub trait Distance: Send + Sync {
     /// documented otherwise, of equal length (the dataset substrate
     /// guarantees rectangular datasets).
     fn distance(&self, x: &[f64], y: &[f64]) -> f64;
+
+    /// The dissimilarity between `x` and `y`, using `ws` for scratch
+    /// memory instead of allocating.
+    ///
+    /// Must return exactly (bit-for-bit) the same value as
+    /// [`Distance::distance`]; the default simply delegates. DP- and
+    /// FFT-based measures override it to reuse the workspace arenas,
+    /// eliminating per-call heap traffic on the matrix-construction hot
+    /// path.
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let _ = ws;
+        self.distance(x, y)
+    }
+
+    /// Whether `distance(x, y)` and `distance(y, x)` are *bit-identical*
+    /// for all **equal-length** inputs (the only case the batch engine
+    /// mirrors; per-length normalizers like Gower divide by `x.len()` and
+    /// are asymmetric across lengths).
+    ///
+    /// This is a stronger promise than mathematical symmetry: the batch
+    /// engine uses it to compute only the upper triangle of train×train
+    /// matrices and mirror, so the mirrored cells must equal what a full
+    /// computation would have produced down to the last bit. Measures
+    /// whose formula is asymmetric (KL divergence, χ² variants, adaptive
+    /// scaling) and measures whose rounding depends on argument order
+    /// (FFT cross-correlation, rescaled log-space DPs) return `false`.
+    fn is_symmetric(&self) -> bool {
+        true
+    }
 }
 
 impl<D: Distance + ?Sized> Distance for Box<D> {
@@ -29,6 +69,12 @@ impl<D: Distance + ?Sized> Distance for Box<D> {
     fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
         (**self).distance(x, y)
     }
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        (**self).distance_ws(x, y, ws)
+    }
+    fn is_symmetric(&self) -> bool {
+        (**self).is_symmetric()
+    }
 }
 
 impl<D: Distance + ?Sized> Distance for &D {
@@ -37,6 +83,12 @@ impl<D: Distance + ?Sized> Distance for &D {
     }
     fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
         (**self).distance(x, y)
+    }
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        (**self).distance_ws(x, y, ws)
+    }
+    fn is_symmetric(&self) -> bool {
+        (**self).is_symmetric()
     }
 }
 
@@ -70,6 +122,35 @@ pub trait Kernel: Send + Sync {
     fn log_self_kernel(&self, x: &[f64]) -> f64 {
         self.log_kernel(x, x)
     }
+
+    /// The kernel value, using `ws` for scratch memory. Must be
+    /// bit-identical to [`Kernel::kernel`]; the default delegates.
+    fn kernel_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let _ = ws;
+        self.kernel(x, y)
+    }
+
+    /// The log kernel value, using `ws` for scratch memory. Must be
+    /// bit-identical to [`Kernel::log_kernel`]; the default delegates.
+    fn log_kernel_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let _ = ws;
+        self.log_kernel(x, y)
+    }
+
+    /// Log of the self-similarity, using `ws` for scratch memory.
+    fn log_self_kernel_ws(&self, x: &[f64], ws: &mut Workspace) -> f64 {
+        self.log_kernel_ws(x, x, ws)
+    }
+
+    /// Whether `log_kernel(x, y)` and `log_kernel(y, x)` are
+    /// bit-identical for all inputs (see [`Distance::is_symmetric`] for
+    /// why bit-exactness is the bar). The alignment kernels return
+    /// `false`: their per-row rescaling (GAK, KDTW) and FFT rounding
+    /// (SINK) depend on argument order even though the kernels are
+    /// mathematically symmetric.
+    fn is_symmetric(&self) -> bool {
+        true
+    }
 }
 
 impl<K: Kernel + ?Sized> Kernel for Box<K> {
@@ -87,6 +168,18 @@ impl<K: Kernel + ?Sized> Kernel for Box<K> {
     }
     fn log_self_kernel(&self, x: &[f64]) -> f64 {
         (**self).log_self_kernel(x)
+    }
+    fn kernel_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        (**self).kernel_ws(x, y, ws)
+    }
+    fn log_kernel_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        (**self).log_kernel_ws(x, y, ws)
+    }
+    fn log_self_kernel_ws(&self, x: &[f64], ws: &mut Workspace) -> f64 {
+        (**self).log_self_kernel_ws(x, ws)
+    }
+    fn is_symmetric(&self) -> bool {
+        (**self).is_symmetric()
     }
 }
 
@@ -108,6 +201,20 @@ impl<K: Kernel> Distance for KernelDistance<K> {
             return 1.0;
         }
         1.0 - (lxy - 0.5 * (lxx + lyy)).exp()
+    }
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let lxy = self.0.log_kernel_ws(x, y, ws);
+        let lxx = self.0.log_self_kernel_ws(x, ws);
+        let lyy = self.0.log_self_kernel_ws(y, ws);
+        if !lxx.is_finite() || !lyy.is_finite() {
+            return 1.0;
+        }
+        1.0 - (lxy - 0.5 * (lxx + lyy)).exp()
+    }
+    fn is_symmetric(&self) -> bool {
+        // `lxx + lyy` commutes bit-exactly, so the adapter is exactly as
+        // symmetric as the underlying kernel's cross term.
+        self.0.is_symmetric()
     }
 }
 

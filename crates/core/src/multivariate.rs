@@ -136,9 +136,7 @@ mod tests {
         use crate::lockstep::Euclidean;
         let x = vec![vec![1.0, 2.0, 3.0]];
         let y = vec![vec![2.0, 0.0, 4.0]];
-        assert!(
-            (ed_multivariate(&x, &y) - Euclidean.distance(&x[0], &y[0])).abs() < 1e-12
-        );
+        assert!((ed_multivariate(&x, &y) - Euclidean.distance(&x[0], &y[0])).abs() < 1e-12);
     }
 
     #[test]

@@ -190,6 +190,22 @@ impl<D: Distance> Distance for AdaptiveScaled<D> {
         let scaled: Vec<f64> = y.iter().map(|v| a * v).collect();
         self.inner.distance(x, &scaled)
     }
+
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut crate::Workspace) -> f64 {
+        let xy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+        let yy: f64 = y.iter().map(|b| b * b).sum();
+        let a = if yy > 0.0 { xy / yy } else { 1.0 };
+        let mut scaled = ws.take_aux();
+        scaled.extend(y.iter().map(|v| a * v));
+        let d = self.inner.distance_ws(x, &scaled, ws);
+        ws.put_aux(scaled);
+        d
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // The scaling factor is fit to the second argument only.
+        false
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +335,9 @@ mod tests {
         assert!(Normalization::AdaptiveScaling.is_pairwise());
         assert!(!Normalization::ZScore.is_pairwise());
         // AdaptiveScaling's per-series application is the identity.
-        assert_eq!(Normalization::AdaptiveScaling.apply(&[1.0, 2.0]), vec![1.0, 2.0]);
+        assert_eq!(
+            Normalization::AdaptiveScaling.apply(&[1.0, 2.0]),
+            vec![1.0, 2.0]
+        );
     }
 }

@@ -14,8 +14,8 @@ pub const DTW_WINDOWS: [f64; 22] = [
 
 /// EDR epsilon grid.
 pub const EDR_EPSILONS: [f64; 19] = [
-    0.001, 0.003, 0.005, 0.007, 0.009, 0.01, 0.03, 0.05, 0.07, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5,
-    0.6, 0.7, 0.8, 0.9,
+    0.001, 0.003, 0.005, 0.007, 0.009, 0.01, 0.03, 0.05, 0.07, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+    0.7, 0.8, 0.9,
 ];
 
 /// LCSS window grid (% of series length).
@@ -23,8 +23,8 @@ pub const LCSS_DELTAS: [f64; 2] = [5.0, 10.0];
 
 /// LCSS epsilon grid (same thresholds as EDR plus 1.0).
 pub const LCSS_EPSILONS: [f64; 20] = [
-    0.001, 0.003, 0.005, 0.007, 0.009, 0.01, 0.03, 0.05, 0.07, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5,
-    0.6, 0.7, 0.8, 0.9, 1.0,
+    0.001, 0.003, 0.005, 0.007, 0.009, 0.01, 0.03, 0.05, 0.07, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+    0.7, 0.8, 0.9, 1.0,
 ];
 
 /// TWE lambda grid.
@@ -46,8 +46,8 @@ pub const SWALE_REWARD: f64 = 1.0;
 
 /// Minkowski order grid.
 pub const MINKOWSKI_PS: [f64; 20] = [
-    0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.3, 1.5, 1.7, 1.9, 2.0, 3.0, 5.0, 7.0, 9.0, 11.0, 13.0,
-    15.0, 17.0, 20.0,
+    0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.3, 1.5, 1.7, 1.9, 2.0, 3.0, 5.0, 7.0, 9.0, 11.0, 13.0, 15.0,
+    17.0, 20.0,
 ];
 
 /// KDTW gamma grid: `2^-15 ..= 2^0`.
@@ -78,8 +78,8 @@ pub fn grail_gammas() -> Vec<f64> {
 
 /// RWS gamma grid (Table 4's log-spaced grid).
 pub const RWS_GAMMAS: [f64; 23] = [
-    1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.14, 0.19, 0.28, 0.39, 0.56, 0.79, 1.12, 1.58, 2.23, 3.16,
-    4.46, 6.30, 8.91, 10.0, 31.62, 1e2, 3e2, 1e3,
+    1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.14, 0.19, 0.28, 0.39, 0.56, 0.79, 1.12, 1.58, 2.23, 3.16, 4.46,
+    6.30, 8.91, 10.0, 31.62, 1e2, 3e2, 1e3,
 ];
 
 /// RWS maximum random-series length.

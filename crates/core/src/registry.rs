@@ -187,7 +187,10 @@ pub fn elastic_families() -> Vec<DistanceFamily> {
 pub fn elastic_unsupervised() -> Vec<(String, Box<dyn Distance>)> {
     use params::unsupervised as u;
     vec![
-        ("MSM(c=0.5)".into(), Box::new(Msm::new(u::MSM_COST)) as Box<dyn Distance>),
+        (
+            "MSM(c=0.5)".into(),
+            Box::new(Msm::new(u::MSM_COST)) as Box<dyn Distance>,
+        ),
         (
             "TWE(λ=1,ν=0.0001)".into(),
             Box::new(Twe::new(u::TWE_LAMBDA, u::TWE_NU)),
@@ -197,7 +200,11 @@ pub fn elastic_unsupervised() -> Vec<(String, Box<dyn Distance>)> {
         ("EDR(ε=0.1)".into(), Box::new(Edr::new(u::EDR_EPSILON))),
         (
             "Swale(ε=0.2)".into(),
-            Box::new(Swale::new(u::SWALE_EPSILON, params::SWALE_REWARD, params::SWALE_PENALTY)),
+            Box::new(Swale::new(
+                u::SWALE_EPSILON,
+                params::SWALE_REWARD,
+                params::SWALE_PENALTY,
+            )),
         ),
         (
             "LCSS(δ=5,ε=0.2)".into(),
@@ -245,7 +252,10 @@ pub fn kernel_families() -> Vec<KernelFamily> {
 pub fn kernel_unsupervised() -> Vec<(String, Box<dyn Kernel>)> {
     use params::unsupervised as u;
     vec![
-        ("KDTW(γ=0.125)".into(), Box::new(Kdtw::new(u::KDTW_GAMMA)) as Box<dyn Kernel>),
+        (
+            "KDTW(γ=0.125)".into(),
+            Box::new(Kdtw::new(u::KDTW_GAMMA)) as Box<dyn Kernel>,
+        ),
         ("GAK(γ=0.1)".into(), Box::new(Gak::new(u::GAK_GAMMA))),
         ("SINK(γ=5)".into(), Box::new(Sink::new(u::SINK_GAMMA))),
         ("RBF(γ=1)".into(), Box::new(Rbf::new(u::RBF_GAMMA))),
@@ -318,8 +328,7 @@ mod tests {
     fn elastic_families_match_table_4() {
         let fams = elastic_families();
         assert_eq!(fams.len(), 7);
-        let sizes: Vec<(&str, usize)> =
-            fams.iter().map(|f| (f.family, f.grid.len())).collect();
+        let sizes: Vec<(&str, usize)> = fams.iter().map(|f| (f.family, f.grid.len())).collect();
         assert!(sizes.contains(&("DTW", 22)));
         assert!(sizes.contains(&("MSM", 10)));
         assert!(sizes.contains(&("TWE", 30)));
@@ -333,8 +342,7 @@ mod tests {
     fn kernel_families_match_table_4() {
         let fams = kernel_families();
         assert_eq!(fams.len(), 4);
-        let sizes: Vec<(&str, usize)> =
-            fams.iter().map(|f| (f.family, f.grid.len())).collect();
+        let sizes: Vec<(&str, usize)> = fams.iter().map(|f| (f.family, f.grid.len())).collect();
         assert!(sizes.contains(&("KDTW", 16)));
         assert!(sizes.contains(&("GAK", 26)));
         assert!(sizes.contains(&("SINK", 20)));
@@ -343,7 +351,9 @@ mod tests {
 
     #[test]
     fn total_measure_count_is_71() {
-        let total = 52 + sliding_measures().len() + elastic_families().len()
+        let total = 52
+            + sliding_measures().len()
+            + elastic_families().len()
             + kernel_families().len()
             + embedding_families(10, 50, 0).len();
         assert_eq!(total, 71);

@@ -203,8 +203,7 @@ mod tests {
         // The centroid of class A bumps stays closer to A members than to
         // a sawtooth.
         let a: Vec<Vec<f64>> = [15.0, 25.0, 35.0].iter().map(|&c| bump(64, c)).collect();
-        let saw = Normalization::ZScore
-            .apply(&(0..64).map(|i| (i % 8) as f64).collect::<Vec<_>>());
+        let saw = Normalization::ZScore.apply(&(0..64).map(|i| (i % 8) as f64).collect::<Vec<_>>());
         let centroid = kshape_centroid(&a, 2);
         let sbd = CrossCorrelation::sbd();
         assert!(sbd.distance(&centroid, &a[0]) < sbd.distance(&centroid, &saw));

@@ -16,6 +16,7 @@
 //! which induces the identical 1-NN ordering.
 
 use crate::measure::Distance;
+use crate::workspace::Workspace;
 use tsdist_fft::{cross_correlation, overlap_at};
 
 /// The normalization variant of the cross-correlation measure (Eq. 11).
@@ -89,6 +90,38 @@ impl CrossCorrelation {
             }
         }
     }
+
+    /// [`CrossCorrelation::similarity`] with the FFT buffers drawn from
+    /// `ws`; bit-identical to the allocating path.
+    pub fn similarity_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        let cc = ws.cc_scratch().cross_correlation(x, y);
+        if cc.is_empty() {
+            return 0.0;
+        }
+        let m = x.len().max(y.len()) as f64;
+        match self.variant {
+            NccVariant::Raw => cc.iter().cloned().fold(f64::MIN, f64::max),
+            NccVariant::Biased => cc.iter().cloned().fold(f64::MIN, f64::max) / m,
+            NccVariant::Unbiased => cc
+                .iter()
+                .enumerate()
+                .map(|(w, &v)| {
+                    let overlap = overlap_at(x.len(), y.len(), w).max(1);
+                    v / overlap as f64
+                })
+                .fold(f64::MIN, f64::max),
+            NccVariant::Coefficient => {
+                let nx: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+                let ny: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+                let denom = nx * ny;
+                if denom <= 0.0 {
+                    0.0
+                } else {
+                    cc.iter().cloned().fold(f64::MIN, f64::max) / denom
+                }
+            }
+        }
+    }
 }
 
 impl Distance for CrossCorrelation {
@@ -106,6 +139,19 @@ impl Distance for CrossCorrelation {
             NccVariant::Coefficient => 1.0 - self.similarity(x, y),
             _ => -self.similarity(x, y),
         }
+    }
+
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        match self.variant {
+            NccVariant::Coefficient => 1.0 - self.similarity_ws(x, y, ws),
+            _ => -self.similarity_ws(x, y, ws),
+        }
+    }
+
+    fn is_symmetric(&self) -> bool {
+        // The FFT cross-correlation's rounding depends on which argument
+        // is conjugated, so d(x, y) and d(y, x) match only approximately.
+        false
     }
 }
 

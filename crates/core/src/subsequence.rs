@@ -59,7 +59,11 @@ pub fn mass(query: &[f64], series: &[f64]) -> Vec<f64> {
     let wf = w as f64;
 
     let q_mean = query.iter().sum::<f64>() / wf;
-    let q_var = query.iter().map(|v| (v - q_mean) * (v - q_mean)).sum::<f64>() / wf;
+    let q_var = query
+        .iter()
+        .map(|v| (v - q_mean) * (v - q_mean))
+        .sum::<f64>()
+        / wf;
     let q_std = q_var.sqrt();
     let query_constant = q_std <= 1e-12;
 
@@ -240,12 +244,7 @@ mod tests {
         let mut series: Vec<f64> = (0..10 * period)
             .map(|i| (std::f64::consts::TAU * (i % period) as f64 / period as f64).sin())
             .collect();
-        for (i, v) in series
-            .iter_mut()
-            .enumerate()
-            .skip(5 * period)
-            .take(period)
-        {
+        for (i, v) in series.iter_mut().enumerate().skip(5 * period).take(period) {
             *v = 0.1 * *v + ((i * 7 % 5) as f64) / 2.0;
         }
         let (i, d) = top_discord(&series, period);

@@ -141,8 +141,12 @@ pub fn generate_dataset(config: &ArchiveConfig, index: usize) -> Dataset {
 
     let m = rng.gen_range(config.length.0..=config.length.1);
     let k = rng.gen_range(config.classes.0..=config.classes.1);
-    let n_train = rng.gen_range(config.train_size.0..=config.train_size.1).max(k);
-    let n_test = rng.gen_range(config.test_size.0..=config.test_size.1).max(k);
+    let n_train = rng
+        .gen_range(config.train_size.0..=config.train_size.1)
+        .max(k);
+    let n_test = rng
+        .gen_range(config.test_size.0..=config.test_size.1)
+        .max(k);
     let irregular = rng.gen_bool(config.irregular_fraction);
 
     let params = DistortionParams::sample(archetype, &mut rng);

@@ -2,8 +2,7 @@
 //! paper's table rows and critical-difference figures.
 
 use tsdist_stats::{
-    friedman_test, holm_adjust, nemenyi_critical_difference, wilcoxon_signed_rank,
-    FriedmanResult,
+    friedman_test, holm_adjust, nemenyi_critical_difference, wilcoxon_signed_rank, FriedmanResult,
 };
 
 /// One row of a comparison table (Tables 2/3/5/6/7): a measure against
@@ -110,7 +109,8 @@ pub fn render_table(
                 .unwrap_or_else(|| "-".into()),
         ));
     }
-    let base_avg = baseline_accuracies.iter().sum::<f64>() / baseline_accuracies.len().max(1) as f64;
+    let base_avg =
+        baseline_accuracies.iter().sum::<f64>() / baseline_accuracies.len().max(1) as f64;
     out.push_str(&format!(
         "{:<34} {:>7} {:>9.4} {:>5} {:>5} {:>5}  -\n",
         baseline_name, "-", base_avg, "-", "-", "-",
@@ -128,7 +128,10 @@ pub fn holm_adjusted_p_values(rows: &[PairwiseComparison]) -> Vec<Option<f64>> {
     let adjusted = holm_adjust(&raw);
     let mut iter = adjusted.into_iter();
     rows.iter()
-        .map(|r| r.p_value.map(|_| iter.next().expect("one adjusted value per raw p")))
+        .map(|r| {
+            r.p_value
+                .map(|_| iter.next().expect("one adjusted value per raw p"))
+        })
         .collect()
 }
 

@@ -2,12 +2,16 @@
 //! the supervised (LOOCCV) and unsupervised settings, and category-
 //! specific paths for distances, kernels, and embeddings.
 
-use crate::matrices::{distance_matrix, embedding_matrices, kernel_matrices};
+use crate::matrices::{
+    distance_matrix, embedding_matrices, kernel_matrices, kernel_matrices_into,
+    symmetric_distance_matrix_into,
+};
 use crate::nn::{loocv_accuracy, one_nn_accuracy};
 use tsdist_core::embedding::Embedding;
 use tsdist_core::measure::{Distance, Kernel};
 use tsdist_core::normalization::{AdaptiveScaled, Normalization};
 use tsdist_data::Dataset;
+use tsdist_linalg::Matrix;
 
 /// Applies the study's preprocessing: every series is first z-normalized
 /// (the paper z-normalizes all datasets for archive compatibility), then
@@ -59,13 +63,16 @@ pub fn evaluate_distance_supervised(
     let prepared = prepare(ds, norm);
     let mut best_idx = 0;
     let mut best_train = f64::NEG_INFINITY;
+    // One `W` buffer reused across the whole grid; symmetric measures only
+    // compute the upper triangle.
+    let mut w = Matrix::zeros(0, 0);
     for (idx, d) in grid.iter().enumerate() {
-        let w = if norm.is_pairwise() {
+        if norm.is_pairwise() {
             let wrapped = AdaptiveScaled::new(d);
-            distance_matrix(&wrapped, &prepared.train, &prepared.train)
+            symmetric_distance_matrix_into(&wrapped, &prepared.train, &mut w);
         } else {
-            distance_matrix(d.as_ref(), &prepared.train, &prepared.train)
-        };
+            symmetric_distance_matrix_into(d.as_ref(), &prepared.train, &mut w);
+        }
         let train_acc = loocv_accuracy(&w, &prepared.train_labels);
         if train_acc > best_train {
             best_train = train_acc;
@@ -94,19 +101,22 @@ pub fn evaluate_kernel_supervised(grid: &[Box<dyn Kernel>], ds: &Dataset) -> Sup
     let prepared = prepare(ds, Normalization::ZScore);
     let mut best_idx = 0;
     let mut best_train = f64::NEG_INFINITY;
-    let mut best_e = None;
+    // `W` and `E` buffers are reused across the grid; the best `E` so far
+    // is kept by swapping, so no matrix is ever cloned.
+    let mut w = Matrix::zeros(0, 0);
+    let mut e = Matrix::zeros(0, 0);
+    let mut best_e = Matrix::zeros(0, 0);
     for (idx, k) in grid.iter().enumerate() {
-        let (w, e) = kernel_matrices(k.as_ref(), &prepared.train, &prepared.test);
+        kernel_matrices_into(k.as_ref(), &prepared.train, &prepared.test, &mut w, &mut e);
         let train_acc = loocv_accuracy(&w, &prepared.train_labels);
         if train_acc > best_train {
             best_train = train_acc;
             best_idx = idx;
-            best_e = Some(e);
+            std::mem::swap(&mut best_e, &mut e);
         }
     }
-    let e = best_e.expect("at least one grid point");
     SupervisedOutcome {
-        test_accuracy: one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels),
+        test_accuracy: one_nn_accuracy(&best_e, &prepared.test_labels, &prepared.train_labels),
         train_accuracy: best_train,
         best_index: best_idx,
     }

@@ -6,6 +6,7 @@
 //! and for sanity analyses — e.g. verifying that a measure's advantage is
 //! not an artifact of the `k = 1` decision boundary.
 
+use crate::error::EvalError;
 use tsdist_data::Label;
 use tsdist_linalg::Matrix;
 
@@ -15,31 +16,64 @@ use tsdist_linalg::Matrix;
 /// `k = 1`.
 ///
 /// # Panics
-/// Panics on shape mismatches or `k == 0`.
+/// Panics on shape mismatches or `k == 0`; see [`try_knn_accuracy`] for
+/// the fallible variant.
 pub fn knn_accuracy(e: &Matrix, test_labels: &[Label], train_labels: &[Label], k: usize) -> f64 {
-    assert!(k >= 1, "k must be at least 1");
-    assert_eq!(e.rows(), test_labels.len(), "row/label count mismatch");
-    assert_eq!(e.cols(), train_labels.len(), "col/label count mismatch");
+    try_knn_accuracy(e, test_labels, train_labels, k).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// [`knn_accuracy`] returning a typed error instead of panicking on shape
+/// mismatches or `k == 0`.
+pub fn try_knn_accuracy(
+    e: &Matrix,
+    test_labels: &[Label],
+    train_labels: &[Label],
+    k: usize,
+) -> Result<f64, EvalError> {
+    if k == 0 {
+        return Err(EvalError::ZeroK);
+    }
+    if e.rows() != test_labels.len() {
+        return Err(EvalError::ShapeMismatch {
+            what: "row/label count",
+            expected: e.rows(),
+            got: test_labels.len(),
+        });
+    }
+    if e.cols() != train_labels.len() {
+        return Err(EvalError::ShapeMismatch {
+            what: "col/label count",
+            expected: e.cols(),
+            got: train_labels.len(),
+        });
+    }
     let mut correct = 0usize;
     for (i, &truth) in test_labels.iter().enumerate() {
         if predict_row(e.row(i), train_labels, k) == truth {
             correct += 1;
         }
     }
-    correct as f64 / test_labels.len().max(1) as f64
+    Ok(correct as f64 / test_labels.len().max(1) as f64)
 }
 
 /// Predicts one test series from its distance row.
+///
+/// Distances are ordered by [`f64::total_cmp`], so NaN distances (which a
+/// degenerate measure/normalization combination can produce) sort after
+/// every finite value instead of panicking, and the selection stays
+/// deterministic.
 fn predict_row(row: &[f64], train_labels: &[Label], k: usize) -> Label {
     let k = k.min(train_labels.len());
-    // Indices of the k smallest distances, in increasing distance order.
+    let by_distance_then_index = |a: &usize, b: &usize| row[*a].total_cmp(&row[*b]).then(a.cmp(b));
+    // Indices of the k smallest distances, in increasing distance order:
+    // an O(n) partial selection of the k nearest, then a sort of only
+    // those k, instead of sorting the whole row.
     let mut idx: Vec<usize> = (0..row.len()).collect();
-    idx.sort_by(|&a, &b| {
-        row[a]
-            .partial_cmp(&row[b])
-            .expect("non-NaN distances")
-            .then(a.cmp(&b))
-    });
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, by_distance_then_index);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(by_distance_then_index);
     let neighbours = &idx[..k];
 
     // Majority vote; ties resolve to the class whose nearest member comes
@@ -221,6 +255,38 @@ mod tests {
         assert_eq!(cm.precision(1), Some(1.0));
         let f1 = cm.macro_f1();
         assert!(f1 > 0.7 && f1 < 0.9, "f1 = {f1}");
+    }
+
+    #[test]
+    fn try_knn_reports_typed_errors() {
+        let (e, test, train) = toy_matrix();
+        assert!(matches!(
+            try_knn_accuracy(&e, &test, &train, 0),
+            Err(EvalError::ZeroK)
+        ));
+        assert!(matches!(
+            try_knn_accuracy(&e, &test[..2], &train, 1),
+            Err(EvalError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_distances_sort_last_instead_of_panicking() {
+        // A NaN distance (degenerate measure/normalization combination)
+        // must rank after every finite neighbour deterministically.
+        let e = Matrix::from_vec(1, 3, vec![f64::NAN, 0.2, 0.1]);
+        assert_eq!(knn_accuracy(&e, &[1], &[0, 0, 1], 1), 1.0);
+        assert_eq!(knn_accuracy(&e, &[0], &[0, 0, 1], 2), 0.0);
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort_semantics() {
+        // Duplicated distances: index order must break ties exactly as the
+        // previous full sort did.
+        let e = Matrix::from_vec(1, 5, vec![0.3, 0.1, 0.3, 0.1, 0.2]);
+        // k=3 nearest are indices 1, 3 (dist 0.1) then 4 (0.2).
+        let acc = knn_accuracy(&e, &[1], &[0, 1, 0, 1, 0], 3);
+        assert_eq!(acc, 1.0);
     }
 
     #[test]

@@ -6,6 +6,16 @@
 //! tables (pairwise Wilcoxon) and critical-difference figures (Friedman +
 //! Nemenyi).
 //!
+//! Dissimilarity matrices are built by the batch engine in [`matrices`]:
+//! row-parallel construction with one [`tsdist_core::Workspace`] per
+//! worker thread (so elastic/kernel measures run allocation-free), a
+//! symmetric fast path computing only the upper triangle of train-by-train
+//! matrices, and `*_into` variants that reuse caller-owned buffers across
+//! supervised grid loops. Shape errors are typed as [`EvalError`] with
+//! `try_*` variants of every classifier entry point; the panicking
+//! signatures remain as thin wrappers. See the [`matrices`] module docs
+//! for a migration note on the historic `distance_matrix` signature.
+//!
 //! The typical flow for one experiment:
 //!
 //! ```
@@ -30,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod comparison;
+pub mod error;
 pub mod evaluator;
 pub mod knn;
 pub mod matrices;
@@ -39,17 +50,22 @@ pub mod runtime;
 pub mod study;
 
 pub use comparison::{
-    compare_to_baseline, holm_adjusted_p_values, rank_measures, render_table,
-    PairwiseComparison, RankingAnalysis, NEMENYI_ALPHA, WILCOXON_ALPHA,
+    compare_to_baseline, holm_adjusted_p_values, rank_measures, render_table, PairwiseComparison,
+    RankingAnalysis, NEMENYI_ALPHA, WILCOXON_ALPHA,
 };
+pub use error::EvalError;
 pub use evaluator::{
     evaluate_distance, evaluate_distance_supervised, evaluate_embedding,
     evaluate_embedding_supervised, evaluate_kernel, evaluate_kernel_supervised, prepare,
     SupervisedOutcome,
 };
-pub use matrices::{distance_matrices, distance_matrix, embedding_matrices, kernel_matrices};
-pub use knn::{knn_accuracy, ConfusionMatrix};
-pub use nn::{loocv_accuracy, one_nn_accuracy};
-pub use parallel::{parallel_map, worker_count};
+pub use knn::{knn_accuracy, try_knn_accuracy, ConfusionMatrix};
+pub use matrices::{
+    distance_matrices, distance_matrices_into, distance_matrix, distance_matrix_into,
+    embedding_matrices, kernel_matrices, kernel_matrices_into, symmetric_distance_matrix,
+    symmetric_distance_matrix_into, try_embedding_matrices,
+};
+pub use nn::{loocv_accuracy, one_nn_accuracy, try_loocv_accuracy, try_one_nn_accuracy};
+pub use parallel::{parallel_fill_rows, parallel_map, parallel_map_with, worker_count};
 pub use runtime::{measure_inference, pruned_dtw_search, PrunedSearchStats, RuntimeMeasurement};
 pub use study::{run_study, Entrant, StudyReport};

@@ -1,81 +1,213 @@
-//! Construction of the dissimilarity matrices `W` and `E`.
+//! The batch engine constructing the dissimilarity matrices `W` and `E`.
 //!
 //! Section 3 of the paper decouples distance-matrix computation from
 //! classification: `W` (train x train) drives leave-one-out parameter
 //! tuning, `E` (test x train) drives the reported test accuracy.
 //!
-//! Matrix construction here is deliberately *serial*: the experiment
-//! harness parallelizes at the dataset x measure granularity (see
-//! [`crate::parallel`]), which keeps every core busy without nested
-//! thread pools.
+//! Construction is *row-parallel*: worker threads claim matrix rows from
+//! a shared counter ([`crate::parallel::parallel_fill_rows`]) and each
+//! carries its own [`Workspace`], so the DP/FFT measures run through
+//! their allocation-free `distance_ws` path. Train-by-train matrices of
+//! measures whose [`Distance::is_symmetric`] hint holds additionally
+//! compute only the upper triangle and mirror it — the hint promises
+//! bit-identical `d(x, y)` and `d(y, x)`, so the mirrored matrix equals
+//! the full computation exactly.
+//!
+//! Every builder also has an `*_into` variant filling a caller-owned
+//! [`Matrix`], which the supervised grid loops use to reuse one `W`/`E`
+//! allocation across all grid points.
+//!
+//! # Migration note
+//!
+//! The historic `distance_matrix(d, rows, cols)` signature is unchanged,
+//! but it now computes in parallel with per-worker workspaces; results
+//! are bit-identical to the old serial loop. Callers building a
+//! train-by-train matrix should prefer [`symmetric_distance_matrix`],
+//! which exploits the symmetry hint automatically.
 
+use crate::error::EvalError;
+use crate::parallel::{parallel_fill_rows, parallel_map_with};
 use tsdist_core::measure::{Distance, Kernel};
+use tsdist_core::Workspace;
 use tsdist_linalg::Matrix;
 
 /// Computes the `rows.len() x cols.len()` dissimilarity matrix
 /// `M[i][j] = d(rows[i], cols[j])`.
 pub fn distance_matrix(d: &dyn Distance, rows: &[Vec<f64>], cols: &[Vec<f64>]) -> Matrix {
-    let r = rows.len();
-    let c = cols.len();
-    let mut flat = Vec::with_capacity(r * c);
-    for row in rows {
-        for col in cols {
-            flat.push(d.distance(row, col));
-        }
-    }
-    Matrix::from_vec(r, c, flat)
+    let mut out = Matrix::zeros(0, 0);
+    distance_matrix_into(d, rows, cols, &mut out);
+    out
 }
 
-/// Computes both matrices for a distance measure: `W` (train x train) and
-/// `E` (test x train).
+/// [`distance_matrix`] into a caller-owned matrix (resized as needed).
+pub fn distance_matrix_into(
+    d: &dyn Distance,
+    rows: &[Vec<f64>],
+    cols: &[Vec<f64>],
+    out: &mut Matrix,
+) {
+    out.resize(rows.len(), cols.len());
+    parallel_fill_rows(
+        out.as_mut_slice(),
+        cols.len(),
+        Workspace::default,
+        |ws, i, out_row| {
+            for (slot, col) in out_row.iter_mut().zip(cols) {
+                *slot = d.distance_ws(&rows[i], col, ws);
+            }
+        },
+    );
+}
+
+/// Computes the square `items x items` matrix, exploiting the measure's
+/// [`Distance::is_symmetric`] hint: when it holds, only the upper
+/// triangle is computed and mirrored.
+pub fn symmetric_distance_matrix(d: &dyn Distance, items: &[Vec<f64>]) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    symmetric_distance_matrix_into(d, items, &mut out);
+    out
+}
+
+/// [`symmetric_distance_matrix`] into a caller-owned matrix.
+pub fn symmetric_distance_matrix_into(d: &dyn Distance, items: &[Vec<f64>], out: &mut Matrix) {
+    if !d.is_symmetric() {
+        distance_matrix_into(d, items, items, out);
+        return;
+    }
+    let n = items.len();
+    out.resize(n, n);
+    parallel_fill_rows(
+        out.as_mut_slice(),
+        n,
+        Workspace::default,
+        |ws, i, out_row| {
+            for (j, slot) in out_row.iter_mut().enumerate().skip(i) {
+                *slot = d.distance_ws(&items[i], &items[j], ws);
+            }
+        },
+    );
+    mirror_upper_to_lower(out);
+}
+
+/// Copies the strict upper triangle onto the lower one.
+fn mirror_upper_to_lower(m: &mut Matrix) {
+    for i in 1..m.rows() {
+        for j in 0..i {
+            m[(i, j)] = m[(j, i)];
+        }
+    }
+}
+
+/// Computes both matrices for a distance measure: `W` (train x train,
+/// through the symmetric fast path when applicable) and `E` (test x
+/// train).
 pub fn distance_matrices(
     d: &dyn Distance,
     train: &[Vec<f64>],
     test: &[Vec<f64>],
 ) -> (Matrix, Matrix) {
-    (
-        distance_matrix(d, train, train),
-        distance_matrix(d, test, train),
-    )
+    let mut w = Matrix::zeros(0, 0);
+    let mut e = Matrix::zeros(0, 0);
+    distance_matrices_into(d, train, test, &mut w, &mut e);
+    (w, e)
 }
 
-/// Computes `W` and `E` for a kernel using the normalized dissimilarity
-/// `1 - exp(log k(x,y) - (log k(x,x) + log k(y,y)) / 2)`, with the log
-/// self-similarities computed once per series instead of per pair.
+/// [`distance_matrices`] into caller-owned matrices.
+pub fn distance_matrices_into(
+    d: &dyn Distance,
+    train: &[Vec<f64>],
+    test: &[Vec<f64>],
+    w: &mut Matrix,
+    e: &mut Matrix,
+) {
+    symmetric_distance_matrix_into(d, train, w);
+    distance_matrix_into(d, test, train, e);
+}
+
+/// The normalized kernel dissimilarity
+/// `1 - exp(log k(x,y) - (log k(x,x) + log k(y,y)) / 2)`, guarding the
+/// degenerate case of a non-finite self-similarity.
+#[inline]
+fn normalized_kernel_dissimilarity(lxy: f64, lxx: f64, lyy: f64) -> f64 {
+    let norm = 0.5 * (lxx + lyy);
+    if norm.is_finite() {
+        1.0 - (lxy - norm).exp()
+    } else {
+        1.0
+    }
+}
+
+/// Computes `W` and `E` for a kernel using the normalized dissimilarity,
+/// with the log self-similarities computed once per series instead of per
+/// pair, and the symmetric `W` fast path when [`Kernel::is_symmetric`]
+/// holds.
 pub fn kernel_matrices(k: &dyn Kernel, train: &[Vec<f64>], test: &[Vec<f64>]) -> (Matrix, Matrix) {
-    let log_self_train: Vec<f64> = train.iter().map(|s| k.log_self_kernel(s)).collect();
-    let log_self_test: Vec<f64> = test.iter().map(|s| k.log_self_kernel(s)).collect();
+    let mut w = Matrix::zeros(0, 0);
+    let mut e = Matrix::zeros(0, 0);
+    kernel_matrices_into(k, train, test, &mut w, &mut e);
+    (w, e)
+}
 
-    let build = |rows: &[Vec<f64>], rows_self: &[f64]| -> Matrix {
-        let r = rows.len();
-        let c = train.len();
-        let mut flat = Vec::with_capacity(r * c);
-        for (i, row) in rows.iter().enumerate() {
-            for (j, col) in train.iter().enumerate() {
-                let lxy = k.log_kernel(row, col);
-                let norm = 0.5 * (rows_self[i] + log_self_train[j]);
-                flat.push(if norm.is_finite() {
-                    1.0 - (lxy - norm).exp()
-                } else {
-                    1.0
-                });
+/// [`kernel_matrices`] into caller-owned matrices.
+pub fn kernel_matrices_into(
+    k: &dyn Kernel,
+    train: &[Vec<f64>],
+    test: &[Vec<f64>],
+    w: &mut Matrix,
+    e: &mut Matrix,
+) {
+    let log_self_train = parallel_map_with(train.len(), Workspace::default, |ws, i| {
+        k.log_self_kernel_ws(&train[i], ws)
+    });
+    let log_self_test = parallel_map_with(test.len(), Workspace::default, |ws, i| {
+        k.log_self_kernel_ws(&test[i], ws)
+    });
+
+    let n = train.len();
+    w.resize(n, n);
+    if k.is_symmetric() {
+        parallel_fill_rows(w.as_mut_slice(), n, Workspace::default, |ws, i, out_row| {
+            for (j, slot) in out_row.iter_mut().enumerate().skip(i) {
+                let lxy = k.log_kernel_ws(&train[i], &train[j], ws);
+                *slot = normalized_kernel_dissimilarity(lxy, log_self_train[i], log_self_train[j]);
             }
-        }
-        Matrix::from_vec(r, c, flat)
-    };
+        });
+        mirror_upper_to_lower(w);
+    } else {
+        parallel_fill_rows(w.as_mut_slice(), n, Workspace::default, |ws, i, out_row| {
+            for (j, slot) in out_row.iter_mut().enumerate() {
+                let lxy = k.log_kernel_ws(&train[i], &train[j], ws);
+                *slot = normalized_kernel_dissimilarity(lxy, log_self_train[i], log_self_train[j]);
+            }
+        });
+    }
 
-    (
-        build(train, &log_self_train),
-        build(test, &log_self_test),
-    )
+    e.resize(test.len(), n);
+    parallel_fill_rows(e.as_mut_slice(), n, Workspace::default, |ws, i, out_row| {
+        for (j, slot) in out_row.iter_mut().enumerate() {
+            let lxy = k.log_kernel_ws(&test[i], &train[j], ws);
+            *slot = normalized_kernel_dissimilarity(lxy, log_self_test[i], log_self_train[j]);
+        }
+    });
 }
 
 /// Computes `W` and `E` as plain Euclidean distances between embedding
 /// rows (`z` holds train rows first, then test rows) — how the paper
 /// compares embedding measures.
+///
+/// # Panics
+/// Panics if `n_train` exceeds the embedded row count; see
+/// [`try_embedding_matrices`] for the fallible variant.
 pub fn embedding_matrices(z: &Matrix, n_train: usize) -> (Matrix, Matrix) {
+    try_embedding_matrices(z, n_train).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// [`embedding_matrices`] returning a typed error instead of panicking.
+pub fn try_embedding_matrices(z: &Matrix, n_train: usize) -> Result<(Matrix, Matrix), EvalError> {
     let n = z.rows();
-    assert!(n_train <= n, "n_train exceeds embedded row count");
+    if n_train > n {
+        return Err(EvalError::TrainCountExceedsRows { n_train, rows: n });
+    }
     let ed = |a: &[f64], b: &[f64]| -> f64 {
         a.iter()
             .zip(b)
@@ -84,18 +216,25 @@ pub fn embedding_matrices(z: &Matrix, n_train: usize) -> (Matrix, Matrix) {
             .sqrt()
     };
     let w = Matrix::from_fn(n_train, n_train, |i, j| ed(z.row(i), z.row(j)));
-    let e = Matrix::from_fn(n - n_train, n_train, |i, j| ed(z.row(n_train + i), z.row(j)));
-    (w, e)
+    let e = Matrix::from_fn(n - n_train, n_train, |i, j| {
+        ed(z.row(n_train + i), z.row(j))
+    });
+    Ok((w, e))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsdist_core::lockstep::Euclidean;
+    use tsdist_core::elastic::Dtw;
+    use tsdist_core::lockstep::{Euclidean, KullbackLeibler};
 
     fn toy(n: usize, m: usize, off: f64) -> Vec<Vec<f64>> {
         (0..n)
-            .map(|i| (0..m).map(|j| (i * m + j) as f64 * 0.1 + off).collect())
+            .map(|i| {
+                (0..m)
+                    .map(|j| ((i * m + j) as f64 * 0.7).sin() + off)
+                    .collect()
+            })
             .collect()
     }
 
@@ -108,7 +247,6 @@ mod tests {
         assert_eq!(m.cols(), 3);
         for i in 0..4 {
             for j in 0..3 {
-                use tsdist_core::measure::Distance;
                 assert_eq!(m[(i, j)], Euclidean.distance(&rows[i], &cols[j]));
             }
         }
@@ -124,9 +262,58 @@ mod tests {
     }
 
     #[test]
+    fn symmetric_fast_path_is_bit_identical_to_full_computation() {
+        // DTW is a DP measure with a ws override and a symmetric hint —
+        // the strongest end-to-end check of the mirrored triangle.
+        let items = toy(9, 24, 0.0);
+        let d = Dtw::with_window_pct(10.0);
+        assert!(Distance::is_symmetric(&d));
+        let fast = symmetric_distance_matrix(&d, &items);
+        for i in 0..9 {
+            for j in 0..9 {
+                let direct = d.distance(&items[i], &items[j]);
+                assert_eq!(fast[(i, j)].to_bits(), direct.to_bits(), "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_measures_bypass_the_mirror() {
+        let items = toy(6, 10, 1.5);
+        assert!(!Distance::is_symmetric(&KullbackLeibler));
+        let w = symmetric_distance_matrix(&KullbackLeibler, &items);
+        for i in 0..6 {
+            for j in 0..6 {
+                let direct = KullbackLeibler.distance(&items[i], &items[j]);
+                assert_eq!(w[(i, j)].to_bits(), direct.to_bits(), "cell ({i},{j})");
+            }
+        }
+        // The matrix genuinely is asymmetric, so mirroring would have
+        // produced wrong values.
+        assert!(!w.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn into_variants_reuse_and_reshape_buffers() {
+        let a = toy(4, 6, 0.0);
+        let b = toy(7, 6, 0.3);
+        let mut m = Matrix::zeros(0, 0);
+        distance_matrix_into(&Euclidean, &a, &b, &mut m);
+        assert_eq!((m.rows(), m.cols()), (4, 7));
+        let first = m.clone();
+        // Refill with swapped shape; contents must match a fresh build.
+        distance_matrix_into(&Euclidean, &b, &a, &mut m);
+        assert_eq!((m.rows(), m.cols()), (7, 4));
+        assert_eq!(m, distance_matrix(&Euclidean, &b, &a));
+        // And going back reproduces the original bit-for-bit.
+        distance_matrix_into(&Euclidean, &a, &b, &mut m);
+        assert_eq!(m, first);
+    }
+
+    #[test]
     fn kernel_matrices_match_kernel_distance_adapter() {
         use tsdist_core::kernel::Rbf;
-        use tsdist_core::measure::{Distance, KernelDistance};
+        use tsdist_core::measure::KernelDistance;
         let train = toy(4, 6, 0.0);
         let test = toy(3, 6, 0.3);
         let (w, e) = kernel_matrices(&Rbf::new(0.1), &train, &test);
@@ -144,6 +331,38 @@ mod tests {
     }
 
     #[test]
+    fn alignment_kernel_matrices_match_the_serial_definition() {
+        use tsdist_core::kernel::Gak;
+        use tsdist_core::measure::Kernel as _;
+        let train = toy(5, 12, 0.0);
+        let test = toy(3, 12, 0.4);
+        let k = Gak::new(0.5);
+        let (w, e) = kernel_matrices(&k, &train, &test);
+        let self_train: Vec<f64> = train.iter().map(|s| k.log_self_kernel(s)).collect();
+        let self_test: Vec<f64> = test.iter().map(|s| k.log_self_kernel(s)).collect();
+        for i in 0..5 {
+            for j in 0..5 {
+                let expect = normalized_kernel_dissimilarity(
+                    k.log_kernel(&train[i], &train[j]),
+                    self_train[i],
+                    self_train[j],
+                );
+                assert_eq!(w[(i, j)].to_bits(), expect.to_bits(), "W ({i},{j})");
+            }
+        }
+        for i in 0..3 {
+            for j in 0..5 {
+                let expect = normalized_kernel_dissimilarity(
+                    k.log_kernel(&test[i], &train[j]),
+                    self_test[i],
+                    self_train[j],
+                );
+                assert_eq!(e[(i, j)].to_bits(), expect.to_bits(), "E ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
     fn embedding_matrices_have_correct_shapes() {
         let z = Matrix::from_fn(7, 3, |i, j| (i * 3 + j) as f64);
         let (w, e) = embedding_matrices(&z, 5);
@@ -153,5 +372,17 @@ mod tests {
         for i in 0..5 {
             assert_eq!(w[(i, i)], 0.0);
         }
+    }
+
+    #[test]
+    fn embedding_matrices_reject_oversized_train_count() {
+        let z = Matrix::zeros(3, 2);
+        assert_eq!(
+            try_embedding_matrices(&z, 4),
+            Err(EvalError::TrainCountExceedsRows {
+                n_train: 4,
+                rows: 3
+            })
+        );
     }
 }

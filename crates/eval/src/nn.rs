@@ -1,5 +1,6 @@
 //! The 1-NN classifier of Algorithm 1, plus its leave-one-out variant.
 
+use crate::error::EvalError;
 use tsdist_data::Label;
 use tsdist_linalg::Matrix;
 
@@ -9,11 +10,35 @@ use tsdist_linalg::Matrix;
 /// in the paper's pseudocode.
 ///
 /// # Panics
-/// Panics if the matrix shape disagrees with the label vectors.
+/// Panics if the matrix shape disagrees with the label vectors; see
+/// [`try_one_nn_accuracy`] for the fallible variant.
 pub fn one_nn_accuracy(e: &Matrix, test_labels: &[Label], train_labels: &[Label]) -> f64 {
-    assert_eq!(e.rows(), test_labels.len(), "row/label count mismatch");
-    assert_eq!(e.cols(), train_labels.len(), "col/label count mismatch");
-    assert!(e.cols() > 0, "no training series");
+    try_one_nn_accuracy(e, test_labels, train_labels).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// [`one_nn_accuracy`] returning a typed error instead of panicking.
+pub fn try_one_nn_accuracy(
+    e: &Matrix,
+    test_labels: &[Label],
+    train_labels: &[Label],
+) -> Result<f64, EvalError> {
+    if e.rows() != test_labels.len() {
+        return Err(EvalError::ShapeMismatch {
+            what: "row/label count",
+            expected: e.rows(),
+            got: test_labels.len(),
+        });
+    }
+    if e.cols() != train_labels.len() {
+        return Err(EvalError::ShapeMismatch {
+            what: "col/label count",
+            expected: e.cols(),
+            got: train_labels.len(),
+        });
+    }
+    if e.cols() == 0 {
+        return Err(EvalError::EmptyTrainSet);
+    }
     let mut correct = 0usize;
     for (i, &true_label) in test_labels.iter().enumerate() {
         let mut best_dist = f64::INFINITY;
@@ -29,7 +54,7 @@ pub fn one_nn_accuracy(e: &Matrix, test_labels: &[Label], train_labels: &[Label]
             correct += 1;
         }
     }
-    correct as f64 / test_labels.len() as f64
+    Ok(correct as f64 / test_labels.len() as f64)
 }
 
 /// Leave-one-out training accuracy from the train-by-train matrix `W`:
@@ -37,13 +62,30 @@ pub fn one_nn_accuracy(e: &Matrix, test_labels: &[Label], train_labels: &[Label]
 /// paper uses this (LOOCCV) to tune parameters on the training split.
 ///
 /// # Panics
-/// Panics if `W` is not square or disagrees with the labels.
+/// Panics if `W` is not square or disagrees with the labels; see
+/// [`try_loocv_accuracy`] for the fallible variant.
 pub fn loocv_accuracy(w: &Matrix, train_labels: &[Label]) -> f64 {
-    assert_eq!(w.rows(), w.cols(), "W must be square");
-    assert_eq!(w.rows(), train_labels.len(), "shape/label mismatch");
+    try_loocv_accuracy(w, train_labels).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// [`loocv_accuracy`] returning a typed error instead of panicking.
+pub fn try_loocv_accuracy(w: &Matrix, train_labels: &[Label]) -> Result<f64, EvalError> {
+    if w.rows() != w.cols() {
+        return Err(EvalError::NotSquare {
+            rows: w.rows(),
+            cols: w.cols(),
+        });
+    }
+    if w.rows() != train_labels.len() {
+        return Err(EvalError::ShapeMismatch {
+            what: "shape/label count",
+            expected: w.rows(),
+            got: train_labels.len(),
+        });
+    }
     let p = train_labels.len();
     if p <= 1 {
-        return 0.0;
+        return Ok(0.0);
     }
     let mut correct = 0usize;
     for i in 0..p {
@@ -63,7 +105,7 @@ pub fn loocv_accuracy(w: &Matrix, train_labels: &[Label]) -> f64 {
             correct += 1;
         }
     }
-    correct as f64 / p as f64
+    Ok(correct as f64 / p as f64)
 }
 
 #[cfg(test)]
@@ -130,5 +172,22 @@ mod tests {
     fn shape_mismatch_panics() {
         let e = Matrix::zeros(2, 2);
         let _ = one_nn_accuracy(&e, &[0], &[0, 1]);
+    }
+
+    #[test]
+    fn try_variants_report_typed_errors() {
+        let e = Matrix::zeros(2, 2);
+        assert!(matches!(
+            try_one_nn_accuracy(&e, &[0], &[0, 1]),
+            Err(EvalError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            try_one_nn_accuracy(&Matrix::zeros(0, 0), &[], &[]),
+            Err(EvalError::EmptyTrainSet)
+        ));
+        assert!(matches!(
+            try_loocv_accuracy(&Matrix::zeros(2, 3), &[0, 0]),
+            Err(EvalError::NotSquare { rows: 2, cols: 3 })
+        ));
     }
 }

@@ -21,9 +21,23 @@ where
     T: Send + Default,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_with(n, || (), move |(), i| f(i))
+}
+
+/// [`parallel_map`] with one piece of per-worker mutable state created by
+/// `init` — the hook the batch matrix engine uses to give every worker
+/// thread its own `Workspace` of scratch buffers.
+pub fn parallel_map_with<S, T, I, F>(n: usize, init: I, f: F) -> Vec<T>
+where
+    S: Send,
+    T: Send + Default,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let workers = worker_count().min(n.max(1));
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
 
     let mut results: Vec<T> = Vec::with_capacity(n);
@@ -37,23 +51,80 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let next = &next;
+            let init = &init;
             let f = &f;
             let results_ptr = &results_ptr;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                // Each index is claimed exactly once, so this write is
-                // exclusive.
-                unsafe {
-                    *results_ptr.0.add(i) = value;
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(&mut state, i);
+                    // Each index is claimed exactly once, so this write is
+                    // exclusive.
+                    unsafe {
+                        *results_ptr.0.add(i) = value;
+                    }
                 }
             });
         }
     });
     results
+}
+
+/// Fills the `row_len`-sized rows of `data` in parallel: workers claim
+/// row indices from a shared counter and call `fill(&mut state, i, row)`
+/// on disjoint `&mut [f64]` row slices, each with its own per-worker
+/// state from `init`.
+///
+/// Trailing elements beyond the last whole row (there are none when
+/// `data.len()` is a multiple of `row_len`) are left untouched.
+pub fn parallel_fill_rows<S, I, F>(data: &mut [f64], row_len: usize, init: I, fill: F)
+where
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [f64]) + Sync,
+{
+    if row_len == 0 || data.is_empty() {
+        return;
+    }
+    let n = data.len() / row_len;
+    let workers = worker_count().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        let mut state = init();
+        for (i, row) in data.chunks_exact_mut(row_len).enumerate() {
+            fill(&mut state, i, row);
+        }
+        return;
+    }
+
+    let next = AtomicUsize::new(0);
+    let data_ptr = SendPtr(data.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let init = &init;
+            let fill = &fill;
+            let data_ptr = &data_ptr;
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // Each row index is claimed exactly once, so the row
+                    // slices handed out are disjoint.
+                    let row = unsafe {
+                        std::slice::from_raw_parts_mut(data_ptr.0.add(i * row_len), row_len)
+                    };
+                    fill(&mut state, i, row);
+                }
+            });
+        }
+    });
 }
 
 struct SendPtr<T>(*mut T);
@@ -85,6 +156,46 @@ mod tests {
             assert_eq!(v.len(), i % 5);
             assert!(v.iter().all(|&x| x == i));
         }
+    }
+
+    #[test]
+    fn map_with_gives_each_worker_its_own_state() {
+        // State is a scratch Vec; results must not depend on sharing.
+        let out = parallel_map_with(200, Vec::<usize>::new, |scratch, i| {
+            scratch.clear();
+            scratch.extend(0..i % 7);
+            scratch.len() + i
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i % 7 + i);
+        }
+    }
+
+    #[test]
+    fn fill_rows_covers_every_row_exactly_once() {
+        let mut data = vec![0.0f64; 37 * 11];
+        parallel_fill_rows(
+            &mut data,
+            11,
+            || (),
+            |(), i, row| {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = (i * 11 + j) as f64;
+                }
+            },
+        );
+        for (k, v) in data.iter().enumerate() {
+            assert_eq!(*v, k as f64);
+        }
+    }
+
+    #[test]
+    fn fill_rows_handles_degenerate_shapes() {
+        let mut empty: Vec<f64> = vec![];
+        parallel_fill_rows(&mut empty, 4, || (), |(), _, _| unreachable!());
+        let mut single = vec![0.0f64; 3];
+        parallel_fill_rows(&mut single, 3, || (), |(), i, row| row.fill(i as f64 + 1.0));
+        assert_eq!(single, vec![1.0; 3]);
     }
 
     #[test]

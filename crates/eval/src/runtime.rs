@@ -47,11 +47,8 @@ pub struct PrunedSearchStats {
 /// acceleration the paper points to in Section 10. `band` is the absolute
 /// Sakoe–Chiba radius.
 pub fn pruned_dtw_search(ds: &Dataset, band: usize) -> PrunedSearchStats {
-    let envelopes: Vec<(Vec<f64>, Vec<f64>)> = ds
-        .train
-        .iter()
-        .map(|t| keogh_envelope(t, band))
-        .collect();
+    let envelopes: Vec<(Vec<f64>, Vec<f64>)> =
+        ds.train.iter().map(|t| keogh_envelope(t, band)).collect();
 
     let mut pruned = 0usize;
     let mut total = 0usize;
@@ -109,11 +106,7 @@ mod tests {
         let ds = prepare(&raw, Normalization::ZScore);
         let band = (ds.series_len() as f64 * 0.1).ceil() as usize;
         let stats = pruned_dtw_search(&ds, band);
-        let exact = evaluate_distance(
-            &Dtw::with_window_pct(10.0),
-            &raw,
-            Normalization::ZScore,
-        );
+        let exact = evaluate_distance(&Dtw::with_window_pct(10.0), &raw, Normalization::ZScore);
         assert!(
             (stats.accuracy - exact).abs() < 1e-12,
             "pruned {} vs exact {exact}",

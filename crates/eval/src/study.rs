@@ -5,8 +5,8 @@
 //! reusable API.
 
 use crate::comparison::{
-    compare_to_baseline, holm_adjusted_p_values, rank_measures, render_table,
-    PairwiseComparison, RankingAnalysis,
+    compare_to_baseline, holm_adjusted_p_values, rank_measures, render_table, PairwiseComparison,
+    RankingAnalysis,
 };
 use crate::evaluator::evaluate_distance;
 use crate::parallel::parallel_map;
@@ -77,7 +77,10 @@ impl StudyReport {
 /// # Panics
 /// Panics with fewer than two entrants or an empty archive.
 pub fn run_study(archive: &[Dataset], entrants: &[Entrant]) -> StudyReport {
-    assert!(entrants.len() >= 2, "a study needs a baseline and at least one entrant");
+    assert!(
+        entrants.len() >= 2,
+        "a study needs a baseline and at least one entrant"
+    );
     assert!(!archive.is_empty(), "empty archive");
 
     let accuracies: Vec<Vec<f64>> = entrants

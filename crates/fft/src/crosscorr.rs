@@ -59,6 +59,67 @@ pub fn cross_correlation(x: &[f64], y: &[f64]) -> Vec<f64> {
     out
 }
 
+/// Reusable buffers for [`CcScratch::cross_correlation`], the
+/// allocation-free twin of [`cross_correlation`].
+///
+/// One scratch per thread amortizes the two complex FFT buffers and the
+/// output vector across the millions of sliding-measure calls a matrix
+/// build performs. The computation is operation-for-operation identical
+/// to [`cross_correlation`], so results are bit-exact equal.
+#[derive(Default)]
+pub struct CcScratch {
+    fx: Vec<Complex>,
+    fy: Vec<Complex>,
+    out: Vec<f64>,
+}
+
+impl CcScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        CcScratch::default()
+    }
+
+    /// Cross-correlation with the same convention as
+    /// [`cross_correlation`], writing into reused buffers. The returned
+    /// slice is valid until the next call on this scratch.
+    pub fn cross_correlation(&mut self, x: &[f64], y: &[f64]) -> &[f64] {
+        let p = x.len();
+        let q = y.len();
+        if p == 0 || q == 0 {
+            return &[];
+        }
+        let out_len = p + q - 1;
+        let l = next_power_of_two(out_len);
+
+        self.fx.clear();
+        self.fx.resize(l, Complex::ZERO);
+        self.fy.clear();
+        self.fy.resize(l, Complex::ZERO);
+        for (i, &v) in x.iter().enumerate() {
+            self.fx[i] = Complex::from_real(v);
+        }
+        for (i, &v) in y.iter().enumerate() {
+            self.fy[i] = Complex::from_real(v);
+        }
+        fft(&mut self.fx);
+        fft(&mut self.fy);
+        for i in 0..l {
+            self.fx[i] *= self.fy[i].conj();
+        }
+        ifft(&mut self.fx);
+
+        self.out.clear();
+        self.out.resize(out_len, 0.0);
+        for s in 0..p {
+            self.out[s + q - 1] = self.fx[s].re;
+        }
+        for s in 1..q {
+            self.out[q - 1 - s] = self.fx[l - s].re;
+        }
+        &self.out
+    }
+}
+
 /// Direct O(p*q) cross-correlation with the same output convention as
 /// [`cross_correlation`]. Used as a test oracle and for tiny inputs.
 pub fn cross_correlation_naive(x: &[f64], y: &[f64]) -> Vec<f64> {
@@ -184,5 +245,36 @@ mod tests {
     fn empty_inputs_yield_empty_output() {
         assert!(cross_correlation(&[], &[1.0]).is_empty());
         assert!(cross_correlation(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn scratch_is_bit_identical_to_allocating_path() {
+        let mut scratch = CcScratch::new();
+        // Interleave shapes so buffer reuse (grow, shrink, regrow) is
+        // exercised; every output must still match bit-for-bit.
+        let cases: [(Vec<f64>, Vec<f64>); 4] = [
+            (
+                (0..37).map(|i| (i as f64 * 0.7).sin()).collect(),
+                (0..53).map(|i| (i as f64 * 0.3).cos()).collect(),
+            ),
+            (vec![1.0], vec![2.0]),
+            (
+                (0..128).map(|i| (i as f64).sqrt()).collect(),
+                (0..128).map(|i| ((i * i) % 17) as f64).collect(),
+            ),
+            (
+                (0..5).map(|i| i as f64 - 2.0).collect(),
+                (0..90).map(|i| (i as f64 * 0.11).sin()).collect(),
+            ),
+        ];
+        for (x, y) in &cases {
+            let expected = cross_correlation(x, y);
+            let got = scratch.cross_correlation(x, y);
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g.to_bits(), e.to_bits());
+            }
+        }
+        assert!(scratch.cross_correlation(&[], &[1.0]).is_empty());
     }
 }

@@ -33,7 +33,10 @@ pub fn next_power_of_two(n: usize) -> usize {
 /// Panics if `buf.len()` is not a power of two.
 fn fft_radix2(buf: &mut [Complex], inverse: bool) {
     let n = buf.len();
-    assert!(is_power_of_two(n), "radix-2 FFT requires power-of-two length");
+    assert!(
+        is_power_of_two(n),
+        "radix-2 FFT requires power-of-two length"
+    );
     if n <= 1 {
         return;
     }

@@ -34,5 +34,5 @@ mod crosscorr;
 mod fft;
 
 pub use complex::Complex;
-pub use crosscorr::{cross_correlation, cross_correlation_naive, overlap_at};
+pub use crosscorr::{cross_correlation, cross_correlation_naive, overlap_at, CcScratch};
 pub use fft::{fft, fft_real, ifft, is_power_of_two, next_power_of_two};

@@ -23,7 +23,11 @@ pub struct SymmetricEigen {
 /// # Panics
 /// Panics if the matrix is not square.
 pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
-    assert_eq!(a.rows(), a.cols(), "eigendecomposition requires a square matrix");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "eigendecomposition requires a square matrix"
+    );
     let n = a.rows();
     let mut m = a.clone();
     let mut v = Matrix::identity(n);
@@ -145,7 +149,11 @@ pub fn nystroem_features(k_ll: &Matrix, k_nl: &Matrix, dims: usize) -> Matrix {
 /// # Panics
 /// Panics if the matrix is not square or is empty.
 pub fn dominant_eigenpair(a: &Matrix, max_iterations: usize) -> (f64, Vec<f64>) {
-    assert_eq!(a.rows(), a.cols(), "power iteration requires a square matrix");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "power iteration requires a square matrix"
+    );
     let n = a.rows();
     assert!(n > 0, "empty matrix");
 
@@ -245,7 +253,11 @@ mod tests {
         let k = b.matmul(&b.transpose());
         let z = nystroem_features(&k, &k, n);
         let approx = z.matmul(&z.transpose());
-        assert!(k.max_abs_diff(&approx) < 1e-8, "diff {}", k.max_abs_diff(&approx));
+        assert!(
+            k.max_abs_diff(&approx) < 1e-8,
+            "diff {}",
+            k.max_abs_diff(&approx)
+        );
     }
 
     #[test]

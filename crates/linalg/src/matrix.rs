@@ -97,6 +97,22 @@ impl Matrix {
         &self.data
     }
 
+    /// The underlying row-major data, mutably — the batch matrix engine
+    /// fills rows in place through this view.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Reshapes to `rows x cols`, reusing the existing allocation when
+    /// large enough; all entries are reset to zero.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);

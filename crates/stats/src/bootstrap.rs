@@ -172,7 +172,9 @@ mod tests {
 
     #[test]
     fn paired_diff_includes_zero_for_identical_measures() {
-        let x: Vec<f64> = (0..40).map(|i| 0.5 + ((i * 7) % 13) as f64 * 0.01).collect();
+        let x: Vec<f64> = (0..40)
+            .map(|i| 0.5 + ((i * 7) % 13) as f64 * 0.01)
+            .collect();
         let y: Vec<f64> = x.iter().rev().copied().collect();
         let ci = bootstrap_paired_diff_ci(&x, &y, 1000, 0.95, 3);
         assert!(ci.lower <= 0.0 && ci.upper >= 0.0, "interval {ci:?}");

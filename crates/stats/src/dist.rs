@@ -19,8 +19,7 @@ pub fn erf(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
             .exp();
     if x >= 0.0 {
         1.0 - ans
@@ -47,7 +46,10 @@ pub fn normal_cdf(x: f64) -> f64 {
 /// # Panics
 /// Panics if `p` is not strictly inside `(0, 1)`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile requires p in (0,1), got {p}"
+    );
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,

@@ -164,7 +164,11 @@ mod tests {
         ];
         // Rank sums: [5, 8, 11]; chi2 = 12/(4*3*4) * (25+64+121) - 3*4*4 = 4.5.
         let r = friedman_test(&table);
-        assert!((r.chi_squared - 4.5).abs() < 1e-9, "chi2 = {}", r.chi_squared);
+        assert!(
+            (r.chi_squared - 4.5).abs() < 1e-9,
+            "chi2 = {}",
+            r.chi_squared
+        );
         assert_eq!(r.dof, 2);
     }
 

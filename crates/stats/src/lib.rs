@@ -34,9 +34,7 @@ mod friedman;
 mod rank;
 mod wilcoxon;
 
-pub use bootstrap::{
-    bootstrap_ci, bootstrap_mean_ci, bootstrap_paired_diff_ci, BootstrapInterval,
-};
+pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, bootstrap_paired_diff_ci, BootstrapInterval};
 pub use corrections::{
     holm_adjust, paired_t_test, sign_test, student_t_cdf, PairedTTestResult, SignTestResult,
 };

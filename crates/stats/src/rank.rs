@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn tie_groups() {
-        assert_eq!(tie_group_sizes(&[1.0, 2.0, 2.0, 2.0, 3.0, 3.0]), vec![1, 3, 2]);
+        assert_eq!(
+            tie_group_sizes(&[1.0, 2.0, 2.0, 2.0, 3.0, 3.0]),
+            vec![1, 3, 2]
+        );
         assert_eq!(tie_group_sizes(&[1.0, 2.0, 3.0]), vec![1, 1, 1]);
     }
 

@@ -152,7 +152,9 @@ mod tests {
     #[test]
     fn strongly_different_samples_are_significant() {
         // x consistently larger than y across 30 pairs with varied gaps.
-        let x: Vec<f64> = (0..30).map(|i| 10.0 + (i % 7) as f64 * 0.618 + i as f64 * 0.01).collect();
+        let x: Vec<f64> = (0..30)
+            .map(|i| 10.0 + (i % 7) as f64 * 0.618 + i as f64 * 0.01)
+            .collect();
         let y: Vec<f64> = (0..30).map(|i| 5.0 + (i % 5) as f64 * 0.3).collect();
         let r = wilcoxon_signed_rank(&x, &y).unwrap();
         assert!(r.p_value < 0.001, "p = {}", r.p_value);
@@ -161,8 +163,12 @@ mod tests {
 
     #[test]
     fn alternating_differences_are_not_significant() {
-        let x: Vec<f64> = (0..24).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
-        let y: Vec<f64> = (0..24).map(|i| if i % 2 == 1 { 1.0 } else { 0.0 }).collect();
+        let x: Vec<f64> = (0..24)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let y: Vec<f64> = (0..24)
+            .map(|i| if i % 2 == 1 { 1.0 } else { 0.0 })
+            .collect();
         let r = wilcoxon_signed_rank(&x, &y).unwrap();
         assert!(r.p_value > 0.45, "p = {}", r.p_value);
     }
@@ -190,7 +196,14 @@ mod tests {
         // n = 15 distinct differences: compare exact vs forced-normal paths.
         let x: Vec<f64> = (0..15).map(|i| i as f64 * 1.37).collect();
         let y: Vec<f64> = (0..15)
-            .map(|i| i as f64 * 1.37 + if i % 3 == 0 { 2.0 + i as f64 } else { -1.0 - i as f64 * 0.5 })
+            .map(|i| {
+                i as f64 * 1.37
+                    + if i % 3 == 0 {
+                        2.0 + i as f64
+                    } else {
+                        -1.0 - i as f64 * 0.5
+                    }
+            })
             .collect();
         let r = wilcoxon_signed_rank(&y, &x).unwrap();
         let ranks = {

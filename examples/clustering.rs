@@ -27,8 +27,14 @@ fn k_medoids(d: &Matrix, k: usize, iterations: usize) -> Vec<usize> {
     while medoids.len() < k {
         let next = (0..n)
             .max_by(|&a, &b| {
-                let da = medoids.iter().map(|&m| d[(a, m)]).fold(f64::INFINITY, f64::min);
-                let db = medoids.iter().map(|&m| d[(b, m)]).fold(f64::INFINITY, f64::min);
+                let da = medoids
+                    .iter()
+                    .map(|&m| d[(a, m)])
+                    .fold(f64::INFINITY, f64::min);
+                let db = medoids
+                    .iter()
+                    .map(|&m| d[(b, m)])
+                    .fold(f64::INFINITY, f64::min);
                 da.partial_cmp(&db).expect("finite distances")
             })
             .expect("non-empty");
@@ -104,7 +110,8 @@ fn main() {
     // clustering shines while lock-step ED falls apart.
     let m = 96;
     let norm = Normalization::ZScore;
-    let lcg = |seed: usize| ((seed as u64 * 6364136223846793005 + 1442695040888963407) >> 33) as usize;
+    let lcg =
+        |seed: usize| ((seed as u64 * 6364136223846793005 + 1442695040888963407) >> 33) as usize;
     let class_shape = |class: usize, t: f64| -> f64 {
         match class {
             0 => (std::f64::consts::TAU * 2.0 * t).sin(),
@@ -130,7 +137,10 @@ fn main() {
     }
     let k = 3;
 
-    println!("clustering {} series ({k} shifted shape classes)\n", series.len());
+    println!(
+        "clustering {} series ({k} shifted shape classes)\n",
+        series.len()
+    );
 
     let mut aris = Vec::new();
     for (name, measure) in [

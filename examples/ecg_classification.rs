@@ -47,7 +47,9 @@ fn main() {
         let dtw = evaluate_distance_supervised(&dtw_grid, ds, Normalization::ZScore);
         println!(
             "  DTW (tuned δ={:<4})      accuracy = {:.4}  (train LOOCV {:.4})",
-            params::DTW_WINDOWS[dtw.best_index], dtw.test_accuracy, dtw.train_accuracy
+            params::DTW_WINDOWS[dtw.best_index],
+            dtw.test_accuracy,
+            dtw.train_accuracy
         );
 
         // MSM with its cost tuned the same way.
@@ -58,12 +60,17 @@ fn main() {
         let msm = evaluate_distance_supervised(&msm_grid, ds, Normalization::ZScore);
         println!(
             "  MSM (tuned c={:<5})     accuracy = {:.4}  (train LOOCV {:.4})",
-            params::MSM_COSTS[msm.best_index], msm.test_accuracy, msm.train_accuracy
+            params::MSM_COSTS[msm.best_index],
+            msm.test_accuracy,
+            msm.train_accuracy
         );
 
         // TWE with the paper's unsupervised pick — no tuning needed.
         let twe = evaluate_distance(
-            &elastic::Twe::new(params::unsupervised::TWE_LAMBDA, params::unsupervised::TWE_NU),
+            &elastic::Twe::new(
+                params::unsupervised::TWE_LAMBDA,
+                params::unsupervised::TWE_NU,
+            ),
             ds,
             Normalization::ZScore,
         );

@@ -22,10 +22,19 @@ fn main() {
     let measures: Vec<(&str, Box<dyn Distance>)> = vec![
         ("ED            (lock-step)", Box::new(Euclidean)),
         ("Lorentzian    (lock-step)", Box::new(Lorentzian)),
-        ("NCC_c / SBD   (sliding)  ", Box::new(CrossCorrelation::sbd())),
-        ("DTW(δ=10)     (elastic)  ", Box::new(Dtw::with_window_pct(10.0))),
+        (
+            "NCC_c / SBD   (sliding)  ",
+            Box::new(CrossCorrelation::sbd()),
+        ),
+        (
+            "DTW(δ=10)     (elastic)  ",
+            Box::new(Dtw::with_window_pct(10.0)),
+        ),
         ("MSM(c=0.5)    (elastic)  ", Box::new(Msm::new(0.5))),
-        ("KDTW(ν=0.125) (kernel)   ", Box::new(KernelDistance(Kdtw::new(0.125)))),
+        (
+            "KDTW(ν=0.125) (kernel)   ",
+            Box::new(KernelDistance(Kdtw::new(0.125))),
+        ),
     ];
     for (name, m) in &measures {
         println!("  {name}  d = {:.4}", m.distance(&x, &y));

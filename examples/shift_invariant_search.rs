@@ -43,10 +43,22 @@ fn main() {
 
     // The database: the same event at other offsets, plus drift signals.
     let database: Vec<(&str, Vec<f64>)> = vec![
-        ("event @ t=80 (same signature, shifted)", norm.apply(&event_at(m, 80.0, 4.0))),
-        ("event @ t=55 (same signature, shifted)", norm.apply(&event_at(m, 55.0, 4.0))),
-        ("drift  φ=0.0 (different process)", norm.apply(&drift(m, 0.0))),
-        ("drift  φ=1.5 (different process)", norm.apply(&drift(m, 1.5))),
+        (
+            "event @ t=80 (same signature, shifted)",
+            norm.apply(&event_at(m, 80.0, 4.0)),
+        ),
+        (
+            "event @ t=55 (same signature, shifted)",
+            norm.apply(&event_at(m, 55.0, 4.0)),
+        ),
+        (
+            "drift  φ=0.0 (different process)",
+            norm.apply(&drift(m, 0.0)),
+        ),
+        (
+            "drift  φ=1.5 (different process)",
+            norm.apply(&drift(m, 1.5)),
+        ),
     ];
 
     println!("query: event signature at t=30\n");

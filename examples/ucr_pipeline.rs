@@ -15,8 +15,8 @@
 use std::path::{Path, PathBuf};
 
 use tsdist::data::ucr::load_ucr_dataset;
-use tsdist::eval::{evaluate_distance, loocv_accuracy};
 use tsdist::eval::{distance_matrix, prepare};
+use tsdist::eval::{evaluate_distance, loocv_accuracy};
 use tsdist::measures::elastic::Msm;
 use tsdist::measures::lockstep::{Euclidean, Lorentzian};
 use tsdist::measures::sliding::CrossCorrelation;
@@ -93,8 +93,5 @@ fn find_split(dir: &Path, name: &str, split: &str) -> PathBuf {
             return p;
         }
     }
-    panic!(
-        "no {name}_{split}.(tsv|txt|csv) found in {}",
-        dir.display()
-    );
+    panic!("no {name}_{split}.(tsv|txt|csv) found in {}", dir.display());
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repository check gate: formatting, lints, and the full test suite.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --workspace --offline
+
+echo "All checks passed."

@@ -132,5 +132,8 @@ fn ucr_loader_feeds_the_same_pipeline() {
     .unwrap();
     let ds = tsdist::data::ucr::load_ucr_dataset("T", &train, &test).unwrap();
     let acc = evaluate_distance(&Euclidean, &ds, Normalization::ZScore);
-    assert_eq!(acc, 1.0, "trivially separable UCR data must classify perfectly");
+    assert_eq!(
+        acc, 1.0,
+        "trivially separable UCR data must classify perfectly"
+    );
 }

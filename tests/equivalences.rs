@@ -26,7 +26,8 @@ fn assert_accuracy_equal(a: &dyn Distance, b: &dyn Distance, norm: Normalization
         let acc_a = evaluate_distance(a, &ds, norm);
         let acc_b = evaluate_distance(b, &ds, norm);
         assert_eq!(
-            acc_a, acc_b,
+            acc_a,
+            acc_b,
             "{} vs {} disagree on {} under {}",
             a.name(),
             b.name(),

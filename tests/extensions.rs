@@ -54,7 +54,10 @@ fn subsequence_stack_finds_structure_in_a_dataset_series() {
 
     let (i, j, d) = top_motif(&series, w);
     let (a, b) = if i < j { (i, j) } else { (j, i) };
-    assert!(a.abs_diff(w) <= 2 && b.abs_diff(3 * w) <= 2, "motif at {a},{b}");
+    assert!(
+        a.abs_diff(w) <= 2 && b.abs_diff(3 * w) <= 2,
+        "motif at {a},{b}"
+    );
     assert!(d < 1e-6);
 
     // MASS profile of the pattern itself dips to zero at both positions.
@@ -92,7 +95,11 @@ fn shape_centroid_classifies_like_a_one_class_model() {
     let centroid = kshape_centroid(&class0, 2);
     let sbd = CrossCorrelation::sbd();
     let mean_d = |members: &[Vec<f64>]| -> f64 {
-        members.iter().map(|m| sbd.distance(&centroid, m)).sum::<f64>() / members.len() as f64
+        members
+            .iter()
+            .map(|m| sbd.distance(&centroid, m))
+            .sum::<f64>()
+            / members.len() as f64
     };
     assert!(
         mean_d(&class0) < mean_d(&class1),
@@ -110,8 +117,12 @@ fn multivariate_measures_separate_bivariate_classes() {
     };
     let class_a = |seed: usize| -> Vec<Vec<f64>> {
         znorm_dims(&[
-            (0..m).map(|i| (i as f64 * 0.3).sin() + noise(seed, i)).collect(),
-            (0..m).map(|i| (i as f64 * 0.3).cos() + noise(seed + 7, i)).collect(),
+            (0..m)
+                .map(|i| (i as f64 * 0.3).sin() + noise(seed, i))
+                .collect(),
+            (0..m)
+                .map(|i| (i as f64 * 0.3).cos() + noise(seed + 7, i))
+                .collect(),
         ])
     };
     let class_b = |seed: usize| -> Vec<Vec<f64>> {
@@ -119,7 +130,9 @@ fn multivariate_measures_separate_bivariate_classes() {
             (0..m)
                 .map(|i| (-((i as f64 - 32.0) / 5.0).powi(2) / 2.0).exp() * 3.0 + noise(seed, i))
                 .collect(),
-            (0..m).map(|i| (i % 9) as f64 + noise(seed + 7, i)).collect(),
+            (0..m)
+                .map(|i| (i % 9) as f64 + noise(seed + 7, i))
+                .collect(),
         ])
     };
     let x = class_a(1);

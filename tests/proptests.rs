@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use tsdist::measures::elastic::{dtw_banded, lb_keogh_full, lb_kim, Dtw, Erp, Msm, Twe};
-use tsdist::measures::lockstep::{CityBlock, Chebyshev, Euclidean, Lorentzian};
+use tsdist::measures::lockstep::{Chebyshev, CityBlock, Euclidean, Lorentzian};
 use tsdist::measures::registry::{lockstep_parameter_free, sliding_measures};
 use tsdist::measures::{Distance, Normalization};
 use tsdist::stats::{average_ranks, wilcoxon_signed_rank};
