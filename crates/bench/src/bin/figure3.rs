@@ -1,34 +1,40 @@
 //! Figure 3: critical-difference ranking of the Lorentzian distance under
-//! each normalization method, against ED (z-score).
+//! each normalization method, against ED (z-score). Cells run under the
+//! fault-tolerant runner, so a faulty (normalization, dataset) cell is
+//! excluded and reported instead of aborting the figure.
 
-use tsdist_bench::{archive_accuracies, ExperimentConfig};
+use tsdist_bench::{reduce_columns, render_ranking, robust_distance_column, ExperimentConfig};
 use tsdist_core::lockstep::{Euclidean, Lorentzian};
 use tsdist_core::normalization::Normalization;
-use tsdist_eval::rank_measures;
 
 fn main() {
     let cfg = ExperimentConfig::from_args();
     let archive = cfg.archive();
+    let runner = cfg.runner("figure3");
 
-    let mut names = Vec::new();
     let mut columns = Vec::new();
     for norm in Normalization::ALL {
-        names.push(format!("Lorentzian [{}]", norm.name()));
-        columns.push(archive_accuracies(&archive, &Lorentzian, norm));
+        columns.push(robust_distance_column(
+            &runner,
+            &archive,
+            &format!("Lorentzian [{}]", norm.name()),
+            &Lorentzian,
+            norm,
+        ));
     }
-    names.push("ED [z-score]".into());
-    columns.push(archive_accuracies(
+    columns.push(robust_distance_column(
+        &runner,
         &archive,
+        "ED [z-score]",
         &Euclidean,
         Normalization::ZScore,
     ));
 
-    let table: Vec<Vec<f64>> = (0..archive.len())
-        .map(|d| columns.iter().map(|c| c[d]).collect())
-        .collect();
-    let analysis = rank_measures(&names, &table);
-    cfg.save(
-        "figure3.txt",
-        &analysis.render("Figure 3: Lorentzian × normalizations vs ED (z-score)"),
+    let reduced = reduce_columns(&archive, &columns);
+    let figure = render_ranking(
+        "Figure 3: Lorentzian × normalizations vs ED (z-score)",
+        &reduced.columns,
+        &reduced.note,
     );
+    cfg.save("figure3.txt", &figure);
 }

@@ -1,17 +1,19 @@
 //! Figure 4: critical-difference ranking of NCC_c under different
 //! normalization methods, with Lorentzian (UnitLength) as the baseline.
 //! Tanh is excluded, as in the paper (it trails the baseline on more
-//! datasets despite a higher average).
+//! datasets despite a higher average). Cells run under the fault-tolerant
+//! runner, so faulty cells are excluded and reported instead of aborting
+//! the figure.
 
-use tsdist_bench::{archive_accuracies, ExperimentConfig};
+use tsdist_bench::{reduce_columns, render_ranking, robust_distance_column, ExperimentConfig};
 use tsdist_core::lockstep::Lorentzian;
 use tsdist_core::normalization::Normalization;
 use tsdist_core::sliding::CrossCorrelation;
-use tsdist_eval::rank_measures;
 
 fn main() {
     let cfg = ExperimentConfig::from_args();
     let archive = cfg.archive();
+    let runner = cfg.runner("figure4");
     let sbd = CrossCorrelation::sbd();
 
     let norms = [
@@ -21,25 +23,29 @@ fn main() {
         Normalization::AdaptiveScaling,
         Normalization::MinMax,
     ];
-    let mut names = Vec::new();
     let mut columns = Vec::new();
     for norm in norms {
-        names.push(format!("NCC_c [{}]", norm.name()));
-        columns.push(archive_accuracies(&archive, &sbd, norm));
+        columns.push(robust_distance_column(
+            &runner,
+            &archive,
+            &format!("NCC_c [{}]", norm.name()),
+            &sbd,
+            norm,
+        ));
     }
-    names.push("Lorentzian [UnitLength]".into());
-    columns.push(archive_accuracies(
+    columns.push(robust_distance_column(
+        &runner,
         &archive,
+        "Lorentzian [UnitLength]",
         &Lorentzian,
         Normalization::UnitLength,
     ));
 
-    let table: Vec<Vec<f64>> = (0..archive.len())
-        .map(|d| columns.iter().map(|c| c[d]).collect())
-        .collect();
-    let analysis = rank_measures(&names, &table);
-    cfg.save(
-        "figure4.txt",
-        &analysis.render("Figure 4: NCC_c × normalizations vs Lorentzian"),
+    let reduced = reduce_columns(&archive, &columns);
+    let figure = render_ranking(
+        "Figure 4: NCC_c × normalizations vs Lorentzian",
+        &reduced.columns,
+        &reduced.note,
     );
+    cfg.save("figure4.txt", &figure);
 }

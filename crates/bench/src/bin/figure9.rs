@@ -2,8 +2,12 @@
 //! Runtime is inference only (computing the test-by-train matrix and
 //! classifying), as in the paper; each point is the archive average.
 //! Embeddings report their encode+compare inference cost.
+//!
+//! Inference cells run under the fault-tolerant runner with the measure
+//! wrapped in a cancellation guard, so `--deadline-secs` interrupts a
+//! stalling kernel mid-matrix and the remaining measures still report.
 
-use tsdist_bench::ExperimentConfig;
+use tsdist_bench::{robust_column, ExperimentConfig};
 use tsdist_core::elastic::{Dtw, Erp, Msm, Twe};
 use tsdist_core::kernel::{Gak, Kdtw, Sink};
 use tsdist_core::lockstep::{Euclidean, Lorentzian};
@@ -11,11 +15,13 @@ use tsdist_core::measure::{Distance, KernelDistance};
 use tsdist_core::normalization::Normalization;
 use tsdist_core::params::unsupervised as u;
 use tsdist_core::sliding::CrossCorrelation;
-use tsdist_eval::{measure_inference, parallel_map, prepare};
+use tsdist_eval::cell::GuardedDistance;
+use tsdist_eval::{measure_inference, prepare, Evaluation};
 
 fn main() {
     let cfg = ExperimentConfig::from_args();
     let archive = cfg.archive();
+    let runner = cfg.runner("figure9");
     let prepared: Vec<_> = archive
         .iter()
         .map(|d| prepare(d, Normalization::ZScore))
@@ -45,13 +51,40 @@ fn main() {
         "{:<16} {:>10} {:>14}\n",
         "measure", "avg acc", "total sec"
     ));
+    let mut faults = Vec::new();
     for (name, m) in &measures {
-        let results = parallel_map(prepared.len(), |i| {
-            measure_inference(m.as_ref(), &prepared[i])
+        let (_, cells) = robust_column(&runner, &prepared, name, |ds, flag| {
+            flag.checkpoint()?;
+            let guarded = GuardedDistance::new(m.as_ref(), flag);
+            let r = measure_inference(&guarded, ds);
+            Ok(Evaluation::unsupervised(r.accuracy))
         });
-        let acc: f64 = results.iter().map(|r| r.accuracy).sum::<f64>() / results.len() as f64;
-        let secs: f64 = results.iter().map(|r| r.seconds).sum();
+        let completed: Vec<_> = cells
+            .iter()
+            .filter_map(|c| c.outcome.evaluation().map(|e| (e.accuracy, c.seconds)))
+            .collect();
+        for cell in &cells {
+            if !cell.outcome.is_ok() {
+                faults.push(format!("  {:<8} {}", cell.outcome.label(), cell.key));
+            }
+        }
+        if completed.is_empty() {
+            out.push_str(&format!("{name:<16} {:>10} {:>14}\n", "-", "-"));
+            continue;
+        }
+        let acc: f64 = completed.iter().map(|(a, _)| a).sum::<f64>() / completed.len() as f64;
+        let secs: f64 = completed.iter().map(|(_, s)| s).sum();
         out.push_str(&format!("{name:<16} {acc:>10.4} {secs:>14.4}\n"));
+    }
+    if !faults.is_empty() {
+        out.push_str(&format!(
+            "\nfault summary: {} cell(s) did not complete\n",
+            faults.len()
+        ));
+        for line in &faults {
+            out.push_str(line);
+            out.push('\n');
+        }
     }
     cfg.save("figure9.txt", &out);
 }

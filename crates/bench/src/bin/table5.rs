@@ -3,71 +3,101 @@
 //! fixed parameters) settings; the same per-dataset accuracies feed the
 //! critical-difference rankings of Figures 5 (supervised) and 6
 //! (unsupervised). All series are z-normalized, as in Section 7.
+//!
+//! Cells run under the fault-tolerant runner: a panicking or timed-out
+//! (measure, dataset) cell is excluded (and reported) instead of aborting
+//! the whole table, and `--journal` makes an interrupted run resumable.
 
-use tsdist_bench::{archive_accuracies, ExperimentConfig};
+use tsdist_bench::{
+    reduce_columns, render_ranking, robust_distance_column, robust_supervised_column,
+    ExperimentConfig,
+};
 use tsdist_core::normalization::Normalization;
 use tsdist_core::registry::{elastic_families, elastic_unsupervised};
 use tsdist_core::sliding::CrossCorrelation;
-use tsdist_eval::{
-    compare_to_baseline, evaluate_distance_supervised, parallel_map, rank_measures, render_table,
-};
+use tsdist_eval::{compare_to_baseline, render_table};
+
+const BASELINE: &str = "NCC_c";
 
 fn main() {
     let cfg = ExperimentConfig::from_args();
     let archive = cfg.archive();
+    let runner = cfg.runner("table5");
     let norm = Normalization::ZScore;
 
-    let baseline = archive_accuracies(&archive, &CrossCorrelation::sbd(), norm);
-
-    let mut rows = Vec::new();
-    let mut sup_cols: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut unsup_cols: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut columns = Vec::new();
+    let mut sup_names = Vec::new();
+    let mut unsup_names = Vec::new();
+    columns.push(robust_distance_column(
+        &runner,
+        &archive,
+        BASELINE,
+        &CrossCorrelation::sbd(),
+        norm,
+    ));
     // Supervised setting: LOOCCV tuning over the Table 4 grids.
     for family in elastic_families() {
-        let accs: Vec<f64> = parallel_map(archive.len(), |i| {
-            evaluate_distance_supervised(&family.grid, &archive[i], norm).test_accuracy
-        });
-        rows.push(compare_to_baseline(
-            format!("{} [LOOCCV]", family.family),
-            &accs,
-            &baseline,
+        let label = format!("{} [LOOCCV]", family.family);
+        columns.push(robust_supervised_column(
+            &runner,
+            &archive,
+            &label,
+            &family.grid,
+            norm,
         ));
-        sup_cols.push((family.family.to_string(), accs));
+        sup_names.push(label);
     }
     // Unsupervised setting: the paper's fixed parameters.
     for (name, measure) in elastic_unsupervised() {
-        let accs = archive_accuracies(&archive, measure.as_ref(), norm);
-        rows.push(compare_to_baseline(name.clone(), &accs, &baseline));
-        unsup_cols.push((name, accs));
+        columns.push(robust_distance_column(
+            &runner,
+            &archive,
+            &name,
+            measure.as_ref(),
+            norm,
+        ));
+        unsup_names.push(name);
     }
 
-    rows.sort_by(|a, b| b.average_accuracy.partial_cmp(&a.average_accuracy).unwrap());
-    let table = render_table(
+    let reduced = reduce_columns(&archive, &columns);
+    let baseline = reduced
+        .get(BASELINE)
+        .expect("the NCC_c baseline completed no cell; cannot rank the table")
+        .to_vec();
+    let mut rows: Vec<_> = reduced
+        .columns
+        .iter()
+        .filter(|(name, _)| name != BASELINE)
+        .map(|(name, accs)| compare_to_baseline(name.clone(), accs, &baseline))
+        .collect();
+    rows.sort_by(|a, b| b.average_accuracy.total_cmp(&a.average_accuracy));
+    let mut table = render_table(
         "Table 5: elastic measures vs NCC_c (supervised and unsupervised)",
         &rows,
         "NCC_c (baseline)",
         &baseline,
     );
+    table.push_str(&reduced.note);
     cfg.save("table5.txt", &table);
 
     // Figures 5 and 6: the same accuracies, ranked with Friedman+Nemenyi.
-    for (fname, title, mut cols) in [
+    for (fname, title, group) in [
         (
             "figure5.txt",
             "Figure 5: elastic + sliding ranking (supervised tuning)",
-            sup_cols,
+            &sup_names,
         ),
         (
             "figure6.txt",
             "Figure 6: elastic + sliding ranking (unsupervised parameters)",
-            unsup_cols,
+            &unsup_names,
         ),
     ] {
-        cols.push(("NCC_c".into(), baseline.clone()));
-        let names: Vec<String> = cols.iter().map(|(n, _)| n.clone()).collect();
-        let matrix: Vec<Vec<f64>> = (0..archive.len())
-            .map(|d| cols.iter().map(|(_, c)| c[d]).collect())
+        let mut cols: Vec<(String, Vec<f64>)> = group
+            .iter()
+            .filter_map(|name| reduced.get(name).map(|a| (name.clone(), a.to_vec())))
             .collect();
-        cfg.save(fname, &rank_measures(&names, &matrix).render(title));
+        cols.push((BASELINE.into(), baseline.clone()));
+        cfg.save(fname, &render_ranking(title, &cols, &reduced.note));
     }
 }

@@ -5,91 +5,134 @@
 //! critical-difference rankings of Figures 7 (supervised) and 8
 //! (unsupervised); weak measures are omitted from the figures, as in the
 //! paper.
+//!
+//! Cells run under the fault-tolerant runner: a panicking or timed-out
+//! (measure, dataset) cell is excluded (and reported) instead of aborting
+//! the whole table, and `--journal` makes an interrupted run resumable.
 
-use tsdist_bench::{archive_accuracies, archive_kernel_accuracies, ExperimentConfig};
+use tsdist_bench::{
+    reduce_columns, render_ranking, robust_distance_column, robust_kernel_column,
+    robust_kernel_supervised_column, robust_supervised_column, ExperimentConfig,
+};
 use tsdist_core::normalization::Normalization;
 use tsdist_core::registry::{elastic_families, kernel_families, kernel_unsupervised};
 use tsdist_core::sliding::CrossCorrelation;
-use tsdist_eval::{
-    compare_to_baseline, evaluate_distance_supervised, evaluate_kernel_supervised, parallel_map,
-    rank_measures, render_table,
-};
+use tsdist_eval::{compare_to_baseline, render_table};
+
+const BASELINE: &str = "NCC_c";
 
 fn main() {
     let cfg = ExperimentConfig::from_args();
     let archive = cfg.archive();
-    let baseline = archive_accuracies(&archive, &CrossCorrelation::sbd(), Normalization::ZScore);
+    let runner = cfg.runner("table6");
+    let norm = Normalization::ZScore;
 
-    let mut rows = Vec::new();
-    let mut sup_cols: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut unsup_cols: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut columns = Vec::new();
+    let mut sup_names = Vec::new();
+    let mut unsup_names = Vec::new();
+    let mut table_names = Vec::new();
+    columns.push(robust_distance_column(
+        &runner,
+        &archive,
+        BASELINE,
+        &CrossCorrelation::sbd(),
+        norm,
+    ));
     let fig_kernels = ["KDTW", "GAK", "SINK"];
     for family in kernel_families() {
-        let accs: Vec<f64> = parallel_map(archive.len(), |i| {
-            evaluate_kernel_supervised(&family.grid, &archive[i]).test_accuracy
-        });
-        rows.push(compare_to_baseline(
-            format!("{} [LOOCCV]", family.family),
-            &accs,
-            &baseline,
+        let label = format!("{} [LOOCCV]", family.family);
+        columns.push(robust_kernel_supervised_column(
+            &runner,
+            &archive,
+            &label,
+            &family.grid,
         ));
+        table_names.push(label.clone());
         if fig_kernels.contains(&family.family) {
-            sup_cols.push((family.family.to_string(), accs));
+            sup_names.push(label);
         }
     }
     for (name, kernel) in kernel_unsupervised() {
-        let accs = archive_kernel_accuracies(&archive, kernel.as_ref());
-        rows.push(compare_to_baseline(name.clone(), &accs, &baseline));
+        columns.push(robust_kernel_column(
+            &runner,
+            &archive,
+            &name,
+            kernel.as_ref(),
+        ));
+        table_names.push(name.clone());
         if !name.starts_with("RBF") {
-            unsup_cols.push((name, accs));
+            unsup_names.push(name);
         }
     }
 
-    rows.sort_by(|a, b| b.average_accuracy.partial_cmp(&a.average_accuracy).unwrap());
-    let table = render_table(
+    // Figures 7/8 additionally rank the competitive elastic measures.
+    let keep_elastic = ["MSM", "TWE", "DTW"];
+    for family in elastic_families() {
+        if keep_elastic.contains(&family.family) {
+            let label = format!("{} [LOOCCV elastic]", family.family);
+            columns.push(robust_supervised_column(
+                &runner,
+                &archive,
+                &label,
+                &family.grid,
+                norm,
+            ));
+            sup_names.push(label);
+        }
+    }
+    for (name, measure) in tsdist_core::registry::elastic_unsupervised() {
+        if name.starts_with("MSM") || name.starts_with("TWE") || name == "DTW(δ=10)" {
+            columns.push(robust_distance_column(
+                &runner,
+                &archive,
+                &name,
+                measure.as_ref(),
+                norm,
+            ));
+            unsup_names.push(name);
+        }
+    }
+
+    let reduced = reduce_columns(&archive, &columns);
+    let baseline = reduced
+        .get(BASELINE)
+        .expect("the NCC_c baseline completed no cell; cannot rank the table")
+        .to_vec();
+    let mut rows: Vec<_> = table_names
+        .iter()
+        .filter_map(|name| {
+            reduced
+                .get(name)
+                .map(|accs| compare_to_baseline(name.clone(), accs, &baseline))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.average_accuracy.total_cmp(&a.average_accuracy));
+    let mut table = render_table(
         "Table 6: kernel measures vs NCC_c (supervised and unsupervised)",
         &rows,
         "NCC_c (baseline)",
         &baseline,
     );
+    table.push_str(&reduced.note);
     cfg.save("table6.txt", &table);
 
-    // Figures 7/8: add the competitive elastic measures and NCC_c, then
-    // rank with Friedman+Nemenyi.
-    let norm = Normalization::ZScore;
-    let keep_elastic = ["MSM", "TWE", "DTW"];
-    for family in elastic_families() {
-        if keep_elastic.contains(&family.family) {
-            sup_cols.push((
-                family.family.to_string(),
-                parallel_map(archive.len(), |i| {
-                    evaluate_distance_supervised(&family.grid, &archive[i], norm).test_accuracy
-                }),
-            ));
-        }
-    }
-    for (name, measure) in tsdist_core::registry::elastic_unsupervised() {
-        if name.starts_with("MSM") || name.starts_with("TWE") || name == "DTW(δ=10)" {
-            unsup_cols.push((name, archive_accuracies(&archive, measure.as_ref(), norm)));
-        }
-    }
-    for (fname, title, mut cols) in [
+    for (fname, title, group) in [
         (
             "figure7.txt",
             "Figure 7: kernels + elastic + sliding (supervised)",
-            sup_cols,
+            &sup_names,
         ),
         (
             "figure8.txt",
             "Figure 8: kernels + elastic + sliding (unsupervised)",
-            unsup_cols,
+            &unsup_names,
         ),
     ] {
-        cols.push(("NCC_c".into(), baseline.clone()));
-        let names: Vec<String> = cols.iter().map(|(n, _)| n.clone()).collect();
-        let matrix: Vec<Vec<f64>> = (0..archive.len())
-            .map(|d| cols.iter().map(|(_, c)| c[d]).collect())
+        let mut cols: Vec<(String, Vec<f64>)> = group
+            .iter()
+            .filter_map(|name| reduced.get(name).map(|a| (name.clone(), a.to_vec())))
             .collect();
-        cfg.save(fname, &rank_measures(&names, &matrix).render(title));
+        cols.push((BASELINE.into(), baseline.clone()));
+        cfg.save(fname, &render_ranking(title, &cols, &reduced.note));
     }
 }

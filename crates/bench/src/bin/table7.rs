@@ -3,18 +3,26 @@
 //! small archives) and are compared with ED under the 1-NN framework.
 //! GRAIL/RWS/SIDL tune their γ/ratio with LOOCCV on the embedded training
 //! split, following the recommended-values protocol of Section 9.
+//!
+//! Cells run under the fault-tolerant runner: a panicking or timed-out
+//! (family, dataset) cell is excluded (and reported) instead of aborting
+//! the whole table, and `--journal` makes an interrupted run resumable.
 
-use tsdist_bench::{archive_accuracies, ExperimentConfig};
+use tsdist_bench::{reduce_columns, robust_column, robust_distance_column, ExperimentConfig};
 use tsdist_core::normalization::Normalization;
 use tsdist_core::params::EMBEDDING_DIMS;
 use tsdist_core::registry::embedding_families;
 use tsdist_core::sliding::CrossCorrelation;
-use tsdist_eval::{compare_to_baseline, evaluate_embedding_supervised, parallel_map, render_table};
+use tsdist_eval::{
+    compare_to_baseline, render_table, try_evaluate_embedding_supervised, CellError, EvalError,
+};
+
+const BASELINE: &str = "NCC_c";
 
 fn main() {
     let cfg = ExperimentConfig::from_args();
     let archive = cfg.archive();
-    let baseline = archive_accuracies(&archive, &CrossCorrelation::sbd(), Normalization::ZScore);
+    let runner = cfg.runner("table7");
 
     // Representation length: the paper's 100, capped by the smallest
     // training split (Nystroem cannot produce more dimensions than
@@ -26,33 +34,48 @@ fn main() {
         .unwrap_or(EMBEDDING_DIMS);
     let dims = EMBEDDING_DIMS.min(min_train);
 
-    let mut rows = Vec::new();
+    let mut columns = Vec::new();
+    columns.push(robust_distance_column(
+        &runner,
+        &archive,
+        BASELINE,
+        &CrossCorrelation::sbd(),
+        Normalization::ZScore,
+    ));
     // Family grids are rebuilt per dataset because SIDL's atom length
     // depends on the series length.
     let family_names = ["GRAIL", "RWS", "SPIRAL", "SIDL"];
     for fname in family_names {
-        let accs: Vec<f64> = parallel_map(archive.len(), |i| {
-            let ds = &archive[i];
+        let label = format!("{fname} [LOOCCV]");
+        columns.push(robust_column(&runner, &archive, &label, |ds, flag| {
             let fams = embedding_families(dims, ds.series_len(), cfg.seed);
+            // An unregistered family leaves the cell with no grid to tune.
             let (_, grid) = fams
                 .into_iter()
                 .find(|(n, _)| *n == fname)
-                .expect("family registered");
-            evaluate_embedding_supervised(&grid, ds).test_accuracy
-        });
-        rows.push(compare_to_baseline(
-            format!("{fname} [LOOCCV]"),
-            &accs,
-            &baseline,
-        ));
+                .ok_or(CellError::Eval(EvalError::EmptyGrid))?;
+            try_evaluate_embedding_supervised(&grid, ds, flag)
+        }));
     }
 
-    rows.sort_by(|a, b| b.average_accuracy.partial_cmp(&a.average_accuracy).unwrap());
-    let table = render_table(
+    let reduced = reduce_columns(&archive, &columns);
+    let baseline = reduced
+        .get(BASELINE)
+        .expect("the NCC_c baseline completed no cell; cannot rank the table")
+        .to_vec();
+    let mut rows: Vec<_> = reduced
+        .columns
+        .iter()
+        .filter(|(name, _)| name != BASELINE)
+        .map(|(name, accs)| compare_to_baseline(name.clone(), accs, &baseline))
+        .collect();
+    rows.sort_by(|a, b| b.average_accuracy.total_cmp(&a.average_accuracy));
+    let mut table = render_table(
         "Table 7: embedding measures vs NCC_c",
         &rows,
         "NCC_c (baseline)",
         &baseline,
     );
+    table.push_str(&reduced.note);
     cfg.save("table7.txt", &table);
 }

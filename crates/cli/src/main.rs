@@ -19,12 +19,17 @@ mod measures;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use std::time::Duration;
+
 use tsdist_core::normalization::Normalization;
 use tsdist_core::subsequence::{top_discord, top_motif};
 use tsdist_data::synthetic::{generate_archive, ArchiveConfig};
 use tsdist_data::ucr::{load_ucr_archive, load_ucr_dataset, write_ucr_dataset};
-use tsdist_data::{ArchiveSummary, Dataset, DatasetSummary};
-use tsdist_eval::{compare_to_baseline, evaluate_distance, render_table, run_study, Entrant};
+use tsdist_data::{load_ucr_archive_lenient, ArchiveSummary, Dataset, DatasetSummary};
+use tsdist_eval::{
+    compare_to_baseline, evaluate_distance, render_table, run_study_resumable, CellRunner, Entrant,
+    RunnerConfig,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,6 +64,8 @@ USAGE:
   tsdist distance <measure> <series-a> <series-b> [--norm <method>]
   tsdist evaluate <dataset-dir> [--measures <m1,m2,...>] [--norm <method>]
   tsdist evaluate-archive <archive-root> [--measures <m1,m2,...>]
+                          [--journal <file>] [--study <name>] [--lenient]
+                          [--deadline-secs <S>] [--retries <R>] [--max-cells <N>]
   tsdist motif <series-file> --window <W>
   tsdist generate <out-dir> [--datasets <N>] [--seed <S>] [--quick]
   tsdist summary <dataset-dir>
@@ -66,6 +73,12 @@ USAGE:
 Measures use `name[:params]` syntax (e.g. dtw:10, msm:0.5, twe:1,0.0001).
 Normalization methods: z-score (default), minmax, meannorm, mediannorm,
 unitlength, adaptive, logistic, tanh.
+
+evaluate-archive runs fault-tolerantly: failing or timed-out cells are
+reported and excluded, and rankings cover the surviving subset. With
+--journal, completed cells are checkpointed to the file and a re-run
+resumes where the last one stopped (--max-cells N stops after N cells,
+--lenient skips unreadable datasets instead of aborting).
 ";
 
 fn cmd_measures() -> Result<(), String> {
@@ -235,15 +248,37 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
 }
 
 /// `tsdist evaluate-archive <root>`: the paper's workflow as one command —
-/// evaluate a measure list over every dataset under `root`, report the
-/// paper-style table (first measure = baseline) and the Friedman+Nemenyi
-/// ranking.
+/// evaluate a measure list over every dataset under `root` through the
+/// fault-tolerant cell runner, report the paper-style table (first
+/// measure = baseline) and the Friedman+Nemenyi ranking over the
+/// surviving subset. `--journal` makes the study resumable.
 fn cmd_evaluate_archive(args: &[String]) -> Result<(), String> {
     let (measure_list, rest) = take_flag(args, "--measures")?;
+    let (journal, rest) = take_flag(&rest, "--journal")?;
+    let (study, rest) = take_flag(&rest, "--study")?;
+    let (deadline, rest) = take_flag(&rest, "--deadline-secs")?;
+    let (retries, rest) = take_flag(&rest, "--retries")?;
+    let (max_cells, rest) = take_flag(&rest, "--max-cells")?;
+    let (lenient, rest) = take_bool_flag(&rest, "--lenient");
     let [root] = rest.as_slice() else {
-        return Err("usage: tsdist evaluate-archive <archive-root> [--measures m1,m2,...]".into());
+        return Err(
+            "usage: tsdist evaluate-archive <archive-root> [--measures m1,m2,...] \
+             [--journal FILE] [--study NAME] [--deadline-secs S] [--retries R] \
+             [--max-cells N] [--lenient]"
+                .into(),
+        );
     };
-    let archive = load_ucr_archive(Path::new(root)).map_err(|e| format!("loading archive: {e}"))?;
+
+    let archive = if lenient {
+        let loaded = load_ucr_archive_lenient(Path::new(root))
+            .map_err(|e| format!("loading archive: {e}"))?;
+        if !loaded.failures.is_empty() {
+            eprint!("{}", loaded.render_report());
+        }
+        loaded.datasets
+    } else {
+        load_ucr_archive(Path::new(root)).map_err(|e| format!("loading archive: {e}"))?
+    };
     if archive.len() < 2 {
         return Err(format!(
             "archive at {root} has {} dataset(s); need at least 2 for statistics",
@@ -260,8 +295,45 @@ fn cmd_evaluate_archive(args: &[String]) -> Result<(), String> {
     if entrants.len() < 2 {
         return Err("need at least two measures (first is the baseline)".into());
     }
-    let report = run_study(&archive, &entrants);
-    println!("{}", report.render(&format!("study over {root}")));
+
+    let mut config = RunnerConfig::named(study.unwrap_or_else(|| "archive-study".into()));
+    if let Some(secs) = deadline {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| format!("bad --deadline-secs value {secs:?}"))?;
+        if secs.is_nan() || secs <= 0.0 {
+            return Err("--deadline-secs must be positive".into());
+        }
+        config = config.with_deadline(Duration::from_secs_f64(secs));
+    }
+    if let Some(r) = retries {
+        config = config.with_retries(
+            r.parse()
+                .map_err(|_| format!("bad --retries value {r:?}"))?,
+        );
+    }
+    if let Some(m) = max_cells {
+        config = config.with_max_cells(
+            m.parse()
+                .map_err(|_| format!("bad --max-cells value {m:?}"))?,
+        );
+    }
+    let runner = match &journal {
+        Some(path) => CellRunner::journaled(config, path)
+            .map_err(|e| format!("opening journal {path}: {e}"))?,
+        None => CellRunner::new(config),
+    };
+    // Resume diagnostics go to stderr so stdout stays byte-identical
+    // between a resumed and an uninterrupted run.
+    if runner.replayed_cells() > 0 || runner.corrupt_journal_lines() > 0 {
+        eprintln!(
+            "journal: replayed {} completed cell(s), skipped {} corrupt line(s)",
+            runner.replayed_cells(),
+            runner.corrupt_journal_lines()
+        );
+    }
+    let robust = run_study_resumable(&archive, &entrants, &runner);
+    println!("{}", robust.render(&format!("study over {root}")));
     Ok(())
 }
 
@@ -429,5 +501,77 @@ mod tests {
             "ed".into(),
         ])
         .is_err());
+    }
+
+    #[test]
+    fn evaluate_archive_journal_kill_and_resume() {
+        let out = std::env::temp_dir().join("tsdist_cli_resume_archive");
+        let _ = std::fs::remove_dir_all(&out);
+        cmd_generate(&[
+            out.to_string_lossy().into_owned(),
+            "--datasets".into(),
+            "2".into(),
+            "--quick".into(),
+            "--seed".into(),
+            "7".into(),
+        ])
+        .unwrap();
+        let journal = out.join("journal.ndjson");
+        let base = vec![
+            out.to_string_lossy().into_owned(),
+            "--measures".into(),
+            "ed,sbd".into(),
+            "--journal".into(),
+            journal.to_string_lossy().into_owned(),
+        ];
+
+        // "Kill" after one cell, then resume to completion.
+        let mut killed = base.clone();
+        killed.extend(["--max-cells".into(), "1".into()]);
+        cmd_evaluate_archive(&killed).unwrap();
+        let after_kill = std::fs::read_to_string(&journal).unwrap().lines().count();
+        assert_eq!(after_kill, 1);
+        cmd_evaluate_archive(&base).unwrap();
+        let after_resume = std::fs::read_to_string(&journal).unwrap().lines().count();
+        assert_eq!(after_resume, 4, "resume runs only the 3 missing cells");
+
+        // Bad knob values are rejected up front.
+        let mut bad = base.clone();
+        bad.extend(["--deadline-secs".into(), "-1".into()]);
+        assert!(cmd_evaluate_archive(&bad).is_err());
+        let mut bad = base;
+        bad.extend(["--retries".into(), "many".into()]);
+        assert!(cmd_evaluate_archive(&bad).is_err());
+    }
+
+    #[test]
+    fn evaluate_archive_lenient_skips_corrupt_datasets() {
+        let out = std::env::temp_dir().join("tsdist_cli_lenient_archive");
+        let _ = std::fs::remove_dir_all(&out);
+        cmd_generate(&[
+            out.to_string_lossy().into_owned(),
+            "--datasets".into(),
+            "2".into(),
+            "--quick".into(),
+            "--seed".into(),
+            "9".into(),
+        ])
+        .unwrap();
+        let bad = out.join("Broken");
+        std::fs::create_dir_all(&bad).unwrap();
+        std::fs::write(bad.join("Broken_TRAIN.tsv"), "1\t0.5\t<oops>\n").unwrap();
+        std::fs::write(bad.join("Broken_TEST.tsv"), "1\t0.5\t0.6\n").unwrap();
+
+        let args = vec![
+            out.to_string_lossy().into_owned(),
+            "--measures".into(),
+            "ed,sbd".into(),
+        ];
+        // Strict loading aborts on the corrupt dataset...
+        assert!(cmd_evaluate_archive(&args).is_err());
+        // ...lenient loading reports it and runs over the survivors.
+        let mut lenient = args;
+        lenient.push("--lenient".into());
+        cmd_evaluate_archive(&lenient).unwrap();
     }
 }

@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod elastic;
 pub mod embedding;
 pub mod kernel;

@@ -39,3 +39,6 @@ pub mod ucr;
 
 pub use dataset::{Dataset, DatasetError, Label};
 pub use summary::{ArchiveSummary, DatasetSummary};
+pub use ucr::{
+    load_ucr_archive, load_ucr_archive_lenient, DatasetFailure, LenientArchive, UcrError,
+};

@@ -197,14 +197,12 @@ pub fn load_ucr_dataset(
     dataset_from_splits(name, train, test)
 }
 
-/// Loads every dataset under `root`, where each subdirectory follows the
-/// UCR layout (`<Name>/<Name>_TRAIN.tsv` + `<Name>/<Name>_TEST.tsv`; the
-/// `.txt`/`.csv` extensions are also accepted). Subdirectories without a
-/// train/test pair are skipped. Datasets are returned sorted by name so
-/// runs are deterministic regardless of filesystem order.
-pub fn load_ucr_archive(root: impl AsRef<Path>) -> Result<Vec<Dataset>, UcrError> {
-    let root = root.as_ref();
-    let mut datasets = Vec::new();
+/// Walks `root` for UCR-layout dataset directories, returning the sorted
+/// `(name, train path, test path)` triples both archive loaders share.
+fn dataset_file_pairs(
+    root: &Path,
+) -> Result<Vec<(String, std::path::PathBuf, std::path::PathBuf)>, UcrError> {
+    let mut pairs = Vec::new();
     let mut entries: Vec<_> = fs::read_dir(root)?
         .collect::<Result<Vec<_>, _>>()?
         .into_iter()
@@ -220,12 +218,78 @@ pub fn load_ucr_archive(root: impl AsRef<Path>) -> Result<Vec<Dataset>, UcrError
             let train = dir.join(format!("{name}_TRAIN.{ext}"));
             let test = dir.join(format!("{name}_TEST.{ext}"));
             if train.exists() && test.exists() {
-                datasets.push(load_ucr_dataset(&name, &train, &test)?);
+                pairs.push((name, train, test));
                 break;
             }
         }
     }
+    Ok(pairs)
+}
+
+/// Loads every dataset under `root`, where each subdirectory follows the
+/// UCR layout (`<Name>/<Name>_TRAIN.tsv` + `<Name>/<Name>_TEST.tsv`; the
+/// `.txt`/`.csv` extensions are also accepted). Subdirectories without a
+/// train/test pair are skipped. Datasets are returned sorted by name so
+/// runs are deterministic regardless of filesystem order.
+///
+/// The first malformed dataset aborts the whole load; see
+/// [`load_ucr_archive_lenient`] for the collect-and-continue variant.
+pub fn load_ucr_archive(root: impl AsRef<Path>) -> Result<Vec<Dataset>, UcrError> {
+    let mut datasets = Vec::new();
+    for (name, train, test) in dataset_file_pairs(root.as_ref())? {
+        datasets.push(load_ucr_dataset(&name, &train, &test)?);
+    }
     Ok(datasets)
+}
+
+/// One dataset that failed to load during a lenient archive walk.
+#[derive(Debug)]
+pub struct DatasetFailure {
+    /// Dataset (directory) name.
+    pub name: String,
+    /// What went wrong.
+    pub error: UcrError,
+}
+
+/// Outcome of [`load_ucr_archive_lenient`]: the datasets that parsed,
+/// plus a per-dataset failure report for those that did not.
+#[derive(Debug, Default)]
+pub struct LenientArchive {
+    /// Successfully loaded datasets, sorted by name.
+    pub datasets: Vec<Dataset>,
+    /// Datasets that failed to load, sorted by name.
+    pub failures: Vec<DatasetFailure>,
+}
+
+impl LenientArchive {
+    /// A deterministic human-readable report of the load, one line per
+    /// failed dataset.
+    pub fn render_report(&self) -> String {
+        let mut out = format!(
+            "archive: {} dataset(s) loaded, {} failed\n",
+            self.datasets.len(),
+            self.failures.len()
+        );
+        for f in &self.failures {
+            out.push_str(&format!("  FAILED {}: {}\n", f.name, f.error));
+        }
+        out
+    }
+}
+
+/// Like [`load_ucr_archive`], but a malformed dataset no longer aborts
+/// the whole archive: its [`UcrError`] is collected into the returned
+/// report and the remaining datasets still load. Only the directory walk
+/// itself can fail.
+pub fn load_ucr_archive_lenient(root: impl AsRef<Path>) -> Result<LenientArchive, UcrError> {
+    let mut archive = LenientArchive::default();
+    for (name, train, test) in dataset_file_pairs(root.as_ref())? {
+        match load_ucr_dataset(&name, &train, &test) {
+            Ok(ds) => archive.datasets.push(ds),
+            Err(error) => archive.failures.push(DatasetFailure { name, error }),
+        }
+    }
+    Ok(archive)
 }
 
 #[cfg(test)]
@@ -253,6 +317,63 @@ mod tests {
         assert_eq!(archive.len(), 2);
         assert_eq!(archive[0].name, "Alpha");
         assert_eq!(archive[1].name, "Beta");
+    }
+
+    #[test]
+    fn lenient_archive_collects_failures_and_keeps_good_datasets() {
+        let root = std::env::temp_dir().join("tsdist_ucr_archive_lenient");
+        let _ = std::fs::remove_dir_all(&root);
+        for name in ["Good", "Sound"] {
+            let ds = Dataset::new(
+                name,
+                vec![vec![0.0, 1.0, 2.0], vec![2.0, 1.0, 0.0]],
+                vec![0, 1],
+                vec![vec![0.1, 1.1, 2.1]],
+                vec![0],
+            )
+            .unwrap();
+            write_ucr_dataset(&ds, root.join(name)).unwrap();
+        }
+        // A corrupted dataset: unparseable value in the train split.
+        let bad = root.join("Broken");
+        std::fs::create_dir_all(&bad).unwrap();
+        std::fs::write(bad.join("Broken_TRAIN.tsv"), "1\t0.5\t<oops>\n").unwrap();
+        std::fs::write(bad.join("Broken_TEST.tsv"), "1\t0.5\t0.6\n").unwrap();
+
+        // Strict loading aborts on the corrupted dataset...
+        assert!(load_ucr_archive(&root).is_err());
+        // ...lenient loading keeps the two good ones and reports the bad.
+        let lenient = load_ucr_archive_lenient(&root).unwrap();
+        assert_eq!(lenient.datasets.len(), 2);
+        assert_eq!(lenient.failures.len(), 1);
+        assert_eq!(lenient.failures[0].name, "Broken");
+        assert!(matches!(
+            lenient.failures[0].error,
+            UcrError::Parse { line: 1, .. }
+        ));
+        let report = lenient.render_report();
+        assert!(report.contains("2 dataset(s) loaded, 1 failed"));
+        assert!(report.contains("FAILED Broken"));
+    }
+
+    #[test]
+    fn lenient_archive_with_no_failures_matches_strict() {
+        let root = std::env::temp_dir().join("tsdist_ucr_archive_lenient_clean");
+        let _ = std::fs::remove_dir_all(&root);
+        let ds = Dataset::new(
+            "Only",
+            vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+            vec![0, 1],
+            vec![vec![0.5, 0.5]],
+            vec![0],
+        )
+        .unwrap();
+        write_ucr_dataset(&ds, root.join("Only")).unwrap();
+        let strict = load_ucr_archive(&root).unwrap();
+        let lenient = load_ucr_archive_lenient(&root).unwrap();
+        assert_eq!(strict.len(), 1);
+        assert_eq!(lenient.datasets.len(), 1);
+        assert!(lenient.failures.is_empty());
     }
 
     #[test]

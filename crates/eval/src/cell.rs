@@ -1,0 +1,433 @@
+//! Per-cell fault isolation for the study runner.
+//!
+//! A *cell* is one (measure, normalization, dataset) evaluation. This
+//! module provides the vocabulary the fault-tolerant runner is built on:
+//!
+//! * [`CellOutcome`] / [`CellError`] — the typed result of a supervised
+//!   cell execution: success, a classified failure, a blown deadline, or
+//!   a skipped cell. A bad cell no longer poisons the run.
+//! * [`CancelFlag`] + [`Watchdog`] — cooperative wall-clock deadlines.
+//!   The flag is a shared atomic that grid loops check between parameter
+//!   points; the watchdog is a background thread that raises the flag
+//!   when the deadline elapses, so even the matrix kernels (which never
+//!   look at a clock) are interrupted at the next pairwise call.
+//! * [`GuardedDistance`] / [`GuardedKernel`] — transparent measure
+//!   wrappers that consult the flag before every pairwise computation
+//!   and unwind with a cancellation payload once it is raised. They
+//!   delegate `distance_ws` / `is_symmetric`, so guarded evaluation is
+//!   bit-identical to unguarded evaluation for healthy cells.
+//! * [`find_non_finite`] — the at-the-source NaN/±Inf guard: a
+//!   dissimilarity matrix containing a non-finite cell is reported as
+//!   [`CellError::NonFiniteDistance`] instead of silently sorting last
+//!   in the 1-NN selection.
+
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::error::EvalError;
+use tsdist_core::measure::{Distance, Kernel};
+use tsdist_core::Workspace;
+use tsdist_linalg::Matrix;
+
+/// Panic payload used for cooperative cancellation; the runner maps it
+/// (or any unwind with the flag raised) to [`CellOutcome::TimedOut`].
+#[derive(Debug)]
+pub struct CancelPanic;
+
+/// A shared cancellation flag, cheap to clone and check (one relaxed
+/// atomic load per pairwise distance call).
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, un-raised flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag; every subsequent checkpoint fails.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Cooperative checkpoint for supervised grid loops: returns
+    /// [`CellError::DeadlineExceeded`] once the flag is raised.
+    pub fn checkpoint(&self) -> Result<(), CellError> {
+        if self.is_cancelled() {
+            Err(CellError::DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Unwinds with [`CancelPanic`] once the flag is raised — the hook
+    /// the guarded measure wrappers use to abort matrix kernels that
+    /// have no error channel of their own.
+    fn panic_if_cancelled(&self) {
+        if self.is_cancelled() {
+            panic_any(CancelPanic);
+        }
+    }
+}
+
+/// A background deadline: arms a thread that raises the [`CancelFlag`]
+/// after `deadline` unless the watchdog is dropped (cell finished)
+/// first. Dropping joins the thread.
+pub struct Watchdog {
+    state: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Arms a watchdog that cancels `flag` once `deadline` elapses.
+    pub fn arm(flag: &CancelFlag, deadline: Duration) -> Watchdog {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_state = Arc::clone(&state);
+        let thread_flag = flag.clone();
+        let handle = std::thread::spawn(move || {
+            let (done, cv) = &*thread_state;
+            let mut finished = done.lock().unwrap_or_else(|e| e.into_inner());
+            let mut remaining = deadline;
+            loop {
+                if *finished {
+                    return;
+                }
+                let (guard, timeout) = match cv.wait_timeout(finished, remaining) {
+                    Ok(r) => r,
+                    Err(_) => return,
+                };
+                finished = guard;
+                if timeout.timed_out() {
+                    thread_flag.cancel();
+                    return;
+                }
+                // Spurious wakeup: wait again for the full remainder (a
+                // slightly late deadline is harmless, an early one not).
+                remaining = deadline;
+            }
+        });
+        Watchdog {
+            state,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        let (done, cv) = &*self.state;
+        *done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Why a cell failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellError {
+    /// The measure (or anything under it) panicked; the payload message
+    /// is preserved when it was a string.
+    Panicked {
+        /// The panic message.
+        message: String,
+    },
+    /// The dissimilarity matrix contains a NaN or ±Inf at `(i, j)`.
+    NonFiniteDistance {
+        /// Row of the first offending entry.
+        i: usize,
+        /// Column of the first offending entry.
+        j: usize,
+    },
+    /// A typed evaluation error (shape mismatch, empty grid, ...).
+    Eval(EvalError),
+    /// The cell observed its cancellation flag raised (cooperative
+    /// deadline); the runner reports this as [`CellOutcome::TimedOut`].
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Panicked { message } => write!(f, "panicked: {message}"),
+            CellError::NonFiniteDistance { i, j } => {
+                write!(f, "non-finite distance at matrix cell ({i}, {j})")
+            }
+            CellError::Eval(e) => write!(f, "evaluation error: {e}"),
+            CellError::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
+
+impl From<EvalError> for CellError {
+    fn from(e: EvalError) -> Self {
+        CellError::Eval(e)
+    }
+}
+
+/// The product of a successful cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Test accuracy of the cell.
+    pub accuracy: f64,
+    /// LOOCV training accuracy of the selected grid point (supervised
+    /// cells only).
+    pub train_accuracy: Option<f64>,
+}
+
+impl Evaluation {
+    /// An unsupervised evaluation (no training accuracy).
+    pub fn unsupervised(accuracy: f64) -> Self {
+        Evaluation {
+            accuracy,
+            train_accuracy: None,
+        }
+    }
+}
+
+/// The typed outcome of one cell execution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum CellOutcome {
+    /// The cell completed.
+    Ok(Evaluation),
+    /// The cell failed with a classified error.
+    Failed(CellError),
+    /// The cell blew its wall-clock deadline.
+    TimedOut,
+    /// The cell was not executed (run stopped early, e.g. `max_cells`).
+    #[default]
+    Skipped,
+}
+
+impl CellOutcome {
+    /// The evaluation, when the cell completed.
+    pub fn evaluation(&self) -> Option<&Evaluation> {
+        match self {
+            CellOutcome::Ok(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Whether the cell completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok(_))
+    }
+
+    /// Stable lowercase label used by the journal and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellOutcome::Ok(_) => "ok",
+            CellOutcome::Failed(_) => "failed",
+            CellOutcome::TimedOut => "timeout",
+            CellOutcome::Skipped => "skipped",
+        }
+    }
+}
+
+/// One executed (or skipped) cell: its key, outcome, and wall-clock cost.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CellResult {
+    /// The cell key (`"<measure>::<dataset>"` by convention).
+    pub key: String,
+    /// What happened.
+    pub outcome: CellOutcome,
+    /// Wall-clock seconds spent (journaled, so resumed runs report the
+    /// original cost).
+    pub seconds: f64,
+}
+
+/// A [`Distance`] wrapper that checks a [`CancelFlag`] before every
+/// pairwise computation. Pure delegation otherwise — including
+/// `distance_ws` and `is_symmetric` — so healthy guarded cells are
+/// bit-identical to unguarded ones.
+pub struct GuardedDistance<'a> {
+    inner: &'a dyn Distance,
+    flag: &'a CancelFlag,
+}
+
+impl<'a> GuardedDistance<'a> {
+    /// Guards `inner` with `flag`.
+    pub fn new(inner: &'a dyn Distance, flag: &'a CancelFlag) -> Self {
+        GuardedDistance { inner, flag }
+    }
+}
+
+impl Distance for GuardedDistance<'_> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.flag.panic_if_cancelled();
+        self.inner.distance(x, y)
+    }
+    fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        self.flag.panic_if_cancelled();
+        self.inner.distance_ws(x, y, ws)
+    }
+    fn is_symmetric(&self) -> bool {
+        self.inner.is_symmetric()
+    }
+}
+
+/// The [`Kernel`] counterpart of [`GuardedDistance`]: every kernel entry
+/// point checks the flag, then delegates (bit-identically) to the inner
+/// kernel.
+pub struct GuardedKernel<'a> {
+    inner: &'a dyn Kernel,
+    flag: &'a CancelFlag,
+}
+
+impl<'a> GuardedKernel<'a> {
+    /// Guards `inner` with `flag`.
+    pub fn new(inner: &'a dyn Kernel, flag: &'a CancelFlag) -> Self {
+        GuardedKernel { inner, flag }
+    }
+}
+
+impl Kernel for GuardedKernel<'_> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn kernel(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.flag.panic_if_cancelled();
+        self.inner.kernel(x, y)
+    }
+    fn self_kernel(&self, x: &[f64]) -> f64 {
+        self.flag.panic_if_cancelled();
+        self.inner.self_kernel(x)
+    }
+    fn log_kernel(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.flag.panic_if_cancelled();
+        self.inner.log_kernel(x, y)
+    }
+    fn log_self_kernel(&self, x: &[f64]) -> f64 {
+        self.flag.panic_if_cancelled();
+        self.inner.log_self_kernel(x)
+    }
+    fn kernel_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        self.flag.panic_if_cancelled();
+        self.inner.kernel_ws(x, y, ws)
+    }
+    fn log_kernel_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        self.flag.panic_if_cancelled();
+        self.inner.log_kernel_ws(x, y, ws)
+    }
+    fn log_self_kernel_ws(&self, x: &[f64], ws: &mut Workspace) -> f64 {
+        self.flag.panic_if_cancelled();
+        self.inner.log_self_kernel_ws(x, ws)
+    }
+    fn is_symmetric(&self) -> bool {
+        self.inner.is_symmetric()
+    }
+}
+
+/// First non-finite entry of a dissimilarity matrix, if any — the
+/// at-the-source guard for NaN/±Inf-poisoned measures.
+pub fn find_non_finite(m: &Matrix) -> Option<(usize, usize)> {
+    for i in 0..m.rows() {
+        for j in 0..m.cols() {
+            if !m[(i, j)].is_finite() {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdist_core::lockstep::Euclidean;
+
+    #[test]
+    fn flag_checkpoint_reports_cancellation() {
+        let flag = CancelFlag::new();
+        assert!(flag.checkpoint().is_ok());
+        flag.cancel();
+        assert_eq!(flag.checkpoint(), Err(CellError::DeadlineExceeded));
+        assert!(flag.is_cancelled());
+    }
+
+    #[test]
+    fn watchdog_raises_the_flag_after_the_deadline() {
+        let flag = CancelFlag::new();
+        let _dog = Watchdog::arm(&flag, Duration::from_millis(10));
+        let start = std::time::Instant::now();
+        while !flag.is_cancelled() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "watchdog never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn dropped_watchdog_never_fires() {
+        let flag = CancelFlag::new();
+        {
+            let _dog = Watchdog::arm(&flag, Duration::from_millis(30));
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!flag.is_cancelled());
+    }
+
+    #[test]
+    fn guarded_distance_is_transparent_until_cancelled() {
+        let flag = CancelFlag::new();
+        let guarded = GuardedDistance::new(&Euclidean, &flag);
+        let x = [1.0, 2.0, 3.0];
+        let y = [0.0, 2.0, 5.0];
+        assert_eq!(guarded.distance(&x, &y), Euclidean.distance(&x, &y));
+        assert_eq!(guarded.is_symmetric(), Euclidean.is_symmetric());
+        assert_eq!(guarded.name(), Euclidean.name());
+        flag.cancel();
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| guarded.distance(&x, &y)));
+        let payload = caught.expect_err("cancelled guard must unwind");
+        assert!(payload.downcast_ref::<CancelPanic>().is_some());
+    }
+
+    #[test]
+    fn find_non_finite_locates_first_bad_entry() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!(find_non_finite(&m), None);
+        m[(1, 2)] = f64::NEG_INFINITY;
+        m[(0, 1)] = f64::NAN;
+        assert_eq!(find_non_finite(&m), Some((0, 1)));
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(CellOutcome::Ok(Evaluation::unsupervised(0.5)).label(), "ok");
+        assert_eq!(
+            CellOutcome::Failed(CellError::DeadlineExceeded).label(),
+            "failed"
+        );
+        assert_eq!(CellOutcome::TimedOut.label(), "timeout");
+        assert_eq!(CellOutcome::Skipped.label(), "skipped");
+    }
+
+    #[test]
+    fn cell_error_displays() {
+        let e = CellError::NonFiniteDistance { i: 3, j: 7 };
+        assert!(e.to_string().contains("(3, 7)"));
+        assert!(CellError::Panicked {
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+        let e: CellError = EvalError::EmptyGrid.into();
+        assert!(e.to_string().contains("empty parameter grid"));
+    }
+}

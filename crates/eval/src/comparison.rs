@@ -126,12 +126,11 @@ pub fn render_table(
 pub fn holm_adjusted_p_values(rows: &[PairwiseComparison]) -> Vec<Option<f64>> {
     let raw: Vec<f64> = rows.iter().filter_map(|r| r.p_value).collect();
     let adjusted = holm_adjust(&raw);
+    // `holm_adjust` returns one value per input, so zipping the rows that
+    // contributed a raw p with the adjusted values realigns them exactly.
     let mut iter = adjusted.into_iter();
     rows.iter()
-        .map(|r| {
-            r.p_value
-                .map(|_| iter.next().expect("one adjusted value per raw p"))
-        })
+        .map(|r| r.p_value.and_then(|_| iter.next()))
         .collect()
 }
 
@@ -157,7 +156,7 @@ impl RankingAnalysis {
             .cloned()
             .zip(self.friedman.average_ranks.iter().copied())
             .collect();
-        pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        pairs.sort_by(|a, b| a.1.total_cmp(&b.1));
         pairs
     }
 

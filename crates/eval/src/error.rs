@@ -39,6 +39,8 @@ pub enum EvalError {
         /// Rows available in the embedding matrix.
         rows: usize,
     },
+    /// An empty parameter grid was passed to a supervised evaluation.
+    EmptyGrid,
 }
 
 impl fmt::Display for EvalError {
@@ -57,6 +59,7 @@ impl fmt::Display for EvalError {
             EvalError::TrainCountExceedsRows { n_train, rows } => {
                 write!(f, "n_train exceeds embedded row count: {n_train} > {rows}")
             }
+            EvalError::EmptyGrid => write!(f, "empty parameter grid"),
         }
     }
 }

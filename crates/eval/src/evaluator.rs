@@ -2,11 +2,15 @@
 //! the supervised (LOOCCV) and unsupervised settings, and category-
 //! specific paths for distances, kernels, and embeddings.
 
+use crate::cell::{
+    find_non_finite, CancelFlag, CellError, Evaluation, GuardedDistance, GuardedKernel,
+};
+use crate::error::EvalError;
 use crate::matrices::{
     distance_matrix, embedding_matrices, kernel_matrices, kernel_matrices_into,
     symmetric_distance_matrix_into,
 };
-use crate::nn::{loocv_accuracy, one_nn_accuracy};
+use crate::nn::{loocv_accuracy, one_nn_accuracy, try_loocv_accuracy, try_one_nn_accuracy};
 use tsdist_core::embedding::Embedding;
 use tsdist_core::measure::{Distance, Kernel};
 use tsdist_core::normalization::{AdaptiveScaled, Normalization};
@@ -157,12 +161,209 @@ pub fn evaluate_embedding_supervised(
             best_e = Some(e);
         }
     }
-    let e = best_e.expect("at least one grid point");
+    let e = match best_e {
+        Some(e) => e,
+        // The grid was checked non-empty above, so at least one point won.
+        None => unreachable!("non-empty grid always selects a point"),
+    };
     SupervisedOutcome {
         test_accuracy: one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels),
         train_accuracy: best_train,
         best_index: best_idx,
     }
+}
+
+// --- Cancellable, fault-classified cell cores -------------------------------
+//
+// The `try_evaluate_*` functions below are what the fault-tolerant
+// [`CellRunner`](crate::runner::CellRunner) executes inside each cell.
+// They differ from the legacy entry points above in three ways: the
+// measure is wrapped in a guarded adapter that honours a [`CancelFlag`]
+// (so watchdog deadlines interrupt even the matrix kernels), supervised
+// grid loops check the flag cooperatively between parameter points, and
+// every dissimilarity matrix is screened for NaN/±Inf at the source —
+// reported as [`CellError::NonFiniteDistance`] instead of silently
+// sorting last in the 1-NN selection. Healthy cells compute bit-identical
+// accuracies to the legacy paths (the guards delegate transparently,
+// including `distance_ws` and `is_symmetric`).
+
+/// Cancellable, fault-classified variant of [`evaluate_distance`].
+pub fn try_evaluate_distance(
+    d: &dyn Distance,
+    ds: &Dataset,
+    norm: Normalization,
+    cancel: &CancelFlag,
+) -> Result<Evaluation, CellError> {
+    cancel.checkpoint()?;
+    let prepared = prepare(ds, norm);
+    let guarded = GuardedDistance::new(d, cancel);
+    let e = if norm.is_pairwise() {
+        let wrapped = AdaptiveScaled::new(guarded);
+        distance_matrix(&wrapped, &prepared.test, &prepared.train)
+    } else {
+        distance_matrix(&guarded, &prepared.test, &prepared.train)
+    };
+    if let Some((i, j)) = find_non_finite(&e) {
+        return Err(CellError::NonFiniteDistance { i, j });
+    }
+    let accuracy = try_one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels)?;
+    Ok(Evaluation::unsupervised(accuracy))
+}
+
+/// Cancellable, fault-classified variant of
+/// [`evaluate_distance_supervised`]: the flag is checked between grid
+/// points, and the selected point's LOOCV accuracy is returned alongside
+/// the test accuracy.
+pub fn try_evaluate_distance_supervised(
+    grid: &[Box<dyn Distance>],
+    ds: &Dataset,
+    norm: Normalization,
+    cancel: &CancelFlag,
+) -> Result<Evaluation, CellError> {
+    if grid.is_empty() {
+        return Err(EvalError::EmptyGrid.into());
+    }
+    let prepared = prepare(ds, norm);
+    let mut best_idx = 0;
+    let mut best_train = f64::NEG_INFINITY;
+    let mut w = Matrix::zeros(0, 0);
+    for (idx, d) in grid.iter().enumerate() {
+        cancel.checkpoint()?;
+        let guarded = GuardedDistance::new(d.as_ref(), cancel);
+        if norm.is_pairwise() {
+            let wrapped = AdaptiveScaled::new(guarded);
+            symmetric_distance_matrix_into(&wrapped, &prepared.train, &mut w);
+        } else {
+            symmetric_distance_matrix_into(&guarded, &prepared.train, &mut w);
+        }
+        if let Some((i, j)) = find_non_finite(&w) {
+            return Err(CellError::NonFiniteDistance { i, j });
+        }
+        let train_acc = try_loocv_accuracy(&w, &prepared.train_labels)?;
+        if train_acc > best_train {
+            best_train = train_acc;
+            best_idx = idx;
+        }
+    }
+    let test = try_evaluate_distance(grid[best_idx].as_ref(), ds, norm, cancel)?;
+    Ok(Evaluation {
+        accuracy: test.accuracy,
+        train_accuracy: Some(best_train),
+    })
+}
+
+/// Cancellable, fault-classified variant of [`evaluate_kernel`].
+pub fn try_evaluate_kernel(
+    k: &dyn Kernel,
+    ds: &Dataset,
+    cancel: &CancelFlag,
+) -> Result<Evaluation, CellError> {
+    cancel.checkpoint()?;
+    let prepared = prepare(ds, Normalization::ZScore);
+    let guarded = GuardedKernel::new(k, cancel);
+    let (_, e) = kernel_matrices(&guarded, &prepared.train, &prepared.test);
+    if let Some((i, j)) = find_non_finite(&e) {
+        return Err(CellError::NonFiniteDistance { i, j });
+    }
+    let accuracy = try_one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels)?;
+    Ok(Evaluation::unsupervised(accuracy))
+}
+
+/// Cancellable, fault-classified variant of [`evaluate_kernel_supervised`].
+pub fn try_evaluate_kernel_supervised(
+    grid: &[Box<dyn Kernel>],
+    ds: &Dataset,
+    cancel: &CancelFlag,
+) -> Result<Evaluation, CellError> {
+    if grid.is_empty() {
+        return Err(EvalError::EmptyGrid.into());
+    }
+    let prepared = prepare(ds, Normalization::ZScore);
+    let mut best_train = f64::NEG_INFINITY;
+    let mut w = Matrix::zeros(0, 0);
+    let mut e = Matrix::zeros(0, 0);
+    let mut best_e = Matrix::zeros(0, 0);
+    for k in grid.iter() {
+        cancel.checkpoint()?;
+        let guarded = GuardedKernel::new(k.as_ref(), cancel);
+        kernel_matrices_into(&guarded, &prepared.train, &prepared.test, &mut w, &mut e);
+        if let Some((i, j)) = find_non_finite(&w).or_else(|| find_non_finite(&e)) {
+            return Err(CellError::NonFiniteDistance { i, j });
+        }
+        let train_acc = try_loocv_accuracy(&w, &prepared.train_labels)?;
+        if train_acc > best_train {
+            best_train = train_acc;
+            std::mem::swap(&mut best_e, &mut e);
+        }
+    }
+    let accuracy = try_one_nn_accuracy(&best_e, &prepared.test_labels, &prepared.train_labels)?;
+    Ok(Evaluation {
+        accuracy,
+        train_accuracy: Some(best_train),
+    })
+}
+
+/// Cancellable, fault-classified variant of [`evaluate_embedding`].
+/// Embeddings have no pairwise kernel to guard, so cancellation is
+/// checked before the (single) embedding pass.
+pub fn try_evaluate_embedding(
+    emb: &dyn Embedding,
+    ds: &Dataset,
+    cancel: &CancelFlag,
+) -> Result<Evaluation, CellError> {
+    cancel.checkpoint()?;
+    let prepared = prepare(ds, Normalization::ZScore);
+    let mut all = prepared.train.clone();
+    all.extend(prepared.test.iter().cloned());
+    let z = emb.embed(&all, prepared.train.len());
+    let (_, e) = embedding_matrices(&z, prepared.train.len());
+    if let Some((i, j)) = find_non_finite(&e) {
+        return Err(CellError::NonFiniteDistance { i, j });
+    }
+    let accuracy = try_one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels)?;
+    Ok(Evaluation::unsupervised(accuracy))
+}
+
+/// Cancellable, fault-classified variant of
+/// [`evaluate_embedding_supervised`]: the flag is checked between grid
+/// points.
+pub fn try_evaluate_embedding_supervised(
+    grid: &[Box<dyn Embedding>],
+    ds: &Dataset,
+    cancel: &CancelFlag,
+) -> Result<Evaluation, CellError> {
+    if grid.is_empty() {
+        return Err(EvalError::EmptyGrid.into());
+    }
+    let prepared = prepare(ds, Normalization::ZScore);
+    let mut all = prepared.train.clone();
+    all.extend(prepared.test.iter().cloned());
+    let n_train = prepared.train.len();
+
+    let mut best_train = f64::NEG_INFINITY;
+    let mut best_e = None;
+    for emb in grid.iter() {
+        cancel.checkpoint()?;
+        let z = emb.embed(&all, n_train);
+        let (w, e) = embedding_matrices(&z, n_train);
+        if let Some((i, j)) = find_non_finite(&w).or_else(|| find_non_finite(&e)) {
+            return Err(CellError::NonFiniteDistance { i, j });
+        }
+        let train_acc = try_loocv_accuracy(&w, &prepared.train_labels)?;
+        if train_acc > best_train {
+            best_train = train_acc;
+            best_e = Some(e);
+        }
+    }
+    let e = match best_e {
+        Some(e) => e,
+        None => unreachable!("non-empty grid always selects a point"),
+    };
+    let accuracy = try_one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels)?;
+    Ok(Evaluation {
+        accuracy,
+        train_accuracy: Some(best_train),
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,400 @@
+//! Line-delimited results journal for resumable studies.
+//!
+//! Every completed cell appends exactly one line to
+//! `results/<study>/journal.ndjson`-style plain-text files — one JSON
+//! object per line, hand-serialized and hand-parsed (no external
+//! crates):
+//!
+//! ```text
+//! {"study":"table5","cell":"MSM [LOOCCV]::synthetic/shape-00","outcome":"ok","seconds":1.25,"accuracy":0.9375,"train_accuracy":0.96875}
+//! {"study":"table5","cell":"Chaos(ED)::synthetic/shape-01","outcome":"failed","seconds":0.01,"error":"panicked: chaos: injected panic at call 0"}
+//! {"study":"table5","cell":"Slow::synthetic/shape-02","outcome":"timeout","seconds":5.0}
+//! ```
+//!
+//! Accuracies are written with Rust's shortest-round-trip float
+//! formatting, so a resumed study reproduces *bit-identical* tables from
+//! replayed cells. Loading tolerates corrupt or truncated lines (a study
+//! killed mid-append leaves a partial last line); those cells simply
+//! re-run. When a cell appears more than once, the last entry wins.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::cell::{CellError, CellOutcome, Evaluation};
+
+/// One parsed journal line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Study identifier.
+    pub study: String,
+    /// Cell key.
+    pub cell: String,
+    /// Final outcome of the cell ([`CellOutcome::Skipped`] is never
+    /// journaled; a failed entry round-trips as
+    /// [`CellError::Panicked`] carrying the rendered message).
+    pub outcome: CellOutcome,
+    /// Wall-clock seconds the cell took.
+    pub seconds: f64,
+}
+
+impl JournalEntry {
+    /// Serializes the entry as one journal line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{{\"study\":{},\"cell\":{},\"outcome\":\"{}\",\"seconds\":{}",
+            json_string(&self.study),
+            json_string(&self.cell),
+            self.outcome.label(),
+            json_number(self.seconds),
+        );
+        match &self.outcome {
+            CellOutcome::Ok(e) => {
+                out.push_str(&format!(",\"accuracy\":{}", json_number(e.accuracy)));
+                if let Some(t) = e.train_accuracy {
+                    out.push_str(&format!(",\"train_accuracy\":{}", json_number(t)));
+                }
+            }
+            CellOutcome::Failed(e) => {
+                out.push_str(&format!(",\"error\":{}", json_string(&e.to_string())));
+            }
+            CellOutcome::TimedOut | CellOutcome::Skipped => {}
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one journal line.
+    pub fn parse(line: &str) -> Result<JournalEntry, String> {
+        let fields = parse_json_object(line)?;
+        let get_str = |key: &str| -> Result<String, String> {
+            match fields.iter().find(|(k, _)| k == key) {
+                Some((_, JsonValue::Str(s))) => Ok(s.clone()),
+                _ => Err(format!("missing string field {key:?}")),
+            }
+        };
+        let get_num = |key: &str| -> Option<f64> {
+            match fields.iter().find(|(k, _)| k == key) {
+                Some((_, JsonValue::Num(n))) => Some(*n),
+                _ => None,
+            }
+        };
+        let study = get_str("study")?;
+        let cell = get_str("cell")?;
+        let seconds = get_num("seconds").ok_or("missing number field \"seconds\"")?;
+        let outcome = match get_str("outcome")?.as_str() {
+            "ok" => CellOutcome::Ok(Evaluation {
+                accuracy: get_num("accuracy").ok_or("ok entry without accuracy")?,
+                train_accuracy: get_num("train_accuracy"),
+            }),
+            "failed" => CellOutcome::Failed(CellError::Panicked {
+                message: get_str("error").unwrap_or_default(),
+            }),
+            "timeout" => CellOutcome::TimedOut,
+            other => return Err(format!("unknown outcome {other:?}")),
+        };
+        Ok(JournalEntry {
+            study,
+            cell,
+            outcome,
+            seconds,
+        })
+    }
+}
+
+/// Escapes a string as a JSON string literal (with surrounding quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float so that `parse::<f64>()` round-trips it bit-exactly
+/// (Rust's `Display` emits the shortest such representation); non-finite
+/// values (never produced for journaled cells) fall back to `null`.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Null,
+}
+
+/// Parses the flat JSON object grammar the journal emits: string keys,
+/// and string / number / null values.
+fn parse_json_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Vec::new();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            Some(',') => {
+                chars.next();
+                continue;
+            }
+            _ => return Err("expected key".into()),
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        let value = match chars.peek() {
+            Some('"') => JsonValue::Str(parse_string(&mut chars)?),
+            Some('n') => {
+                for expected in "null".chars() {
+                    if chars.next() != Some(expected) {
+                        return Err("bad literal".into());
+                    }
+                }
+                JsonValue::Null
+            }
+            Some(_) => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == ',' || c == '}' {
+                        break;
+                    }
+                    num.push(c);
+                    chars.next();
+                }
+                JsonValue::Num(
+                    num.trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad number {num:?}"))?,
+                )
+            }
+            None => return Err("unexpected end of line".into()),
+        };
+        fields.push((key, value));
+    }
+    if chars.next().is_some() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(fields)
+}
+
+/// Parses a JSON string literal (cursor on the opening quote).
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                _ => return Err("bad escape".into()),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+/// The entries of a loaded journal plus how many lines failed to parse
+/// (e.g. a line truncated by a mid-write kill).
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// Parsed entries, in file order.
+    pub entries: Vec<JournalEntry>,
+    /// Number of unparseable lines that were skipped.
+    pub corrupt_lines: usize,
+}
+
+/// Reads a journal file; a missing file is an empty replay. Unparseable
+/// lines are counted, not fatal — the corresponding cells just re-run.
+pub fn read_journal(path: &Path) -> std::io::Result<JournalReplay> {
+    let mut replay = JournalReplay::default();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(replay),
+        Err(e) => return Err(e),
+    };
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match JournalEntry::parse(line) {
+            Ok(entry) => replay.entries.push(entry),
+            Err(_) => replay.corrupt_lines += 1,
+        }
+    }
+    Ok(replay)
+}
+
+/// An append-only journal writer; every append is flushed so a killed
+/// process loses at most the line being written.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl Journal {
+    /// Opens (creating parents and the file as needed) `path` for
+    /// appending.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Journal> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one entry and flushes.
+    pub fn append(&self, entry: &JournalEntry) -> std::io::Result<()> {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        writeln!(writer, "{}", entry.render())?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_entry(accuracy: f64, train: Option<f64>) -> JournalEntry {
+        JournalEntry {
+            study: "s".into(),
+            cell: "m::d".into(),
+            outcome: CellOutcome::Ok(Evaluation {
+                accuracy,
+                train_accuracy: train,
+            }),
+            seconds: 0.25,
+        }
+    }
+
+    #[test]
+    fn ok_entries_roundtrip_bit_exactly() {
+        for accuracy in [
+            0.0,
+            1.0,
+            1.0 / 3.0,
+            0.123_456_789_012_345_68,
+            f64::MIN_POSITIVE,
+        ] {
+            let entry = ok_entry(accuracy, Some(accuracy / 7.0));
+            let back = JournalEntry::parse(&entry.render()).unwrap();
+            assert_eq!(back, entry);
+            match back.outcome {
+                CellOutcome::Ok(e) => {
+                    assert_eq!(e.accuracy.to_bits(), accuracy.to_bits());
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn failed_and_timeout_entries_roundtrip() {
+        let failed = JournalEntry {
+            study: "s".into(),
+            cell: "chaos::\"quoted\"\nname".into(),
+            outcome: CellOutcome::Failed(CellError::Panicked {
+                message: "boom \\ \"quote\"".into(),
+            }),
+            seconds: 1.5,
+        };
+        let back = JournalEntry::parse(&failed.render()).unwrap();
+        assert_eq!(back.cell, failed.cell);
+        assert!(matches!(back.outcome, CellOutcome::Failed(_)));
+
+        let timeout = JournalEntry {
+            study: "s".into(),
+            cell: "slow::d".into(),
+            outcome: CellOutcome::TimedOut,
+            seconds: 5.0,
+        };
+        assert_eq!(JournalEntry::parse(&timeout.render()).unwrap(), timeout);
+    }
+
+    #[test]
+    fn corrupt_lines_are_counted_not_fatal() {
+        let dir = std::env::temp_dir().join("tsdist_journal_corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.ndjson");
+        let good = ok_entry(0.5, None).render();
+        std::fs::write(&path, format!("{good}\n{{\"study\":\"s\",\"cel")).unwrap();
+        let replay = read_journal(&path).unwrap();
+        assert_eq!(replay.entries.len(), 1);
+        assert_eq!(replay.corrupt_lines, 1);
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let replay = read_journal(Path::new("/nonexistent/journal.ndjson")).unwrap();
+        assert!(replay.entries.is_empty());
+        assert_eq!(replay.corrupt_lines, 0);
+    }
+
+    #[test]
+    fn journal_appends_and_reads_back() {
+        let dir = std::env::temp_dir().join("tsdist_journal_append");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sub").join("j.ndjson");
+        let journal = Journal::open(&path).unwrap();
+        journal.append(&ok_entry(0.75, None)).unwrap();
+        journal
+            .append(&JournalEntry {
+                study: "s".into(),
+                cell: "x::y".into(),
+                outcome: CellOutcome::TimedOut,
+                seconds: 2.0,
+            })
+            .unwrap();
+        let replay = read_journal(&path).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        assert_eq!(replay.entries[1].outcome, CellOutcome::TimedOut);
+    }
+}

@@ -49,20 +49,23 @@ pub fn try_knn_accuracy(
     }
     let mut correct = 0usize;
     for (i, &truth) in test_labels.iter().enumerate() {
-        if predict_row(e.row(i), train_labels, k) == truth {
-            correct += 1;
+        match predict_row(e.row(i), train_labels, k) {
+            Some(predicted) if predicted == truth => correct += 1,
+            Some(_) => {}
+            None => return Err(EvalError::EmptyTrainSet),
         }
     }
     Ok(correct as f64 / test_labels.len().max(1) as f64)
 }
 
-/// Predicts one test series from its distance row.
+/// Predicts one test series from its distance row; `None` with an empty
+/// training set (no neighbour exists).
 ///
 /// Distances are ordered by [`f64::total_cmp`], so NaN distances (which a
 /// degenerate measure/normalization combination can produce) sort after
 /// every finite value instead of panicking, and the selection stays
 /// deterministic.
-fn predict_row(row: &[f64], train_labels: &[Label], k: usize) -> Label {
+fn predict_row(row: &[f64], train_labels: &[Label], k: usize) -> Option<Label> {
     let k = k.min(train_labels.len());
     let by_distance_then_index = |a: &usize, b: &usize| row[*a].total_cmp(&row[*b]).then(a.cmp(b));
     // Indices of the k smallest distances, in increasing distance order:
@@ -90,7 +93,6 @@ fn predict_row(row: &[f64], train_labels: &[Label], k: usize) -> Label {
         .into_iter()
         .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)))
         .map(|(label, _, _)| label)
-        .expect("at least one neighbour")
 }
 
 /// A confusion matrix over `n_classes` dense class labels.
@@ -109,6 +111,10 @@ impl ConfusionMatrix {
     pub fn from_one_nn(e: &Matrix, test_labels: &[Label], train_labels: &[Label]) -> Self {
         assert_eq!(e.rows(), test_labels.len());
         assert_eq!(e.cols(), train_labels.len());
+        assert!(
+            !train_labels.is_empty() || test_labels.is_empty(),
+            "no training series to predict from"
+        );
         let n_classes = test_labels
             .iter()
             .chain(train_labels)
@@ -118,7 +124,11 @@ impl ConfusionMatrix {
             .unwrap_or(0);
         let mut counts = vec![vec![0usize; n_classes]; n_classes];
         for (i, &truth) in test_labels.iter().enumerate() {
-            let predicted = predict_row(e.row(i), train_labels, 1);
+            let predicted = match predict_row(e.row(i), train_labels, 1) {
+                Some(p) => p,
+                // The train split was checked non-empty above.
+                None => unreachable!("non-empty train split always has a neighbour"),
+            };
             counts[truth][predicted] += 1;
         }
         ConfusionMatrix { n_classes, counts }

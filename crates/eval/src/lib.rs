@@ -16,6 +16,24 @@
 //! signatures remain as thin wrappers. See the [`matrices`] module docs
 //! for a migration note on the historic `distance_matrix` signature.
 //!
+//! ## Fault tolerance and resumable studies
+//!
+//! Long archive sweeps are orchestrated by the fault-tolerant cell
+//! runner in [`runner`]: every (measure, normalization, dataset) cell
+//! executes under `catch_unwind` isolation, optionally with a wall-clock
+//! deadline (a [`cell::Watchdog`] raises a cooperative [`cell::CancelFlag`]
+//! that guarded measure wrappers check before every pairwise call) and a
+//! retry-with-backoff budget for failed cells. Outcomes are typed as
+//! [`CellOutcome`] — `Ok` / `Failed(CellError)` / `TimedOut` / `Skipped` —
+//! and journaled to a line-delimited file ([`journal`]); re-running a
+//! killed study with the same journal replays completed cells
+//! bit-identically and executes only the missing, failed, and timed-out
+//! ones. [`run_study_resumable`] reports rankings over the surviving
+//! subset with an explicit N; the strict [`run_study`] facade panics on
+//! the first fault, preserving the historical contract. Knobs live on
+//! [`RunnerConfig`]: `deadline`, `max_retries`, `retry_backoff`,
+//! `max_cells` (stop-after-N, the hook the kill/resume smoke test uses).
+//!
 //! The typical flow for one experiment:
 //!
 //! ```
@@ -39,16 +57,20 @@
 
 #![warn(missing_docs)]
 
+pub mod cell;
 pub mod comparison;
 pub mod error;
 pub mod evaluator;
+pub mod journal;
 pub mod knn;
 pub mod matrices;
 pub mod nn;
 pub mod parallel;
+pub mod runner;
 pub mod runtime;
 pub mod study;
 
+pub use cell::{CancelFlag, CellError, CellOutcome, CellResult, Evaluation, Watchdog};
 pub use comparison::{
     compare_to_baseline, holm_adjusted_p_values, rank_measures, render_table, PairwiseComparison,
     RankingAnalysis, NEMENYI_ALPHA, WILCOXON_ALPHA,
@@ -57,8 +79,11 @@ pub use error::EvalError;
 pub use evaluator::{
     evaluate_distance, evaluate_distance_supervised, evaluate_embedding,
     evaluate_embedding_supervised, evaluate_kernel, evaluate_kernel_supervised, prepare,
+    try_evaluate_distance, try_evaluate_distance_supervised, try_evaluate_embedding,
+    try_evaluate_embedding_supervised, try_evaluate_kernel, try_evaluate_kernel_supervised,
     SupervisedOutcome,
 };
+pub use journal::{read_journal, Journal, JournalEntry, JournalReplay};
 pub use knn::{knn_accuracy, try_knn_accuracy, ConfusionMatrix};
 pub use matrices::{
     distance_matrices, distance_matrices_into, distance_matrix, distance_matrix_into,
@@ -67,5 +92,8 @@ pub use matrices::{
 };
 pub use nn::{loocv_accuracy, one_nn_accuracy, try_loocv_accuracy, try_one_nn_accuracy};
 pub use parallel::{parallel_fill_rows, parallel_map, parallel_map_with, worker_count};
+pub use runner::{
+    cell_key, run_study_resumable, summarize_cells, CellRunner, RobustStudyReport, RunnerConfig,
+};
 pub use runtime::{measure_inference, pruned_dtw_search, PrunedSearchStats, RuntimeMeasurement};
 pub use study::{run_study, Entrant, StudyReport};

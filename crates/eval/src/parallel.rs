@@ -4,7 +4,50 @@
 //! dataset) is coarse enough that a shared atomic counter over scoped
 //! threads saturates all cores without any dependency beyond `std`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The first panic payload caught across a worker pool, re-raised on the
+/// calling thread once the pool has drained.
+///
+/// `std::thread::scope` re-panics with a generic "a scoped thread
+/// panicked" message, discarding the worker's payload; catching in the
+/// worker and resuming in the parent preserves it, so the fault-tolerant
+/// cell runner (and plain test output) sees the real panic message. The
+/// shared flag makes the remaining workers stop claiming new indices
+/// instead of finishing the whole map for a doomed result.
+struct FirstPanic {
+    poisoned: AtomicBool,
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl FirstPanic {
+    fn new() -> Self {
+        FirstPanic {
+            poisoned: AtomicBool::new(false),
+            payload: Mutex::new(None),
+        }
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, payload: Box<dyn std::any::Any + Send>) {
+        self.poisoned.store(true, Ordering::Relaxed);
+        let mut slot = self.payload.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn resume(self) {
+        if let Some(payload) = self.payload.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            resume_unwind(payload);
+        }
+    }
+}
 
 /// Number of worker threads to use (the machine's available parallelism).
 pub fn worker_count() -> usize {
@@ -43,6 +86,7 @@ where
     let mut results: Vec<T> = Vec::with_capacity(n);
     results.resize_with(n, T::default);
     let next = AtomicUsize::new(0);
+    let first_panic = FirstPanic::new();
     // SAFETY-free: each worker claims a distinct index and writes a
     // distinct slot; we hand out disjoint &mut via raw pointer arithmetic
     // guarded by the atomic counter.
@@ -54,23 +98,33 @@ where
             let init = &init;
             let f = &f;
             let results_ptr = &results_ptr;
+            let first_panic = &first_panic;
             scope.spawn(move || {
-                let mut state = init();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    let mut state = init();
+                    loop {
+                        if first_panic.is_poisoned() {
+                            return;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return;
+                        }
+                        let value = f(&mut state, i);
+                        // Each index is claimed exactly once, so this
+                        // write is exclusive.
+                        unsafe {
+                            *results_ptr.0.add(i) = value;
+                        }
                     }
-                    let value = f(&mut state, i);
-                    // Each index is claimed exactly once, so this write is
-                    // exclusive.
-                    unsafe {
-                        *results_ptr.0.add(i) = value;
-                    }
+                }));
+                if let Err(payload) = caught {
+                    first_panic.record(payload);
                 }
             });
         }
     });
+    first_panic.resume();
     results
 }
 
@@ -101,6 +155,7 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    let first_panic = FirstPanic::new();
     let data_ptr = SendPtr(data.as_mut_ptr());
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -108,23 +163,33 @@ where
             let init = &init;
             let fill = &fill;
             let data_ptr = &data_ptr;
+            let first_panic = &first_panic;
             scope.spawn(move || {
-                let mut state = init();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    let mut state = init();
+                    loop {
+                        if first_panic.is_poisoned() {
+                            return;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return;
+                        }
+                        // Each row index is claimed exactly once, so the
+                        // row slices handed out are disjoint.
+                        let row = unsafe {
+                            std::slice::from_raw_parts_mut(data_ptr.0.add(i * row_len), row_len)
+                        };
+                        fill(&mut state, i, row);
                     }
-                    // Each row index is claimed exactly once, so the row
-                    // slices handed out are disjoint.
-                    let row = unsafe {
-                        std::slice::from_raw_parts_mut(data_ptr.0.add(i * row_len), row_len)
-                    };
-                    fill(&mut state, i, row);
+                }));
+                if let Err(payload) = caught {
+                    first_panic.record(payload);
                 }
             });
         }
     });
+    first_panic.resume();
 }
 
 struct SendPtr<T>(*mut T);
@@ -196,6 +261,44 @@ mod tests {
         let mut single = vec![0.0f64; 3];
         parallel_fill_rows(&mut single, 3, || (), |(), i, row| row.fill(i as f64 + 1.0));
         assert_eq!(single, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn worker_panic_payload_is_preserved() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(64, |i| {
+                if i == 13 {
+                    panic!("worker 13 exploded");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("a worker panic must propagate");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(
+            message.contains("worker 13 exploded"),
+            "payload lost: {message:?}"
+        );
+    }
+
+    #[test]
+    fn fill_rows_panic_payload_is_preserved() {
+        let mut data = vec![0.0f64; 16 * 4];
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_fill_rows(
+                &mut data,
+                4,
+                || (),
+                |(), i, _| {
+                    if i == 7 {
+                        panic!("row 7 exploded");
+                    }
+                },
+            )
+        }));
+        let payload = caught.expect_err("a worker panic must propagate");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("row 7 exploded"));
     }
 
     #[test]

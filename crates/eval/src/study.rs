@@ -4,12 +4,9 @@
 //! rank everything together with Friedman + Nemenyi — packaged as a
 //! reusable API.
 
-use crate::comparison::{
-    compare_to_baseline, holm_adjusted_p_values, rank_measures, render_table, PairwiseComparison,
-    RankingAnalysis,
-};
-use crate::evaluator::evaluate_distance;
-use crate::parallel::parallel_map;
+use crate::cell::CellOutcome;
+use crate::comparison::{render_table, PairwiseComparison, RankingAnalysis};
+use crate::runner::{run_study_resumable, CellRunner, RunnerConfig};
 use tsdist_core::measure::Distance;
 use tsdist_core::normalization::Normalization;
 use tsdist_data::Dataset;
@@ -74,45 +71,32 @@ impl StudyReport {
 /// Runs a study: the first entrant is the baseline. Datasets are
 /// evaluated in parallel.
 ///
+/// This is the strict facade over the fault-tolerant runner
+/// ([`run_study_resumable`](crate::runner::run_study_resumable)): every
+/// cell must complete, and the first fault (panic, non-finite distance,
+/// typed evaluation error) aborts the study with a panic naming the
+/// offending cell. Use the runner directly for fault-tolerant or
+/// resumable execution.
+///
 /// # Panics
-/// Panics with fewer than two entrants or an empty archive.
+/// Panics with fewer than two entrants, an empty archive, or any cell
+/// that fails to complete.
 pub fn run_study(archive: &[Dataset], entrants: &[Entrant]) -> StudyReport {
-    assert!(
-        entrants.len() >= 2,
-        "a study needs a baseline and at least one entrant"
-    );
-    assert!(!archive.is_empty(), "empty archive");
-
-    let accuracies: Vec<Vec<f64>> = entrants
-        .iter()
-        .map(|e| {
-            parallel_map(archive.len(), |i| {
-                evaluate_distance(e.measure.as_ref(), &archive[i], e.normalization)
-            })
-        })
-        .collect();
-
-    let names: Vec<String> = entrants.iter().map(|e| e.name.clone()).collect();
-    let baseline = &accuracies[0];
-    let rows: Vec<PairwiseComparison> = names
-        .iter()
-        .zip(&accuracies)
-        .skip(1)
-        .map(|(name, accs)| compare_to_baseline(name.clone(), accs, baseline))
-        .collect();
-    let holm_adjusted = holm_adjusted_p_values(&rows);
-
-    let table: Vec<Vec<f64>> = (0..archive.len())
-        .map(|d| accuracies.iter().map(|col| col[d]).collect())
-        .collect();
-    let ranking = rank_measures(&names, &table);
-
-    StudyReport {
-        names,
-        accuracies,
-        rows,
-        holm_adjusted,
-        ranking,
+    let runner = CellRunner::new(RunnerConfig::default());
+    let robust = run_study_resumable(archive, entrants, &runner);
+    for cell in robust.cells.iter().flatten() {
+        match &cell.outcome {
+            CellOutcome::Ok(_) => {}
+            CellOutcome::Failed(err) => panic!("cell {} failed: {err}", cell.key),
+            CellOutcome::TimedOut => panic!("cell {} timed out", cell.key),
+            CellOutcome::Skipped => panic!("cell {} was skipped", cell.key),
+        }
+    }
+    match robust.report {
+        Some(report) => report,
+        // Every cell completed (checked above), so the surviving subset
+        // is the full grid and a report always exists.
+        None => unreachable!("complete grid always yields a report"),
     }
 }
 

@@ -1,0 +1,291 @@
+//! Fault-injection suite for the resumable cell runner: chaos measures
+//! (panics, NaN, delays), deadline enforcement, retry recovery, journal
+//! kill/resume equivalence, and the lenient archive loader feeding a
+//! study over the surviving datasets.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use tsdist_core::chaos::{ChaosDistance, Fault, Schedule};
+use tsdist_core::lockstep::{Euclidean, Lorentzian};
+use tsdist_core::normalization::Normalization;
+use tsdist_data::synthetic::{generate_archive, generate_dataset, ArchiveConfig};
+use tsdist_data::ucr::write_ucr_dataset;
+use tsdist_data::{load_ucr_archive_lenient, Dataset};
+use tsdist_eval::{
+    cell_key, run_study, run_study_resumable, try_evaluate_distance, CellError, CellOutcome,
+    CellRunner, Entrant, Evaluation, RunnerConfig,
+};
+
+fn quick_archive(n: usize) -> Vec<Dataset> {
+    generate_archive(&ArchiveConfig::quick(n, 42))
+}
+
+fn healthy_entrants() -> Vec<Entrant> {
+    vec![
+        Entrant::new(Box::new(Euclidean)),
+        Entrant::new(Box::new(Lorentzian)),
+    ]
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsdist_fault_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn chaos_panic_cells_fail_while_healthy_cells_are_bit_identical() {
+    let archive = quick_archive(3);
+
+    let mut entrants = healthy_entrants();
+    entrants.push(Entrant::new(Box::new(ChaosDistance::new(
+        Euclidean,
+        Fault::Panic,
+        Schedule::Always,
+    ))));
+
+    let runner = CellRunner::new(RunnerConfig::named("chaos-panic"));
+    let robust = run_study_resumable(&archive, &entrants, &runner);
+
+    // Every chaos cell failed with the injected panic message...
+    for cell in &robust.cells[2] {
+        match &cell.outcome {
+            CellOutcome::Failed(CellError::Panicked { message }) => {
+                assert!(message.contains("chaos: injected panic"), "{message}");
+            }
+            other => panic!("chaos cell should fail, got {other:?}"),
+        }
+    }
+    // ...the chaos entrant is excluded, every dataset survives...
+    assert_eq!(robust.surviving_entrants, vec![0, 1]);
+    assert_eq!(robust.surviving_datasets, vec![0, 1, 2]);
+
+    // ...and the healthy entrants are bit-identical to a chaos-free run.
+    let clean = run_study(&archive, &healthy_entrants());
+    let report = robust.report.as_ref().expect("healthy subset is rankable");
+    for (robust_col, clean_col) in report.accuracies.iter().zip(&clean.accuracies) {
+        for (a, b) in robust_col.iter().zip(clean_col) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+    let text = robust.render("Chaos study");
+    assert!(text.contains("3 failed"));
+    assert!(text.contains("N = 3 of 3 datasets, 2 of 3 entrants"));
+}
+
+#[test]
+fn nan_cells_are_classified_as_non_finite_distance() {
+    let ds = generate_dataset(&ArchiveConfig::quick(1, 7), 0);
+    let chaos = ChaosDistance::new(Euclidean, Fault::Value(f64::NAN), Schedule::Always);
+    let runner = CellRunner::new(RunnerConfig::named("chaos-nan"));
+    let result = runner.run_cell(&cell_key("Chaos(ED)", &ds.name), |flag| {
+        try_evaluate_distance(&chaos, &ds, Normalization::ZScore, flag)
+    });
+    assert!(
+        matches!(
+            result.outcome,
+            CellOutcome::Failed(CellError::NonFiniteDistance { .. })
+        ),
+        "got {:?}",
+        result.outcome
+    );
+}
+
+#[test]
+fn delayed_cells_blow_the_deadline_and_report_timeout() {
+    let ds = generate_dataset(&ArchiveConfig::quick(1, 9), 0);
+    // Each pairwise call sleeps 5ms; a quick dataset has hundreds of
+    // pairs, so the 15ms deadline fires long before the matrix is done.
+    let chaos = ChaosDistance::new(
+        Euclidean,
+        Fault::Delay(Duration::from_millis(5)),
+        Schedule::Always,
+    );
+    let config = RunnerConfig::named("chaos-slow").with_deadline(Duration::from_millis(15));
+    let runner = CellRunner::new(config);
+    let result = runner.run_cell(&cell_key("Slow(ED)", &ds.name), |flag| {
+        try_evaluate_distance(&chaos, &ds, Normalization::ZScore, flag)
+    });
+    assert_eq!(result.outcome, CellOutcome::TimedOut);
+}
+
+#[test]
+fn retry_recovers_a_transiently_failing_cell() {
+    let ds = generate_dataset(&ArchiveConfig::quick(1, 11), 0);
+    // Only the very first distance call panics: the first attempt dies,
+    // the retry runs entirely clean (the call counter is shared).
+    let chaos = ChaosDistance::new(Euclidean, Fault::Panic, Schedule::FirstN(1));
+    let config = RunnerConfig::named("chaos-flaky")
+        .with_retries(1)
+        .with_backoff(Duration::from_millis(1));
+    let runner = CellRunner::new(config);
+    let result = runner.run_cell(&cell_key("Flaky(ED)", &ds.name), |flag| {
+        try_evaluate_distance(&chaos, &ds, Normalization::ZScore, flag)
+    });
+
+    let flag = tsdist_eval::CancelFlag::new();
+    let clean = try_evaluate_distance(&Euclidean, &ds, Normalization::ZScore, &flag)
+        .expect("clean evaluation");
+    match result.outcome {
+        CellOutcome::Ok(Evaluation { accuracy, .. }) => {
+            assert_eq!(accuracy.to_bits(), clean.accuracy.to_bits());
+        }
+        other => panic!("retried cell should recover, got {other:?}"),
+    }
+}
+
+#[test]
+fn killed_study_resumes_to_a_byte_identical_report_without_recomputing() {
+    let archive = quick_archive(2);
+    let entrants = healthy_entrants;
+    let dir = temp_dir("resume");
+    let journal = dir.join("journal.ndjson");
+
+    // "Kill" the first run after one cell via max_cells.
+    let killed = CellRunner::journaled(RunnerConfig::named("smoke").with_max_cells(1), &journal)
+        .expect("journal opens");
+    let partial = run_study_resumable(&archive, &entrants(), &killed);
+    let (ok, _, _, skipped) = partial.outcome_counts();
+    assert_eq!(ok, 1, "max_cells executes exactly one cell");
+    assert_eq!(skipped, 3);
+    assert!(partial.render("Smoke").contains("SKIPPED"));
+    drop(killed);
+    let lines_after_kill = std::fs::read_to_string(&journal)
+        .expect("journal exists")
+        .lines()
+        .count();
+    assert_eq!(lines_after_kill, 1, "only the executed cell is journaled");
+
+    // Resume: the journaled cell replays, the other three run.
+    let resumed =
+        CellRunner::journaled(RunnerConfig::named("smoke"), &journal).expect("journal reopens");
+    assert_eq!(resumed.replayed_cells(), 1);
+    let resumed_report = run_study_resumable(&archive, &entrants(), &resumed);
+    drop(resumed);
+
+    // A fresh, uninterrupted run for comparison.
+    let fresh_journal = dir.join("fresh.ndjson");
+    let fresh = CellRunner::journaled(RunnerConfig::named("smoke"), &fresh_journal)
+        .expect("fresh journal opens");
+    let fresh_report = run_study_resumable(&archive, &entrants(), &fresh);
+
+    assert_eq!(
+        resumed_report.render("Smoke"),
+        fresh_report.render("Smoke"),
+        "kill-and-resume must render byte-identically to an uninterrupted run"
+    );
+
+    // 1 line from the killed run + 3 from the resume: the replayed cell
+    // was not recomputed (a recompute would have appended a 5th line).
+    let total_lines = std::fs::read_to_string(&journal)
+        .expect("journal exists")
+        .lines()
+        .count();
+    assert_eq!(total_lines, 4);
+}
+
+#[test]
+fn truncated_journal_line_is_tolerated_on_resume() {
+    let archive = quick_archive(2);
+    let dir = temp_dir("truncated");
+    let journal = dir.join("journal.ndjson");
+
+    let first = CellRunner::journaled(RunnerConfig::named("trunc").with_max_cells(1), &journal)
+        .expect("journal opens");
+    let _ = run_study_resumable(&archive, &healthy_entrants(), &first);
+    drop(first);
+
+    // Simulate a kill mid-append: a partial line with no newline at EOF.
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&journal)
+        .expect("journal exists");
+    write!(file, "{{\"study\":\"trunc\",\"cel").expect("append partial line");
+    drop(file);
+
+    let resumed = CellRunner::journaled(RunnerConfig::named("trunc"), &journal)
+        .expect("corrupt journal still opens");
+    assert_eq!(resumed.corrupt_journal_lines(), 1);
+    assert_eq!(resumed.replayed_cells(), 1);
+    let report = run_study_resumable(&archive, &healthy_entrants(), &resumed);
+    let (ok, failed, timed_out, skipped) = report.outcome_counts();
+    assert_eq!((ok, failed, timed_out, skipped), (4, 0, 0, 0));
+    assert!(report.report.is_some());
+}
+
+#[test]
+fn lenient_loader_feeds_a_study_over_the_surviving_datasets() {
+    let dir = temp_dir("lenient");
+
+    // Two healthy datasets in UCR layout...
+    for (i, seed) in [(0usize, 3u64), (1, 5)] {
+        let ds = generate_dataset(&ArchiveConfig::quick(1, seed), i % 7);
+        let stem = ds.name.rsplit('/').next().unwrap_or(&ds.name).to_string();
+        write_ucr_dataset(&ds, dir.join(&stem)).expect("write dataset");
+    }
+    // ...plus one with an unparseable train split.
+    let bad = dir.join("Broken");
+    std::fs::create_dir_all(&bad).expect("bad dir");
+    std::fs::write(bad.join("Broken_TRAIN.tsv"), "1\t0.5\t<oops>\n").expect("bad train");
+    std::fs::write(bad.join("Broken_TEST.tsv"), "1\t0.5\t0.6\n").expect("bad test");
+
+    let lenient = load_ucr_archive_lenient(&dir).expect("lenient load");
+    assert_eq!(lenient.datasets.len(), 2);
+    assert_eq!(lenient.failures.len(), 1);
+    assert_eq!(lenient.failures[0].name, "Broken");
+    assert!(lenient.render_report().contains("FAILED Broken"));
+
+    let runner = CellRunner::new(RunnerConfig::named("lenient"));
+    let robust = run_study_resumable(&lenient.datasets, &healthy_entrants(), &runner);
+    let (ok, failed, timed_out, skipped) = robust.outcome_counts();
+    assert_eq!((ok, failed, timed_out, skipped), (4, 0, 0, 0));
+    let report = robust.report.as_ref().expect("survivors are rankable");
+    assert_eq!(report.accuracies[0].len(), 2);
+}
+
+#[test]
+fn strict_run_study_names_the_failing_cell() {
+    let archive = quick_archive(1);
+    let mut entrants = healthy_entrants();
+    entrants.push(Entrant::new(Box::new(ChaosDistance::new(
+        Euclidean,
+        Fault::Panic,
+        Schedule::Always,
+    ))));
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_study(&archive, &entrants)
+    }));
+    let payload = match caught {
+        Err(payload) => payload,
+        Ok(_) => panic!("strict facade must panic on chaos"),
+    };
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("failed") && message.contains("Chaos"),
+        "panic message should name the cell: {message:?}"
+    );
+}
+
+#[test]
+fn deadline_applies_per_cell_not_per_study() {
+    // Two healthy cells, each well under the deadline individually; the
+    // study must complete even though the *total* exceeds nothing.
+    let archive = quick_archive(2);
+    let config = RunnerConfig::named("deadline").with_deadline(Duration::from_secs(30));
+    let runner = CellRunner::new(config);
+    let calls = AtomicUsize::new(0);
+    for ds in &archive {
+        let result = runner.run_cell(&cell_key("ED", &ds.name), |flag| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            try_evaluate_distance(&Euclidean, ds, Normalization::ZScore, flag)
+        });
+        assert!(result.outcome.is_ok());
+    }
+    assert_eq!(calls.load(Ordering::SeqCst), 2);
+}

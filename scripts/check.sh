@@ -14,4 +14,40 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 
+echo "==> resumable-study smoke (kill after one cell, resume, diff)"
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+TSDIST=target/debug/tsdist
+cargo build -q --offline -p tsdist-cli
+"$TSDIST" generate "$SMOKE/archive" --datasets 2 --seed 7 --quick >/dev/null
+
+# "Killed" run: the runner stops after the first completed cell, leaving a
+# one-line journal behind.
+"$TSDIST" evaluate-archive "$SMOKE/archive" --measures ed,sbd \
+  --journal "$SMOKE/j.ndjson" --study smoke --max-cells 1 \
+  >/dev/null 2>/dev/null
+lines=$(wc -l < "$SMOKE/j.ndjson")
+if [ "$lines" -ne 1 ]; then
+  echo "expected 1 journal line after the killed run, got $lines" >&2
+  exit 1
+fi
+
+# Resumed run: replays the journaled cell, executes the remaining three.
+"$TSDIST" evaluate-archive "$SMOKE/archive" --measures ed,sbd \
+  --journal "$SMOKE/j.ndjson" --study smoke \
+  >"$SMOKE/resumed.txt" 2>/dev/null
+lines=$(wc -l < "$SMOKE/j.ndjson")
+if [ "$lines" -ne 4 ]; then
+  echo "expected 4 journal lines after the resumed run, got $lines" >&2
+  exit 1
+fi
+
+# Uninterrupted run: fresh journal, every cell computed in one go.
+"$TSDIST" evaluate-archive "$SMOKE/archive" --measures ed,sbd \
+  --journal "$SMOKE/fresh.ndjson" --study smoke \
+  >"$SMOKE/fresh.txt" 2>/dev/null
+
+diff "$SMOKE/resumed.txt" "$SMOKE/fresh.txt"
+echo "    resumed report is byte-identical to the uninterrupted run"
+
 echo "All checks passed."
