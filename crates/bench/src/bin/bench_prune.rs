@@ -1,0 +1,214 @@
+//! `BENCH_prune.json`: exact vs cutoff-threaded 1-NN micro-benchmark.
+//!
+//! Times the full-matrix 1-NN path (`evaluate_distance`) against the
+//! early-abandoning engine (`evaluate_distance_pruned`) on a fixed-seed
+//! UCR-shaped dataset — 64 train / 64 test series of length 256, DTW band
+//! 10% — reporting the median of 5 repetitions per path. Accuracies must
+//! be byte-identical (the cutoff contract guarantees it); the JSON records
+//! both so the claim is checkable after the fact. A second sweep runs the
+//! wider measure registry over small synthetic datasets and asserts the
+//! same byte-identity without timing, so "every measure" is covered even
+//! though only the headline measures are worth benchmarking.
+//!
+//! `--quick` shrinks the workload (16 series, length 64, 3 repetitions)
+//! for the `scripts/check.sh` smoke; the acceptance run uses defaults.
+
+use std::time::Instant;
+
+use tsdist_bench::ExperimentConfig;
+use tsdist_core::elastic::{DerivativeDtw, Dtw, Erp, Msm, Twe, WeightedDtw};
+use tsdist_core::lockstep::{Chebyshev, CityBlock, Euclidean, Lorentzian, Minkowski};
+use tsdist_core::measure::Distance;
+use tsdist_core::normalization::Normalization;
+use tsdist_data::synthetic::{generate_dataset, ArchiveConfig};
+use tsdist_data::Dataset;
+use tsdist_eval::{evaluate_distance, evaluate_distance_pruned};
+
+/// One timed measure: exact vs pruned medians plus both accuracies.
+struct BenchRow {
+    name: &'static str,
+    exact_seconds: f64,
+    pruned_seconds: f64,
+    exact_accuracy: f64,
+    pruned_accuracy: f64,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        self.exact_seconds / self.pruned_seconds.max(1e-12)
+    }
+
+    fn identical(&self) -> bool {
+        self.exact_accuracy.to_bits() == self.pruned_accuracy.to_bits()
+    }
+}
+
+fn median_seconds(reps: usize, mut run: impl FnMut() -> f64) -> (f64, f64) {
+    let mut times = Vec::with_capacity(reps);
+    let mut accuracy = f64::NAN;
+    for _ in 0..reps {
+        let start = Instant::now();
+        accuracy = run();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], accuracy)
+}
+
+fn bench_measure(name: &'static str, d: &dyn Distance, ds: &Dataset, reps: usize) -> BenchRow {
+    let norm = Normalization::ZScore;
+    let (exact_seconds, exact_accuracy) = median_seconds(reps, || evaluate_distance(d, ds, norm));
+    let (pruned_seconds, pruned_accuracy) =
+        median_seconds(reps, || evaluate_distance_pruned(d, ds, norm));
+    BenchRow {
+        name,
+        exact_seconds,
+        pruned_seconds,
+        exact_accuracy,
+        pruned_accuracy,
+    }
+}
+
+/// The registry swept for byte-identity (untimed): every family with a
+/// `distance_upto` override plus defaults that merely delegate.
+fn equivalence_registry() -> Vec<(&'static str, Box<dyn Distance>)> {
+    vec![
+        ("ED", Box::new(Euclidean)),
+        ("CityBlock", Box::new(CityBlock)),
+        ("Chebyshev", Box::new(Chebyshev)),
+        ("Minkowski(p=3)", Box::new(Minkowski::new(3.0))),
+        ("Lorentzian", Box::new(Lorentzian)),
+        ("DTW(δ=10)", Box::new(Dtw::with_window_pct(10.0))),
+        ("DDTW(δ=10)", Box::new(DerivativeDtw::with_window_pct(10.0))),
+        ("WDTW(g=0.05)", Box::new(WeightedDtw::new(0.05))),
+        ("ERP", Box::new(Erp::new())),
+        ("MSM(c=0.5)", Box::new(Msm::new(0.5))),
+        ("TWE", Box::new(Twe::new(1.0, 1e-4))),
+    ]
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let (n_series, length, reps) = if cfg.quick { (16, 64, 3) } else { (64, 256, 5) };
+
+    // The headline workload: one UCR-shaped dataset, fixed sizes, fixed
+    // seed, no irregular series. Index 6 selects the `mixed` archetype —
+    // the composite-distortion generator closest to real UCR data, where
+    // nearest-neighbour contrast (and hence abandoning) is representative
+    // rather than degenerate.
+    let bench_cfg = ArchiveConfig {
+        n_datasets: 7,
+        seed: cfg.seed,
+        length: (length, length),
+        classes: (2, 4),
+        train_size: (n_series, n_series),
+        test_size: (n_series, n_series),
+        irregular_fraction: 0.0,
+    };
+    let ds = generate_dataset(&bench_cfg, 6);
+    eprintln!(
+        "[bench_prune] {} train / {} test, length {length}, {reps} reps per path",
+        ds.train.len(),
+        ds.test.len()
+    );
+
+    let timed: Vec<(&'static str, Box<dyn Distance>)> = vec![
+        ("ED", Box::new(Euclidean)),
+        ("DTW(δ=10)", Box::new(Dtw::with_window_pct(10.0))),
+        ("DDTW(δ=10)", Box::new(DerivativeDtw::with_window_pct(10.0))),
+        ("WDTW(g=0.05)", Box::new(WeightedDtw::new(0.05))),
+        ("MSM(c=0.5)", Box::new(Msm::new(0.5))),
+        ("TWE", Box::new(Twe::new(1.0, 1e-4))),
+    ];
+    let rows: Vec<BenchRow> = timed
+        .iter()
+        .map(|(name, d)| {
+            let row = bench_measure(name, d.as_ref(), &ds, reps);
+            eprintln!(
+                "[bench_prune] {:14} exact {:8.4}s  pruned {:8.4}s  speedup {:5.2}x  identical {}",
+                row.name,
+                row.exact_seconds,
+                row.pruned_seconds,
+                row.speedup(),
+                row.identical()
+            );
+            row
+        })
+        .collect();
+
+    // Byte-identity sweep over the wider registry on small datasets.
+    let equiv_archive = ArchiveConfig::quick(3, cfg.seed.wrapping_add(1));
+    let mut equiv_checked = 0usize;
+    let mut equiv_failures: Vec<String> = Vec::new();
+    for index in 0..equiv_archive.n_datasets {
+        let small = generate_dataset(&equiv_archive, index);
+        for (name, d) in equivalence_registry() {
+            let exact = evaluate_distance(d.as_ref(), &small, Normalization::ZScore);
+            let pruned = evaluate_distance_pruned(d.as_ref(), &small, Normalization::ZScore);
+            equiv_checked += 1;
+            if exact.to_bits() != pruned.to_bits() {
+                equiv_failures.push(format!("{name} on {}: {exact} vs {pruned}", small.name));
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"train\": {}, \"test\": {}, \"length\": {length}, \
+         \"band_pct\": 10.0, \"repetitions\": {reps}, \"seed\": {}, \"quick\": {}}},\n",
+        ds.train.len(),
+        ds.test.len(),
+        cfg.seed,
+        cfg.quick
+    ));
+    json.push_str("  \"measures\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"exact_seconds\": {:.6}, \"pruned_seconds\": {:.6}, \
+             \"speedup\": {:.3}, \"exact_accuracy\": {}, \"pruned_accuracy\": {}, \
+             \"identical_accuracy\": {}}}{}\n",
+            row.name,
+            row.exact_seconds,
+            row.pruned_seconds,
+            row.speedup(),
+            row.exact_accuracy,
+            row.pruned_accuracy,
+            row.identical(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"equivalence\": {{\"cells_checked\": {equiv_checked}, \"failures\": {}}}\n",
+        equiv_failures.len()
+    ));
+    json.push_str("}\n");
+    cfg.save("BENCH_prune.json", &json);
+
+    let mut failed = false;
+    for row in &rows {
+        if !row.identical() {
+            eprintln!(
+                "FAIL: {} accuracies differ: exact {} vs pruned {}",
+                row.name, row.exact_accuracy, row.pruned_accuracy
+            );
+            failed = true;
+        }
+    }
+    for f in &equiv_failures {
+        eprintln!("FAIL: equivalence sweep: {f}");
+        failed = true;
+    }
+    if let Some(dtw) = rows.iter().find(|r| r.name.starts_with("DTW")) {
+        if !cfg.quick && dtw.speedup() < 2.0 {
+            eprintln!(
+                "FAIL: DTW speedup {:.2}x is below the 2x acceptance bar",
+                dtw.speedup()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

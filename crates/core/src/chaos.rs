@@ -118,6 +118,13 @@ impl<D: Distance> Distance for ChaosDistance<D> {
         }
     }
 
+    fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {
+        match self.inject() {
+            Some(v) => v,
+            None => self.inner.distance_upto(x, y, ws, cutoff),
+        }
+    }
+
     fn is_symmetric(&self) -> bool {
         // Force the full matrix (no mirror reuse) so the schedule sees
         // every pair; a mirrored triangle would halve the call count.

@@ -59,6 +59,13 @@ impl Distance for Dtw {
     fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
         dtw_banded_ws(x, y, self.band(x.len(), y.len()), ws)
     }
+
+    fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {
+        if cutoff.is_nan() || cutoff == f64::INFINITY {
+            return self.distance_ws(x, y, ws);
+        }
+        dtw_banded_pruned(x, y, self.band(x.len(), y.len()), cutoff, ws).0
+    }
 }
 
 /// Banded DTW with squared local costs and a two-row rolling DP — the
@@ -130,6 +137,119 @@ pub fn dtw_banded_ws(x: &[f64], y: &[f64], band: usize, ws: &mut Workspace) -> f
     prev[n]
 }
 
+/// Cutoff-pruned banded DTW (EAPruned-style, after Herrmann & Webb):
+/// tracks the window of *live* cells (accumulated cost `< cutoff`) in the
+/// previous row and only computes cells reachable from it, abandoning the
+/// whole computation as soon as a row goes fully dead — admissible because
+/// every warping path crosses every row.
+///
+/// Returns `(distance, dp_cells_computed)`. The distance honours the
+/// [`crate::measure::Distance::distance_upto`] contract against
+/// [`dtw_banded_ws`]: bit-identical when the true distance is `< cutoff`
+/// (live cells see the same operands in the same order — an inflated dead
+/// neighbour never wins the `min`), otherwise `f64::INFINITY`. `cutoff`
+/// must be finite; non-positive cutoffs abandon immediately.
+pub fn dtw_banded_pruned(
+    x: &[f64],
+    y: &[f64],
+    band: usize,
+    cutoff: f64,
+    ws: &mut Workspace,
+) -> (f64, u64) {
+    let m = x.len();
+    let n = y.len();
+    if m == 0 || n == 0 {
+        return (if m == n { 0.0 } else { f64::INFINITY }, 0);
+    }
+
+    const INF: f64 = f64::INFINITY;
+    if cutoff.is_nan() || cutoff <= 0.0 {
+        return (INF, 0);
+    }
+    // The band cannot reach column `n` on the last row: every in-band
+    // path misses the corner, exactly as the full kernel's all-INF final
+    // column. (Callers deriving the band from the measure never hit this.)
+    if m + band < n {
+        return (INF, 0);
+    }
+    let (mut prev, mut curr) = ws.dp_rows2(n + 1);
+    prev.fill(INF);
+    prev[0] = 0.0;
+
+    // Live window of the previous row: first/last 1-based column whose
+    // accumulated cost is below the cutoff. Row 0 is live only at column 0.
+    let (mut p_lo, mut p_hi) = (0usize, 0usize);
+    let mut cells = 0u64;
+    for i in 1..=m {
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(n);
+        // Cells left of the live window only have dead predecessors, so
+        // their true values are already >= cutoff: skip them.
+        let start = lo.max(p_lo);
+        // Unlike the exact kernel, the row is NOT bulk-filled with INF —
+        // with a narrow live window the O(n) fill dominates the O(live)
+        // DP work. Instead the row writes exactly the segment it touches:
+        // an INF sentinel on the left, the computed cells, and an INF
+        // backfill to one past the band so the next row (whose band
+        // extends one column further right) never reads a stale cell
+        // from two rows ago.
+        curr[start - 1] = INF;
+        let mut live_lo = usize::MAX;
+        let mut live_hi = 0usize;
+        let mut j_end = start - 1;
+        // Cells up to one past the previous live window can reach a live
+        // predecessor from above, so no per-cell abandon check is needed
+        // there; right of it the only finite input is the left neighbour,
+        // and once it dies the rest of the row is dead too. Splitting the
+        // loop keeps the check out of the bulk region.
+        let unchecked_hi = hi.min(p_hi + 1);
+        for j in start..=unchecked_hi {
+            let d = x[i - 1] - y[j - 1];
+            let cost = d * d;
+            let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
+            let v = cost + best;
+            curr[j] = v;
+            cells += 1;
+            j_end = j;
+            if v < cutoff {
+                if live_lo == usize::MAX {
+                    live_lo = j;
+                }
+                live_hi = j;
+            }
+        }
+        for j in start.max(unchecked_hi + 1)..=hi {
+            if curr[j - 1] >= cutoff {
+                break;
+            }
+            let d = x[i - 1] - y[j - 1];
+            let cost = d * d;
+            let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
+            let v = cost + best;
+            curr[j] = v;
+            cells += 1;
+            j_end = j;
+            if v < cutoff {
+                if live_lo == usize::MAX {
+                    live_lo = j;
+                }
+                live_hi = j;
+            }
+        }
+        if live_lo == usize::MAX {
+            return (INF, cells);
+        }
+        let fill_hi = (hi + 1).min(n);
+        if j_end < fill_hi {
+            curr[j_end + 1..=fill_hi].fill(INF);
+        }
+        p_lo = live_lo;
+        p_hi = live_hi;
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    (prev[n], cells)
+}
+
 /// Derivative DTW (Keogh & Pazzani 2001): DTW applied to the estimated
 /// first derivative
 /// `d_i = ((x_i - x_{i-1}) + (x_{i+1} - x_{i-1}) / 2) / 2`,
@@ -193,6 +313,19 @@ impl Distance for DerivativeDtw {
         Self::derivative_into(x, &mut dx);
         Self::derivative_into(y, &mut dy);
         let d = self.dtw.distance_ws(&dx, &dy, ws);
+        ws.put_aux(dx);
+        ws.put_aux2(dy);
+        d
+    }
+
+    fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {
+        // The derivative transform is cutoff-independent; the nested DTW
+        // does the pruning (and handles non-finite cutoffs itself).
+        let mut dx = ws.take_aux();
+        let mut dy = ws.take_aux2();
+        Self::derivative_into(x, &mut dx);
+        Self::derivative_into(y, &mut dy);
+        let d = self.dtw.distance_upto(&dx, &dy, ws, cutoff);
         ws.put_aux(dx);
         ws.put_aux2(dy);
         d
@@ -275,6 +408,64 @@ impl Distance for WeightedDtw {
             std::mem::swap(&mut prev, &mut curr);
         }
         let out = prev[n];
+        ws.put_aux(weights);
+        out
+    }
+
+    fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {
+        if cutoff.is_nan() || cutoff == f64::INFINITY {
+            return self.distance_ws(x, y, ws);
+        }
+        let m = x.len();
+        let n = y.len();
+        if m == 0 || n == 0 {
+            return if m == n { 0.0 } else { f64::INFINITY };
+        }
+        const INF: f64 = f64::INFINITY;
+        if cutoff.is_nan() || cutoff <= 0.0 {
+            return INF;
+        }
+        let half = m.max(n) as f64 / 2.0;
+        let mut weights = ws.take_aux();
+        weights.extend((0..m.max(n)).map(|k| 1.0 / (1.0 + (-self.g * (k as f64 - half)).exp())));
+
+        // Same live-window pruning as `dtw_banded_pruned`, with the
+        // logistic weight folded into the (still non-negative) local cost.
+        let (mut prev, mut curr) = ws.dp_rows2(n + 1);
+        prev.fill(INF);
+        prev[0] = 0.0;
+        let (mut p_lo, mut p_hi) = (0usize, 0usize);
+        let mut dead = false;
+        for i in 1..=m {
+            curr.fill(INF);
+            let start = p_lo.max(1);
+            let mut live_lo = usize::MAX;
+            let mut live_hi = 0usize;
+            for j in start..=n {
+                if j > p_hi + 1 && curr[j - 1] >= cutoff {
+                    break;
+                }
+                let d = x[i - 1] - y[j - 1];
+                let w = weights[i.abs_diff(j)];
+                let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
+                let v = w * d * d + best;
+                curr[j] = v;
+                if v < cutoff {
+                    if live_lo == usize::MAX {
+                        live_lo = j;
+                    }
+                    live_hi = j;
+                }
+            }
+            if live_lo == usize::MAX {
+                dead = true;
+                break;
+            }
+            p_lo = live_lo;
+            p_hi = live_hi;
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        let out = if dead { INF } else { prev[n] };
         ws.put_aux(weights);
         out
     }

@@ -181,6 +181,63 @@ impl Distance for ItakuraDtw {
             super::dtw::dtw_banded_ws(x, y, m.max(n), ws)
         }
     }
+
+    fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {
+        if cutoff.is_nan() || cutoff == f64::INFINITY || x.len() != y.len() {
+            // Unequal lengths can pinch the parallelogram shut, which the
+            // exact path resolves with an unconstrained-DTW fallback — a
+            // pruned INF must not be mistaken for a pinch, so only the
+            // equal-length case (whose diagonal is always admissible, and
+            // therefore never falls back) is pruned.
+            return self.distance_ws(x, y, ws);
+        }
+        let m = x.len();
+        let n = y.len();
+        if m == 0 {
+            return 0.0;
+        }
+        const INF: f64 = f64::INFINITY;
+        if cutoff.is_nan() || cutoff <= 0.0 {
+            return INF;
+        }
+        let (mut prev, mut curr) = ws.dp_rows2(n + 1);
+        prev.fill(INF);
+        prev[0] = 0.0;
+        let (mut p_lo, mut p_hi) = (0usize, 0usize);
+        for i in 1..=m {
+            curr.fill(INF);
+            let start = p_lo.max(1);
+            let mut live_lo = usize::MAX;
+            let mut live_hi = 0usize;
+            for j in start..=n {
+                if j > p_hi + 1 && curr[j - 1] >= cutoff {
+                    break;
+                }
+                if !self.inside(i, j, m, n) {
+                    continue;
+                }
+                let d = x[i - 1] - y[j - 1];
+                let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
+                if best.is_finite() {
+                    let v = d * d + best;
+                    curr[j] = v;
+                    if v < cutoff {
+                        if live_lo == usize::MAX {
+                            live_lo = j;
+                        }
+                        live_hi = j;
+                    }
+                }
+            }
+            if live_lo == usize::MAX {
+                return INF;
+            }
+            p_lo = live_lo;
+            p_hi = live_hi;
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[n]
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! and Manhattan-style measures significantly outperform ED — the
 //! heavy-tailed-noise robustness of L1 at work.
 
-use super::{lockstep_measure, safe_div, zip_sum};
+use super::{lockstep_measure, safe_div, zip_sum, zip_sum_upto};
 
 lockstep_measure!(
     /// Sørensen distance: `sum |x-y| / sum (x+y)`.
@@ -53,12 +53,18 @@ lockstep_measure!(
 );
 
 lockstep_measure!(
+    upto
     /// Lorentzian distance: `sum ln(1 + |x-y|)` — the log-compressed L1
     /// that Section 5 identifies as the new state-of-the-art lock-step
     /// measure.
+    ///
+    /// Early-abandonable: `ln(1 + |x-y|) >= 0`, so partial sums are
+    /// monotone. (Canberra, by contrast, is *not* abandonable — its
+    /// guarded `|x-y| / (x+y)` terms go negative on z-normalized data.)
     Lorentzian,
     "Lorentzian",
-    |x, y| zip_sum(x, y, |a, b| (1.0 + (a - b).abs()).ln())
+    |x, y| zip_sum(x, y, |a, b| (1.0 + (a - b).abs()).ln()),
+    |x, y, cutoff| zip_sum_upto(x, y, cutoff, |a, b| (1.0 + (a - b).abs()).ln())
 );
 
 #[cfg(test)]

@@ -1,24 +1,44 @@
 //! The Minkowski (Lp) family: Euclidean, City-block, Minkowski, Chebyshev.
 
-use super::{lockstep_measure, zip_sum};
+use super::{lockstep_measure, zip_sum, zip_sum_upto};
 use crate::measure::Distance;
+use crate::workspace::Workspace;
 
 lockstep_measure!(
+    upto
     /// Euclidean distance (L2 norm), the paper's lock-step baseline (M2):
     /// `sqrt(sum (x_i - y_i)^2)`.
     Euclidean,
     "ED",
-    |x, y| zip_sum(x, y, |a, b| (a - b) * (a - b)).sqrt()
+    |x, y| zip_sum(x, y, |a, b| (a - b) * (a - b)).sqrt(),
+    |x, y, cutoff| {
+        // Cheap squared trigger, then an exact confirm on the rounded
+        // sqrt: sqrt is correctly rounded and monotone, so a partial sum
+        // whose sqrt already reaches `cutoff` bounds the full distance.
+        let sq = cutoff * cutoff;
+        let mut acc = 0.0;
+        for (&a, &b) in x.iter().zip(y) {
+            let d = a - b;
+            acc += d * d;
+            if acc >= sq && acc.sqrt() >= cutoff {
+                return f64::INFINITY;
+            }
+        }
+        acc.sqrt()
+    }
 );
 
 lockstep_measure!(
+    upto
     /// City-block / Manhattan distance (L1 norm): `sum |x_i - y_i|`.
     CityBlock,
     "Manhattan",
-    |x, y| zip_sum(x, y, |a, b| (a - b).abs())
+    |x, y| zip_sum(x, y, |a, b| (a - b).abs()),
+    |x, y, cutoff| zip_sum_upto(x, y, cutoff, |a, b| (a - b).abs())
 );
 
 lockstep_measure!(
+    upto
     /// Chebyshev distance (L-infinity norm): `max |x_i - y_i|`.
     Chebyshev,
     "Chebyshev",
@@ -26,7 +46,19 @@ lockstep_measure!(
         .iter()
         .zip(y)
         .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max)
+        .fold(0.0, f64::max),
+    |x, y, cutoff| {
+        // Running max is monotone non-decreasing, so the first point at
+        // or past the cutoff settles the comparison.
+        let mut acc = 0.0f64;
+        for (&a, &b) in x.iter().zip(y) {
+            acc = acc.max((a - b).abs());
+            if acc >= cutoff {
+                return f64::INFINITY;
+            }
+        }
+        acc
+    }
 );
 
 /// Minkowski distance (Lp norm) with tunable order `p`:
@@ -59,6 +91,27 @@ impl Distance for Minkowski {
 
     fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
         zip_sum(x, y, |a, b| (a - b).abs().powf(self.p)).powf(1.0 / self.p)
+    }
+
+    fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {
+        if cutoff.is_nan() || cutoff == f64::INFINITY {
+            return self.distance_ws(x, y, ws);
+        }
+        // `powf` is not correctly rounded, so the cheap `cutoff^p` trigger
+        // is confirmed against the actual root with a 1e-9 relative margin
+        // (orders of magnitude above powf's few-ulp error) before
+        // abandoning. For negative cutoffs `cutoff.powf(p)` is NaN and the
+        // trigger never fires: the exact value is computed, which is
+        // trivially admissible.
+        let thresh = cutoff.powf(self.p);
+        let mut acc = 0.0;
+        for (&a, &b) in x.iter().zip(y) {
+            acc += (a - b).abs().powf(self.p);
+            if acc >= thresh && acc.powf(1.0 / self.p) >= cutoff * (1.0 + 1e-9) {
+                return f64::INFINITY;
+            }
+        }
+        acc.powf(1.0 / self.p)
     }
 }
 

@@ -73,6 +73,32 @@ pub(crate) fn zip_sum(x: &[f64], y: &[f64], mut f: impl FnMut(f64, f64) -> f64) 
     x.iter().zip(y).map(|(&a, &b)| f(a, b)).sum()
 }
 
+/// Early-abandoning twin of [`zip_sum`] for **non-negative** term
+/// functions: accumulates in the identical order (`f64::sum` is a
+/// sequential fold from `0.0`, so partial sums match bit-for-bit) and
+/// returns [`f64::INFINITY`] as soon as the partial sum reaches `cutoff`.
+///
+/// Admissible because floating-point addition of non-negative terms is
+/// monotone non-decreasing: a prefix `>= cutoff` forces the full sum
+/// `>= cutoff`. Callers must guarantee `f >= 0` (or NaN, which never
+/// trips the `>=` test and therefore falls through to the exact value).
+#[inline]
+pub(crate) fn zip_sum_upto(
+    x: &[f64],
+    y: &[f64],
+    cutoff: f64,
+    mut f: impl FnMut(f64, f64) -> f64,
+) -> f64 {
+    let mut acc = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        acc += f(a, b);
+        if acc >= cutoff {
+            return f64::INFINITY;
+        }
+    }
+    acc
+}
+
 /// Defines a parameter-free lock-step measure as a unit struct
 /// implementing [`crate::measure::Distance`].
 ///
@@ -80,7 +106,40 @@ pub(crate) fn zip_sum(x: &[f64], y: &[f64], mut f: impl FnMut(f64, f64) -> f64) 
 /// treats the two arguments differently (KL, χ² variants): these override
 /// [`crate::measure::Distance::is_symmetric`] to `false` so the batch
 /// matrix engine computes both triangles.
+///
+/// Prefix with `upto` to additionally override
+/// [`crate::measure::Distance::distance_upto`] with an early-abandoning
+/// body. The macro supplies the non-finite-cutoff guard (`+∞` must be
+/// bit-identical to the exact path, and a NaN cutoff means "no cutoff"),
+/// so the body only sees a finite cutoff.
 macro_rules! lockstep_measure {
+    (upto $(#[$doc:meta])* $name:ident, $label:expr, |$x:ident, $y:ident| $body:expr,
+     |$ux:ident, $uy:ident, $cutoff:ident| $ubody:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct $name;
+
+        impl crate::measure::Distance for $name {
+            fn name(&self) -> String {
+                $label.into()
+            }
+            fn distance(&self, $x: &[f64], $y: &[f64]) -> f64 {
+                $body
+            }
+            fn distance_upto(
+                &self,
+                $ux: &[f64],
+                $uy: &[f64],
+                ws: &mut crate::workspace::Workspace,
+                $cutoff: f64,
+            ) -> f64 {
+                if $cutoff.is_nan() || $cutoff == f64::INFINITY {
+                    return self.distance_ws($ux, $uy, ws);
+                }
+                $ubody
+            }
+        }
+    };
     (asymmetric $(#[$doc:meta])* $name:ident, $label:expr, |$x:ident, $y:ident| $body:expr) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

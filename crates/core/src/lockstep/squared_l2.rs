@@ -3,13 +3,15 @@
 //!
 //! Clark (evaluated under MinMax in the paper's Table 2) belongs here.
 
-use super::{lockstep_measure, safe_div, zip_sum};
+use super::{lockstep_measure, safe_div, zip_sum, zip_sum_upto};
 
 lockstep_measure!(
+    upto
     /// Squared Euclidean distance: `sum (x-y)^2`.
     SquaredEuclidean,
     "SquaredED",
-    |x, y| zip_sum(x, y, |a, b| (a - b) * (a - b))
+    |x, y| zip_sum(x, y, |a, b| (a - b) * (a - b)),
+    |x, y, cutoff| zip_sum_upto(x, y, cutoff, |a, b| (a - b) * (a - b))
 );
 
 lockstep_measure!(

@@ -45,6 +45,30 @@ pub trait Distance: Send + Sync {
         self.distance(x, y)
     }
 
+    /// The dissimilarity between `x` and `y`, early-abandoning against a
+    /// best-so-far `cutoff`.
+    ///
+    /// Contract: when the true distance (the value [`Distance::distance_ws`]
+    /// would return) is `< cutoff`, that exact value is returned
+    /// *bit-for-bit*; otherwise the implementation may stop early and
+    /// return any value `>= cutoff` (canonically [`f64::INFINITY`]).
+    /// 1-NN search loops exploit this: a candidate whose distance cannot
+    /// beat the best so far is abandoned after a fraction of its work,
+    /// without ever changing which neighbour wins.
+    ///
+    /// The default ignores `cutoff` and delegates to
+    /// [`Distance::distance_ws`] — always correct, never faster. Measures
+    /// with a monotone accumulation (running sums of non-negative terms,
+    /// non-negative-cost dynamic programs) override it with genuine
+    /// abandoning; see `DESIGN.md` ("Early abandoning and cutoff
+    /// threading") for which measures do. Overrides must treat a
+    /// non-finite `cutoff` (`+∞`, NaN) as "no cutoff" and return the
+    /// exact `distance_ws` value.
+    fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {
+        let _ = cutoff;
+        self.distance_ws(x, y, ws)
+    }
+
     /// Whether `distance(x, y)` and `distance(y, x)` are *bit-identical*
     /// for all **equal-length** inputs (the only case the batch engine
     /// mirrors; per-length normalizers like Gower divide by `x.len()` and
@@ -72,6 +96,9 @@ impl<D: Distance + ?Sized> Distance for Box<D> {
     fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
         (**self).distance_ws(x, y, ws)
     }
+    fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {
+        (**self).distance_upto(x, y, ws, cutoff)
+    }
     fn is_symmetric(&self) -> bool {
         (**self).is_symmetric()
     }
@@ -86,6 +113,9 @@ impl<D: Distance + ?Sized> Distance for &D {
     }
     fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
         (**self).distance_ws(x, y, ws)
+    }
+    fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {
+        (**self).distance_upto(x, y, ws, cutoff)
     }
     fn is_symmetric(&self) -> bool {
         (**self).is_symmetric()

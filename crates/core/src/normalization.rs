@@ -202,6 +202,20 @@ impl<D: Distance> Distance for AdaptiveScaled<D> {
         d
     }
 
+    fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut crate::Workspace, cutoff: f64) -> f64 {
+        // The scaling is cutoff-independent; the inner measure prunes
+        // against the same cutoff on the scaled pair (same `a` and the
+        // same scaled values as the exact path, so the contract holds).
+        let xy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+        let yy: f64 = y.iter().map(|b| b * b).sum();
+        let a = if yy > 0.0 { xy / yy } else { 1.0 };
+        let mut scaled = ws.take_aux();
+        scaled.extend(y.iter().map(|v| a * v));
+        let d = self.inner.distance_upto(x, &scaled, ws, cutoff);
+        ws.put_aux(scaled);
+        d
+    }
+
     fn is_symmetric(&self) -> bool {
         // The scaling factor is fit to the second argument only.
         false

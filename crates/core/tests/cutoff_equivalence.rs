@@ -1,0 +1,212 @@
+//! Registry-driven admissibility suite for the cutoff-threaded hot path.
+//!
+//! Every measure must satisfy the `Distance::distance_upto` contract the
+//! pruned 1-NN engine in `tsdist-eval` builds on:
+//!
+//! 1. with a non-finite cutoff (`INFINITY`, `NaN`) the result is
+//!    *bit-identical* to `distance_ws` — the engine's first scan of a row
+//!    and every delegating default depend on it;
+//! 2. with any finite cutoff `c`: if the true distance is `< c` the exact
+//!    bits come back, otherwise the result is not below `c` — so a value
+//!    that survives the comparison against a best-so-far is always the
+//!    true distance, and an abandoned candidate can never steal a win.
+//!
+//! Cutoffs are swept around the true distance itself (fractions, the
+//! exact value, `next_up` — the engine's tie rule — and multiples) plus
+//! fixed extremes, so both the abandon and the must-be-exact branches are
+//! exercised for every measure of the registry and the wrapper types.
+
+use tsdist_core::elastic::{Cid, DerivativeDtw, Dtw, ItakuraDtw, WeightedDtw};
+use tsdist_core::kernel::{Gak, Kdtw, Rbf, Sink};
+use tsdist_core::measure::{Distance, KernelDistance};
+use tsdist_core::registry;
+use tsdist_core::{AdaptiveScaled, Workspace};
+
+/// Tiny deterministic generator (SplitMix64) so the suite needs no
+/// external crates and reruns identically.
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[-2, 2)` — spans positive and negative values so the
+    /// density-style measures exercise their clamping branches.
+    fn value(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+    }
+
+    fn series(&mut self, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.value()).collect()
+    }
+}
+
+/// Random plus adversarial input pairs: equal lengths, unequal lengths,
+/// constant series (zero variance / zero complexity), and short series.
+fn input_pairs() -> Vec<(Vec<f64>, Vec<f64>)> {
+    let mut g = Gen(0xC0FFEE);
+    vec![
+        (g.series(64), g.series(64)),
+        (g.series(31), g.series(31)),
+        (g.series(7), g.series(7)),
+        (vec![0.5; 40], g.series(40)),
+        (vec![1.0; 16], vec![1.0; 16]),
+        (g.series(17), g.series(64)),
+    ]
+}
+
+/// Every registry distance (full Table 4 grids) plus the wrapper types
+/// that live outside the registry — the same population as the workspace
+/// equivalence suite, so a measure cannot gain a `distance_upto` override
+/// without entering this suite.
+fn all_distances() -> Vec<Box<dyn Distance>> {
+    let mut all: Vec<Box<dyn Distance>> = Vec::new();
+    all.extend(registry::lockstep_parameter_free());
+    all.extend(registry::minkowski_family().grid);
+    all.extend(registry::sliding_measures());
+    for family in registry::elastic_families() {
+        all.extend(family.grid);
+    }
+    all.push(Box::new(DerivativeDtw::with_window_pct(10.0)));
+    all.push(Box::new(WeightedDtw::new(0.1)));
+    all.push(Box::new(Cid::new(Dtw::with_window_pct(10.0))));
+    all.push(Box::new(ItakuraDtw::new(2.0)));
+    all.push(Box::new(AdaptiveScaled::new(Dtw::with_window_pct(10.0))));
+    all.push(Box::new(KernelDistance(Gak::new(0.1))));
+    all.push(Box::new(KernelDistance(Kdtw::new(0.125))));
+    all.push(Box::new(KernelDistance(Sink::new(5.0))));
+    all.push(Box::new(KernelDistance(Rbf::new(1.0))));
+    all
+}
+
+fn assert_bits_eq(a: f64, b: f64, what: &str) {
+    assert!(
+        a.to_bits() == b.to_bits(),
+        "{what}: {a:?} ({:#x}) != {b:?} ({:#x})",
+        a.to_bits(),
+        b.to_bits()
+    );
+}
+
+/// The cutoff sweep for one (measure, pair): values bracketing the exact
+/// distance plus fixed extremes and deterministic pseudo-random draws.
+fn cutoffs_around(exact: f64, g: &mut Gen) -> Vec<f64> {
+    let mut cs = vec![0.0, -1.0, 1e-9, 1.0, 1e6, f64::MAX];
+    if exact.is_finite() {
+        cs.extend([
+            exact * 0.25,
+            exact * 0.5,
+            exact * 0.99,
+            exact,
+            exact.next_up(),
+            exact * 1.5 + 1e-12,
+            exact * 4.0 + 1.0,
+        ]);
+    }
+    cs.extend((0..4).map(|_| (g.value() + 2.0) * 50.0));
+    cs
+}
+
+#[test]
+fn non_finite_cutoffs_are_bit_identical_to_distance_ws() {
+    let pairs = input_pairs();
+    let mut ws = Workspace::default();
+    for d in all_distances() {
+        for (x, y) in &pairs {
+            let exact = d.distance_ws(x, y, &mut ws);
+            for c in [f64::INFINITY, f64::NAN] {
+                let r = d.distance_upto(x, y, &mut ws, c);
+                assert_bits_eq(exact, r, &format!("{} upto({c})", d.name()));
+            }
+        }
+    }
+}
+
+#[test]
+fn finite_cutoffs_are_admissible_for_every_registry_measure() {
+    let pairs = input_pairs();
+    let mut ws = Workspace::default();
+    let mut g = Gen(0xBEEF);
+    for d in all_distances() {
+        for (x, y) in &pairs {
+            let exact = d.distance_ws(x, y, &mut ws);
+            if exact.is_nan() {
+                // No measure in the registry produces NaN on these inputs;
+                // guard so a future regression fails loudly here instead
+                // of silently skipping the contract.
+                panic!("{} returned NaN on a suite input", d.name());
+            }
+            for c in cutoffs_around(exact, &mut g) {
+                let r = d.distance_upto(x, y, &mut ws, c);
+                if exact < c {
+                    // Below the cutoff the value must be the exact bits.
+                    assert_bits_eq(
+                        exact,
+                        r,
+                        &format!("{} upto(cutoff {c}, exact {exact})", d.name()),
+                    );
+                } else {
+                    // At or above the cutoff anything not below `c` is
+                    // admissible (typically INF from an abandon).
+                    assert!(
+                        r >= c || r.is_nan(),
+                        "{}: cutoff {c}, exact {exact}, but upto returned {r} < cutoff",
+                        d.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reversed_arguments_honour_the_contract_too() {
+    // Unequal-length pairs take different internal paths per argument
+    // order (band widening, gap handling); sweep both orders.
+    let pairs = input_pairs();
+    let mut ws = Workspace::default();
+    let mut g = Gen(0xF00D);
+    for d in all_distances() {
+        for (x, y) in &pairs {
+            let exact = d.distance_ws(y, x, &mut ws);
+            for c in cutoffs_around(exact, &mut g) {
+                let r = d.distance_upto(y, x, &mut ws, c);
+                if exact < c {
+                    assert_bits_eq(exact, r, &format!("{} upto rev (cutoff {c})", d.name()));
+                } else {
+                    assert!(
+                        r >= c || r.is_nan(),
+                        "{}: rev cutoff {c}, exact {exact}, got {r} < cutoff",
+                        d.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn workspace_survives_abandoned_calls() {
+    // An abandoned DP must leave the workspace reusable: interleave tight
+    // and infinite cutoffs across measures with one long-lived workspace,
+    // exactly as a search over a candidate row does.
+    let pairs = input_pairs();
+    let mut ws = Workspace::default();
+    for d in all_distances() {
+        for (x, y) in &pairs {
+            let exact = d.distance_ws(x, y, &mut ws);
+            let _ = d.distance_upto(x, y, &mut ws, 1e-9);
+            let again = d.distance_upto(x, y, &mut ws, f64::INFINITY);
+            assert_bits_eq(
+                exact,
+                again,
+                &format!("{} ws reuse after abandon", d.name()),
+            );
+        }
+    }
+}

@@ -274,6 +274,10 @@ impl Distance for GuardedDistance<'_> {
         self.flag.panic_if_cancelled();
         self.inner.distance_ws(x, y, ws)
     }
+    fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {
+        self.flag.panic_if_cancelled();
+        self.inner.distance_upto(x, y, ws, cutoff)
+    }
     fn is_symmetric(&self) -> bool {
         self.inner.is_symmetric()
     }

@@ -11,6 +11,7 @@ use crate::matrices::{
     symmetric_distance_matrix_into,
 };
 use crate::nn::{loocv_accuracy, one_nn_accuracy, try_loocv_accuracy, try_one_nn_accuracy};
+use crate::pruned::{pruned_nn_search, try_pruned_one_nn_accuracy};
 use tsdist_core::embedding::Embedding;
 use tsdist_core::measure::{Distance, Kernel};
 use tsdist_core::normalization::{AdaptiveScaled, Normalization};
@@ -52,6 +53,31 @@ pub fn evaluate_distance(d: &dyn Distance, ds: &Dataset, norm: Normalization) ->
         distance_matrix(d, &prepared.test, &prepared.train)
     };
     one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels)
+}
+
+/// Cutoff-threaded variant of [`evaluate_distance`]: the 1-NN scan runs
+/// through [`Distance::distance_upto`] with the best-so-far threaded as
+/// a cutoff (plus warm-started, cheap-ordered candidate scans), never
+/// materializing `E`. Accuracy is byte-identical to
+/// [`evaluate_distance`]; only the work done changes.
+pub fn evaluate_distance_pruned(d: &dyn Distance, ds: &Dataset, norm: Normalization) -> f64 {
+    let prepared = prepare(ds, norm);
+    let run = |d: &dyn Distance| {
+        try_pruned_one_nn_accuracy(
+            d,
+            &prepared.test,
+            &prepared.train,
+            &prepared.test_labels,
+            &prepared.train_labels,
+            true,
+        )
+        .unwrap_or_else(|err| panic!("{err}"))
+    };
+    if norm.is_pairwise() {
+        run(&AdaptiveScaled::new(d))
+    } else {
+        run(d)
+    }
 }
 
 /// Supervised evaluation of a parameter grid: every grid point's LOOCV
@@ -207,6 +233,55 @@ pub fn try_evaluate_distance(
         return Err(CellError::NonFiniteDistance { i, j });
     }
     let accuracy = try_one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels)?;
+    Ok(Evaluation::unsupervised(accuracy))
+}
+
+/// Cancellable, fault-classified variant of [`evaluate_distance_pruned`]
+/// — the cell core behind `RunnerConfig::with_pruned`.
+///
+/// Mirrors [`try_evaluate_distance`] with one caveat: `E` is never
+/// materialized, so the NaN/±Inf screen is best-effort — only distances
+/// the scan computed *exactly* are inspectable (an abandoned candidate
+/// legitimately reports `INFINITY`). Healthy measures produce a
+/// byte-identical [`Evaluation`]; a fault the scan does observe is still
+/// reported as [`CellError::NonFiniteDistance`] with `i` the test row
+/// and `j` the offending training index.
+pub fn try_evaluate_distance_pruned(
+    d: &dyn Distance,
+    ds: &Dataset,
+    norm: Normalization,
+    cancel: &CancelFlag,
+) -> Result<Evaluation, CellError> {
+    cancel.checkpoint()?;
+    let prepared = prepare(ds, norm);
+    if prepared.train.is_empty() {
+        return Err(EvalError::EmptyTrainSet.into());
+    }
+    let guarded = GuardedDistance::new(d, cancel);
+    let nns = if norm.is_pairwise() {
+        let wrapped = AdaptiveScaled::new(guarded);
+        pruned_nn_search(&wrapped, &prepared.test, &prepared.train, true)
+    } else {
+        pruned_nn_search(&guarded, &prepared.test, &prepared.train, true)
+    };
+    if let Some((i, j)) = nns
+        .iter()
+        .enumerate()
+        .find_map(|(i, nn)| nn.non_finite.map(|j| (i, j)))
+    {
+        return Err(CellError::NonFiniteDistance { i, j });
+    }
+    let correct = nns
+        .iter()
+        .zip(&prepared.test_labels)
+        .filter(|(nn, &truth)| {
+            let predicted = nn
+                .index
+                .map_or(prepared.train_labels[0], |j| prepared.train_labels[j]);
+            predicted == truth
+        })
+        .count();
+    let accuracy = correct as f64 / prepared.test_labels.len() as f64;
     Ok(Evaluation::unsupervised(accuracy))
 }
 

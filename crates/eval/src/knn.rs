@@ -77,10 +77,16 @@ fn predict_row(row: &[f64], train_labels: &[Label], k: usize) -> Option<Label> {
         idx.truncate(k);
     }
     idx.sort_unstable_by(by_distance_then_index);
-    let neighbours = &idx[..k];
+    majority_vote(&idx[..k], train_labels)
+}
 
-    // Majority vote; ties resolve to the class whose nearest member comes
-    // first among the neighbours.
+/// Majority vote over `neighbours` (training indices in increasing
+/// distance order); ties resolve to the class whose nearest member comes
+/// first among the neighbours. `None` when `neighbours` is empty.
+///
+/// Shared between the matrix-backed [`predict_row`] and the pruned
+/// search in [`crate::pruned`], so both paths vote identically.
+pub(crate) fn majority_vote(neighbours: &[usize], train_labels: &[Label]) -> Option<Label> {
     let mut counts: Vec<(Label, usize, usize)> = Vec::new(); // (label, votes, first_pos)
     for (pos, &j) in neighbours.iter().enumerate() {
         let label = train_labels[j];

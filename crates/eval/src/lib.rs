@@ -66,6 +66,7 @@ pub mod knn;
 pub mod matrices;
 pub mod nn;
 pub mod parallel;
+pub mod pruned;
 pub mod runner;
 pub mod runtime;
 pub mod study;
@@ -77,11 +78,11 @@ pub use comparison::{
 };
 pub use error::EvalError;
 pub use evaluator::{
-    evaluate_distance, evaluate_distance_supervised, evaluate_embedding,
+    evaluate_distance, evaluate_distance_pruned, evaluate_distance_supervised, evaluate_embedding,
     evaluate_embedding_supervised, evaluate_kernel, evaluate_kernel_supervised, prepare,
-    try_evaluate_distance, try_evaluate_distance_supervised, try_evaluate_embedding,
-    try_evaluate_embedding_supervised, try_evaluate_kernel, try_evaluate_kernel_supervised,
-    SupervisedOutcome,
+    try_evaluate_distance, try_evaluate_distance_pruned, try_evaluate_distance_supervised,
+    try_evaluate_embedding, try_evaluate_embedding_supervised, try_evaluate_kernel,
+    try_evaluate_kernel_supervised, SupervisedOutcome,
 };
 pub use journal::{read_journal, Journal, JournalEntry, JournalReplay};
 pub use knn::{knn_accuracy, try_knn_accuracy, ConfusionMatrix};
@@ -92,8 +93,16 @@ pub use matrices::{
 };
 pub use nn::{loocv_accuracy, one_nn_accuracy, try_loocv_accuracy, try_one_nn_accuracy};
 pub use parallel::{parallel_fill_rows, parallel_map, parallel_map_with, worker_count};
+pub use pruned::{
+    pruned_knn_accuracy, pruned_loocv_accuracy, pruned_loocv_search, pruned_nn_search,
+    pruned_one_nn_accuracy, try_pruned_knn_accuracy, try_pruned_loocv_accuracy,
+    try_pruned_one_nn_accuracy, NearestNeighbour,
+};
 pub use runner::{
     cell_key, run_study_resumable, summarize_cells, CellRunner, RobustStudyReport, RunnerConfig,
 };
-pub use runtime::{measure_inference, pruned_dtw_search, PrunedSearchStats, RuntimeMeasurement};
+pub use runtime::{
+    measure_inference, pruned_dtw_search, pruned_dtw_search_cached, EnvelopeCache,
+    PrunedSearchStats, RuntimeMeasurement,
+};
 pub use study::{run_study, Entrant, StudyReport};

@@ -17,6 +17,17 @@
 //! [`Matrix`], which the supervised grid loops use to reuse one `W`/`E`
 //! allocation across all grid points.
 //!
+//! # No cutoffs here — deliberately
+//!
+//! The batch engine never threads `Distance::distance_upto` cutoffs, even
+//! though the pruned 1-NN engine ([`crate::pruned`]) exists: these
+//! matrices feed Wilcoxon/Friedman/Nemenyi statistics and LOOCV tuning,
+//! which consume *every* entry, so an early-abandoned (`>=` cutoff,
+//! typically infinite) entry would silently corrupt rank computations —
+//! and the symmetric mirror would spread it. Cutoffs are only admissible
+//! where the sole consumer is an argmin; see the "Early abandoning and
+//! cutoff threading" section of `DESIGN.md`.
+//!
 //! # Migration note
 //!
 //! The historic `distance_matrix(d, rows, cols)` signature is unchanged,

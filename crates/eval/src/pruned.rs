@@ -1,0 +1,609 @@
+//! Cutoff-threaded nearest-neighbour search: the pruned 1-NN hot path.
+//!
+//! The batch engine in [`crate::matrices`] materializes full
+//! dissimilarity matrices because the statistical machinery (pairwise
+//! Wilcoxon, Friedman + Nemenyi) needs *every* pairwise distance. The
+//! 1-NN classifier of Algorithm 1 does not: once some training series is
+//! within distance `best`, any candidate whose distance provably reaches
+//! `best` can be abandoned mid-computation. This module threads that
+//! best-so-far through [`Distance::distance_upto`] and reproduces the
+//! exact classifier outputs without ever building `E`.
+//!
+//! # Equivalence contract
+//!
+//! Every search here is **byte-identical** to its matrix-backed
+//! counterpart ([`crate::nn::one_nn_accuracy`],
+//! [`crate::nn::loocv_accuracy`] on a full — not mirrored — matrix, and
+//! [`crate::knn::knn_accuracy`]) for every measure honouring the
+//! `distance_upto` contract. Three mechanisms make this hold under
+//! arbitrary candidate orderings:
+//!
+//! - the cutoff passed down is [`f64::next_up`]` (best)`, so a candidate
+//!   *tying* the incumbent still computes exactly and can win on index;
+//! - the update rule `d < best || (d == best && j < best_j)` selects the
+//!   smallest index among minimizers, which is what Algorithm 1's strict
+//!   `<` scan in natural order produces;
+//! - non-finite distances never update the incumbent, exactly as strict
+//!   `<` (and `total_cmp` top-k selection) never lets them displace a
+//!   finite neighbour.
+//!
+//! Because each row's result is order-independent, both performance
+//! levers — the cheap first-pass candidate ordering and the warm start
+//! (seeding a row's scan with the previous row's winner) — change only
+//! how fast the cutoff tightens, never the prediction.
+//!
+//! Symmetric train-by-train matrices feeding the Wilcoxon/Friedman
+//! statistics must **not** use this path: a cutoff admissible for one
+//! row's 1-NN scan truncates values other rows (and the rank statistics)
+//! still need. See the "Early abandoning" section of `DESIGN.md`.
+
+use crate::error::EvalError;
+use crate::knn::majority_vote;
+use crate::parallel::{parallel_map, worker_count};
+use tsdist_core::measure::Distance;
+use tsdist_core::Workspace;
+use tsdist_data::Label;
+
+/// Result of one pruned nearest-neighbour row scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NearestNeighbour {
+    /// Index of the nearest training series — the smallest index among
+    /// minimizers, `None` when no candidate had a finite distance (or the
+    /// training set was empty).
+    pub index: Option<usize>,
+    /// The (exact) distance to that neighbour; `f64::INFINITY` when
+    /// `index` is `None`.
+    pub distance: f64,
+    /// First candidate whose *exactly computed* distance came out
+    /// non-finite, if any. This is a best-effort screen: candidates
+    /// abandoned under a finite cutoff legitimately report `INFINITY`
+    /// and are not inspectable, so a `None` here does not prove the full
+    /// matrix is finite.
+    pub non_finite: Option<usize>,
+}
+
+/// Sampled squared-difference score used only to *order* candidates so
+/// the cutoff tightens fast; correctness never depends on it.
+fn cheap_score(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len().min(y.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let stride = (n / 16).max(1);
+    let mut acc = 0.0;
+    let mut k = 0;
+    while k < n {
+        let d = x[k] - y[k];
+        acc += d * d;
+        k += stride;
+    }
+    acc
+}
+
+/// Fills `order` with `0..train.len()` sorted by the cheap first-pass
+/// score (ties by index). `scores` is scratch reused across rows.
+fn order_candidates(x: &[f64], train: &[Vec<f64>], order: &mut Vec<usize>, scores: &mut Vec<f64>) {
+    scores.clear();
+    scores.extend(train.iter().map(|t| cheap_score(x, t)));
+    order.clear();
+    order.extend(0..train.len());
+    order.sort_unstable_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
+}
+
+/// Moves candidate `front` to the head of `order`, preserving the
+/// relative order of everything else (the warm-start hook: the first
+/// candidate is always computed under an infinite cutoff, so seeding is
+/// just visiting the previous row's winner first).
+fn promote(order: &mut [usize], front: usize) {
+    if let Some(pos) = order.iter().position(|&j| j == front) {
+        order[..=pos].rotate_right(1);
+    }
+}
+
+/// One pruned row scan over `train` in the given candidate `order`,
+/// skipping index `skip` (use `usize::MAX` for none — the LOOCV
+/// self-exclusion hook).
+fn nearest_in_order(
+    d: &dyn Distance,
+    x: &[f64],
+    train: &[Vec<f64>],
+    order: &[usize],
+    skip: usize,
+    ws: &mut Workspace,
+) -> NearestNeighbour {
+    let mut best = f64::INFINITY;
+    let mut best_j: Option<usize> = None;
+    let mut non_finite: Option<usize> = None;
+    for &j in order {
+        if j == skip {
+            continue;
+        }
+        // `next_up` keeps ties computable: a candidate with the exact
+        // same distance as the incumbent must return its exact value so
+        // the smaller index can win.
+        let cutoff = best.next_up();
+        let exact_scan = cutoff.is_nan() || cutoff == f64::INFINITY;
+        let v = d.distance_upto(x, &train[j], ws, cutoff);
+        if non_finite.is_none() && (v.is_nan() || (exact_scan && !v.is_finite())) {
+            // Under an infinite cutoff the value is exact by contract, so
+            // a non-finite result is the measure's own; NaN is never a
+            // legal abandonment signal either way.
+            non_finite = Some(j);
+        }
+        if v < best || (v == best && best_j.is_some_and(|b| j < b)) {
+            best = v;
+            best_j = Some(j);
+        }
+    }
+    NearestNeighbour {
+        index: best_j,
+        distance: best,
+        non_finite,
+    }
+}
+
+/// Splits `0..n` into one contiguous span per worker. Chunk boundaries
+/// affect only where warm-start chains reset, never any row's result.
+fn chunk_spans(n: usize) -> Vec<(usize, usize)> {
+    let chunk = n.div_ceil(worker_count().max(1)).max(1);
+    (0..n)
+        .step_by(chunk)
+        .map(|s| (s, (s + chunk).min(n)))
+        .collect()
+}
+
+/// Pruned nearest-neighbour search of every `test` row against `train`.
+///
+/// Rows are processed in parallel chunks; within a chunk each row's
+/// candidates are visited in cheap-score order, optionally warm-started
+/// with the previous row's winner (`warm_start`). Results are identical
+/// for any chunking, ordering, and warm-start setting.
+pub fn pruned_nn_search(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    warm_start: bool,
+) -> Vec<NearestNeighbour> {
+    pruned_search_rows(
+        test.len(),
+        warm_start,
+        |i| &test[i],
+        |_| usize::MAX,
+        d,
+        train,
+    )
+}
+
+/// Pruned leave-one-out nearest neighbours of every `train` row against
+/// the rest of `train` (row `i` excludes candidate `i`).
+pub fn pruned_loocv_search(
+    d: &dyn Distance,
+    train: &[Vec<f64>],
+    warm_start: bool,
+) -> Vec<NearestNeighbour> {
+    pruned_search_rows(train.len(), warm_start, |i| &train[i], |i| i, d, train)
+}
+
+fn pruned_search_rows<'a>(
+    n: usize,
+    warm_start: bool,
+    row: impl Fn(usize) -> &'a [f64] + Sync,
+    skip: impl Fn(usize) -> usize + Sync,
+    d: &dyn Distance,
+    train: &[Vec<f64>],
+) -> Vec<NearestNeighbour> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let spans = chunk_spans(n);
+    let per_chunk = parallel_map(spans.len(), |c| {
+        let (lo, hi) = spans[c];
+        let mut ws = Workspace::new();
+        let mut order = Vec::new();
+        let mut scores = Vec::new();
+        let mut out = Vec::with_capacity(hi - lo);
+        let mut prev: Option<usize> = None;
+        for i in lo..hi {
+            order_candidates(row(i), train, &mut order, &mut scores);
+            if warm_start {
+                if let Some(p) = prev {
+                    promote(&mut order, p);
+                }
+            }
+            let nn = nearest_in_order(d, row(i), train, &order, skip(i), &mut ws);
+            if nn.index.is_some() {
+                prev = nn.index;
+            }
+            out.push(nn);
+        }
+        out
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Pruned drop-in for [`crate::nn::one_nn_accuracy`] computed straight
+/// from the series (no `E` matrix): byte-identical accuracy.
+///
+/// # Panics
+/// Panics on shape mismatches or an empty training set; see
+/// [`try_pruned_one_nn_accuracy`].
+pub fn pruned_one_nn_accuracy(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    test_labels: &[Label],
+    train_labels: &[Label],
+    warm_start: bool,
+) -> f64 {
+    try_pruned_one_nn_accuracy(d, test, train, test_labels, train_labels, warm_start)
+        .unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// [`pruned_one_nn_accuracy`] returning a typed error instead of
+/// panicking.
+pub fn try_pruned_one_nn_accuracy(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    test_labels: &[Label],
+    train_labels: &[Label],
+    warm_start: bool,
+) -> Result<f64, EvalError> {
+    check_shapes(test.len(), train.len(), test_labels, train_labels)?;
+    let nns = pruned_nn_search(d, test, train, warm_start);
+    let correct = nns
+        .iter()
+        .zip(test_labels)
+        .filter(|(nn, &truth)| {
+            // Algorithm 1 initializes `predicted` to the first training
+            // label, which an all-non-finite row never overwrites.
+            let predicted = nn.index.map_or(train_labels[0], |j| train_labels[j]);
+            predicted == truth
+        })
+        .count();
+    Ok(correct as f64 / test_labels.len() as f64)
+}
+
+/// Pruned drop-in for [`crate::nn::loocv_accuracy`]: byte-identical to
+/// evaluating the matrix variant on a *fully computed* `W` (every cell
+/// from `distance_ws` directly; the mirrored-triangle fast path of
+/// [`crate::matrices::symmetric_distance_matrix`] is bit-identical for
+/// measures whose symmetry hint holds).
+///
+/// # Panics
+/// Panics on a label-count mismatch; see [`try_pruned_loocv_accuracy`].
+pub fn pruned_loocv_accuracy(
+    d: &dyn Distance,
+    train: &[Vec<f64>],
+    train_labels: &[Label],
+    warm_start: bool,
+) -> f64 {
+    try_pruned_loocv_accuracy(d, train, train_labels, warm_start)
+        .unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// [`pruned_loocv_accuracy`] returning a typed error instead of
+/// panicking.
+pub fn try_pruned_loocv_accuracy(
+    d: &dyn Distance,
+    train: &[Vec<f64>],
+    train_labels: &[Label],
+    warm_start: bool,
+) -> Result<f64, EvalError> {
+    if train.len() != train_labels.len() {
+        return Err(EvalError::ShapeMismatch {
+            what: "shape/label count",
+            expected: train.len(),
+            got: train_labels.len(),
+        });
+    }
+    let p = train_labels.len();
+    if p <= 1 {
+        return Ok(0.0);
+    }
+    let nns = pruned_loocv_search(d, train, warm_start);
+    let correct = nns
+        .iter()
+        .zip(train_labels)
+        .filter(|(nn, &truth)| {
+            // LOOCV starts from `predicted = None`: an all-non-finite row
+            // predicts nothing and counts as incorrect.
+            nn.index.map(|j| train_labels[j]) == Some(truth)
+        })
+        .count();
+    Ok(correct as f64 / p as f64)
+}
+
+/// Pruned drop-in for [`crate::knn::knn_accuracy`]: maintains the `k`
+/// nearest candidates under the same `(total_cmp, index)` order and
+/// abandons at `next_up` of the current `k`-th distance. Votes are cast
+/// by the same majority rule, so accuracies are byte-identical.
+///
+/// # Panics
+/// Panics on shape mismatches, `k == 0`, or an empty training set; see
+/// [`try_pruned_knn_accuracy`].
+pub fn pruned_knn_accuracy(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    test_labels: &[Label],
+    train_labels: &[Label],
+    k: usize,
+    warm_start: bool,
+) -> f64 {
+    try_pruned_knn_accuracy(d, test, train, test_labels, train_labels, k, warm_start)
+        .unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// [`pruned_knn_accuracy`] returning a typed error instead of panicking.
+pub fn try_pruned_knn_accuracy(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    test_labels: &[Label],
+    train_labels: &[Label],
+    k: usize,
+    warm_start: bool,
+) -> Result<f64, EvalError> {
+    if k == 0 {
+        return Err(EvalError::ZeroK);
+    }
+    check_shapes(test.len(), train.len(), test_labels, train_labels)?;
+    let k = k.min(train.len());
+    let n = test.len();
+    if n == 0 {
+        // Mirrors `try_knn_accuracy` on a 0-row matrix.
+        return Ok(0.0);
+    }
+    let spans = chunk_spans(n);
+    let per_chunk = parallel_map(spans.len(), |c| {
+        let (lo, hi) = spans[c];
+        let mut ws = Workspace::new();
+        let mut order = Vec::new();
+        let mut scores = Vec::new();
+        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        let mut neighbours: Vec<usize> = Vec::with_capacity(k);
+        let mut prev: Vec<usize> = Vec::new();
+        let mut correct = 0usize;
+        for i in lo..hi {
+            order_candidates(&test[i], train, &mut order, &mut scores);
+            if warm_start {
+                // Visit the previous row's neighbourhood first, nearest
+                // last so the nearest ends up at the very front.
+                for &p in prev.iter().rev() {
+                    promote(&mut order, p);
+                }
+            }
+            knn_row(d, &test[i], train, &order, k, &mut ws, &mut heap);
+            neighbours.clear();
+            neighbours.extend(heap.iter().map(|&(_, j)| j));
+            if majority_vote(&neighbours, train_labels) == Some(test_labels[i]) {
+                correct += 1;
+            }
+            if heap.len() == k {
+                prev.clear();
+                prev.extend(neighbours.iter().copied());
+            }
+        }
+        correct
+    });
+    let correct: usize = per_chunk.into_iter().sum();
+    Ok(correct as f64 / n as f64)
+}
+
+/// Fills `heap` with the `k` smallest `(distance, index)` pairs under
+/// `(total_cmp, index)` order, abandoning candidates at `next_up` of the
+/// current `k`-th distance once the heap is full.
+fn knn_row(
+    d: &dyn Distance,
+    x: &[f64],
+    train: &[Vec<f64>],
+    order: &[usize],
+    k: usize,
+    ws: &mut Workspace,
+    heap: &mut Vec<(f64, usize)>,
+) {
+    heap.clear();
+    for &j in order {
+        let cutoff = if heap.len() < k {
+            f64::INFINITY
+        } else {
+            // `total_cmp` sorts NaN and +inf last; `next_up` of either is
+            // non-finite, which `distance_upto` treats as "no cutoff", so
+            // a degenerate k-th neighbour keeps the scan exact.
+            heap[k - 1].0.next_up()
+        };
+        let v = d.distance_upto(x, &train[j], ws, cutoff);
+        if heap.len() == k {
+            let (kv, kj) = heap[k - 1];
+            if kv.total_cmp(&v).then(kj.cmp(&j)).is_le() {
+                continue;
+            }
+        }
+        let pos = heap.partition_point(|&(hv, hj)| hv.total_cmp(&v).then(hj.cmp(&j)).is_lt());
+        heap.insert(pos, (v, j));
+        heap.truncate(k);
+    }
+}
+
+fn check_shapes(
+    rows: usize,
+    cols: usize,
+    test_labels: &[Label],
+    train_labels: &[Label],
+) -> Result<(), EvalError> {
+    if rows != test_labels.len() {
+        return Err(EvalError::ShapeMismatch {
+            what: "row/label count",
+            expected: rows,
+            got: test_labels.len(),
+        });
+    }
+    if cols != train_labels.len() {
+        return Err(EvalError::ShapeMismatch {
+            what: "col/label count",
+            expected: cols,
+            got: train_labels.len(),
+        });
+    }
+    if cols == 0 {
+        return Err(EvalError::EmptyTrainSet);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::distance_matrix;
+    use crate::nn::{one_nn_accuracy, try_loocv_accuracy};
+    use tsdist_core::elastic::{Dtw, Msm};
+    use tsdist_core::lockstep::Euclidean;
+    use tsdist_linalg::Matrix;
+
+    fn toy(n: usize, m: usize, off: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..m)
+                    .map(|j| ((i * m + j) as f64 * 0.7).sin() + off)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn labels(n: usize) -> Vec<Label> {
+        (0..n).map(|i| i % 3).collect()
+    }
+
+    #[test]
+    fn one_nn_matches_matrix_path() {
+        let train = toy(12, 40, 0.0);
+        let test = toy(9, 40, 0.25);
+        let (trl, tel) = (labels(12), labels(9));
+        let d = Dtw::with_window_pct(10.0);
+        let e = distance_matrix(&d, &test, &train);
+        let exact = one_nn_accuracy(&e, &tel, &trl);
+        for warm in [false, true] {
+            let pruned = pruned_one_nn_accuracy(&d, &test, &train, &tel, &trl, warm);
+            assert_eq!(pruned.to_bits(), exact.to_bits(), "warm_start={warm}");
+        }
+    }
+
+    #[test]
+    fn nn_indices_break_ties_to_first() {
+        // Two identical training series: index 0 must win under any
+        // candidate order, exactly like Algorithm 1's strict `<`.
+        let s = vec![1.0, 2.0, 3.0, 4.0];
+        let train = vec![s.clone(), s.clone()];
+        let test = vec![s.clone()];
+        let nns = pruned_nn_search(&Euclidean, &test, &train, true);
+        assert_eq!(nns[0].index, Some(0));
+        assert_eq!(nns[0].distance, 0.0);
+    }
+
+    #[test]
+    fn loocv_matches_full_matrix_path() {
+        let train = toy(14, 32, 0.0);
+        let trl = labels(14);
+        let d = Msm::new(0.5);
+        // Full (non-mirrored) matrix: every cell computed directly.
+        let w = Matrix::from_fn(14, 14, |i, j| {
+            tsdist_core::measure::Distance::distance(&d, &train[i], &train[j])
+        });
+        let exact = try_loocv_accuracy(&w, &trl).unwrap();
+        for warm in [false, true] {
+            let pruned = pruned_loocv_accuracy(&d, &train, &trl, warm);
+            assert_eq!(pruned.to_bits(), exact.to_bits(), "warm_start={warm}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_matrix_path() {
+        let train = toy(15, 28, 0.0);
+        let test = toy(8, 28, 0.4);
+        let (trl, tel) = (labels(15), labels(8));
+        let d = Dtw::with_window_pct(10.0);
+        let e = distance_matrix(&d, &test, &train);
+        for k in [1, 3, 5, 99] {
+            let exact = crate::knn::knn_accuracy(&e, &tel, &trl, k);
+            for warm in [false, true] {
+                let pruned = pruned_knn_accuracy(&d, &test, &train, &tel, &trl, k, warm);
+                assert_eq!(pruned.to_bits(), exact.to_bits(), "k={k} warm={warm}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_candidates_never_win_and_are_reported() {
+        struct Poison;
+        impl Distance for Poison {
+            fn name(&self) -> String {
+                "poison".into()
+            }
+            fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
+                if y[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    Euclidean.distance(x, y)
+                }
+            }
+        }
+        let train = vec![vec![-1.0, 0.0], vec![5.0, 5.0]];
+        let test = vec![vec![5.0, 5.0]];
+        let nns = pruned_nn_search(&Poison, &test, &train, false);
+        assert_eq!(nns[0].index, Some(1));
+        assert_eq!(nns[0].non_finite, Some(0));
+    }
+
+    #[test]
+    fn all_non_finite_rows_predict_like_algorithm_1() {
+        struct AlwaysNan;
+        impl Distance for AlwaysNan {
+            fn name(&self) -> String {
+                "nan".into()
+            }
+            fn distance(&self, _: &[f64], _: &[f64]) -> f64 {
+                f64::NAN
+            }
+        }
+        let train = toy(3, 4, 0.0);
+        let test = toy(2, 4, 0.0);
+        // Algorithm 1 falls back to the first training label.
+        let acc = pruned_one_nn_accuracy(&AlwaysNan, &test, &train, &[0, 1], &labels(3), false);
+        let e = distance_matrix(&AlwaysNan, &test, &train);
+        let exact = one_nn_accuracy(&e, &[0, 1], &labels(3));
+        assert_eq!(acc.to_bits(), exact.to_bits());
+        // LOOCV predicts None instead: nothing is correct.
+        assert_eq!(
+            pruned_loocv_accuracy(&AlwaysNan, &train, &labels(3), true),
+            0.0
+        );
+    }
+
+    #[test]
+    fn typed_errors_mirror_the_matrix_entry_points() {
+        let train = toy(3, 4, 0.0);
+        assert!(matches!(
+            try_pruned_one_nn_accuracy(&Euclidean, &[], &train, &[0], &labels(3), false),
+            Err(EvalError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            try_pruned_one_nn_accuracy(&Euclidean, &[], &[], &[], &[], false),
+            Err(EvalError::EmptyTrainSet)
+        ));
+        assert!(matches!(
+            try_pruned_knn_accuracy(&Euclidean, &[], &train, &[], &labels(3), 0, false),
+            Err(EvalError::ZeroK)
+        ));
+        assert!(matches!(
+            try_pruned_loocv_accuracy(&Euclidean, &train, &[0], false),
+            Err(EvalError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn single_series_loocv_is_zero() {
+        let train = toy(1, 4, 0.0);
+        assert_eq!(pruned_loocv_accuracy(&Euclidean, &train, &[0], true), 0.0);
+    }
+}

@@ -22,7 +22,7 @@ use crate::cell::{
 use crate::comparison::{
     compare_to_baseline, holm_adjusted_p_values, rank_measures, PairwiseComparison,
 };
-use crate::evaluator::try_evaluate_distance;
+use crate::evaluator::{try_evaluate_distance, try_evaluate_distance_pruned};
 use crate::journal::{read_journal, Journal, JournalEntry};
 use crate::parallel::parallel_map;
 use crate::study::{Entrant, StudyReport};
@@ -45,6 +45,12 @@ pub struct RunnerConfig {
     /// cells report [`CellOutcome::Skipped`]). Used by the smoke test to
     /// simulate a kill mid-study; replayed cells don't count.
     pub max_cells: Option<usize>,
+    /// Evaluate cells through the cutoff-threaded pruned 1-NN search
+    /// ([`crate::evaluator::try_evaluate_distance_pruned`]) instead of
+    /// the full-matrix path. Healthy cells produce byte-identical
+    /// evaluations (and therefore byte-identical journals, modulo the
+    /// timing field); only the work done per cell changes.
+    pub pruned: bool,
 }
 
 impl Default for RunnerConfig {
@@ -55,6 +61,7 @@ impl Default for RunnerConfig {
             max_retries: 0,
             retry_backoff: Duration::from_millis(50),
             max_cells: None,
+            pruned: false,
         }
     }
 }
@@ -89,6 +96,12 @@ impl RunnerConfig {
     /// Caps how many cells execute this run.
     pub fn with_max_cells(mut self, max_cells: usize) -> Self {
         self.max_cells = Some(max_cells);
+        self
+    }
+
+    /// Routes cells through the pruned (early-abandoning) 1-NN search.
+    pub fn with_pruned(mut self) -> Self {
+        self.pruned = true;
         self
     }
 }
@@ -391,13 +404,28 @@ pub fn run_study_resumable(
     );
     assert!(!archive.is_empty(), "empty archive");
 
+    let pruned = runner.config().pruned;
     let cells: Vec<Vec<CellResult>> = entrants
         .iter()
         .map(|entrant| {
             parallel_map(archive.len(), |i| {
                 let ds = &archive[i];
                 runner.run_cell(&cell_key(&entrant.name, &ds.name), |flag| {
-                    try_evaluate_distance(entrant.measure.as_ref(), ds, entrant.normalization, flag)
+                    if pruned {
+                        try_evaluate_distance_pruned(
+                            entrant.measure.as_ref(),
+                            ds,
+                            entrant.normalization,
+                            flag,
+                        )
+                    } else {
+                        try_evaluate_distance(
+                            entrant.measure.as_ref(),
+                            ds,
+                            entrant.normalization,
+                            flag,
+                        )
+                    }
                 })
             })
         })

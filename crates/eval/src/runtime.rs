@@ -6,8 +6,12 @@ use std::time::Instant;
 
 use crate::matrices::distance_matrix;
 use crate::nn::one_nn_accuracy;
-use tsdist_core::elastic::{dtw::dtw_banded, keogh_envelope, lb_keogh, lb_kim};
+use tsdist_core::elastic::{
+    dtw::{dtw_banded_pruned, dtw_banded_ws},
+    keogh_envelope, lb_keogh, lb_kim,
+};
 use tsdist_core::measure::Distance;
+use tsdist_core::Workspace;
 use tsdist_data::Dataset;
 
 /// Accuracy and wall-clock inference time of one measure on one dataset.
@@ -39,35 +43,121 @@ pub struct PrunedSearchStats {
     /// 1-NN test accuracy (identical to the exact search by construction).
     pub accuracy: f64,
     /// Fraction of candidate comparisons answered by LB_Kim or LB_Keogh
-    /// without running the full DTW.
+    /// without running any DTW at all.
     pub pruned_fraction: f64,
+    /// DP cells actually computed by the cutoff-pruned DTW calls (the
+    /// early-abandoned tail of a comparison costs only the cells visited
+    /// before the live window died).
+    pub dp_cells: u64,
+    /// DP cells an exact search would compute: the full band area of
+    /// every comparison. `dp_cells / dp_cells_full` is the genuine work
+    /// ratio, unlike `pruned_fraction` which counts whole comparisons.
+    pub dp_cells_full: u64,
 }
 
-/// Exact DTW 1-NN with LB_Kim -> LB_Keogh -> DTW cascading, the classic
-/// acceleration the paper points to in Section 10. `band` is the absolute
-/// Sakoe–Chiba radius.
-pub fn pruned_dtw_search(ds: &Dataset, band: usize) -> PrunedSearchStats {
-    let envelopes: Vec<(Vec<f64>, Vec<f64>)> =
-        ds.train.iter().map(|t| keogh_envelope(t, band)).collect();
+/// Keogh envelopes of one training split under one band, computed once
+/// and reused across every query (and every search over the dataset) —
+/// rebuilding them per call was pure waste, as each query re-derived the
+/// same `O(train x len)` envelope set.
+pub struct EnvelopeCache {
+    band: usize,
+    /// `(upper, lower)` per training series.
+    envelopes: Vec<(Vec<f64>, Vec<f64>)>,
+}
 
+impl EnvelopeCache {
+    /// Builds the envelopes of `train` for the absolute band radius
+    /// `band`.
+    pub fn build(train: &[Vec<f64>], band: usize) -> EnvelopeCache {
+        EnvelopeCache {
+            band,
+            envelopes: train.iter().map(|t| keogh_envelope(t, band)).collect(),
+        }
+    }
+
+    /// The band the envelopes were built for.
+    pub fn band(&self) -> usize {
+        self.band
+    }
+
+    /// Number of cached envelopes.
+    pub fn len(&self) -> usize {
+        self.envelopes.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.envelopes.is_empty()
+    }
+
+    /// The `(upper, lower)` envelope of training series `j`.
+    pub fn envelope(&self, j: usize) -> (&[f64], &[f64]) {
+        let (upper, lower) = &self.envelopes[j];
+        (upper, lower)
+    }
+}
+
+/// DP cells of one exact banded-DTW comparison (the full band area).
+fn banded_cell_count(m: usize, n: usize, band: usize) -> u64 {
+    let mut cells = 0u64;
+    for i in 1..=m {
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(n);
+        if lo <= hi {
+            cells += (hi - lo + 1) as u64;
+        }
+    }
+    cells
+}
+
+/// Exact DTW 1-NN with the full LB_Kim -> LB_Keogh -> cutoff-pruned-DTW
+/// cascade, the classic acceleration the paper points to in Section 10.
+/// `band` is the absolute Sakoe–Chiba radius. Envelopes are built once;
+/// see [`pruned_dtw_search_cached`] to reuse them across calls.
+pub fn pruned_dtw_search(ds: &Dataset, band: usize) -> PrunedSearchStats {
+    pruned_dtw_search_cached(ds, &EnvelopeCache::build(&ds.train, band))
+}
+
+/// [`pruned_dtw_search`] with a caller-owned [`EnvelopeCache`].
+///
+/// Candidates surviving both lower bounds run
+/// [`dtw_banded_pruned`] with the best-so-far as the cutoff, so even the
+/// "full" DTW calls stop at the first fully-dead DP row. Predictions are
+/// byte-identical to the exact scan: a candidate strictly below the
+/// incumbent computes exactly (cutoff admissibility), and anything the
+/// cascade discards was provably no better.
+pub fn pruned_dtw_search_cached(ds: &Dataset, cache: &EnvelopeCache) -> PrunedSearchStats {
+    let band = cache.band();
+    let mut ws = Workspace::new();
     let mut pruned = 0usize;
     let mut total = 0usize;
     let mut correct = 0usize;
+    let mut dp_cells = 0u64;
+    let mut dp_cells_full = 0u64;
     for (q, query) in ds.test.iter().enumerate() {
         let mut best = f64::INFINITY;
         let mut predicted = ds.train_labels[0];
         for (j, candidate) in ds.train.iter().enumerate() {
             total += 1;
+            let full = banded_cell_count(query.len(), candidate.len(), band);
+            dp_cells_full += full;
             if lb_kim(query, candidate) >= best {
                 pruned += 1;
                 continue;
             }
-            let (upper, lower) = &envelopes[j];
+            let (upper, lower) = cache.envelope(j);
             if lb_keogh(query, upper, lower) >= best {
                 pruned += 1;
                 continue;
             }
-            let d = dtw_banded(query, candidate, band);
+            // Strict `<` keeps the first minimum, so `best` itself is an
+            // admissible cutoff: ties and worse candidates may abandon.
+            let (d, cells) = if best < f64::INFINITY {
+                dtw_banded_pruned(query, candidate, band, best, &mut ws)
+            } else {
+                (dtw_banded_ws(query, candidate, band, &mut ws), full)
+            };
+            dp_cells += cells;
             if d < best {
                 best = d;
                 predicted = ds.train_labels[j];
@@ -80,6 +170,8 @@ pub fn pruned_dtw_search(ds: &Dataset, band: usize) -> PrunedSearchStats {
     PrunedSearchStats {
         accuracy: correct as f64 / ds.test.len().max(1) as f64,
         pruned_fraction: pruned as f64 / total.max(1) as f64,
+        dp_cells,
+        dp_cells_full,
     }
 }
 
@@ -121,5 +213,24 @@ mod tests {
         let ds = prepare(&raw, Normalization::ZScore);
         let stats = pruned_dtw_search(&ds, 2);
         assert!(stats.pruned_fraction > 0.0, "no comparisons pruned");
+        assert!(stats.dp_cells > 0, "cascade never reached the DP");
+        assert!(
+            stats.dp_cells < stats.dp_cells_full,
+            "cutoff threading saved no DP cells: {} vs {}",
+            stats.dp_cells,
+            stats.dp_cells_full
+        );
+    }
+
+    #[test]
+    fn cached_envelopes_reproduce_the_uncached_search() {
+        let raw = generate_dataset(&ArchiveConfig::quick(1, 11), 1);
+        let ds = prepare(&raw, Normalization::ZScore);
+        let cache = EnvelopeCache::build(&ds.train, 3);
+        assert_eq!(cache.len(), ds.train.len());
+        assert!(!cache.is_empty());
+        let cached = pruned_dtw_search_cached(&ds, &cache);
+        let fresh = pruned_dtw_search(&ds, 3);
+        assert_eq!(cached, fresh);
     }
 }

@@ -50,4 +50,29 @@ fi
 diff "$SMOKE/resumed.txt" "$SMOKE/fresh.txt"
 echo "    resumed report is byte-identical to the uninterrupted run"
 
+echo "==> prune-equivalence smoke (exact vs --pruned journals, timing stripped)"
+"$TSDIST" evaluate-archive "$SMOKE/archive" --measures ed,dtw,msm \
+  --journal "$SMOKE/exact.ndjson" --study prune-smoke \
+  >"$SMOKE/exact.txt" 2>/dev/null
+"$TSDIST" evaluate-archive "$SMOKE/archive" --measures ed,dtw,msm --pruned \
+  --journal "$SMOKE/pruned.ndjson" --study prune-smoke \
+  >"$SMOKE/pruned.txt" 2>/dev/null
+
+# Per-cell journal lines must agree on everything but the wall clock.
+sed 's/"seconds":[^,}]*//' "$SMOKE/exact.ndjson" >"$SMOKE/exact.stripped"
+sed 's/"seconds":[^,}]*//' "$SMOKE/pruned.ndjson" >"$SMOKE/pruned.stripped"
+diff "$SMOKE/exact.stripped" "$SMOKE/pruned.stripped"
+diff "$SMOKE/exact.txt" "$SMOKE/pruned.txt"
+echo "    pruned study is byte-identical to the exact one (modulo timing)"
+
+echo "==> bench_prune smoke"
+cargo build -q --offline -p tsdist-bench --bin bench_prune
+target/debug/bench_prune --quick --out "$SMOKE" >/dev/null
+if [ ! -s "$SMOKE/BENCH_prune.json" ]; then
+  echo "bench_prune wrote no BENCH_prune.json" >&2
+  exit 1
+fi
+grep -q '"failures": 0' "$SMOKE/BENCH_prune.json"
+echo "    bench_prune smoke wrote BENCH_prune.json with zero equivalence failures"
+
 echo "All checks passed."
