@@ -12,6 +12,14 @@
 //!
 //! `--quick` shrinks the workload (16 series, length 64, 3 repetitions)
 //! for the `scripts/check.sh` smoke; the acceptance run uses defaults.
+//!
+//! In quick mode with the default seed the run additionally asserts every
+//! computed 1-NN accuracy *bit-exactly* against the committed golden file
+//! `results/conformance/bench_prune_quick.tsv` — self-consistency alone
+//! (exact == pruned) cannot catch a change that breaks both paths the
+//! same way. After a reviewed numeric change, re-pin with
+//! `BENCH_PRUNE_UPDATE_GOLDEN=1 bench_prune --quick`; the file location
+//! can be overridden with `BENCH_PRUNE_GOLDEN=<path>`.
 
 use std::time::Instant;
 
@@ -87,6 +95,62 @@ fn equivalence_registry() -> Vec<(&'static str, Box<dyn Distance>)> {
     ]
 }
 
+/// Default location of the committed golden accuracies, resolved from the
+/// crate manifest so the gate works regardless of the invocation cwd.
+const GOLDEN_DEFAULT: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/conformance/bench_prune_quick.tsv"
+);
+
+fn golden_render(entries: &[(String, String, f64)]) -> String {
+    let mut out = String::from(
+        "# bench_prune --quick golden accuracies (seed 20)\n\
+         # measure\tinput\tbits\tvalue — re-pin with BENCH_PRUNE_UPDATE_GOLDEN=1\n",
+    );
+    for (measure, input, acc) in entries {
+        out.push_str(&format!(
+            "{measure}\t{input}\t{:#018x}\t{acc:e}\n",
+            acc.to_bits()
+        ));
+    }
+    out
+}
+
+/// Compares computed accuracies against the committed golden, returning
+/// one human-readable line per discrepancy.
+fn golden_check(text: &str, entries: &[(String, String, f64)]) -> Vec<String> {
+    use std::collections::BTreeMap;
+    let mut committed: BTreeMap<(String, String), String> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() >= 3 {
+            committed.insert(
+                (fields[0].to_string(), fields[1].to_string()),
+                fields[2].to_string(),
+            );
+        }
+    }
+    let mut problems = Vec::new();
+    for (measure, input, acc) in entries {
+        let bits = format!("{:#018x}", acc.to_bits());
+        match committed.remove(&(measure.clone(), input.clone())) {
+            Some(want) if want == bits => {}
+            Some(want) => problems.push(format!(
+                "golden mismatch: {measure} on {input}: committed {want}, computed {bits} ({acc})"
+            )),
+            None => problems.push(format!("golden missing entry: {measure} on {input}")),
+        }
+    }
+    for (measure, input) in committed.keys() {
+        problems.push(format!("golden has stale entry: {measure} on {input}"));
+    }
+    problems
+}
+
 fn main() {
     let cfg = ExperimentConfig::from_args();
     let (n_series, length, reps) = if cfg.quick { (16, 64, 3) } else { (64, 256, 5) };
@@ -140,6 +204,10 @@ fn main() {
     let equiv_archive = ArchiveConfig::quick(3, cfg.seed.wrapping_add(1));
     let mut equiv_checked = 0usize;
     let mut equiv_failures: Vec<String> = Vec::new();
+    let mut accuracies: Vec<(String, String, f64)> = rows
+        .iter()
+        .map(|r| (r.name.to_string(), "bench".to_string(), r.exact_accuracy))
+        .collect();
     for index in 0..equiv_archive.n_datasets {
         let small = generate_dataset(&equiv_archive, index);
         for (name, d) in equivalence_registry() {
@@ -149,6 +217,7 @@ fn main() {
             if exact.to_bits() != pruned.to_bits() {
                 equiv_failures.push(format!("{name} on {}: {exact} vs {pruned}", small.name));
             }
+            accuracies.push((name.to_string(), small.name.clone(), exact));
         }
     }
 
@@ -199,6 +268,51 @@ fn main() {
         eprintln!("FAIL: equivalence sweep: {f}");
         failed = true;
     }
+    // Golden accuracy gate: only meaningful on the canonical quick
+    // workload (default seed); custom seeds produce different datasets.
+    if cfg.quick && cfg.seed == ExperimentConfig::default().seed {
+        let golden_path =
+            std::env::var("BENCH_PRUNE_GOLDEN").unwrap_or_else(|_| GOLDEN_DEFAULT.to_string());
+        if std::env::var("BENCH_PRUNE_UPDATE_GOLDEN").is_ok() {
+            if let Some(parent) = std::path::Path::new(&golden_path).parent() {
+                std::fs::create_dir_all(parent).expect("create golden directory");
+            }
+            std::fs::write(&golden_path, golden_render(&accuracies)).expect("write golden file");
+            eprintln!(
+                "[bench_prune] pinned {} golden accuracies to {golden_path}",
+                accuracies.len()
+            );
+        } else {
+            match std::fs::read_to_string(&golden_path) {
+                Ok(text) => {
+                    let problems = golden_check(&text, &accuracies);
+                    for p in &problems {
+                        eprintln!("FAIL: {p}");
+                        failed = true;
+                    }
+                    if problems.is_empty() {
+                        eprintln!(
+                            "[bench_prune] {} accuracies bit-identical to golden {golden_path}",
+                            accuracies.len()
+                        );
+                    } else {
+                        eprintln!(
+                            "re-pin deliberately with: BENCH_PRUNE_UPDATE_GOLDEN=1 \
+                             bench_prune --quick"
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!(
+                        "FAIL: reading golden {golden_path}: {e}\n\
+                         (create it with BENCH_PRUNE_UPDATE_GOLDEN=1 bench_prune --quick)"
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+
     if let Some(dtw) = rows.iter().find(|r| r.name.starts_with("DTW")) {
         if !cfg.quick && dtw.speedup() < 2.0 {
             eprintln!(

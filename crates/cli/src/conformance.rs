@@ -1,0 +1,123 @@
+//! `tsdist conformance` — the differential conformance gate.
+//!
+//! Runs the oracle registry's differential checks and compares the
+//! registry snapshot against the committed golden file, exiting non-zero
+//! on any discrepancy or bit mismatch. `--update` re-pins the golden
+//! after a *reviewed* numeric change; `--quick` restricts to the
+//! representative subset for fast pre-commit gates.
+
+use std::path::Path;
+
+use tsdist_conformance::inputs::GOLDEN_SEED;
+use tsdist_conformance::{
+    golden_diff, golden_parse, golden_render, oracle_registry, quick_registry, run_differential,
+    snapshot, EngineConfig,
+};
+
+/// Default location of the committed golden snapshot, relative to the
+/// repository root.
+pub const DEFAULT_GOLDEN: &str = "results/conformance/registry_v1.tsv";
+
+pub fn cmd_conformance(args: &[String]) -> Result<(), String> {
+    let (golden_path, rest) = super::take_flag(args, "--golden")?;
+    let (update, rest) = super::take_bool_flag(&rest, "--update");
+    let (quick, rest) = super::take_bool_flag(&rest, "--quick");
+    if let Some(stray) = rest.first() {
+        return Err(format!(
+            "unexpected argument {stray:?}\nusage: tsdist conformance [--update] [--quick] [--golden <file>]"
+        ));
+    }
+    let golden_path = golden_path.unwrap_or_else(|| DEFAULT_GOLDEN.to_string());
+    let golden_path = Path::new(&golden_path);
+
+    // 1. Differential engine: production vs naive references.
+    let cases = if quick {
+        quick_registry()
+    } else {
+        oracle_registry()
+    };
+    let cfg = EngineConfig {
+        dataset_checks: !quick,
+        ..EngineConfig::default()
+    };
+    let report = run_differential(&cases, &cfg);
+    if !report.is_clean() {
+        return Err(report.render());
+    }
+    println!(
+        "differential: {} measures, {} checks, all clean",
+        report.cases, report.checks
+    );
+
+    // 2. Golden snapshot: bit-exact against the committed file. Updates
+    // always re-pin the *full* registry so --quick can't shrink the file.
+    if update {
+        let full = snapshot(&oracle_registry(), GOLDEN_SEED);
+        if let Some(parent) = golden_path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+        std::fs::write(golden_path, golden_render(&full, GOLDEN_SEED))
+            .map_err(|e| format!("writing {}: {e}", golden_path.display()))?;
+        println!(
+            "golden: pinned {} entries to {}",
+            full.len(),
+            golden_path.display()
+        );
+        return Ok(());
+    }
+
+    let committed_text = std::fs::read_to_string(golden_path).map_err(|e| {
+        format!(
+            "reading golden {}: {e}\n(run `tsdist conformance --update` to create it)",
+            golden_path.display()
+        )
+    })?;
+    let committed = golden_parse(&committed_text)?;
+    let computed = snapshot(&cases, GOLDEN_SEED);
+
+    // In quick mode the committed file legitimately holds more keys than
+    // the subset computes; compare only the keys we computed.
+    let committed: Vec<_> = if quick {
+        use std::collections::BTreeSet;
+        let have: BTreeSet<(String, String)> = computed
+            .iter()
+            .map(|e| (e.measure.clone(), e.input.clone()))
+            .collect();
+        committed
+            .into_iter()
+            .filter(|e| have.contains(&(e.measure.clone(), e.input.clone())))
+            .collect()
+    } else {
+        committed
+    };
+    if committed.is_empty() {
+        return Err(format!(
+            "golden {} has no entries for the selected cases",
+            golden_path.display()
+        ));
+    }
+
+    let diffs = golden_diff(&committed, &computed);
+    if !diffs.is_empty() {
+        let mut msg = format!(
+            "golden mismatch against {} ({} lines):\n",
+            golden_path.display(),
+            diffs.len()
+        );
+        for line in diffs.iter().take(20) {
+            msg.push_str(&format!("  {line}\n"));
+        }
+        if diffs.len() > 20 {
+            msg.push_str(&format!("  ... and {} more\n", diffs.len() - 20));
+        }
+        msg.push_str("re-pin deliberately with: tsdist conformance --update");
+        return Err(msg);
+    }
+    println!(
+        "golden: {} entries bit-identical to {}",
+        committed.len(),
+        golden_path.display()
+    );
+    Ok(())
+}

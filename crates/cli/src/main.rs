@@ -14,6 +14,7 @@
 //! directories follow the UCR `<Name>_TRAIN.tsv` / `<Name>_TEST.tsv`
 //! layout.
 
+mod conformance;
 mod measures;
 
 use std::path::{Path, PathBuf};
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
         Some("motif") => cmd_motif(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("summary") => cmd_summary(&args[1..]),
+        Some("conformance") => conformance::cmd_conformance(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -70,6 +72,7 @@ USAGE:
   tsdist motif <series-file> --window <W>
   tsdist generate <out-dir> [--datasets <N>] [--seed <S>] [--quick]
   tsdist summary <dataset-dir>
+  tsdist conformance [--update] [--quick] [--golden <file>]
 
 Measures use `name[:params]` syntax (e.g. dtw:10, msm:0.5, twe:1,0.0001).
 Normalization methods: z-score (default), minmax, meannorm, mediannorm,
@@ -82,6 +85,12 @@ resumes where the last one stopped (--max-cells N stops after N cells,
 --lenient skips unreadable datasets instead of aborting). --pruned runs
 the 1-NN scans through the early-abandoning cutoff-threaded engine:
 identical accuracies, less work per cell.
+
+conformance checks every registry measure against its naive reference
+implementation and the committed golden snapshot
+(results/conformance/registry_v1.tsv), exiting non-zero on any
+divergence. --update re-pins the golden after a reviewed numeric change;
+--quick runs the representative subset for fast gates.
 ";
 
 fn cmd_measures() -> Result<(), String> {

@@ -1,0 +1,196 @@
+//! Bit-exact golden snapshots of the registry's outputs.
+//!
+//! A snapshot pins `distance_ws` for every oracle case on the seeded
+//! input batteries, keyed `(measure name, input id)` and stored as the
+//! *bit pattern* of the result (hex) plus a human-readable decimal. The
+//! committed file under `results/conformance/` is the review-time tripwire:
+//! any future optimization that changes even one output bit shows up as a
+//! one-line diff, to be either fixed or consciously re-pinned with
+//! `tsdist conformance --update`.
+
+use crate::inputs::{standard_battery, unequal_battery};
+use crate::oracle::OracleCase;
+use tsdist_core::Workspace;
+
+/// One pinned output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// Measure name (`Distance::name()`).
+    pub measure: String,
+    /// Input-pair id from the battery.
+    pub input: String,
+    /// Exact IEEE-754 bit pattern of `distance_ws`.
+    pub bits: u64,
+}
+
+impl SnapshotEntry {
+    /// The pinned value as a float (for display only — comparisons use
+    /// the bits).
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits)
+    }
+}
+
+/// Compute the snapshot for `cases` on the batteries seeded with `seed`.
+pub fn snapshot(cases: &[OracleCase], seed: u64) -> Vec<SnapshotEntry> {
+    let standard = standard_battery(seed);
+    let unequal = unequal_battery(seed);
+    let mut ws = Workspace::new();
+    let mut entries = Vec::new();
+    for case in cases {
+        let pairs = standard.iter().chain(
+            case.category
+                .supports_unequal_lengths()
+                .then_some(unequal.iter())
+                .into_iter()
+                .flatten(),
+        );
+        for pair in pairs {
+            let d = case.measure.distance_ws(&pair.x, &pair.y, &mut ws);
+            entries.push(SnapshotEntry {
+                measure: case.name.clone(),
+                input: pair.id.to_string(),
+                bits: d.to_bits(),
+            });
+        }
+    }
+    entries
+}
+
+/// Render entries to the TSV snapshot format:
+/// `measure <TAB> input <TAB> 0x<bits> <TAB> <decimal>` with a `#` header.
+pub fn render(entries: &[SnapshotEntry], seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("# tsdist conformance golden snapshot (do not edit by hand)\n");
+    out.push_str(&format!("# seed: {seed:#x}\n"));
+    out.push_str("# regenerate with: tsdist conformance --update\n");
+    for e in entries {
+        out.push_str(&format!(
+            "{}\t{}\t{:#018x}\t{:e}\n",
+            e.measure,
+            e.input,
+            e.bits,
+            e.value()
+        ));
+    }
+    out
+}
+
+/// Parse the TSV snapshot format back into entries (the decimal column
+/// is ignored; the bits are authoritative).
+pub fn parse(text: &str) -> Result<Vec<SnapshotEntry>, String> {
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (measure, input, bits_str) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(m), Some(i), Some(b)) => (m, i, b),
+            _ => {
+                return Err(format!(
+                    "golden line {}: expected at least 3 tab-separated fields, got {line:?}",
+                    lineno + 1
+                ))
+            }
+        };
+        let hex = bits_str.strip_prefix("0x").ok_or_else(|| {
+            format!(
+                "golden line {}: bits field {bits_str:?} lacks 0x",
+                lineno + 1
+            )
+        })?;
+        let bits = u64::from_str_radix(hex, 16)
+            .map_err(|e| format!("golden line {}: bad bits {bits_str:?}: {e}", lineno + 1))?;
+        entries.push(SnapshotEntry {
+            measure: measure.to_string(),
+            input: input.to_string(),
+            bits,
+        });
+    }
+    Ok(entries)
+}
+
+/// Compare a freshly computed snapshot against the committed one. Every
+/// mismatch, missing key, and unexpected key becomes one line; an empty
+/// result means bit-identical.
+pub fn diff(expected: &[SnapshotEntry], actual: &[SnapshotEntry]) -> Vec<String> {
+    use std::collections::BTreeMap;
+    let key = |e: &SnapshotEntry| (e.measure.clone(), e.input.clone());
+    let exp: BTreeMap<_, u64> = expected.iter().map(|e| (key(e), e.bits)).collect();
+    let act: BTreeMap<_, u64> = actual.iter().map(|e| (key(e), e.bits)).collect();
+    let mut lines = Vec::new();
+    for ((measure, input), bits) in &exp {
+        match act.get(&(measure.clone(), input.clone())) {
+            None => lines.push(format!("missing: {measure} on {input}")),
+            Some(got) if got != bits => lines.push(format!(
+                "mismatch: {measure} on {input}: pinned {:e} ({bits:#018x}), got {:e} ({got:#018x})",
+                f64::from_bits(*bits),
+                f64::from_bits(*got)
+            )),
+            Some(_) => {}
+        }
+    }
+    for (measure, input) in act.keys() {
+        if !exp.contains_key(&(measure.clone(), input.clone())) {
+            lines.push(format!("unexpected: {measure} on {input}"));
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::GOLDEN_SEED;
+    use crate::oracle::quick_registry;
+
+    #[test]
+    fn render_parse_round_trips() {
+        let entries = snapshot(&quick_registry(), GOLDEN_SEED);
+        assert!(!entries.is_empty());
+        let text = render(&entries, GOLDEN_SEED);
+        let back = parse(&text).unwrap();
+        assert_eq!(entries, back);
+        assert!(diff(&entries, &back).is_empty());
+    }
+
+    #[test]
+    fn diff_reports_every_kind_of_divergence() {
+        let base = snapshot(&quick_registry(), GOLDEN_SEED);
+        let mut mutated = base.clone();
+        mutated[0].bits ^= 1; // single-bit perturbation
+        let removed = mutated.remove(1);
+        mutated.push(SnapshotEntry {
+            measure: "NotARealMeasure".into(),
+            input: removed.input.clone(),
+            bits: 0,
+        });
+        let lines = diff(&base, &mutated);
+        assert!(
+            lines.iter().any(|l| l.starts_with("mismatch:")),
+            "{lines:?}"
+        );
+        assert!(lines.iter().any(|l| l.starts_with("missing:")), "{lines:?}");
+        assert!(
+            lines.iter().any(|l| l.starts_with("unexpected:")),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("only-one-field\n").is_err());
+        assert!(parse("a\tb\tnothex\n").is_err());
+        assert!(parse("a\tb\t0xzz\n").is_err());
+        assert!(parse("# comment only\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let a = snapshot(&quick_registry(), GOLDEN_SEED);
+        let b = snapshot(&quick_registry(), GOLDEN_SEED);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,288 @@
+//! Pairs every registry measure with its naive reference implementation.
+//!
+//! [`oracle_registry`] mirrors `tsdist_core::registry`'s enumeration —
+//! same constructors, same `params` grids, same order — and attaches the
+//! matching [`reference`](crate::reference) function to each instance. A
+//! test in `tests/differential.rs` asserts the name sets coincide, so a
+//! measure added to the registry without an oracle entry fails loudly.
+
+use crate::reference as r;
+use tsdist_core::elastic::{
+    Cid, DerivativeDtw, Dtw, Edr, Erp, ItakuraDtw, Lcss, Msm, Swale, Twe, WeightedDtw,
+};
+use tsdist_core::kernel::{Gak, Kdtw, Rbf, Sink};
+use tsdist_core::lockstep as ls;
+use tsdist_core::measure::{Distance, KernelDistance};
+use tsdist_core::params;
+use tsdist_core::sliding::{CrossCorrelation, NccVariant};
+
+/// The four directly-comparable measure categories (embeddings implement
+/// `Embedding`, not `Distance`, and are out of the oracle's scope).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Point-to-point measures.
+    LockStep,
+    /// Cross-correlation measures.
+    Sliding,
+    /// Warping-alignment measures.
+    Elastic,
+    /// Normalized kernel dissimilarities.
+    Kernel,
+}
+
+impl Category {
+    /// The relative tolerance the differential engine allows between a
+    /// production output and its reference: lock-step loops should agree
+    /// to the last few ULPs; DPs accumulate over O(mn) cells; the FFT
+    /// and the rescaled log-space kernels legitimately reassociate.
+    pub fn tolerance(self) -> f64 {
+        match self {
+            Category::LockStep => 1e-12,
+            Category::Elastic => 1e-9,
+            Category::Sliding => 1e-8,
+            Category::Kernel => 1e-7,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::LockStep => "lock-step",
+            Category::Sliding => "sliding",
+            Category::Elastic => "elastic",
+            Category::Kernel => "kernel",
+        }
+    }
+
+    /// Whether the category's contract documents unequal-length inputs
+    /// (lock-step and kernel measures may assume equal lengths).
+    pub fn supports_unequal_lengths(self) -> bool {
+        matches!(self, Category::Sliding | Category::Elastic)
+    }
+}
+
+/// A boxed naive reference function.
+pub type RefFn = Box<dyn Fn(&[f64], &[f64]) -> f64 + Send + Sync>;
+
+/// One measure under test with its reference.
+pub struct OracleCase {
+    /// The production measure's `name()` (doubles as the snapshot key).
+    pub name: String,
+    /// The production implementation.
+    pub measure: Box<dyn Distance>,
+    /// The naive reference.
+    pub reference: RefFn,
+    /// Category, which fixes the comparison tolerance.
+    pub category: Category,
+}
+
+fn case(
+    measure: impl Distance + 'static,
+    category: Category,
+    reference: impl Fn(&[f64], &[f64]) -> f64 + Send + Sync + 'static,
+) -> OracleCase {
+    OracleCase {
+        name: measure.name(),
+        measure: Box::new(measure),
+        reference: Box::new(reference),
+        category,
+    }
+}
+
+fn lockstep_cases() -> Vec<OracleCase> {
+    use Category::LockStep as L;
+    let mut v = vec![
+        case(ls::Euclidean, L, r::euclidean),
+        case(ls::CityBlock, L, r::city_block),
+        case(ls::Chebyshev, L, r::chebyshev),
+        case(ls::Sorensen, L, r::sorensen),
+        case(ls::Gower, L, r::gower),
+        case(ls::Soergel, L, r::soergel),
+        case(ls::KulczynskiD, L, r::kulczynski),
+        case(ls::Canberra, L, r::canberra),
+        case(ls::Lorentzian, L, r::lorentzian),
+        case(ls::Intersection, L, r::intersection),
+        case(ls::WaveHedges, L, r::wave_hedges),
+        case(ls::Czekanowski, L, r::sorensen),
+        case(ls::Motyka, L, r::motyka),
+        case(ls::KulczynskiS, L, r::kulczynski),
+        case(ls::Ruzicka, L, r::ruzicka),
+        case(ls::Tanimoto, L, r::tanimoto),
+        case(ls::InnerProduct, L, r::inner_product),
+        case(ls::HarmonicMean, L, r::harmonic_mean),
+        case(ls::Cosine, L, r::cosine),
+        case(ls::KumarHassebrook, L, r::kumar_hassebrook),
+        case(ls::Jaccard, L, r::jaccard),
+        case(ls::Dice, L, r::dice),
+        case(ls::Fidelity, L, r::fidelity),
+        case(ls::Bhattacharyya, L, r::bhattacharyya),
+        case(ls::Hellinger, L, r::hellinger),
+        case(ls::Matusita, L, r::matusita),
+        case(ls::SquaredChord, L, r::squared_chord),
+        case(ls::SquaredEuclidean, L, r::squared_euclidean),
+        case(ls::PearsonChiSq, L, r::pearson_chi_sq),
+        case(ls::NeymanChiSq, L, r::neyman_chi_sq),
+        case(ls::SquaredChiSq, L, r::squared_chi_sq),
+        case(ls::ProbSymmetricChiSq, L, r::prob_symmetric_chi_sq),
+        case(ls::Divergence, L, r::divergence),
+        case(ls::Clark, L, r::clark),
+        case(ls::AdditiveSymmetricChiSq, L, r::additive_symmetric_chi_sq),
+        case(ls::KullbackLeibler, L, r::kullback_leibler),
+        case(ls::Jeffreys, L, r::jeffreys),
+        case(ls::KDivergence, L, r::k_divergence),
+        case(ls::Topsoe, L, r::topsoe),
+        case(ls::JensenShannon, L, r::jensen_shannon),
+        case(ls::JensenDifference, L, r::jensen_difference),
+        case(ls::Taneja, L, r::taneja),
+        case(ls::KumarJohnson, L, r::kumar_johnson),
+        case(ls::AvgL1Linf, L, r::avg_l1_linf),
+        case(ls::VicisWaveHedges, L, r::vicis_wave_hedges),
+        case(ls::VicisSymmetricChiSq1, L, r::vicis_symmetric_chi_sq1),
+        case(ls::VicisSymmetricChiSq2, L, r::vicis_symmetric_chi_sq2),
+        case(ls::VicisSymmetricChiSq3, L, r::vicis_symmetric_chi_sq3),
+        case(ls::MaxSymmetricChiSq, L, r::max_symmetric_chi_sq),
+        case(ls::Dissim, L, r::dissim),
+        case(ls::AdaptiveScalingDistance, L, r::adaptive_scaling),
+    ];
+    for &p in params::MINKOWSKI_PS.iter() {
+        v.push(case(ls::Minkowski::new(p), L, move |x, y| {
+            r::minkowski(x, y, p)
+        }));
+    }
+    v
+}
+
+fn sliding_cases() -> Vec<OracleCase> {
+    NccVariant::ALL
+        .iter()
+        .map(|&variant| {
+            case(
+                CrossCorrelation::new(variant),
+                Category::Sliding,
+                move |x, y| r::ncc_distance(x, y, variant),
+            )
+        })
+        .collect()
+}
+
+fn elastic_cases() -> Vec<OracleCase> {
+    use Category::Elastic as E;
+    let mut v = Vec::new();
+    for &c in params::MSM_COSTS.iter() {
+        v.push(case(Msm::new(c), E, move |x, y| r::msm(x, y, c)));
+    }
+    for &l in params::TWE_LAMBDAS.iter() {
+        for &n in params::TWE_NUS.iter() {
+            v.push(case(Twe::new(l, n), E, move |x, y| r::twe(x, y, l, n)));
+        }
+    }
+    for &w in params::DTW_WINDOWS.iter() {
+        v.push(case(Dtw::with_window_pct(w), E, move |x, y| {
+            r::dtw(x, y, w)
+        }));
+    }
+    for &e in params::EDR_EPSILONS.iter() {
+        v.push(case(Edr::new(e), E, move |x, y| r::edr(x, y, e)));
+    }
+    for &d in params::LCSS_DELTAS.iter() {
+        for &e in params::LCSS_EPSILONS.iter() {
+            v.push(case(Lcss::new(e, d), E, move |x, y| r::lcss(x, y, e, d)));
+        }
+    }
+    for &e in params::SWALE_EPSILONS.iter() {
+        v.push(case(
+            Swale::new(e, params::SWALE_REWARD, params::SWALE_PENALTY),
+            E,
+            move |x, y| r::swale(x, y, e, params::SWALE_REWARD, params::SWALE_PENALTY),
+        ));
+    }
+    v.push(case(Erp::new(), E, r::erp));
+    // Variants outside the Table 4 grids but in the measure inventory:
+    // derivative, weighted, and Itakura-constrained DTW, and CID.
+    v.push(case(DerivativeDtw::with_window_pct(10.0), E, |x, y| {
+        r::derivative_dtw(x, y, 10.0)
+    }));
+    v.push(case(WeightedDtw::new(0.05), E, |x, y| {
+        r::weighted_dtw(x, y, 0.05)
+    }));
+    v.push(case(ItakuraDtw::new(2.0), E, |x, y| {
+        r::itakura_dtw(x, y, 2.0)
+    }));
+    v.push(case(Cid::new(ls::Euclidean), E, |x, y| {
+        r::cid(x, y, r::euclidean)
+    }));
+    v
+}
+
+fn kernel_cases() -> Vec<OracleCase> {
+    use Category::Kernel as K;
+    let mut v = Vec::new();
+    for g in params::kdtw_gammas() {
+        v.push(case(KernelDistance(Kdtw::new(g)), K, move |x, y| {
+            r::kernel_distance(|a, b| r::kdtw_log_kernel(a, b, g), x, y)
+        }));
+    }
+    for &g in params::GAK_GAMMAS.iter() {
+        v.push(case(KernelDistance(Gak::new(g)), K, move |x, y| {
+            r::kernel_distance(|a, b| r::gak_log_kernel(a, b, g), x, y)
+        }));
+    }
+    for g in params::sink_gammas() {
+        v.push(case(KernelDistance(Sink::new(g)), K, move |x, y| {
+            r::kernel_distance(|a, b| r::sink_log_kernel(a, b, g), x, y)
+        }));
+    }
+    for g in params::rbf_gammas() {
+        v.push(case(KernelDistance(Rbf::new(g)), K, move |x, y| {
+            r::kernel_distance(|a, b| r::rbf_log_kernel(a, b, g), x, y)
+        }));
+    }
+    v
+}
+
+/// Every directly-comparable registry measure paired with its reference:
+/// 71 lock-step (51 parameter-free + 20 Minkowski), 4 sliding, the full
+/// Table 4 elastic grids plus the DDTW/WDTW/Itakura/CID variants, and
+/// the four kernel grids under the normalized-distance adapter.
+pub fn oracle_registry() -> Vec<OracleCase> {
+    let mut v = lockstep_cases();
+    v.extend(sliding_cases());
+    v.extend(elastic_cases());
+    v.extend(kernel_cases());
+    v
+}
+
+/// A small representative subset (one case per family) for quick gates
+/// like `scripts/check.sh`: full coverage stays in `cargo test` and the
+/// golden snapshot.
+pub fn quick_registry() -> Vec<OracleCase> {
+    use Category::{Elastic, Kernel, LockStep};
+    vec![
+        case(ls::Euclidean, LockStep, r::euclidean),
+        case(ls::Canberra, LockStep, r::canberra),
+        case(ls::KumarJohnson, LockStep, r::kumar_johnson),
+        case(ls::Minkowski::new(0.5), LockStep, |x, y| {
+            r::minkowski(x, y, 0.5)
+        }),
+        case(
+            CrossCorrelation::new(NccVariant::Coefficient),
+            Category::Sliding,
+            |x, y| r::ncc_distance(x, y, NccVariant::Coefficient),
+        ),
+        case(Dtw::with_window_pct(10.0), Elastic, |x, y| {
+            r::dtw(x, y, 10.0)
+        }),
+        case(Msm::new(0.5), Elastic, |x, y| r::msm(x, y, 0.5)),
+        case(Twe::new(1.0, 0.0001), Elastic, |x, y| {
+            r::twe(x, y, 1.0, 0.0001)
+        }),
+        case(Lcss::new(0.2, 5.0), Elastic, |x, y| r::lcss(x, y, 0.2, 5.0)),
+        case(Erp::new(), Elastic, r::erp),
+        case(KernelDistance(Gak::new(0.1)), Kernel, |x, y| {
+            r::kernel_distance(|a, b| r::gak_log_kernel(a, b, 0.1), x, y)
+        }),
+        case(KernelDistance(Sink::new(5.0)), Kernel, |x, y| {
+            r::kernel_distance(|a, b| r::sink_log_kernel(a, b, 5.0), x, y)
+        }),
+    ]
+}

@@ -1,0 +1,999 @@
+//! Deliberately naive, textbook reference implementations.
+//!
+//! Every function here restates a measure's definition in the most obvious
+//! possible form: index-based loops, full-matrix `Vec<Vec<f64>>` dynamic
+//! programs with no banding shortcuts beyond the per-cell admissibility
+//! test, naive O(n^2) cross-correlations, and log-sum-exp kernels without
+//! rescaling tricks. **None of this code is ever optimized** — its only
+//! job is to be so simple that a reviewer can check it against the paper
+//! (or Cha's survey) by eye, so the differential engine can hold the fast
+//! production implementations to it.
+//!
+//! The numerical guards are part of each measure's *specification*, not an
+//! implementation detail: division denominators below [`EPS`] are replaced
+//! by `±EPS` (zero counting as positive) and density-like formulas clamp
+//! their inputs to the positive floor `EPS`. The helpers [`sdiv`] and
+//! [`pos`] restate those rules independently of `tsdist-core`.
+
+// Index-based loops are the whole point of this file: clippy's idiomatic
+// iterator rewrites would trade blatant-correctness for style.
+#![allow(clippy::needless_range_loop)]
+
+/// The numerical guard shared with the production measures (`tsdist_core`
+/// re-exports the same constant; restated here so the reference stays
+/// self-contained).
+pub const EPS: f64 = 1e-10;
+
+/// Guarded division: denominators smaller in magnitude than [`EPS`] are
+/// replaced by `±EPS`, with zero counting as positive.
+#[inline]
+pub fn sdiv(num: f64, den: f64) -> f64 {
+    if den.abs() < EPS {
+        num / if den < 0.0 { -EPS } else { EPS }
+    } else {
+        num / den
+    }
+}
+
+/// Clamp to the positive floor [`EPS`] for square roots and logarithms.
+#[inline]
+pub fn pos(v: f64) -> f64 {
+    v.max(EPS)
+}
+
+/// The common prefix length both lock-step loops run over.
+#[inline]
+fn prefix(x: &[f64], y: &[f64]) -> usize {
+    x.len().min(y.len())
+}
+
+// ---------------------------------------------------------------------------
+// Lock-step measures (Section 5; Cha 2007 plus DISSIM and ASD)
+// ---------------------------------------------------------------------------
+
+/// `sqrt(sum (x_i - y_i)^2)`.
+pub fn euclidean(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += (x[i] - y[i]) * (x[i] - y[i]);
+    }
+    s.sqrt()
+}
+
+/// `sum |x_i - y_i|`.
+pub fn city_block(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += (x[i] - y[i]).abs();
+    }
+    s
+}
+
+/// `(sum |x_i - y_i|^p)^(1/p)`.
+pub fn minkowski(x: &[f64], y: &[f64], p: f64) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += (x[i] - y[i]).abs().powf(p);
+    }
+    s.powf(1.0 / p)
+}
+
+/// `max |x_i - y_i|`.
+pub fn chebyshev(x: &[f64], y: &[f64]) -> f64 {
+    let mut best = 0.0f64;
+    for i in 0..prefix(x, y) {
+        best = best.max((x[i] - y[i]).abs());
+    }
+    best
+}
+
+/// `sum |x-y| / sum (x+y)`.
+pub fn sorensen(x: &[f64], y: &[f64]) -> f64 {
+    let (mut num, mut den) = (0.0, 0.0);
+    for i in 0..prefix(x, y) {
+        num += (x[i] - y[i]).abs();
+        den += x[i] + y[i];
+    }
+    sdiv(num, den)
+}
+
+/// `(1/m) sum |x-y|` with `m = x.len()`.
+pub fn gower(x: &[f64], y: &[f64]) -> f64 {
+    city_block(x, y) / x.len().max(1) as f64
+}
+
+/// `sum |x-y| / sum max(x,y)`.
+pub fn soergel(x: &[f64], y: &[f64]) -> f64 {
+    let (mut num, mut den) = (0.0, 0.0);
+    for i in 0..prefix(x, y) {
+        num += (x[i] - y[i]).abs();
+        den += x[i].max(y[i]);
+    }
+    sdiv(num, den)
+}
+
+/// `sum |x-y| / sum min(x,y)`.
+pub fn kulczynski(x: &[f64], y: &[f64]) -> f64 {
+    let (mut num, mut den) = (0.0, 0.0);
+    for i in 0..prefix(x, y) {
+        num += (x[i] - y[i]).abs();
+        den += x[i].min(y[i]);
+    }
+    sdiv(num, den)
+}
+
+/// `sum |x-y| / (x+y)` termwise.
+pub fn canberra(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += sdiv((x[i] - y[i]).abs(), x[i] + y[i]);
+    }
+    s
+}
+
+/// `sum ln(1 + |x-y|)`.
+pub fn lorentzian(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += (1.0 + (x[i] - y[i]).abs()).ln();
+    }
+    s
+}
+
+/// `(1/2) sum |x-y|`.
+pub fn intersection(x: &[f64], y: &[f64]) -> f64 {
+    0.5 * city_block(x, y)
+}
+
+/// `sum |x-y| / max(x,y)` termwise.
+pub fn wave_hedges(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += sdiv((x[i] - y[i]).abs(), x[i].max(y[i]));
+    }
+    s
+}
+
+/// `sum max(x,y) / sum (x+y)`.
+pub fn motyka(x: &[f64], y: &[f64]) -> f64 {
+    let (mut num, mut den) = (0.0, 0.0);
+    for i in 0..prefix(x, y) {
+        num += x[i].max(y[i]);
+        den += x[i] + y[i];
+    }
+    sdiv(num, den)
+}
+
+/// `1 - sum min(x,y) / sum max(x,y)`.
+pub fn ruzicka(x: &[f64], y: &[f64]) -> f64 {
+    let (mut mn, mut mx) = (0.0, 0.0);
+    for i in 0..prefix(x, y) {
+        mn += x[i].min(y[i]);
+        mx += x[i].max(y[i]);
+    }
+    1.0 - sdiv(mn, mx)
+}
+
+/// `(sum max - sum min) / sum max`.
+pub fn tanimoto(x: &[f64], y: &[f64]) -> f64 {
+    let (mut mn, mut mx) = (0.0, 0.0);
+    for i in 0..prefix(x, y) {
+        mn += x[i].min(y[i]);
+        mx += x[i].max(y[i]);
+    }
+    sdiv(mx - mn, mx)
+}
+
+/// `1 - sum x*y`.
+pub fn inner_product(x: &[f64], y: &[f64]) -> f64 {
+    let mut dot = 0.0;
+    for i in 0..prefix(x, y) {
+        dot += x[i] * y[i];
+    }
+    1.0 - dot
+}
+
+/// `1 - 2 sum (x*y / (x+y))`.
+pub fn harmonic_mean(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += sdiv(x[i] * y[i], x[i] + y[i]);
+    }
+    1.0 - 2.0 * s
+}
+
+/// `1 - sum x*y / (||x|| ||y||)`.
+pub fn cosine(x: &[f64], y: &[f64]) -> f64 {
+    let (mut dot, mut sx, mut sy) = (0.0, 0.0, 0.0);
+    for i in 0..prefix(x, y) {
+        dot += x[i] * y[i];
+    }
+    for &v in x {
+        sx += v * v;
+    }
+    for &v in y {
+        sy += v * v;
+    }
+    1.0 - sdiv(dot, sx.sqrt() * sy.sqrt())
+}
+
+/// `1 - sum x*y / (sum x^2 + sum y^2 - sum x*y)`.
+pub fn kumar_hassebrook(x: &[f64], y: &[f64]) -> f64 {
+    let (mut dot, mut sx, mut sy) = (0.0, 0.0, 0.0);
+    for i in 0..prefix(x, y) {
+        dot += x[i] * y[i];
+    }
+    for &v in x {
+        sx += v * v;
+    }
+    for &v in y {
+        sy += v * v;
+    }
+    1.0 - sdiv(dot, sx + sy - dot)
+}
+
+/// `sum (x-y)^2 / (sum x^2 + sum y^2 - sum x*y)`.
+pub fn jaccard(x: &[f64], y: &[f64]) -> f64 {
+    let (mut num, mut dot, mut sx, mut sy) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..prefix(x, y) {
+        num += (x[i] - y[i]) * (x[i] - y[i]);
+        dot += x[i] * y[i];
+    }
+    for &v in x {
+        sx += v * v;
+    }
+    for &v in y {
+        sy += v * v;
+    }
+    sdiv(num, sx + sy - dot)
+}
+
+/// `sum (x-y)^2 / (sum x^2 + sum y^2)`.
+pub fn dice(x: &[f64], y: &[f64]) -> f64 {
+    let (mut num, mut sx, mut sy) = (0.0, 0.0, 0.0);
+    for i in 0..prefix(x, y) {
+        num += (x[i] - y[i]) * (x[i] - y[i]);
+    }
+    for &v in x {
+        sx += v * v;
+    }
+    for &v in y {
+        sy += v * v;
+    }
+    sdiv(num, sx + sy)
+}
+
+/// `1 - sum sqrt(x*y)` (inputs clamped positive).
+pub fn fidelity(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += (pos(x[i]) * pos(y[i])).sqrt();
+    }
+    1.0 - s
+}
+
+/// `-ln sum sqrt(x*y)`.
+pub fn bhattacharyya(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += (pos(x[i]) * pos(y[i])).sqrt();
+    }
+    -s.max(EPS).ln()
+}
+
+/// `sqrt(2 sum (sqrt(x) - sqrt(y))^2)`.
+pub fn hellinger(x: &[f64], y: &[f64]) -> f64 {
+    (2.0 * squared_chord(x, y)).sqrt()
+}
+
+/// `sqrt(sum (sqrt(x) - sqrt(y))^2)`.
+pub fn matusita(x: &[f64], y: &[f64]) -> f64 {
+    squared_chord(x, y).sqrt()
+}
+
+/// `sum (sqrt(x) - sqrt(y))^2`.
+pub fn squared_chord(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        let d = pos(x[i]).sqrt() - pos(y[i]).sqrt();
+        s += d * d;
+    }
+    s
+}
+
+/// `sum (x-y)^2`.
+pub fn squared_euclidean(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += (x[i] - y[i]) * (x[i] - y[i]);
+    }
+    s
+}
+
+/// `sum (x-y)^2 / y` (asymmetric).
+pub fn pearson_chi_sq(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += sdiv((x[i] - y[i]) * (x[i] - y[i]), y[i]);
+    }
+    s
+}
+
+/// `sum (x-y)^2 / x` (asymmetric).
+pub fn neyman_chi_sq(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += sdiv((x[i] - y[i]) * (x[i] - y[i]), x[i]);
+    }
+    s
+}
+
+/// `sum (x-y)^2 / (x+y)`.
+pub fn squared_chi_sq(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += sdiv((x[i] - y[i]) * (x[i] - y[i]), x[i] + y[i]);
+    }
+    s
+}
+
+/// `2 sum (x-y)^2 / (x+y)`.
+pub fn prob_symmetric_chi_sq(x: &[f64], y: &[f64]) -> f64 {
+    2.0 * squared_chi_sq(x, y)
+}
+
+/// `2 sum (x-y)^2 / (x+y)^2`.
+pub fn divergence(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        let m = x[i] + y[i];
+        s += sdiv((x[i] - y[i]) * (x[i] - y[i]), m * m);
+    }
+    2.0 * s
+}
+
+/// `sqrt(sum (|x-y| / (x+y))^2)`.
+pub fn clark(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        let r = sdiv((x[i] - y[i]).abs(), x[i] + y[i]);
+        s += r * r;
+    }
+    s.sqrt()
+}
+
+/// `sum (x-y)^2 (x+y) / (x*y)`.
+pub fn additive_symmetric_chi_sq(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += sdiv((x[i] - y[i]) * (x[i] - y[i]) * (x[i] + y[i]), x[i] * y[i]);
+    }
+    s
+}
+
+/// `sum x ln(x/y)` (clamped; asymmetric).
+pub fn kullback_leibler(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        let (a, b) = (pos(x[i]), pos(y[i]));
+        s += a * (a / b).ln();
+    }
+    s
+}
+
+/// `sum (x - y) (ln x - ln y)` (clamped). The log difference — rather
+/// than `ln(x/y)` — makes each term exactly antisymmetric in IEEE
+/// arithmetic, which the production measure's `is_symmetric()` promise
+/// (bit-identical under argument swap) depends on.
+pub fn jeffreys(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        let (a, b) = (pos(x[i]), pos(y[i]));
+        s += (a - b) * (a.ln() - b.ln());
+    }
+    s
+}
+
+/// `sum x ln(2x / (x+y))` (clamped; asymmetric).
+pub fn k_divergence(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        let (a, b) = (pos(x[i]), pos(y[i]));
+        s += a * (2.0 * a / (a + b)).ln();
+    }
+    s
+}
+
+/// `sum [x ln(2x/(x+y)) + y ln(2y/(x+y))]` (clamped).
+pub fn topsoe(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        let (a, b) = (pos(x[i]), pos(y[i]));
+        let m = a + b;
+        s += a * (2.0 * a / m).ln() + b * (2.0 * b / m).ln();
+    }
+    s
+}
+
+/// Half of [`topsoe`].
+pub fn jensen_shannon(x: &[f64], y: &[f64]) -> f64 {
+    0.5 * topsoe(x, y)
+}
+
+/// `sum [(x ln x + y ln y)/2 - m ln m]` with `m = (x+y)/2` (clamped).
+pub fn jensen_difference(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        let (a, b) = (pos(x[i]), pos(y[i]));
+        let m = 0.5 * (a + b);
+        s += 0.5 * (a * a.ln() + b * b.ln()) - m * m.ln();
+    }
+    s
+}
+
+/// `sum ((x+y)/2) ln((x+y) / (2 sqrt(x*y)))` (clamped).
+pub fn taneja(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        let (a, b) = (pos(x[i]), pos(y[i]));
+        let m = 0.5 * (a + b);
+        s += m * ((a + b) / (2.0 * (a * b).sqrt())).ln();
+    }
+    s
+}
+
+/// `sum (x^2 - y^2)^2 / (2 (x*y)^{3/2})`; the numerator uses the raw
+/// values, only the denominator is clamped.
+pub fn kumar_johnson(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        let (a, b) = (x[i], y[i]);
+        let (ca, cb) = (pos(a), pos(b));
+        let num = (a * a - b * b) * (a * a - b * b);
+        s += sdiv(num, 2.0 * (ca * cb).powf(1.5));
+    }
+    s
+}
+
+/// `(sum |x-y| + max |x-y|) / 2`.
+pub fn avg_l1_linf(x: &[f64], y: &[f64]) -> f64 {
+    0.5 * (city_block(x, y) + chebyshev(x, y))
+}
+
+/// `sum |x-y| / min(x,y)` termwise.
+pub fn vicis_wave_hedges(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += sdiv((x[i] - y[i]).abs(), x[i].min(y[i]));
+    }
+    s
+}
+
+/// `sum (x-y)^2 / min(x,y)^2` termwise.
+pub fn vicis_symmetric_chi_sq1(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        let mn = x[i].min(y[i]);
+        s += sdiv((x[i] - y[i]) * (x[i] - y[i]), mn * mn);
+    }
+    s
+}
+
+/// `sum (x-y)^2 / min(x,y)` termwise.
+pub fn vicis_symmetric_chi_sq2(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += sdiv((x[i] - y[i]) * (x[i] - y[i]), x[i].min(y[i]));
+    }
+    s
+}
+
+/// `sum (x-y)^2 / max(x,y)` termwise.
+pub fn vicis_symmetric_chi_sq3(x: &[f64], y: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        s += sdiv((x[i] - y[i]) * (x[i] - y[i]), x[i].max(y[i]));
+    }
+    s
+}
+
+/// `max(sum (x-y)^2/x, sum (x-y)^2/y)`.
+pub fn max_symmetric_chi_sq(x: &[f64], y: &[f64]) -> f64 {
+    neyman_chi_sq(x, y).max(pearson_chi_sq(x, y))
+}
+
+/// DISSIM: the exact integral of the pointwise gap of the two linear
+/// interpolants over each unit segment.
+pub fn dissim(x: &[f64], y: &[f64]) -> f64 {
+    let m = prefix(x, y);
+    if m < 2 {
+        return city_block(x, y);
+    }
+    let mut acc = 0.0;
+    for i in 0..m - 1 {
+        let a = x[i] - y[i];
+        let b = x[i + 1] - y[i + 1];
+        if a * b >= 0.0 {
+            acc += 0.5 * (a.abs() + b.abs());
+        } else {
+            acc += 0.5 * (a * a + b * b) / (a.abs() + b.abs());
+        }
+    }
+    acc
+}
+
+/// Adaptive scaling distance: `||x - a* y||` with the least-squares
+/// amplitude fit `a* = (x.y)/(y.y)` (0 when `y` is all zero). Asymmetric.
+pub fn adaptive_scaling(x: &[f64], y: &[f64]) -> f64 {
+    let (mut xy, mut yy) = (0.0, 0.0);
+    for i in 0..prefix(x, y) {
+        xy += x[i] * y[i];
+    }
+    for &v in y {
+        yy += v * v;
+    }
+    let a = if yy > 0.0 { xy / yy } else { 0.0 };
+    let mut s = 0.0;
+    for i in 0..prefix(x, y) {
+        let d = x[i] - a * y[i];
+        s += d * d;
+    }
+    s.sqrt()
+}
+
+// ---------------------------------------------------------------------------
+// Sliding measures (Section 6)
+// ---------------------------------------------------------------------------
+
+use tsdist_core::sliding::NccVariant;
+use tsdist_fft::{cross_correlation_naive, overlap_at};
+
+/// The four NCC dissimilarities, computed from the O(n^2) naive
+/// cross-correlation instead of the FFT.
+pub fn ncc_distance(x: &[f64], y: &[f64], variant: NccVariant) -> f64 {
+    let cc = cross_correlation_naive(x, y);
+    let sim = if cc.is_empty() {
+        0.0
+    } else {
+        let m = x.len().max(y.len()) as f64;
+        match variant {
+            NccVariant::Raw => cc.iter().cloned().fold(f64::MIN, f64::max),
+            NccVariant::Biased => cc.iter().cloned().fold(f64::MIN, f64::max) / m,
+            NccVariant::Unbiased => {
+                let mut best = f64::MIN;
+                for (w, &v) in cc.iter().enumerate() {
+                    let overlap = overlap_at(x.len(), y.len(), w).max(1);
+                    best = best.max(v / overlap as f64);
+                }
+                best
+            }
+            NccVariant::Coefficient => {
+                let nx: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+                let ny: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+                let denom = nx * ny;
+                if denom <= 0.0 {
+                    0.0
+                } else {
+                    cc.iter().cloned().fold(f64::MIN, f64::max) / denom
+                }
+            }
+        }
+    };
+    match variant {
+        NccVariant::Coefficient => 1.0 - sim,
+        _ => -sim,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic measures (Section 7): full-matrix dynamic programs
+// ---------------------------------------------------------------------------
+
+const INF: f64 = f64::INFINITY;
+
+/// The Sakoe–Chiba band radius for a window expressed as a percentage of
+/// the (longer) series length; at least `|m - n|` so a path exists.
+pub fn sakoe_chiba_band(window_pct: f64, m: usize, n: usize) -> usize {
+    let base = (window_pct / 100.0 * m.max(n) as f64).ceil() as usize;
+    base.max(m.abs_diff(n))
+}
+
+/// Banded DTW over the full `(m+1) x (n+1)` cost matrix with squared
+/// local costs; the band is a per-cell admissibility test, nothing more.
+pub fn dtw(x: &[f64], y: &[f64], window_pct: f64) -> f64 {
+    let m = x.len();
+    let n = y.len();
+    if m == 0 || n == 0 {
+        return if m == n { 0.0 } else { INF };
+    }
+    let band = sakoe_chiba_band(window_pct, m, n);
+    let mut dp = vec![vec![INF; n + 1]; m + 1];
+    dp[0][0] = 0.0;
+    for i in 1..=m {
+        for j in 1..=n {
+            if i.abs_diff(j) > band {
+                continue;
+            }
+            let d = x[i - 1] - y[j - 1];
+            let best = dp[i - 1][j - 1].min(dp[i - 1][j]).min(dp[i][j - 1]);
+            dp[i][j] = d * d + best;
+        }
+    }
+    dp[m][n]
+}
+
+/// Keogh's derivative estimate (endpoints copy their neighbour; series
+/// shorter than 3 points degenerate to all zeros).
+pub fn keogh_derivative(x: &[f64]) -> Vec<f64> {
+    let m = x.len();
+    if m < 3 {
+        return vec![0.0; m];
+    }
+    let mut d = vec![0.0; m];
+    for i in 1..m - 1 {
+        d[i] = ((x[i] - x[i - 1]) + (x[i + 1] - x[i - 1]) / 2.0) / 2.0;
+    }
+    d[0] = d[1];
+    d[m - 1] = d[m - 2];
+    d
+}
+
+/// Derivative DTW: [`dtw`] over [`keogh_derivative`] transforms.
+pub fn derivative_dtw(x: &[f64], y: &[f64], window_pct: f64) -> f64 {
+    dtw(&keogh_derivative(x), &keogh_derivative(y), window_pct)
+}
+
+/// Weighted DTW: unbanded full-matrix DP with the logistic weight
+/// `w(k) = 1 / (1 + exp(-g (k - half)))` of the diagonal offset `k`.
+pub fn weighted_dtw(x: &[f64], y: &[f64], g: f64) -> f64 {
+    let m = x.len();
+    let n = y.len();
+    if m == 0 || n == 0 {
+        return if m == n { 0.0 } else { INF };
+    }
+    let half = m.max(n) as f64 / 2.0;
+    let weight = |k: usize| 1.0 / (1.0 + (-g * (k as f64 - half)).exp());
+    let mut dp = vec![vec![INF; n + 1]; m + 1];
+    dp[0][0] = 0.0;
+    for i in 1..=m {
+        for j in 1..=n {
+            let d = x[i - 1] - y[j - 1];
+            let best = dp[i - 1][j - 1].min(dp[i - 1][j]).min(dp[i][j - 1]);
+            dp[i][j] = weight(i.abs_diff(j)) * d * d + best;
+        }
+    }
+    dp[m][n]
+}
+
+/// Itakura-parallelogram DTW: full matrix with the slope test applied per
+/// cell; falls back to unconstrained [`dtw`] when the parallelogram
+/// pinches shut for extreme length ratios.
+pub fn itakura_dtw(x: &[f64], y: &[f64], max_slope: f64) -> f64 {
+    let m = x.len();
+    let n = y.len();
+    if m == 0 || n == 0 {
+        return if m == n { 0.0 } else { INF };
+    }
+    let inside = |i: usize, j: usize| -> bool {
+        let (i, j, mf, nf) = (i as f64, j as f64, m as f64, n as f64);
+        let s = max_slope;
+        let from_start = (j - 1.0) <= s * (i - 1.0) && (j - 1.0) >= (i - 1.0) / s;
+        let to_end = (nf - j) <= s * (mf - i) && (nf - j) >= (mf - i) / s;
+        from_start && to_end
+    };
+    let mut dp = vec![vec![INF; n + 1]; m + 1];
+    dp[0][0] = 0.0;
+    for i in 1..=m {
+        for j in 1..=n {
+            if !inside(i, j) {
+                continue;
+            }
+            let d = x[i - 1] - y[j - 1];
+            let best = dp[i - 1][j - 1].min(dp[i - 1][j]).min(dp[i][j - 1]);
+            if best.is_finite() {
+                dp[i][j] = d * d + best;
+            }
+        }
+    }
+    if dp[m][n].is_finite() {
+        dp[m][n]
+    } else {
+        dtw(x, y, 100.0)
+    }
+}
+
+/// CID: scales a base distance by `max(CE(x), CE(y)) / min(CE(x), CE(y))`
+/// with `CE` the root sum of squared consecutive differences; constant
+/// series (zero complexity) fall back to the raw distance.
+pub fn cid(x: &[f64], y: &[f64], base: impl Fn(&[f64], &[f64]) -> f64) -> f64 {
+    let ce = |s: &[f64]| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..s.len().saturating_sub(1) {
+            acc += (s[i + 1] - s[i]) * (s[i + 1] - s[i]);
+        }
+        acc.sqrt()
+    };
+    let d = base(x, y);
+    let (cx, cy) = (ce(x), ce(y));
+    let (hi, lo) = if cx >= cy { (cx, cy) } else { (cy, cx) };
+    if lo <= f64::EPSILON {
+        return d;
+    }
+    d * hi / lo
+}
+
+/// LCSS distance `1 - LCSS/min(m,n)`: full integer matrix, strict `< eps`
+/// match, band applied per cell, best value taken over the final row
+/// (banding can make the corner cell unreachable).
+pub fn lcss(x: &[f64], y: &[f64], epsilon: f64, delta_pct: f64) -> f64 {
+    let m = x.len();
+    let n = y.len();
+    if m == 0 || n == 0 {
+        return 1.0;
+    }
+    let band = sakoe_chiba_band(delta_pct, m, n);
+    let mut dp = vec![vec![0u32; n + 1]; m + 1];
+    for i in 1..=m {
+        for j in 1..=n {
+            if i.abs_diff(j) > band {
+                continue;
+            }
+            if (x[i - 1] - y[j - 1]).abs() < epsilon {
+                dp[i][j] = dp[i - 1][j - 1] + 1;
+            } else {
+                dp[i][j] = dp[i - 1][j].max(dp[i][j - 1]);
+            }
+        }
+    }
+    let best = dp[m].iter().copied().max().unwrap_or(0) as f64;
+    1.0 - best / m.min(n) as f64
+}
+
+/// EDR distance `edits / max(m,n)`: textbook edit-distance DP where
+/// points within `epsilon` substitute for free.
+pub fn edr(x: &[f64], y: &[f64], epsilon: f64) -> f64 {
+    let m = x.len();
+    let n = y.len();
+    if m == 0 || n == 0 {
+        return if m == n { 0.0 } else { 1.0 };
+    }
+    let mut dp = vec![vec![0u32; n + 1]; m + 1];
+    for (j, cell) in dp[0].iter_mut().enumerate() {
+        *cell = j as u32;
+    }
+    for i in 1..=m {
+        dp[i][0] = i as u32;
+        for j in 1..=n {
+            let subcost = u32::from((x[i - 1] - y[j - 1]).abs() > epsilon);
+            dp[i][j] = (dp[i - 1][j - 1] + subcost)
+                .min(dp[i - 1][j] + 1)
+                .min(dp[i][j - 1] + 1);
+        }
+    }
+    dp[m][n] as f64 / m.max(n) as f64
+}
+
+/// ERP with gap reference `g = 0`: gaps pay `|v|`, matches pay `|x - y|`.
+pub fn erp(x: &[f64], y: &[f64]) -> f64 {
+    let m = x.len();
+    let n = y.len();
+    let mut dp = vec![vec![0.0f64; n + 1]; m + 1];
+    for j in 1..=n {
+        dp[0][j] = dp[0][j - 1] + y[j - 1].abs();
+    }
+    for i in 1..=m {
+        dp[i][0] = dp[i - 1][0] + x[i - 1].abs();
+        for j in 1..=n {
+            let matched = dp[i - 1][j - 1] + (x[i - 1] - y[j - 1]).abs();
+            let del_x = dp[i - 1][j] + x[i - 1].abs();
+            let del_y = dp[i][j - 1] + y[j - 1].abs();
+            dp[i][j] = matched.min(del_x).min(del_y);
+        }
+    }
+    dp[m][n]
+}
+
+/// MSM split/merge cost: `c` when `new` lies between its neighbours,
+/// otherwise `c` plus the distance to the nearer one.
+fn msm_cost(c: f64, new: f64, adjacent: f64, opposite: f64) -> f64 {
+    if (adjacent <= new && new <= opposite) || (adjacent >= new && new >= opposite) {
+        c
+    } else {
+        c + (new - adjacent).abs().min((new - opposite).abs())
+    }
+}
+
+/// MSM (Stefan et al. 2013) over the full `m x n` matrix.
+pub fn msm(x: &[f64], y: &[f64], cost: f64) -> f64 {
+    let m = x.len();
+    let n = y.len();
+    if m == 0 || n == 0 {
+        return if m == n { 0.0 } else { INF };
+    }
+    let mut dp = vec![vec![0.0f64; n]; m];
+    dp[0][0] = (x[0] - y[0]).abs();
+    for j in 1..n {
+        dp[0][j] = dp[0][j - 1] + msm_cost(cost, y[j], y[j - 1], x[0]);
+    }
+    for i in 1..m {
+        dp[i][0] = dp[i - 1][0] + msm_cost(cost, x[i], x[i - 1], y[0]);
+        for j in 1..n {
+            let move_cost = dp[i - 1][j - 1] + (x[i] - y[j]).abs();
+            let split_x = dp[i - 1][j] + msm_cost(cost, x[i], x[i - 1], y[j]);
+            let merge_y = dp[i][j - 1] + msm_cost(cost, y[j], x[i], y[j - 1]);
+            dp[i][j] = move_cost.min(split_x).min(merge_y);
+        }
+    }
+    dp[m - 1][n - 1]
+}
+
+/// TWE (Marteau 2008) with Marteau's implicit zero 0th sample and the
+/// indices as timestamps, over the full `(m+1) x (n+1)` matrix.
+pub fn twe(x: &[f64], y: &[f64], lambda: f64, nu: f64) -> f64 {
+    let m = x.len();
+    let n = y.len();
+    if m == 0 || n == 0 {
+        return if m == n { 0.0 } else { INF };
+    }
+    let xi = |i: usize| if i == 0 { 0.0 } else { x[i - 1] };
+    let yj = |j: usize| if j == 0 { 0.0 } else { y[j - 1] };
+    let mut dp = vec![vec![INF; n + 1]; m + 1];
+    dp[0][0] = 0.0;
+    for j in 1..=n {
+        dp[0][j] = dp[0][j - 1] + (yj(j) - yj(j - 1)).abs() + nu + lambda;
+    }
+    for i in 1..=m {
+        dp[i][0] = dp[i - 1][0] + (xi(i) - xi(i - 1)).abs() + nu + lambda;
+        for j in 1..=n {
+            let matched = dp[i - 1][j - 1]
+                + (xi(i) - yj(j)).abs()
+                + (xi(i - 1) - yj(j - 1)).abs()
+                + 2.0 * nu * (i as f64 - j as f64).abs();
+            let del_x = dp[i - 1][j] + (xi(i) - xi(i - 1)).abs() + nu + lambda;
+            let del_y = dp[i][j - 1] + (yj(j) - yj(j - 1)).abs() + nu + lambda;
+            dp[i][j] = matched.min(del_x).min(del_y);
+        }
+    }
+    dp[m][n]
+}
+
+/// Swale (Morse & Patel 2007): similarity DP (matches within `epsilon`
+/// earn `reward`, gaps pay `penalty`), negated into a dissimilarity.
+pub fn swale(x: &[f64], y: &[f64], epsilon: f64, reward: f64, penalty: f64) -> f64 {
+    let m = x.len();
+    let n = y.len();
+    if m == 0 || n == 0 {
+        return 0.0;
+    }
+    let mut dp = vec![vec![0.0f64; n + 1]; m + 1];
+    for j in 0..=n {
+        dp[0][j] = -penalty * j as f64;
+    }
+    for i in 1..=m {
+        dp[i][0] = -penalty * i as f64;
+        for j in 1..=n {
+            if (x[i - 1] - y[j - 1]).abs() <= epsilon {
+                dp[i][j] = dp[i - 1][j - 1] + reward;
+            } else {
+                dp[i][j] = (dp[i - 1][j] - penalty).max(dp[i][j - 1] - penalty);
+            }
+        }
+    }
+    -dp[m][n]
+}
+
+// ---------------------------------------------------------------------------
+// Kernels (Section 8): log-space references and the normalized distance
+// ---------------------------------------------------------------------------
+
+/// Stable `ln(exp(a) + exp(b) + exp(c))` for the log-space GAK DP.
+fn log_sum_exp3(a: f64, b: f64, c: f64) -> f64 {
+    let hi = a.max(b).max(c);
+    if hi == f64::NEG_INFINITY {
+        return hi;
+    }
+    hi + ((a - hi).exp() + (b - hi).exp() + (c - hi).exp()).ln()
+}
+
+/// Log of the GAK kernel via a per-cell log-sum-exp DP — no linear-space
+/// rescaling, one `ln` per cell, obviously correct and ~6x slower than
+/// production.
+pub fn gak_log_kernel(x: &[f64], y: &[f64], gamma: f64) -> f64 {
+    let m = x.len();
+    let n = y.len();
+    if m == 0 || n == 0 {
+        return if m == n { 0.0 } else { f64::NEG_INFINITY };
+    }
+    let sigma_eff = gamma * (m.max(n) as f64).sqrt();
+    let inv = 1.0 / (2.0 * sigma_eff * sigma_eff);
+    let mut dp = vec![vec![f64::NEG_INFINITY; n + 1]; m + 1];
+    dp[0][0] = 0.0;
+    for i in 1..=m {
+        for j in 1..=n {
+            let d = x[i - 1] - y[j - 1];
+            let k_local = (-d * d * inv).exp();
+            let log_kappa = k_local.ln() - (2.0 - k_local).ln();
+            dp[i][j] = log_kappa + log_sum_exp3(dp[i - 1][j], dp[i][j - 1], dp[i - 1][j - 1]);
+        }
+    }
+    dp[m][n]
+}
+
+/// Log of the KDTW kernel via the two full-matrix linear-space DPs of
+/// Marteau & Gibet's reference recursion. Safe without rescaling for the
+/// short series the conformance battery uses (the smallest intermediate
+/// is far above `f64::MIN_POSITIVE`).
+pub fn kdtw_log_kernel(x: &[f64], y: &[f64], nu: f64) -> f64 {
+    const LOCAL_EPS: f64 = 1e-3;
+    let m = x.len();
+    let n = y.len();
+    if m == 0 || n == 0 {
+        return if m == n { 0.0 } else { f64::NEG_INFINITY };
+    }
+    let local =
+        |a: f64, b: f64| ((-nu * (a - b) * (a - b)).exp() + LOCAL_EPS) / (3.0 * (1.0 + LOCAL_EPS));
+    let min_mn = m.min(n);
+    let diag_at = |t: usize| {
+        let i = (t - 1).min(min_mn - 1);
+        local(x[i], y[i])
+    };
+
+    let mut k = vec![vec![0.0f64; n + 1]; m + 1];
+    let mut kp = vec![vec![0.0f64; n + 1]; m + 1];
+    k[0][0] = 1.0;
+    kp[0][0] = 1.0;
+    for j in 1..=n {
+        k[0][j] = k[0][j - 1] * local(x[0], y[j - 1]);
+        kp[0][j] = kp[0][j - 1] * diag_at(j);
+    }
+    for i in 1..=m {
+        k[i][0] = k[i - 1][0] * local(x[i - 1], y[0]);
+        kp[i][0] = kp[i - 1][0] * diag_at(i);
+        for j in 1..=n {
+            let lk = local(x[i - 1], y[j - 1]);
+            k[i][j] = lk * (k[i - 1][j] + k[i][j - 1] + k[i - 1][j - 1]);
+            let mut w = kp[i - 1][j] * diag_at(i) + kp[i][j - 1] * diag_at(j);
+            if i == j {
+                w += kp[i - 1][j - 1] * lk;
+            }
+            kp[i][j] = w;
+        }
+    }
+    (k[m][n] + kp[m][n]).ln()
+}
+
+/// Log of the SINK kernel from the naive cross-correlation.
+pub fn sink_log_kernel(x: &[f64], y: &[f64], gamma: f64) -> f64 {
+    let nx: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let ny: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let denom = (nx * ny).max(f64::MIN_POSITIVE);
+    let k: f64 = cross_correlation_naive(x, y)
+        .iter()
+        .map(|&cc| (gamma * cc / denom).exp())
+        .sum();
+    k.max(f64::MIN_POSITIVE).ln()
+}
+
+/// Log of the RBF kernel (the closed form, clamped like the production
+/// default `log_kernel`).
+pub fn rbf_log_kernel(x: &[f64], y: &[f64], gamma: f64) -> f64 {
+    let mut sq = 0.0;
+    for i in 0..prefix(x, y) {
+        sq += (x[i] - y[i]) * (x[i] - y[i]);
+    }
+    (-gamma * sq).exp().max(f64::MIN_POSITIVE).ln()
+}
+
+/// The normalized kernel dissimilarity
+/// `d = 1 - exp(log k(x,y) - (log k(x,x) + log k(y,y)) / 2)`,
+/// returning 1 when either self-similarity is degenerate — the same
+/// conversion `KernelDistance` applies in production.
+pub fn kernel_distance(log_k: impl Fn(&[f64], &[f64]) -> f64, x: &[f64], y: &[f64]) -> f64 {
+    let lxy = log_k(x, y);
+    let lxx = log_k(x, x);
+    let lyy = log_k(y, y);
+    if !lxx.is_finite() || !lyy.is_finite() {
+        return 1.0;
+    }
+    1.0 - (lxy - 0.5 * (lxx + lyy)).exp()
+}

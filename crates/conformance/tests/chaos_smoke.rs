@@ -1,0 +1,101 @@
+//! Sensitivity smoke: the conformance gates must catch an injected
+//! *single-bit* perturbation of a measure's output. `ChaosDistance` plays
+//! the part of a buggy future optimization.
+
+use tsdist_conformance::inputs::{standard_battery, GOLDEN_SEED};
+use tsdist_conformance::{
+    golden_diff, reference as r, run_differential, snapshot, Category, EngineConfig, OracleCase,
+};
+use tsdist_core::chaos::{ChaosDistance, Fault, Schedule};
+use tsdist_core::lockstep::Euclidean;
+use tsdist_core::measure::Distance;
+use tsdist_core::Workspace;
+
+fn euclidean_case(measure: Box<dyn Distance>) -> OracleCase {
+    OracleCase {
+        // Keyed as the clean measure so the snapshots are comparable.
+        name: "Euclidean".into(),
+        measure,
+        reference: Box::new(r::euclidean),
+        category: Category::LockStep,
+    }
+}
+
+/// A one-ULP perturbation of a single output flips the golden diff from
+/// empty to a single mismatch line.
+#[test]
+fn golden_diff_catches_a_single_bit_flip() {
+    let baseline = snapshot(&[euclidean_case(Box::new(Euclidean))], GOLDEN_SEED);
+
+    // The first battery pair's true distance, perturbed by exactly one ULP.
+    let battery = standard_battery(GOLDEN_SEED);
+    let mut ws = Workspace::new();
+    let d0 = Euclidean.distance_ws(&battery[0].x, &battery[0].y, &mut ws);
+    let one_ulp_off = f64::from_bits(d0.to_bits() ^ 1);
+    assert_ne!(one_ulp_off.to_bits(), d0.to_bits());
+
+    // Only the first call faults: every other output stays exact.
+    let chaotic = ChaosDistance::new(Euclidean, Fault::Value(one_ulp_off), Schedule::FirstN(1));
+    let perturbed = snapshot(&[euclidean_case(Box::new(chaotic))], GOLDEN_SEED);
+
+    let lines = golden_diff(&baseline, &perturbed);
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(
+        lines[0].starts_with("mismatch: Euclidean on random-24"),
+        "{}",
+        lines[0]
+    );
+
+    // And the clean measure still diffs clean.
+    let again = snapshot(&[euclidean_case(Box::new(Euclidean))], GOLDEN_SEED);
+    assert!(golden_diff(&baseline, &again).is_empty());
+}
+
+/// The differential engine flags a measure that lies on every call
+/// (`Schedule::Always`): the constant wrong value breaks the reference
+/// comparison on almost every input.
+#[test]
+fn engine_catches_an_always_faulting_measure() {
+    let chaotic = ChaosDistance::new(Euclidean, Fault::Value(42.0), Schedule::Always);
+    let report = run_differential(
+        &[euclidean_case(Box::new(chaotic))],
+        &EngineConfig {
+            dataset_checks: false,
+            ..EngineConfig::default()
+        },
+    );
+    assert!(!report.is_clean());
+    assert!(
+        report.discrepancies.iter().any(|d| d.check == "reference"),
+        "{}",
+        report.render()
+    );
+}
+
+/// The engine also catches an *intermittent* fault via the
+/// `distance`/`distance_ws` bit-identity check: with a shared call
+/// counter, the two paths see different faults.
+#[test]
+fn engine_catches_an_intermittent_fault() {
+    let battery = standard_battery(GOLDEN_SEED);
+    let mut ws = Workspace::new();
+    let d0 = Euclidean.distance_ws(&battery[0].x, &battery[0].y, &mut ws);
+    let one_ulp_off = f64::from_bits(d0.to_bits() ^ 1);
+
+    let chaotic = ChaosDistance::new(Euclidean, Fault::Value(one_ulp_off), Schedule::FirstN(1));
+    let report = run_differential(
+        &[euclidean_case(Box::new(chaotic))],
+        &EngineConfig {
+            dataset_checks: false,
+            ..EngineConfig::default()
+        },
+    );
+    assert!(
+        report
+            .discrepancies
+            .iter()
+            .any(|d| d.check == "ws-bit-identity"),
+        "{}",
+        report.render()
+    );
+}

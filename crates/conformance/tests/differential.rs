@@ -1,0 +1,100 @@
+//! The full differential run: every oracle case against its reference on
+//! every battery input, plus coverage and sensitivity meta-checks.
+
+use tsdist_conformance::{oracle_registry, quick_registry, run_differential, EngineConfig};
+
+/// Every registry measure, every execution path, every battery input.
+#[test]
+fn full_registry_matches_references() {
+    let cases = oracle_registry();
+    let report = run_differential(&cases, &EngineConfig::default());
+    assert!(report.is_clean(), "{}", report.render());
+    // Order-of-magnitude sanity: the engine really ran the whole registry.
+    assert!(report.cases >= 290, "only {} cases", report.cases);
+    assert!(report.checks > 20_000, "only {} checks", report.checks);
+}
+
+/// The quick subset (used by scripts/check.sh) is clean too.
+#[test]
+fn quick_registry_matches_references() {
+    let report = run_differential(
+        &quick_registry(),
+        &EngineConfig {
+            dataset_checks: false,
+            ..EngineConfig::default()
+        },
+    );
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+/// The oracle must cover every measure the registry enumerates: the
+/// registry's name set (lock-step + Minkowski grid + sliding + elastic
+/// grids + kernel grids) is a subset of the oracle's name set. A measure
+/// added to the registry without a reference fails here.
+#[test]
+fn oracle_covers_the_entire_registry() {
+    use std::collections::BTreeSet;
+    let oracle_names: BTreeSet<String> = oracle_registry().iter().map(|c| c.name.clone()).collect();
+
+    let mut registry_names: BTreeSet<String> = BTreeSet::new();
+    for m in tsdist_core::registry::lockstep_parameter_free() {
+        registry_names.insert(m.name());
+    }
+    for m in tsdist_core::registry::minkowski_family().grid {
+        registry_names.insert(m.name());
+    }
+    for m in tsdist_core::registry::sliding_measures() {
+        registry_names.insert(m.name());
+    }
+    for fam in tsdist_core::registry::elastic_families() {
+        for m in fam.grid {
+            registry_names.insert(m.name());
+        }
+    }
+    for fam in tsdist_core::registry::kernel_families() {
+        for k in fam.grid {
+            registry_names.insert(k.name());
+        }
+    }
+
+    let uncovered: Vec<&String> = registry_names.difference(&oracle_names).collect();
+    assert!(
+        uncovered.is_empty(),
+        "registry measures without an oracle reference: {uncovered:?}"
+    );
+}
+
+/// Oracle names are unique — they double as golden-snapshot keys.
+#[test]
+fn oracle_names_are_unique() {
+    let cases = oracle_registry();
+    let mut names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+    let n = names.len();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), n);
+}
+
+/// The engine is *sensitive*: feeding it a wrong reference must produce
+/// discrepancies (guards against a vacuously-green comparison).
+#[test]
+fn engine_flags_a_wrong_reference() {
+    let mut cases = quick_registry();
+    let case = &mut cases[0];
+    case.reference = Box::new(|x: &[f64], y: &[f64]| {
+        let naive: f64 = x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum();
+        naive + 0.125 // deliberately wrong offset
+    });
+    let report = run_differential(
+        &cases[..1],
+        &EngineConfig {
+            dataset_checks: false,
+            ..EngineConfig::default()
+        },
+    );
+    assert!(!report.is_clean());
+    assert!(report
+        .discrepancies
+        .iter()
+        .all(|d| d.check == "reference" || d.check == "upto-exact"));
+}

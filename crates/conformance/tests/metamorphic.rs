@@ -1,0 +1,216 @@
+//! Metamorphic property registry: invariants that must hold for *any*
+//! input, checked with the vendored proptest stub on seeded random data.
+//!
+//! Unlike the differential suite (production vs naive reference on fixed
+//! batteries), these properties need no reference at all — they relate a
+//! measure's outputs on transformed inputs to each other: symmetry,
+//! self-distance identity, permutation invariance, z-normalization
+//! shift/scale invariance, DTW band monotonicity, and the cutoff contract.
+
+use proptest::prelude::*;
+use tsdist_conformance::inputs::znorm;
+use tsdist_conformance::oracle_registry;
+use tsdist_core::elastic::{Dtw, Erp, ItakuraDtw, Msm, Twe, WeightedDtw};
+use tsdist_core::lockstep as ls;
+use tsdist_core::measure::Distance;
+use tsdist_core::params;
+use tsdist_core::Workspace;
+
+/// Measures whose `distance_upto` genuinely abandons (everything else
+/// delegates and is covered by bit-identity checks elsewhere).
+fn abandoning_measures() -> Vec<Box<dyn Distance>> {
+    vec![
+        Box::new(ls::Euclidean),
+        Box::new(ls::SquaredEuclidean),
+        Box::new(ls::CityBlock),
+        Box::new(ls::Chebyshev),
+        Box::new(ls::Minkowski::new(0.5)),
+        Box::new(ls::Minkowski::new(3.0)),
+        Box::new(ls::Lorentzian),
+        Box::new(Dtw::with_window_pct(10.0)),
+        Box::new(Dtw::unconstrained()),
+        Box::new(WeightedDtw::new(0.05)),
+        Box::new(Erp::new()),
+        Box::new(Msm::new(0.5)),
+        Box::new(Twe::new(1.0, 0.0001)),
+        Box::new(ItakuraDtw::new(2.0)),
+    ]
+}
+
+/// Measures expected to have exact zero self-distance (metric-like; many
+/// registry measures legitimately have non-zero self-values, e.g.
+/// `InnerProduct`'s `1 - x.x`).
+fn zero_self_distance_measures() -> Vec<Box<dyn Distance>> {
+    vec![
+        Box::new(ls::Euclidean),
+        Box::new(ls::CityBlock),
+        Box::new(ls::Chebyshev),
+        Box::new(ls::SquaredEuclidean),
+        Box::new(ls::Lorentzian),
+        Box::new(ls::Canberra),
+        Box::new(Dtw::with_window_pct(10.0)),
+        Box::new(Msm::new(0.5)),
+        Box::new(Twe::new(1.0, 0.0001)),
+        Box::new(Erp::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Measures advertising `is_symmetric()` must be *bit-identical*
+    /// under argument swap — the symmetric-matrix builder mirrors the
+    /// upper triangle on that promise. Checked across the whole oracle
+    /// registry.
+    #[test]
+    fn advertised_symmetry_is_bitwise(
+        v in proptest::collection::vec((-2f64..2.0, -2f64..2.0), 2..24),
+    ) {
+        let x: Vec<f64> = v.iter().map(|&(a, _)| a).collect();
+        let y: Vec<f64> = v.iter().map(|&(_, b)| b).collect();
+        for case in oracle_registry() {
+            if !case.measure.is_symmetric() {
+                continue;
+            }
+            let fwd = case.measure.distance(&x, &y);
+            let rev = case.measure.distance(&y, &x);
+            prop_assert_eq!(
+                fwd.to_bits(), rev.to_bits(),
+                "{} is_symmetric but {:e} != {:e}", case.name, fwd, rev
+            );
+        }
+    }
+
+    /// Metric-like measures have exactly zero self-distance.
+    #[test]
+    fn self_distance_is_zero(v in proptest::collection::vec(-5f64..5.0, 1..24)) {
+        for m in zero_self_distance_measures() {
+            let d = m.distance(&v, &v);
+            prop_assert_eq!(d, 0.0, "{}: d(x,x) = {:e}", m.name(), d);
+        }
+    }
+
+    /// Lock-step measures see points independently: permuting *both*
+    /// series with the same permutation only reorders the sum, so the
+    /// value is preserved up to summation rounding. (DISSIM is excluded:
+    /// it integrates over consecutive segments by design.)
+    #[test]
+    fn lockstep_is_permutation_invariant(
+        v in proptest::collection::vec((-2f64..2.0, -2f64..2.0), 2..20),
+        rot in 1usize..19,
+    ) {
+        let n = v.len();
+        let rot = rot % n;
+        let x: Vec<f64> = v.iter().map(|&(a, _)| a).collect();
+        let y: Vec<f64> = v.iter().map(|&(_, b)| b).collect();
+        // An arbitrary-feeling but deterministic permutation: rotate,
+        // then swap adjacent pairs.
+        let perm: Vec<usize> = (0..n)
+            .map(|i| (i + rot) % n)
+            .map(|i| if i % 2 == 0 && i + 1 < n { i + 1 } else if i % 2 == 1 { i - 1 } else { i })
+            .collect();
+        let px: Vec<f64> = perm.iter().map(|&i| x[i]).collect();
+        let py: Vec<f64> = perm.iter().map(|&i| y[i]).collect();
+        for case in oracle_registry() {
+            if case.category != tsdist_conformance::Category::LockStep || case.name == "DISSIM" {
+                continue;
+            }
+            let base = case.measure.distance(&x, &y);
+            let permuted = case.measure.distance(&px, &py);
+            prop_assert!(
+                tsdist_conformance::engine::close(base, permuted, 1e-9),
+                "{}: {:e} vs {:e} after permutation", case.name, base, permuted
+            );
+        }
+    }
+
+    /// Z-normalization absorbs shift and positive scale: measures on
+    /// z-normalized series are invariant under `x -> a x + b`, `a > 0`.
+    #[test]
+    fn znorm_absorbs_shift_and_scale(
+        v in proptest::collection::vec((-2f64..2.0, -2f64..2.0), 4..24),
+        scale in 0.1f64..10.0,
+        shift in -5f64..5.0,
+    ) {
+        let x: Vec<f64> = v.iter().map(|&(a, _)| a).collect();
+        let y: Vec<f64> = v.iter().map(|&(_, b)| b).collect();
+        let zx = znorm(&x);
+        let zy = znorm(&y);
+        let transformed: Vec<f64> = x.iter().map(|&a| scale * a + shift).collect();
+        let zt = znorm(&transformed);
+        let measures: Vec<Box<dyn Distance>> = vec![
+            Box::new(ls::Euclidean),
+            Box::new(ls::CityBlock),
+            Box::new(Dtw::with_window_pct(10.0)),
+            Box::new(Msm::new(0.5)),
+        ];
+        for m in measures {
+            let base = m.distance(&zx, &zy);
+            let trans = m.distance(&zt, &zy);
+            prop_assert!(
+                tsdist_conformance::engine::close(base, trans, 1e-6),
+                "{}: {:e} vs {:e} after shift/scale", m.name(), base, trans
+            );
+        }
+    }
+
+    /// Widening the Sakoe–Chiba band can only lower (or keep) the DTW
+    /// cost: `δ1 <= δ2  ⇒  d_δ1 >= d_δ2` along the whole Table 4 grid.
+    #[test]
+    fn dtw_band_is_monotone(
+        v in proptest::collection::vec((-2f64..2.0, -2f64..2.0), 2..32),
+    ) {
+        let x: Vec<f64> = v.iter().map(|&(a, _)| a).collect();
+        let y: Vec<f64> = v.iter().map(|&(_, b)| b).collect();
+        let mut windows: Vec<f64> = params::DTW_WINDOWS.to_vec();
+        windows.sort_by(f64::total_cmp);
+        let mut prev: Option<(f64, f64)> = None;
+        for &w in &windows {
+            let d = Dtw::with_window_pct(w).distance(&x, &y);
+            if let Some((pw, pd)) = prev {
+                prop_assert!(
+                    d <= pd,
+                    "DTW(δ={}) = {:e} > DTW(δ={}) = {:e}", w, d, pw, pd
+                );
+            }
+            prev = Some((w, d));
+        }
+    }
+
+    /// The cutoff contract, fuzzed: for every genuinely abandoning
+    /// measure and any cutoff, `distance_upto` returns the exact bits
+    /// when the true distance beats the cutoff and something `>= cutoff`
+    /// otherwise; non-finite cutoffs disable abandoning entirely.
+    #[test]
+    fn cutoff_contract_holds(
+        v in proptest::collection::vec((-2f64..2.0, -2f64..2.0), 1..24),
+        frac in -0.5f64..1.5,
+    ) {
+        let x: Vec<f64> = v.iter().map(|&(a, _)| a).collect();
+        let y: Vec<f64> = v.iter().map(|&(_, b)| b).collect();
+        let mut ws = Workspace::new();
+        for m in abandoning_measures() {
+            let d = m.distance_ws(&x, &y, &mut ws);
+            let cutoff = d * frac + (frac - 0.5); // spans below/at/above d
+            let got = m.distance_upto(&x, &y, &mut ws, cutoff);
+            if d < cutoff {
+                prop_assert_eq!(
+                    got.to_bits(), d.to_bits(),
+                    "{}: cutoff {:e} above d {:e} but got {:e}", m.name(), cutoff, d, got
+                );
+            } else {
+                prop_assert!(
+                    got >= cutoff,
+                    "{}: got {:e} below cutoff {:e}", m.name(), got, cutoff
+                );
+            }
+            for special in [f64::INFINITY, f64::NAN] {
+                let exact = m.distance_upto(&x, &y, &mut ws, special);
+                prop_assert_eq!(
+                    exact.to_bits(), d.to_bits(),
+                    "{}: non-finite cutoff must disable abandoning", m.name()
+                );
+            }
+        }
+    }
+}

@@ -22,7 +22,13 @@ lockstep_measure!(
     "Jeffreys",
     |x, y| zip_sum(x, y, |a, b| {
         let (ca, cb) = (clamp_pos(a), clamp_pos(b));
-        (ca - cb) * (ca / cb).ln()
+        // `ln(ca) - ln(cb)` rather than `(ca / cb).ln()`: the former is the
+        // exact negation of its swap, so each term — and therefore the sum —
+        // is bit-identical under argument exchange, as `is_symmetric()`
+        // promises. `ln(ca / cb)` is not (division then log round
+        // differently than the two logs), which the conformance oracle
+        // caught as a one-ULP mirror divergence in symmetric matrices.
+        (ca - cb) * (ca.ln() - cb.ln())
     })
 );
 

@@ -1,0 +1,117 @@
+//! Non-abandoning measures delegate `distance_upto` to `distance_ws`
+//! wholesale: Canberra (deliberately — its per-term guarded divisions
+//! make a running-sum abandon slower than just finishing), CID and
+//! KernelDistance (their final values are not monotone accumulations, so
+//! no admissible abandon exists). For these, `distance_upto` must be
+//! *bit-identical* to `distance_ws` under **any** cutoff — including
+//! cutoffs far below the true distance, where an abandoning measure
+//! would bail out.
+
+use tsdist_core::elastic::Cid;
+use tsdist_core::kernel::{Gak, Rbf, Sink};
+use tsdist_core::lockstep::{Canberra, Euclidean};
+use tsdist_core::measure::{Distance, KernelDistance};
+use tsdist_core::Workspace;
+
+/// Deterministic value stream for series and cutoffs.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    fn series(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.uniform(-2.0, 2.0)).collect()
+    }
+}
+
+fn delegating_measures() -> Vec<Box<dyn Distance>> {
+    vec![
+        Box::new(Canberra),
+        Box::new(Cid::new(Euclidean)),
+        Box::new(KernelDistance(Rbf::new(0.25))),
+        Box::new(KernelDistance(Gak::new(0.5))),
+        Box::new(KernelDistance(Sink::new(5.0))),
+    ]
+}
+
+#[test]
+fn delegating_upto_is_bit_identical_under_random_cutoffs() {
+    let mut rng = SplitMix64(0xDE1E_6A7E);
+    let mut ws = Workspace::new();
+    for trial in 0..20 {
+        let n = 4 + (trial % 21);
+        let x = rng.series(n);
+        let y = rng.series(n);
+        for m in delegating_measures() {
+            let exact = m.distance_ws(&x, &y, &mut ws);
+            // Random cutoffs spanning well below, around, and above the
+            // true distance — a delegating measure must ignore them all.
+            for _ in 0..8 {
+                let cutoff = exact + rng.uniform(-2.0, 2.0) * exact.abs().max(1.0);
+                let got = m.distance_upto(&x, &y, &mut ws, cutoff);
+                assert_eq!(
+                    got.to_bits(),
+                    exact.to_bits(),
+                    "{}: cutoff {cutoff:e}: {got:e} vs exact {exact:e}",
+                    m.name()
+                );
+            }
+            for special in [0.0, f64::MIN_POSITIVE, -1e300, f64::INFINITY, f64::NAN] {
+                let got = m.distance_upto(&x, &y, &mut ws, special);
+                assert_eq!(
+                    got.to_bits(),
+                    exact.to_bits(),
+                    "{}: special cutoff {special:e}",
+                    m.name()
+                );
+            }
+        }
+    }
+}
+
+/// Canberra's delegation specifically: even a zero cutoff (which makes
+/// every abandoning lock-step measure return immediately) yields the
+/// full exact sum.
+#[test]
+fn canberra_never_abandons() {
+    let mut rng = SplitMix64(0xCA9B_E44A);
+    let mut ws = Workspace::new();
+    let x = rng.series(64);
+    let y = rng.series(64);
+    let exact = Canberra.distance_ws(&x, &y, &mut ws);
+    assert!(exact > 0.0);
+    let got = Canberra.distance_upto(&x, &y, &mut ws, 0.0);
+    assert_eq!(got.to_bits(), exact.to_bits());
+}
+
+/// The delegation composes: a CID-wrapped measure that *does* abandon
+/// internally must still return exact bits through CID's `distance_upto`,
+/// because the complexity correction is applied after the fact and can
+/// scale the distance back *under* an already-passed cutoff.
+#[test]
+fn cid_forwards_exact_even_when_inner_would_abandon() {
+    let mut rng = SplitMix64(0xC1D0);
+    let mut ws = Workspace::new();
+    let cid = Cid::new(Euclidean);
+    for _ in 0..10 {
+        let x = rng.series(32);
+        let y = rng.series(32);
+        let exact = cid.distance_ws(&x, &y, &mut ws);
+        // A cutoff below the *inner* Euclidean distance: had CID threaded
+        // it through, Euclidean would have abandoned.
+        let inner = Euclidean.distance_ws(&x, &y, &mut ws);
+        let tight = inner * 0.5;
+        let got = cid.distance_upto(&x, &y, &mut ws, tight);
+        assert_eq!(got.to_bits(), exact.to_bits());
+    }
+}

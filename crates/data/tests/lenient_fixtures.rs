@@ -1,0 +1,164 @@
+//! Fixture-based coverage of [`load_ucr_archive_lenient`]'s error paths:
+//! a single on-disk archive mixing valid datasets with every per-dataset
+//! failure class (`Parse`, `Invalid`, `Io`), plus the walker's extension
+//! handling and the report renderer.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use tsdist_data::ucr::{load_ucr_archive, load_ucr_archive_lenient, UcrError};
+use tsdist_data::DatasetError;
+
+/// A throwaway archive root, wiped on creation so reruns are clean.
+fn fresh_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("tsdist_lenient_fixtures_{tag}"));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(&root).unwrap();
+    root
+}
+
+fn write_pair(root: &Path, name: &str, ext: &str, train: &str, test: &str) {
+    let dir = root.join(name);
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join(format!("{name}_TRAIN.{ext}")), train).unwrap();
+    fs::write(dir.join(format!("{name}_TEST.{ext}")), test).unwrap();
+}
+
+const GOOD_TRAIN: &str = "0\t0.0\t1.0\t2.0\n1\t2.0\t1.0\t0.0\n";
+const GOOD_TEST: &str = "0\t0.1\t1.1\t2.1\n";
+
+#[test]
+fn mixed_archive_partitions_good_and_bad_datasets() {
+    let root = fresh_root("mixed");
+
+    // Three healthy datasets exercising each accepted extension.
+    write_pair(&root, "Alpha", "tsv", GOOD_TRAIN, GOOD_TEST);
+    write_pair(
+        &root,
+        "Gamma",
+        "csv",
+        "0,0.0,1.0\n1,1.0,0.0\n",
+        "0,0.5,0.5\n",
+    );
+    write_pair(&root, "Tabby", "txt", GOOD_TRAIN, GOOD_TEST);
+
+    // Parse failure: unparseable value, reported with its line number.
+    write_pair(
+        &root,
+        "Broken",
+        "tsv",
+        "0\t0.5\t0.7\n1\t0.5\t<oops>\n",
+        GOOD_TEST,
+    );
+
+    // Invalid dataset: the train split parses to zero series.
+    write_pair(&root, "Hollow", "tsv", "\n\n", GOOD_TEST);
+
+    // Invalid dataset, other split: the test file is all blank lines.
+    write_pair(&root, "Vacant", "tsv", GOOD_TRAIN, "\n");
+
+    // NOT a failure: "inf" parses as a float, but the harmonize pipeline
+    // treats every non-finite value as missing and imputes it, so the
+    // dataset comes out clean and loads.
+    write_pair(
+        &root,
+        "Infinite",
+        "tsv",
+        "0\t0.5\tinf\n1\t1.0\t2.0\n",
+        GOOD_TEST,
+    );
+
+    // I/O failure: the train "file" is actually a directory, so the pair
+    // is discovered but reading it fails.
+    let io_dir = root.join("IoBoom");
+    fs::create_dir_all(io_dir.join("IoBoom_TRAIN.tsv")).unwrap();
+    fs::write(io_dir.join("IoBoom_TEST.tsv"), GOOD_TEST).unwrap();
+
+    // Distractor: a directory with no train/test pair is silently skipped.
+    fs::create_dir_all(root.join("NotADataset")).unwrap();
+
+    // Strict loading aborts on the first bad dataset...
+    assert!(load_ucr_archive(&root).is_err());
+
+    // ...while the lenient walk loads everything loadable and files one
+    // failure per bad dataset, both halves sorted by name.
+    let archive = load_ucr_archive_lenient(&root).unwrap();
+    let loaded: Vec<&str> = archive.datasets.iter().map(|d| d.name.as_str()).collect();
+    assert_eq!(loaded, ["Alpha", "Gamma", "Infinite", "Tabby"]);
+    let infinite = &archive.datasets[2];
+    assert!(infinite.train.iter().flatten().all(|v| v.is_finite()));
+    let failed: Vec<&str> = archive.failures.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(failed, ["Broken", "Hollow", "IoBoom", "Vacant"]);
+
+    assert!(matches!(
+        archive.failures[0].error,
+        UcrError::Parse { line: 2, .. }
+    ));
+    assert!(matches!(
+        archive.failures[1].error,
+        UcrError::Invalid(DatasetError::EmptySplit("train"))
+    ));
+    assert!(matches!(archive.failures[2].error, UcrError::Io(_)));
+    assert!(matches!(
+        archive.failures[3].error,
+        UcrError::Invalid(DatasetError::EmptySplit("test"))
+    ));
+
+    let report = archive.render_report();
+    assert!(report.starts_with("archive: 4 dataset(s) loaded, 4 failed\n"));
+    assert!(report.contains("FAILED Broken: line 2:"));
+    assert!(report.contains("FAILED Hollow: invalid dataset:"));
+    assert!(report.contains("FAILED IoBoom: I/O error:"));
+    assert!(report.contains("FAILED Vacant: invalid dataset:"));
+}
+
+#[test]
+fn all_failures_still_returns_ok_with_empty_datasets() {
+    let root = fresh_root("all_bad");
+    write_pair(&root, "Junk", "tsv", "not-a-label\t1.0\n", GOOD_TEST);
+    let archive = load_ucr_archive_lenient(&root).unwrap();
+    assert!(archive.datasets.is_empty());
+    assert_eq!(archive.failures.len(), 1);
+    assert!(matches!(
+        archive.failures[0].error,
+        UcrError::Parse { line: 1, .. }
+    ));
+    assert!(archive
+        .render_report()
+        .starts_with("archive: 0 dataset(s) loaded, 1 failed\n"));
+}
+
+#[test]
+fn missing_root_fails_the_walk_itself() {
+    let root = std::env::temp_dir().join("tsdist_lenient_fixtures_definitely_absent");
+    let _ = fs::remove_dir_all(&root);
+    let err = load_ucr_archive_lenient(&root).unwrap_err();
+    assert!(matches!(err, UcrError::Io(_)));
+}
+
+#[test]
+fn tsv_takes_precedence_over_later_extensions() {
+    let root = fresh_root("precedence");
+    // A healthy .tsv pair next to a corrupt .txt pair in the same
+    // directory: the walker must pick .tsv and never read the .txt files.
+    write_pair(&root, "Dual", "tsv", GOOD_TRAIN, GOOD_TEST);
+    write_pair(&root, "Dual", "txt", "garbage\n", "garbage\n");
+    let archive = load_ucr_archive_lenient(&root).unwrap();
+    assert_eq!(archive.datasets.len(), 1);
+    assert!(archive.failures.is_empty());
+}
+
+#[test]
+fn half_pairs_are_skipped_not_failed() {
+    let root = fresh_root("half_pair");
+    // TRAIN without TEST: not a discoverable pair, so it is skipped by
+    // the walker rather than surfaced as a failure.
+    let dir = root.join("Lonely");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join("Lonely_TRAIN.tsv"), GOOD_TRAIN).unwrap();
+    write_pair(&root, "Whole", "tsv", GOOD_TRAIN, GOOD_TEST);
+    let archive = load_ucr_archive_lenient(&root).unwrap();
+    assert_eq!(archive.datasets.len(), 1);
+    assert_eq!(archive.datasets[0].name, "Whole");
+    assert!(archive.failures.is_empty());
+}

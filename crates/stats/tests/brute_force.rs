@@ -1,0 +1,325 @@
+//! Brute-force and reference-table cross-checks of the stats substrate.
+//!
+//! The in-module unit tests check behaviours; this suite checks the
+//! *numbers*, three ways: (1) exhaustive enumeration replaces the clever
+//! algorithm (all 2^n sign assignments for the exact Wilcoxon null, the
+//! counting definition of midranks); (2) independent re-derivations of
+//! the same statistic from first principles (Friedman's tie-corrected
+//! chi-squared recomputed from counted ranks); (3) published reference
+//! values (exact Wilcoxon tail tables, chi-squared quantiles, Demšar's
+//! studentized-range q values).
+
+use tsdist_stats::{
+    average_ranks, average_ranks_descending, chi_squared_cdf, friedman_test,
+    nemenyi_critical_difference, tie_group_sizes, wilcoxon_signed_rank,
+};
+
+/// Small deterministic generator so fixtures need no `rand` stream.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranks: the counting definition vs the sorting implementation
+// ---------------------------------------------------------------------------
+
+/// Midrank by counting: `1 + #smaller + (#equal - 1) / 2`. All terms are
+/// exact in f64 for small n, so the comparison is exact equality.
+fn counted_ranks(values: &[f64]) -> Vec<f64> {
+    values
+        .iter()
+        .map(|&v| {
+            let smaller = values.iter().filter(|&&w| w < v).count() as f64;
+            let equal = values.iter().filter(|&&w| w == v).count() as f64;
+            1.0 + smaller + (equal - 1.0) / 2.0
+        })
+        .collect()
+}
+
+#[test]
+fn average_ranks_match_the_counting_definition() {
+    let fixtures: Vec<Vec<f64>> = vec![
+        vec![3.0, 1.0, 4.0, 1.0, 5.0],
+        vec![2.0, 2.0, 2.0],
+        vec![1.0],
+        vec![-1.0, 0.0, -1.0, 0.0, 7.0, 7.0, 7.0],
+    ];
+    for f in &fixtures {
+        assert_eq!(average_ranks(f), counted_ranks(f), "{f:?}");
+    }
+    // And on random vectors with forced ties.
+    let mut rng = SplitMix64(11);
+    for _ in 0..50 {
+        let n = 2 + (rng.next_u64() % 12) as usize;
+        let mut v: Vec<f64> = (0..n).map(|_| (rng.next_u64() % 5) as f64 * 0.25).collect();
+        v[0] = v[n - 1]; // at least one tie
+        assert_eq!(average_ranks(&v), counted_ranks(&v), "{v:?}");
+    }
+}
+
+#[test]
+fn descending_ranks_are_ascending_ranks_of_negation() {
+    let mut rng = SplitMix64(12);
+    for _ in 0..50 {
+        let n = 2 + (rng.next_u64() % 10) as usize;
+        let v: Vec<f64> = (0..n).map(|_| (rng.next_u64() % 7) as f64 * 0.5).collect();
+        let neg: Vec<f64> = v.iter().map(|x| -x).collect();
+        assert_eq!(average_ranks_descending(&v), counted_ranks(&neg), "{v:?}");
+    }
+}
+
+#[test]
+fn hand_computed_midranks() {
+    // Values 3,1,4,1,5: sorted 1,1,3,4,5 -> midranks 1.5,1.5,3,4,5.
+    assert_eq!(
+        average_ranks(&[3.0, 1.0, 4.0, 1.0, 5.0]),
+        vec![3.0, 1.5, 4.0, 1.5, 5.0]
+    );
+    // Accuracies 0.9,0.8,0.9 descending: the two 0.9s share ranks 1 and 2.
+    assert_eq!(
+        average_ranks_descending(&[0.9, 0.8, 0.9]),
+        vec![1.5, 3.0, 1.5]
+    );
+    // tie_group_sizes reports every group in ascending value order,
+    // singletons included (t = 1 contributes 0 to the tie correction).
+    assert_eq!(tie_group_sizes(&[0.9, 0.8, 0.9]), vec![1, 2]);
+    assert_eq!(tie_group_sizes(&[1.0, 1.0, 1.0, 2.0]), vec![3, 1]);
+}
+
+// ---------------------------------------------------------------------------
+// Wilcoxon: exhaustive sign enumeration vs the subset-sum DP
+// ---------------------------------------------------------------------------
+
+/// Exact two-sided p by enumerating all 2^n sign assignments: under the
+/// null each difference is positive or negative with probability 1/2, so
+/// `p = min(1, 2 * #(assignments with W+ <= w_obs) / 2^n)` with
+/// `w_obs = min(W+, W-)` — the same definition the production DP
+/// implements, evaluated the slow, obviously-correct way.
+fn enumerated_p_value(ranks: &[f64], w_obs: f64) -> f64 {
+    let n = ranks.len();
+    assert!(n <= 20, "enumeration is 2^n");
+    let mut at_most = 0u64;
+    for mask in 0u64..(1u64 << n) {
+        let w_plus: f64 = (0..n)
+            .filter(|&i| mask >> i & 1 == 1)
+            .map(|i| ranks[i])
+            .sum();
+        if w_plus <= w_obs {
+            at_most += 1;
+        }
+    }
+    (2.0 * at_most as f64 / (1u64 << n) as f64).min(1.0)
+}
+
+#[test]
+fn exact_p_matches_exhaustive_enumeration() {
+    let mut rng = SplitMix64(13);
+    for trial in 0..30 {
+        let n = 4 + (trial % 9); // 4..=12
+                                 // Distinct magnitudes (so the exact path is taken), mixed signs.
+        let mut diffs: Vec<f64> = (0..n)
+            .map(|i| (i as f64 + 1.0 + rng.uniform(0.0, 0.4)) * 0.37)
+            .collect();
+        for d in diffs.iter_mut() {
+            if rng.next_u64().is_multiple_of(2) {
+                *d = -*d;
+            }
+        }
+        if diffs.iter().all(|d| *d < 0.0) || diffs.iter().all(|d| *d > 0.0) {
+            diffs[0] = -diffs[0]; // keep both tails populated sometimes anyway
+        }
+        let y: Vec<f64> = diffs.iter().map(|_| 0.0).collect();
+        let r = wilcoxon_signed_rank(&diffs, &y).expect("non-degenerate");
+
+        let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+        let ranks = average_ranks(&abs);
+        let expected = enumerated_p_value(&ranks, r.w_plus.min(r.w_minus));
+        assert!(
+            (r.p_value - expected).abs() < 1e-12,
+            "n = {n}: production {} vs enumerated {expected}",
+            r.p_value
+        );
+    }
+}
+
+#[test]
+fn exact_p_matches_the_published_table() {
+    // Standard exact Wilcoxon table, n = 10: #subsets of {1..10} with sum
+    // <= 8 is 25, so P(W <= 8) one-sided = 25/1024 and the two-sided p is
+    // 50/1024 = 0.048828125. Construct W- = 8 via negatives at ranks 3+5.
+    let magnitudes: Vec<f64> = (1..=10).map(|i| i as f64 * 0.1).collect();
+    let x: Vec<f64> = magnitudes
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| if i == 2 || i == 4 { -m } else { m })
+        .collect();
+    let y = vec![0.0; 10];
+    let r = wilcoxon_signed_rank(&x, &y).unwrap();
+    assert_eq!(r.w_minus, 8.0);
+    assert_eq!(r.n_used, 10);
+    assert!(
+        (r.p_value - 50.0 / 1024.0).abs() < 1e-15,
+        "p = {}",
+        r.p_value
+    );
+
+    // n = 5, all positive: W- = 0, p = 2/32 = 0.0625 (smallest achievable
+    // two-sided p at n = 5 — the reason the paper needs many datasets).
+    let x5 = [0.1, 0.2, 0.3, 0.4, 0.5];
+    let r5 = wilcoxon_signed_rank(&x5, &[0.0; 5]).unwrap();
+    assert!((r5.p_value - 0.0625).abs() < 1e-15);
+}
+
+#[test]
+fn tied_magnitudes_use_midranks_in_the_statistic() {
+    // |diffs| = [1, 1, 2, 2]: midranks [1.5, 1.5, 3.5, 3.5]. Signs +,-,+,-
+    // give W+ = 5, W- = 5.
+    let x = [1.0, -1.0, 2.0, -2.0];
+    let r = wilcoxon_signed_rank(&x, &[0.0; 4]).unwrap();
+    assert_eq!(r.w_plus, 5.0);
+    assert_eq!(r.w_minus, 5.0);
+    // Perfectly balanced: the (tie-corrected normal) p must be ~1.
+    assert!(r.p_value > 0.9, "p = {}", r.p_value);
+}
+
+// ---------------------------------------------------------------------------
+// Friedman: independent re-derivation + textbook fixture
+// ---------------------------------------------------------------------------
+
+/// The tie-corrected Friedman chi-squared recomputed from first
+/// principles with counted midranks (Conover's form, as documented on the
+/// production function).
+fn friedman_chi_squared_by_hand(table: &[Vec<f64>]) -> f64 {
+    let n = table.len() as f64;
+    let k = table[0].len() as f64;
+    let mut rank_sums = vec![0.0; table[0].len()];
+    let mut tie_term = 0.0;
+    for row in table {
+        let neg: Vec<f64> = row.iter().map(|v| -v).collect();
+        for (s, r) in rank_sums.iter_mut().zip(counted_ranks(&neg)) {
+            *s += r;
+        }
+        // Tie groups by brute force: count multiplicities.
+        let mut seen: Vec<f64> = Vec::new();
+        for &v in row {
+            if !seen.contains(&v) {
+                seen.push(v);
+                let t = row.iter().filter(|&&w| w == v).count() as f64;
+                if t > 1.0 {
+                    tie_term += t * t * t - t;
+                }
+            }
+        }
+    }
+    let sum_r2: f64 = rank_sums.iter().map(|s| s * s).sum();
+    let numerator = 12.0 * sum_r2 / n - 3.0 * n * k * (k + 1.0) * (k + 1.0);
+    let denominator = k * (k + 1.0) - tie_term / (n * (k - 1.0));
+    if denominator.abs() < 1e-12 {
+        0.0
+    } else {
+        (numerator / denominator).max(0.0)
+    }
+}
+
+#[test]
+fn friedman_matches_independent_rederivation() {
+    let mut rng = SplitMix64(14);
+    for trial in 0..25 {
+        let n = 3 + (trial % 8);
+        let k = 2 + (trial % 4);
+        // Quantized accuracies force frequent ties.
+        let table: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..k)
+                    .map(|_| (rng.next_u64() % 6) as f64 * 0.125 + 0.25)
+                    .collect()
+            })
+            .collect();
+        let r = friedman_test(&table);
+        let expected = friedman_chi_squared_by_hand(&table);
+        assert!(
+            (r.chi_squared - expected).abs() < 1e-9,
+            "N={n} k={k}: production {} vs by-hand {expected}",
+            r.chi_squared
+        );
+        // Average ranks agree with the counting definition too.
+        let mut sums = vec![0.0; k];
+        for row in &table {
+            let neg: Vec<f64> = row.iter().map(|v| -v).collect();
+            for (s, rank) in sums.iter_mut().zip(counted_ranks(&neg)) {
+                *s += rank;
+            }
+        }
+        for (avg, sum) in r.average_ranks.iter().zip(&sums) {
+            assert!((avg - sum / n as f64).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn friedman_textbook_fixture_without_ties() {
+    // k = 4 treatments, N = 3 blocks, ranks:
+    //   row 0: (1, 2, 3, 4), row 1: (2, 1, 4, 3), row 2: (1, 2, 4, 3)
+    // Rank sums R = (4, 5, 11, 10); chi2 = 12/(N k (k+1)) * sum R^2 - 3N(k+1)
+    //             = 12/60 * 262 - 45 = 7.4.
+    let table = vec![
+        vec![0.9, 0.8, 0.7, 0.6],
+        vec![0.8, 0.9, 0.6, 0.7],
+        vec![0.9, 0.8, 0.6, 0.7],
+    ];
+    let r = friedman_test(&table);
+    assert!(
+        (r.chi_squared - 7.4).abs() < 1e-9,
+        "chi2 = {}",
+        r.chi_squared
+    );
+    assert_eq!(r.dof, 3);
+    assert_eq!(
+        r.average_ranks,
+        vec![4.0 / 3.0, 5.0 / 3.0, 11.0 / 3.0, 10.0 / 3.0]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Reference-table values: chi-squared quantiles and Demšar's q table
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chi_squared_cdf_hits_table_quantiles() {
+    // Textbook critical values: P(X <= x) = 0.95.
+    for (x, df) in [(3.841, 1.0), (5.991, 2.0), (7.815, 3.0), (16.919, 9.0)] {
+        let p = chi_squared_cdf(x, df);
+        assert!((p - 0.95).abs() < 1e-3, "df {df}: P = {p}");
+    }
+    // And the median of chi2(2) is 2 ln 2.
+    let median = chi_squared_cdf(2.0 * std::f64::consts::LN_2, 2.0);
+    assert!((median - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn nemenyi_cd_matches_demsar_q_table() {
+    // Demšar (2006), Table 5(a): q_0.05 for k = 2..6 — with
+    // CD = q * sqrt(k(k+1) / 6N), recover q = CD / sqrt(k(k+1) / 6N).
+    let q_table = [(2, 1.960), (3, 2.343), (4, 2.569), (5, 2.728), (6, 2.850)];
+    let n = 128; // the UCR archive size the paper evaluates on
+    for (k, q_expected) in q_table {
+        let cd = nemenyi_critical_difference(0.05, k, n);
+        let q = cd / ((k * (k + 1)) as f64 / (6.0 * n as f64)).sqrt();
+        assert!(
+            (q - q_expected).abs() < 0.03,
+            "k = {k}: q = {q} vs Demšar {q_expected}"
+        );
+    }
+}

@@ -14,11 +14,16 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 
-echo "==> resumable-study smoke (kill after one cell, resume, diff)"
 SMOKE=$(mktemp -d)
 trap 'rm -rf "$SMOKE"' EXIT
 TSDIST=target/debug/tsdist
 cargo build -q --offline -p tsdist-cli
+
+echo "==> conformance gate (quick differential + committed golden bits)"
+"$TSDIST" conformance --quick >/dev/null
+echo "    quick oracle subset clean, golden bits match results/conformance/registry_v1.tsv"
+
+echo "==> resumable-study smoke (kill after one cell, resume, diff)"
 "$TSDIST" generate "$SMOKE/archive" --datasets 2 --seed 7 --quick >/dev/null
 
 # "Killed" run: the runner stops after the first completed cell, leaving a
@@ -65,14 +70,17 @@ diff "$SMOKE/exact.stripped" "$SMOKE/pruned.stripped"
 diff "$SMOKE/exact.txt" "$SMOKE/pruned.txt"
 echo "    pruned study is byte-identical to the exact one (modulo timing)"
 
-echo "==> bench_prune smoke"
+echo "==> bench_prune smoke (equivalence + golden accuracies)"
 cargo build -q --offline -p tsdist-bench --bin bench_prune
-target/debug/bench_prune --quick --out "$SMOKE" >/dev/null
+target/debug/bench_prune --quick --out "$SMOKE" >/dev/null 2>"$SMOKE/bench_prune.log"
 if [ ! -s "$SMOKE/BENCH_prune.json" ]; then
   echo "bench_prune wrote no BENCH_prune.json" >&2
   exit 1
 fi
 grep -q '"failures": 0' "$SMOKE/BENCH_prune.json"
-echo "    bench_prune smoke wrote BENCH_prune.json with zero equivalence failures"
+# The binary exits non-zero on a golden mismatch; double-check it actually
+# reached the golden comparison rather than silently skipping it.
+grep -q 'bit-identical to golden' "$SMOKE/bench_prune.log"
+echo "    bench_prune smoke: zero equivalence failures, accuracies match the committed golden"
 
 echo "All checks passed."
