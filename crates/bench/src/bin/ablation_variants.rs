@@ -32,7 +32,7 @@ fn main() {
         let accs = archive_accuracies(&archive, m.as_ref(), norm);
         rows.push(compare_to_baseline(name.to_string(), &accs, &baseline));
     }
-    rows.sort_by(|a, b| b.average_accuracy.partial_cmp(&a.average_accuracy).unwrap());
+    rows.sort_by(|a, b| b.average_accuracy.total_cmp(&a.average_accuracy));
     let table = render_table(
         "Ablation: DTW variants vs DTW(δ=10)",
         &rows,

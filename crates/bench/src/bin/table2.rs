@@ -53,7 +53,7 @@ fn main() {
         }
     }
 
-    rows.sort_by(|a, b| b.average_accuracy.partial_cmp(&a.average_accuracy).unwrap());
+    rows.sort_by(|a, b| b.average_accuracy.total_cmp(&a.average_accuracy));
     let table = render_table(
         "Table 2: lock-step measures vs ED (z-score)",
         &rows,

@@ -34,7 +34,7 @@ fn main() {
             }
         }
     }
-    rows.sort_by(|a, b| b.average_accuracy.partial_cmp(&a.average_accuracy).unwrap());
+    rows.sort_by(|a, b| b.average_accuracy.total_cmp(&a.average_accuracy));
     let table = render_table(
         "Table 3: sliding measures vs Lorentzian",
         &rows,

@@ -43,6 +43,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("summary") => cmd_summary(&args[1..]),
         Some("conformance") => conformance::cmd_conformance(&args[1..]),
+        Some("lint") => tsdist_lint::run_cli(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -73,6 +74,7 @@ USAGE:
   tsdist generate <out-dir> [--datasets <N>] [--seed <S>] [--quick]
   tsdist summary <dataset-dir>
   tsdist conformance [--update] [--quick] [--golden <file>]
+  tsdist lint [--json] [--deny-warnings] [--root <dir>] [--out <file>]
 
 Measures use `name[:params]` syntax (e.g. dtw:10, msm:0.5, twe:1,0.0001).
 Normalization methods: z-score (default), minmax, meannorm, mediannorm,
@@ -91,6 +93,11 @@ implementation and the committed golden snapshot
 (results/conformance/registry_v1.tsv), exiting non-zero on any
 divergence. --update re-pins the golden after a reviewed numeric change;
 --quick runs the representative subset for fast gates.
+
+lint runs the workspace invariant checker (determinism, panic-safety,
+hot-path allocation rules) over every library source file. Findings
+need fixing or an inline reasoned suppression; --deny-warnings fails on
+warnings too, --out writes the machine-readable JSON report.
 ";
 
 fn cmd_measures() -> Result<(), String> {

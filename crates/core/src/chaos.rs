@@ -89,6 +89,7 @@ impl<D: Distance> ChaosDistance<D> {
             return None;
         }
         match self.fault {
+            // tsdist-lint: allow(no-unwrap-in-lib, reason = "chaos fault injector: the scheduled panic is the fault being injected")
             Fault::Panic => panic!("chaos: injected panic at call {index}"),
             Fault::Value(v) => Some(v),
             Fault::Delay(d) => {

@@ -71,12 +71,12 @@ pub(crate) fn select_landmarks(
         .map(|i| ed2(&series[i], &series[chosen[0]]))
         .collect();
     while chosen.len() < k {
-        let next = min_dist
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap();
+        let mut next = 0usize;
+        for (i, d) in min_dist.iter().enumerate().skip(1) {
+            if d.total_cmp(&min_dist[next]).is_gt() {
+                next = i;
+            }
+        }
         chosen.push(next);
         for i in 0..n {
             min_dist[i] = min_dist[i].min(ed2(&series[i], &series[next]));

@@ -154,7 +154,7 @@ fn median(x: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted = x.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("median of NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len();
     if n % 2 == 1 {
         sorted[n / 2]
@@ -353,5 +353,13 @@ mod tests {
             Normalization::AdaptiveScaling.apply(&[1.0, 2.0]),
             vec![1.0, 2.0]
         );
+    }
+
+    #[test]
+    fn median_with_nan_is_deterministic_instead_of_panicking() {
+        // total_cmp sorts NaN above every finite value, so the median of
+        // [1, 2, 3, 4, NaN] is 3.
+        let z = Normalization::MedianNorm.apply(&[1.0, 2.0, 3.0, 4.0, f64::NAN]);
+        assert!((z[0] - 1.0 / 3.0).abs() < 1e-12);
     }
 }

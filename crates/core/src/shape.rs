@@ -22,11 +22,9 @@ pub fn align_to(reference: &[f64], x: &[f64]) -> Vec<f64> {
         return x.to_vec();
     }
     let cc = cross_correlation(reference, x);
-    let (argmax, _) = cc
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite correlation"))
-        .expect("non-empty correlation");
+    let Some((argmax, _)) = cc.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)) else {
+        return x.to_vec();
+    };
     // Shift s: reference[i] pairs with x[i - s].
     let s = argmax as isize - (x.len() as isize - 1);
     let mut out = vec![0.0; m];
@@ -59,6 +57,7 @@ pub fn shape_extraction(series: &[Vec<f64>], reference: &[f64]) -> Vec<f64> {
     let mut gram = Matrix::zeros(m, m);
     for s in &aligned {
         for i in 0..m {
+            // tsdist-lint: allow(float-total-order, reason = "exact-zero sparsity skip: skipping exact zeros cannot change the Gram sums")
             if s[i] == 0.0 {
                 continue;
             }
@@ -157,7 +156,7 @@ mod tests {
         let peak = aligned
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert!(peak.abs_diff(20) <= 1, "peak at {peak}, expected ~20");

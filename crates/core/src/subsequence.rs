@@ -135,24 +135,28 @@ pub fn matrix_profile(series: &[f64], w: usize) -> (Vec<f64>, Vec<usize>) {
 /// value, as `(i, j, distance)`.
 pub fn top_motif(series: &[f64], w: usize) -> (usize, usize, f64) {
     let (profile, index) = matrix_profile(series, w);
-    let (i, &d) = profile
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite profile"))
-        .expect("non-empty profile");
-    (i, index[i], d)
+    // `matrix_profile` asserts `series.len() >= 2 * w`, so the profile
+    // always has at least one window.
+    let mut i = 0usize;
+    for (j, d) in profile.iter().enumerate().skip(1) {
+        if d.total_cmp(&profile[i]).is_lt() {
+            i = j;
+        }
+    }
+    (i, index[i], profile[i])
 }
 
 /// The top discord: the window with the *largest* matrix-profile value
 /// (the subsequence farthest from everything else), as `(i, distance)`.
 pub fn top_discord(series: &[f64], w: usize) -> (usize, f64) {
     let (profile, _) = matrix_profile(series, w);
-    let (i, &d) = profile
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite profile"))
-        .expect("non-empty profile");
-    (i, d)
+    let mut i = 0usize;
+    for (j, d) in profile.iter().enumerate().skip(1) {
+        if d.total_cmp(&profile[i]).is_gt() {
+            i = j;
+        }
+    }
+    (i, profile[i])
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ pub fn fill_missing_linear(series: &[f64]) -> Vec<f64> {
         *v = series[first];
     }
     // Trailing gap.
+    // tsdist-lint: allow(no-unwrap-in-lib, reason = "`finite[0]` above already proves the index list is non-empty")
     let last = *finite.last().expect("at least one finite value");
     for v in out.iter_mut().skip(last + 1) {
         *v = series[last];

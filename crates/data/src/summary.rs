@@ -76,7 +76,7 @@ impl ArchiveSummary {
         let classes: Vec<usize> = datasets.iter().map(|d| d.n_classes).collect();
         let range = |v: &[usize]| {
             (
-                v.iter().copied().min().expect("non-empty"),
+                v.iter().copied().min().expect("non-empty"), // tsdist-lint: allow(no-unwrap-in-lib, reason = "the `assert!` above rejects the empty archive")
                 v.iter().copied().max().expect("non-empty"),
             )
         };

@@ -199,6 +199,7 @@ pub fn generate_dataset(config: &ArchiveConfig, index: usize) -> Dataset {
 
     let name = format!("synthetic/{}-{:03}", archetype.name(), index);
     Dataset::new(name, train, train_labels, test, test_labels)
+        // tsdist-lint: allow(no-unwrap-in-lib, reason = "generator invariant: the loops above construct consistent shapes and labels")
         .expect("generator produced an invalid dataset")
 }
 
@@ -381,6 +382,7 @@ fn random_warp_map(rng: &mut StdRng, m: usize, strength: f64) -> Vec<f64> {
     // Cumulative knot positions of the warp at knot boundaries.
     let mut cum = vec![0.0];
     for &inc in &increments {
+        // tsdist-lint: allow(no-unwrap-in-lib, reason = "`cum` is seeded with one element two lines above")
         cum.push(cum.last().unwrap() + inc);
     }
     (0..m)

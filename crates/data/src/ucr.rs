@@ -88,6 +88,7 @@ pub fn parse_ucr_text(text: &str) -> Result<RawSplit, UcrError> {
         let label = label_str
             .parse::<f64>()
             .ok()
+            // tsdist-lint: allow(float-total-order, reason = "exact integrality test: `fract() == 0.0` is the definition of an integral float")
             .filter(|v| v.fract() == 0.0 && v.is_finite())
             .map(|v| v as i64)
             .ok_or_else(|| UcrError::Parse {

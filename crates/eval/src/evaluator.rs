@@ -71,6 +71,7 @@ pub fn evaluate_distance_pruned(d: &dyn Distance, ds: &Dataset, norm: Normalizat
             &prepared.train_labels,
             true,
         )
+        // tsdist-lint: allow(no-unwrap-in-lib, reason = "panicking facade: shapes were validated by `prepare`, so the typed error is unreachable")
         .unwrap_or_else(|err| panic!("{err}"))
     };
     if norm.is_pairwise() {
@@ -190,6 +191,7 @@ pub fn evaluate_embedding_supervised(
     let e = match best_e {
         Some(e) => e,
         // The grid was checked non-empty above, so at least one point won.
+        // tsdist-lint: allow(no-unwrap-in-lib, reason = "non-empty grid was checked above, so a winner always exists")
         None => unreachable!("non-empty grid always selects a point"),
     };
     SupervisedOutcome {
@@ -432,6 +434,7 @@ pub fn try_evaluate_embedding_supervised(
     }
     let e = match best_e {
         Some(e) => e,
+        // tsdist-lint: allow(no-unwrap-in-lib, reason = "non-empty grid was checked above, so a winner always exists")
         None => unreachable!("non-empty grid always selects a point"),
     };
     let accuracy = try_one_nn_accuracy(&e, &prepared.test_labels, &prepared.train_labels)?;

@@ -19,6 +19,7 @@ use tsdist_linalg::Matrix;
 /// Panics on shape mismatches or `k == 0`; see [`try_knn_accuracy`] for
 /// the fallible variant.
 pub fn knn_accuracy(e: &Matrix, test_labels: &[Label], train_labels: &[Label], k: usize) -> f64 {
+    // tsdist-lint: allow(no-unwrap-in-lib, reason = "documented `# Panics` facade; `try_knn_accuracy` is the fallible twin")
     try_knn_accuracy(e, test_labels, train_labels, k).unwrap_or_else(|err| panic!("{err}"))
 }
 
@@ -133,6 +134,7 @@ impl ConfusionMatrix {
             let predicted = match predict_row(e.row(i), train_labels, 1) {
                 Some(p) => p,
                 // The train split was checked non-empty above.
+                // tsdist-lint: allow(no-unwrap-in-lib, reason = "train split was checked non-empty above")
                 None => unreachable!("non-empty train split always has a neighbour"),
             };
             counts[truth][predicted] += 1;

@@ -210,6 +210,7 @@ pub fn kernel_matrices_into(
 /// Panics if `n_train` exceeds the embedded row count; see
 /// [`try_embedding_matrices`] for the fallible variant.
 pub fn embedding_matrices(z: &Matrix, n_train: usize) -> (Matrix, Matrix) {
+    // tsdist-lint: allow(no-unwrap-in-lib, reason = "documented `# Panics` facade; `try_embedding_matrices` is the fallible twin")
     try_embedding_matrices(z, n_train).unwrap_or_else(|err| panic!("{err}"))
 }
 

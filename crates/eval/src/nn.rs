@@ -13,6 +13,7 @@ use tsdist_linalg::Matrix;
 /// Panics if the matrix shape disagrees with the label vectors; see
 /// [`try_one_nn_accuracy`] for the fallible variant.
 pub fn one_nn_accuracy(e: &Matrix, test_labels: &[Label], train_labels: &[Label]) -> f64 {
+    // tsdist-lint: allow(no-unwrap-in-lib, reason = "documented `# Panics` facade; `try_one_nn_accuracy` is the fallible twin")
     try_one_nn_accuracy(e, test_labels, train_labels).unwrap_or_else(|err| panic!("{err}"))
 }
 
@@ -65,6 +66,7 @@ pub fn try_one_nn_accuracy(
 /// Panics if `W` is not square or disagrees with the labels; see
 /// [`try_loocv_accuracy`] for the fallible variant.
 pub fn loocv_accuracy(w: &Matrix, train_labels: &[Label]) -> f64 {
+    // tsdist-lint: allow(no-unwrap-in-lib, reason = "documented `# Panics` facade; `try_loocv_accuracy` is the fallible twin")
     try_loocv_accuracy(w, train_labels).unwrap_or_else(|err| panic!("{err}"))
 }
 

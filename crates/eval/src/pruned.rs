@@ -236,6 +236,7 @@ pub fn pruned_one_nn_accuracy(
     warm_start: bool,
 ) -> f64 {
     try_pruned_one_nn_accuracy(d, test, train, test_labels, train_labels, warm_start)
+        // tsdist-lint: allow(no-unwrap-in-lib, reason = "documented `# Panics` facade; `try_pruned_one_nn_accuracy` is the fallible twin")
         .unwrap_or_else(|err| panic!("{err}"))
 }
 
@@ -279,6 +280,7 @@ pub fn pruned_loocv_accuracy(
     warm_start: bool,
 ) -> f64 {
     try_pruned_loocv_accuracy(d, train, train_labels, warm_start)
+        // tsdist-lint: allow(no-unwrap-in-lib, reason = "documented `# Panics` facade; `try_pruned_loocv_accuracy` is the fallible twin")
         .unwrap_or_else(|err| panic!("{err}"))
 }
 
@@ -332,6 +334,7 @@ pub fn pruned_knn_accuracy(
     warm_start: bool,
 ) -> f64 {
     try_pruned_knn_accuracy(d, test, train, test_labels, train_labels, k, warm_start)
+        // tsdist-lint: allow(no-unwrap-in-lib, reason = "documented `# Panics` facade; `try_pruned_knn_accuracy` is the fallible twin")
         .unwrap_or_else(|err| panic!("{err}"))
 }
 

@@ -9,7 +9,7 @@
 //! journal re-runs only missing, failed, and timed-out cells — and
 //! reproduces the completed ones bit-identically.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -113,7 +113,7 @@ pub struct CellRunner {
     journal: Option<Journal>,
     /// Cells already completed (from journal replay or this run), keyed
     /// by cell key: `(evaluation, original seconds)`.
-    completed: Mutex<HashMap<String, (Evaluation, f64)>>,
+    completed: Mutex<BTreeMap<String, (Evaluation, f64)>>,
     /// Cells that have *started* executing this run (for `max_cells`).
     started: AtomicUsize,
     /// Unparseable journal lines tolerated during replay.
@@ -126,7 +126,7 @@ impl CellRunner {
         CellRunner {
             config,
             journal: None,
-            completed: Mutex::new(HashMap::new()),
+            completed: Mutex::new(BTreeMap::new()),
             started: AtomicUsize::new(0),
             corrupt_journal_lines: 0,
         }
@@ -137,7 +137,7 @@ impl CellRunner {
     /// are authoritative — failed and timed-out cells re-run on resume.
     pub fn journaled(config: RunnerConfig, path: impl AsRef<Path>) -> std::io::Result<CellRunner> {
         let replay = read_journal(path.as_ref())?;
-        let mut completed = HashMap::new();
+        let mut completed = BTreeMap::new();
         for entry in replay.entries {
             if entry.study != config.study {
                 continue;

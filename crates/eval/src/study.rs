@@ -87,8 +87,8 @@ pub fn run_study(archive: &[Dataset], entrants: &[Entrant]) -> StudyReport {
     for cell in robust.cells.iter().flatten() {
         match &cell.outcome {
             CellOutcome::Ok(_) => {}
-            CellOutcome::Failed(err) => panic!("cell {} failed: {err}", cell.key),
-            CellOutcome::TimedOut => panic!("cell {} timed out", cell.key),
+            CellOutcome::Failed(err) => panic!("cell {} failed: {err}", cell.key), // tsdist-lint: allow(no-unwrap-in-lib, reason = "documented strict facade: the first fault aborts the study")
+            CellOutcome::TimedOut => panic!("cell {} timed out", cell.key), // tsdist-lint: allow(no-unwrap-in-lib, reason = "documented strict facade: the first fault aborts the study")
             CellOutcome::Skipped => panic!("cell {} was skipped", cell.key),
         }
     }
@@ -96,6 +96,7 @@ pub fn run_study(archive: &[Dataset], entrants: &[Entrant]) -> StudyReport {
         Some(report) => report,
         // Every cell completed (checked above), so the surviving subset
         // is the full grid and a report always exists.
+        // tsdist-lint: allow(no-unwrap-in-lib, reason = "a complete grid (checked above) always yields a report")
         None => unreachable!("complete grid always yields a report"),
     }
 }

@@ -208,7 +208,7 @@ mod tests {
         let max_idx = cc
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(max_idx, peak);
@@ -227,7 +227,7 @@ mod tests {
         let max_k = cc
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         let s = max_k as isize - (n as isize - 1);

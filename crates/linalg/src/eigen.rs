@@ -96,7 +96,7 @@ pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
     // Collect and sort eigenpairs by descending eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
     let values_raw: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    order.sort_by(|&i, &j| values_raw[j].partial_cmp(&values_raw[i]).unwrap());
+    order.sort_by(|&i, &j| values_raw[j].total_cmp(&values_raw[i]));
 
     let values: Vec<f64> = order.iter().map(|&i| values_raw[i]).collect();
     let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);

@@ -140,6 +140,7 @@ impl Matrix {
         for i in 0..self.rows {
             let a_row = self.row(i);
             for (k, &aik) in a_row.iter().enumerate() {
+                // tsdist-lint: allow(float-total-order, reason = "exact-zero skip in sparse matmul: skipping exact zeros cannot change any sum")
                 if aik == 0.0 {
                     continue;
                 }

@@ -1,0 +1,330 @@
+//! The lint driver: file discovery, lint execution, suppression
+//! matching, and the `suppression-audit` meta-lint.
+
+use std::path::{Path, PathBuf};
+
+use crate::lints::{self, LINT_NAMES};
+use crate::model::FileModel;
+use crate::report::{Diagnostic, Report, Severity, SuppressedDiagnostic};
+use crate::suppress::{find_suppressions, Suppression};
+
+/// Name of the engine-level lint auditing the suppressions themselves.
+pub const SUPPRESSION_AUDIT: &str = "suppression-audit";
+
+/// What to lint and which per-lint path exemptions apply.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Path prefixes (workspace-relative, `/`-separated) skipped
+    /// entirely: vendored stubs, build output, lint fixtures.
+    pub skip_prefixes: Vec<String>,
+    /// Path prefixes exempt from `no-unwrap-in-lib`: the bench/report
+    /// binaries, which abort-on-error by design.
+    pub no_unwrap_exempt_prefixes: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            skip_prefixes: vec![
+                "target/".into(),
+                "compat/".into(),
+                "crates/lint/tests/fixtures/".into(),
+            ],
+            no_unwrap_exempt_prefixes: vec!["crates/bench/".into()],
+        }
+    }
+}
+
+impl LintConfig {
+    fn skips(&self, rel: &str) -> bool {
+        self.skip_prefixes
+            .iter()
+            .any(|p| rel.starts_with(p.as_str()))
+    }
+
+    fn no_unwrap_exempt(&self, rel: &str) -> bool {
+        self.no_unwrap_exempt_prefixes
+            .iter()
+            .any(|p| rel.starts_with(p.as_str()))
+    }
+}
+
+/// Lints one source string. `rel_path` is the diagnostic label and
+/// drives path-based exemptions. This is the unit the fixture suite
+/// tests; [`lint_workspace`] folds it over the tree.
+pub fn lint_source(rel_path: &str, source: &str, config: &LintConfig) -> Report {
+    let model = FileModel::analyze(rel_path, source);
+    let raw = lints::run_all(&model, config.no_unwrap_exempt(rel_path));
+    let suppressions = find_suppressions(&model.comments, &model.tokens);
+
+    let mut report = Report {
+        files_scanned: 1,
+        ..Report::default()
+    };
+
+    // Malformed suppressions are always errors.
+    for m in &suppressions.malformed {
+        report.diagnostics.push(Diagnostic {
+            lint: SUPPRESSION_AUDIT,
+            severity: Severity::Error,
+            file: rel_path.to_string(),
+            line: m.line,
+            message: m.message.clone(),
+        });
+    }
+
+    // Match each finding against the suppressions.
+    let mut used = vec![false; suppressions.parsed.len()];
+    for d in raw {
+        let hit = suppressions
+            .parsed
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.lint == d.lint && (d.line == s.covers.0 || d.line == s.covers.1));
+        match hit {
+            Some((idx, s)) => {
+                used[idx] = true;
+                report.suppressed.push(SuppressedDiagnostic {
+                    lint: d.lint.to_string(),
+                    file: d.file,
+                    line: d.line,
+                    // Reasonless allows still suppress (so the audit
+                    // error below is the only new finding, not a
+                    // duplicate pair); the placeholder keeps the JSON
+                    // self-describing.
+                    reason: s.reason.clone().unwrap_or_else(|| "<missing>".into()),
+                });
+            }
+            None => report.diagnostics.push(d),
+        }
+    }
+
+    // Audit the suppressions themselves.
+    for (s, used) in suppressions.parsed.iter().zip(&used) {
+        audit_suppression(s, *used, rel_path, &mut report.diagnostics);
+    }
+
+    report.sort();
+    report
+}
+
+fn audit_suppression(s: &Suppression, used: bool, rel_path: &str, out: &mut Vec<Diagnostic>) {
+    if !LINT_NAMES.contains(&s.lint.as_str()) {
+        out.push(Diagnostic {
+            lint: SUPPRESSION_AUDIT,
+            severity: Severity::Error,
+            file: rel_path.to_string(),
+            line: s.line,
+            message: format!(
+                "allow names unknown lint `{}` (known: {})",
+                s.lint,
+                LINT_NAMES.join(", ")
+            ),
+        });
+        return;
+    }
+    if s.reason.is_none() {
+        out.push(Diagnostic {
+            lint: SUPPRESSION_AUDIT,
+            severity: Severity::Error,
+            file: rel_path.to_string(),
+            line: s.line,
+            message: format!(
+                "allow({}) without a reason: every suppression must say why it is sound",
+                s.lint
+            ),
+        });
+    }
+    if !used {
+        out.push(Diagnostic {
+            lint: SUPPRESSION_AUDIT,
+            severity: Severity::Warning,
+            file: rel_path.to_string(),
+            line: s.line,
+            message: format!(
+                "stale suppression: allow({}) matches no finding on its line or the next \
+                 code line — delete it or move it next to the violation",
+                s.lint
+            ),
+        });
+    }
+}
+
+/// Lints every library source file under `root` (the workspace
+/// directory): `src/` and `crates/*/src/`. Integration tests and bench
+/// suites are out of scope — the invariants are library invariants —
+/// and `compat/` is vendored.
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs_files(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    if crates_dir.is_dir() {
+        let entries = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
+            if entry.path().is_dir() {
+                crate_dirs.push(entry.path());
+            }
+        }
+    }
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs_files(&dir.join("src"), &mut files)?;
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for file in files {
+        let rel = relative_label(root, &file);
+        if config.skips(&rel) {
+            continue;
+        }
+        let source = std::fs::read_to_string(&file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let file_report = lint_source(&rel, &source, config);
+        report.files_scanned += 1;
+        report.diagnostics.extend(file_report.diagnostics);
+        report.suppressed.extend(file_report.suppressed);
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Recursively collects `*.rs` files; a missing directory is fine.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative, forward-slash path label.
+fn relative_label(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let mut label = String::new();
+    for component in rel.components() {
+        if !label.is_empty() {
+            label.push('/');
+        }
+        label.push_str(&component.as_os_str().to_string_lossy());
+    }
+    label
+}
+
+/// Finds the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("reading {}: {e}", manifest.display()))?;
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace root found above {} (looked for Cargo.toml with [workspace])",
+                start.display()
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LintConfig {
+        LintConfig::default()
+    }
+
+    #[test]
+    fn suppressed_finding_moves_to_the_suppressed_list() {
+        let src =
+            "fn f() { x.unwrap(); } // tsdist-lint: allow(no-unwrap-in-lib, reason = \"demo\")\n";
+        let r = lint_source("lib.rs", src, &cfg());
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].reason, "demo");
+    }
+
+    #[test]
+    fn standalone_suppression_covers_following_line() {
+        let src =
+            "// tsdist-lint: allow(no-unwrap-in-lib, reason = \"demo\")\nfn f() { x.unwrap(); }\n";
+        let r = lint_source("lib.rs", src, &cfg());
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(r.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn reasonless_allow_suppresses_but_errors() {
+        let src = "fn f() { x.unwrap(); } // tsdist-lint: allow(no-unwrap-in-lib)\n";
+        let r = lint_source("lib.rs", src, &cfg());
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.diagnostics[0].lint, SUPPRESSION_AUDIT);
+        assert!(r.diagnostics[0].message.contains("without a reason"));
+        assert_eq!(r.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn stale_allow_warns() {
+        let src = "// tsdist-lint: allow(no-unwrap-in-lib, reason = \"nothing here\")\nfn f() {}\n";
+        let r = lint_source("lib.rs", src, &cfg());
+        assert_eq!(r.warnings(), 1);
+        assert!(r.diagnostics[0].message.contains("stale suppression"));
+    }
+
+    #[test]
+    fn unknown_lint_name_errors() {
+        let src = "// tsdist-lint: allow(no-such-lint, reason = \"oops\")\nfn f() {}\n";
+        let r = lint_source("lib.rs", src, &cfg());
+        assert_eq!(r.errors(), 1);
+        assert!(r.diagnostics[0].message.contains("unknown lint"));
+    }
+
+    #[test]
+    fn a_suppression_only_silences_its_own_lint() {
+        let src = "fn f() { x.unwrap(); } // tsdist-lint: allow(float-total-order, reason = \"wrong lint\")\n";
+        let r = lint_source("lib.rs", src, &cfg());
+        // The unwrap still fires, and the allow is stale.
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+    }
+
+    #[test]
+    fn bench_paths_skip_no_unwrap_only() {
+        let src = "fn f() { x.unwrap(); a.partial_cmp(&b); }\n";
+        let r = lint_source("crates/bench/src/bin/table9.rs", src, &cfg());
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].lint, "float-total-order");
+    }
+
+    #[test]
+    fn workspace_root_discovery_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root exists");
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates/lint").is_dir());
+    }
+}

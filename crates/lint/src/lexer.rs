@@ -1,0 +1,757 @@
+//! A hand-rolled Rust lexer: source text to a flat token stream.
+//!
+//! The linter does not need a full parse — every project invariant is
+//! checkable from tokens plus a little structural recovery (brace
+//! matching, `#[cfg(test)]` regions, `fn` body spans, done in
+//! [`crate::model`]). Keeping the lexer token-faithful matters more
+//! than keeping it grammar-faithful: string literals, raw strings,
+//! char-vs-lifetime disambiguation, and nested block comments must be
+//! skipped exactly, or a `"unwrap()"` inside a doc string would fire a
+//! lint. Comments are not tokens; they are collected separately so the
+//! suppression parser ([`crate::suppress`]) can see them.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the linter treats keywords lexically).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (including hex/octal/binary).
+    IntLit,
+    /// Float literal (`1.0`, `1e-3`, `2f64`, `3.`).
+    FloatLit,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    StrLit,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// Operator or other punctuation; multi-char operators (`==`, `::`,
+    /// `..=`, `->`) are lexed as one token.
+    Punct,
+    /// `(`, `[`, or `{`.
+    OpenDelim,
+    /// `)`, `]`, or `}`.
+    CloseDelim,
+}
+
+/// One lexed token: kind, verbatim text, and 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True when the token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// True for an opening delimiter with this text.
+    pub fn is_open(&self, text: &str) -> bool {
+        self.kind == TokenKind::OpenDelim && self.text == text
+    }
+
+    /// True for a closing delimiter with this text.
+    pub fn is_close(&self, text: &str) -> bool {
+        self.kind == TokenKind::CloseDelim && self.text == text
+    }
+}
+
+/// One comment, with `//` / `/* */` framing stripped.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Line the comment starts on (1-based).
+    pub line: u32,
+    /// Comment body, without the `//` or `/* */` framing.
+    pub text: String,
+    /// Doc comments (`///`, `//!`, `/** */`, `/*! */`) cannot carry
+    /// suppressions — a doc string *describing* the syntax must not
+    /// activate it.
+    pub is_doc: bool,
+}
+
+/// Output of [`lex`]: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so greedy matching is
+/// correct (`..=` before `..` before `.`).
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens and comments. Unterminated constructs
+/// (string running to EOF) are tolerated: the remainder becomes one
+/// token and lexing stops, which is the right behaviour for a linter
+/// that must never panic on weird input.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (plain `//`, doc `///`, inner doc `//!`).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start_line = line;
+            let mut j = i + 2;
+            let is_doc = j < n && (chars[j] == '/' || chars[j] == '!');
+            if is_doc {
+                j += 1;
+            }
+            let mut text = String::new();
+            while j < n && chars[j] != '\n' {
+                text.push(chars[j]);
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+                is_doc,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start_line = line;
+            let mut j = i + 2;
+            let is_doc = j < n && (chars[j] == '*' || chars[j] == '!');
+            let mut depth = 1usize;
+            let mut text = String::new();
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                }
+                if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                    text.push_str("/*");
+                    continue;
+                }
+                if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    continue;
+                }
+                text.push(chars[j]);
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+                is_doc,
+            });
+            i = j;
+            continue;
+        }
+        // Raw strings / raw identifiers / byte strings: r"…", r#"…"#,
+        // r#ident, b"…", br"…", b'x'.
+        if (c == 'r' || c == 'b') && lex_raw_or_byte(&chars, i, &mut line, &mut out.tokens) {
+            i = advance_after_last(&out.tokens, &chars, i);
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let (token, j) = lex_number(&chars, i, line);
+            out.tokens.push(token);
+            i = j;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let (text, j, newlines) = lex_quoted(&chars, i, '"');
+            out.tokens.push(Token {
+                kind: TokenKind::StrLit,
+                text,
+                line,
+            });
+            line += newlines;
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let (token, j) = lex_char_or_lifetime(&chars, i, line);
+            out.tokens.push(token);
+            i = j;
+            continue;
+        }
+        // Delimiters.
+        if matches!(c, '(' | '[' | '{') {
+            out.tokens.push(Token {
+                kind: TokenKind::OpenDelim,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        if matches!(c, ')' | ']' | '}') {
+            out.tokens.push(Token {
+                kind: TokenKind::CloseDelim,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        // Multi-char operators, greedy.
+        let mut matched = false;
+        for op in OPERATORS {
+            let oc: Vec<char> = op.chars().collect();
+            if chars[i..].starts_with(&oc) {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                });
+                i += oc.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        // Any other single char is punctuation.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Handles `r…`/`b…` prefixed literals. Returns true when a token was
+/// produced (the caller then recomputes its end position); false means
+/// "not actually a raw/byte literal — lex as a plain identifier".
+fn lex_raw_or_byte(chars: &[char], i: usize, line: &mut u32, tokens: &mut Vec<Token>) -> bool {
+    let n = chars.len();
+    let c = chars[i];
+    // r#"…"#  or  r"…"
+    if c == 'r' {
+        let mut hashes = 0usize;
+        let mut j = i + 1;
+        while j < n && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < n && chars[j] == '"' {
+            let (text, _end, newlines) = lex_raw_string(chars, j, hashes);
+            tokens.push(Token {
+                kind: TokenKind::StrLit,
+                text,
+                line: *line,
+            });
+            *line += newlines;
+            return true;
+        }
+        // r#ident (raw identifier)
+        if hashes == 1 && j < n && is_ident_start(chars[j]) {
+            let mut k = j + 1;
+            while k < n && is_ident_continue(chars[k]) {
+                k += 1;
+            }
+            let text: String = chars[j..k].iter().collect();
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line: *line,
+            });
+            return true;
+        }
+        return false;
+    }
+    // b"…", br"…", b'x'
+    if c == 'b' && i + 1 < n {
+        match chars[i + 1] {
+            '"' => {
+                let (text, _j, newlines) = lex_quoted(chars, i + 1, '"');
+                tokens.push(Token {
+                    kind: TokenKind::StrLit,
+                    text,
+                    line: *line,
+                });
+                *line += newlines;
+                true
+            }
+            '\'' => {
+                let (token, _j) = lex_char_or_lifetime(chars, i + 1, *line);
+                tokens.push(token);
+                true
+            }
+            'r' => {
+                let mut hashes = 0usize;
+                let mut j = i + 2;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && chars[j] == '"' {
+                    let (text, _end, newlines) = lex_raw_string(chars, j, hashes);
+                    tokens.push(Token {
+                        kind: TokenKind::StrLit,
+                        text,
+                        line: *line,
+                    });
+                    *line += newlines;
+                    return true;
+                }
+                false
+            }
+            _ => false,
+        }
+    } else {
+        false
+    }
+}
+
+/// After [`lex_raw_or_byte`] pushed a token, recompute where the source
+/// cursor must continue. The token text has its framing stripped, so we
+/// re-scan from `start` looking for the literal's true extent.
+fn advance_after_last(tokens: &[Token], chars: &[char], start: usize) -> usize {
+    let n = chars.len();
+    let Some(last) = tokens.last() else {
+        return start + 1;
+    };
+    match last.kind {
+        TokenKind::Ident => {
+            // r#ident: skip `r#` then the identifier.
+            let mut j = start;
+            if chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            while chars.get(j) == Some(&'#') {
+                j += 1;
+            }
+            j + last.text.chars().count()
+        }
+        TokenKind::CharLit => {
+            // b'…': find the closing quote from after `b'`.
+            let mut j = start + 2;
+            while j < n {
+                if chars[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '\'' {
+                    return j + 1;
+                }
+                j += 1;
+            }
+            n
+        }
+        _ => {
+            // String flavours: skip prefix chars, count hashes, then find
+            // the matching close quote + hashes.
+            let mut j = start;
+            while j < n && (chars[j] == 'r' || chars[j] == 'b') {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j >= n || chars[j] != '"' {
+                return j;
+            }
+            if hashes == 0 && chars.get(j.wrapping_sub(1)) != Some(&'r') && start + 1 == j {
+                // Plain b"…" — quoted scan (handles escapes).
+                let (_, end, _) = lex_quoted(chars, j, '"');
+                return end;
+            }
+            if hashes == 0 {
+                // r"…" — no escapes, find next quote.
+                let mut k = j + 1;
+                while k < n && chars[k] != '"' {
+                    k += 1;
+                }
+                return (k + 1).min(n);
+            }
+            // r#…#"…"#…# — find `"` followed by `hashes` hashes.
+            let mut k = j + 1;
+            while k < n {
+                if chars[k] == '"' {
+                    let mut h = 0usize;
+                    while k + 1 + h < n && chars[k + 1 + h] == '#' && h < hashes {
+                        h += 1;
+                    }
+                    if h == hashes {
+                        return k + 1 + hashes;
+                    }
+                }
+                k += 1;
+            }
+            n
+        }
+    }
+}
+
+/// Lexes a raw string starting at the opening quote, with `hashes`
+/// guard hashes. Returns (body, end index, newline count).
+fn lex_raw_string(chars: &[char], quote: usize, hashes: usize) -> (String, usize, u32) {
+    let n = chars.len();
+    let mut j = quote + 1;
+    let mut text = String::new();
+    let mut newlines = 0u32;
+    while j < n {
+        if chars[j] == '"' {
+            let mut h = 0usize;
+            while j + 1 + h < n && chars[j + 1 + h] == '#' && h < hashes {
+                h += 1;
+            }
+            if h == hashes {
+                return (text, j + 1 + hashes, newlines);
+            }
+        }
+        if chars[j] == '\n' {
+            newlines += 1;
+        }
+        text.push(chars[j]);
+        j += 1;
+    }
+    (text, n, newlines)
+}
+
+/// Lexes a quoted literal with escape sequences, starting at the
+/// opening quote. Returns (body, end index, newline count).
+fn lex_quoted(chars: &[char], start: usize, quote: char) -> (String, usize, u32) {
+    let n = chars.len();
+    let mut j = start + 1;
+    let mut text = String::new();
+    let mut newlines = 0u32;
+    while j < n {
+        if chars[j] == '\\' && j + 1 < n {
+            text.push(chars[j]);
+            text.push(chars[j + 1]);
+            j += 2;
+            continue;
+        }
+        if chars[j] == quote {
+            return (text, j + 1, newlines);
+        }
+        if chars[j] == '\n' {
+            newlines += 1;
+        }
+        text.push(chars[j]);
+        j += 1;
+    }
+    (text, n, newlines)
+}
+
+/// Lexes a numeric literal starting at a digit.
+fn lex_number(chars: &[char], start: usize, line: u32) -> (Token, usize) {
+    let n = chars.len();
+    let mut j = start;
+    let mut is_float = false;
+
+    // Hex / octal / binary stay integers.
+    if chars[j] == '0' && j + 1 < n && matches!(chars[j + 1], 'x' | 'o' | 'b') {
+        j += 2;
+        while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+        let text: String = chars[start..j].iter().collect();
+        return (
+            Token {
+                kind: TokenKind::IntLit,
+                text,
+                line,
+            },
+            j,
+        );
+    }
+
+    while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+        j += 1;
+    }
+    // Fractional part: a `.` followed by a digit, or a trailing `.` that
+    // is not a range (`1..`) or method call (`1.max(…)`).
+    if j < n && chars[j] == '.' {
+        let after = chars.get(j + 1);
+        match after {
+            Some(d) if d.is_ascii_digit() => {
+                is_float = true;
+                j += 1;
+                while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+            Some(&a) if a == '.' || is_ident_start(a) => {}
+            _ => {
+                // `1.` — trailing-dot float.
+                is_float = true;
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if j < n && (chars[j] == 'e' || chars[j] == 'E') {
+        let mut k = j + 1;
+        if k < n && (chars[k] == '+' || chars[k] == '-') {
+            k += 1;
+        }
+        if k < n && chars[k].is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (`f64`, `u32`, …).
+    let suffix_start = j;
+    while j < n && is_ident_continue(chars[j]) {
+        j += 1;
+    }
+    let suffix: String = chars[suffix_start..j].iter().collect();
+    if suffix == "f32" || suffix == "f64" {
+        is_float = true;
+    }
+
+    let text: String = chars[start..j].iter().collect();
+    (
+        Token {
+            kind: if is_float {
+                TokenKind::FloatLit
+            } else {
+                TokenKind::IntLit
+            },
+            text,
+            line,
+        },
+        j,
+    )
+}
+
+/// Disambiguates `'x'` (char literal) from `'label` (lifetime).
+fn lex_char_or_lifetime(chars: &[char], start: usize, line: u32) -> (Token, usize) {
+    let n = chars.len();
+    // Escape: definitely a char literal.
+    if start + 1 < n && chars[start + 1] == '\\' {
+        let mut j = start + 2;
+        while j < n {
+            if chars[j] == '\\' {
+                j += 2;
+                continue;
+            }
+            if chars[j] == '\'' {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+        let text: String = chars[start..j.min(n)].iter().collect();
+        return (
+            Token {
+                kind: TokenKind::CharLit,
+                text,
+                line,
+            },
+            j.min(n),
+        );
+    }
+    // 'x' — one char then a closing quote.
+    if start + 2 < n && chars[start + 2] == '\'' {
+        let text: String = chars[start..start + 3].iter().collect();
+        return (
+            Token {
+                kind: TokenKind::CharLit,
+                text,
+                line,
+            },
+            start + 3,
+        );
+    }
+    // Lifetime / label.
+    let mut j = start + 1;
+    while j < n && is_ident_continue(chars[j]) {
+        j += 1;
+    }
+    let text: String = chars[start..j].iter().collect();
+    (
+        Token {
+            kind: TokenKind::Lifetime,
+            text,
+            line,
+        },
+        j,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("a.unwrap();");
+        assert_eq!(toks[0], (TokenKind::Ident, "a".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokenKind::Ident, "unwrap".into()));
+        assert_eq!(toks[3], (TokenKind::OpenDelim, "(".into()));
+        assert_eq!(toks[4], (TokenKind::CloseDelim, ")".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "x.unwrap()";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "unwrap"));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::StrLit));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r##"let s = r#"partial_cmp "quoted""#;"##);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "partial_cmp"));
+        let toks = kinds("let s = r\"plain raw\"; next");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "next"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn float_vs_int_vs_method_call() {
+        let toks = kinds("1.0 2 3e-4 5f64 0x1f 1.max(2) 0..10 7.");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::FloatLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "3e-4", "5f64", "7."]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::IntLit && t == "0x1f"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == ".."));
+    }
+
+    #[test]
+    fn comments_are_collected_not_tokenized() {
+        let lexed = lex("a // trailing note\n/* block\nspans */ b /// doc unwrap()\n");
+        assert_eq!(lexed.tokens.len(), 2);
+        assert_eq!(lexed.comments.len(), 3);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(!lexed.comments[0].is_doc);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.comments[2].is_doc);
+        // Line numbers survive multi-line block comments.
+        assert_eq!(lexed.tokens[1].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ token");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert!(lexed.tokens[0].is_ident("token"));
+    }
+
+    #[test]
+    fn multiline_string_advances_line_counter() {
+        let lexed = lex("let a = \"line one\nline two\";\nb");
+        let b = &lexed.tokens[lexed.tokens.len() - 1];
+        assert!(b.is_ident("b"));
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn multichar_operators_lex_as_one_token() {
+        let toks = kinds("a == b != c :: d -> e ..= f");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->", "..="]);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = kinds(r#"let a = b"bytes unwrap()"; let c = b'x'; rest"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "rest"));
+    }
+}

@@ -1,0 +1,125 @@
+//! `tsdist-lint` — the workspace invariant checker.
+//!
+//! The paper's conclusions rest on bit-reproducible accuracies, and the
+//! codebase maintains that reproducibility through conventions:
+//! `total_cmp` instead of `partial_cmp().unwrap()`, typed errors
+//! instead of panics in fallible eval paths, allocation-free
+//! `*_ws`/`*_upto` hot paths, and ordered collections wherever results
+//! are rendered or journaled. This crate turns those conventions into
+//! CI-gated facts: a from-scratch static analysis engine (hand-rolled
+//! lexer + token-tree scanner, no `syn`, consistent with the
+//! no-external-deps policy) that walks every workspace source file and
+//! reports named, severity-tagged diagnostics with `file:line`
+//! positions and machine-readable JSON output.
+//!
+//! # The lint set
+//!
+//! | lint | severity | invariant |
+//! |------|----------|-----------|
+//! | `no-unwrap-in-lib` | error | no `.unwrap()`/`.expect()`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` outside tests, benches, and reasoned facades |
+//! | `float-total-order` | error | no `partial_cmp` and no `==`/`!=` against float literals — use `f64::total_cmp` |
+//! | `nondeterministic-iteration` | error | no `HashMap`/`HashSet` in library code — `BTreeMap`/`BTreeSet` or sorted `Vec` |
+//! | `hot-path-alloc` | error | no `Vec::new`/`vec!`/`to_vec`/`collect`/… inside `*_ws`/`*_upto` bodies — use the `Workspace` arena |
+//! | `asymmetric-float-expr` | warning | no `(a / b).ln()`-style swap-asymmetric expressions in measures claiming symmetry |
+//! | `suppression-audit` | error/warning | every allow carries a reason, names a known lint, and suppresses something |
+//!
+//! # Suppressions
+//!
+//! ```text
+//! // tsdist-lint: allow(<lint-name>, reason = "why this is sound")
+//! ```
+//!
+//! placed trailing on the flagged line or standalone on the line above
+//! it. The reason is mandatory and audited; a stale allow (matching no
+//! finding) is itself a warning, so suppressions cannot outlive the
+//! code they excuse.
+//!
+//! # Entry points
+//!
+//! Run as `tsdist lint [--json] [--deny-warnings]` or standalone via
+//! `cargo run -p tsdist-lint`. [`lint_workspace`] drives the whole
+//! tree; [`lint_source`] lints one string (what the fixture suite
+//! exercises).
+
+pub mod engine;
+pub mod lexer;
+pub mod lints;
+pub mod model;
+pub mod report;
+pub mod suppress;
+
+pub use engine::{find_workspace_root, lint_source, lint_workspace, LintConfig};
+pub use report::{Diagnostic, Report, Severity, SuppressedDiagnostic};
+
+/// Shared CLI driver for the standalone binary and the `tsdist lint`
+/// subcommand. Parses `[--json] [--deny-warnings] [--root DIR]
+/// [--out FILE]`, lints the workspace, prints the report, writes the
+/// JSON artifact, and returns `Err` (with a summary message) when the
+/// run must fail.
+pub fn run_cli(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut root: Option<String> = None;
+    let mut out_file: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--root" => {
+                root = Some(
+                    iter.next()
+                        .ok_or("--root needs a directory argument")?
+                        .clone(),
+                );
+            }
+            "--out" => {
+                out_file = Some(iter.next().ok_or("--out needs a file argument")?.clone());
+            }
+            other => {
+                return Err(format!(
+                    "unknown lint option {other:?}\n\
+                     usage: lint [--json] [--deny-warnings] [--root DIR] [--out FILE]"
+                ));
+            }
+        }
+    }
+
+    let root = match root {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("getcwd: {e}"))?;
+            find_workspace_root(&cwd)?
+        }
+    };
+    let report = lint_workspace(&root, &LintConfig::default())?;
+
+    if let Some(path) = &out_file {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(path, report.render_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+
+    let errors = report.errors();
+    let warnings = report.warnings();
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        return Err(format!(
+            "lint failed: {errors} error(s), {warnings} warning(s){}",
+            if deny_warnings {
+                " (warnings denied)"
+            } else {
+                ""
+            }
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! `float-total-order`: float comparisons must use the IEEE-754
+//! totalOrder predicate, not the partial order.
+//!
+//! `partial_cmp().unwrap()` panics on NaN — in a 1-NN scan that is a
+//! data-dependent abort — and `sort_by` closures built on it make
+//! rankings NaN-fragile. `f64::total_cmp` gives the same order on
+//! non-NaN data (modulo `-0.0 < +0.0`, which cannot distinguish ranked
+//! accuracies) and a deterministic one otherwise. Raw `==` against a
+//! float literal is flagged too: exact-zero guards are sometimes right,
+//! but each one must say why (suppression with reason).
+
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+use crate::report::{Diagnostic, Severity};
+
+pub const NAME: &str = "float-total-order";
+
+pub fn check(model: &FileModel, out: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    for i in 0..tokens.len() {
+        if model.in_test_region(i) {
+            continue;
+        }
+        // `.partial_cmp(` in method position.
+        if tokens[i].is_ident("partial_cmp")
+            && i > 0
+            && (tokens[i - 1].is_punct(".") || tokens[i - 1].is_punct("::"))
+            && i + 1 < tokens.len()
+            && tokens[i + 1].is_open("(")
+        {
+            out.push(Diagnostic {
+                lint: NAME,
+                severity: Severity::Error,
+                file: model.path.clone(),
+                line: tokens[i].line,
+                message: "`partial_cmp` on floats: use `f64::total_cmp` (same order on \
+                          non-NaN data, deterministic on NaN, never panics)"
+                    .into(),
+            });
+        }
+        // `== 1.0` / `1.0 !=` — equality against a float literal.
+        if tokens[i].kind == TokenKind::Punct && (tokens[i].text == "==" || tokens[i].text == "!=")
+        {
+            let neighbor_is_float = [i.checked_sub(1), Some(i + 1)]
+                .into_iter()
+                .flatten()
+                .filter_map(|j| tokens.get(j))
+                .any(|t| t.kind == TokenKind::FloatLit);
+            if neighbor_is_float {
+                out.push(Diagnostic {
+                    lint: NAME,
+                    severity: Severity::Error,
+                    file: model.path.clone(),
+                    line: tokens[i].line,
+                    message: format!(
+                        "float literal compared with `{}`: exact float equality is \
+                         usually a bug; if this is a deliberate exact-bit guard, \
+                         suppress with the reason",
+                        tokens[i].text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::analyze("x.rs", src);
+        let mut out = Vec::new();
+        check(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_on_partial_cmp() {
+        assert_eq!(run("fn f() { a.partial_cmp(&b); }").len(), 1);
+        assert_eq!(
+            run("fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn fires_on_float_literal_equality() {
+        assert_eq!(run("fn f() { if x == 0.0 {} }").len(), 1);
+        assert_eq!(run("fn f() { if 1.5 != y {} }").len(), 1);
+    }
+
+    #[test]
+    fn silent_on_total_cmp_int_equality_and_tests() {
+        assert!(run("fn f() { v.sort_by(|a, b| a.total_cmp(b)); }").is_empty());
+        assert!(run("fn f() { if n == 3 {} }").is_empty());
+        assert!(run("fn f() { if name == \"ed\" {} }").is_empty());
+        assert!(run("#[cfg(test)]\nmod t { fn f() { a.partial_cmp(&b); } }").is_empty());
+    }
+
+    #[test]
+    fn silent_on_ident_named_partial_cmp_without_call() {
+        assert!(run("fn f() { let partial_cmp = 3; }").is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! The lint passes.
+//!
+//! Each lint is a token-level pass over a [`FileModel`] producing
+//! [`Diagnostic`]s. The sixth project lint, `suppression-audit`, is not
+//! here: it is engine-level (it needs the matched/unmatched state of
+//! every suppression) and lives in [`crate::engine`].
+
+use crate::model::FileModel;
+use crate::report::Diagnostic;
+
+pub mod asymmetric_expr;
+pub mod float_order;
+pub mod hot_path_alloc;
+pub mod no_unwrap;
+pub mod nondet_iter;
+
+/// Names of every lint the engine knows, including the engine-level
+/// `suppression-audit`. Suppressions naming anything else are rejected.
+pub const LINT_NAMES: &[&str] = &[
+    no_unwrap::NAME,
+    float_order::NAME,
+    nondet_iter::NAME,
+    hot_path_alloc::NAME,
+    asymmetric_expr::NAME,
+    crate::engine::SUPPRESSION_AUDIT,
+];
+
+/// Runs every token-level lint over one file.
+pub fn run_all(model: &FileModel, no_unwrap_exempt: bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !no_unwrap_exempt {
+        no_unwrap::check(model, &mut out);
+    }
+    float_order::check(model, &mut out);
+    nondet_iter::check(model, &mut out);
+    hot_path_alloc::check(model, &mut out);
+    asymmetric_expr::check(model, &mut out);
+    out
+}

@@ -1,0 +1,103 @@
+//! `no-unwrap-in-lib`: no `.unwrap()` / `.expect(…)` / `panic!` /
+//! `unreachable!` / `todo!` / `unimplemented!` in library code.
+//!
+//! The eval engine's whole fault-tolerance story (PR 2) rests on
+//! fallible paths returning typed errors; a stray unwrap deep in a
+//! measure turns a recoverable cell failure into a study-wide abort.
+//! Test regions are exempt (tests unwrap freely), as are the bench
+//! binaries via config. The deliberate *panicking facades* — strict
+//! wrappers documented with `# Panics` — stay, each carrying a reasoned
+//! suppression.
+
+use crate::model::FileModel;
+use crate::report::{Diagnostic, Severity};
+
+pub const NAME: &str = "no-unwrap-in-lib";
+
+/// Macros that abort the process when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(model: &FileModel, out: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    for i in 0..tokens.len() {
+        if model.in_test_region(i) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` — method-call position only, so
+        // `unwrap_or`, `unwrap_or_else`, and a local named `expect` do
+        // not fire.
+        if (tokens[i].is_ident("unwrap") || tokens[i].is_ident("expect"))
+            && i > 0
+            && tokens[i - 1].is_punct(".")
+            && i + 1 < tokens.len()
+            && tokens[i + 1].is_open("(")
+        {
+            out.push(Diagnostic {
+                lint: NAME,
+                severity: Severity::Error,
+                file: model.path.clone(),
+                line: tokens[i].line,
+                message: format!(
+                    "`.{}(…)` in library code: return a typed error (or recover, \
+                     e.g. `unwrap_or_else(|e| e.into_inner())` for mutex poisoning); \
+                     deliberate panicking facades need a reasoned suppression",
+                    tokens[i].text
+                ),
+            });
+        }
+        // `panic!(…)` and friends. `!` must directly follow the ident so
+        // `self.panic` fields or `a != b` never fire.
+        if PANIC_MACROS.iter().any(|m| tokens[i].is_ident(m))
+            && i + 1 < tokens.len()
+            && tokens[i + 1].is_punct("!")
+        {
+            out.push(Diagnostic {
+                lint: NAME,
+                severity: Severity::Error,
+                file: model.path.clone(),
+                line: tokens[i].line,
+                message: format!(
+                    "`{}!` in library code: fallible paths must return typed errors; \
+                     documented API-misuse panics need a reasoned suppression",
+                    tokens[i].text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::analyze("x.rs", src);
+        let mut out = Vec::new();
+        check(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_on_unwrap_expect_and_panic_macros() {
+        assert_eq!(run("fn f() { x.unwrap(); }").len(), 1);
+        assert_eq!(run("fn f() { x.expect(\"msg\"); }").len(), 1);
+        assert_eq!(run("fn f() { panic!(\"boom\"); }").len(), 1);
+        assert_eq!(run("fn f() { unreachable!(); }").len(), 1);
+        assert_eq!(run("fn f() { todo!(); }").len(), 1);
+    }
+
+    #[test]
+    fn silent_on_recovering_variants_and_tests() {
+        assert!(run("fn f() { x.unwrap_or(0); }").is_empty());
+        assert!(run("fn f() { x.unwrap_or_else(|e| e.into_inner()); }").is_empty());
+        assert!(run("fn f() { x.unwrap_or_default(); }").is_empty());
+        assert!(run("fn f() { if a != b {} }").is_empty());
+        assert!(run("#[cfg(test)]\nmod tests { fn f() { x.unwrap(); panic!(); } }").is_empty());
+        assert!(run("#[test]\nfn t() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn silent_on_strings_and_comments() {
+        assert!(run("fn f() { let s = \"call .unwrap() maybe\"; } // panic!(…)").is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! `nondeterministic-iteration`: no `std` hash collections in library
+//! code.
+//!
+//! `HashMap`/`HashSet` iteration order varies run-to-run (SipHash is
+//! randomly keyed), so any map that ever feeds rendering, journaling,
+//! or statistics silently breaks the byte-identical-reports guarantee.
+//! Rather than trying to prove "this map is never iterated" lexically,
+//! the lint bans the types outright in scanned code: `BTreeMap` /
+//! `BTreeSet` (or a sorted `Vec`) cost nothing at this scale and make
+//! determinism structural. A genuinely iteration-free hash map can
+//! carry a reasoned suppression.
+
+use crate::model::FileModel;
+use crate::report::{Diagnostic, Severity};
+
+pub const NAME: &str = "nondeterministic-iteration";
+
+pub fn check(model: &FileModel, out: &mut Vec<Diagnostic>) {
+    let tokens = &model.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if model.in_test_region(i) {
+            continue;
+        }
+        if tok.is_ident("HashMap") || tok.is_ident("HashSet") {
+            out.push(Diagnostic {
+                lint: NAME,
+                severity: Severity::Error,
+                file: model.path.clone(),
+                line: tok.line,
+                message: format!(
+                    "`{}` has nondeterministic iteration order: use `BTree{}` or a \
+                     sorted Vec so results are byte-reproducible; a lookup-only map \
+                     may be suppressed with the reason",
+                    tokens[i].text,
+                    &tokens[i].text[4..],
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::analyze("x.rs", src);
+        let mut out = Vec::new();
+        check(&model, &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_on_hash_collections() {
+        assert_eq!(run("use std::collections::HashMap;").len(), 1);
+        assert_eq!(
+            run("fn f() { let s: HashSet<u32> = HashSet::new(); }").len(),
+            2
+        );
+    }
+
+    #[test]
+    fn silent_on_btree_and_tests() {
+        assert!(run("use std::collections::BTreeMap;").is_empty());
+        assert!(run("#[cfg(test)]\nmod t { use std::collections::HashMap; }").is_empty());
+    }
+
+    #[test]
+    fn message_names_the_ordered_replacement() {
+        let d = run("use std::collections::HashSet;");
+        assert!(d[0].message.contains("BTreeSet"));
+    }
+}

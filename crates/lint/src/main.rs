@@ -1,0 +1,16 @@
+//! Standalone entry point: `cargo run -p tsdist-lint -- [--json]
+//! [--deny-warnings] [--root DIR] [--out FILE]`. The same driver backs
+//! the `tsdist lint` subcommand.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match tsdist_lint::run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

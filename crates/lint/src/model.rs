@@ -1,0 +1,289 @@
+//! Structural recovery over the token stream.
+//!
+//! From the flat [`crate::lexer`] output this module computes the three
+//! structural facts the lints need:
+//!
+//! 1. **Delimiter matching** — for every `(`/`[`/`{` token, the index
+//!    of its partner.
+//! 2. **Test regions** — token ranges under a `#[cfg(test)]` attribute
+//!    (the conventional `mod tests`) or a `#[test]` function. Library
+//!    invariants do not apply inside them: tests unwrap freely.
+//! 3. **Function spans** — `(name, body range)` for every `fn`, so the
+//!    hot-path lint can restrict itself to `*_ws` / `*_upto` bodies.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// A fully analyzed source file, ready for lint passes.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path with forward slashes (diagnostic label).
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// `match_of[i]` is the partner index of a delimiter token, or
+    /// `usize::MAX` for non-delimiters and unbalanced delimiters.
+    pub match_of: Vec<usize>,
+    /// Token index ranges (inclusive start, inclusive end) that are
+    /// test-only code.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Every `fn` with a body in the file.
+    pub fns: Vec<FnSpan>,
+}
+
+/// One function definition: its name and body delimiter indices.
+#[derive(Debug)]
+pub struct FnSpan {
+    pub name: String,
+    /// Index of the body's `{` token.
+    pub open: usize,
+    /// Index of the body's `}` token.
+    pub close: usize,
+}
+
+impl FileModel {
+    /// Lexes and structurally analyzes one source file.
+    pub fn analyze(path: &str, source: &str) -> FileModel {
+        let lexed = lex(source);
+        let match_of = match_delimiters(&lexed.tokens);
+        let test_ranges = find_test_ranges(&lexed.tokens, &match_of);
+        let fns = find_fns(&lexed.tokens, &match_of);
+        FileModel {
+            path: path.to_string(),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            match_of,
+            test_ranges,
+            fns,
+        }
+    }
+
+    /// True when token `i` lies inside any test region.
+    pub fn in_test_region(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| i >= a && i <= b)
+    }
+
+    /// The source line of token `i`.
+    pub fn line(&self, i: usize) -> u32 {
+        self.tokens.get(i).map_or(0, |t| t.line)
+    }
+}
+
+/// Stack-matches `()`, `[]`, `{}`.
+fn match_delimiters(tokens: &[Token]) -> Vec<usize> {
+    let mut match_of = vec![usize::MAX; tokens.len()];
+    let mut stack: Vec<(usize, &str)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::OpenDelim => stack.push((i, t.text.as_str())),
+            TokenKind::CloseDelim => {
+                let want = match t.text.as_str() {
+                    ")" => "(",
+                    "]" => "[",
+                    _ => "{",
+                };
+                // Pop until the matching opener: tolerates unbalanced
+                // input instead of panicking.
+                while let Some((j, open)) = stack.pop() {
+                    if open == want {
+                        match_of[i] = j;
+                        match_of[j] = i;
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    match_of
+}
+
+/// True when the attribute token range marks test-only code: it
+/// mentions the bare ident `test` and is not a `not(test)` guard.
+/// Covers `#[test]`, `#[cfg(test)]`, and `#[cfg(all(test, …))]`.
+fn attr_is_test(tokens: &[Token], start: usize, end: usize) -> bool {
+    let mut saw_test = false;
+    let mut saw_not = false;
+    for t in &tokens[start..=end] {
+        if t.is_ident("test") {
+            saw_test = true;
+        }
+        if t.is_ident("not") {
+            saw_not = true;
+        }
+    }
+    saw_test && !saw_not
+}
+
+/// Finds token ranges covered by test attributes. The range runs from
+/// the `#` of the attribute to the `}` closing the next braced item
+/// (module body or function body).
+fn find_test_ranges(tokens: &[Token], match_of: &[usize]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#")
+            && i + 1 < tokens.len()
+            && tokens[i + 1].is_open("[")
+            && match_of[i + 1] != usize::MAX
+        {
+            let attr_end = match_of[i + 1];
+            if attr_is_test(tokens, i + 1, attr_end) {
+                // Find the opening `{` of the annotated item, skipping any
+                // further attributes. Stop at `;` (e.g. `#[cfg(test)] use …;`
+                // annotates a body-less item).
+                let mut j = attr_end + 1;
+                let mut open = None;
+                while j < tokens.len() {
+                    if tokens[j].is_punct("#")
+                        && j + 1 < tokens.len()
+                        && tokens[j + 1].is_open("[")
+                        && match_of[j + 1] != usize::MAX
+                    {
+                        j = match_of[j + 1] + 1;
+                        continue;
+                    }
+                    if tokens[j].is_punct(";") {
+                        break;
+                    }
+                    if tokens[j].is_open("{") && match_of[j] != usize::MAX {
+                        open = Some(j);
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some(open) = open {
+                    ranges.push((i, match_of[open]));
+                    i = match_of[open] + 1;
+                    continue;
+                }
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Finds every `fn name … { body }`. Trait-method declarations ending
+/// in `;` have no body and are skipped.
+fn find_fns(tokens: &[Token], match_of: &[usize]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // Scan the signature for the body's `{`; `;` means no body. The
+        // signature contains only `()`/`[]`/`<>` nesting, so the first
+        // top-level `{` is the body (skipping delimiter groups keeps
+        // closure bodies in default-argument positions from confusing
+        // this — not that Rust has those).
+        let mut j = i + 2;
+        while j < tokens.len() {
+            if tokens[j].is_punct(";") {
+                break;
+            }
+            if tokens[j].kind == TokenKind::OpenDelim {
+                if tokens[j].text == "{" {
+                    if match_of[j] != usize::MAX {
+                        fns.push(FnSpan {
+                            name: name_tok.text.clone(),
+                            open: j,
+                            close: match_of[j],
+                        });
+                    }
+                    break;
+                }
+                // Skip `(…)` / `[…]` groups in the signature.
+                if match_of[j] != usize::MAX {
+                    j = match_of[j] + 1;
+                    continue;
+                }
+            }
+            j += 1;
+        }
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+pub fn library_fn(x: f64) -> f64 {
+    x + 1.0
+}
+
+fn distance_ws(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+trait T {
+    fn declared_only(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests() {
+        let v: Vec<i32> = Vec::new();
+        v.first().unwrap();
+    }
+}
+"#;
+
+    #[test]
+    fn fn_spans_are_found() {
+        let m = FileModel::analyze("x.rs", SRC);
+        let names: Vec<_> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"library_fn"));
+        assert!(names.contains(&"distance_ws"));
+        assert!(names.contains(&"in_tests"));
+        assert!(!names.contains(&"declared_only"));
+    }
+
+    #[test]
+    fn test_region_covers_the_mod_body() {
+        let m = FileModel::analyze("x.rs", SRC);
+        assert_eq!(m.test_ranges.len(), 1);
+        // The unwrap ident inside the tests module is in the region; the
+        // library fn body is not.
+        let unwrap_idx = m
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("fixture contains unwrap");
+        assert!(m.in_test_region(unwrap_idx));
+        let lib_idx = m
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("library_fn"))
+            .expect("fixture contains library_fn");
+        assert!(!m.in_test_region(lib_idx));
+    }
+
+    #[test]
+    fn not_test_cfg_is_not_a_test_region() {
+        let m = FileModel::analyze("x.rs", "#[cfg(not(test))]\nmod real { fn f() {} }");
+        assert!(m.test_ranges.is_empty());
+    }
+
+    #[test]
+    fn delimiters_match() {
+        let m = FileModel::analyze("x.rs", "fn f(a: (u8, u8)) { [1, 2]; }");
+        for (i, t) in m.tokens.iter().enumerate() {
+            if t.kind == TokenKind::OpenDelim {
+                let j = m.match_of[i];
+                assert_ne!(j, usize::MAX);
+                assert_eq!(m.match_of[j], i);
+            }
+        }
+    }
+}

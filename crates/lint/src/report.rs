@@ -1,0 +1,242 @@
+//! Diagnostics, suppressed findings, and the machine-readable report.
+//!
+//! The JSON report is hand-serialized (no external crates, matching the
+//! journal's NDJSON discipline) and deterministic: diagnostics and
+//! suppressions are sorted by `(file, line, lint)` so two runs over the
+//! same tree produce byte-identical output — future PRs diff
+//! `results/lint/report.json` to audit suppression-count drift.
+
+/// How severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Advisory: reported, but only fails the run under
+    /// `--deny-warnings`. Used for heuristic lints and stale
+    /// suppressions.
+    Warning,
+    /// Invariant violation: always fails the run.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in human and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Lint name (kebab-case, e.g. `no-unwrap-in-lib`).
+    pub lint: &'static str,
+    pub severity: Severity,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+/// A finding silenced by an inline `tsdist-lint: allow(…)` comment.
+#[derive(Debug, Clone)]
+pub struct SuppressedDiagnostic {
+    pub lint: String,
+    pub file: String,
+    pub line: u32,
+    /// The reason string the suppression carried. The suppression
+    /// grammar makes this mandatory; reasonless allows are themselves
+    /// diagnostics.
+    pub reason: String,
+}
+
+/// The full result of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    /// Active findings (not suppressed), sorted.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Suppressed findings with their reasons, sorted.
+    pub suppressed: Vec<SuppressedDiagnostic>,
+}
+
+impl Report {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Sorts diagnostics and suppressions into the canonical order.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+        self.suppressed
+            .sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    }
+
+    /// Human-readable rendering, one line per finding plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}: [{}] {}:{}: {}\n",
+                d.severity.label(),
+                d.lint,
+                d.file,
+                d.line,
+                d.message
+            ));
+        }
+        out.push_str(&format!(
+            "{} file(s) scanned: {} error(s), {} warning(s), {} suppressed finding(s)\n",
+            self.files_scanned,
+            self.errors(),
+            self.warnings(),
+            self.suppressed.len()
+        ));
+        out
+    }
+
+    /// Machine-readable JSON rendering (one pretty-stable schema;
+    /// `version` bumps on breaking changes).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"errors\": {},\n", self.errors()));
+        out.push_str(&format!("  \"warnings\": {},\n", self.warnings()));
+        out.push_str(&format!(
+            "  \"suppression_count\": {},\n",
+            self.suppressed.len()
+        ));
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"lint\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_string(d.lint),
+                json_string(d.severity.label()),
+                json_string(&d.file),
+                d.line,
+                json_string(&d.message),
+                if i + 1 < self.diagnostics.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"suppressions\": [\n");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}{}\n",
+                json_string(&s.lint),
+                json_string(&s.file),
+                s.line,
+                json_string(&s.reason),
+                if i + 1 < self.suppressed.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            files_scanned: 2,
+            diagnostics: vec![
+                Diagnostic {
+                    lint: "no-unwrap-in-lib",
+                    severity: Severity::Error,
+                    file: "b.rs".into(),
+                    line: 3,
+                    message: "`.unwrap()` in library code".into(),
+                },
+                Diagnostic {
+                    lint: "suppression-audit",
+                    severity: Severity::Warning,
+                    file: "a.rs".into(),
+                    line: 9,
+                    message: "stale".into(),
+                },
+            ],
+            suppressed: vec![SuppressedDiagnostic {
+                lint: "float-total-order".into(),
+                file: "a.rs".into(),
+                line: 4,
+                reason: "exact-zero guard".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn counts_and_sorting() {
+        let mut r = sample();
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        r.sort();
+        assert_eq!(r.diagnostics[0].file, "a.rs");
+    }
+
+    #[test]
+    fn json_is_valid_enough_and_escaped() {
+        let mut r = sample();
+        r.diagnostics[0].message = "quote \" backslash \\ newline \n".into();
+        r.sort();
+        let json = r.render_json();
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\\\"));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"suppression_count\": 1"));
+        // Balanced braces / brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn human_rendering_has_summary() {
+        let r = sample();
+        let text = r.render_human();
+        assert!(text.contains("error: [no-unwrap-in-lib] b.rs:3"));
+        assert!(text.contains("2 file(s) scanned: 1 error(s), 1 warning(s), 1 suppressed"));
+    }
+}

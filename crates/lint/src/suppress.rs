@@ -1,0 +1,202 @@
+//! The inline suppression syntax.
+//!
+//! ```text
+//! // tsdist-lint: allow(<lint-name>, reason = "why this is sound")
+//! ```
+//!
+//! A suppression silences findings of the named lint on **its own line**
+//! (trailing-comment position) or on the **next line that has code**
+//! (standalone-comment position). The reason string is mandatory: a
+//! reasonless allow is itself a `suppression-audit` error, and an allow
+//! that silences nothing is a stale-suppression warning. Doc comments
+//! never carry suppressions.
+
+use crate::lexer::{Comment, Token};
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The lint name inside `allow(…)`.
+    pub lint: String,
+    /// The mandatory reason; `None` when the comment omitted it (which
+    /// is itself diagnosed).
+    pub reason: Option<String>,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Lines this suppression covers: its own line and the next line
+    /// carrying a token.
+    pub covers: (u32, u32),
+}
+
+/// A comment that *looks* like a suppression but does not parse. These
+/// are surfaced as `suppression-audit` errors rather than silently
+/// ignored — a typo in an allow must not re-open a hole.
+#[derive(Debug, Clone)]
+pub struct MalformedSuppression {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Everything the suppression scanner found in one file.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    pub parsed: Vec<Suppression>,
+    pub malformed: Vec<MalformedSuppression>,
+}
+
+/// The marker every suppression comment starts with (after `//`).
+const MARKER: &str = "tsdist-lint:";
+
+/// Scans a file's comments for suppressions. `tokens` is needed to
+/// compute each suppression's coverage (the next line with code).
+pub fn find_suppressions(comments: &[Comment], tokens: &[Token]) -> Suppressions {
+    let mut out = Suppressions::default();
+    for comment in comments {
+        let text = comment.text.trim();
+        if !text.starts_with(MARKER) {
+            continue;
+        }
+        if comment.is_doc {
+            out.malformed.push(MalformedSuppression {
+                line: comment.line,
+                message: "suppressions must be plain `//` comments, not doc comments".into(),
+            });
+            continue;
+        }
+        let rest = text[MARKER.len()..].trim();
+        match parse_allow(rest) {
+            Ok((lint, reason)) => {
+                let next_code_line = tokens
+                    .iter()
+                    .map(|t| t.line)
+                    .find(|&l| l > comment.line)
+                    .unwrap_or(comment.line);
+                out.parsed.push(Suppression {
+                    lint,
+                    reason,
+                    line: comment.line,
+                    covers: (comment.line, next_code_line),
+                });
+            }
+            Err(message) => out.malformed.push(MalformedSuppression {
+                line: comment.line,
+                message,
+            }),
+        }
+    }
+    out
+}
+
+/// Parses `allow(<lint>, reason = "…")` after the marker.
+fn parse_allow(rest: &str) -> Result<(String, Option<String>), String> {
+    let Some(args) = rest.strip_prefix("allow") else {
+        return Err(format!(
+            "expected `allow(<lint>, reason = \"…\")`, found {rest:?}"
+        ));
+    };
+    let args = args.trim();
+    let Some(args) = args.strip_prefix('(').and_then(|a| a.strip_suffix(')')) else {
+        return Err("expected parentheses: `allow(<lint>, reason = \"…\")`".into());
+    };
+    // Split at the first comma outside quotes.
+    let (lint_part, reason_part) = match args.find(',') {
+        Some(pos) => (&args[..pos], Some(&args[pos + 1..])),
+        None => (args, None),
+    };
+    let lint = lint_part.trim().to_string();
+    if lint.is_empty() || !lint.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return Err(format!("bad lint name {lint:?} in allow(…)"));
+    }
+    let reason = match reason_part {
+        None => None,
+        Some(r) => {
+            let r = r.trim();
+            let Some(r) = r.strip_prefix("reason") else {
+                return Err(format!("expected `reason = \"…\"`, found {r:?}"));
+            };
+            let r = r.trim_start();
+            let Some(r) = r.strip_prefix('=') else {
+                return Err("expected `=` after `reason`".into());
+            };
+            let r = r.trim();
+            let Some(r) = r.strip_prefix('"').and_then(|r| r.strip_suffix('"')) else {
+                return Err("reason must be a double-quoted string".into());
+            };
+            if r.trim().is_empty() {
+                return Err("reason string is empty".into());
+            }
+            Some(r.to_string())
+        }
+    };
+    Ok((lint, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scan(src: &str) -> Suppressions {
+        let lexed = lex(src);
+        find_suppressions(&lexed.comments, &lexed.tokens)
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line() {
+        let s = scan("let x = a.partial_cmp(&b); // tsdist-lint: allow(float-total-order, reason = \"NaN-free by construction\")\n");
+        assert_eq!(s.parsed.len(), 1);
+        assert_eq!(s.parsed[0].lint, "float-total-order");
+        assert_eq!(
+            s.parsed[0].reason.as_deref(),
+            Some("NaN-free by construction")
+        );
+        assert_eq!(s.parsed[0].covers.0, 1);
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_code_line() {
+        let s = scan(
+            "// tsdist-lint: allow(no-unwrap-in-lib, reason = \"poisoning is unreachable\")\n\n// another comment\nlet x = v.unwrap();\n",
+        );
+        assert_eq!(s.parsed.len(), 1);
+        // Own line 1; next code line is 4 (blank line and comment skipped).
+        assert_eq!(s.parsed[0].covers, (1, 4));
+    }
+
+    #[test]
+    fn missing_reason_parses_with_none() {
+        let s = scan("// tsdist-lint: allow(no-unwrap-in-lib)\nlet x = 1;\n");
+        assert_eq!(s.parsed.len(), 1);
+        assert!(s.parsed[0].reason.is_none());
+    }
+
+    #[test]
+    fn malformed_suppressions_are_surfaced() {
+        let cases = [
+            "// tsdist-lint: allow no-unwrap-in-lib\n",
+            "// tsdist-lint: allow(bad name!)\n",
+            "// tsdist-lint: allow(x, reason = unquoted)\n",
+            "// tsdist-lint: allow(x, reason = \"\")\n",
+            "// tsdist-lint: deny(x)\n",
+        ];
+        for case in cases {
+            let s = scan(case);
+            assert_eq!(s.parsed.len(), 0, "{case:?} should not parse");
+            assert_eq!(s.malformed.len(), 1, "{case:?} should be malformed");
+        }
+    }
+
+    #[test]
+    fn doc_comments_cannot_suppress() {
+        let s = scan("/// tsdist-lint: allow(no-unwrap-in-lib, reason = \"doc\")\nfn f() {}\n");
+        assert_eq!(s.parsed.len(), 0);
+        assert_eq!(s.malformed.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let s = scan("// a normal comment mentioning allow(things)\nlet x = 1;\n");
+        assert!(s.parsed.is_empty());
+        assert!(s.malformed.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+// Fixture: idiomatic code that every lint must stay silent on —
+// total_cmp ordering, BTreeMap, workspace-reusing hot path, typed
+// errors instead of unwraps.
+
+use std::collections::BTreeMap;
+
+pub fn sort(values: &mut [f64]) {
+    values.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn tally(keys: &[String]) -> BTreeMap<String, usize> {
+    let mut m = BTreeMap::new();
+    for k in keys {
+        *m.entry(k.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn distance_upto(x: &[f64], y: &[f64], scratch: &mut [f64], cutoff: f64) -> f64 {
+    let mut sum = 0.0;
+    for ((a, b), s) in x.iter().zip(y).zip(scratch.iter_mut()) {
+        *s = a - b;
+        sum += *s * *s;
+        if sum > cutoff {
+            return f64::INFINITY;
+        }
+    }
+    sum
+}
+
+pub fn head(values: &[f64]) -> Result<f64, &'static str> {
+    values.first().copied().ok_or("empty input")
+}

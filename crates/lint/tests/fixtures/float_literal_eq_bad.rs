@@ -1,0 +1,6 @@
+// Fixture: `float-total-order` also fires on `==` against a float
+// literal — exactly once here. Integer comparisons must stay silent.
+
+pub fn is_origin(x: f64, count: usize) -> bool {
+    count == 0 && x == 0.0
+}

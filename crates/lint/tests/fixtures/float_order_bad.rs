@@ -1,0 +1,7 @@
+// Fixture: `float-total-order` fires exactly once, on the partial_cmp
+// call. (Its unwrap is a separate lint and is deliberately absent here:
+// the comparator result feeds unwrap_or, which no-unwrap-in-lib allows.)
+
+pub fn sort(values: &mut [f64]) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

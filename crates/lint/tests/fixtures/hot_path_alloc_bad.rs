@@ -1,0 +1,13 @@
+// Fixture: `hot-path-alloc` fires exactly once, on the allocation in
+// the `_upto` function. The same allocation in a plain function is
+// fine.
+
+pub fn distance_upto(x: &[f64], y: &[f64], cutoff: f64) -> f64 {
+    let scratch: Vec<f64> = x.iter().zip(y).map(|(a, b)| a - b).collect();
+    scratch.iter().map(|d| d * d).sum::<f64>().min(cutoff)
+}
+
+pub fn distance(x: &[f64], y: &[f64]) -> f64 {
+    let scratch: Vec<f64> = x.iter().zip(y).map(|(a, b)| a - b).collect();
+    scratch.iter().map(|d| d * d).sum()
+}

@@ -1,0 +1,15 @@
+// Fixture: `no-unwrap-in-lib` fires exactly once, on the unwrap below.
+// The test-module unwrap at the bottom must stay exempt.
+
+pub fn first(values: &[f64]) -> f64 {
+    *values.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: the same violation as no_unwrap_bad.rs, silenced by a
+// reasoned suppression. Must produce zero findings and one recorded
+// suppression.
+
+pub fn first(values: &[f64]) -> f64 {
+    // tsdist-lint: allow(no-unwrap-in-lib, reason = "fixture: documented panicking facade")
+    *values.first().unwrap()
+}

@@ -1,0 +1,8 @@
+// Fixture: `suppression-audit` fires exactly once, on the reasonless
+// allow. The unwrap itself is still suppressed (the audit finding is
+// the record that the suppression is incomplete).
+
+pub fn first(values: &[f64]) -> f64 {
+    // tsdist-lint: allow(no-unwrap-in-lib)
+    *values.first().unwrap()
+}

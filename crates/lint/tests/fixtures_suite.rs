@@ -1,0 +1,135 @@
+//! Fixture suite: each lint fires exactly once on its known-bad
+//! fixture, stays silent on the suppressed and clean variants — and the
+//! workspace itself is lint-clean (the self-test that keeps the gate
+//! honest).
+
+use std::fs;
+use std::path::Path;
+
+use tsdist_lint::{find_workspace_root, lint_source, lint_workspace, LintConfig, Report};
+
+/// Lints a fixture file as if it lived in an ordinary library crate
+/// (no path-based exemptions apply).
+fn lint_fixture(name: &str) -> Report {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    lint_source(
+        &format!("crates/example/src/{name}"),
+        &source,
+        &LintConfig::default(),
+    )
+}
+
+/// Asserts the fixture yields exactly one finding, of the given lint.
+fn assert_fires_once(fixture: &str, lint: &str) {
+    let report = lint_fixture(fixture);
+    let names: Vec<&str> = report.diagnostics.iter().map(|d| d.lint).collect();
+    assert_eq!(
+        names,
+        vec![lint],
+        "{fixture}: expected exactly one `{lint}` finding, got {names:?}"
+    );
+}
+
+#[test]
+fn no_unwrap_fires_once_on_known_bad() {
+    assert_fires_once("no_unwrap_bad.rs", "no-unwrap-in-lib");
+}
+
+#[test]
+fn no_unwrap_is_silent_when_suppressed_with_reason() {
+    let report = lint_fixture("no_unwrap_suppressed.rs");
+    assert!(
+        report.diagnostics.is_empty(),
+        "unexpected findings: {:?}",
+        report.diagnostics
+    );
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].lint, "no-unwrap-in-lib");
+    assert_eq!(
+        report.suppressed[0].reason,
+        "fixture: documented panicking facade"
+    );
+}
+
+#[test]
+fn float_order_fires_once_on_partial_cmp() {
+    assert_fires_once("float_order_bad.rs", "float-total-order");
+}
+
+#[test]
+fn float_order_fires_once_on_literal_equality() {
+    assert_fires_once("float_literal_eq_bad.rs", "float-total-order");
+}
+
+#[test]
+fn nondet_iter_fires_once_on_hashmap() {
+    assert_fires_once("nondet_iter_bad.rs", "nondeterministic-iteration");
+}
+
+#[test]
+fn hot_path_alloc_fires_once_in_upto_fn() {
+    assert_fires_once("hot_path_alloc_bad.rs", "hot-path-alloc");
+}
+
+#[test]
+fn asymmetric_expr_fires_once_on_jeffreys_shape() {
+    assert_fires_once("asymmetric_expr_bad.rs", "asymmetric-float-expr");
+    // And it is the only warning-severity lint in the set.
+    let report = lint_fixture("asymmetric_expr_bad.rs");
+    assert_eq!(report.warnings(), 1);
+    assert_eq!(report.errors(), 0);
+}
+
+#[test]
+fn reasonless_suppression_is_audited_but_still_suppresses() {
+    let report = lint_fixture("suppression_audit_bad.rs");
+    let names: Vec<&str> = report.diagnostics.iter().map(|d| d.lint).collect();
+    assert_eq!(
+        names,
+        vec!["suppression-audit"],
+        "the unwrap must be suppressed, the missing reason must be flagged"
+    );
+    assert_eq!(report.suppressed.len(), 1);
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let report = lint_fixture("clean.rs");
+    assert!(
+        report.diagnostics.is_empty(),
+        "clean fixture produced findings: {:?}",
+        report.diagnostics
+    );
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn workspace_is_lint_clean_and_every_suppression_has_a_reason() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("fixture suite runs inside the workspace");
+    let report = lint_workspace(&root, &LintConfig::default()).expect("workspace scan");
+    assert_eq!(
+        report.errors(),
+        0,
+        "workspace has lint errors:\n{}",
+        report.render_human()
+    );
+    assert_eq!(
+        report.warnings(),
+        0,
+        "workspace has lint warnings:\n{}",
+        report.render_human()
+    );
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.is_empty() && s.reason != "<missing>",
+            "reasonless suppression at {}:{}",
+            s.file,
+            s.line
+        );
+    }
+}

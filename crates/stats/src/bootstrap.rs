@@ -75,7 +75,7 @@ pub fn bootstrap_ci(
         }
         stats.push(statistic(&scratch));
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    stats.sort_by(|a, b| a.total_cmp(b));
 
     let alpha = 1.0 - confidence;
     let lo_idx = ((alpha / 2.0) * resamples as f64).floor() as usize;
@@ -187,7 +187,7 @@ mod tests {
             &sample,
             |s| {
                 let mut v = s.to_vec();
-                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v.sort_by(|a, b| a.total_cmp(b));
                 v[v.len() / 2]
             },
             500,

@@ -123,6 +123,7 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// (Numerical Recipes `gammp`).
 pub fn gamma_p(a: f64, x: f64) -> f64 {
     assert!(a > 0.0 && x >= 0.0, "gamma_p domain error: a={a}, x={x}");
+    // tsdist-lint: allow(float-total-order, reason = "exact boundary: P(a, 0) = 0 by definition")
     if x == 0.0 {
         return 0.0;
     }

@@ -3,18 +3,13 @@
 /// Assigns ranks `1..=n` to `values`, giving tied values the average of the
 /// ranks they span (midranks). Lower values receive lower ranks.
 ///
-/// NaN values are not permitted.
-///
-/// # Panics
-/// Panics if any value is NaN.
+/// Values are compared with the IEEE 754 total order, so NaN is
+/// deterministic rather than a panic: positive NaN ranks above `+inf`
+/// (callers that must reject NaN should validate before ranking).
 pub fn average_ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| {
-        values[a]
-            .partial_cmp(&values[b])
-            .expect("average_ranks: NaN value encountered")
-    });
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
 
     let mut ranks = vec![0.0; n];
     let mut i = 0;
@@ -44,7 +39,7 @@ pub fn average_ranks_descending(values: &[f64]) -> Vec<f64> {
 /// for tie-correction terms.
 pub fn tie_group_sizes(values: &[f64]) -> Vec<usize> {
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("tie_group_sizes: NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let mut groups = Vec::new();
     let mut i = 0;
     while i < sorted.len() {
@@ -111,5 +106,18 @@ mod tests {
     fn empty_input() {
         assert!(average_ranks(&[]).is_empty());
         assert!(tie_group_sizes(&[]).is_empty());
+    }
+
+    #[test]
+    fn nan_does_not_panic_and_ranks_deterministically_last() {
+        // The total order places (positive) NaN above +inf, so it takes
+        // the worst rank instead of panicking the way the old
+        // partial_cmp-based sort did.
+        assert_eq!(average_ranks(&[2.0, f64::NAN, 1.0]), vec![2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn tie_groups_tolerate_nan() {
+        assert_eq!(tie_group_sizes(&[1.0, f64::NAN, 1.0]), vec![2, 1]);
     }
 }

@@ -75,7 +75,7 @@ fn main() {
         let (top_idx, top_score) = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty");
         let top_sample = top_idx * window / 2;
         let hit = top_sample.abs_diff(anomaly_at) <= period;

@@ -35,7 +35,7 @@ fn k_medoids(d: &Matrix, k: usize, iterations: usize) -> Vec<usize> {
                     .iter()
                     .map(|&m| d[(b, m)])
                     .fold(f64::INFINITY, f64::min);
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
             .expect("non-empty");
         medoids.push(next);
@@ -46,11 +46,7 @@ fn k_medoids(d: &Matrix, k: usize, iterations: usize) -> Vec<usize> {
         // Assign.
         for i in 0..n {
             assignment[i] = (0..k)
-                .min_by(|&a, &b| {
-                    d[(i, medoids[a])]
-                        .partial_cmp(&d[(i, medoids[b])])
-                        .expect("finite distances")
-                })
+                .min_by(|&a, &b| d[(i, medoids[a])].total_cmp(&d[(i, medoids[b])]))
                 .expect("k >= 1");
         }
         // Update medoids.
@@ -65,7 +61,7 @@ fn k_medoids(d: &Matrix, k: usize, iterations: usize) -> Vec<usize> {
                 .min_by(|&&a, &&b| {
                     let ca: f64 = members.iter().map(|&j| d[(a, j)]).sum();
                     let cb: f64 = members.iter().map(|&j| d[(b, j)]).sum();
-                    ca.partial_cmp(&cb).expect("finite distances")
+                    ca.total_cmp(&cb)
                 })
                 .expect("non-empty cluster");
             if *medoid != best {

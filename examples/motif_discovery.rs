@@ -54,7 +54,7 @@ fn main() {
     // Query-by-content: where else does the signature occur?
     let profile = mass(&signature, &series);
     let mut hits: Vec<(usize, f64)> = profile.iter().cloned().enumerate().collect();
-    hits.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"));
+    hits.sort_by(|x, y| x.1.total_cmp(&y.1));
     println!("\nbest MASS matches for the signature itself:");
     let mut reported = 0;
     let mut last: Option<usize> = None;

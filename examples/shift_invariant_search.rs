@@ -91,7 +91,7 @@ fn main() {
     let (argmax, _) = cc
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty");
     let lag = argmax as isize - (query.len() as isize - 1);
     println!("alignment lag of the retrieved event: {lag} samples");

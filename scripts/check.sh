@@ -19,6 +19,11 @@ trap 'rm -rf "$SMOKE"' EXIT
 TSDIST=target/debug/tsdist
 cargo build -q --offline -p tsdist-cli
 
+echo "==> tsdist lint --deny-warnings (project invariants, results/lint/report.json)"
+mkdir -p results/lint
+"$TSDIST" lint --deny-warnings --out results/lint/report.json
+echo "    workspace lint-clean; machine-readable report refreshed"
+
 echo "==> conformance gate (quick differential + committed golden bits)"
 "$TSDIST" conformance --quick >/dev/null
 echo "    quick oracle subset clean, golden bits match results/conformance/registry_v1.tsv"
