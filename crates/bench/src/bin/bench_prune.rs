@@ -30,7 +30,19 @@ use tsdist_core::measure::Distance;
 use tsdist_core::normalization::Normalization;
 use tsdist_data::synthetic::{generate_dataset, ArchiveConfig};
 use tsdist_data::Dataset;
-use tsdist_eval::{evaluate_distance, evaluate_distance_pruned};
+use tsdist_eval::Eval;
+
+/// Dataset-mode accuracy through the consolidated request builder.
+fn accuracy(d: &dyn Distance, ds: &Dataset, norm: Normalization, pruned: bool) -> f64 {
+    Eval::new(d)
+        .on(ds)
+        .normalized(norm)
+        .pruned(pruned)
+        .run()
+        .expect("bench evaluation")
+        .accuracy
+        .expect("dataset mode reports accuracy")
+}
 
 /// One timed measure: exact vs pruned medians plus both accuracies.
 struct BenchRow {
@@ -65,9 +77,8 @@ fn median_seconds(reps: usize, mut run: impl FnMut() -> f64) -> (f64, f64) {
 
 fn bench_measure(name: &'static str, d: &dyn Distance, ds: &Dataset, reps: usize) -> BenchRow {
     let norm = Normalization::ZScore;
-    let (exact_seconds, exact_accuracy) = median_seconds(reps, || evaluate_distance(d, ds, norm));
-    let (pruned_seconds, pruned_accuracy) =
-        median_seconds(reps, || evaluate_distance_pruned(d, ds, norm));
+    let (exact_seconds, exact_accuracy) = median_seconds(reps, || accuracy(d, ds, norm, false));
+    let (pruned_seconds, pruned_accuracy) = median_seconds(reps, || accuracy(d, ds, norm, true));
     BenchRow {
         name,
         exact_seconds,
@@ -211,8 +222,8 @@ fn main() {
     for index in 0..equiv_archive.n_datasets {
         let small = generate_dataset(&equiv_archive, index);
         for (name, d) in equivalence_registry() {
-            let exact = evaluate_distance(d.as_ref(), &small, Normalization::ZScore);
-            let pruned = evaluate_distance_pruned(d.as_ref(), &small, Normalization::ZScore);
+            let exact = accuracy(d.as_ref(), &small, Normalization::ZScore, false);
+            let pruned = accuracy(d.as_ref(), &small, Normalization::ZScore, true);
             equiv_checked += 1;
             if exact.to_bits() != pruned.to_bits() {
                 equiv_failures.push(format!("{name} on {}: {exact} vs {pruned}", small.name));

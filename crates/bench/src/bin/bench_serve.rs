@@ -1,0 +1,214 @@
+//! `BENCH_serve.json`: throughput and tail latency of `tsdist serve`.
+//!
+//! Starts an in-process server over a fixed-seed synthetic archive,
+//! drives it from several concurrent client connections issuing a mixed
+//! workload (ED and DTW(δ=10), k ∈ {1, 3}, pruned and exact, two
+//! normalizations, occasional repeats to exercise the answer cache), and
+//! reports overall throughput plus per-request p50/p95/p99 latency.
+//!
+//! Every response is verified byte-identically against the offline
+//! `Eval` path before the numbers are written — `failures` must be 0 or
+//! the binary exits non-zero, so the benchmark doubles as an equivalence
+//! gate (the serve contract: batching, sharding, and caching never
+//! change an answer).
+//!
+//! `--quick` shrinks the workload for the `scripts/check.sh` smoke.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tsdist_bench::ExperimentConfig;
+use tsdist_core::elastic::Dtw;
+use tsdist_core::lockstep::Euclidean;
+use tsdist_core::measure::Distance;
+use tsdist_core::normalization::Normalization;
+use tsdist_data::synthetic::{generate_dataset, ArchiveConfig};
+use tsdist_data::Dataset;
+use tsdist_eval::Eval;
+use tsdist_serve::{
+    render_query, Client, MeasureResolver, QueryRequest, Response, Server, ServerConfig,
+};
+
+fn resolver() -> MeasureResolver {
+    Arc::new(|spec: &str| match spec {
+        "ed" => Ok(Box::new(Euclidean) as Box<dyn Distance>),
+        "dtw:10" => Ok(Box::new(Dtw::with_window_pct(10.0)) as Box<dyn Distance>),
+        other => Err(format!("unknown measure {other:?}")),
+    })
+}
+
+/// The deterministic mixed workload (same shape as `tsdist
+/// serve-requests`).
+fn workload(datasets: &[Dataset], count: usize) -> Vec<QueryRequest> {
+    let specs = ["ed", "dtw:10"];
+    let mut requests = Vec::with_capacity(count);
+    let mut i = 0usize;
+    while requests.len() < count {
+        let ds = &datasets[i % datasets.len()];
+        let series = ds.test[(i / datasets.len()) % ds.test.len()].clone();
+        let mut q = QueryRequest {
+            id: requests.len() as u64 + 1,
+            dataset: ds.name.clone(),
+            measure: specs[i % specs.len()].to_string(),
+            norm: if i.is_multiple_of(3) {
+                Normalization::MinMax
+            } else {
+                Normalization::ZScore
+            },
+            k: if i.is_multiple_of(4) { 3 } else { 1 },
+            pruned: i.is_multiple_of(2),
+            series,
+            deadline_ms: None,
+        };
+        if i % 11 == 10 {
+            // Exact repeat: answer-cache hit path.
+            q.series = ds.test[0].clone();
+            q.k = 1;
+            q.pruned = true;
+        }
+        requests.push(q);
+        i += 1;
+    }
+    requests
+}
+
+/// The offline ground truth for one request, via the public `Eval` path.
+fn offline_answer(datasets: &[Dataset], q: &QueryRequest) -> tsdist_eval::Answer {
+    let ds = datasets
+        .iter()
+        .find(|d| d.name == q.dataset)
+        .expect("dataset");
+    let measure = (resolver())(&q.measure).expect("measure");
+    let queries = vec![q.series.clone()];
+    Eval::new(measure.as_ref())
+        .on(ds)
+        .queries(&queries)
+        .normalized(q.norm)
+        .k(q.k)
+        .pruned(q.pruned)
+        .run()
+        .expect("offline evaluation")
+        .answers
+        .into_iter()
+        .next()
+        .expect("one answer")
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let (n_datasets, requests_total, clients) = if cfg.quick {
+        (2usize, 80usize, 2usize)
+    } else {
+        (4, 480, 4)
+    };
+    let archive_cfg = ArchiveConfig::quick(n_datasets, cfg.seed);
+    let datasets: Vec<Dataset> = (0..n_datasets)
+        .map(|i| generate_dataset(&archive_cfg, i))
+        .collect();
+
+    let handle = Server::start(
+        datasets.clone(),
+        resolver(),
+        &ServerConfig {
+            shards: 2,
+            queue_cap: 512,
+            batch_max: 16,
+            cache_cap: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = handle.addr();
+
+    let requests = workload(&datasets, requests_total);
+    // Split round-robin so every client sees the full mix.
+    let slices: Vec<Vec<QueryRequest>> = (0..clients)
+        .map(|c| {
+            requests
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % clients == c)
+                .map(|(_, q)| q.clone())
+                .collect()
+        })
+        .collect();
+
+    let started = Instant::now();
+    let threads: Vec<_> = slices
+        .into_iter()
+        .map(|slice| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connect");
+                let mut results: Vec<(QueryRequest, String, f64)> = Vec::with_capacity(slice.len());
+                for q in slice {
+                    let t0 = Instant::now();
+                    client.send_line(&render_query(&q)).expect("send");
+                    let line = client.recv_line().expect("recv");
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    results.push((q, line, ms));
+                }
+                results
+            })
+        })
+        .collect();
+    let mut results = Vec::with_capacity(requests_total);
+    for t in threads {
+        results.extend(t.join().expect("client thread"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    drop(handle);
+
+    // Verify every served answer byte-identically against offline Eval.
+    let mut failures = 0usize;
+    for (q, line, _) in &results {
+        let expect = offline_answer(&datasets, q);
+        match Response::parse(line) {
+            Ok(Response::Answer { id, answer }) if id == q.id => {
+                if answer != expect || answer.distance.to_bits() != expect.distance.to_bits() {
+                    eprintln!("MISMATCH id {}: {answer:?} != {expect:?}", q.id);
+                    failures += 1;
+                }
+            }
+            other => {
+                eprintln!("UNEXPECTED response for id {}: {other:?}", q.id);
+                failures += 1;
+            }
+        }
+    }
+
+    let mut latencies_ms: Vec<f64> = results.iter().map(|(_, _, ms)| *ms).collect();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let throughput = results.len() as f64 / elapsed.max(1e-9);
+    let p50 = percentile(&latencies_ms, 0.50);
+    let p95 = percentile(&latencies_ms, 0.95);
+    let p99 = percentile(&latencies_ms, 0.99);
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"datasets\": {n_datasets}, \"requests\": {requests_total}, \
+         \"clients\": {clients}, \"shards\": 2, \"seed\": {}, \"quick\": {}}},\n",
+        cfg.seed, cfg.quick
+    ));
+    json.push_str(&format!(
+        "  \"elapsed_seconds\": {elapsed:.6},\n  \"throughput_qps\": {throughput:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"latency_ms\": {{\"p50\": {p50:.3}, \"p95\": {p95:.3}, \"p99\": {p99:.3}}},\n"
+    ));
+    json.push_str(&format!("  \"failures\": {failures}\n"));
+    json.push_str("}\n");
+    cfg.save("BENCH_serve.json", &json);
+
+    assert_eq!(
+        failures, 0,
+        "served answers must be byte-identical to the offline evaluator"
+    );
+}

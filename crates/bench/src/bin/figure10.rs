@@ -12,7 +12,18 @@ use tsdist_core::measure::Distance;
 use tsdist_core::normalization::Normalization;
 use tsdist_core::sliding::CrossCorrelation;
 use tsdist_data::synthetic::{generate_dataset, ArchiveConfig};
-use tsdist_eval::{evaluate_distance, parallel_map};
+use tsdist_eval::{parallel_map, Eval};
+
+/// Dataset-mode accuracy through the consolidated request builder.
+fn accuracy(d: &dyn Distance, ds: &tsdist_data::Dataset) -> f64 {
+    Eval::new(d)
+        .on(ds)
+        .normalized(Normalization::ZScore)
+        .run()
+        .expect("figure10 evaluation")
+        .accuracy
+        .expect("dataset mode reports accuracy")
+}
 
 fn main() {
     let cfg = ExperimentConfig::from_args();
@@ -43,7 +54,7 @@ fn main() {
                 let errs = parallel_map(datasets.len(), |d| {
                     let n = ((datasets[d].n_train() as f64) * f).ceil() as usize;
                     let shrunk = datasets[d].with_train_prefix(n.max(2));
-                    1.0 - evaluate_distance(m.as_ref(), &shrunk, Normalization::ZScore)
+                    1.0 - accuracy(m.as_ref(), &shrunk)
                 });
                 errs.iter().sum::<f64>() / errs.len() as f64
             })

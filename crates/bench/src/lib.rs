@@ -21,9 +21,9 @@ use tsdist_core::normalization::Normalization;
 use tsdist_data::synthetic::{generate_archive, ArchiveConfig};
 use tsdist_data::Dataset;
 use tsdist_eval::{
-    cell_key, evaluate_distance, evaluate_kernel, parallel_map, try_evaluate_distance,
-    try_evaluate_distance_supervised, try_evaluate_kernel, try_evaluate_kernel_supervised,
-    CancelFlag, CellError, CellOutcome, CellResult, CellRunner, Evaluation, RunnerConfig,
+    cell_key, evaluate_kernel, parallel_map, try_evaluate_distance_supervised, try_evaluate_kernel,
+    try_evaluate_kernel_supervised, CancelFlag, CellError, CellOutcome, CellResult, CellRunner,
+    Eval, Evaluation, RunnerConfig,
 };
 
 /// Configuration shared by all experiment binaries.
@@ -179,7 +179,15 @@ fn usage(message: &str) -> ! {
 /// Per-dataset accuracies of a distance measure across an archive,
 /// parallelized over datasets.
 pub fn archive_accuracies(archive: &[Dataset], d: &dyn Distance, norm: Normalization) -> Vec<f64> {
-    parallel_map(archive.len(), |i| evaluate_distance(d, &archive[i], norm))
+    parallel_map(archive.len(), |i| {
+        Eval::new(d)
+            .on(&archive[i])
+            .normalized(norm)
+            .run()
+            .expect("archive evaluation")
+            .accuracy
+            .expect("dataset mode reports accuracy")
+    })
 }
 
 /// Per-dataset accuracies of a kernel across an archive.
@@ -220,7 +228,15 @@ pub fn robust_distance_column(
     norm: Normalization,
 ) -> RobustColumn {
     robust_column(runner, archive, entrant, |ds, flag| {
-        try_evaluate_distance(d, ds, norm, flag)
+        Eval::new(d)
+            .on(ds)
+            .normalized(norm)
+            .cancelled_by(flag)
+            .run()
+            .map(|report| {
+                Evaluation::unsupervised(report.accuracy.expect("dataset mode reports accuracy"))
+            })
+            .map_err(CellError::from)
     })
 }
 

@@ -16,6 +16,7 @@
 
 mod conformance;
 mod measures;
+mod serve_cmd;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -28,8 +29,7 @@ use tsdist_data::synthetic::{generate_archive, ArchiveConfig};
 use tsdist_data::ucr::{load_ucr_archive, load_ucr_dataset, write_ucr_dataset};
 use tsdist_data::{load_ucr_archive_lenient, ArchiveSummary, Dataset, DatasetSummary};
 use tsdist_eval::{
-    compare_to_baseline, evaluate_distance, render_table, run_study_resumable, CellRunner, Entrant,
-    RunnerConfig,
+    compare_to_baseline, render_table, run_study_resumable, CellRunner, Entrant, Eval, RunnerConfig,
 };
 
 fn main() -> ExitCode {
@@ -43,6 +43,10 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("summary") => cmd_summary(&args[1..]),
         Some("conformance") => conformance::cmd_conformance(&args[1..]),
+        Some("serve") => serve_cmd::cmd_serve(&args[1..]),
+        Some("serve-requests") => serve_cmd::cmd_serve_requests(&args[1..]),
+        Some("serve-client") => serve_cmd::cmd_serve_client(&args[1..]),
+        Some("serve-replay") => serve_cmd::cmd_serve_replay(&args[1..]),
         Some("lint") => tsdist_lint::run_cli(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", USAGE);
@@ -75,6 +79,13 @@ USAGE:
   tsdist summary <dataset-dir>
   tsdist conformance [--update] [--quick] [--golden <file>]
   tsdist lint [--json] [--deny-warnings] [--root <dir>] [--out <file>]
+  tsdist serve <archive-root> [--addr <A>] [--shards <N>] [--queue <Q>]
+               [--batch <B>] [--cache <C>] [--journal <file>]
+               [--port-file <file>] [--lenient]
+  tsdist serve-requests <archive-root> [--count <N>] [--measures <m1,m2,...>]
+                        [--out <file>]
+  tsdist serve-client <addr> [request-file] [--shutdown]
+  tsdist serve-replay <archive-root> <journal-file>
 
 Measures use `name[:params]` syntax (e.g. dtw:10, msm:0.5, twe:1,0.0001).
 Normalization methods: z-score (default), minmax, meannorm, mediannorm,
@@ -98,6 +109,15 @@ lint runs the workspace invariant checker (determinism, panic-safety,
 hot-path allocation rules) over every library source file. Findings
 need fixing or an inline reasoned suppression; --deny-warnings fails on
 warnings too, --out writes the machine-readable JSON report.
+
+serve answers 1-NN/k-NN queries over TCP (newline-delimited JSON) with
+shard-affine dataset ownership, request batching, an LRU answer cache,
+bounded queues with typed queue_full backpressure, and per-request
+deadlines. Answers are byte-identical to the offline evaluator; with
+--journal every accepted query is replayable via serve-replay.
+serve-requests generates a deterministic mixed workload from an
+archive's test splits; serve-client pipelines a request file and prints
+responses sorted by id (diffable against serve-replay output).
 ";
 
 fn cmd_measures() -> Result<(), String> {
@@ -238,7 +258,13 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     let mut accs = Vec::new();
     for spec in list.split(',').filter(|s| !s.is_empty()) {
         let m = measures::resolve(spec.trim())?;
-        let acc = evaluate_distance(m.as_ref(), &ds, norm);
+        let acc = Eval::new(m.as_ref())
+            .on(&ds)
+            .normalized(norm)
+            .run()
+            .map_err(|e| e.to_string())?
+            .accuracy
+            .ok_or("dataset evaluation produced no accuracy")?;
         names.push(m.name());
         accs.push(acc);
     }

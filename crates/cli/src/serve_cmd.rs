@@ -1,0 +1,382 @@
+//! The `serve` family of subcommands: run the query service, generate
+//! request workloads, drive a server as a client, and replay journals
+//! offline.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tsdist_core::chaos::{ChaosDistance, Fault, Schedule};
+use tsdist_core::measure::Distance;
+use tsdist_data::ucr::load_ucr_archive;
+use tsdist_data::{load_ucr_archive_lenient, Dataset};
+use tsdist_serve::{
+    render_query, replay_journal, Client, MeasureResolver, QueryRequest, Response, Server,
+    ServerConfig,
+};
+
+use crate::measures;
+use crate::{take_bool_flag, take_flag};
+
+/// The measure resolver every serve-family command shares: the CLI's
+/// `name[:params]` registry, optionally wrapped in deterministic fault
+/// injection when `--chaos` is given.
+fn build_resolver(chaos: Option<&str>) -> Result<MeasureResolver, String> {
+    let Some(spec) = chaos else {
+        return Ok(Arc::new(|spec: &str| measures::resolve(spec)));
+    };
+    let (fault, every) = parse_chaos(spec)?;
+    Ok(Arc::new(move |spec: &str| {
+        let inner = measures::resolve(spec)?;
+        Ok(
+            Box::new(ChaosDistance::new(inner, fault, Schedule::EveryNth(every)))
+                as Box<dyn Distance>,
+        )
+    }))
+}
+
+/// Parses a `--chaos` spec: `panic[:n]`, `nan[:n]`, or `delay-<ms>[:n]`
+/// — inject the fault on every n-th pairwise call (default every 2nd).
+fn parse_chaos(spec: &str) -> Result<(Fault, usize), String> {
+    let (kind, every) = match spec.split_once(':') {
+        Some((k, n)) => (
+            k,
+            n.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("bad chaos period {n:?}"))?,
+        ),
+        None => (spec, 2),
+    };
+    let fault = if kind == "panic" {
+        Fault::Panic
+    } else if kind == "nan" {
+        Fault::Value(f64::NAN)
+    } else if let Some(ms) = kind.strip_prefix("delay-") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad chaos delay {ms:?}"))?;
+        Fault::Delay(Duration::from_millis(ms))
+    } else {
+        return Err(format!(
+            "unknown chaos kind {kind:?} (panic, nan, delay-<ms>)"
+        ));
+    };
+    Ok((fault, every))
+}
+
+fn load_archive(root: &str, lenient: bool) -> Result<Vec<Dataset>, String> {
+    if lenient {
+        let loaded = load_ucr_archive_lenient(Path::new(root))
+            .map_err(|e| format!("loading archive: {e}"))?;
+        if !loaded.failures.is_empty() {
+            eprint!("{}", loaded.render_report());
+        }
+        Ok(loaded.datasets)
+    } else {
+        load_ucr_archive(Path::new(root)).map_err(|e| format!("loading archive: {e}"))
+    }
+}
+
+/// `tsdist serve <archive-root>`: serve 1-NN queries over the archive
+/// until a client sends the `shutdown` op.
+pub fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_flag(args, "--addr")?;
+    let (shards, rest) = take_flag(&rest, "--shards")?;
+    let (queue, rest) = take_flag(&rest, "--queue")?;
+    let (batch, rest) = take_flag(&rest, "--batch")?;
+    let (cache, rest) = take_flag(&rest, "--cache")?;
+    let (journal, rest) = take_flag(&rest, "--journal")?;
+    let (chaos, rest) = take_flag(&rest, "--chaos")?;
+    let (port_file, rest) = take_flag(&rest, "--port-file")?;
+    let (lenient, rest) = take_bool_flag(&rest, "--lenient");
+    let [root] = rest.as_slice() else {
+        return Err(
+            "usage: tsdist serve <archive-root> [--addr A] [--shards N] [--queue Q] \
+             [--batch B] [--cache C] [--journal FILE] [--port-file FILE] [--lenient]"
+                .into(),
+        );
+    };
+
+    let datasets = load_archive(root, lenient)?;
+    if datasets.is_empty() {
+        return Err(format!("archive at {root} has no datasets"));
+    }
+    let parse_knob = |v: Option<String>, default: usize, what: &str| -> Result<usize, String> {
+        v.map_or(Ok(default), |s| {
+            s.parse().map_err(|_| format!("bad {what} value {s:?}"))
+        })
+    };
+    let config = ServerConfig {
+        addr: addr.unwrap_or_else(|| "127.0.0.1:0".into()),
+        shards: parse_knob(shards, 2, "--shards")?,
+        queue_cap: parse_knob(queue, 256, "--queue")?,
+        batch_max: parse_knob(batch, 16, "--batch")?,
+        cache_cap: parse_knob(cache, 256, "--cache")?,
+        journal_path: journal.map(Into::into),
+    };
+    let resolver = build_resolver(chaos.as_deref())?;
+    let n = datasets.len();
+    let handle =
+        Server::start(datasets, resolver, &config).map_err(|e| format!("starting server: {e}"))?;
+    println!("serving {n} dataset(s) on {}", handle.addr());
+    if let Some(path) = port_file {
+        std::fs::write(&path, format!("{}\n", handle.addr()))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    handle.wait();
+    println!("server shut down cleanly");
+    Ok(())
+}
+
+/// `tsdist serve-requests <archive-root>`: emit a deterministic mixed
+/// NDJSON workload (queries drawn from the archive's test splits) to
+/// stdout or `--out`.
+pub fn cmd_serve_requests(args: &[String]) -> Result<(), String> {
+    let (count, rest) = take_flag(args, "--count")?;
+    let (measure_list, rest) = take_flag(&rest, "--measures")?;
+    let (out, rest) = take_flag(&rest, "--out")?;
+    let (lenient, rest) = take_bool_flag(&rest, "--lenient");
+    let [root] = rest.as_slice() else {
+        return Err("usage: tsdist serve-requests <archive-root> [--count N] \
+             [--measures m1,m2,...] [--out FILE]"
+            .into());
+    };
+    let count: usize = count
+        .as_deref()
+        .unwrap_or("100")
+        .parse()
+        .map_err(|_| "bad --count")?;
+    let datasets = load_archive(root, lenient)?;
+    if datasets.iter().all(|d| d.test.is_empty()) {
+        return Err("archive has no test series to query".into());
+    }
+    let list = measure_list.unwrap_or_else(|| "ed,dtw:10".into());
+    let specs: Vec<&str> = list.split(',').filter(|s| !s.is_empty()).collect();
+    if specs.is_empty() {
+        return Err("empty --measures list".into());
+    }
+    for spec in &specs {
+        measures::resolve(spec.trim())?;
+    }
+
+    let lines: Vec<String> = generate_requests(&datasets, &specs, count)
+        .iter()
+        .map(render_query)
+        .collect();
+    match out {
+        Some(path) => std::fs::write(&path, format!("{}\n", lines.join("\n")))
+            .map_err(|e| format!("writing {path}: {e}")),
+        None => {
+            for line in lines {
+                println!("{line}");
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Deterministic mixed workload: cycle datasets, measures, k ∈ {1, 3},
+/// pruned/exact, and two normalizations over the test splits.
+fn generate_requests(datasets: &[Dataset], specs: &[&str], count: usize) -> Vec<QueryRequest> {
+    let mut requests = Vec::with_capacity(count);
+    let mut i = 0usize;
+    while requests.len() < count {
+        let ds = &datasets[i % datasets.len()];
+        if ds.test.is_empty() {
+            i += 1;
+            continue;
+        }
+        let series = ds.test[(i / datasets.len()) % ds.test.len()].clone();
+        let mut q = QueryRequest {
+            id: requests.len() as u64 + 1,
+            dataset: ds.name.clone(),
+            measure: specs[i % specs.len()].trim().to_string(),
+            norm: if i.is_multiple_of(3) {
+                tsdist_core::normalization::Normalization::MinMax
+            } else {
+                tsdist_core::normalization::Normalization::ZScore
+            },
+            k: if i.is_multiple_of(4) { 3 } else { 1 },
+            pruned: i.is_multiple_of(2),
+            series,
+            deadline_ms: None,
+        };
+        // Exercise the answer cache with occasional exact repeats.
+        if i % 11 == 10 {
+            q.series = ds.test[0].clone();
+            q.k = 1;
+            q.pruned = true;
+        }
+        requests.push(q);
+        i += 1;
+    }
+    requests
+}
+
+/// `tsdist serve-client <addr> [file]`: pipeline request lines (from a
+/// file or stdin) to a running server and print the responses sorted by
+/// request id — the same order `serve-replay` emits, so the two outputs
+/// diff cleanly when nothing was shed.
+pub fn cmd_serve_client(args: &[String]) -> Result<(), String> {
+    let (shutdown, rest) = take_bool_flag(args, "--shutdown");
+    let (addr, file) = match rest.as_slice() {
+        [addr] => (addr.clone(), None),
+        [addr, file] => (addr.clone(), Some(file.clone())),
+        _ => return Err("usage: tsdist serve-client <addr> [request-file] [--shutdown]".into()),
+    };
+    let addr = addr.parse().map_err(|_| format!("bad address {addr:?}"))?;
+    let lines: Vec<String> = match &file {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))?
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| l.to_string())
+            .collect(),
+        None => {
+            let stdin = std::io::stdin();
+            let collected: Result<Vec<String>, _> = stdin.lock().lines().collect();
+            collected
+                .map_err(|e| format!("reading stdin: {e}"))?
+                .into_iter()
+                .filter(|l| !l.trim().is_empty())
+                .collect()
+        }
+    };
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let mut responses = Vec::new();
+    if !lines.is_empty() {
+        responses = client
+            .roundtrip(&lines)
+            .map_err(|e| format!("talking to {addr}: {e}"))?;
+    }
+    // Sort by request id so output order is connection-independent.
+    let mut keyed: Vec<(u64, String)> = Vec::with_capacity(responses.len());
+    for line in responses {
+        let id = Response::parse(&line).map(|r| r.id()).unwrap_or(0);
+        keyed.push((id, line));
+    }
+    keyed.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (_, line) in &keyed {
+        writeln!(out, "{line}").map_err(|e| format!("writing stdout: {e}"))?;
+    }
+    if shutdown {
+        client
+            .shutdown_server(u64::MAX)
+            .map_err(|e| format!("shutting down {addr}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// `tsdist serve-replay <archive-root> <journal-file>`: recompute every
+/// journaled request offline and print the response lines sorted by id
+/// (byte-identical to what the live server answered).
+pub fn cmd_serve_replay(args: &[String]) -> Result<(), String> {
+    let (chaos, rest) = take_flag(args, "--chaos")?;
+    let (lenient, rest) = take_bool_flag(&rest, "--lenient");
+    let [root, journal] = rest.as_slice() else {
+        return Err("usage: tsdist serve-replay <archive-root> <journal-file>".into());
+    };
+    let datasets = load_archive(root, lenient)?;
+    let lines: Vec<String> = std::fs::read_to_string(journal)
+        .map_err(|e| format!("reading {journal}: {e}"))?
+        .lines()
+        .map(|l| l.to_string())
+        .collect();
+    let resolver = build_resolver(chaos.as_deref())?;
+    let mut replayed = replay_journal(lines, datasets, resolver);
+    replayed.sort_by_key(|line| Response::parse(line).map(|r| r.id()).unwrap_or(0));
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in &replayed {
+        writeln!(out, "{line}").map_err(|e| format!("writing stdout: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdist_data::synthetic::{generate_dataset, ArchiveConfig};
+
+    #[test]
+    fn chaos_specs_parse() {
+        assert_eq!(parse_chaos("panic").unwrap(), (Fault::Panic, 2));
+        assert_eq!(parse_chaos("panic:5").unwrap(), (Fault::Panic, 5));
+        assert!(matches!(parse_chaos("nan:3").unwrap(), (Fault::Value(v), 3) if v.is_nan()));
+        assert_eq!(
+            parse_chaos("delay-20").unwrap(),
+            (Fault::Delay(Duration::from_millis(20)), 2)
+        );
+        for bad in ["", "boom", "panic:0", "panic:x", "delay-ms"] {
+            assert!(parse_chaos(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn generated_workload_is_deterministic_and_mixed() {
+        let cfg = ArchiveConfig::quick(2, 3);
+        let datasets = vec![generate_dataset(&cfg, 0), generate_dataset(&cfg, 1)];
+        let a = generate_requests(&datasets, &["ed", "dtw:10"], 50);
+        let b = generate_requests(&datasets, &["ed", "dtw:10"], 50);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert!(a.iter().any(|q| q.k == 3));
+        assert!(a.iter().any(|q| !q.pruned));
+        assert!(a.iter().any(|q| q.measure == "dtw:10"));
+        // Ids are unique and ascending.
+        for (i, q) in a.iter().enumerate() {
+            assert_eq!(q.id, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn serve_and_drive_end_to_end() {
+        // Full loop through the CLI building blocks: start a server,
+        // generate a workload, pipeline it, and replay the journal.
+        let cfg = ArchiveConfig::quick(2, 13);
+        let datasets = vec![generate_dataset(&cfg, 0), generate_dataset(&cfg, 1)];
+        let journal = std::env::temp_dir().join(format!(
+            "tsdist_cli_serve_journal_{}.ndjson",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&journal);
+        let resolver = build_resolver(None).unwrap();
+        let handle = Server::start(
+            datasets.clone(),
+            resolver.clone(),
+            &ServerConfig {
+                journal_path: Some(journal.clone()),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+
+        let requests = generate_requests(&datasets, &["ed", "dtw:10"], 30);
+        let lines: Vec<String> = requests.iter().map(render_query).collect();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let mut live: Vec<(u64, String)> = client
+            .roundtrip(&lines)
+            .unwrap()
+            .into_iter()
+            .map(|l| (Response::parse(&l).unwrap().id(), l))
+            .collect();
+        client.shutdown_server(0).unwrap();
+        drop(handle); // joins everything, flushes the journal
+
+        live.sort_by_key(|(id, _)| *id);
+        let journal_lines: Vec<String> = std::fs::read_to_string(&journal)
+            .unwrap()
+            .lines()
+            .map(|l| l.to_string())
+            .collect();
+        assert_eq!(journal_lines.len(), 30, "nothing shed at default depth");
+        let mut replayed = replay_journal(journal_lines, datasets, resolver);
+        replayed.sort_by_key(|l| Response::parse(l).unwrap().id());
+        let live_lines: Vec<String> = live.into_iter().map(|(_, l)| l).collect();
+        assert_eq!(live_lines, replayed, "live and replayed answers differ");
+        let _ = std::fs::remove_file(&journal);
+    }
+}

@@ -171,7 +171,26 @@ impl std::error::Error for CellError {}
 
 impl From<EvalError> for CellError {
     fn from(e: EvalError) -> Self {
-        CellError::Eval(e)
+        // The fault-shaped variants map onto their cell-level twins so a
+        // deadline classified by the public `EvalRequest` facade is still
+        // reported as `TimedOut` by the runner, not as a generic failure.
+        match e {
+            EvalError::DeadlineExceeded => CellError::DeadlineExceeded,
+            EvalError::NonFiniteDistance { i, j } => CellError::NonFiniteDistance { i, j },
+            EvalError::Faulted { message } => CellError::Panicked { message },
+            other => CellError::Eval(other),
+        }
+    }
+}
+
+impl From<CellError> for EvalError {
+    fn from(e: CellError) -> Self {
+        match e {
+            CellError::Eval(inner) => inner,
+            CellError::DeadlineExceeded => EvalError::DeadlineExceeded,
+            CellError::NonFiniteDistance { i, j } => EvalError::NonFiniteDistance { i, j },
+            CellError::Panicked { message } => EvalError::Faulted { message },
+        }
     }
 }
 

@@ -41,6 +41,27 @@ pub enum EvalError {
     },
     /// An empty parameter grid was passed to a supervised evaluation.
     EmptyGrid,
+    /// The request's wall-clock deadline elapsed (or its
+    /// [`CancelFlag`](crate::cell::CancelFlag) was raised) before the
+    /// evaluation finished.
+    DeadlineExceeded,
+    /// A computed distance came out NaN or ±Inf at `(i, j)` (row `i` of
+    /// the query/test set, training index `j`).
+    NonFiniteDistance {
+        /// Row of the first offending entry.
+        i: usize,
+        /// Column (training index) of the first offending entry.
+        j: usize,
+    },
+    /// The measure faulted (panicked) while evaluating; the message is
+    /// the rendered panic payload.
+    Faulted {
+        /// The rendered panic message.
+        message: String,
+    },
+    /// An [`Eval`](crate::request::Eval) request was run without a
+    /// dataset (`.on(dataset)` was never called).
+    NoDataset,
 }
 
 impl fmt::Display for EvalError {
@@ -60,6 +81,17 @@ impl fmt::Display for EvalError {
                 write!(f, "n_train exceeds embedded row count: {n_train} > {rows}")
             }
             EvalError::EmptyGrid => write!(f, "empty parameter grid"),
+            EvalError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            EvalError::NonFiniteDistance { i, j } => {
+                write!(f, "non-finite distance at ({i}, {j})")
+            }
+            EvalError::Faulted { message } => write!(f, "measure faulted: {message}"),
+            EvalError::NoDataset => {
+                write!(
+                    f,
+                    "request has no dataset: call `.on(dataset)` before `.run()`"
+                )
+            }
         }
     }
 }

@@ -1,6 +1,31 @@
 //! High-level evaluation of measures on datasets: normalization handling,
 //! the supervised (LOOCCV) and unsupervised settings, and category-
 //! specific paths for distances, kernels, and embeddings.
+//!
+//! # Migration note: the `Eval` request builder
+//!
+//! The historical trio of unsupervised distance entry points —
+//! `evaluate_distance`, `try_evaluate_distance`, and
+//! `evaluate_distance_pruned` (plus their pruned `try_` twin) — is
+//! superseded by the single [`Eval`](crate::request::Eval) request
+//! builder, which the CLI, the query server (`tsdist-serve`), and the
+//! study runner now share verbatim:
+//!
+//! | old call | new call |
+//! |----------|----------|
+//! | `evaluate_distance(d, ds, norm)` | `Eval::new(d).on(ds).normalized(norm).run()?.accuracy` |
+//! | `try_evaluate_distance(d, ds, norm, flag)` | `Eval::new(d).on(ds).normalized(norm).cancelled_by(flag).run()` |
+//! | `evaluate_distance_pruned(d, ds, norm)` | `Eval::new(d).on(ds).normalized(norm).pruned(true).run()?.accuracy` |
+//! | `try_evaluate_distance_pruned(d, ds, norm, flag)` | `Eval::new(d).on(ds).normalized(norm).pruned(true).cancelled_by(flag).run()` |
+//! | `pruned_one_nn_accuracy(d, test, train, tel, trl, warm)` | `Eval::new(d).on(ds).pruned(true).warm_start(warm).run()?.accuracy` |
+//! | `pruned_knn_accuracy(d, …, k, warm)` | `Eval::new(d).on(ds).pruned(true).k(k).warm_start(warm).run()?.accuracy` |
+//!
+//! `run()` returns a typed [`EvalReport`](crate::request::EvalReport);
+//! errors (shape mismatches, deadlines, non-finite distances, measure
+//! faults) surface as [`EvalError`] instead of splitting across a
+//! panicking facade and a `try_` twin. The deprecated shims remain thin
+//! wrappers over the same cores and keep their historical behaviour.
+//! The supervised / kernel / embedding entry points are unchanged.
 
 use crate::cell::{
     find_non_finite, CancelFlag, CellError, Evaluation, GuardedDistance, GuardedKernel,
@@ -11,7 +36,7 @@ use crate::matrices::{
     symmetric_distance_matrix_into,
 };
 use crate::nn::{loocv_accuracy, one_nn_accuracy, try_loocv_accuracy, try_one_nn_accuracy};
-use crate::pruned::{pruned_nn_search, try_pruned_one_nn_accuracy};
+use crate::pruned::{one_nn_accuracy_core, one_nn_vote_accuracy, pruned_nn_search};
 use tsdist_core::embedding::Embedding;
 use tsdist_core::measure::{Distance, Kernel};
 use tsdist_core::normalization::{AdaptiveScaled, Normalization};
@@ -22,10 +47,16 @@ use tsdist_linalg::Matrix;
 /// (the paper z-normalizes all datasets for archive compatibility), then
 /// the evaluation normalization is applied on top.
 pub fn prepare(ds: &Dataset, norm: Normalization) -> Dataset {
-    ds.map_series(|s| {
-        let z = Normalization::ZScore.apply(s);
-        norm.apply(&z)
-    })
+    ds.map_series(|s| preprocess_series(s, norm))
+}
+
+/// The per-series preprocessing pipeline behind [`prepare`]: z-normalize,
+/// then apply `norm` on top. Shared with the query path of the
+/// [`Eval`](crate::request::Eval) builder so wire queries are prepared
+/// exactly (bit-for-bit) like dataset series.
+pub(crate) fn preprocess_series(s: &[f64], norm: Normalization) -> Vec<f64> {
+    let z = Normalization::ZScore.apply(s);
+    norm.apply(&z)
 }
 
 /// Outcome of a supervised (grid-tuned) evaluation on one dataset.
@@ -44,7 +75,18 @@ pub struct SupervisedOutcome {
 ///
 /// When `norm` is the pairwise [`Normalization::AdaptiveScaling`], the
 /// measure is wrapped in [`AdaptiveScaled`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Eval::new(measure).on(dataset).normalized(norm).run()`; see the module docs for the migration table"
+)]
 pub fn evaluate_distance(d: &dyn Distance, ds: &Dataset, norm: Normalization) -> f64 {
+    distance_accuracy(d, ds, norm)
+}
+
+/// The matrix-backed accuracy core behind the deprecated
+/// [`evaluate_distance`] shim, still used by the supervised grid path
+/// (which scores the winning grid point on the test split).
+fn distance_accuracy(d: &dyn Distance, ds: &Dataset, norm: Normalization) -> f64 {
     let prepared = prepare(ds, norm);
     let e = if norm.is_pairwise() {
         let wrapped = AdaptiveScaled::new(d);
@@ -60,16 +102,27 @@ pub fn evaluate_distance(d: &dyn Distance, ds: &Dataset, norm: Normalization) ->
 /// a cutoff (plus warm-started, cheap-ordered candidate scans), never
 /// materializing `E`. Accuracy is byte-identical to
 /// [`evaluate_distance`]; only the work done changes.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Eval::new(measure).on(dataset).normalized(norm).pruned(true).run()`; see the module docs for the migration table"
+)]
 pub fn evaluate_distance_pruned(d: &dyn Distance, ds: &Dataset, norm: Normalization) -> f64 {
+    distance_accuracy_pruned(d, ds, norm)
+}
+
+/// The pruned accuracy core behind the deprecated
+/// [`evaluate_distance_pruned`] shim.
+fn distance_accuracy_pruned(d: &dyn Distance, ds: &Dataset, norm: Normalization) -> f64 {
     let prepared = prepare(ds, norm);
     let run = |d: &dyn Distance| {
-        try_pruned_one_nn_accuracy(
+        one_nn_accuracy_core(
             d,
             &prepared.test,
             &prepared.train,
             &prepared.test_labels,
             &prepared.train_labels,
             true,
+            None,
         )
         // tsdist-lint: allow(no-unwrap-in-lib, reason = "panicking facade: shapes were validated by `prepare`, so the typed error is unreachable")
         .unwrap_or_else(|err| panic!("{err}"))
@@ -110,7 +163,7 @@ pub fn evaluate_distance_supervised(
             best_idx = idx;
         }
     }
-    let test_accuracy = evaluate_distance(grid[best_idx].as_ref(), ds, norm);
+    let test_accuracy = distance_accuracy(grid[best_idx].as_ref(), ds, norm);
     SupervisedOutcome {
         test_accuracy,
         train_accuracy: best_train,
@@ -216,7 +269,23 @@ pub fn evaluate_embedding_supervised(
 // including `distance_ws` and `is_symmetric`).
 
 /// Cancellable, fault-classified variant of [`evaluate_distance`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Eval::new(measure).on(dataset).normalized(norm).cancelled_by(flag).run()`; see the module docs for the migration table"
+)]
 pub fn try_evaluate_distance(
+    d: &dyn Distance,
+    ds: &Dataset,
+    norm: Normalization,
+    cancel: &CancelFlag,
+) -> Result<Evaluation, CellError> {
+    distance_cell(d, ds, norm, cancel)
+}
+
+/// The cancellable, fault-classified cell core shared by the runner, the
+/// [`Eval`](crate::request::Eval) builder, and the deprecated
+/// [`try_evaluate_distance`] shim.
+pub(crate) fn distance_cell(
     d: &dyn Distance,
     ds: &Dataset,
     norm: Normalization,
@@ -224,6 +293,18 @@ pub fn try_evaluate_distance(
 ) -> Result<Evaluation, CellError> {
     cancel.checkpoint()?;
     let prepared = prepare(ds, norm);
+    distance_cell_prepared(d, &prepared, norm, cancel)
+}
+
+/// [`distance_cell`] on an already-[`prepare`]d dataset — the hook the
+/// query service uses to amortize preprocessing across batches.
+pub(crate) fn distance_cell_prepared(
+    d: &dyn Distance,
+    prepared: &Dataset,
+    norm: Normalization,
+    cancel: &CancelFlag,
+) -> Result<Evaluation, CellError> {
+    cancel.checkpoint()?;
     let guarded = GuardedDistance::new(d, cancel);
     let e = if norm.is_pairwise() {
         let wrapped = AdaptiveScaled::new(guarded);
@@ -248,7 +329,23 @@ pub fn try_evaluate_distance(
 /// byte-identical [`Evaluation`]; a fault the scan does observe is still
 /// reported as [`CellError::NonFiniteDistance`] with `i` the test row
 /// and `j` the offending training index.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Eval::new(measure).on(dataset).normalized(norm).pruned(true).cancelled_by(flag).run()`; see the module docs for the migration table"
+)]
 pub fn try_evaluate_distance_pruned(
+    d: &dyn Distance,
+    ds: &Dataset,
+    norm: Normalization,
+    cancel: &CancelFlag,
+) -> Result<Evaluation, CellError> {
+    distance_cell_pruned(d, ds, norm, cancel)
+}
+
+/// The pruned cell core shared by the runner, the
+/// [`Eval`](crate::request::Eval) builder, and the deprecated
+/// [`try_evaluate_distance_pruned`] shim.
+pub(crate) fn distance_cell_pruned(
     d: &dyn Distance,
     ds: &Dataset,
     norm: Normalization,
@@ -256,6 +353,17 @@ pub fn try_evaluate_distance_pruned(
 ) -> Result<Evaluation, CellError> {
     cancel.checkpoint()?;
     let prepared = prepare(ds, norm);
+    distance_cell_pruned_prepared(d, &prepared, norm, cancel)
+}
+
+/// [`distance_cell_pruned`] on an already-[`prepare`]d dataset.
+pub(crate) fn distance_cell_pruned_prepared(
+    d: &dyn Distance,
+    prepared: &Dataset,
+    norm: Normalization,
+    cancel: &CancelFlag,
+) -> Result<Evaluation, CellError> {
+    cancel.checkpoint()?;
     if prepared.train.is_empty() {
         return Err(EvalError::EmptyTrainSet.into());
     }
@@ -273,17 +381,7 @@ pub fn try_evaluate_distance_pruned(
     {
         return Err(CellError::NonFiniteDistance { i, j });
     }
-    let correct = nns
-        .iter()
-        .zip(&prepared.test_labels)
-        .filter(|(nn, &truth)| {
-            let predicted = nn
-                .index
-                .map_or(prepared.train_labels[0], |j| prepared.train_labels[j]);
-            predicted == truth
-        })
-        .count();
-    let accuracy = correct as f64 / prepared.test_labels.len() as f64;
+    let accuracy = one_nn_vote_accuracy(&nns, &prepared.test_labels, &prepared.train_labels);
     Ok(Evaluation::unsupervised(accuracy))
 }
 
@@ -322,7 +420,7 @@ pub fn try_evaluate_distance_supervised(
             best_idx = idx;
         }
     }
-    let test = try_evaluate_distance(grid[best_idx].as_ref(), ds, norm, cancel)?;
+    let test = distance_cell(grid[best_idx].as_ref(), ds, norm, cancel)?;
     Ok(Evaluation {
         accuracy: test.accuracy,
         train_accuracy: Some(best_train),
@@ -460,6 +558,7 @@ mod tests {
     #[test]
     fn euclidean_beats_chance_on_shape_data() {
         let ds = easy_dataset();
+        #[allow(deprecated)]
         let acc = evaluate_distance(&Euclidean, &ds, Normalization::ZScore);
         let chance = 1.0 / ds.n_classes() as f64;
         assert!(acc > chance, "acc {acc} <= chance {chance}");
@@ -509,6 +608,7 @@ mod tests {
     #[test]
     fn adaptive_scaling_normalization_runs_via_wrapper() {
         let ds = easy_dataset();
+        #[allow(deprecated)]
         let acc = evaluate_distance(&Euclidean, &ds, Normalization::AdaptiveScaling);
         assert!((0.0..=1.0).contains(&acc));
     }

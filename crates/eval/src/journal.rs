@@ -23,6 +23,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use crate::cell::{CellError, CellOutcome, Evaluation};
+use crate::wire::{json_number, json_string, parse_json_object, JsonValue};
 
 /// One parsed journal line.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,132 +101,6 @@ impl JournalEntry {
             outcome,
             seconds,
         })
-    }
-}
-
-/// Escapes a string as a JSON string literal (with surrounding quotes).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Formats a float so that `parse::<f64>()` round-trips it bit-exactly
-/// (Rust's `Display` emits the shortest such representation); non-finite
-/// values (never produced for journaled cells) fall back to `null`.
-fn json_number(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
-
-#[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
-    Str(String),
-    Num(f64),
-    Null,
-}
-
-/// Parses the flat JSON object grammar the journal emits: string keys,
-/// and string / number / null values.
-fn parse_json_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
-    let mut chars = line.trim().chars().peekable();
-    let mut fields = Vec::new();
-    if chars.next() != Some('{') {
-        return Err("expected '{'".into());
-    }
-    loop {
-        match chars.peek() {
-            Some('}') => {
-                chars.next();
-                break;
-            }
-            Some('"') => {}
-            Some(',') => {
-                chars.next();
-                continue;
-            }
-            _ => return Err("expected key".into()),
-        }
-        let key = parse_string(&mut chars)?;
-        if chars.next() != Some(':') {
-            return Err(format!("expected ':' after key {key:?}"));
-        }
-        let value = match chars.peek() {
-            Some('"') => JsonValue::Str(parse_string(&mut chars)?),
-            Some('n') => {
-                for expected in "null".chars() {
-                    if chars.next() != Some(expected) {
-                        return Err("bad literal".into());
-                    }
-                }
-                JsonValue::Null
-            }
-            Some(_) => {
-                let mut num = String::new();
-                while let Some(&c) = chars.peek() {
-                    if c == ',' || c == '}' {
-                        break;
-                    }
-                    num.push(c);
-                    chars.next();
-                }
-                JsonValue::Num(
-                    num.trim()
-                        .parse::<f64>()
-                        .map_err(|_| format!("bad number {num:?}"))?,
-                )
-            }
-            None => return Err("unexpected end of line".into()),
-        };
-        fields.push((key, value));
-    }
-    if chars.next().is_some() {
-        return Err("trailing characters after object".into());
-    }
-    Ok(fields)
-}
-
-/// Parses a JSON string literal (cursor on the opening quote).
-fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
-    if chars.next() != Some('"') {
-        return Err("expected '\"'".into());
-    }
-    let mut out = String::new();
-    loop {
-        match chars.next() {
-            Some('"') => return Ok(out),
-            Some('\\') => match chars.next() {
-                Some('"') => out.push('"'),
-                Some('\\') => out.push('\\'),
-                Some('n') => out.push('\n'),
-                Some('t') => out.push('\t'),
-                Some('r') => out.push('\r'),
-                Some('u') => {
-                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
-                    let code =
-                        u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape".to_string())?;
-                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                }
-                _ => return Err("bad escape".into()),
-            },
-            Some(c) => out.push(c),
-            None => return Err("unterminated string".into()),
-        }
     }
 }
 

@@ -34,23 +34,35 @@
 //! [`RunnerConfig`]: `deadline`, `max_retries`, `retry_backoff`,
 //! `max_cells` (stop-after-N, the hook the kill/resume smoke test uses).
 //!
+//! ## The `Eval` request builder
+//!
+//! Evaluations are described by one typed request ([`Eval`], in
+//! [`request`]) shared verbatim by the CLI, the `tsdist serve` query
+//! service, and the study runner. The historical `evaluate_distance` /
+//! `try_evaluate_distance` / `evaluate_distance_pruned` trio remains as
+//! deprecated shims; see the [`evaluator`] module docs for the
+//! migration table.
+//!
 //! The typical flow for one experiment:
 //!
 //! ```
 //! use tsdist_core::lockstep::{Euclidean, Lorentzian};
 //! use tsdist_core::normalization::Normalization;
 //! use tsdist_data::synthetic::{generate_archive, ArchiveConfig};
-//! use tsdist_eval::{compare_to_baseline, evaluate_distance};
+//! use tsdist_eval::{compare_to_baseline, Eval};
 //!
 //! let archive = generate_archive(&ArchiveConfig::quick(7, 42));
-//! let lorentzian: Vec<f64> = archive
-//!     .iter()
-//!     .map(|ds| evaluate_distance(&Lorentzian, ds, Normalization::ZScore))
-//!     .collect();
-//! let ed: Vec<f64> = archive
-//!     .iter()
-//!     .map(|ds| evaluate_distance(&Euclidean, ds, Normalization::ZScore))
-//!     .collect();
+//! let accuracy = |d: &dyn tsdist_core::measure::Distance, ds| {
+//!     Eval::new(d)
+//!         .on(ds)
+//!         .normalized(Normalization::ZScore)
+//!         .run()
+//!         .unwrap()
+//!         .accuracy
+//!         .unwrap()
+//! };
+//! let lorentzian: Vec<f64> = archive.iter().map(|ds| accuracy(&Lorentzian, ds)).collect();
+//! let ed: Vec<f64> = archive.iter().map(|ds| accuracy(&Euclidean, ds)).collect();
 //! let row = compare_to_baseline("Lorentzian (z-score)", &lorentzian, &ed);
 //! assert_eq!(row.better + row.equal + row.worse, 7);
 //! ```
@@ -67,9 +79,11 @@ pub mod matrices;
 pub mod nn;
 pub mod parallel;
 pub mod pruned;
+pub mod request;
 pub mod runner;
 pub mod runtime;
 pub mod study;
+pub mod wire;
 
 pub use cell::{CancelFlag, CellError, CellOutcome, CellResult, Evaluation, Watchdog};
 pub use comparison::{
@@ -77,10 +91,14 @@ pub use comparison::{
     RankingAnalysis, NEMENYI_ALPHA, WILCOXON_ALPHA,
 };
 pub use error::EvalError;
+#[allow(deprecated)]
 pub use evaluator::{
-    evaluate_distance, evaluate_distance_pruned, evaluate_distance_supervised, evaluate_embedding,
-    evaluate_embedding_supervised, evaluate_kernel, evaluate_kernel_supervised, prepare,
-    try_evaluate_distance, try_evaluate_distance_pruned, try_evaluate_distance_supervised,
+    evaluate_distance, evaluate_distance_pruned, try_evaluate_distance,
+    try_evaluate_distance_pruned,
+};
+pub use evaluator::{
+    evaluate_distance_supervised, evaluate_embedding, evaluate_embedding_supervised,
+    evaluate_kernel, evaluate_kernel_supervised, prepare, try_evaluate_distance_supervised,
     try_evaluate_embedding, try_evaluate_embedding_supervised, try_evaluate_kernel,
     try_evaluate_kernel_supervised, SupervisedOutcome,
 };
@@ -93,11 +111,16 @@ pub use matrices::{
 };
 pub use nn::{loocv_accuracy, one_nn_accuracy, try_loocv_accuracy, try_one_nn_accuracy};
 pub use parallel::{parallel_fill_rows, parallel_map, parallel_map_with, worker_count};
+#[allow(deprecated)]
 pub use pruned::{
-    pruned_knn_accuracy, pruned_loocv_accuracy, pruned_loocv_search, pruned_nn_search,
-    pruned_one_nn_accuracy, try_pruned_knn_accuracy, try_pruned_loocv_accuracy,
-    try_pruned_one_nn_accuracy, NearestNeighbour,
+    pruned_knn_accuracy, pruned_loocv_accuracy, pruned_one_nn_accuracy, try_pruned_knn_accuracy,
+    try_pruned_loocv_accuracy, try_pruned_one_nn_accuracy,
 };
+pub use pruned::{
+    pruned_knn_search, pruned_knn_search_cached, pruned_loocv_search, pruned_nn_search,
+    pruned_nn_search_cached, NearestNeighbour,
+};
+pub use request::{Answer, Eval, EvalReport, EvalRequest};
 pub use runner::{
     cell_key, run_study_resumable, summarize_cells, CellRunner, RobustStudyReport, RunnerConfig,
 };

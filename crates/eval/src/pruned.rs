@@ -40,6 +40,7 @@
 use crate::error::EvalError;
 use crate::knn::majority_vote;
 use crate::parallel::{parallel_map, worker_count};
+use crate::runtime::EnvelopeCache;
 use tsdist_core::measure::Distance;
 use tsdist_core::Workspace;
 use tsdist_data::Label;
@@ -80,11 +81,38 @@ fn cheap_score(x: &[f64], y: &[f64]) -> f64 {
     acc
 }
 
+/// The positions [`cheap_score`] samples for two series of length `n` —
+/// the hook [`EnvelopeCache`] uses to hoist the per-training-series
+/// samples out of the per-query loop. Must mirror the stride arithmetic
+/// of `cheap_score` exactly, or the cached candidate order diverges.
+pub(crate) fn cheap_sample_positions(n: usize) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let stride = (n / 16).max(1);
+    (0..n).step_by(stride).collect()
+}
+
 /// Fills `order` with `0..train.len()` sorted by the cheap first-pass
-/// score (ties by index). `scores` is scratch reused across rows.
-fn order_candidates(x: &[f64], train: &[Vec<f64>], order: &mut Vec<usize>, scores: &mut Vec<f64>) {
-    scores.clear();
-    scores.extend(train.iter().map(|t| cheap_score(x, t)));
+/// score (ties by index). Scores come from the hoisted strided table in
+/// `cache` when available (bit-identical, so the order is too) and from
+/// a full [`cheap_score`] pass otherwise. `qsamples`/`scores` are
+/// scratch reused across rows.
+fn order_candidates(
+    x: &[f64],
+    train: &[Vec<f64>],
+    cache: Option<&EnvelopeCache>,
+    qsamples: &mut Vec<f64>,
+    order: &mut Vec<usize>,
+    scores: &mut Vec<f64>,
+) {
+    let cached = cache
+        .filter(|c| c.len() == train.len())
+        .is_some_and(|c| c.cheap_scores(x, qsamples, scores));
+    if !cached {
+        scores.clear();
+        scores.extend(train.iter().map(|t| cheap_score(x, t)));
+    }
     order.clear();
     order.extend(0..train.len());
     order.sort_unstable_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
@@ -164,6 +192,31 @@ pub fn pruned_nn_search(
     train: &[Vec<f64>],
     warm_start: bool,
 ) -> Vec<NearestNeighbour> {
+    pruned_nn_search_rows(d, test, train, warm_start, None)
+}
+
+/// [`pruned_nn_search`] with a caller-owned [`EnvelopeCache`] (built on
+/// this `train` split) providing the hoisted candidate-order table, so
+/// repeated searches — the query-service hot path — skip the per-query
+/// full-series scoring walk. Results are identical with or without the
+/// cache.
+pub fn pruned_nn_search_cached(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    cache: &EnvelopeCache,
+    warm_start: bool,
+) -> Vec<NearestNeighbour> {
+    pruned_nn_search_rows(d, test, train, warm_start, Some(cache))
+}
+
+pub(crate) fn pruned_nn_search_rows(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    warm_start: bool,
+    cache: Option<&EnvelopeCache>,
+) -> Vec<NearestNeighbour> {
     pruned_search_rows(
         test.len(),
         warm_start,
@@ -171,6 +224,7 @@ pub fn pruned_nn_search(
         |_| usize::MAX,
         d,
         train,
+        cache,
     )
 }
 
@@ -181,9 +235,18 @@ pub fn pruned_loocv_search(
     train: &[Vec<f64>],
     warm_start: bool,
 ) -> Vec<NearestNeighbour> {
-    pruned_search_rows(train.len(), warm_start, |i| &train[i], |i| i, d, train)
+    pruned_search_rows(
+        train.len(),
+        warm_start,
+        |i| &train[i],
+        |i| i,
+        d,
+        train,
+        None,
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn pruned_search_rows<'a>(
     n: usize,
     warm_start: bool,
@@ -191,6 +254,7 @@ fn pruned_search_rows<'a>(
     skip: impl Fn(usize) -> usize + Sync,
     d: &dyn Distance,
     train: &[Vec<f64>],
+    cache: Option<&EnvelopeCache>,
 ) -> Vec<NearestNeighbour> {
     if n == 0 {
         return Vec::new();
@@ -201,10 +265,11 @@ fn pruned_search_rows<'a>(
         let mut ws = Workspace::new();
         let mut order = Vec::new();
         let mut scores = Vec::new();
+        let mut qsamples = Vec::new();
         let mut out = Vec::with_capacity(hi - lo);
         let mut prev: Option<usize> = None;
         for i in lo..hi {
-            order_candidates(row(i), train, &mut order, &mut scores);
+            order_candidates(row(i), train, cache, &mut qsamples, &mut order, &mut scores);
             if warm_start {
                 if let Some(p) = prev {
                     promote(&mut order, p);
@@ -221,12 +286,53 @@ fn pruned_search_rows<'a>(
     per_chunk.into_iter().flatten().collect()
 }
 
+/// Algorithm 1's accuracy from a batch of row results: `predicted`
+/// starts at the first training label, which an all-non-finite row never
+/// overwrites.
+pub(crate) fn one_nn_vote_accuracy(
+    nns: &[NearestNeighbour],
+    test_labels: &[Label],
+    train_labels: &[Label],
+) -> f64 {
+    let correct = nns
+        .iter()
+        .zip(test_labels)
+        .filter(|(nn, &truth)| {
+            let predicted = nn.index.map_or(train_labels[0], |j| train_labels[j]);
+            predicted == truth
+        })
+        .count();
+    // Plain `len()`, not `max(1)`: an empty test split yields NaN exactly
+    // like the matrix-backed `one_nn_accuracy`.
+    correct as f64 / test_labels.len() as f64
+}
+
+/// The shape-checked 1-NN accuracy core shared by the deprecated
+/// facades and the [`Eval`](crate::request::Eval) builder.
+pub(crate) fn one_nn_accuracy_core(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    test_labels: &[Label],
+    train_labels: &[Label],
+    warm_start: bool,
+    cache: Option<&EnvelopeCache>,
+) -> Result<f64, EvalError> {
+    check_shapes(test.len(), train.len(), test_labels, train_labels)?;
+    let nns = pruned_nn_search_rows(d, test, train, warm_start, cache);
+    Ok(one_nn_vote_accuracy(&nns, test_labels, train_labels))
+}
+
 /// Pruned drop-in for [`crate::nn::one_nn_accuracy`] computed straight
 /// from the series (no `E` matrix): byte-identical accuracy.
 ///
 /// # Panics
 /// Panics on shape mismatches or an empty training set; see
 /// [`try_pruned_one_nn_accuracy`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Eval::new(measure).on(dataset).pruned(true).run()`; see the `evaluator` module docs for the migration table"
+)]
 pub fn pruned_one_nn_accuracy(
     d: &dyn Distance,
     test: &[Vec<f64>],
@@ -235,13 +341,17 @@ pub fn pruned_one_nn_accuracy(
     train_labels: &[Label],
     warm_start: bool,
 ) -> f64 {
-    try_pruned_one_nn_accuracy(d, test, train, test_labels, train_labels, warm_start)
+    one_nn_accuracy_core(d, test, train, test_labels, train_labels, warm_start, None)
         // tsdist-lint: allow(no-unwrap-in-lib, reason = "documented `# Panics` facade; `try_pruned_one_nn_accuracy` is the fallible twin")
         .unwrap_or_else(|err| panic!("{err}"))
 }
 
 /// [`pruned_one_nn_accuracy`] returning a typed error instead of
 /// panicking.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Eval::new(measure).on(dataset).pruned(true).run()`; see the `evaluator` module docs for the migration table"
+)]
 pub fn try_pruned_one_nn_accuracy(
     d: &dyn Distance,
     test: &[Vec<f64>],
@@ -250,19 +360,7 @@ pub fn try_pruned_one_nn_accuracy(
     train_labels: &[Label],
     warm_start: bool,
 ) -> Result<f64, EvalError> {
-    check_shapes(test.len(), train.len(), test_labels, train_labels)?;
-    let nns = pruned_nn_search(d, test, train, warm_start);
-    let correct = nns
-        .iter()
-        .zip(test_labels)
-        .filter(|(nn, &truth)| {
-            // Algorithm 1 initializes `predicted` to the first training
-            // label, which an all-non-finite row never overwrites.
-            let predicted = nn.index.map_or(train_labels[0], |j| train_labels[j]);
-            predicted == truth
-        })
-        .count();
-    Ok(correct as f64 / test_labels.len() as f64)
+    one_nn_accuracy_core(d, test, train, test_labels, train_labels, warm_start, None)
 }
 
 /// Pruned drop-in for [`crate::nn::loocv_accuracy`]: byte-identical to
@@ -273,20 +371,37 @@ pub fn try_pruned_one_nn_accuracy(
 ///
 /// # Panics
 /// Panics on a label-count mismatch; see [`try_pruned_loocv_accuracy`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build on `pruned_loocv_search` (or the `Eval` builder for test-split accuracy); see the `evaluator` module docs"
+)]
 pub fn pruned_loocv_accuracy(
     d: &dyn Distance,
     train: &[Vec<f64>],
     train_labels: &[Label],
     warm_start: bool,
 ) -> f64 {
-    try_pruned_loocv_accuracy(d, train, train_labels, warm_start)
+    loocv_accuracy_core(d, train, train_labels, warm_start)
         // tsdist-lint: allow(no-unwrap-in-lib, reason = "documented `# Panics` facade; `try_pruned_loocv_accuracy` is the fallible twin")
         .unwrap_or_else(|err| panic!("{err}"))
 }
 
 /// [`pruned_loocv_accuracy`] returning a typed error instead of
 /// panicking.
+#[deprecated(
+    since = "0.2.0",
+    note = "build on `pruned_loocv_search` (or the `Eval` builder for test-split accuracy); see the `evaluator` module docs"
+)]
 pub fn try_pruned_loocv_accuracy(
+    d: &dyn Distance,
+    train: &[Vec<f64>],
+    train_labels: &[Label],
+    warm_start: bool,
+) -> Result<f64, EvalError> {
+    loocv_accuracy_core(d, train, train_labels, warm_start)
+}
+
+pub(crate) fn loocv_accuracy_core(
     d: &dyn Distance,
     train: &[Vec<f64>],
     train_labels: &[Label],
@@ -324,6 +439,10 @@ pub fn try_pruned_loocv_accuracy(
 /// # Panics
 /// Panics on shape mismatches, `k == 0`, or an empty training set; see
 /// [`try_pruned_knn_accuracy`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Eval::new(measure).on(dataset).pruned(true).k(k).run()`; see the `evaluator` module docs for the migration table"
+)]
 pub fn pruned_knn_accuracy(
     d: &dyn Distance,
     test: &[Vec<f64>],
@@ -333,12 +452,25 @@ pub fn pruned_knn_accuracy(
     k: usize,
     warm_start: bool,
 ) -> f64 {
-    try_pruned_knn_accuracy(d, test, train, test_labels, train_labels, k, warm_start)
-        // tsdist-lint: allow(no-unwrap-in-lib, reason = "documented `# Panics` facade; `try_pruned_knn_accuracy` is the fallible twin")
-        .unwrap_or_else(|err| panic!("{err}"))
+    knn_accuracy_core(
+        d,
+        test,
+        train,
+        test_labels,
+        train_labels,
+        k,
+        warm_start,
+        None,
+    )
+    // tsdist-lint: allow(no-unwrap-in-lib, reason = "documented `# Panics` facade; `try_pruned_knn_accuracy` is the fallible twin")
+    .unwrap_or_else(|err| panic!("{err}"))
 }
 
 /// [`pruned_knn_accuracy`] returning a typed error instead of panicking.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Eval::new(measure).on(dataset).pruned(true).k(k).run()`; see the `evaluator` module docs for the migration table"
+)]
 pub fn try_pruned_knn_accuracy(
     d: &dyn Distance,
     test: &[Vec<f64>],
@@ -348,15 +480,95 @@ pub fn try_pruned_knn_accuracy(
     k: usize,
     warm_start: bool,
 ) -> Result<f64, EvalError> {
+    knn_accuracy_core(
+        d,
+        test,
+        train,
+        test_labels,
+        train_labels,
+        k,
+        warm_start,
+        None,
+    )
+}
+
+/// The shape-checked k-NN accuracy core shared by the deprecated facades
+/// and the [`Eval`](crate::request::Eval) builder.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn knn_accuracy_core(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    test_labels: &[Label],
+    train_labels: &[Label],
+    k: usize,
+    warm_start: bool,
+    cache: Option<&EnvelopeCache>,
+) -> Result<f64, EvalError> {
     if k == 0 {
         return Err(EvalError::ZeroK);
     }
     check_shapes(test.len(), train.len(), test_labels, train_labels)?;
-    let k = k.min(train.len());
     let n = test.len();
     if n == 0 {
         // Mirrors `try_knn_accuracy` on a 0-row matrix.
         return Ok(0.0);
+    }
+    let rows = pruned_knn_search_rows(d, test, train, k, warm_start, cache);
+    let mut neighbours: Vec<usize> = Vec::with_capacity(k.min(train.len()));
+    let correct = rows
+        .iter()
+        .zip(test_labels)
+        .filter(|(row, &truth)| {
+            neighbours.clear();
+            neighbours.extend(row.iter().map(|&(_, j)| j));
+            majority_vote(&neighbours, train_labels) == Some(truth)
+        })
+        .count();
+    Ok(correct as f64 / n as f64)
+}
+
+/// Pruned k-nearest-neighbour search of every `test` row against
+/// `train`: each row's result is its `min(k, train.len())` nearest
+/// `(distance, index)` pairs in `(total_cmp, index)` order — the exact
+/// neighbour set (and order) the matrix-backed
+/// [`crate::knn::knn_accuracy`] selection produces.
+pub fn pruned_knn_search(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    k: usize,
+    warm_start: bool,
+) -> Vec<Vec<(f64, usize)>> {
+    pruned_knn_search_rows(d, test, train, k, warm_start, None)
+}
+
+/// [`pruned_knn_search`] with a caller-owned [`EnvelopeCache`] providing
+/// the hoisted candidate-order table; results are identical with or
+/// without the cache.
+pub fn pruned_knn_search_cached(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    cache: &EnvelopeCache,
+    k: usize,
+    warm_start: bool,
+) -> Vec<Vec<(f64, usize)>> {
+    pruned_knn_search_rows(d, test, train, k, warm_start, Some(cache))
+}
+
+pub(crate) fn pruned_knn_search_rows(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    k: usize,
+    warm_start: bool,
+    cache: Option<&EnvelopeCache>,
+) -> Vec<Vec<(f64, usize)>> {
+    let k = k.min(train.len());
+    let n = test.len();
+    if n == 0 || k == 0 {
+        return vec![Vec::new(); n];
     }
     let spans = chunk_spans(n);
     let per_chunk = parallel_map(spans.len(), |c| {
@@ -364,12 +576,12 @@ pub fn try_pruned_knn_accuracy(
         let mut ws = Workspace::new();
         let mut order = Vec::new();
         let mut scores = Vec::new();
+        let mut qsamples = Vec::new();
         let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
-        let mut neighbours: Vec<usize> = Vec::with_capacity(k);
         let mut prev: Vec<usize> = Vec::new();
-        let mut correct = 0usize;
-        for i in lo..hi {
-            order_candidates(&test[i], train, &mut order, &mut scores);
+        let mut out = Vec::with_capacity(hi - lo);
+        for query in &test[lo..hi] {
+            order_candidates(query, train, cache, &mut qsamples, &mut order, &mut scores);
             if warm_start {
                 // Visit the previous row's neighbourhood first, nearest
                 // last so the nearest ends up at the very front.
@@ -377,21 +589,16 @@ pub fn try_pruned_knn_accuracy(
                     promote(&mut order, p);
                 }
             }
-            knn_row(d, &test[i], train, &order, k, &mut ws, &mut heap);
-            neighbours.clear();
-            neighbours.extend(heap.iter().map(|&(_, j)| j));
-            if majority_vote(&neighbours, train_labels) == Some(test_labels[i]) {
-                correct += 1;
-            }
+            knn_row(d, query, train, &order, k, &mut ws, &mut heap);
             if heap.len() == k {
                 prev.clear();
-                prev.extend(neighbours.iter().copied());
+                prev.extend(heap.iter().map(|&(_, j)| j));
             }
+            out.push(heap.clone());
         }
-        correct
+        out
     });
-    let correct: usize = per_chunk.into_iter().sum();
-    Ok(correct as f64 / n as f64)
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// Fills `heap` with the `k` smallest `(distance, index)` pairs under
@@ -456,6 +663,9 @@ fn check_shapes(
 }
 
 #[cfg(test)]
+// The deprecated facades are exercised on purpose: they must stay
+// byte-identical to the matrix path until removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::matrices::distance_matrix;
@@ -602,6 +812,55 @@ mod tests {
             try_pruned_loocv_accuracy(&Euclidean, &train, &[0], false),
             Err(EvalError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn hoisted_cheap_scores_are_bit_identical() {
+        let train = toy(7, 33, 0.0);
+        let query = toy(1, 33, 0.9).remove(0);
+        let cache = EnvelopeCache::build(&train, 2);
+        let (mut qs, mut scores) = (Vec::new(), Vec::new());
+        assert!(cache.cheap_scores(&query, &mut qs, &mut scores));
+        for (j, t) in train.iter().enumerate() {
+            assert_eq!(scores[j].to_bits(), cheap_score(&query, t).to_bits());
+        }
+        // A query of a different length has different sample positions:
+        // the table must refuse, forcing the exact fallback.
+        assert!(!cache.cheap_scores(&query[..10], &mut qs, &mut scores));
+    }
+
+    #[test]
+    fn cached_candidate_order_reproduces_uncached_results() {
+        let train = toy(12, 40, 0.0);
+        let test = toy(9, 40, 0.25);
+        let d = Dtw::with_window_pct(10.0);
+        let cache = EnvelopeCache::build(&train, 3);
+        for warm in [false, true] {
+            assert_eq!(
+                pruned_nn_search(&d, &test, &train, warm),
+                pruned_nn_search_cached(&d, &test, &train, &cache, warm),
+            );
+            assert_eq!(
+                pruned_knn_search(&d, &test, &train, 3, warm),
+                pruned_knn_search_cached(&d, &test, &train, &cache, 3, warm),
+            );
+        }
+    }
+
+    #[test]
+    fn knn_search_rows_match_matrix_selection() {
+        let train = toy(10, 24, 0.0);
+        let test = toy(4, 24, 0.3);
+        let d = Msm::new(0.5);
+        let e = distance_matrix(&d, &test, &train);
+        let rows = pruned_knn_search(&d, &test, &train, 3, true);
+        for (i, row) in rows.iter().enumerate() {
+            // The matrix-backed selection order: (total_cmp, index).
+            let mut idx: Vec<usize> = (0..train.len()).collect();
+            idx.sort_unstable_by(|&a, &b| e[(i, a)].total_cmp(&e[(i, b)]).then(a.cmp(&b)));
+            let expect: Vec<(f64, usize)> = idx[..3].iter().map(|&j| (e[(i, j)], j)).collect();
+            assert_eq!(row, &expect, "row {i}");
+        }
     }
 
     #[test]

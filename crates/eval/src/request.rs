@@ -1,0 +1,648 @@
+//! The consolidated evaluation request: one builder, one `run()`.
+//!
+//! [`Eval`] subsumes the historical trio of unsupervised distance entry
+//! points (`evaluate_distance` / `try_evaluate_distance` /
+//! `evaluate_distance_pruned`) behind a single typed request that the
+//! CLI, the query server (`tsdist-serve`), and the study runner share
+//! verbatim — one request type flows from wire format to inner loop.
+//!
+//! Two modes, selected by whether [`EvalRequest::queries`] was called:
+//!
+//! * **Dataset mode** (default): classify the dataset's own test split
+//!   against its train split and report the accuracy — exactly what the
+//!   deprecated trio computed, including the NaN/±Inf screen of the
+//!   `try_` variants.
+//! * **Query mode**: answer ad-hoc 1-NN / k-NN queries against the train
+//!   split, one [`Answer`] per query. Queries go through the same
+//!   preprocessing pipeline as dataset series, and answers are
+//!   byte-identical to what the offline evaluator would produce for the
+//!   same series (the serve-vs-offline equivalence contract).
+//!
+//! Deadlines reuse the PR-2 machinery: a [`Watchdog`] arms the request's
+//! [`CancelFlag`], guarded measure wrappers unwind at the next pairwise
+//! call, and `run()` maps the unwind to [`EvalError::DeadlineExceeded`].
+//! A measure that *panics on its own* under a deadline-armed request is
+//! classified as [`EvalError::Faulted`] instead, so fault injection
+//! (chaos testing) stays distinguishable from timeouts.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use crate::cell::{CancelFlag, CancelPanic, GuardedDistance, Watchdog};
+use crate::error::EvalError;
+use crate::evaluator::{
+    distance_cell_prepared, distance_cell_pruned_prepared, prepare, preprocess_series,
+};
+use crate::knn::majority_vote;
+use crate::matrices::distance_matrix;
+use crate::pruned::{knn_accuracy_core, pruned_knn_search_rows, pruned_nn_search_rows};
+use crate::runtime::EnvelopeCache;
+use tsdist_core::measure::Distance;
+use tsdist_core::normalization::{AdaptiveScaled, Normalization};
+use tsdist_data::{Dataset, Label};
+
+/// Entry point of the consolidated evaluation API:
+/// `Eval::new(measure).on(dataset)…run()`.
+pub type Eval<'a> = EvalRequest<'a>;
+
+/// A fully-described evaluation request; build with [`Eval::new`] and
+/// execute with [`EvalRequest::run`].
+#[derive(Clone, Copy)]
+pub struct EvalRequest<'a> {
+    measure: &'a dyn Distance,
+    dataset: Option<&'a Dataset>,
+    norm: Normalization,
+    pruned: bool,
+    warm_start: bool,
+    k: usize,
+    deadline: Option<Duration>,
+    cancel: Option<&'a CancelFlag>,
+    queries: Option<&'a [Vec<f64>]>,
+    cache: Option<&'a EnvelopeCache>,
+    assume_prepared: bool,
+}
+
+impl<'a> EvalRequest<'a> {
+    /// A request evaluating `measure`, with defaults matching the
+    /// historical entry points: z-score normalization, exact (unpruned)
+    /// scan, `k = 1`, warm start on, no deadline.
+    pub fn new(measure: &'a dyn Distance) -> Self {
+        EvalRequest {
+            measure,
+            dataset: None,
+            norm: Normalization::ZScore,
+            pruned: false,
+            warm_start: true,
+            k: 1,
+            deadline: None,
+            cancel: None,
+            queries: None,
+            cache: None,
+            assume_prepared: false,
+        }
+    }
+
+    /// The dataset to evaluate on (required).
+    pub fn on(mut self, dataset: &'a Dataset) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// The evaluation normalization, applied on top of the study-wide
+    /// z-normalization (default: [`Normalization::ZScore`]).
+    pub fn normalized(mut self, norm: Normalization) -> Self {
+        self.norm = norm;
+        self
+    }
+
+    /// Use the cutoff-threaded pruned scan instead of materializing the
+    /// dissimilarity matrix. Results are byte-identical either way; only
+    /// the work done changes.
+    pub fn pruned(mut self, yes: bool) -> Self {
+        self.pruned = yes;
+        self
+    }
+
+    /// Whether pruned scans seed each row with the previous row's winner
+    /// (default: `true`; never changes any result).
+    pub fn warm_start(mut self, yes: bool) -> Self {
+        self.warm_start = yes;
+        self
+    }
+
+    /// Number of neighbours to vote over (default 1 — Algorithm 1).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Wall-clock deadline: a [`Watchdog`] raises the request's cancel
+    /// flag when it elapses, and `run()` reports
+    /// [`EvalError::DeadlineExceeded`].
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// An external cancellation flag checked before every pairwise
+    /// distance call (combines with [`EvalRequest::deadline`]).
+    pub fn cancelled_by(mut self, flag: &'a CancelFlag) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Switch to query mode: answer these series against the dataset's
+    /// train split instead of classifying its test split. Queries are
+    /// raw series; they are preprocessed exactly like dataset series.
+    pub fn queries(mut self, queries: &'a [Vec<f64>]) -> Self {
+        self.queries = Some(queries);
+        self
+    }
+
+    /// Reuse a caller-owned [`EnvelopeCache`] (built on this dataset's
+    /// *prepared* train split) for candidate ordering in pruned scans.
+    /// A mismatched cache is detected and ignored; answers never depend
+    /// on it.
+    pub fn with_cache(mut self, cache: &'a EnvelopeCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Declare the dataset's series already preprocessed (the caller ran
+    /// [`prepare`] and cached the result — the query service does this
+    /// per shard), skipping the per-run preprocessing pass. Queries are
+    /// still preprocessed. Passing an unprepared dataset here changes
+    /// results; it is the caller's contract to uphold.
+    pub fn assume_prepared(mut self, yes: bool) -> Self {
+        self.assume_prepared = yes;
+        self
+    }
+
+    /// Executes the request.
+    ///
+    /// Never panics for healthy inputs: misuse (no dataset, `k == 0`),
+    /// shape errors, blown deadlines, non-finite distances (dataset
+    /// mode), and measure faults all surface as typed [`EvalError`]s.
+    pub fn run(&self) -> Result<EvalReport, EvalError> {
+        let ds = self.dataset.ok_or(EvalError::NoDataset)?;
+        if self.k == 0 {
+            return Err(EvalError::ZeroK);
+        }
+        let own_flag;
+        let flag = match self.cancel {
+            Some(f) => f,
+            None => {
+                own_flag = CancelFlag::new();
+                &own_flag
+            }
+        };
+        let _watchdog = self.deadline.map(|dl| Watchdog::arm(flag, dl));
+        let exec = || match self.queries {
+            Some(qs) => self.run_queries(ds, qs, flag),
+            None => self.run_dataset(ds, flag),
+        };
+        if self.deadline.is_none() && self.cancel.is_none() {
+            // No cancellation source: nothing can raise the flag, so the
+            // guarded wrappers never unwind and no catch is needed. A
+            // measure panic propagates exactly as it always did.
+            return exec();
+        }
+        match catch_unwind(AssertUnwindSafe(exec)) {
+            Ok(result) => result,
+            Err(payload) => {
+                if payload.downcast_ref::<CancelPanic>().is_some() || flag.is_cancelled() {
+                    Err(EvalError::DeadlineExceeded)
+                } else {
+                    // A genuine measure fault under an armed request:
+                    // classify instead of crossing the API boundary as a
+                    // panic.
+                    Err(EvalError::Faulted {
+                        // `&*payload`, not `&payload`: coercing the Box
+                        // itself to `&dyn Any` would hide the payload.
+                        message: render_panic(&*payload),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Dataset mode: the accuracy paths of the deprecated trio (plus
+    /// their k-NN generalization).
+    fn run_dataset(&self, ds: &Dataset, flag: &CancelFlag) -> Result<EvalReport, EvalError> {
+        let prepared_storage;
+        let prepared: &Dataset = if self.assume_prepared {
+            ds
+        } else {
+            prepared_storage = prepare(ds, self.norm);
+            &prepared_storage
+        };
+        let accuracy = if self.k == 1 {
+            let cell = if self.pruned {
+                distance_cell_pruned_prepared(self.measure, prepared, self.norm, flag)
+            } else {
+                distance_cell_prepared(self.measure, prepared, self.norm, flag)
+            };
+            cell.map_err(EvalError::from)?.accuracy
+        } else {
+            let guarded = GuardedDistance::new(self.measure, flag);
+            let knn = |d: &dyn Distance| -> Result<f64, EvalError> {
+                if self.pruned {
+                    knn_accuracy_core(
+                        d,
+                        &prepared.test,
+                        &prepared.train,
+                        &prepared.test_labels,
+                        &prepared.train_labels,
+                        self.k,
+                        self.warm_start,
+                        self.cache,
+                    )
+                } else {
+                    let e = distance_matrix(d, &prepared.test, &prepared.train);
+                    crate::knn::try_knn_accuracy(
+                        &e,
+                        &prepared.test_labels,
+                        &prepared.train_labels,
+                        self.k,
+                    )
+                }
+            };
+            if self.norm.is_pairwise() {
+                knn(&AdaptiveScaled::new(guarded))?
+            } else {
+                knn(&guarded)?
+            }
+        };
+        Ok(EvalReport {
+            accuracy: Some(accuracy),
+            answers: Vec::new(),
+        })
+    }
+
+    /// Query mode: per-query answers against the prepared train split.
+    fn run_queries(
+        &self,
+        ds: &Dataset,
+        qs: &[Vec<f64>],
+        flag: &CancelFlag,
+    ) -> Result<EvalReport, EvalError> {
+        if ds.train.is_empty() {
+            return Err(EvalError::EmptyTrainSet);
+        }
+        let prepared_storage: Vec<Vec<f64>>;
+        let train: &[Vec<f64>] = if self.assume_prepared {
+            &ds.train
+        } else {
+            prepared_storage = ds
+                .train
+                .iter()
+                .map(|s| preprocess_series(s, self.norm))
+                .collect();
+            &prepared_storage
+        };
+        let queries: Vec<Vec<f64>> = qs.iter().map(|s| preprocess_series(s, self.norm)).collect();
+        let guarded = GuardedDistance::new(self.measure, flag);
+        let answers = if self.norm.is_pairwise() {
+            self.answer_rows(
+                &AdaptiveScaled::new(guarded),
+                &queries,
+                train,
+                &ds.train_labels,
+            )
+        } else {
+            self.answer_rows(&guarded, &queries, train, &ds.train_labels)
+        };
+        Ok(EvalReport {
+            accuracy: None,
+            answers,
+        })
+    }
+
+    fn answer_rows(
+        &self,
+        d: &dyn Distance,
+        queries: &[Vec<f64>],
+        train: &[Vec<f64>],
+        train_labels: &[Label],
+    ) -> Vec<Answer> {
+        // A cache built on a different split (or not on the prepared
+        // series) must not be consulted; length equality is re-checked
+        // per query inside the ordering itself.
+        let cache = self.cache.filter(|c| c.len() == train.len());
+        if self.k == 1 {
+            let nns = if self.pruned {
+                pruned_nn_search_rows(d, queries, train, self.warm_start, cache)
+            } else {
+                exact_nn_rows(d, queries, train)
+            };
+            nns.iter()
+                .map(|nn| Answer {
+                    index: nn.index,
+                    distance: nn.distance,
+                    // Algorithm 1's prediction rule: an all-non-finite row
+                    // falls back to the first training label.
+                    label: Some(nn.index.map_or(train_labels[0], |j| train_labels[j])),
+                    neighbours: nn.index.into_iter().collect(),
+                })
+                .collect()
+        } else {
+            let rows = if self.pruned {
+                pruned_knn_search_rows(d, queries, train, self.k, self.warm_start, cache)
+            } else {
+                exact_knn_rows(d, queries, train, self.k)
+            };
+            rows.iter()
+                .map(|row| {
+                    let neighbours: Vec<usize> = row.iter().map(|&(_, j)| j).collect();
+                    Answer {
+                        index: neighbours.first().copied(),
+                        distance: row.first().map_or(f64::INFINITY, |&(v, _)| v),
+                        label: majority_vote(&neighbours, train_labels),
+                        neighbours,
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// Renders a caught panic payload the way the cell runner does.
+fn render_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Exact (matrix-backed) 1-NN rows with Algorithm 1's strict-`<` scan —
+/// the `pruned(false)` query path, byte-identical to the pruned one for
+/// contract-honouring measures.
+fn exact_nn_rows(
+    d: &dyn Distance,
+    queries: &[Vec<f64>],
+    train: &[Vec<f64>],
+) -> Vec<crate::pruned::NearestNeighbour> {
+    let e = distance_matrix(d, queries, train);
+    (0..e.rows())
+        .map(|i| {
+            let row = e.row(i);
+            let mut best = f64::INFINITY;
+            let mut index = None;
+            for (j, &v) in row.iter().enumerate() {
+                if v < best {
+                    best = v;
+                    index = Some(j);
+                }
+            }
+            crate::pruned::NearestNeighbour {
+                index,
+                distance: if index.is_some() { best } else { f64::INFINITY },
+                non_finite: row.iter().position(|v| !v.is_finite()),
+            }
+        })
+        .collect()
+}
+
+/// Exact k-NN rows using the same `(total_cmp, index)` selection as the
+/// matrix-backed `knn_accuracy`.
+fn exact_knn_rows(
+    d: &dyn Distance,
+    queries: &[Vec<f64>],
+    train: &[Vec<f64>],
+    k: usize,
+) -> Vec<Vec<(f64, usize)>> {
+    let k = k.min(train.len());
+    let e = distance_matrix(d, queries, train);
+    (0..e.rows())
+        .map(|i| {
+            let row = e.row(i);
+            let by = |a: &usize, b: &usize| row[*a].total_cmp(&row[*b]).then(a.cmp(b));
+            let mut idx: Vec<usize> = (0..row.len()).collect();
+            if k > 0 && k < idx.len() {
+                idx.select_nth_unstable_by(k - 1, by);
+                idx.truncate(k);
+            }
+            idx.sort_unstable_by(by);
+            idx.truncate(k);
+            idx.into_iter().map(|j| (row[j], j)).collect()
+        })
+        .collect()
+}
+
+/// What a request produced.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EvalReport {
+    /// Test-split accuracy (dataset mode; `None` in query mode).
+    pub accuracy: Option<f64>,
+    /// Per-query answers (query mode; empty in dataset mode).
+    pub answers: Vec<Answer>,
+}
+
+/// One answered query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Answer {
+    /// Index of the nearest training series (smallest index among
+    /// minimizers); `None` when no candidate had a finite distance.
+    pub index: Option<usize>,
+    /// Distance to the nearest neighbour (`INFINITY` when `index` is
+    /// `None`).
+    pub distance: f64,
+    /// Predicted label: Algorithm 1's rule at `k = 1` (falls back to the
+    /// first training label), the majority vote for `k > 1` (`None` only
+    /// when there were no neighbours at all).
+    pub label: Option<Label>,
+    /// The `min(k, train.len())` nearest training indices in increasing
+    /// distance order.
+    pub neighbours: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::prepare;
+    use tsdist_core::elastic::Dtw;
+    use tsdist_core::lockstep::Euclidean;
+    use tsdist_data::synthetic::{generate_dataset, ArchiveConfig};
+
+    fn dataset() -> Dataset {
+        generate_dataset(&ArchiveConfig::quick(1, 42), 0)
+    }
+
+    #[test]
+    fn dataset_mode_matches_the_deprecated_trio() {
+        let ds = dataset();
+        for norm in [Normalization::ZScore, Normalization::MinMax] {
+            #[allow(deprecated)]
+            let legacy = crate::evaluator::evaluate_distance(&Euclidean, &ds, norm);
+            let exact = Eval::new(&Euclidean)
+                .on(&ds)
+                .normalized(norm)
+                .run()
+                .unwrap();
+            let pruned = Eval::new(&Euclidean)
+                .on(&ds)
+                .normalized(norm)
+                .pruned(true)
+                .run()
+                .unwrap();
+            assert_eq!(exact.accuracy.unwrap().to_bits(), legacy.to_bits());
+            assert_eq!(pruned.accuracy.unwrap().to_bits(), legacy.to_bits());
+        }
+    }
+
+    #[test]
+    fn knn_dataset_mode_matches_the_matrix_path() {
+        let ds = dataset();
+        let prepared = prepare(&ds, Normalization::ZScore);
+        let e = distance_matrix(&Euclidean, &prepared.test, &prepared.train);
+        for k in [1, 3] {
+            let expect =
+                crate::knn::knn_accuracy(&e, &prepared.test_labels, &prepared.train_labels, k);
+            for pruned in [false, true] {
+                let got = Eval::new(&Euclidean)
+                    .on(&ds)
+                    .k(k)
+                    .pruned(pruned)
+                    .run()
+                    .unwrap();
+                assert_eq!(got.accuracy.unwrap().to_bits(), expect.to_bits(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_mode_answers_match_the_test_split_scan() {
+        let ds = dataset();
+        // Querying the dataset's own (raw) test series must reproduce the
+        // offline evaluation's per-row winners.
+        let report = Eval::new(&Dtw::with_window_pct(10.0))
+            .on(&ds)
+            .queries(&ds.test)
+            .pruned(true)
+            .run()
+            .unwrap();
+        assert_eq!(report.answers.len(), ds.test.len());
+        let prepared = prepare(&ds, Normalization::ZScore);
+        let nns = crate::pruned::pruned_nn_search(
+            &Dtw::with_window_pct(10.0),
+            &prepared.test,
+            &prepared.train,
+            true,
+        );
+        for (a, nn) in report.answers.iter().zip(&nns) {
+            assert_eq!(a.index, nn.index);
+            assert_eq!(a.distance.to_bits(), nn.distance.to_bits());
+            assert_eq!(
+                a.label,
+                Some(nn.index.map_or(ds.train_labels[0], |j| ds.train_labels[j]))
+            );
+        }
+        // Exact and pruned query modes agree.
+        let exact = Eval::new(&Dtw::with_window_pct(10.0))
+            .on(&ds)
+            .queries(&ds.test)
+            .run()
+            .unwrap();
+        for (a, b) in report.answers.iter().zip(&exact.answers) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn assume_prepared_with_cache_is_byte_identical() {
+        let ds = dataset();
+        let baseline = Eval::new(&Euclidean)
+            .on(&ds)
+            .queries(&ds.test)
+            .pruned(true)
+            .run()
+            .unwrap();
+        // Pre-prepare the train split once, as a serve shard would.
+        let mut prepared = prepare(&ds, Normalization::ZScore);
+        prepared.test = ds.test.clone(); // raw queries, prepared train
+        let cache = EnvelopeCache::build(&prepared.train, 0);
+        let cached = Eval::new(&Euclidean)
+            .on(&prepared)
+            .queries(&ds.test)
+            .pruned(true)
+            .assume_prepared(true)
+            .with_cache(&cache)
+            .run()
+            .unwrap();
+        assert_eq!(baseline, cached);
+    }
+
+    #[test]
+    fn knn_query_answers_vote_like_the_matrix_path() {
+        let ds = dataset();
+        let report = Eval::new(&Euclidean)
+            .on(&ds)
+            .queries(&ds.test)
+            .k(3)
+            .pruned(true)
+            .run()
+            .unwrap();
+        let exact = Eval::new(&Euclidean)
+            .on(&ds)
+            .queries(&ds.test)
+            .k(3)
+            .run()
+            .unwrap();
+        assert_eq!(report, exact);
+        for a in &report.answers {
+            assert_eq!(a.neighbours.len(), 3.min(ds.n_train()));
+            assert!(a.label.is_some());
+        }
+    }
+
+    #[test]
+    fn misuse_is_typed_not_panicking() {
+        assert!(matches!(
+            Eval::new(&Euclidean).run(),
+            Err(EvalError::NoDataset)
+        ));
+        let ds = dataset();
+        assert!(matches!(
+            Eval::new(&Euclidean).on(&ds).k(0).run(),
+            Err(EvalError::ZeroK)
+        ));
+    }
+
+    #[test]
+    fn deadline_is_reported_as_typed_error() {
+        struct Slow;
+        impl Distance for Slow {
+            fn name(&self) -> String {
+                "slow".into()
+            }
+            fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                Euclidean.distance(x, y)
+            }
+        }
+        let ds = dataset();
+        let err = Eval::new(&Slow)
+            .on(&ds)
+            .deadline(Duration::from_millis(5))
+            .run()
+            .expect_err("deadline must fire");
+        assert_eq!(err, EvalError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn cancelled_flag_short_circuits() {
+        let ds = dataset();
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let err = Eval::new(&Euclidean)
+            .on(&ds)
+            .cancelled_by(&flag)
+            .run()
+            .expect_err("cancelled flag must abort");
+        assert_eq!(err, EvalError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn measure_fault_under_armed_request_is_classified() {
+        struct Boom;
+        impl Distance for Boom {
+            fn name(&self) -> String {
+                "boom".into()
+            }
+            fn distance(&self, _: &[f64], _: &[f64]) -> f64 {
+                panic!("injected fault")
+            }
+        }
+        let ds = dataset();
+        let err = Eval::new(&Boom)
+            .on(&ds)
+            .deadline(Duration::from_secs(60))
+            .run()
+            .expect_err("fault must surface");
+        assert!(matches!(err, EvalError::Faulted { ref message } if message.contains("injected")));
+    }
+}

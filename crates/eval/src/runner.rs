@@ -22,7 +22,7 @@ use crate::cell::{
 use crate::comparison::{
     compare_to_baseline, holm_adjusted_p_values, rank_measures, PairwiseComparison,
 };
-use crate::evaluator::{try_evaluate_distance, try_evaluate_distance_pruned};
+use crate::evaluator::{distance_cell, distance_cell_pruned};
 use crate::journal::{read_journal, Journal, JournalEntry};
 use crate::parallel::parallel_map;
 use crate::study::{Entrant, StudyReport};
@@ -46,7 +46,7 @@ pub struct RunnerConfig {
     /// simulate a kill mid-study; replayed cells don't count.
     pub max_cells: Option<usize>,
     /// Evaluate cells through the cutoff-threaded pruned 1-NN search
-    /// ([`crate::evaluator::try_evaluate_distance_pruned`]) instead of
+    /// (the pruned evaluation core behind the `Eval` builder) instead of
     /// the full-matrix path. Healthy cells produce byte-identical
     /// evaluations (and therefore byte-identical journals, modulo the
     /// timing field); only the work done per cell changes.
@@ -412,19 +412,14 @@ pub fn run_study_resumable(
                 let ds = &archive[i];
                 runner.run_cell(&cell_key(&entrant.name, &ds.name), |flag| {
                     if pruned {
-                        try_evaluate_distance_pruned(
+                        distance_cell_pruned(
                             entrant.measure.as_ref(),
                             ds,
                             entrant.normalization,
                             flag,
                         )
                     } else {
-                        try_evaluate_distance(
-                            entrant.measure.as_ref(),
-                            ds,
-                            entrant.normalization,
-                            flag,
-                        )
+                        distance_cell(entrant.measure.as_ref(), ds, entrant.normalization, flag)
                     }
                 })
             })

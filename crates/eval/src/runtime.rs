@@ -55,23 +55,61 @@ pub struct PrunedSearchStats {
     pub dp_cells_full: u64,
 }
 
-/// Keogh envelopes of one training split under one band, computed once
-/// and reused across every query (and every search over the dataset) —
-/// rebuilding them per call was pure waste, as each query re-derived the
-/// same `O(train x len)` envelope set.
+/// Per-training-split state computed once and reused across every query
+/// (and every search over the dataset) — rebuilding it per call was pure
+/// waste, as each query re-derived the same `O(train x len)` data:
+///
+/// * the Keogh `(upper, lower)` envelopes under one band, feeding the
+///   LB_Kim -> LB_Keogh -> pruned-DTW cascade;
+/// * the strided candidate samples behind the cheap-score candidate
+///   ordering of [`crate::pruned`]. The sample positions depend only on
+///   the (uniform) series length, so each training series' samples are
+///   query-independent; hoisting them here drops the per-query ordering
+///   cost from `O(train x len)` series walks to `O(train x 16)`
+///   contiguous reads. Scores produced from the hoisted table are
+///   bit-identical to the uncached path, so candidate order — and hence
+///   (by the order-independence contract) every answer — is unchanged.
 pub struct EnvelopeCache {
     band: usize,
     /// `(upper, lower)` per training series.
     envelopes: Vec<(Vec<f64>, Vec<f64>)>,
+    /// The uniform training-series length the strided table was built
+    /// for; `0` when the split is empty or ragged (table disabled).
+    series_len: usize,
+    /// Strided sample positions within a series of `series_len` points.
+    sample_positions: Vec<usize>,
+    /// Flat `train.len() x sample_positions.len()` table of strided
+    /// samples, row `j` holding training series `j`'s samples.
+    samples: Vec<f64>,
 }
 
 impl EnvelopeCache {
     /// Builds the envelopes of `train` for the absolute band radius
-    /// `band`.
+    /// `band`, plus the strided candidate-order table (when the split
+    /// has one uniform series length).
     pub fn build(train: &[Vec<f64>], band: usize) -> EnvelopeCache {
+        let series_len = train.first().map_or(0, |t| t.len());
+        let uniform = series_len > 0 && train.iter().all(|t| t.len() == series_len);
+        let (series_len, sample_positions) = if uniform {
+            (
+                series_len,
+                crate::pruned::cheap_sample_positions(series_len),
+            )
+        } else {
+            (0, Vec::new())
+        };
+        let mut samples = Vec::with_capacity(sample_positions.len() * train.len());
+        if !sample_positions.is_empty() {
+            for t in train {
+                samples.extend(sample_positions.iter().map(|&p| t[p]));
+            }
+        }
         EnvelopeCache {
             band,
             envelopes: train.iter().map(|t| keogh_envelope(t, band)).collect(),
+            series_len,
+            sample_positions,
+            samples,
         }
     }
 
@@ -94,6 +132,39 @@ impl EnvelopeCache {
     pub fn envelope(&self, j: usize) -> (&[f64], &[f64]) {
         let (upper, lower) = &self.envelopes[j];
         (upper, lower)
+    }
+
+    /// Fills `scores` with every training series' cheap candidate score
+    /// against `query` from the hoisted strided table — bit-identical to
+    /// scoring each full series, since the sample positions and the
+    /// accumulation order match exactly.
+    ///
+    /// Returns `false` (leaving `scores` untouched) when the table is
+    /// unavailable: ragged/empty training split, or a query whose length
+    /// differs from the cached series length (the sample positions would
+    /// differ). Callers then fall back to the uncached scoring.
+    pub fn cheap_scores(
+        &self,
+        query: &[f64],
+        qsamples: &mut Vec<f64>,
+        scores: &mut Vec<f64>,
+    ) -> bool {
+        if self.sample_positions.is_empty() || query.len() != self.series_len {
+            return false;
+        }
+        qsamples.clear();
+        qsamples.extend(self.sample_positions.iter().map(|&p| query[p]));
+        let width = self.sample_positions.len();
+        scores.clear();
+        scores.extend(self.samples.chunks_exact(width).map(|row| {
+            let mut acc = 0.0;
+            for (a, b) in qsamples.iter().zip(row) {
+                let d = a - b;
+                acc += d * d;
+            }
+            acc
+        }));
+        true
     }
 }
 
@@ -178,7 +249,8 @@ pub fn pruned_dtw_search_cached(ds: &Dataset, cache: &EnvelopeCache) -> PrunedSe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::{evaluate_distance, prepare};
+    use crate::evaluator::prepare;
+    use crate::request::Eval;
     use tsdist_core::elastic::Dtw;
     use tsdist_core::lockstep::Euclidean;
     use tsdist_core::normalization::Normalization;
@@ -198,7 +270,13 @@ mod tests {
         let ds = prepare(&raw, Normalization::ZScore);
         let band = (ds.series_len() as f64 * 0.1).ceil() as usize;
         let stats = pruned_dtw_search(&ds, band);
-        let exact = evaluate_distance(&Dtw::with_window_pct(10.0), &raw, Normalization::ZScore);
+        let exact = Eval::new(&Dtw::with_window_pct(10.0))
+            .on(&raw)
+            .normalized(Normalization::ZScore)
+            .run()
+            .unwrap()
+            .accuracy
+            .unwrap();
         assert!(
             (stats.accuracy - exact).abs() < 1e-12,
             "pruned {} vs exact {exact}",

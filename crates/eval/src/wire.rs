@@ -1,0 +1,278 @@
+//! The hand-rolled flat-JSON wire format shared by the results journal
+//! and the `tsdist serve` NDJSON protocol.
+//!
+//! One JSON object per line; string keys; string / number / `null`
+//! values — no nesting, no arrays, no external crates. Floats render
+//! with Rust's shortest-round-trip `Display`, so a value that crosses
+//! the wire and comes back parses to the *same bits*. That property is
+//! what lets served answers be diffed byte-for-byte against offline
+//! replays, and journaled cells reproduce bit-identical tables.
+//!
+//! Extracted from the journal implementation (PR 3) so the query
+//! service speaks exactly the same dialect instead of growing a second,
+//! subtly different encoder.
+
+/// Escapes a string as a JSON string literal (with surrounding quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float so that `parse::<f64>()` round-trips it bit-exactly
+/// (Rust's `Display` emits the shortest such representation); non-finite
+/// values fall back to `null`.
+pub fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// A value in the flat object grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string.
+    Str(String),
+    /// A finite JSON number.
+    Num(f64),
+    /// The `null` literal (also how non-finite floats travel).
+    Null,
+}
+
+/// The parsed fields of one flat JSON object, in line order.
+pub type Fields = Vec<(String, JsonValue)>;
+
+/// Looks up a string field.
+pub fn get_str<'a>(fields: &'a Fields, key: &str) -> Option<&'a str> {
+    match fields.iter().find(|(k, _)| k == key) {
+        Some((_, JsonValue::Str(s))) => Some(s),
+        _ => None,
+    }
+}
+
+/// Looks up a numeric field.
+pub fn get_num(fields: &Fields, key: &str) -> Option<f64> {
+    match fields.iter().find(|(k, _)| k == key) {
+        Some((_, JsonValue::Num(n))) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Parses the flat JSON object grammar: string keys, and
+/// string / number / null values.
+pub fn parse_json_object(line: &str) -> Result<Fields, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Vec::new();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            Some(',') => {
+                chars.next();
+                continue;
+            }
+            _ => return Err("expected key".into()),
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        let value = match chars.peek() {
+            Some('"') => JsonValue::Str(parse_string(&mut chars)?),
+            Some('n') => {
+                for expected in "null".chars() {
+                    if chars.next() != Some(expected) {
+                        return Err("bad literal".into());
+                    }
+                }
+                JsonValue::Null
+            }
+            Some(_) => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c == ',' || c == '}' {
+                        break;
+                    }
+                    num.push(c);
+                    chars.next();
+                }
+                JsonValue::Num(
+                    num.trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad number {num:?}"))?,
+                )
+            }
+            None => return Err("unexpected end of line".into()),
+        };
+        fields.push((key, value));
+    }
+    if chars.next().is_some() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(fields)
+}
+
+/// Parses a JSON string literal (cursor on the opening quote).
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                _ => return Err("bad escape".into()),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+/// Incremental writer for one flat JSON object line — the encoding twin
+/// of [`parse_json_object`]. Fields render in insertion order.
+#[derive(Debug, Default)]
+pub struct ObjectWriter {
+    buf: String,
+}
+
+impl ObjectWriter {
+    /// An empty object.
+    pub fn new() -> ObjectWriter {
+        ObjectWriter { buf: String::new() }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.buf.push(if self.buf.is_empty() { '{' } else { ',' });
+        self.buf.push_str(&json_string(key));
+        self.buf.push(':');
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(&json_string(value));
+        self
+    }
+
+    /// Appends a numeric field (non-finite renders as `null`).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.buf.push_str(&json_number(value));
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn uint(mut self, key: &str, value: usize) -> Self {
+        self.key(key);
+        self.buf.push_str(&format!("{value}"));
+        self
+    }
+
+    /// Appends a `null` field.
+    pub fn null(mut self, key: &str) -> Self {
+        self.key(key);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Finishes the object (no trailing newline).
+    pub fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_roundtrip_bit_exactly() {
+        for v in [0.0, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, 1e308] {
+            let line = ObjectWriter::new().num("v", v).finish();
+            let fields = parse_json_object(&line).unwrap();
+            assert_eq!(get_num(&fields, "v").unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        let line = ObjectWriter::new().num("v", f64::NAN).finish();
+        assert_eq!(line, "{\"v\":null}");
+        let fields = parse_json_object(&line).unwrap();
+        assert_eq!(get_num(&fields, "v"), None);
+        assert_eq!(fields[0].1, JsonValue::Null);
+    }
+
+    #[test]
+    fn strings_with_escapes_roundtrip() {
+        let nasty = "a\"b\\c\nd\te\rf\u{1}g";
+        let line = ObjectWriter::new().str("s", nasty).uint("n", 42).finish();
+        let fields = parse_json_object(&line).unwrap();
+        assert_eq!(get_str(&fields, "s"), Some(nasty));
+        assert_eq!(get_num(&fields, "n"), Some(42.0));
+    }
+
+    #[test]
+    fn writer_matches_handwritten_lines() {
+        let line = ObjectWriter::new()
+            .str("op", "query")
+            .uint("id", 7)
+            .num("x", 0.5)
+            .null("deadline_ms")
+            .finish();
+        assert_eq!(
+            line,
+            "{\"op\":\"query\",\"id\":7,\"x\":0.5,\"deadline_ms\":null}"
+        );
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_json_object("{}").unwrap().is_empty());
+        assert_eq!(ObjectWriter::new().finish(), "{}");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in ["", "{", "{\"k\":}", "{\"k\":\"v\"} trailing", "[1]"] {
+            assert!(parse_json_object(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -5,6 +5,11 @@
 //! byte-identical, which is what lets `--pruned` studies share journals
 //! and statistics with exact ones.
 
+// This suite deliberately exercises the deprecated `evaluate_distance*`
+// and `pruned_*_accuracy` facades: their byte-equivalence with the exact
+// path is part of the deprecation contract until they are removed.
+#![allow(deprecated)]
+
 use tsdist_core::elastic::{Cid, DerivativeDtw, Dtw, Erp, ItakuraDtw, Msm, Twe, WeightedDtw};
 use tsdist_core::lockstep::{Canberra, Chebyshev, CityBlock, Euclidean, Lorentzian, Minkowski};
 use tsdist_core::measure::Distance;

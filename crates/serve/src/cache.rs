@@ -1,0 +1,216 @@
+//! The per-shard LRU answer cache.
+//!
+//! Each shard worker owns one [`AnswerCache`] — no locks, no sharing —
+//! keyed by everything that determines an answer: dataset, measure spec,
+//! normalization, `k`, pruned-or-not, and the raw query series *bits*
+//! (so `-0.0` vs `0.0` or differently-rounded floats never alias). A hit
+//! returns the cached [`Answer`] without touching the evaluation engine;
+//! because served answers are deterministic, a hit is byte-identical to
+//! a recomputation by construction.
+//!
+//! Recency is tracked with two `BTreeMap`s (key → (tick, answer) and
+//! tick → key) instead of a linked list: O(log n) everywhere,
+//! deterministic iteration (the workspace lint bans `HashMap` in lib
+//! code), and no unsafe.
+
+use std::collections::BTreeMap;
+
+use tsdist_eval::Answer;
+
+use crate::protocol::{norm_tag, QueryRequest};
+
+/// Everything that determines a served answer.
+// The derive expands to `partial_cmp` over integer/string fields only
+// (series participate as `u64` bit patterns, not floats); the workspace
+// ban targets NaN-unaware *float* comparison.
+#[allow(clippy::disallowed_methods)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    dataset: String,
+    measure: String,
+    norm: &'static str,
+    k: usize,
+    pruned: bool,
+    series_bits: Vec<u64>,
+}
+
+impl CacheKey {
+    /// The cache key of a query request.
+    pub fn of(q: &QueryRequest) -> CacheKey {
+        CacheKey {
+            dataset: q.dataset.clone(),
+            measure: q.measure.clone(),
+            norm: norm_tag(q.norm),
+            k: q.k,
+            pruned: q.pruned,
+            series_bits: q.series.iter().map(|v| v.to_bits()).collect(),
+        }
+    }
+}
+
+/// A bounded least-recently-used answer cache.
+#[derive(Debug, Default)]
+pub struct AnswerCache {
+    cap: usize,
+    tick: u64,
+    entries: BTreeMap<CacheKey, (u64, Answer)>,
+    recency: BTreeMap<u64, CacheKey>,
+    hits: u64,
+    misses: u64,
+}
+
+impl AnswerCache {
+    /// A cache holding at most `cap` answers (`0` disables caching).
+    pub fn new(cap: usize) -> AnswerCache {
+        AnswerCache {
+            cap,
+            ..AnswerCache::default()
+        }
+    }
+
+    /// Looks up an answer, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Answer> {
+        match self.entries.get_mut(key) {
+            Some((tick, answer)) => {
+                self.recency.remove(tick);
+                self.tick += 1;
+                *tick = self.tick;
+                let answer = answer.clone();
+                self.recency.insert(self.tick, key.clone());
+                self.hits += 1;
+                Some(answer)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an answer, evicting the least-recently-used entry at
+    /// capacity.
+    pub fn put(&mut self, key: CacheKey, answer: Answer) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some((tick, slot)) = self.entries.get_mut(&key) {
+            self.recency.remove(tick);
+            *tick = self.tick;
+            *slot = answer;
+            self.recency.insert(self.tick, key);
+            return;
+        }
+        if self.entries.len() >= self.cap {
+            // The smallest tick is the least recently used entry.
+            if let Some((&oldest, _)) = self.recency.iter().next() {
+                if let Some(victim) = self.recency.remove(&oldest) {
+                    self.entries.remove(&victim);
+                }
+            }
+        }
+        self.entries.insert(key.clone(), (self.tick, answer));
+        self.recency.insert(self.tick, key);
+    }
+
+    /// Number of cached answers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdist_core::normalization::Normalization;
+
+    fn query(id: u64, series: &[f64]) -> QueryRequest {
+        QueryRequest {
+            id,
+            dataset: "d".into(),
+            measure: "ed".into(),
+            norm: Normalization::ZScore,
+            k: 1,
+            pruned: true,
+            series: series.to_vec(),
+            deadline_ms: None,
+        }
+    }
+
+    fn answer(j: usize) -> Answer {
+        Answer {
+            index: Some(j),
+            distance: j as f64,
+            label: Some(j),
+            neighbours: vec![j],
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_stored_answer() {
+        let mut c = AnswerCache::new(4);
+        let key = CacheKey::of(&query(1, &[1.0, 2.0]));
+        assert_eq!(c.get(&key), None);
+        c.put(key.clone(), answer(3));
+        assert_eq!(c.get(&key), Some(answer(3)));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn key_covers_series_bits_and_options() {
+        let base = query(1, &[1.0, 2.0]);
+        let mut other_series = base.clone();
+        // One ULP off (epsilon alone would round back to 2.0 exactly).
+        other_series.series = vec![1.0, (2.0f64).next_up()];
+        let mut other_k = base.clone();
+        other_k.k = 3;
+        let mut other_pruned = base.clone();
+        other_pruned.pruned = false;
+        let mut other_norm = base.clone();
+        other_norm.norm = Normalization::MinMax;
+        let key = CacheKey::of(&base);
+        for q in [&other_series, &other_k, &other_pruned, &other_norm] {
+            assert_ne!(CacheKey::of(q), key);
+        }
+        // The id and deadline do NOT participate: same query, same key.
+        let mut other_id = base.clone();
+        other_id.id = 99;
+        other_id.deadline_ms = Some(5);
+        assert_eq!(CacheKey::of(&other_id), key);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut c = AnswerCache::new(2);
+        let a = CacheKey::of(&query(1, &[1.0]));
+        let b = CacheKey::of(&query(1, &[2.0]));
+        let d = CacheKey::of(&query(1, &[3.0]));
+        c.put(a.clone(), answer(0));
+        c.put(b.clone(), answer(1));
+        assert!(c.get(&a).is_some()); // refresh `a`; `b` is now oldest
+        c.put(d.clone(), answer(2));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&b).is_none(), "LRU entry must be evicted");
+        assert!(c.get(&a).is_some());
+        assert!(c.get(&d).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = AnswerCache::new(0);
+        let key = CacheKey::of(&query(1, &[1.0]));
+        c.put(key.clone(), answer(0));
+        assert!(c.is_empty());
+        assert_eq!(c.get(&key), None);
+    }
+}

@@ -1,0 +1,98 @@
+//! A minimal blocking client for the serve protocol — used by the e2e
+//! suite, the `tsdist serve-client` subcommand, and `bench_serve`.
+//!
+//! Responses are correlated by `id`, not arrival order: pipelined
+//! requests fan out across shards and complete out of order. The
+//! [`Client::roundtrip`] helper reads exactly one response per request
+//! and leaves reordering to the caller; [`Client::query`] is a
+//! convenience for the single-in-flight case only.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use crate::protocol::{render_ping, render_query, render_shutdown, QueryRequest, Response};
+
+/// A blocking NDJSON connection to a serve instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Single-request round trips would otherwise stall on Nagle +
+        // delayed ACK (~40ms per exchange).
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Receives one raw response line (skipping blanks). EOF is an
+    /// `UnexpectedEof` error.
+    pub fn recv_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ErrorKind::UnexpectedEof.into());
+            }
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if !trimmed.is_empty() {
+                return Ok(trimmed.to_string());
+            }
+        }
+    }
+
+    /// Receives and parses one response.
+    pub fn recv_response(&mut self) -> std::io::Result<Response> {
+        let line = self.recv_line()?;
+        Response::parse(&line).map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))
+    }
+
+    /// Pipelines `lines` and reads exactly one response line per request
+    /// (arrival order; correlate by `id`).
+    pub fn roundtrip(&mut self, lines: &[String]) -> std::io::Result<Vec<String>> {
+        for line in lines {
+            self.send_line(line)?;
+        }
+        let mut out = Vec::with_capacity(lines.len());
+        for _ in lines {
+            out.push(self.recv_line()?);
+        }
+        Ok(out)
+    }
+
+    /// Sends one query and reads its response. Only valid when no other
+    /// requests are in flight on this connection.
+    pub fn query(&mut self, q: &QueryRequest) -> std::io::Result<Response> {
+        self.send_line(&render_query(q))?;
+        self.recv_response()
+    }
+
+    /// Liveness probe; `Ok(true)` on a matching pong.
+    pub fn ping(&mut self, id: u64) -> std::io::Result<bool> {
+        self.send_line(&render_ping(id))?;
+        Ok(matches!(
+            self.recv_response()?,
+            Response::Pong { id: got } if got == id
+        ))
+    }
+
+    /// Asks the server to shut down and waits for the acknowledgement.
+    pub fn shutdown_server(&mut self, id: u64) -> std::io::Result<()> {
+        self.send_line(&render_shutdown(id))?;
+        let _ = self.recv_line()?;
+        Ok(())
+    }
+}

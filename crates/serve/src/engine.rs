@@ -1,0 +1,342 @@
+//! The shared answering engine: one code path from wire request to
+//! [`Answer`], used verbatim by the live shard workers *and* the offline
+//! journal replayer — which is what makes served answers byte-diffable
+//! against a replay.
+//!
+//! An [`Engine`] owns a set of datasets and lazily-built per-`(dataset,
+//! normalization)` state: the [`prepare`]d train split and an
+//! [`EnvelopeCache`] for pruned candidate ordering. Both are built once
+//! and amortized across every batch the engine answers — the point of
+//! shard-affine routing. Measures resolve once per spec and persist, so
+//! stateful wrappers (fault-injection counters) behave like a long-lived
+//! server process.
+//!
+//! Every evaluation runs with a cancel flag armed, so a measure that
+//! panics (chaos testing) is caught by [`Eval`]'s typed-fault path and
+//! surfaces as an `internal` response instead of killing the worker.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tsdist_core::measure::Distance;
+use tsdist_data::Dataset;
+use tsdist_eval::{prepare, CancelFlag, EnvelopeCache, Eval, EvalError};
+
+use crate::cache::{AnswerCache, CacheKey};
+use crate::protocol::{norm_tag, ErrorCode, QueryRequest, Response};
+
+/// Resolves a measure spec (e.g. `"ed"`, `"dtw:10"`) to a distance.
+/// Injected by the embedder — the CLI passes its `measures::resolve`,
+/// optionally wrapped in chaos fault injection; tests pass closures.
+pub type MeasureResolver = Arc<dyn Fn(&str) -> Result<Box<dyn Distance>, String> + Send + Sync>;
+
+/// Lazily-built per-`(dataset, normalization)` evaluation state.
+struct PreparedEntry {
+    /// The dataset with its train split already preprocessed (queries
+    /// run with `assume_prepared`, so this work happens once).
+    prepared: Dataset,
+    /// Candidate-ordering cache over the prepared train split. Band 0 is
+    /// deliberate: the ordering is a heuristic shared by every measure
+    /// served from this entry, and answers never depend on it.
+    envelopes: EnvelopeCache,
+}
+
+/// Requests that can be answered by one [`Eval`] call share a group.
+/// Deadline-bearing requests get a singleton group (the `solo` member)
+/// so one request's deadline never aborts its batch-mates.
+// The derive expands to `partial_cmp` over integer/string fields only;
+// the workspace ban targets NaN-unaware *float* comparison.
+#[allow(clippy::disallowed_methods)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct GroupKey {
+    dataset: String,
+    measure: String,
+    norm: &'static str,
+    k: usize,
+    pruned: bool,
+    deadline_ms: Option<u64>,
+    solo: usize,
+}
+
+impl GroupKey {
+    fn of(q: &QueryRequest, position: usize) -> GroupKey {
+        GroupKey {
+            dataset: q.dataset.clone(),
+            measure: q.measure.clone(),
+            norm: norm_tag(q.norm),
+            k: q.k,
+            pruned: q.pruned,
+            deadline_ms: q.deadline_ms,
+            solo: if q.deadline_ms.is_some() {
+                position
+            } else {
+                usize::MAX
+            },
+        }
+    }
+}
+
+/// Owns datasets and answers batches of query requests.
+pub struct Engine {
+    datasets: BTreeMap<String, Dataset>,
+    resolver: MeasureResolver,
+    measures: BTreeMap<String, Box<dyn Distance>>,
+    prepared: BTreeMap<(String, &'static str), PreparedEntry>,
+    answers: AnswerCache,
+}
+
+impl Engine {
+    /// An engine serving `datasets`, resolving measures through
+    /// `resolver`, with an answer cache of `cache_cap` entries.
+    pub fn new(datasets: Vec<Dataset>, resolver: MeasureResolver, cache_cap: usize) -> Engine {
+        Engine {
+            datasets: datasets.into_iter().map(|d| (d.name.clone(), d)).collect(),
+            resolver,
+            measures: BTreeMap::new(),
+            prepared: BTreeMap::new(),
+            answers: AnswerCache::new(cache_cap),
+        }
+    }
+
+    /// Names of the served datasets, sorted.
+    pub fn dataset_names(&self) -> Vec<String> {
+        self.datasets.keys().cloned().collect()
+    }
+
+    /// `(hits, misses)` of the answer cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.answers.stats()
+    }
+
+    /// Answers a batch of requests, one response per request in request
+    /// order. Batching amortizes setup (grouped requests share a single
+    /// [`Eval`] run) but never changes any answer: per-query results are
+    /// independent of batch composition, which the e2e suite checks by
+    /// byte-diffing against unbatched offline replay.
+    pub fn answer_batch(&mut self, requests: &[QueryRequest]) -> Vec<Response> {
+        let mut out: Vec<Option<Response>> = vec![None; requests.len()];
+        let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+        for (i, q) in requests.iter().enumerate() {
+            if let Some(answer) = self.answers.get(&CacheKey::of(q)) {
+                out[i] = Some(Response::Answer { id: q.id, answer });
+                continue;
+            }
+            groups.entry(GroupKey::of(q, i)).or_default().push(i);
+        }
+        for members in groups.values() {
+            self.run_group(requests, members, &mut out);
+        }
+        out.into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or(Response::Error {
+                    id: requests[i].id,
+                    code: ErrorCode::Internal,
+                    message: "request was not answered".to_string(),
+                })
+            })
+            .collect()
+    }
+
+    /// Runs one group through a single [`Eval`] call.
+    fn run_group(
+        &mut self,
+        requests: &[QueryRequest],
+        members: &[usize],
+        out: &mut [Option<Response>],
+    ) {
+        fn fail(
+            requests: &[QueryRequest],
+            members: &[usize],
+            out: &mut [Option<Response>],
+            code: ErrorCode,
+            message: &str,
+        ) {
+            for &i in members {
+                out[i] = Some(Response::Error {
+                    id: requests[i].id,
+                    code,
+                    message: message.to_string(),
+                });
+            }
+        }
+
+        let q0 = &requests[members[0]];
+        let Some(ds) = self.datasets.get(&q0.dataset) else {
+            let msg = format!("dataset {:?} is not served", q0.dataset);
+            return fail(requests, members, out, ErrorCode::UnknownDataset, &msg);
+        };
+        if let Entry::Vacant(v) = self.measures.entry(q0.measure.clone()) {
+            match (self.resolver)(&q0.measure) {
+                Ok(m) => {
+                    v.insert(m);
+                }
+                Err(msg) => {
+                    return fail(requests, members, out, ErrorCode::UnknownMeasure, &msg);
+                }
+            }
+        }
+        let Some(measure) = self.measures.get(&q0.measure) else {
+            return fail(
+                requests,
+                members,
+                out,
+                ErrorCode::Internal,
+                "measure cache lookup failed",
+            );
+        };
+        let measure: &dyn Distance = measure.as_ref();
+        let entry = self
+            .prepared
+            .entry((q0.dataset.clone(), norm_tag(q0.norm)))
+            .or_insert_with(|| {
+                let prepared = prepare(ds, q0.norm);
+                let envelopes = EnvelopeCache::build(&prepared.train, 0);
+                PreparedEntry {
+                    prepared,
+                    envelopes,
+                }
+            });
+        let queries: Vec<Vec<f64>> = members
+            .iter()
+            .map(|&i| requests[i].series.clone())
+            .collect();
+        // Always supply a cancel source: it arms Eval's typed-fault path,
+        // so a panicking (chaos-injected) measure becomes an `internal`
+        // response instead of unwinding through the worker.
+        let flag = CancelFlag::new();
+        let mut eval = Eval::new(measure)
+            .on(&entry.prepared)
+            .queries(&queries)
+            .normalized(q0.norm)
+            .k(q0.k)
+            .pruned(q0.pruned)
+            .assume_prepared(true)
+            .with_cache(&entry.envelopes)
+            .cancelled_by(&flag);
+        if let Some(ms) = q0.deadline_ms {
+            eval = eval.deadline(Duration::from_millis(ms));
+        }
+        match eval.run() {
+            Ok(report) => {
+                for (&i, answer) in members.iter().zip(report.answers) {
+                    self.answers.put(CacheKey::of(&requests[i]), answer.clone());
+                    out[i] = Some(Response::Answer {
+                        id: requests[i].id,
+                        answer,
+                    });
+                }
+            }
+            Err(e) => {
+                let (code, message) = classify(&e);
+                fail(requests, members, out, code, &message);
+            }
+        }
+    }
+}
+
+/// Maps an evaluation error to its wire code.
+fn classify(e: &EvalError) -> (ErrorCode, String) {
+    match e {
+        EvalError::DeadlineExceeded => {
+            (ErrorCode::DeadlineExceeded, "deadline exceeded".to_string())
+        }
+        EvalError::Faulted { message } => {
+            (ErrorCode::Internal, format!("measure faulted: {message}"))
+        }
+        other => (ErrorCode::Internal, other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdist_core::lockstep::Euclidean;
+    use tsdist_core::normalization::Normalization;
+    use tsdist_data::synthetic::{generate_dataset, ArchiveConfig};
+
+    fn resolver() -> MeasureResolver {
+        Arc::new(|spec: &str| match spec {
+            "ed" => Ok(Box::new(Euclidean) as Box<dyn Distance>),
+            other => Err(format!("unknown measure {other:?}")),
+        })
+    }
+
+    fn query(id: u64, dataset: &str, series: Vec<f64>) -> QueryRequest {
+        QueryRequest {
+            id,
+            dataset: dataset.into(),
+            measure: "ed".into(),
+            norm: Normalization::ZScore,
+            k: 1,
+            pruned: true,
+            series,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn batched_answers_match_the_offline_evaluator() {
+        let ds = generate_dataset(&ArchiveConfig::quick(1, 11), 0);
+        let queries: Vec<QueryRequest> = ds
+            .test
+            .iter()
+            .enumerate()
+            .map(|(i, s)| query(i as u64 + 1, &ds.name, s.clone()))
+            .collect();
+        let mut engine = Engine::new(vec![ds.clone()], resolver(), 64);
+        let responses = engine.answer_batch(&queries);
+
+        let offline = Eval::new(&Euclidean)
+            .on(&ds)
+            .queries(&ds.test)
+            .pruned(true)
+            .run()
+            .expect("offline evaluation");
+        for (r, expect) in responses.iter().zip(&offline.answers) {
+            match r {
+                Response::Answer { answer, .. } => assert_eq!(answer, expect),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_are_byte_identical_to_recomputation() {
+        let ds = generate_dataset(&ArchiveConfig::quick(1, 11), 0);
+        let q = query(1, &ds.name, ds.test[0].clone());
+        let mut engine = Engine::new(vec![ds], resolver(), 64);
+        let first = engine.answer_batch(std::slice::from_ref(&q));
+        let second = engine.answer_batch(std::slice::from_ref(&q));
+        assert_eq!(first, second);
+        assert_eq!(engine.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        let ds = generate_dataset(&ArchiveConfig::quick(1, 11), 0);
+        let name = ds.name.clone();
+        let mut engine = Engine::new(vec![ds], resolver(), 64);
+
+        let bad_ds = query(1, "nope", vec![1.0, 2.0]);
+        let mut bad_measure = query(2, &name, vec![1.0, 2.0]);
+        bad_measure.measure = "nope".into();
+        let responses = engine.answer_batch(&[bad_ds, bad_measure]);
+        assert!(matches!(
+            responses[0],
+            Response::Error {
+                code: ErrorCode::UnknownDataset,
+                ..
+            }
+        ));
+        assert!(matches!(
+            responses[1],
+            Response::Error {
+                code: ErrorCode::UnknownMeasure,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,42 @@
+//! # tsdist-serve — a sharded, batched 1-NN query service
+//!
+//! A std-only threaded TCP server that answers nearest-neighbour queries
+//! against a set of served datasets, speaking newline-delimited JSON in
+//! the `tsdist_eval::wire` dialect. It fronts the same consolidated
+//! [`Eval`](tsdist_eval::Eval) request builder the CLI and study runner
+//! use, so a served answer is byte-identical to what the offline
+//! evaluator computes for the same `(dataset, measure, query)`.
+//!
+//! Layout:
+//!
+//! * [`protocol`] — wire grammar: requests, responses, typed error
+//!   codes, and the bit-exact series codec.
+//! * [`engine`] — the answering core shared by live shard workers and
+//!   offline replay; owns prepared splits, envelope caches, resolved
+//!   measures, and the LRU answer cache.
+//! * [`cache`] — the per-shard LRU answer cache.
+//! * [`server`] — acceptor, per-connection reader/writer threads,
+//!   shard-affine routing over bounded queues, drain-on-shutdown.
+//! * [`client`] — a minimal blocking client (tests, CLI, bench).
+//! * [`replay`] — replays a request journal offline, byte-identically.
+//!
+//! The crate is lib-lint clean: no `unwrap`/`expect`/`panic!` outside
+//! tests — overload, timeouts, unknown names, malformed lines, and
+//! faulting (chaos-injected) measures all surface as typed responses.
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod replay;
+pub mod server;
+
+pub use cache::{AnswerCache, CacheKey};
+pub use client::Client;
+pub use engine::{Engine, MeasureResolver};
+pub use protocol::{
+    decode_series, encode_series, parse_request, render_ping, render_query, render_shutdown,
+    ErrorCode, QueryRequest, Request, Response,
+};
+pub use replay::replay_journal;
+pub use server::{Server, ServerConfig, ServerHandle};

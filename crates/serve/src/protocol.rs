@@ -1,0 +1,516 @@
+//! The NDJSON wire protocol of `tsdist serve`.
+//!
+//! One flat JSON object per line in each direction, in the exact dialect
+//! of [`tsdist_eval::wire`] (string / number / `null` values, no
+//! nesting). Series and neighbour lists travel as comma-joined strings,
+//! each float rendered with shortest-round-trip formatting so a series
+//! that crosses the wire parses back to the same bits — the property
+//! behind the served-vs-offline byte-equivalence contract.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"query","id":1,"dataset":"synthetic/shape-00","measure":"ed","series":"0.1,0.4,..."}
+//! {"op":"query","id":2,"dataset":"d","measure":"dtw:10","norm":"zscore","k":3,"pruned":1,"deadline_ms":250,"series":"..."}
+//! {"op":"ping","id":3}
+//! {"op":"shutdown","id":4}
+//! ```
+//!
+//! Responses carry the request `id` (so pipelined clients can reorder)
+//! and either an answer or a typed error:
+//!
+//! ```text
+//! {"id":1,"status":"ok","index":3,"distance":1.25,"label":2,"neighbours":"3"}
+//! {"id":2,"status":"error","code":"queue_full","message":"shard queue at capacity"}
+//! ```
+//!
+//! Error codes form the backpressure contract: `queue_full` (the
+//! 429-style typed rejection — never a panic, never a dropped
+//! connection), `deadline_exceeded`, `bad_request`, `unknown_dataset`,
+//! `unknown_measure`, and `internal` (a faulted measure; the shard
+//! survives and keeps serving).
+
+use tsdist_core::normalization::Normalization;
+use tsdist_eval::request::Answer;
+use tsdist_eval::wire::{get_num, get_str, parse_json_object, ObjectWriter};
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Answer a 1-NN / k-NN query against a served dataset.
+    Query(QueryRequest),
+    /// Liveness probe.
+    Ping {
+        /// Request id echoed in the response.
+        id: u64,
+    },
+    /// Ask the server to shut down cleanly.
+    Shutdown {
+        /// Request id echoed in the response.
+        id: u64,
+    },
+}
+
+/// One query against a served dataset's training split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Client-chosen id echoed in the response.
+    pub id: u64,
+    /// Name of the served dataset to query.
+    pub dataset: String,
+    /// Measure spec, resolved server-side (e.g. `"ed"`, `"dtw:10"`).
+    pub measure: String,
+    /// Evaluation normalization (default z-score).
+    pub norm: Normalization,
+    /// Neighbours to vote over (default 1).
+    pub k: usize,
+    /// Use the cutoff-threaded pruned scan (default true; answers are
+    /// byte-identical either way).
+    pub pruned: bool,
+    /// The raw query series; preprocessed server-side exactly like the
+    /// dataset's own series.
+    pub series: Vec<f64>,
+    /// Optional per-request wall-clock deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Typed error codes of the response protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The target shard's bounded queue is at capacity (429-style; retry
+    /// later).
+    QueueFull,
+    /// The request's deadline elapsed before the evaluation finished.
+    DeadlineExceeded,
+    /// The request line failed to parse or had invalid fields.
+    BadRequest,
+    /// The named dataset is not served.
+    UnknownDataset,
+    /// The measure spec did not resolve.
+    UnknownMeasure,
+    /// The measure faulted while evaluating; the shard survives.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire label of the code.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownDataset => "unknown_dataset",
+            ErrorCode::UnknownMeasure => "unknown_measure",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire label back into a code.
+    pub fn from_label(label: &str) -> Option<ErrorCode> {
+        match label {
+            "queue_full" => Some(ErrorCode::QueueFull),
+            "deadline_exceeded" => Some(ErrorCode::DeadlineExceeded),
+            "bad_request" => Some(ErrorCode::BadRequest),
+            "unknown_dataset" => Some(ErrorCode::UnknownDataset),
+            "unknown_measure" => Some(ErrorCode::UnknownMeasure),
+            "internal" => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// A response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A successfully answered query.
+    Answer {
+        /// Echo of the request id.
+        id: u64,
+        /// The answer (index, distance, label, neighbours).
+        answer: Answer,
+    },
+    /// A typed failure.
+    Error {
+        /// Echo of the request id (0 when the line was unparseable).
+        id: u64,
+        /// The typed code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Reply to `ping`.
+    Pong {
+        /// Echo of the request id.
+        id: u64,
+    },
+    /// Acknowledgement that the server is shutting down.
+    ShuttingDown {
+        /// Echo of the request id.
+        id: u64,
+    },
+}
+
+impl Response {
+    /// The request id this response answers.
+    pub fn id(&self) -> u64 {
+        match *self {
+            Response::Answer { id, .. }
+            | Response::Error { id, .. }
+            | Response::Pong { id }
+            | Response::ShuttingDown { id } => id,
+        }
+    }
+
+    /// Renders the response as one wire line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Response::Answer { id, answer } => {
+                let mut w = ObjectWriter::new()
+                    .uint("id", usize_of(*id))
+                    .str("status", "ok");
+                w = match answer.index {
+                    Some(j) => w.uint("index", j),
+                    None => w.null("index"),
+                };
+                w = w.num("distance", answer.distance);
+                w = match answer.label {
+                    Some(l) => w.uint("label", l),
+                    None => w.null("label"),
+                };
+                w.str("neighbours", &encode_indices(&answer.neighbours))
+                    .finish()
+            }
+            Response::Error { id, code, message } => ObjectWriter::new()
+                .uint("id", usize_of(*id))
+                .str("status", "error")
+                .str("code", code.label())
+                .str("message", message)
+                .finish(),
+            Response::Pong { id } => ObjectWriter::new()
+                .uint("id", usize_of(*id))
+                .str("status", "ok")
+                .uint("pong", 1)
+                .finish(),
+            Response::ShuttingDown { id } => ObjectWriter::new()
+                .uint("id", usize_of(*id))
+                .str("status", "ok")
+                .uint("shutdown", 1)
+                .finish(),
+        }
+    }
+
+    /// Parses one response line.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let fields = parse_json_object(line)?;
+        let id = get_num(&fields, "id").ok_or("missing id")? as u64;
+        match get_str(&fields, "status") {
+            Some("ok") => {
+                if get_num(&fields, "pong").is_some() {
+                    return Ok(Response::Pong { id });
+                }
+                if get_num(&fields, "shutdown").is_some() {
+                    return Ok(Response::ShuttingDown { id });
+                }
+                let index = get_num(&fields, "index").map(|v| v as usize);
+                // `distance: null` encodes a non-finite distance — an
+                // empty neighbour set reports `INFINITY`.
+                let distance = get_num(&fields, "distance").unwrap_or(f64::INFINITY);
+                let label = get_num(&fields, "label").map(|v| v as usize);
+                let neighbours =
+                    decode_indices(get_str(&fields, "neighbours").unwrap_or_default())?;
+                Ok(Response::Answer {
+                    id,
+                    answer: Answer {
+                        index,
+                        distance,
+                        label,
+                        neighbours,
+                    },
+                })
+            }
+            Some("error") => {
+                let label = get_str(&fields, "code").ok_or("error response without code")?;
+                let code = ErrorCode::from_label(label)
+                    .ok_or_else(|| format!("unknown error code {label:?}"))?;
+                Ok(Response::Error {
+                    id,
+                    code,
+                    message: get_str(&fields, "message").unwrap_or_default().to_string(),
+                })
+            }
+            other => Err(format!("bad status {other:?}")),
+        }
+    }
+}
+
+fn usize_of(id: u64) -> usize {
+    id as usize
+}
+
+/// Encodes a series as a comma-joined string of shortest-round-trip
+/// floats (non-finite values render as `NaN` / `inf` / `-inf`, which
+/// `f64::from_str` parses back bit-exactly for the values we produce).
+pub fn encode_series(series: &[f64]) -> String {
+    let mut out = String::new();
+    for (i, v) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{v}"));
+    }
+    out
+}
+
+/// Decodes a comma-joined series.
+pub fn decode_series(text: &str) -> Result<Vec<f64>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("bad series value {t:?}"))
+        })
+        .collect()
+}
+
+fn encode_indices(indices: &[usize]) -> String {
+    let mut out = String::new();
+    for (i, v) in indices.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{v}"));
+    }
+    out
+}
+
+fn decode_indices(text: &str) -> Result<Vec<usize>, String> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad index {t:?}"))
+        })
+        .collect()
+}
+
+/// Parses a normalization wire name (the same vocabulary as the CLI's
+/// `--norm` flag).
+pub fn parse_norm(name: &str) -> Result<Normalization, String> {
+    match name {
+        "z-score" | "zscore" => Ok(Normalization::ZScore),
+        "minmax" => Ok(Normalization::MinMax),
+        "meannorm" => Ok(Normalization::MeanNorm),
+        "mediannorm" => Ok(Normalization::MedianNorm),
+        "unitlength" => Ok(Normalization::UnitLength),
+        "adaptive" => Ok(Normalization::AdaptiveScaling),
+        "logistic" => Ok(Normalization::Logistic),
+        "tanh" => Ok(Normalization::Tanh),
+        other => Err(format!("unknown normalization {other:?}")),
+    }
+}
+
+/// The canonical wire name of a normalization (inverse of
+/// [`parse_norm`] for the wire vocabulary; parameterized variants are
+/// not served).
+pub fn norm_tag(norm: Normalization) -> &'static str {
+    match norm {
+        Normalization::ZScore => "zscore",
+        Normalization::MinMax => "minmax",
+        Normalization::MeanNorm => "meannorm",
+        Normalization::MedianNorm => "mediannorm",
+        Normalization::UnitLength => "unitlength",
+        Normalization::AdaptiveScaling => "adaptive",
+        Normalization::Logistic => "logistic",
+        Normalization::Tanh => "tanh",
+        _ => "other",
+    }
+}
+
+/// Renders a query request as one wire line (no trailing newline).
+pub fn render_query(q: &QueryRequest) -> String {
+    let mut w = ObjectWriter::new()
+        .str("op", "query")
+        .uint("id", usize_of(q.id))
+        .str("dataset", &q.dataset)
+        .str("measure", &q.measure)
+        .str("norm", norm_tag(q.norm))
+        .uint("k", q.k)
+        .uint("pruned", usize::from(q.pruned));
+    if let Some(ms) = q.deadline_ms {
+        w = w.uint("deadline_ms", ms as usize);
+    }
+    w.str("series", &encode_series(&q.series)).finish()
+}
+
+/// Renders a `ping` line.
+pub fn render_ping(id: u64) -> String {
+    ObjectWriter::new()
+        .str("op", "ping")
+        .uint("id", usize_of(id))
+        .finish()
+}
+
+/// Renders a `shutdown` line.
+pub fn render_shutdown(id: u64) -> String {
+    ObjectWriter::new()
+        .str("op", "shutdown")
+        .uint("id", usize_of(id))
+        .finish()
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let fields = parse_json_object(line)?;
+    let id = get_num(&fields, "id").unwrap_or(0.0) as u64;
+    match get_str(&fields, "op") {
+        Some("ping") => Ok(Request::Ping { id }),
+        Some("shutdown") => Ok(Request::Shutdown { id }),
+        Some("query") => {
+            let dataset = get_str(&fields, "dataset")
+                .ok_or("query without dataset")?
+                .to_string();
+            let measure = get_str(&fields, "measure")
+                .ok_or("query without measure")?
+                .to_string();
+            let norm = match get_str(&fields, "norm") {
+                Some(name) => parse_norm(name)?,
+                None => Normalization::ZScore,
+            };
+            let k = match get_num(&fields, "k") {
+                Some(v) if v >= 1.0 => v as usize,
+                Some(v) => return Err(format!("bad k {v}")),
+                None => 1,
+            };
+            let pruned = match get_num(&fields, "pruned") {
+                // tsdist-lint: allow(float-total-order, reason = "wire booleans travel as the JSON numbers 0/1; the exact-zero test is the deliberate falsy check")
+                Some(v) => v != 0.0,
+                None => true,
+            };
+            let series = decode_series(get_str(&fields, "series").ok_or("query without series")?)?;
+            if series.is_empty() {
+                return Err("empty series".into());
+            }
+            let deadline_ms = get_num(&fields, "deadline_ms").map(|v| v as u64);
+            Ok(Request::Query(QueryRequest {
+                id,
+                dataset,
+                measure,
+                norm,
+                k,
+                pruned,
+                series,
+                deadline_ms,
+            }))
+        }
+        other => Err(format!("bad op {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_lines_roundtrip() {
+        let q = QueryRequest {
+            id: 7,
+            dataset: "synthetic/shape-00".into(),
+            measure: "dtw:10".into(),
+            norm: Normalization::MinMax,
+            k: 3,
+            pruned: false,
+            series: vec![0.25, -1.5, f64::MIN_POSITIVE, 1.0 / 3.0],
+            deadline_ms: Some(250),
+        };
+        match parse_request(&render_query(&q)) {
+            Ok(Request::Query(back)) => {
+                assert_eq!(back, q);
+                for (a, b) in back.series.iter().zip(&q.series) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_are_k1_pruned_zscore() {
+        let line =
+            "{\"op\":\"query\",\"id\":1,\"dataset\":\"d\",\"measure\":\"ed\",\"series\":\"1,2\"}";
+        match parse_request(line) {
+            Ok(Request::Query(q)) => {
+                assert_eq!(q.k, 1);
+                assert!(q.pruned);
+                assert_eq!(q.norm, Normalization::ZScore);
+                assert_eq!(q.deadline_ms, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = vec![
+            Response::Answer {
+                id: 1,
+                answer: Answer {
+                    index: Some(4),
+                    distance: 1.0 / 7.0,
+                    label: Some(2),
+                    neighbours: vec![4, 9, 0],
+                },
+            },
+            Response::Answer {
+                id: 2,
+                answer: Answer {
+                    index: None,
+                    distance: f64::INFINITY,
+                    label: Some(1),
+                    neighbours: vec![],
+                },
+            },
+            Response::Error {
+                id: 3,
+                code: ErrorCode::QueueFull,
+                message: "shard queue at capacity".into(),
+            },
+            Response::Pong { id: 4 },
+            Response::ShuttingDown { id: 5 },
+        ];
+        for r in cases {
+            assert_eq!(Response::parse(&r.render()).unwrap(), r, "{}", r.render());
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "{\"op\":\"nope\",\"id\":1}",
+            "{\"op\":\"query\",\"id\":1}",
+            "{\"op\":\"query\",\"id\":1,\"dataset\":\"d\",\"measure\":\"ed\",\"series\":\"\"}",
+            "{\"op\":\"query\",\"id\":1,\"dataset\":\"d\",\"measure\":\"ed\",\"series\":\"a,b\"}",
+            "{\"op\":\"query\",\"id\":1,\"dataset\":\"d\",\"measure\":\"ed\",\"k\":0,\"series\":\"1\"}",
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_series_survive_the_wire() {
+        let series = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.5];
+        let decoded = decode_series(&encode_series(&series)).unwrap();
+        assert_eq!(decoded.len(), 4);
+        assert!(decoded[0].is_nan());
+        assert_eq!(decoded[1], f64::INFINITY);
+        assert_eq!(decoded[2], f64::NEG_INFINITY);
+        assert_eq!(decoded[3].to_bits(), 0.5f64.to_bits());
+    }
+}

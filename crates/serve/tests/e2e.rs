@@ -1,0 +1,356 @@
+//! End-to-end tests of `tsdist serve`: a real server on an ephemeral
+//! port, a real TCP client, and the contracts the protocol promises —
+//! byte-identical answers vs the offline evaluator, typed backpressure
+//! and deadline errors, drain-on-shutdown with journal-replay
+//! equivalence, and graceful degradation under injected faults.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tsdist_core::chaos::{ChaosDistance, Fault, Schedule};
+use tsdist_core::elastic::Dtw;
+use tsdist_core::lockstep::Euclidean;
+use tsdist_core::measure::Distance;
+use tsdist_core::normalization::Normalization;
+use tsdist_data::synthetic::{generate_dataset, ArchiveConfig};
+use tsdist_data::Dataset;
+use tsdist_eval::Eval;
+use tsdist_serve::{
+    render_query, replay_journal, Client, ErrorCode, MeasureResolver, QueryRequest, Response,
+    Server, ServerConfig,
+};
+
+/// A measure that sleeps per pairwise call — deadline and backpressure
+/// fodder.
+struct Slow(Duration);
+
+impl Distance for Slow {
+    fn name(&self) -> String {
+        "slow".into()
+    }
+    fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
+        std::thread::sleep(self.0);
+        Euclidean.distance(x, y)
+    }
+}
+
+fn resolver() -> MeasureResolver {
+    Arc::new(|spec: &str| match spec {
+        "ed" => Ok(Box::new(Euclidean) as Box<dyn Distance>),
+        "dtw:10" => Ok(Box::new(Dtw::with_window_pct(10.0)) as Box<dyn Distance>),
+        "slow" => Ok(Box::new(Slow(Duration::from_millis(2))) as Box<dyn Distance>),
+        "chaos" => Ok(Box::new(ChaosDistance::new(
+            Euclidean,
+            Fault::Panic,
+            Schedule::EveryNth(2),
+        )) as Box<dyn Distance>),
+        other => Err(format!("unknown measure {other:?}")),
+    })
+}
+
+fn archive() -> Vec<Dataset> {
+    let cfg = ArchiveConfig::quick(2, 42);
+    vec![generate_dataset(&cfg, 0), generate_dataset(&cfg, 1)]
+}
+
+/// 100 mixed queries over both datasets: two measures, k ∈ {1, 3},
+/// pruned and exact, two normalizations.
+fn mixed_queries(datasets: &[Dataset]) -> Vec<QueryRequest> {
+    let mut queries = Vec::new();
+    let mut id = 0u64;
+    while queries.len() < 100 {
+        for ds in datasets {
+            for (qi, series) in ds.test.iter().enumerate().take(7) {
+                id += 1;
+                queries.push(QueryRequest {
+                    id,
+                    dataset: ds.name.clone(),
+                    measure: if qi % 2 == 0 { "ed" } else { "dtw:10" }.into(),
+                    norm: if qi % 3 == 0 {
+                        Normalization::MinMax
+                    } else {
+                        Normalization::ZScore
+                    },
+                    k: if qi % 4 == 0 { 3 } else { 1 },
+                    pruned: qi % 2 == 0,
+                    series: series.clone(),
+                    deadline_ms: None,
+                });
+            }
+        }
+    }
+    queries.truncate(100);
+    queries
+}
+
+/// Answers a query offline through the same public `Eval` path a
+/// first-principles caller would use (independent of serve's engine).
+fn offline_answer(datasets: &[Dataset], q: &QueryRequest) -> tsdist_eval::Answer {
+    let ds = datasets
+        .iter()
+        .find(|d| d.name == q.dataset)
+        .expect("dataset");
+    let measure = (resolver())(&q.measure).expect("measure");
+    let queries = vec![q.series.clone()];
+    let report = Eval::new(measure.as_ref())
+        .on(ds)
+        .queries(&queries)
+        .normalized(q.norm)
+        .k(q.k)
+        .pruned(q.pruned)
+        .run()
+        .expect("offline evaluation");
+    report.answers.into_iter().next().expect("one answer")
+}
+
+#[test]
+fn served_answers_are_byte_identical_to_the_offline_evaluator() {
+    let datasets = archive();
+    let mut handle = Server::start(
+        datasets.clone(),
+        resolver(),
+        &ServerConfig {
+            shards: 2,
+            batch_max: 8,
+            // Deep enough that a 100-query pipelined burst never sheds
+            // load (backpressure has its own test).
+            queue_cap: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+
+    let queries = mixed_queries(&datasets);
+    let lines: Vec<String> = queries.iter().map(render_query).collect();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let responses = client.roundtrip(&lines).expect("roundtrip");
+    assert_eq!(responses.len(), queries.len());
+
+    let mut by_id: BTreeMap<u64, Response> = BTreeMap::new();
+    for line in &responses {
+        let r = Response::parse(line).expect("parse response");
+        by_id.insert(r.id(), r);
+    }
+    for q in &queries {
+        let expect = offline_answer(&datasets, q);
+        match by_id.get(&q.id) {
+            Some(Response::Answer { answer, .. }) => {
+                assert_eq!(answer, &expect, "query id {}", q.id);
+                assert_eq!(
+                    answer.distance.to_bits(),
+                    expect.distance.to_bits(),
+                    "query id {}",
+                    q.id
+                );
+            }
+            other => panic!("query id {}: unexpected {other:?}", q.id),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn deadlines_surface_as_typed_errors() {
+    let datasets = archive();
+    let mut handle =
+        Server::start(datasets.clone(), resolver(), &ServerConfig::default()).expect("server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let response = client
+        .query(&QueryRequest {
+            id: 1,
+            dataset: datasets[0].name.clone(),
+            measure: "slow".into(),
+            norm: Normalization::ZScore,
+            k: 1,
+            pruned: true,
+            series: datasets[0].test[0].clone(),
+            deadline_ms: Some(1),
+        })
+        .expect("query");
+    match response {
+        Response::Error { id, code, .. } => {
+            assert_eq!(id, 1);
+            assert_eq!(code, ErrorCode::DeadlineExceeded);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The worker survives a blown deadline.
+    assert!(client.ping(2).expect("ping"));
+    handle.shutdown();
+}
+
+#[test]
+fn overload_is_a_typed_queue_full_response() {
+    let datasets = archive();
+    let mut handle = Server::start(
+        datasets.clone(),
+        resolver(),
+        &ServerConfig {
+            shards: 1,
+            queue_cap: 1,
+            batch_max: 1,
+            cache_cap: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+
+    // Flood a single shard with slow queries; the bounded queue must
+    // reject the excess with `queue_full`, never a panic or a hang.
+    let lines: Vec<String> = (0..24)
+        .map(|i| {
+            render_query(&QueryRequest {
+                id: i + 1,
+                dataset: datasets[0].name.clone(),
+                measure: "slow".into(),
+                norm: Normalization::ZScore,
+                k: 1,
+                pruned: true,
+                series: datasets[0].test[(i as usize) % datasets[0].test.len()].clone(),
+                deadline_ms: None,
+            })
+        })
+        .collect();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let responses = client.roundtrip(&lines).expect("roundtrip");
+
+    let mut rejected = 0usize;
+    let mut answered = 0usize;
+    for line in &responses {
+        match Response::parse(line).expect("parse") {
+            Response::Error {
+                code: ErrorCode::QueueFull,
+                ..
+            } => rejected += 1,
+            Response::Answer { .. } => answered += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(rejected + answered, 24);
+    assert!(rejected > 0, "flooding a 1-deep queue must shed load");
+    assert!(answered > 0, "accepted jobs must still be answered");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_mid_batch_drains_and_journal_replays_byte_identically() {
+    let datasets = archive();
+    let journal_path = std::env::temp_dir().join(format!(
+        "tsdist_serve_e2e_journal_{}.ndjson",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal_path);
+    let mut handle = Server::start(
+        datasets.clone(),
+        resolver(),
+        &ServerConfig {
+            shards: 2,
+            journal_path: Some(journal_path.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+
+    // Pipeline a burst, then kill the server while jobs may still be in
+    // shard queues. Drain-on-shutdown promises every accepted job an
+    // answer.
+    let queries: Vec<QueryRequest> = mixed_queries(&datasets).into_iter().take(40).collect();
+    let lines: Vec<String> = queries.iter().map(render_query).collect();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for line in &lines {
+        client.send_line(line).expect("send");
+    }
+    let mut live: BTreeMap<u64, String> = BTreeMap::new();
+    // Wait for the first answer so the burst is demonstrably mid-flight
+    // (some accepted, most still queued or unread), then kill.
+    let first = client.recv_line().expect("first response");
+    let parsed = Response::parse(&first).expect("parse first response");
+    live.insert(parsed.id(), first);
+    handle.shutdown(); // kill mid-batch
+
+    while let Ok(line) = client.recv_line() {
+        let r = Response::parse(&line).expect("parse live response");
+        live.insert(r.id(), line);
+    }
+
+    // Whatever made it into the journal was accepted, so it must have a
+    // live answer — and the offline replay must reproduce it exactly.
+    let journal = std::fs::read_to_string(&journal_path).expect("journal file");
+    let journal_lines: Vec<String> = journal.lines().map(|l| l.to_string()).collect();
+    assert!(
+        !journal_lines.is_empty(),
+        "burst must journal accepted requests"
+    );
+    let replayed = replay_journal(journal_lines.clone(), datasets, resolver());
+    assert_eq!(replayed.len(), journal_lines.len());
+    let mut checked = 0usize;
+    for line in &replayed {
+        let r = Response::parse(line).expect("parse replayed response");
+        let live_line = live
+            .get(&r.id())
+            .unwrap_or_else(|| panic!("journaled request {} has no live answer", r.id()));
+        assert_eq!(live_line, line, "live vs replay for id {}", r.id());
+        checked += 1;
+    }
+    assert!(checked > 0);
+    let _ = std::fs::remove_file(&journal_path);
+}
+
+#[test]
+fn chaos_faults_degrade_gracefully() {
+    let datasets = archive();
+    let mut handle = Server::start(
+        datasets.clone(),
+        resolver(),
+        &ServerConfig {
+            shards: 1,
+            batch_max: 1, // isolate each chaos query's fault
+            cache_cap: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Alternate healthy and chaos-injected queries. The chaos measure
+    // panics on a schedule; those must come back as typed `internal`
+    // errors while the worker keeps serving byte-correct answers.
+    let mut internal = 0usize;
+    for (i, series) in datasets[0].test.iter().enumerate().take(10) {
+        let chaos = QueryRequest {
+            id: (2 * i + 1) as u64,
+            dataset: datasets[0].name.clone(),
+            measure: "chaos".into(),
+            norm: Normalization::ZScore,
+            k: 1,
+            pruned: true,
+            series: series.clone(),
+            deadline_ms: None,
+        };
+        match client.query(&chaos).expect("chaos query") {
+            Response::Error { code, message, .. } => {
+                assert_eq!(code, ErrorCode::Internal, "{message}");
+                internal += 1;
+            }
+            Response::Answer { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let healthy = QueryRequest {
+            id: (2 * i + 2) as u64,
+            measure: "ed".into(),
+            ..chaos
+        };
+        match client.query(&healthy).expect("healthy query") {
+            Response::Answer { answer, .. } => {
+                assert_eq!(answer, offline_answer(&datasets, &healthy), "query {i}");
+            }
+            other => panic!("healthy query {i} failed: {other:?}"),
+        }
+    }
+    assert!(internal > 0, "the chaos schedule must fire at least once");
+    // The server is still alive and polite after repeated faults.
+    assert!(client.ping(999).expect("ping"));
+    handle.shutdown();
+}

@@ -11,11 +11,23 @@
 //! ```
 
 use tsdist::data::synthetic::{generate_dataset, ArchiveConfig};
-use tsdist::eval::{evaluate_distance, evaluate_distance_supervised};
+use tsdist::eval::evaluate_distance_supervised;
+use tsdist::measures::elastic;
 use tsdist::measures::lockstep::Euclidean;
 use tsdist::measures::params;
 use tsdist::measures::sliding::CrossCorrelation;
-use tsdist::measures::{elastic, Distance, Normalization};
+use tsdist::prelude::*;
+
+/// Unsupervised 1-NN accuracy through the consolidated request builder.
+fn accuracy(d: &dyn Distance, ds: &Dataset) -> f64 {
+    Eval::new(d)
+        .on(ds)
+        .normalized(Normalization::ZScore)
+        .run()
+        .expect("evaluation")
+        .accuracy
+        .expect("dataset mode reports accuracy")
+}
 
 fn main() {
     // Two warp-archetype datasets stand in for ECG recordings (archetype
@@ -34,8 +46,8 @@ fn main() {
         );
 
         // Parameter-free baselines.
-        let ed = evaluate_distance(&Euclidean, ds, Normalization::ZScore);
-        let sbd = evaluate_distance(&CrossCorrelation::sbd(), ds, Normalization::ZScore);
+        let ed = accuracy(&Euclidean, ds);
+        let sbd = accuracy(&CrossCorrelation::sbd(), ds);
         println!("  ED                      accuracy = {ed:.4}");
         println!("  NCC_c (SBD)             accuracy = {sbd:.4}");
 
@@ -66,13 +78,12 @@ fn main() {
         );
 
         // TWE with the paper's unsupervised pick — no tuning needed.
-        let twe = evaluate_distance(
+        let twe = accuracy(
             &elastic::Twe::new(
                 params::unsupervised::TWE_LAMBDA,
                 params::unsupervised::TWE_NU,
             ),
             ds,
-            Normalization::ZScore,
         );
         println!("  TWE (λ=1, ν=1e-4)       accuracy = {twe:.4}\n");
     }

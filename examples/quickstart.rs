@@ -6,12 +6,13 @@
 //! ```
 
 use tsdist::data::synthetic::{generate_archive, ArchiveConfig};
-use tsdist::eval::{compare_to_baseline, evaluate_distance};
+use tsdist::eval::compare_to_baseline;
 use tsdist::measures::elastic::{Dtw, Msm};
 use tsdist::measures::kernel::Kdtw;
 use tsdist::measures::lockstep::{Euclidean, Lorentzian};
 use tsdist::measures::sliding::CrossCorrelation;
-use tsdist::measures::{Distance, KernelDistance, Normalization};
+use tsdist::measures::KernelDistance;
+use tsdist::prelude::*;
 
 fn main() {
     // --- 1. Distances between two series, one measure per category. ---
@@ -47,7 +48,15 @@ fn main() {
     let accs = |d: &dyn Distance| -> Vec<f64> {
         archive
             .iter()
-            .map(|ds| evaluate_distance(d, ds, Normalization::ZScore))
+            .map(|ds| {
+                Eval::new(d)
+                    .on(ds)
+                    .normalized(Normalization::ZScore)
+                    .run()
+                    .expect("evaluation")
+                    .accuracy
+                    .expect("dataset mode reports accuracy")
+            })
             .collect()
     };
     let ed = accs(&Euclidean);

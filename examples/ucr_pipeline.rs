@@ -15,12 +15,11 @@
 use std::path::{Path, PathBuf};
 
 use tsdist::data::ucr::load_ucr_dataset;
-use tsdist::eval::{distance_matrix, prepare};
-use tsdist::eval::{evaluate_distance, loocv_accuracy};
+use tsdist::eval::{distance_matrix, loocv_accuracy, prepare};
 use tsdist::measures::elastic::Msm;
 use tsdist::measures::lockstep::{Euclidean, Lorentzian};
 use tsdist::measures::sliding::CrossCorrelation;
-use tsdist::measures::{Distance, Normalization};
+use tsdist::prelude::*;
 
 fn demo_dataset_dir() -> PathBuf {
     let dir = std::env::temp_dir().join("tsdist_ucr_demo/SyntheticDemo");
@@ -81,7 +80,13 @@ fn main() {
         ("MSM(c=0.5)", Box::new(Msm::new(0.5))),
     ];
     for (label, m) in &measures {
-        let acc = evaluate_distance(m.as_ref(), &ds, Normalization::ZScore);
+        let acc = Eval::new(m.as_ref())
+            .on(&ds)
+            .normalized(Normalization::ZScore)
+            .run()
+            .expect("evaluation")
+            .accuracy
+            .expect("dataset mode reports accuracy");
         println!("  {label:<12} {acc:.4}");
     }
 }

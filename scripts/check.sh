@@ -88,4 +88,58 @@ grep -q '"failures": 0' "$SMOKE/BENCH_prune.json"
 grep -q 'bit-identical to golden' "$SMOKE/bench_prune.log"
 echo "    bench_prune smoke: zero equivalence failures, accuracies match the committed golden"
 
+echo "==> serve smoke (100 mixed queries, live vs replay, clean shutdown)"
+"$TSDIST" serve "$SMOKE/archive" --addr 127.0.0.1:0 \
+  --port-file "$SMOKE/port" --journal "$SMOKE/serve.ndjson" \
+  >"$SMOKE/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SMOKE/port" ] && break
+  sleep 0.1
+done
+if [ ! -s "$SMOKE/port" ]; then
+  echo "tsdist serve never wrote its port file" >&2
+  exit 1
+fi
+
+"$TSDIST" serve-requests "$SMOKE/archive" --count 100 \
+  --out "$SMOKE/requests.ndjson" >/dev/null
+"$TSDIST" serve-client "$(cat "$SMOKE/port")" "$SMOKE/requests.ndjson" \
+  --shutdown >"$SMOKE/live.txt"
+if ! wait "$SERVE_PID"; then
+  echo "tsdist serve exited non-zero" >&2
+  cat "$SMOKE/serve.log" >&2
+  exit 1
+fi
+grep -q "server shut down cleanly" "$SMOKE/serve.log"
+
+lines=$(wc -l < "$SMOKE/live.txt")
+if [ "$lines" -ne 100 ]; then
+  echo "expected 100 live responses, got $lines" >&2
+  exit 1
+fi
+if grep -q '"error"' "$SMOKE/live.txt"; then
+  echo "serve smoke produced error responses:" >&2
+  grep '"error"' "$SMOKE/live.txt" >&2
+  exit 1
+fi
+
+# Replaying the journal offline must reproduce every live response
+# byte-identically (both outputs are id-sorted to make this diffable).
+"$TSDIST" serve-replay "$SMOKE/archive" "$SMOKE/serve.ndjson" \
+  >"$SMOKE/replayed.txt"
+diff "$SMOKE/live.txt" "$SMOKE/replayed.txt"
+echo "    100 served answers clean; journal replay is byte-identical to the live run"
+
+echo "==> bench_serve smoke (throughput/latency + offline equivalence)"
+cargo build -q --offline -p tsdist-bench --bin bench_serve
+target/debug/bench_serve --quick --out "$SMOKE" >/dev/null 2>"$SMOKE/bench_serve.log"
+if [ ! -s "$SMOKE/BENCH_serve.json" ]; then
+  echo "bench_serve wrote no BENCH_serve.json" >&2
+  exit 1
+fi
+grep -q '"failures": 0' "$SMOKE/BENCH_serve.json"
+grep -q '"throughput_qps"' "$SMOKE/BENCH_serve.json"
+echo "    bench_serve smoke: zero served-vs-offline mismatches"
+
 echo "All checks passed."

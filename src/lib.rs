@@ -21,27 +21,36 @@
 //!
 //! ## Quickstart
 //!
+//! Evaluations are described by the [`Eval`](prelude::Eval) request
+//! builder — one typed request shared by the library API, the CLI, and
+//! the `tsdist serve` query service:
+//!
 //! ```
+//! use tsdist::prelude::*;
 //! use tsdist::measures::elastic::Msm;
 //! use tsdist::measures::lockstep::Euclidean;
 //! use tsdist::measures::sliding::CrossCorrelation;
-//! use tsdist::measures::Distance;
-//! use tsdist::measures::Normalization;
 //! use tsdist::data::synthetic::{generate_archive, ArchiveConfig};
-//! use tsdist::eval::{compare_to_baseline, evaluate_distance};
+//! use tsdist::eval::compare_to_baseline;
 //!
 //! // A small deterministic archive of labelled datasets.
 //! let archive = generate_archive(&ArchiveConfig::quick(7, 42));
 //!
 //! // Per-dataset 1-NN accuracy of two measures...
+//! let accuracy = |d: &dyn Distance, ds: &Dataset| {
+//!     Eval::new(d)
+//!         .on(ds)
+//!         .normalized(Normalization::ZScore)
+//!         .run()
+//!         .unwrap()
+//!         .accuracy
+//!         .unwrap()
+//! };
 //! let sbd: Vec<f64> = archive
 //!     .iter()
-//!     .map(|ds| evaluate_distance(&CrossCorrelation::sbd(), ds, Normalization::ZScore))
+//!     .map(|ds| accuracy(&CrossCorrelation::sbd(), ds))
 //!     .collect();
-//! let ed: Vec<f64> = archive
-//!     .iter()
-//!     .map(|ds| evaluate_distance(&Euclidean, ds, Normalization::ZScore))
-//!     .collect();
+//! let ed: Vec<f64> = archive.iter().map(|ds| accuracy(&Euclidean, ds)).collect();
 //!
 //! // ...and the paper-style statistical comparison.
 //! let row = compare_to_baseline("NCC_c", &sbd, &ed);
@@ -96,4 +105,33 @@ pub mod fft {
 /// The linear-algebra substrate (re-export of `tsdist-linalg`).
 pub mod linalg {
     pub use tsdist_linalg::*;
+}
+
+/// The post-redesign public surface in one import: the [`Eval`] request
+/// builder and its result types, the [`Distance`] trait with its
+/// [`Workspace`] scratch memory, normalizations, dataset types, and the
+/// measure registry constructors.
+///
+/// ```
+/// use tsdist::prelude::*;
+///
+/// let ds = tsdist::data::synthetic::generate_dataset(
+///     &tsdist::data::synthetic::ArchiveConfig::quick(1, 7),
+///     0,
+/// );
+/// let report = Eval::new(&tsdist::measures::lockstep::Euclidean)
+///     .on(&ds)
+///     .pruned(true)
+///     .run()
+///     .unwrap();
+/// assert!(report.accuracy.unwrap() >= 0.0);
+/// ```
+pub mod prelude {
+    pub use tsdist_core::registry::{
+        elastic_families, elastic_unsupervised, kernel_families, kernel_unsupervised,
+        lockstep_parameter_free, sliding_measures, DistanceFamily, KernelFamily,
+    };
+    pub use tsdist_core::{Distance, Kernel, Normalization, Workspace};
+    pub use tsdist_data::{Dataset, Label};
+    pub use tsdist_eval::{Answer, CancelFlag, Eval, EvalError, EvalReport, EvalRequest};
 }

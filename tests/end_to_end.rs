@@ -3,19 +3,24 @@
 //! the *qualitative* findings of the paper at miniature scale.
 
 use tsdist::data::synthetic::{generate_archive, generate_dataset, ArchiveConfig};
-use tsdist::eval::{
-    compare_to_baseline, evaluate_distance, evaluate_distance_supervised, rank_measures,
-};
+use tsdist::eval::{compare_to_baseline, evaluate_distance_supervised, rank_measures};
 use tsdist::measures::elastic::{Dtw, Msm};
 use tsdist::measures::lockstep::Euclidean;
 use tsdist::measures::sliding::CrossCorrelation;
-use tsdist::measures::{Distance, Normalization};
+use tsdist::prelude::*;
 
-fn archive_accs(archive: &[tsdist::data::Dataset], d: &dyn Distance) -> Vec<f64> {
-    archive
-        .iter()
-        .map(|ds| evaluate_distance(d, ds, Normalization::ZScore))
-        .collect()
+fn accuracy(d: &dyn Distance, ds: &Dataset) -> f64 {
+    Eval::new(d)
+        .on(ds)
+        .normalized(Normalization::ZScore)
+        .run()
+        .expect("evaluation")
+        .accuracy
+        .expect("dataset mode reports accuracy")
+}
+
+fn archive_accs(archive: &[Dataset], d: &dyn Distance) -> Vec<f64> {
+    archive.iter().map(|ds| accuracy(d, ds)).collect()
 }
 
 #[test]
@@ -27,8 +32,8 @@ fn sliding_beats_lockstep_on_shift_distorted_data() {
     let mut sbd_total = 0.0;
     for idx in [1usize, 8, 15, 22] {
         let ds = generate_dataset(&cfg, idx); // shift archetype
-        ed_total += evaluate_distance(&Euclidean, &ds, Normalization::ZScore);
-        sbd_total += evaluate_distance(&CrossCorrelation::sbd(), &ds, Normalization::ZScore);
+        ed_total += accuracy(&Euclidean, &ds);
+        sbd_total += accuracy(&CrossCorrelation::sbd(), &ds);
     }
     assert!(
         sbd_total > ed_total,
@@ -44,8 +49,8 @@ fn elastic_beats_lockstep_on_warped_data() {
     let mut msm_total = 0.0;
     for idx in [2usize, 9, 16, 23] {
         let ds = generate_dataset(&cfg, idx); // warp archetype
-        ed_total += evaluate_distance(&Euclidean, &ds, Normalization::ZScore);
-        msm_total += evaluate_distance(&Msm::new(0.5), &ds, Normalization::ZScore);
+        ed_total += accuracy(&Euclidean, &ds);
+        msm_total += accuracy(&Msm::new(0.5), &ds);
     }
     assert!(
         msm_total > ed_total,
@@ -108,8 +113,8 @@ fn archive_is_deterministic_across_processes() {
     let a1 = generate_archive(&ArchiveConfig::quick(7, 99));
     let a2 = generate_archive(&ArchiveConfig::quick(7, 99));
     for (d1, d2) in a1.iter().zip(&a2) {
-        let acc1 = evaluate_distance(&Euclidean, d1, Normalization::ZScore);
-        let acc2 = evaluate_distance(&Euclidean, d2, Normalization::ZScore);
+        let acc1 = accuracy(&Euclidean, d1);
+        let acc2 = accuracy(&Euclidean, d2);
         assert_eq!(acc1, acc2);
     }
 }
@@ -131,7 +136,7 @@ fn ucr_loader_feeds_the_same_pipeline() {
     )
     .unwrap();
     let ds = tsdist::data::ucr::load_ucr_dataset("T", &train, &test).unwrap();
-    let acc = evaluate_distance(&Euclidean, &ds, Normalization::ZScore);
+    let acc = accuracy(&Euclidean, &ds);
     assert_eq!(
         acc, 1.0,
         "trivially separable UCR data must classify perfectly"

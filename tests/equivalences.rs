@@ -6,13 +6,13 @@
 //! equivalences down in our implementation.
 
 use tsdist::data::synthetic::{generate_dataset, ArchiveConfig};
-use tsdist::eval::evaluate_distance;
 use tsdist::measures::lockstep::{
     CityBlock, Cosine, Czekanowski, Euclidean, Gower, InnerProduct, Intersection, Minkowski,
     Sorensen, SquaredEuclidean,
 };
 use tsdist::measures::sliding::{CrossCorrelation, NccVariant};
 use tsdist::measures::{Distance, Normalization};
+use tsdist::prelude::Eval;
 
 fn datasets() -> Vec<tsdist::data::Dataset> {
     let cfg = ArchiveConfig::quick(6, 77);
@@ -22,9 +22,18 @@ fn datasets() -> Vec<tsdist::data::Dataset> {
 /// Two measures must produce identical accuracy on every dataset under
 /// the given normalization.
 fn assert_accuracy_equal(a: &dyn Distance, b: &dyn Distance, norm: Normalization) {
+    let accuracy = |d: &dyn Distance, ds: &tsdist::data::Dataset| {
+        Eval::new(d)
+            .on(ds)
+            .normalized(norm)
+            .run()
+            .expect("evaluation")
+            .accuracy
+            .expect("dataset mode reports accuracy")
+    };
     for ds in datasets() {
-        let acc_a = evaluate_distance(a, &ds, norm);
-        let acc_b = evaluate_distance(b, &ds, norm);
+        let acc_a = accuracy(a, &ds);
+        let acc_b = accuracy(b, &ds);
         assert_eq!(
             acc_a,
             acc_b,
@@ -94,8 +103,17 @@ fn zscore_and_unit_length_give_identical_accuracy_for_scale_invariant_measures()
     // the identical rows in the paper's Tables 2-3.
     let sbd = CrossCorrelation::sbd();
     for ds in datasets() {
-        let a = evaluate_distance(&sbd, &ds, Normalization::ZScore);
-        let b = evaluate_distance(&sbd, &ds, Normalization::UnitLength);
+        let accuracy = |norm| {
+            Eval::new(&sbd)
+                .on(&ds)
+                .normalized(norm)
+                .run()
+                .expect("evaluation")
+                .accuracy
+                .expect("dataset mode reports accuracy")
+        };
+        let a = accuracy(Normalization::ZScore);
+        let b = accuracy(Normalization::UnitLength);
         assert_eq!(a, b, "NCC_c should agree under z-score and UnitLength");
     }
 }
