@@ -12,8 +12,17 @@
 //! gate (the serve contract: batching, sharding, and caching never
 //! change an answer).
 //!
+//! With `--chaos` a second pass runs against a server whose shard
+//! workers are killed mid-run (`kill-shard` fault injection). The
+//! contract under chaos is *degraded but typed*: every request still
+//! gets exactly one protocol response — a byte-correct answer or a
+//! typed error (`shard_restarted`, `queue_full`) — and the supervisor
+//! restarts every killed worker. The chaos tallies are appended to
+//! `BENCH_serve.json` and any untyped outcome exits non-zero.
+//!
 //! `--quick` shrinks the workload for the `scripts/check.sh` smoke.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,6 +34,7 @@ use tsdist_core::normalization::Normalization;
 use tsdist_data::synthetic::{generate_dataset, ArchiveConfig};
 use tsdist_data::Dataset;
 use tsdist_eval::Eval;
+use tsdist_serve::supervisor::KillSpec;
 use tsdist_serve::{
     render_query, Client, MeasureResolver, QueryRequest, Response, Server, ServerConfig,
 };
@@ -92,6 +102,106 @@ fn offline_answer(datasets: &[Dataset], q: &QueryRequest) -> tsdist_eval::Answer
         .into_iter()
         .next()
         .expect("one answer")
+}
+
+/// What the chaos pass observed: typed outcomes only, or the run fails.
+struct ChaosTally {
+    requests: usize,
+    /// Responses that were byte-correct answers despite the kills.
+    answers: usize,
+    /// Typed error responses by wire code label.
+    errors: BTreeMap<String, usize>,
+    /// Supervisor restarts visible in `health` after the run.
+    restarts: u64,
+    /// Untyped outcomes: wrong answers, unparseable lines, id mismatches.
+    untyped: usize,
+}
+
+/// Drives the workload against a server whose shard workers are killed
+/// after a handful of jobs. Every request must still produce exactly
+/// one protocol response; answers that do arrive must stay byte-correct.
+fn chaos_pass(datasets: &[Dataset], requests: &[QueryRequest], clients: usize) -> ChaosTally {
+    let handle = Server::start(
+        datasets.to_vec(),
+        resolver(),
+        &ServerConfig {
+            shards: 2,
+            queue_cap: 512,
+            batch_max: 8,
+            cache_cap: 256,
+            kill: Some(KillSpec { after_jobs: 5 }),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("chaos server start");
+    let addr = handle.addr();
+
+    let slices: Vec<Vec<QueryRequest>> = (0..clients)
+        .map(|c| {
+            requests
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % clients == c)
+                .map(|(_, q)| q.clone())
+                .collect()
+        })
+        .collect();
+    let threads: Vec<_> = slices
+        .into_iter()
+        .map(|slice| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("chaos client connect");
+                let mut results: Vec<(QueryRequest, String)> = Vec::with_capacity(slice.len());
+                for q in slice {
+                    client.send_line(&render_query(&q)).expect("chaos send");
+                    let line = client.recv_line().expect("chaos recv");
+                    results.push((q, line));
+                }
+                results
+            })
+        })
+        .collect();
+    let mut results = Vec::with_capacity(requests.len());
+    for t in threads {
+        results.extend(t.join().expect("chaos client thread"));
+    }
+    let restarts = {
+        let mut probe = Client::connect(addr).expect("health probe connect");
+        probe
+            .health(u64::MAX - 1)
+            .expect("health probe")
+            .total_restarts()
+    };
+    drop(handle);
+
+    let mut tally = ChaosTally {
+        requests: results.len(),
+        answers: 0,
+        errors: BTreeMap::new(),
+        restarts,
+        untyped: 0,
+    };
+    for (q, line) in &results {
+        match Response::parse(line) {
+            Ok(Response::Answer { id, answer }) if id == q.id => {
+                let expect = offline_answer(datasets, q);
+                if answer == expect && answer.distance.to_bits() == expect.distance.to_bits() {
+                    tally.answers += 1;
+                } else {
+                    eprintln!("CHAOS MISMATCH id {}: {answer:?} != {expect:?}", q.id);
+                    tally.untyped += 1;
+                }
+            }
+            Ok(Response::Error { id, code, .. }) if id == q.id => {
+                *tally.errors.entry(code.label().to_string()).or_insert(0) += 1;
+            }
+            other => {
+                eprintln!("CHAOS UNTYPED response for id {}: {other:?}", q.id);
+                tally.untyped += 1;
+            }
+        }
+    }
+    tally
 }
 
 fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
@@ -191,6 +301,10 @@ fn main() {
     let p95 = percentile(&latencies_ms, 0.95);
     let p99 = percentile(&latencies_ms, 0.99);
 
+    // The optional chaos pass: same workload, shard workers killed
+    // after a handful of jobs each. Degraded-but-typed or the run fails.
+    let chaos = cfg.chaos.then(|| chaos_pass(&datasets, &requests, clients));
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"config\": {{\"datasets\": {n_datasets}, \"requests\": {requests_total}, \
@@ -203,6 +317,22 @@ fn main() {
     json.push_str(&format!(
         "  \"latency_ms\": {{\"p50\": {p50:.3}, \"p95\": {p95:.3}, \"p99\": {p99:.3}}},\n"
     ));
+    if let Some(tally) = &chaos {
+        let errors: Vec<String> = tally
+            .errors
+            .iter()
+            .map(|(code, count)| format!("\"{code}\": {count}"))
+            .collect();
+        json.push_str(&format!(
+            "  \"chaos\": {{\"requests\": {}, \"answers\": {}, \"errors\": {{{}}}, \
+             \"restarts\": {}, \"untyped\": {}}},\n",
+            tally.requests,
+            tally.answers,
+            errors.join(", "),
+            tally.restarts,
+            tally.untyped
+        ));
+    }
     json.push_str(&format!("  \"failures\": {failures}\n"));
     json.push_str("}\n");
     cfg.save("BENCH_serve.json", &json);
@@ -211,4 +341,22 @@ fn main() {
         failures, 0,
         "served answers must be byte-identical to the offline evaluator"
     );
+    if let Some(tally) = &chaos {
+        assert_eq!(
+            tally.untyped, 0,
+            "chaos pass: every request must get a typed protocol response"
+        );
+        assert_eq!(
+            tally.requests, requests_total,
+            "chaos pass: no request may be dropped"
+        );
+        assert!(
+            tally.restarts >= 1,
+            "chaos pass: the kill-shard fault never fired"
+        );
+        assert!(
+            tally.answers > 0,
+            "chaos pass: the service never answered anything"
+        );
+    }
 }

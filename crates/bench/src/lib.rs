@@ -9,7 +9,10 @@
 //! * `--datasets N` — archive size (default 42, the paper uses 128),
 //! * `--seed S` — archive seed (default 20),
 //! * `--quick` — small datasets for smoke runs,
-//! * `--out DIR` — results directory (default `results/`).
+//! * `--out DIR` — results directory (default `results/`),
+//! * `--chaos` — extra fault-injection pass where supported
+//!   (`bench_serve` kills shard workers mid-run and asserts
+//!   degraded-but-typed service).
 
 #![warn(missing_docs)]
 
@@ -44,6 +47,9 @@ pub struct ExperimentConfig {
     pub deadline_secs: Option<f64>,
     /// Retry budget for failed cells.
     pub retries: usize,
+    /// Run the additional chaos pass (bench_serve: kill-shard fault
+    /// injection asserting degraded-but-typed service).
+    pub chaos: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -56,14 +62,15 @@ impl Default for ExperimentConfig {
             journal: false,
             deadline_secs: None,
             retries: 0,
+            chaos: false,
         }
     }
 }
 
 impl ExperimentConfig {
     /// Parses `--datasets`, `--seed`, `--quick`, `--out`, `--journal`,
-    /// `--deadline-secs`, `--retries` from the process arguments; unknown
-    /// arguments abort with a usage message.
+    /// `--deadline-secs`, `--retries`, `--chaos` from the process
+    /// arguments; unknown arguments abort with a usage message.
     pub fn from_args() -> Self {
         let mut cfg = ExperimentConfig::default();
         let mut args = std::env::args().skip(1);
@@ -105,6 +112,7 @@ impl ExperimentConfig {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--retries needs a non-negative integer"));
                 }
+                "--chaos" => cfg.chaos = true,
                 other => usage(&format!("unknown argument {other:?}")),
             }
         }
@@ -171,7 +179,7 @@ fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: <bin> [--datasets N] [--seed S] [--quick] [--out DIR] \
-         [--journal] [--deadline-secs S] [--retries N]"
+         [--journal] [--deadline-secs S] [--retries N] [--chaos]"
     );
     std::process::exit(2)
 }

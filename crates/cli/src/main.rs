@@ -47,6 +47,7 @@ fn main() -> ExitCode {
         Some("serve-requests") => serve_cmd::cmd_serve_requests(&args[1..]),
         Some("serve-client") => serve_cmd::cmd_serve_client(&args[1..]),
         Some("serve-replay") => serve_cmd::cmd_serve_replay(&args[1..]),
+        Some("serve-fuzz") => serve_cmd::cmd_serve_fuzz(&args[1..]),
         Some("lint") => tsdist_lint::run_cli(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", USAGE);
@@ -81,11 +82,16 @@ USAGE:
   tsdist lint [--json] [--deny-warnings] [--root <dir>] [--out <file>]
   tsdist serve <archive-root> [--addr <A>] [--shards <N>] [--queue <Q>]
                [--batch <B>] [--cache <C>] [--journal <file>]
+               [--fsync never|rotate|every-<n>] [--segment-bytes <N>]
+               [--quarantine <N>] [--max-line-bytes <N>] [--max-series-len <N>]
+               [--max-k <N>] [--max-inflight <N>] [--chaos <spec>]
                [--port-file <file>] [--lenient]
   tsdist serve-requests <archive-root> [--count <N>] [--measures <m1,m2,...>]
                         [--out <file>]
-  tsdist serve-client <addr> [request-file] [--shutdown]
+  tsdist serve-client <addr> [request-file] [--shutdown] [--no-retry]
   tsdist serve-replay <archive-root> <journal-file>
+  tsdist serve-fuzz <addr> <request-file> [--seed <N>] [--iterations <N>]
+                    [--deadline-ms <N>]
 
 Measures use `name[:params]` syntax (e.g. dtw:10, msm:0.5, twe:1,0.0001).
 Normalization methods: z-score (default), minmax, meannorm, mediannorm,
@@ -114,10 +120,24 @@ serve answers 1-NN/k-NN queries over TCP (newline-delimited JSON) with
 shard-affine dataset ownership, request batching, an LRU answer cache,
 bounded queues with typed queue_full backpressure, and per-request
 deadlines. Answers are byte-identical to the offline evaluator; with
---journal every accepted query is replayable via serve-replay.
+--journal every accepted query is written to a checksummed, segmented
+journal (fsync cadence via --fsync) replayable via serve-replay, which
+skips corrupt records and replays the intact ones. Shard workers run
+under a supervisor that restarts them after a panic (in-flight requests
+get typed shard_restarted errors) and quarantines a measure after
+--quarantine repeated faults; the `health` op reports per-shard
+liveness, queue depth, restarts, and quarantine counts. Ingress is
+bounded: --max-line-bytes / --max-series-len / --max-k / --max-inflight
+violations get typed limit_exceeded rejections. --chaos injects faults
+(panic[:n], nan[:n], delay-<ms>[:n] per-distance-call, or
+kill-shard[:n] aborting each shard's first worker after n jobs).
 serve-requests generates a deterministic mixed workload from an
-archive's test splits; serve-client pipelines a request file and prints
-responses sorted by id (diffable against serve-replay output).
+archive's test splits; serve-client pipelines a request file with
+retry-on-queue_full/shard_restarted and transparent reconnect
+(--no-retry disables) and prints responses sorted by id (diffable
+against serve-replay output). serve-fuzz fires seeded structural
+mutations of a request file at a running server and fails on any hang,
+non-protocol response, or worker restart caused by ingress.
 ";
 
 fn cmd_measures() -> Result<(), String> {

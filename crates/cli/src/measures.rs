@@ -8,9 +8,41 @@ use tsdist_core::params;
 use tsdist_core::registry::lockstep_parameter_free;
 use tsdist_core::sliding::{CrossCorrelation, NccVariant};
 
+/// Rejects parameters outside a constructor's precondition *before* the
+/// constructor's assert can panic. This resolver is the boundary where
+/// untrusted input (the serve wire protocol routes measure specs here)
+/// meets the panicking facades, so every range check the constructors
+/// assert must be replicated as a typed error. NaN fails every
+/// comparison below, so it is rejected by all of them.
+fn in_range(v: f64, lo: f64, hi: f64, what: &str) -> Result<f64, String> {
+    if (lo..=hi).contains(&v) {
+        Ok(v)
+    } else {
+        Err(format!("{what} must be within [{lo}, {hi}], got {v}"))
+    }
+}
+
+fn non_negative(v: f64, what: &str) -> Result<f64, String> {
+    if v >= 0.0 {
+        Ok(v)
+    } else {
+        Err(format!("{what} must be non-negative, got {v}"))
+    }
+}
+
+fn positive(v: f64, what: &str) -> Result<f64, String> {
+    if v > 0.0 {
+        Ok(v)
+    } else {
+        Err(format!("{what} must be positive, got {v}"))
+    }
+}
+
 /// Resolves a measure name (case-insensitive; the names printed by
 /// `tsdist measures`) to a boxed distance. Parameterized measures accept
 /// `name:param[,param]` syntax, e.g. `dtw:10`, `msm:0.5`, `twe:1,0.0001`.
+/// Out-of-range parameters are a typed `Err`, never a panic — a hostile
+/// `dtw:1e300` from the wire must not kill a shard worker.
 pub fn resolve(spec: &str) -> Result<Box<dyn Distance>, String> {
     let (name, args) = match spec.split_once(':') {
         Some((n, a)) => (n, Some(a)),
@@ -44,31 +76,47 @@ pub fn resolve(spec: &str) -> Result<Box<dyn Distance>, String> {
         }
     };
 
-    // Parameterized measures first.
+    // Parameterized measures first. Every parameter is range-checked
+    // here; the core constructors assert the same preconditions and the
+    // asserts must be unreachable from this path.
     match lname.as_str() {
-        "dtw" => return Ok(Box::new(Dtw::with_window_pct(parse1(10.0)?))),
-        "msm" => return Ok(Box::new(Msm::new(parse1(params::unsupervised::MSM_COST)?))),
+        "dtw" => {
+            let pct = in_range(parse1(10.0)?, 0.0, 100.0, "dtw window percentage")?;
+            return Ok(Box::new(Dtw::with_window_pct(pct)));
+        }
+        "msm" => {
+            let cost = non_negative(parse1(params::unsupervised::MSM_COST)?, "msm cost")?;
+            return Ok(Box::new(Msm::new(cost)));
+        }
         "twe" => {
             let (l, n) = parse2(
                 params::unsupervised::TWE_LAMBDA,
                 params::unsupervised::TWE_NU,
             )?;
-            return Ok(Box::new(Twe::new(l, n)));
+            return Ok(Box::new(Twe::new(
+                non_negative(l, "twe lambda")?,
+                non_negative(n, "twe nu")?,
+            )));
         }
         "edr" => {
-            return Ok(Box::new(Edr::new(parse1(
-                params::unsupervised::EDR_EPSILON,
-            )?)))
+            let e = non_negative(parse1(params::unsupervised::EDR_EPSILON)?, "edr epsilon")?;
+            return Ok(Box::new(Edr::new(e)));
         }
         "lcss" => {
             let (e, d) = parse2(
                 params::unsupervised::LCSS_EPSILON,
                 params::unsupervised::LCSS_DELTA,
             )?;
-            return Ok(Box::new(Lcss::new(e, d)));
+            return Ok(Box::new(Lcss::new(
+                non_negative(e, "lcss epsilon")?,
+                in_range(d, 0.0, 100.0, "lcss delta percentage")?,
+            )));
         }
         "swale" => {
-            let e = parse1(params::unsupervised::SWALE_EPSILON)?;
+            let e = non_negative(
+                parse1(params::unsupervised::SWALE_EPSILON)?,
+                "swale epsilon",
+            )?;
             return Ok(Box::new(Swale::new(
                 e,
                 params::SWALE_REWARD,
@@ -76,30 +124,29 @@ pub fn resolve(spec: &str) -> Result<Box<dyn Distance>, String> {
             )));
         }
         "erp" => return Ok(Box::new(Erp::new())),
-        "minkowski" => return Ok(Box::new(ls::Minkowski::new(parse1(3.0)?))),
+        "minkowski" => {
+            let p = positive(parse1(3.0)?, "minkowski order")?;
+            return Ok(Box::new(ls::Minkowski::new(p)));
+        }
         "ncc" => return Ok(Box::new(CrossCorrelation::new(NccVariant::Raw))),
         "ncc_b" => return Ok(Box::new(CrossCorrelation::new(NccVariant::Biased))),
         "ncc_u" => return Ok(Box::new(CrossCorrelation::new(NccVariant::Unbiased))),
         "ncc_c" | "sbd" => return Ok(Box::new(CrossCorrelation::sbd())),
         "rbf" => {
-            return Ok(Box::new(KernelDistance(Rbf::new(parse1(
-                params::unsupervised::RBF_GAMMA,
-            )?))))
+            let g = positive(parse1(params::unsupervised::RBF_GAMMA)?, "rbf gamma")?;
+            return Ok(Box::new(KernelDistance(Rbf::new(g))));
         }
         "sink" => {
-            return Ok(Box::new(KernelDistance(Sink::new(parse1(
-                params::unsupervised::SINK_GAMMA,
-            )?))))
+            let g = positive(parse1(params::unsupervised::SINK_GAMMA)?, "sink gamma")?;
+            return Ok(Box::new(KernelDistance(Sink::new(g))));
         }
         "gak" => {
-            return Ok(Box::new(KernelDistance(Gak::new(parse1(
-                params::unsupervised::GAK_GAMMA,
-            )?))))
+            let g = positive(parse1(params::unsupervised::GAK_GAMMA)?, "gak sigma")?;
+            return Ok(Box::new(KernelDistance(Gak::new(g))));
         }
         "kdtw" => {
-            return Ok(Box::new(KernelDistance(Kdtw::new(parse1(
-                params::unsupervised::KDTW_GAMMA,
-            )?))))
+            let g = positive(parse1(params::unsupervised::KDTW_GAMMA)?, "kdtw nu")?;
+            return Ok(Box::new(KernelDistance(Kdtw::new(g))));
         }
         _ => {}
     }
@@ -173,6 +220,33 @@ mod tests {
         assert!(resolve("nope").is_err());
         assert!(resolve("dtw:abc").is_err());
         assert!(resolve("twe:1").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_parameters_without_panicking() {
+        // The fuzzer found `dtw:<huge>` panicking a shard worker via the
+        // constructor assert; the resolver must reject every
+        // out-of-precondition parameter as a typed Err instead.
+        for spec in [
+            "dtw:1089153046430786400",
+            "dtw:-1",
+            "dtw:NaN",
+            "msm:-0.5",
+            "twe:-1,0.5",
+            "twe:1,-0.5",
+            "edr:-0.1",
+            "lcss:-1,5",
+            "lcss:0.1,101",
+            "swale:-2",
+            "minkowski:0",
+            "minkowski:-3",
+            "rbf:0",
+            "sink:-1",
+            "gak:0",
+            "kdtw:0",
+        ] {
+            assert!(resolve(spec).is_err(), "{spec:?} must be a typed error");
+        }
     }
 
     #[test]

@@ -11,22 +11,35 @@ use tsdist_core::chaos::{ChaosDistance, Fault, Schedule};
 use tsdist_core::measure::Distance;
 use tsdist_data::ucr::load_ucr_archive;
 use tsdist_data::{load_ucr_archive_lenient, Dataset};
+use tsdist_eval::journal::{is_v2_journal, recover_lines, DurableConfig, FsyncPolicy};
+use tsdist_serve::supervisor::KillSpec;
 use tsdist_serve::{
-    render_query, replay_journal, Client, MeasureResolver, QueryRequest, Response, Server,
-    ServerConfig,
+    fuzz_server, render_query, replay_journal, Client, FuzzConfig, Limits, MeasureResolver,
+    QueryRequest, Response, RetryPolicy, Server, ServerConfig,
 };
 
 use crate::measures;
 use crate::{take_bool_flag, take_flag};
 
+/// A parsed `--chaos` spec: either a measure-level fault injection or a
+/// server-level shard kill.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ChaosSpec {
+    /// Wrap every resolved measure in deterministic fault injection.
+    Measure(Fault, usize),
+    /// Abort each shard worker's first incarnation after n jobs; the
+    /// supervisor must restart it.
+    KillShard(usize),
+}
+
 /// The measure resolver every serve-family command shares: the CLI's
 /// `name[:params]` registry, optionally wrapped in deterministic fault
-/// injection when `--chaos` is given.
-fn build_resolver(chaos: Option<&str>) -> Result<MeasureResolver, String> {
-    let Some(spec) = chaos else {
+/// injection when `--chaos` names a measure fault (`kill-shard` is
+/// server-level and leaves the resolver untouched).
+fn build_resolver(chaos: Option<ChaosSpec>) -> Result<MeasureResolver, String> {
+    let Some(ChaosSpec::Measure(fault, every)) = chaos else {
         return Ok(Arc::new(|spec: &str| measures::resolve(spec)));
     };
-    let (fault, every) = parse_chaos(spec)?;
     Ok(Arc::new(move |spec: &str| {
         let inner = measures::resolve(spec)?;
         Ok(
@@ -36,19 +49,27 @@ fn build_resolver(chaos: Option<&str>) -> Result<MeasureResolver, String> {
     }))
 }
 
-/// Parses a `--chaos` spec: `panic[:n]`, `nan[:n]`, or `delay-<ms>[:n]`
-/// — inject the fault on every n-th pairwise call (default every 2nd).
-fn parse_chaos(spec: &str) -> Result<(Fault, usize), String> {
+/// Parses a `--chaos` spec: `panic[:n]`, `nan[:n]`, `delay-<ms>[:n]` —
+/// inject the fault on every n-th pairwise call (default every 2nd) —
+/// or `kill-shard[:n]` — abort each shard worker's first incarnation
+/// after it picked up n jobs (default 4), exercising the supervisor.
+fn parse_chaos(spec: &str) -> Result<ChaosSpec, String> {
     let (kind, every) = match spec.split_once(':') {
         Some((k, n)) => (
             k,
-            n.parse::<usize>()
-                .ok()
-                .filter(|&n| n > 0)
-                .ok_or_else(|| format!("bad chaos period {n:?}"))?,
+            Some(
+                n.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("bad chaos period {n:?}"))?,
+            ),
         ),
-        None => (spec, 2),
+        None => (spec, None),
     };
+    if kind == "kill-shard" {
+        return Ok(ChaosSpec::KillShard(every.unwrap_or(4)));
+    }
+    let every = every.unwrap_or(2);
     let fault = if kind == "panic" {
         Fault::Panic
     } else if kind == "nan" {
@@ -58,10 +79,10 @@ fn parse_chaos(spec: &str) -> Result<(Fault, usize), String> {
         Fault::Delay(Duration::from_millis(ms))
     } else {
         return Err(format!(
-            "unknown chaos kind {kind:?} (panic, nan, delay-<ms>)"
+            "unknown chaos kind {kind:?} (panic, nan, delay-<ms>, kill-shard)"
         ));
     };
-    Ok((fault, every))
+    Ok(ChaosSpec::Measure(fault, every))
 }
 
 fn load_archive(root: &str, lenient: bool) -> Result<Vec<Dataset>, String> {
@@ -86,13 +107,22 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (batch, rest) = take_flag(&rest, "--batch")?;
     let (cache, rest) = take_flag(&rest, "--cache")?;
     let (journal, rest) = take_flag(&rest, "--journal")?;
+    let (fsync, rest) = take_flag(&rest, "--fsync")?;
+    let (segment, rest) = take_flag(&rest, "--segment-bytes")?;
+    let (quarantine, rest) = take_flag(&rest, "--quarantine")?;
+    let (max_line, rest) = take_flag(&rest, "--max-line-bytes")?;
+    let (max_series, rest) = take_flag(&rest, "--max-series-len")?;
+    let (max_k, rest) = take_flag(&rest, "--max-k")?;
+    let (max_inflight, rest) = take_flag(&rest, "--max-inflight")?;
     let (chaos, rest) = take_flag(&rest, "--chaos")?;
     let (port_file, rest) = take_flag(&rest, "--port-file")?;
     let (lenient, rest) = take_bool_flag(&rest, "--lenient");
     let [root] = rest.as_slice() else {
         return Err(
             "usage: tsdist serve <archive-root> [--addr A] [--shards N] [--queue Q] \
-             [--batch B] [--cache C] [--journal FILE] [--port-file FILE] [--lenient]"
+             [--batch B] [--cache C] [--journal FILE] [--fsync never|rotate|every-<n>] \
+             [--segment-bytes N] [--quarantine N] [--max-line-bytes N] [--max-series-len N] \
+             [--max-k N] [--max-inflight N] [--chaos SPEC] [--port-file FILE] [--lenient]"
                 .into(),
         );
     };
@@ -106,6 +136,35 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
             s.parse().map_err(|_| format!("bad {what} value {s:?}"))
         })
     };
+    let chaos = chaos.as_deref().map(parse_chaos).transpose()?;
+    let defaults = ServerConfig::default();
+    let journal_config = DurableConfig {
+        segment_bytes: parse_knob(
+            segment,
+            defaults.journal_config.segment_bytes as usize,
+            "--segment-bytes",
+        )? as u64,
+        fsync: match fsync {
+            Some(s) => {
+                FsyncPolicy::parse(&s).map_err(|e| format!("bad --fsync value {s:?}: {e}"))?
+            }
+            None => defaults.journal_config.fsync,
+        },
+    };
+    let limits = Limits {
+        max_line_bytes: parse_knob(max_line, defaults.limits.max_line_bytes, "--max-line-bytes")?,
+        max_series_len: parse_knob(
+            max_series,
+            defaults.limits.max_series_len,
+            "--max-series-len",
+        )?,
+        max_k: parse_knob(max_k, defaults.limits.max_k, "--max-k")?,
+        max_inflight_per_conn: parse_knob(
+            max_inflight,
+            defaults.limits.max_inflight_per_conn,
+            "--max-inflight",
+        )?,
+    };
     let config = ServerConfig {
         addr: addr.unwrap_or_else(|| "127.0.0.1:0".into()),
         shards: parse_knob(shards, 2, "--shards")?,
@@ -113,8 +172,19 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
         batch_max: parse_knob(batch, 16, "--batch")?,
         cache_cap: parse_knob(cache, 256, "--cache")?,
         journal_path: journal.map(Into::into),
+        journal_config,
+        limits,
+        quarantine_threshold: parse_knob(
+            quarantine,
+            defaults.quarantine_threshold as usize,
+            "--quarantine",
+        )? as u32,
+        kill: match chaos {
+            Some(ChaosSpec::KillShard(after_jobs)) => Some(KillSpec { after_jobs }),
+            _ => None,
+        },
     };
-    let resolver = build_resolver(chaos.as_deref())?;
+    let resolver = build_resolver(chaos)?;
     let n = datasets.len();
     let handle =
         Server::start(datasets, resolver, &config).map_err(|e| format!("starting server: {e}"))?;
@@ -219,10 +289,15 @@ fn generate_requests(datasets: &[Dataset], specs: &[&str], count: usize) -> Vec<
 /// diff cleanly when nothing was shed.
 pub fn cmd_serve_client(args: &[String]) -> Result<(), String> {
     let (shutdown, rest) = take_bool_flag(args, "--shutdown");
+    let (no_retry, rest) = take_bool_flag(&rest, "--no-retry");
     let (addr, file) = match rest.as_slice() {
         [addr] => (addr.clone(), None),
         [addr, file] => (addr.clone(), Some(file.clone())),
-        _ => return Err("usage: tsdist serve-client <addr> [request-file] [--shutdown]".into()),
+        _ => {
+            return Err(
+                "usage: tsdist serve-client <addr> [request-file] [--shutdown] [--no-retry]".into(),
+            )
+        }
     };
     let addr = addr.parse().map_err(|_| format!("bad address {addr:?}"))?;
     let lines: Vec<String> = match &file {
@@ -244,10 +319,15 @@ pub fn cmd_serve_client(args: &[String]) -> Result<(), String> {
     };
 
     let mut client = Client::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let policy = if no_retry {
+        RetryPolicy::disabled()
+    } else {
+        RetryPolicy::default()
+    };
     let mut responses = Vec::new();
     if !lines.is_empty() {
         responses = client
-            .roundtrip(&lines)
+            .pipeline_with_retry(&lines, &policy)
             .map_err(|e| format!("talking to {addr}: {e}"))?;
     }
     // Sort by request id so output order is connection-independent.
@@ -280,18 +360,81 @@ pub fn cmd_serve_replay(args: &[String]) -> Result<(), String> {
         return Err("usage: tsdist serve-replay <archive-root> <journal-file>".into());
     };
     let datasets = load_archive(root, lenient)?;
-    let lines: Vec<String> = std::fs::read_to_string(journal)
-        .map_err(|e| format!("reading {journal}: {e}"))?
-        .lines()
-        .map(|l| l.to_string())
-        .collect();
-    let resolver = build_resolver(chaos.as_deref())?;
+    // v2 journals are length-prefixed + checksummed: recover what's
+    // intact and report (not fail on) corruption. v1 journals and study
+    // request files are plain NDJSON.
+    let lines: Vec<String> = if is_v2_journal(Path::new(journal)) {
+        let replay =
+            recover_lines(Path::new(journal)).map_err(|e| format!("recovering {journal}: {e}"))?;
+        if replay.corrupt_records > 0 {
+            eprintln!(
+                "journal {journal}: skipped {} corrupt record(s) ({} byte(s)) across {} segment(s)",
+                replay.corrupt_records, replay.bytes_skipped, replay.segments
+            );
+        }
+        replay.lines
+    } else {
+        std::fs::read_to_string(journal)
+            .map_err(|e| format!("reading {journal}: {e}"))?
+            .lines()
+            .map(|l| l.to_string())
+            .collect()
+    };
+    let chaos = chaos.as_deref().map(parse_chaos).transpose()?;
+    let resolver = build_resolver(chaos)?;
     let mut replayed = replay_journal(lines, datasets, resolver);
     replayed.sort_by_key(|line| Response::parse(line).map(|r| r.id()).unwrap_or(0));
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     for line in &replayed {
         writeln!(out, "{line}").map_err(|e| format!("writing stdout: {e}"))?;
+    }
+    Ok(())
+}
+
+/// `tsdist serve-fuzz <addr> <request-file>`: fire seeded structural
+/// mutations of the request file's lines at a running server and fail
+/// loudly on any hang, non-protocol response, or worker restart
+/// attributable to ingress. Deterministic per `--seed`.
+pub fn cmd_serve_fuzz(args: &[String]) -> Result<(), String> {
+    let (seed, rest) = take_flag(args, "--seed")?;
+    let (iterations, rest) = take_flag(&rest, "--iterations")?;
+    let (deadline_ms, rest) = take_flag(&rest, "--deadline-ms")?;
+    let [addr, file] = rest.as_slice() else {
+        return Err("usage: tsdist serve-fuzz <addr> <request-file> [--seed N] \
+             [--iterations N] [--deadline-ms N]"
+            .into());
+    };
+    let addr = addr.parse().map_err(|_| format!("bad address {addr:?}"))?;
+    let templates: Vec<String> = std::fs::read_to_string(file)
+        .map_err(|e| format!("reading {file}: {e}"))?
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.to_string())
+        .collect();
+    let parse_u64 = |v: Option<String>, default: u64, what: &str| -> Result<u64, String> {
+        v.map_or(Ok(default), |s| {
+            s.parse().map_err(|_| format!("bad {what} value {s:?}"))
+        })
+    };
+    let defaults = FuzzConfig::default();
+    let config = FuzzConfig {
+        seed: parse_u64(seed, defaults.seed, "--seed")?,
+        iterations: parse_u64(iterations, defaults.iterations as u64, "--iterations")? as usize,
+        deadline: Duration::from_millis(parse_u64(
+            deadline_ms,
+            defaults.deadline.as_millis() as u64,
+            "--deadline-ms",
+        )?),
+    };
+    let report =
+        fuzz_server(addr, &templates, &config).map_err(|e| format!("fuzzing {addr}: {e}"))?;
+    println!(
+        "fuzz ok: sent={} answers={} restarts={}->{}",
+        report.sent, report.answers, report.restarts_before, report.restarts_after
+    );
+    for (code, count) in &report.errors {
+        println!("  {code}: {count}");
     }
     Ok(())
 }
@@ -303,14 +446,28 @@ mod tests {
 
     #[test]
     fn chaos_specs_parse() {
-        assert_eq!(parse_chaos("panic").unwrap(), (Fault::Panic, 2));
-        assert_eq!(parse_chaos("panic:5").unwrap(), (Fault::Panic, 5));
-        assert!(matches!(parse_chaos("nan:3").unwrap(), (Fault::Value(v), 3) if v.is_nan()));
+        assert_eq!(
+            parse_chaos("panic").unwrap(),
+            ChaosSpec::Measure(Fault::Panic, 2)
+        );
+        assert_eq!(
+            parse_chaos("panic:5").unwrap(),
+            ChaosSpec::Measure(Fault::Panic, 5)
+        );
+        assert!(matches!(
+            parse_chaos("nan:3").unwrap(),
+            ChaosSpec::Measure(Fault::Value(v), 3) if v.is_nan()
+        ));
         assert_eq!(
             parse_chaos("delay-20").unwrap(),
-            (Fault::Delay(Duration::from_millis(20)), 2)
+            ChaosSpec::Measure(Fault::Delay(Duration::from_millis(20)), 2)
         );
-        for bad in ["", "boom", "panic:0", "panic:x", "delay-ms"] {
+        assert_eq!(parse_chaos("kill-shard").unwrap(), ChaosSpec::KillShard(4));
+        assert_eq!(
+            parse_chaos("kill-shard:7").unwrap(),
+            ChaosSpec::KillShard(7)
+        );
+        for bad in ["", "boom", "panic:0", "panic:x", "delay-ms", "kill-shard:0"] {
             assert!(parse_chaos(bad).is_err(), "accepted {bad:?}");
         }
     }
@@ -367,11 +524,12 @@ mod tests {
         drop(handle); // joins everything, flushes the journal
 
         live.sort_by_key(|(id, _)| *id);
-        let journal_lines: Vec<String> = std::fs::read_to_string(&journal)
-            .unwrap()
-            .lines()
-            .map(|l| l.to_string())
-            .collect();
+        let recovered = recover_lines(&journal).unwrap();
+        assert_eq!(
+            recovered.corrupt_records, 0,
+            "clean shutdown, clean journal"
+        );
+        let journal_lines = recovered.lines;
         assert_eq!(journal_lines.len(), 30, "nothing shed at default depth");
         let mut replayed = replay_journal(journal_lines, datasets, resolver);
         replayed.sort_by_key(|l| Response::parse(l).unwrap().id());

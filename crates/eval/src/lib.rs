@@ -102,7 +102,10 @@ pub use evaluator::{
     try_evaluate_embedding, try_evaluate_embedding_supervised, try_evaluate_kernel,
     try_evaluate_kernel_supervised, SupervisedOutcome,
 };
-pub use journal::{read_journal, Journal, JournalEntry, JournalReplay};
+pub use journal::{
+    crc32, is_v2_journal, read_journal, recover_journal, recover_lines, DurableConfig,
+    DurableJournal, DurableReplay, FsyncPolicy, Journal, JournalEntry, JournalReplay,
+};
 pub use knn::{knn_accuracy, try_knn_accuracy, ConfusionMatrix};
 pub use matrices::{
     distance_matrices, distance_matrices_into, distance_matrix, distance_matrix_into,

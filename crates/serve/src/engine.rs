@@ -26,6 +26,7 @@ use tsdist_eval::{prepare, CancelFlag, EnvelopeCache, Eval, EvalError};
 
 use crate::cache::{AnswerCache, CacheKey};
 use crate::protocol::{norm_tag, ErrorCode, QueryRequest, Response};
+use crate::supervisor::Quarantine;
 
 /// Resolves a measure spec (e.g. `"ed"`, `"dtw:10"`) to a distance.
 /// Injected by the embedder — the CLI passes its `measures::resolve`,
@@ -85,6 +86,7 @@ pub struct Engine {
     measures: BTreeMap<String, Box<dyn Distance>>,
     prepared: BTreeMap<(String, &'static str), PreparedEntry>,
     answers: AnswerCache,
+    quarantine: Option<Arc<Quarantine>>,
 }
 
 impl Engine {
@@ -97,7 +99,18 @@ impl Engine {
             measures: BTreeMap::new(),
             prepared: BTreeMap::new(),
             answers: AnswerCache::new(cache_cap),
+            quarantine: None,
         }
+    }
+
+    /// Attaches the shard's panic circuit breaker: quarantined measures
+    /// are answered `measure_quarantined` without being invoked, and
+    /// every typed measure fault is recorded against its spec. The
+    /// breaker is shared across worker incarnations, so fault counts
+    /// survive a shard restart.
+    pub fn with_quarantine(mut self, quarantine: Arc<Quarantine>) -> Engine {
+        self.quarantine = Some(quarantine);
+        self
     }
 
     /// Names of the served datasets, sorted.
@@ -164,6 +177,15 @@ impl Engine {
         }
 
         let q0 = &requests[members[0]];
+        if let Some(quarantine) = &self.quarantine {
+            if quarantine.is_quarantined(&q0.measure) {
+                let msg = format!(
+                    "measure {:?} is quarantined on this shard after repeated faults",
+                    q0.measure
+                );
+                return fail(requests, members, out, ErrorCode::MeasureQuarantined, &msg);
+            }
+        }
         let Some(ds) = self.datasets.get(&q0.dataset) else {
             let msg = format!("dataset {:?} is not served", q0.dataset);
             return fail(requests, members, out, ErrorCode::UnknownDataset, &msg);
@@ -230,6 +252,11 @@ impl Engine {
                 }
             }
             Err(e) => {
+                if matches!(e, EvalError::Faulted { .. }) {
+                    if let Some(quarantine) = &self.quarantine {
+                        quarantine.record_fault(&q0.measure);
+                    }
+                }
                 let (code, message) = classify(&e);
                 fail(requests, members, out, code, &message);
             }

@@ -1,0 +1,339 @@
+//! A hand-rolled, seeded, structure-aware wire fuzzer.
+//!
+//! Starting from *valid* request lines (the templates), the fuzzer
+//! applies 1–3 random structural mutations per iteration — truncation,
+//! span deletion, chunk duplication, byte substitution, digit bloat,
+//! quote/brace injection — and fires the result at a live server, one
+//! line per round trip. The contract it checks is the ingress-hardening
+//! invariant:
+//!
+//! 1. **Every line gets exactly one typed response** within the
+//!    deadline — an answer if the mutant happens to still parse, a
+//!    typed error (`bad_request`, `invalid_request`, `limit_exceeded`,
+//!    ...) otherwise. A read timeout is a hang and fails the run.
+//! 2. **No worker is ever lost to ingress**: the per-shard restart
+//!    counters reported by `health` must be identical before and after
+//!    the run, and every shard must still be alive.
+//! 3. **The server still serves**: a final ping and a final untouched
+//!    template query must both succeed.
+//!
+//! Everything is deterministic for a given seed (splitmix64 PRNG, no
+//! external crates), so a failing corpus is a one-number repro:
+//! `tsdist serve-fuzz --seed <n>`.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::protocol::{render_health, render_ping, ErrorCode, Response};
+
+/// Knobs of a fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// PRNG seed; same seed + same templates = same run.
+    pub seed: u64,
+    /// Mutated lines to fire.
+    pub iterations: usize,
+    /// Per-response read deadline; exceeding it is a hang and fails the
+    /// run.
+    pub deadline: Duration,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 0x75d1_57f0,
+            iterations: 10_000,
+            deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What a completed fuzz run observed.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Mutated lines sent.
+    pub sent: usize,
+    /// Responses that were successful answers (the mutant still parsed).
+    pub answers: usize,
+    /// Typed error responses by wire code label.
+    pub errors: BTreeMap<String, usize>,
+    /// Shard restarts visible in `health` before the run.
+    pub restarts_before: u64,
+    /// Shard restarts visible in `health` after the run (must equal
+    /// `restarts_before`; ingress must never cost a worker).
+    pub restarts_after: u64,
+}
+
+/// splitmix64 — tiny, seedable, and plenty for corpus mutation.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn pick(state: &mut u64, bound: usize) -> usize {
+    (next_rand(state) % bound.max(1) as u64) as usize
+}
+
+/// One structural mutation over the line's bytes.
+fn mutate_once(bytes: &mut Vec<u8>, state: &mut u64) {
+    if bytes.is_empty() {
+        bytes.extend_from_slice(b"{");
+        return;
+    }
+    match pick(state, 8) {
+        // Truncate at a random offset (torn write).
+        0 => {
+            let at = pick(state, bytes.len());
+            bytes.truncate(at);
+        }
+        // Delete a random span (lost field / separator).
+        1 => {
+            let start = pick(state, bytes.len());
+            let len = pick(state, (bytes.len() - start).min(16)) + 1;
+            bytes.drain(start..(start + len).min(bytes.len()));
+        }
+        // Duplicate a random chunk at a random position.
+        2 => {
+            let start = pick(state, bytes.len());
+            let len = pick(state, (bytes.len() - start).min(24)) + 1;
+            let chunk: Vec<u8> = bytes[start..(start + len).min(bytes.len())].to_vec();
+            let at = pick(state, bytes.len());
+            bytes.splice(at..at, chunk);
+        }
+        // Substitute one byte with a random printable.
+        3 => {
+            let at = pick(state, bytes.len());
+            bytes[at] = 0x20 + (next_rand(state) % 0x5f) as u8;
+        }
+        // Bloat a digit run (integer overflow bait for `k`, ids,
+        // series values).
+        4 => {
+            let digits = pick(state, 24) + 8;
+            let at = pick(state, bytes.len());
+            let run: Vec<u8> = (0..digits)
+                .map(|_| b'0' + (next_rand(state) % 10) as u8)
+                .collect();
+            bytes.splice(at..at, run);
+        }
+        // Inject structure: quotes, braces, colons, commas.
+        5 => {
+            let at = pick(state, bytes.len());
+            let tokens: &[&[u8]] = &[b"\"", b"{", b"}", b":", b",", b"\\", b"null", b"[]"];
+            let token = tokens[pick(state, tokens.len())];
+            bytes.splice(at..at, token.iter().copied());
+        }
+        // Swap two random bytes (field-name scrambling).
+        6 => {
+            let a = pick(state, bytes.len());
+            let b = pick(state, bytes.len());
+            bytes.swap(a, b);
+        }
+        // Append garbage after the closing brace (trailing junk).
+        _ => {
+            let extra = pick(state, 12) + 1;
+            for _ in 0..extra {
+                bytes.push(0x20 + (next_rand(state) % 0x5f) as u8);
+            }
+        }
+    }
+}
+
+/// Mutates one template into a fire-ready line: 1–3 structural
+/// mutations, newline-free, non-blank, and never the `shutdown` op.
+fn mutate_line(template: &str, state: &mut u64) -> String {
+    let mut bytes = template.as_bytes().to_vec();
+    let rounds = pick(state, 3) + 1;
+    for _ in 0..rounds {
+        mutate_once(&mut bytes, state);
+    }
+    bytes.retain(|&b| b != b'\n' && b != b'\r');
+    let mut line = String::from_utf8_lossy(&bytes).into_owned();
+    // The server ignores blank lines (no response would arrive).
+    if line.trim().is_empty() {
+        line = "{".to_string();
+    }
+    // Never ask the target to stop mid-run.
+    while let Some(at) = line.find("shutdown") {
+        line.replace_range(at..at + "shutdown".len(), "shutdowX");
+    }
+    line
+}
+
+/// A raw line connection with a read deadline (the no-hang detector).
+struct DeadlineConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl DeadlineConn {
+    fn connect(addr: SocketAddr, deadline: Duration) -> std::io::Result<DeadlineConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(deadline))?;
+        let writer = stream.try_clone()?;
+        Ok(DeadlineConn {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    fn recv(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ErrorKind::UnexpectedEof.into());
+            }
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if !trimmed.is_empty() {
+                return Ok(trimmed.to_string());
+            }
+        }
+    }
+
+    fn exchange(&mut self, line: &str) -> std::io::Result<String> {
+        self.send(line)?;
+        self.recv()
+    }
+}
+
+fn violation(message: String) -> std::io::Error {
+    std::io::Error::other(message)
+}
+
+fn fetch_restarts(conn: &mut DeadlineConn, id: u64) -> std::io::Result<(u64, bool)> {
+    let line = conn.exchange(&render_health(id))?;
+    match Response::parse(&line) {
+        Ok(Response::Health { report, .. }) => Ok((report.total_restarts(), report.all_alive())),
+        other => Err(violation(format!("health request got {other:?}"))),
+    }
+}
+
+/// Runs the fuzzer against a live server. `templates` must be valid
+/// request lines (rendered queries / pings); the last template is also
+/// replayed unmutated at the end as the still-serving check.
+///
+/// Returns the tally on success; any contract violation — a hang, a
+/// non-protocol response, a worker restart attributable to ingress, a
+/// dead shard — is an `Err` naming the iteration and line.
+pub fn fuzz_server(
+    addr: SocketAddr,
+    templates: &[String],
+    config: &FuzzConfig,
+) -> std::io::Result<FuzzReport> {
+    if templates.is_empty() {
+        return Err(violation("fuzz_server needs at least one template".into()));
+    }
+    let mut conn = DeadlineConn::connect(addr, config.deadline)?;
+    let mut report = FuzzReport::default();
+    let (restarts_before, alive_before) = fetch_restarts(&mut conn, 1)?;
+    report.restarts_before = restarts_before;
+    if !alive_before {
+        return Err(violation("a shard was already down before fuzzing".into()));
+    }
+
+    let mut state = config.seed;
+    for i in 0..config.iterations {
+        let template = &templates[pick(&mut state, templates.len())];
+        let line = mutate_line(template, &mut state);
+        let response = conn.exchange(&line).map_err(|e| {
+            violation(format!(
+                "iteration {i}: no response within {:?} to {line:?}: {e}",
+                config.deadline
+            ))
+        })?;
+        report.sent += 1;
+        match Response::parse(&response) {
+            Ok(Response::Error { code, .. }) => {
+                *report.errors.entry(code.label().to_string()).or_insert(0) += 1;
+            }
+            Ok(_) => report.answers += 1,
+            Err(e) => {
+                return Err(violation(format!(
+                    "iteration {i}: non-protocol response {response:?} to {line:?}: {e}"
+                )));
+            }
+        }
+    }
+
+    // The server must still answer untouched traffic...
+    let pong = conn.exchange(&render_ping(2))?;
+    if !matches!(Response::parse(&pong), Ok(Response::Pong { id: 2 })) {
+        return Err(violation(format!("post-fuzz ping got {pong:?}")));
+    }
+    let clean = templates[templates.len() - 1].clone();
+    let answer = conn.exchange(&clean)?;
+    match Response::parse(&answer) {
+        Ok(Response::Answer { .. }) | Ok(Response::Pong { .. }) => {}
+        Ok(Response::Error {
+            code: ErrorCode::QueueFull,
+            ..
+        }) => {}
+        other => {
+            return Err(violation(format!(
+                "post-fuzz clean template {clean:?} got {other:?}"
+            )));
+        }
+    }
+
+    // ...and must not have lost a single worker to ingress.
+    let (restarts_after, alive_after) = fetch_restarts(&mut conn, 3)?;
+    report.restarts_after = restarts_after;
+    if restarts_after != report.restarts_before {
+        return Err(violation(format!(
+            "ingress cost {} worker restart(s) — hardened ingress must never panic a worker",
+            restarts_after - report.restarts_before
+        )));
+    }
+    if !alive_after {
+        return Err(violation("a shard worker is down after fuzzing".into()));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let template =
+            "{\"op\":\"query\",\"id\":1,\"dataset\":\"d\",\"measure\":\"ed\",\"series\":\"1,2,3\"}";
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for _ in 0..200 {
+            assert_eq!(mutate_line(template, &mut a), mutate_line(template, &mut b));
+        }
+        let mut c = 43u64;
+        let differs = (0..200).any(|_| {
+            let mut a2 = 42u64;
+            mutate_line(template, &mut a2) != mutate_line(template, &mut c)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn mutants_are_single_line_nonblank_and_never_shutdown() {
+        let templates = [
+            "{\"op\":\"query\",\"id\":9,\"dataset\":\"x\",\"measure\":\"dtw:5\",\"series\":\"0.5,1.5\"}",
+            "{\"op\":\"ping\",\"id\":3}",
+        ];
+        let mut state = 7u64;
+        for i in 0..5_000 {
+            let line = mutate_line(templates[i % 2], &mut state);
+            assert!(!line.contains('\n') && !line.contains('\r'));
+            assert!(!line.trim().is_empty());
+            assert!(!line.contains("shutdown"), "iteration {i}: {line:?}");
+        }
+    }
+}

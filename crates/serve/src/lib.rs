@@ -15,28 +15,45 @@
 //!   offline replay; owns prepared splits, envelope caches, resolved
 //!   measures, and the LRU answer cache.
 //! * [`cache`] — the per-shard LRU answer cache.
+//! * [`limits`] — hard ingress bounds (line bytes, series length, `k`,
+//!   per-connection outstanding quota) and the bounded line reader.
+//! * [`supervisor`] — shard worker supervision: restart-on-panic with
+//!   in-flight jobs answered `shard_restarted`, the per-measure panic
+//!   circuit breaker (quarantine), and the `health` report counters.
 //! * [`server`] — acceptor, per-connection reader/writer threads,
-//!   shard-affine routing over bounded queues, drain-on-shutdown.
-//! * [`client`] — a minimal blocking client (tests, CLI, bench).
-//! * [`replay`] — replays a request journal offline, byte-identically.
+//!   shard-affine routing over bounded queues, supervised workers,
+//!   durable checksummed request journal, drain-on-shutdown.
+//! * [`client`] — a blocking client with retry-with-backoff on
+//!   transient typed rejections and transparent reconnect.
+//! * [`replay`] — replays a request journal (v1 NDJSON or v2 durable)
+//!   offline, byte-identically.
+//! * [`fuzz`] — a seeded, structure-aware wire fuzzer asserting the
+//!   server always answers a typed line and never loses a worker.
 //!
 //! The crate is lib-lint clean: no `unwrap`/`expect`/`panic!` outside
-//! tests — overload, timeouts, unknown names, malformed lines, and
-//! faulting (chaos-injected) measures all surface as typed responses.
+//! tests — overload, timeouts, unknown names, malformed lines, panicking
+//! measures, and killed shard workers all surface as typed responses.
 
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod fuzz;
+pub mod limits;
 pub mod protocol;
 pub mod replay;
 pub mod server;
+pub mod supervisor;
 
 pub use cache::{AnswerCache, CacheKey};
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use engine::{Engine, MeasureResolver};
+pub use fuzz::{fuzz_server, FuzzConfig, FuzzReport};
+pub use limits::{read_limited_line, Limits, LineRead};
 pub use protocol::{
-    decode_series, encode_series, parse_request, render_ping, render_query, render_shutdown,
-    ErrorCode, QueryRequest, Request, Response,
+    decode_series, encode_series, parse_request, parse_request_limited, render_health, render_ping,
+    render_query, render_shutdown, ErrorCode, HealthReport, QueryRequest, Request, RequestError,
+    Response, ShardHealth,
 };
 pub use replay::replay_journal;
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use supervisor::Quarantine;

@@ -13,7 +13,8 @@
 //! {"op":"query","id":1,"dataset":"synthetic/shape-00","measure":"ed","series":"0.1,0.4,..."}
 //! {"op":"query","id":2,"dataset":"d","measure":"dtw:10","norm":"zscore","k":3,"pruned":1,"deadline_ms":250,"series":"..."}
 //! {"op":"ping","id":3}
-//! {"op":"shutdown","id":4}
+//! {"op":"health","id":4}
+//! {"op":"shutdown","id":5}
 //! ```
 //!
 //! Responses carry the request `id` (so pipelined clients can reorder)
@@ -24,12 +25,26 @@
 //! {"id":2,"status":"error","code":"queue_full","message":"shard queue at capacity"}
 //! ```
 //!
-//! Error codes form the backpressure contract: `queue_full` (the
-//! 429-style typed rejection — never a panic, never a dropped
-//! connection), `deadline_exceeded`, `bad_request`, `unknown_dataset`,
-//! `unknown_measure`, and `internal` (a faulted measure; the shard
-//! survives and keeps serving).
+//! Error codes form the backpressure and crash-safety contract:
+//! `queue_full` (the 429-style typed rejection — never a panic, never a
+//! dropped connection), `deadline_exceeded`, `bad_request` (the line is
+//! not a wire object), `invalid_request` (a field is missing or
+//! malformed), `limit_exceeded` (a hard ingress limit tripped),
+//! `unknown_dataset`, `unknown_measure`, `shard_restarted` (the shard
+//! worker died mid-evaluation and the supervisor rebuilt it; retryable),
+//! `measure_quarantined` (the per-measure circuit breaker opened), and
+//! `internal` (a faulted measure; the shard survives and keeps serving).
+//!
+//! The `health` request returns per-shard liveness, queue depth, and the
+//! supervisor's restart / quarantine counters as flat `shard_<i>` string
+//! fields (the wire dialect has no nesting):
+//!
+//! ```text
+//! {"id":4,"status":"ok","health":1,"shards":2,"restarts":1,"quarantined":0,
+//!  "shard_0":"up queue=0 restarts=1 quarantined=0","shard_1":"up queue=3 restarts=0 quarantined=0"}
+//! ```
 
+use crate::limits::Limits;
 use tsdist_core::normalization::Normalization;
 use tsdist_eval::request::Answer;
 use tsdist_eval::wire::{get_num, get_str, parse_json_object, ObjectWriter};
@@ -41,6 +56,11 @@ pub enum Request {
     Query(QueryRequest),
     /// Liveness probe.
     Ping {
+        /// Request id echoed in the response.
+        id: u64,
+    },
+    /// Ask for the supervisor's per-shard health report.
+    Health {
         /// Request id echoed in the response.
         id: u64,
     },
@@ -82,12 +102,24 @@ pub enum ErrorCode {
     QueueFull,
     /// The request's deadline elapsed before the evaluation finished.
     DeadlineExceeded,
-    /// The request line failed to parse or had invalid fields.
+    /// The request line failed to parse as a wire object at all.
     BadRequest,
+    /// The line parsed as JSON but a field was missing or invalid.
+    InvalidRequest,
+    /// The request exceeded a hard ingress limit (line bytes, series
+    /// length, `k`, or the per-connection outstanding-request quota).
+    LimitExceeded,
     /// The named dataset is not served.
     UnknownDataset,
     /// The measure spec did not resolve.
     UnknownMeasure,
+    /// The shard worker holding this request died and was restarted by
+    /// the supervisor; the request was lost mid-evaluation (retryable —
+    /// the rebuilt shard serves the same datasets).
+    ShardRestarted,
+    /// The measure tripped the per-measure circuit breaker (too many
+    /// panics) and is quarantined on this shard.
+    MeasureQuarantined,
     /// The measure faulted while evaluating; the shard survives.
     Internal,
 }
@@ -99,8 +131,12 @@ impl ErrorCode {
             ErrorCode::QueueFull => "queue_full",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::BadRequest => "bad_request",
+            ErrorCode::InvalidRequest => "invalid_request",
+            ErrorCode::LimitExceeded => "limit_exceeded",
             ErrorCode::UnknownDataset => "unknown_dataset",
             ErrorCode::UnknownMeasure => "unknown_measure",
+            ErrorCode::ShardRestarted => "shard_restarted",
+            ErrorCode::MeasureQuarantined => "measure_quarantined",
             ErrorCode::Internal => "internal",
         }
     }
@@ -111,11 +147,135 @@ impl ErrorCode {
             "queue_full" => Some(ErrorCode::QueueFull),
             "deadline_exceeded" => Some(ErrorCode::DeadlineExceeded),
             "bad_request" => Some(ErrorCode::BadRequest),
+            "invalid_request" => Some(ErrorCode::InvalidRequest),
+            "limit_exceeded" => Some(ErrorCode::LimitExceeded),
             "unknown_dataset" => Some(ErrorCode::UnknownDataset),
             "unknown_measure" => Some(ErrorCode::UnknownMeasure),
+            "shard_restarted" => Some(ErrorCode::ShardRestarted),
+            "measure_quarantined" => Some(ErrorCode::MeasureQuarantined),
             "internal" => Some(ErrorCode::Internal),
             _ => None,
         }
+    }
+
+    /// Whether a client may transparently retry a request rejected with
+    /// this code (the condition is transient, the request unexecuted or
+    /// safely re-executable).
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::QueueFull | ErrorCode::ShardRestarted)
+    }
+}
+
+/// A typed request-rejection: which code the line earns and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The typed code (`bad_request`, `invalid_request`, or
+    /// `limit_exceeded`).
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl RequestError {
+    fn bad(message: impl Into<String>) -> RequestError {
+        RequestError {
+            code: ErrorCode::BadRequest,
+            message: message.into(),
+        }
+    }
+
+    fn invalid(message: impl Into<String>) -> RequestError {
+        RequestError {
+            code: ErrorCode::InvalidRequest,
+            message: message.into(),
+        }
+    }
+
+    fn limit(message: impl Into<String>) -> RequestError {
+        RequestError {
+            code: ErrorCode::LimitExceeded,
+            message: message.into(),
+        }
+    }
+}
+
+/// One shard's health as reported by the supervisor.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardHealth {
+    /// Whether a live worker incarnation currently owns the shard.
+    pub alive: bool,
+    /// Jobs waiting in the shard's bounded queue.
+    pub queue_depth: usize,
+    /// Times the supervisor has restarted this shard's worker.
+    pub restarts: u64,
+    /// Measures currently quarantined on this shard.
+    pub quarantined: usize,
+}
+
+impl ShardHealth {
+    /// Renders the compact wire form, e.g. `up queue=0 restarts=1
+    /// quarantined=0`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} queue={} restarts={} quarantined={}",
+            if self.alive { "up" } else { "down" },
+            self.queue_depth,
+            self.restarts,
+            self.quarantined
+        )
+    }
+
+    /// Parses the compact wire form.
+    pub fn parse(text: &str) -> Result<ShardHealth, String> {
+        let mut parts = text.split_whitespace();
+        let alive = match parts.next() {
+            Some("up") => true,
+            Some("down") => false,
+            other => return Err(format!("bad shard liveness {other:?}")),
+        };
+        let mut health = ShardHealth {
+            alive,
+            ..ShardHealth::default()
+        };
+        for part in parts {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad shard field {part:?}"))?;
+            let n: u64 = value
+                .parse()
+                .map_err(|_| format!("bad shard count {part:?}"))?;
+            match key {
+                "queue" => health.queue_depth = n as usize,
+                "restarts" => health.restarts = n,
+                "quarantined" => health.quarantined = n as usize,
+                _ => return Err(format!("unknown shard field {key:?}")),
+            }
+        }
+        Ok(health)
+    }
+}
+
+/// The supervisor's full health report: one entry per shard.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// Per-shard health, indexed by shard id.
+    pub shards: Vec<ShardHealth>,
+}
+
+impl HealthReport {
+    /// Total supervisor restarts across all shards.
+    pub fn total_restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Total quarantined measures across all shards.
+    pub fn total_quarantined(&self) -> usize {
+        self.shards.iter().map(|s| s.quarantined).sum()
+    }
+
+    /// Whether every shard currently has a live worker.
+    pub fn all_alive(&self) -> bool {
+        self.shards.iter().all(|s| s.alive)
     }
 }
 
@@ -143,6 +303,13 @@ pub enum Response {
         /// Echo of the request id.
         id: u64,
     },
+    /// Reply to `health`.
+    Health {
+        /// Echo of the request id.
+        id: u64,
+        /// The supervisor's per-shard report.
+        report: HealthReport,
+    },
     /// Acknowledgement that the server is shutting down.
     ShuttingDown {
         /// Echo of the request id.
@@ -157,6 +324,7 @@ impl Response {
             Response::Answer { id, .. }
             | Response::Error { id, .. }
             | Response::Pong { id }
+            | Response::Health { id, .. }
             | Response::ShuttingDown { id } => id,
         }
     }
@@ -191,6 +359,19 @@ impl Response {
                 .str("status", "ok")
                 .uint("pong", 1)
                 .finish(),
+            Response::Health { id, report } => {
+                let mut w = ObjectWriter::new()
+                    .uint("id", usize_of(*id))
+                    .str("status", "ok")
+                    .uint("health", 1)
+                    .uint("shards", report.shards.len())
+                    .uint("restarts", report.total_restarts() as usize)
+                    .uint("quarantined", report.total_quarantined());
+                for (i, shard) in report.shards.iter().enumerate() {
+                    w = w.str(&format!("shard_{i}"), &shard.render());
+                }
+                w.finish()
+            }
             Response::ShuttingDown { id } => ObjectWriter::new()
                 .uint("id", usize_of(*id))
                 .str("status", "ok")
@@ -210,6 +391,19 @@ impl Response {
                 }
                 if get_num(&fields, "shutdown").is_some() {
                     return Ok(Response::ShuttingDown { id });
+                }
+                if get_num(&fields, "health").is_some() {
+                    let n = get_num(&fields, "shards").unwrap_or(0.0) as usize;
+                    let mut shards = Vec::with_capacity(n);
+                    for i in 0..n {
+                        let text = get_str(&fields, &format!("shard_{i}"))
+                            .ok_or_else(|| format!("health response without shard_{i}"))?;
+                        shards.push(ShardHealth::parse(text)?);
+                    }
+                    return Ok(Response::Health {
+                        id,
+                        report: HealthReport { shards },
+                    });
                 }
                 let index = get_num(&fields, "index").map(|v| v as usize);
                 // `distance: null` encodes a non-finite distance — an
@@ -356,6 +550,14 @@ pub fn render_ping(id: u64) -> String {
         .finish()
 }
 
+/// Renders a `health` line.
+pub fn render_health(id: u64) -> String {
+    ObjectWriter::new()
+        .str("op", "health")
+        .uint("id", usize_of(id))
+        .finish()
+}
+
 /// Renders a `shutdown` line.
 pub fn render_shutdown(id: u64) -> String {
     ObjectWriter::new()
@@ -364,37 +566,70 @@ pub fn render_shutdown(id: u64) -> String {
         .finish()
 }
 
-/// Parses one request line.
+/// Parses one request line with no ingress limits. Kept for offline
+/// tooling (replay, tests); the server path goes through
+/// [`parse_request_limited`] so over-limit requests earn the typed
+/// `limit_exceeded` rejection.
 pub fn parse_request(line: &str) -> Result<Request, String> {
-    let fields = parse_json_object(line)?;
+    parse_request_limited(line, &Limits::unlimited()).map_err(|e| e.message)
+}
+
+/// Parses one request line under hard ingress limits, classifying every
+/// rejection: `bad_request` when the line is not a wire object or the op
+/// is unknown, `invalid_request` when a field is missing or malformed,
+/// and `limit_exceeded` when the series length or `k` exceeds `limits`.
+pub fn parse_request_limited(line: &str, limits: &Limits) -> Result<Request, RequestError> {
+    let fields = parse_json_object(line).map_err(RequestError::bad)?;
     let id = get_num(&fields, "id").unwrap_or(0.0) as u64;
     match get_str(&fields, "op") {
         Some("ping") => Ok(Request::Ping { id }),
+        Some("health") => Ok(Request::Health { id }),
         Some("shutdown") => Ok(Request::Shutdown { id }),
         Some("query") => {
             let dataset = get_str(&fields, "dataset")
-                .ok_or("query without dataset")?
+                .ok_or_else(|| RequestError::invalid("query without dataset"))?
                 .to_string();
             let measure = get_str(&fields, "measure")
-                .ok_or("query without measure")?
+                .ok_or_else(|| RequestError::invalid("query without measure"))?
                 .to_string();
             let norm = match get_str(&fields, "norm") {
-                Some(name) => parse_norm(name)?,
+                Some(name) => parse_norm(name).map_err(RequestError::invalid)?,
                 None => Normalization::ZScore,
             };
             let k = match get_num(&fields, "k") {
                 Some(v) if v >= 1.0 => v as usize,
-                Some(v) => return Err(format!("bad k {v}")),
+                Some(v) => return Err(RequestError::invalid(format!("bad k {v}"))),
                 None => 1,
             };
+            if k > limits.max_k {
+                return Err(RequestError::limit(format!(
+                    "k {k} exceeds limit {}",
+                    limits.max_k
+                )));
+            }
             let pruned = match get_num(&fields, "pruned") {
                 // tsdist-lint: allow(float-total-order, reason = "wire booleans travel as the JSON numbers 0/1; the exact-zero test is the deliberate falsy check")
                 Some(v) => v != 0.0,
                 None => true,
             };
-            let series = decode_series(get_str(&fields, "series").ok_or("query without series")?)?;
+            let raw_series = get_str(&fields, "series")
+                .ok_or_else(|| RequestError::invalid("query without series"))?;
+            // Allocation-free length pre-check so an over-limit series is
+            // rejected before a value vector is ever built.
+            let points = if raw_series.is_empty() {
+                0
+            } else {
+                raw_series.bytes().filter(|&b| b == b',').count() + 1
+            };
+            if points > limits.max_series_len {
+                return Err(RequestError::limit(format!(
+                    "series of {points} points exceeds limit {}",
+                    limits.max_series_len
+                )));
+            }
+            let series = decode_series(raw_series).map_err(RequestError::invalid)?;
             if series.is_empty() {
-                return Err("empty series".into());
+                return Err(RequestError::invalid("empty series"));
             }
             let deadline_ms = get_num(&fields, "deadline_ms").map(|v| v as u64);
             Ok(Request::Query(QueryRequest {
@@ -408,7 +643,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 deadline_ms,
             }))
         }
-        other => Err(format!("bad op {other:?}")),
+        other => Err(RequestError::bad(format!("bad op {other:?}"))),
     }
 }
 

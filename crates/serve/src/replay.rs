@@ -41,6 +41,16 @@ where
                 }
             }
             Ok(Request::Ping { id }) => out.push(Response::Pong { id }.render()),
+            // Health is point-in-time server state; replay answers an
+            // empty report (the journal never contains health lines —
+            // only accepted queries are journaled).
+            Ok(Request::Health { id }) => out.push(
+                Response::Health {
+                    id,
+                    report: crate::protocol::HealthReport::default(),
+                }
+                .render(),
+            ),
             Ok(Request::Shutdown { id }) => out.push(Response::ShuttingDown { id }.render()),
             Err(message) => out.push(
                 Response::Error {

@@ -1,13 +1,14 @@
 //! The threaded TCP server: shard-affine routing, bounded queues with
-//! typed backpressure, request batching, and clean drain-on-shutdown.
+//! typed backpressure, request batching, supervised workers, hardened
+//! ingress, and clean drain-on-shutdown.
 //!
 //! ```text
 //!                        ┌────────────────────────────┐
-//!  client ── TCP ──▶ reader thread ── try_send ──▶ shard 0 worker
-//!     ▲                 │    │                     (owns its datasets,
-//!     │                 │    └─ try_send ────▶ shard 1 worker  prepared
-//!     └── writer thread ◀── mpsc ◀── responses ──┘   splits, envelope
-//!                                                    + answer caches)
+//!  client ── TCP ──▶ reader thread ── try_send ──▶ shard 0 worker ◀─ monitor
+//!     ▲                 │    │                     (owns its datasets,   │
+//!     │                 │    └─ try_send ────▶ shard 1 worker  prepared  │
+//!     └── writer thread ◀── mpsc ◀── responses ──┘   splits, envelope   restart
+//!                                                    + answer caches)  on panic
 //! ```
 //!
 //! * **Sharding** — datasets are partitioned across worker threads by an
@@ -21,6 +22,21 @@
 //!   is full the reader answers `queue_full` immediately (429-style).
 //!   Overload is a typed response, never a panic, never a dropped
 //!   connection.
+//! * **Supervision** — every worker runs under a [`Supervisor`] monitor:
+//!   a panicking worker is restarted with its [`Engine`] rebuilt from
+//!   the dataset manifest, its in-flight jobs answered `shard_restarted`,
+//!   and its still-queued jobs served by the new incarnation. The
+//!   `health` op reports per-shard liveness, queue depth, restart and
+//!   quarantine counters.
+//! * **Hardened ingress** — request lines are read through the bounded
+//!   [`read_limited_line`] reader (an oversized line is discarded, not
+//!   buffered), structural and limit violations earn typed
+//!   `invalid_request` / `limit_exceeded` responses, and each connection
+//!   has a hard outstanding-request quota.
+//! * **Durable journal** — accepted queries are journaled through the
+//!   checksummed, segment-rotated [`DurableJournal`] (v2): each record
+//!   is CRC32-framed so a torn or corrupted write is skipped and counted
+//!   on recovery while every intact record replays byte-identically.
 //! * **Batching** — a worker drains its queue up to `batch_max` jobs and
 //!   groups compatible ones into a single [`Eval`] run, amortizing query
 //!   preprocessing and candidate-ordering setup. Answers are independent
@@ -32,22 +48,28 @@
 //!
 //! [`EnvelopeCache`]: tsdist_eval::EnvelopeCache
 //! [`Eval`]: tsdist_eval::Eval
+//! [`Engine`]: crate::engine::Engine
+//! [`DurableJournal`]: tsdist_eval::journal::DurableJournal
 
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::{BufRead, BufReader, Write};
+use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 
 use tsdist_data::Dataset;
+use tsdist_eval::journal::{DurableConfig, DurableJournal};
 use tsdist_eval::wire::{get_num, parse_json_object};
 
-use crate::engine::{Engine, MeasureResolver};
-use crate::protocol::{parse_request, render_query, ErrorCode, QueryRequest, Request, Response};
+use crate::engine::MeasureResolver;
+use crate::limits::{read_limited_line, Limits, LineRead};
+use crate::protocol::{parse_request_limited, render_query, ErrorCode, Request, Response};
+use crate::supervisor::{
+    lock, Job, KillSpec, QuotaGuard, ShardState, Supervisor, SupervisorConfig,
+};
 
 /// Tuning knobs of a server instance.
 #[derive(Debug, Clone)]
@@ -62,9 +84,19 @@ pub struct ServerConfig {
     pub batch_max: usize,
     /// Per-shard LRU answer-cache capacity (0 disables).
     pub cache_cap: usize,
-    /// When set, every accepted query is journaled to this file as
-    /// replayable NDJSON (one canonical request line per query).
+    /// When set, every accepted query is journaled to this durable v2
+    /// journal (CRC32-framed records, segment rotation) as its canonical
+    /// replayable request line.
     pub journal_path: Option<PathBuf>,
+    /// Durability knobs of the request journal (segment size, fsync
+    /// policy).
+    pub journal_config: DurableConfig,
+    /// Hard ingress limits applied to every connection.
+    pub limits: Limits,
+    /// Measure faults before the per-shard circuit breaker opens.
+    pub quarantine_threshold: u32,
+    /// Chaos: abort each shard worker's first incarnation mid-batch.
+    pub kill: Option<KillSpec>,
 }
 
 impl Default for ServerConfig {
@@ -76,15 +108,12 @@ impl Default for ServerConfig {
             batch_max: 16,
             cache_cap: 256,
             journal_path: None,
+            journal_config: DurableConfig::default(),
+            limits: Limits::default(),
+            quarantine_threshold: 3,
+            kill: None,
         }
     }
-}
-
-/// A query owned by a shard queue, with the sender that reaches its
-/// connection's writer thread.
-struct Job {
-    req: QueryRequest,
-    reply: Sender<String>,
 }
 
 /// State shared by the acceptor, connection readers, and the handle.
@@ -93,15 +122,11 @@ struct Shared {
     shutdown: AtomicBool,
     routing: BTreeMap<String, usize>,
     senders: Mutex<Vec<SyncSender<Job>>>,
-    journal: Option<Mutex<File>>,
+    states: Vec<Arc<ShardState>>,
+    journal: Option<DurableJournal>,
+    limits: Limits,
     conns: Mutex<Vec<TcpStream>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
-}
-
-/// Locks a mutex, recovering the data from a poisoned lock (worker
-/// panics must not cascade into the control plane).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// FNV-1a — stable across runs (dataset→shard routing must be
@@ -119,9 +144,10 @@ fn fnv1a(name: &str) -> u64 {
 pub struct Server;
 
 impl Server {
-    /// Binds, spawns the shard workers and acceptor, and returns a
-    /// handle. The server runs until a client sends `shutdown` or the
-    /// handle shuts it down (dropping the handle also shuts down).
+    /// Binds, spawns the supervised shard workers and acceptor, and
+    /// returns a handle. The server runs until a client sends `shutdown`
+    /// or the handle shuts it down (dropping the handle also shuts
+    /// down).
     pub fn start(
         datasets: Vec<Dataset>,
         resolver: MeasureResolver,
@@ -139,29 +165,30 @@ impl Server {
         let listener = TcpListener::bind(config.addr.as_str())?;
         let addr = listener.local_addr()?;
         let journal = match &config.journal_path {
-            Some(p) => Some(Mutex::new(File::create(p)?)),
+            Some(p) => Some(DurableJournal::open(p, config.journal_config)?),
             None => None,
         };
 
-        let mut senders = Vec::with_capacity(shards);
-        let mut workers = Vec::with_capacity(shards);
-        for bucket in buckets {
-            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_cap.max(1));
-            senders.push(tx);
-            let resolver = resolver.clone();
-            let cache_cap = config.cache_cap;
-            let batch_max = config.batch_max.max(1);
-            workers.push(thread::spawn(move || {
-                shard_loop(bucket, rx, resolver, cache_cap, batch_max)
-            }));
-        }
+        let (supervisor, senders) = Supervisor::start(
+            buckets,
+            resolver,
+            &SupervisorConfig {
+                queue_cap: config.queue_cap,
+                batch_max: config.batch_max,
+                cache_cap: config.cache_cap,
+                quarantine_threshold: config.quarantine_threshold,
+                kill: config.kill,
+            },
+        );
 
         let shared = Arc::new(Shared {
             addr,
             shutdown: AtomicBool::new(false),
             routing,
             senders: Mutex::new(senders),
+            states: supervisor.states().to_vec(),
             journal,
+            limits: config.limits.clone(),
             conns: Mutex::new(Vec::new()),
             readers: Mutex::new(Vec::new()),
         });
@@ -170,7 +197,7 @@ impl Server {
         Ok(ServerHandle {
             shared,
             acceptor: Some(acceptor),
-            workers,
+            supervisor: Some(supervisor),
         })
     }
 }
@@ -201,6 +228,8 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// a writer thread draining the response channel. Shard workers hold
 /// clones of the response sender, so the writer naturally outlives the
 /// reader until every in-flight job for this connection is answered.
+/// Lines come through the bounded reader, and accepted queries count
+/// against this connection's outstanding-request quota.
 fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
     let write_half = match stream.try_clone() {
         Ok(s) => s,
@@ -208,10 +237,30 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
     };
     let (tx, rx) = mpsc::channel::<String>();
     let writer = thread::spawn(move || writer_loop(write_half, rx));
-    for line in BufReader::new(stream).lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break,
+    let outstanding = Arc::new(AtomicUsize::new(0));
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_limited_line(&mut reader, shared.limits.max_line_bytes) {
+            Ok(LineRead::Line(l)) => l,
+            Ok(LineRead::TooLong(bytes)) => {
+                // The oversized line is already discarded; the stream is
+                // synchronized at the next line. No id is recoverable.
+                if !shared.shutdown.load(Ordering::SeqCst) {
+                    let _ = tx.send(
+                        Response::Error {
+                            id: 0,
+                            code: ErrorCode::LimitExceeded,
+                            message: format!(
+                                "request line of {bytes} bytes exceeds the {}-byte limit",
+                                shared.limits.max_line_bytes
+                            ),
+                        }
+                        .render(),
+                    );
+                }
+                continue;
+            }
+            Ok(LineRead::Eof) | Err(_) => break,
         };
         // After shutdown, keep *draining* (without processing) until the
         // read half EOFs: breaking with pipelined requests still unread
@@ -223,13 +272,14 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
         if line.trim().is_empty() {
             continue;
         }
-        handle_line(&line, &tx, &shared);
+        handle_line(&line, &tx, &outstanding, &shared);
     }
     drop(tx);
     let _ = writer.join();
 }
 
 fn writer_loop(mut stream: TcpStream, rx: Receiver<String>) {
+    use std::io::Write;
     for line in rx {
         if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
             return;
@@ -250,17 +300,28 @@ fn lenient_id(line: &str) -> u64 {
 }
 
 /// Parses and dispatches one request line.
-fn handle_line(line: &str, reply: &Sender<String>, shared: &Shared) {
+fn handle_line(
+    line: &str,
+    reply: &Sender<String>,
+    outstanding: &Arc<AtomicUsize>,
+    shared: &Shared,
+) {
     let send = |r: Response| {
         let _ = reply.send(r.render());
     };
-    match parse_request(line) {
-        Err(message) => send(Response::Error {
+    match parse_request_limited(line, &shared.limits) {
+        Err(e) => send(Response::Error {
             id: lenient_id(line),
-            code: ErrorCode::BadRequest,
-            message,
+            code: e.code,
+            message: e.message,
         }),
         Ok(Request::Ping { id }) => send(Response::Pong { id }),
+        Ok(Request::Health { id }) => send(Response::Health {
+            id,
+            report: crate::protocol::HealthReport {
+                shards: shared.states.iter().map(|s| s.health()).collect(),
+            },
+        }),
         Ok(Request::Shutdown { id }) => {
             send(Response::ShuttingDown { id });
             trigger_shutdown(shared);
@@ -273,6 +334,19 @@ fn handle_line(line: &str, reply: &Sender<String>, shared: &Shared) {
                     message: format!("dataset {:?} is not served", req.dataset),
                 });
             };
+            let Some(quota) =
+                QuotaGuard::try_acquire(outstanding, shared.limits.max_inflight_per_conn)
+            else {
+                return send(Response::Error {
+                    id: req.id,
+                    code: ErrorCode::LimitExceeded,
+                    message: format!(
+                        "connection has {} requests outstanding (limit {})",
+                        outstanding.load(Ordering::SeqCst),
+                        shared.limits.max_inflight_per_conn
+                    ),
+                });
+            };
             // Canonical replayable form, journaled only once the job is
             // actually accepted (a rejected request has no answer for a
             // replay to reproduce).
@@ -280,6 +354,7 @@ fn handle_line(line: &str, reply: &Sender<String>, shared: &Shared) {
             let job = Job {
                 req,
                 reply: reply.clone(),
+                quota: Some(quota),
             };
             let outcome = match lock(&shared.senders).get(shard) {
                 Some(tx) => tx.try_send(job),
@@ -287,10 +362,11 @@ fn handle_line(line: &str, reply: &Sender<String>, shared: &Shared) {
             };
             match outcome {
                 Ok(()) => {
+                    if let Some(state) = shared.states.get(shard) {
+                        state.note_enqueued();
+                    }
                     if let (Some(journal), Some(line)) = (&shared.journal, journal_line) {
-                        let mut file = lock(journal);
-                        let _ = file.write_all(line.as_bytes());
-                        let _ = file.write_all(b"\n");
+                        let _ = journal.append_line(&line);
                     }
                 }
                 Err(TrySendError::Full(job)) => send(Response::Error {
@@ -316,43 +392,25 @@ fn trigger_shutdown(shared: &Shared) {
     let _ = TcpStream::connect(shared.addr);
 }
 
-/// A shard worker: blocking-recv one job, opportunistically drain up to
-/// `batch_max`, answer through the shard-owned [`Engine`]. Exits when
-/// every queue sender is gone — after draining what was accepted.
-fn shard_loop(
-    datasets: Vec<Dataset>,
-    rx: Receiver<Job>,
-    resolver: MeasureResolver,
-    cache_cap: usize,
-    batch_max: usize,
-) {
-    let mut engine = Engine::new(datasets, resolver, cache_cap);
-    while let Ok(first) = rx.recv() {
-        let mut batch = vec![first];
-        while batch.len() < batch_max {
-            match rx.try_recv() {
-                Ok(job) => batch.push(job),
-                Err(_) => break,
-            }
-        }
-        let requests: Vec<QueryRequest> = batch.iter().map(|j| j.req.clone()).collect();
-        for (job, response) in batch.iter().zip(engine.answer_batch(&requests)) {
-            let _ = job.reply.send(response.render());
-        }
-    }
-}
-
 /// Owns the running server; dropping it shuts the server down cleanly.
 pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<Supervisor>,
 }
 
 impl ServerHandle {
     /// The bound address (resolves port 0 to the actual port).
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The current per-shard health report (the same data the `health`
+    /// op serves over the wire).
+    pub fn health(&self) -> crate::protocol::HealthReport {
+        crate::protocol::HealthReport {
+            shards: self.shared.states.iter().map(|s| s.health()).collect(),
+        }
     }
 
     /// Blocks until a client sends the `shutdown` op, then drains and
@@ -387,13 +445,13 @@ impl ServerHandle {
             let _ = h.join();
         }
         // All producers are gone; dropping the senders lets each worker
-        // drain its queue and exit.
+        // drain its queue and exit, after which the monitors join.
         lock(&self.shared.senders).clear();
-        for h in self.workers.drain(..) {
-            let _ = h.join();
+        if let Some(supervisor) = self.supervisor.take() {
+            supervisor.join();
         }
         if let Some(journal) = &self.shared.journal {
-            let _ = lock(journal).flush();
+            let _ = journal.sync();
         }
     }
 }

@@ -1,0 +1,482 @@
+//! Shard worker supervision: restart-on-panic, the in-flight board, and
+//! the per-measure panic circuit breaker.
+//!
+//! Each shard's worker thread runs under a dedicated monitor thread that
+//! owns its `JoinHandle`. When the worker exits cleanly (queue senders
+//! all dropped — the shutdown drain), the monitor exits too. When the
+//! worker *panics* — a chaos kill, or a bug that escaped [`Eval`]'s
+//! typed-fault containment — the monitor:
+//!
+//! 1. answers every job the dead incarnation had in flight with the
+//!    typed `shard_restarted` error (tracked on the [`InflightBoard`];
+//!    nothing is dropped silently),
+//! 2. increments the shard's restart counter (surfaced by the `health`
+//!    request), and
+//! 3. spawns a fresh worker incarnation that rebuilds its [`Engine`]
+//!    from the same dataset manifest and resumes the *same* queue —
+//!    jobs that were queued but not yet picked up survive the crash
+//!    untouched.
+//!
+//! The queue receiver survives the panic because it lives in an
+//! `Arc<Mutex<Receiver<Job>>>`: the dying incarnation poisons the lock,
+//! and the next incarnation recovers the receiver through
+//! poisoned-lock recovery.
+//!
+//! The [`Quarantine`] breaker is shared across incarnations of a shard:
+//! every measure fault recorded by the engine counts against that
+//! measure, and once the count reaches the threshold the measure is
+//! quarantined — subsequent queries for it are answered
+//! `measure_quarantined` without touching the measure again.
+//!
+//! [`Eval`]: tsdist_eval::Eval
+//! [`Engine`]: crate::engine::Engine
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+
+use tsdist_data::Dataset;
+
+use crate::engine::{Engine, MeasureResolver};
+use crate::protocol::{ErrorCode, QueryRequest, Response, ShardHealth};
+
+/// Locks a mutex, recovering the data from a poisoned lock (worker
+/// panics must not cascade into the control plane — poisoned-lock
+/// recovery is precisely how a restarted worker reclaims its queue).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An RAII slot in a per-connection outstanding-request quota: acquired
+/// by the reader before a job is queued, released when the job is
+/// answered or dropped (including mid-panic unwind).
+pub struct QuotaGuard(Arc<AtomicUsize>);
+
+impl QuotaGuard {
+    /// Takes one slot if fewer than `max` are outstanding.
+    pub fn try_acquire(outstanding: &Arc<AtomicUsize>, max: usize) -> Option<QuotaGuard> {
+        outstanding
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < max).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| QuotaGuard(Arc::clone(outstanding)))
+    }
+}
+
+impl Drop for QuotaGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A query owned by a shard queue, with the sender that reaches its
+/// connection's writer thread and the quota slot it occupies.
+pub struct Job {
+    /// The parsed query.
+    pub req: QueryRequest,
+    /// Reaches the owning connection's writer thread.
+    pub reply: Sender<String>,
+    /// The per-connection quota slot; released on drop.
+    pub quota: Option<QuotaGuard>,
+}
+
+/// The jobs a worker incarnation is evaluating *right now*. Registered
+/// before the batch runs, completed per-response after each answer is
+/// sent; whatever is left on the board when a worker dies is what the
+/// monitor answers with `shard_restarted`.
+#[derive(Default)]
+pub struct InflightBoard {
+    entries: Mutex<BTreeMap<u64, (u64, Sender<String>)>>,
+    next: AtomicU64,
+}
+
+impl InflightBoard {
+    /// Registers one in-flight job; returns the completion token.
+    pub fn register(&self, request_id: u64, reply: Sender<String>) -> u64 {
+        let token = self.next.fetch_add(1, Ordering::SeqCst);
+        lock(&self.entries).insert(token, (request_id, reply));
+        token
+    }
+
+    /// Marks one job answered.
+    pub fn complete(&self, token: u64) {
+        lock(&self.entries).remove(&token);
+    }
+
+    /// Takes every stranded job (dead-worker cleanup).
+    pub fn drain(&self) -> Vec<(u64, Sender<String>)> {
+        let mut entries = lock(&self.entries);
+        let drained = std::mem::take(&mut *entries);
+        drained.into_values().collect()
+    }
+
+    /// Jobs currently registered.
+    pub fn len(&self) -> usize {
+        lock(&self.entries).len()
+    }
+
+    /// Whether no job is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The per-measure panic circuit breaker, shared by every incarnation of
+/// a shard's worker. A measure that faults `threshold` times is
+/// quarantined: further queries answer `measure_quarantined` without
+/// invoking it.
+pub struct Quarantine {
+    threshold: u32,
+    state: Mutex<QuarantineState>,
+}
+
+#[derive(Default)]
+struct QuarantineState {
+    faults: BTreeMap<String, u32>,
+    quarantined: BTreeSet<String>,
+}
+
+impl Quarantine {
+    /// A breaker that opens after `threshold` faults of one measure.
+    /// `u32::MAX` effectively disables it.
+    pub fn new(threshold: u32) -> Quarantine {
+        Quarantine {
+            threshold: threshold.max(1),
+            state: Mutex::new(QuarantineState::default()),
+        }
+    }
+
+    /// Whether `measure` is currently quarantined.
+    pub fn is_quarantined(&self, measure: &str) -> bool {
+        lock(&self.state).quarantined.contains(measure)
+    }
+
+    /// Records one fault of `measure`; returns `true` when the measure
+    /// is now quarantined.
+    pub fn record_fault(&self, measure: &str) -> bool {
+        let mut state = lock(&self.state);
+        let count = *state
+            .faults
+            .entry(measure.to_string())
+            .and_modify(|c| *c += 1)
+            .or_insert(1);
+        if count >= self.threshold {
+            state.quarantined.insert(measure.to_string());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of quarantined measures.
+    pub fn quarantined_count(&self) -> usize {
+        lock(&self.state).quarantined.len()
+    }
+
+    /// The quarantined measure specs, sorted.
+    pub fn quarantined_measures(&self) -> Vec<String> {
+        lock(&self.state).quarantined.iter().cloned().collect()
+    }
+}
+
+/// A deterministic chaos plan: the *first* incarnation of every shard
+/// worker panics mid-batch once it has picked up `after_jobs` jobs —
+/// after the batch is registered on the in-flight board, before any
+/// answer is sent. Restarted incarnations never re-kill, so the
+/// supervisor is exercised exactly once per shard and the run stays
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Jobs the first incarnation processes before aborting.
+    pub after_jobs: usize,
+}
+
+/// Supervision knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Bounded per-shard queue depth.
+    pub queue_cap: usize,
+    /// Max jobs a worker drains into one batch.
+    pub batch_max: usize,
+    /// Per-shard LRU answer-cache capacity.
+    pub cache_cap: usize,
+    /// Measure faults before the breaker opens.
+    pub quarantine_threshold: u32,
+    /// Optional chaos kill plan (tests, `--chaos kill-shard`).
+    pub kill: Option<KillSpec>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            queue_cap: 64,
+            batch_max: 16,
+            cache_cap: 256,
+            quarantine_threshold: 3,
+            kill: None,
+        }
+    }
+}
+
+/// Per-shard supervision state shared by the monitor, the worker
+/// incarnations, and the server's request path.
+pub struct ShardState {
+    rx: Arc<Mutex<Receiver<Job>>>,
+    board: Arc<InflightBoard>,
+    /// The shard's panic circuit breaker.
+    pub quarantine: Arc<Quarantine>,
+    queue_depth: AtomicUsize,
+    restarts: AtomicU64,
+    alive: AtomicBool,
+}
+
+impl ShardState {
+    /// Notes one job enqueued (request path, after a successful
+    /// `try_send`).
+    pub fn note_enqueued(&self) {
+        self.queue_depth.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn note_dequeued(&self) {
+        // Saturating: enqueue/dequeue race windows must never wrap.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                Some(n.saturating_sub(1))
+            });
+    }
+
+    /// Times this shard's worker has been restarted.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::SeqCst)
+    }
+
+    /// This shard's current health snapshot.
+    pub fn health(&self) -> ShardHealth {
+        ShardHealth {
+            alive: self.alive.load(Ordering::SeqCst),
+            queue_depth: self.queue_depth.load(Ordering::SeqCst),
+            restarts: self.restarts(),
+            quarantined: self.quarantine.quarantined_count(),
+        }
+    }
+}
+
+/// The supervisor: one monitor thread per shard, each owning its
+/// worker's `JoinHandle`. Constructed by [`Supervisor::start`]; joined
+/// after the queue senders are dropped.
+pub struct Supervisor {
+    states: Vec<Arc<ShardState>>,
+    monitors: Vec<JoinHandle<()>>,
+}
+
+impl Supervisor {
+    /// Spawns one supervised worker per dataset bucket. Returns the
+    /// supervisor and the queue senders — the caller owns the senders
+    /// (dropping them all is the shutdown signal; the supervisor keeps
+    /// none, so the queues can disconnect).
+    pub fn start(
+        buckets: Vec<Vec<Dataset>>,
+        resolver: MeasureResolver,
+        config: &SupervisorConfig,
+    ) -> (Supervisor, Vec<SyncSender<Job>>) {
+        let mut states = Vec::with_capacity(buckets.len());
+        let mut monitors = Vec::with_capacity(buckets.len());
+        let mut senders = Vec::with_capacity(buckets.len());
+        for bucket in buckets {
+            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_cap.max(1));
+            senders.push(tx);
+            let state = Arc::new(ShardState {
+                rx: Arc::new(Mutex::new(rx)),
+                board: Arc::new(InflightBoard::default()),
+                quarantine: Arc::new(Quarantine::new(config.quarantine_threshold)),
+                queue_depth: AtomicUsize::new(0),
+                restarts: AtomicU64::new(0),
+                alive: AtomicBool::new(true),
+            });
+            states.push(Arc::clone(&state));
+            let resolver = resolver.clone();
+            let config = config.clone();
+            monitors.push(thread::spawn(move || {
+                monitor_loop(state, bucket, resolver, &config);
+            }));
+        }
+        (Supervisor { states, monitors }, senders)
+    }
+
+    /// The per-shard states (request-path accounting, health).
+    pub fn states(&self) -> &[Arc<ShardState>] {
+        &self.states
+    }
+
+    /// The aggregate health report, one entry per shard.
+    pub fn health(&self) -> crate::protocol::HealthReport {
+        crate::protocol::HealthReport {
+            shards: self.states.iter().map(|s| s.health()).collect(),
+        }
+    }
+
+    /// Joins every monitor (and thus every worker). Call only after all
+    /// queue senders are dropped, or this blocks forever.
+    pub fn join(self) {
+        for h in self.monitors {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Supervises one shard: spawn a worker incarnation, join it, and decide
+/// between clean exit (queue disconnected) and restart (panic).
+fn monitor_loop(
+    state: Arc<ShardState>,
+    datasets: Vec<Dataset>,
+    resolver: MeasureResolver,
+    config: &SupervisorConfig,
+) {
+    let mut incarnation: u64 = 0;
+    loop {
+        state.alive.store(true, Ordering::SeqCst);
+        let worker_state = Arc::clone(&state);
+        let worker_datasets = datasets.clone();
+        let worker_resolver = resolver.clone();
+        let worker_config = config.clone();
+        // The chaos plan arms only the first incarnation; restarts serve
+        // unconditionally.
+        let kill = config.kill.filter(|_| incarnation == 0);
+        let worker = thread::spawn(move || {
+            worker_loop(
+                &worker_state,
+                worker_datasets,
+                worker_resolver,
+                &worker_config,
+                kill,
+            );
+        });
+        match worker.join() {
+            Ok(()) => {
+                // Clean drain: all senders gone, queue empty.
+                state.alive.store(false, Ordering::SeqCst);
+                return;
+            }
+            Err(_panic) => {
+                state.alive.store(false, Ordering::SeqCst);
+                state.restarts.fetch_add(1, Ordering::SeqCst);
+                for (id, reply) in state.board.drain() {
+                    let _ = reply.send(
+                        Response::Error {
+                            id,
+                            code: ErrorCode::ShardRestarted,
+                            message: "shard worker died mid-evaluation and was restarted; retry"
+                                .to_string(),
+                        }
+                        .render(),
+                    );
+                }
+                incarnation += 1;
+            }
+        }
+    }
+}
+
+/// One worker incarnation: reclaim the queue receiver, rebuild the
+/// engine, then recv/batch/answer until the queue disconnects.
+fn worker_loop(
+    state: &ShardState,
+    datasets: Vec<Dataset>,
+    resolver: MeasureResolver,
+    config: &SupervisorConfig,
+    kill: Option<KillSpec>,
+) {
+    let mut engine = Engine::new(datasets, resolver, config.cache_cap)
+        .with_quarantine(Arc::clone(&state.quarantine));
+    let batch_max = config.batch_max.max(1);
+    // Held for the incarnation's lifetime; a panic poisons it and the
+    // next incarnation recovers it via `lock`.
+    let rx = lock(&state.rx);
+    let mut processed: usize = 0;
+    while let Ok(first) = rx.recv() {
+        state.note_dequeued();
+        let mut batch = vec![first];
+        while batch.len() < batch_max {
+            match rx.try_recv() {
+                Ok(job) => {
+                    state.note_dequeued();
+                    batch.push(job);
+                }
+                Err(_) => break,
+            }
+        }
+        let tokens: Vec<u64> = batch
+            .iter()
+            .map(|j| state.board.register(j.req.id, j.reply.clone()))
+            .collect();
+        processed += batch.len();
+        if let Some(k) = kill {
+            if processed >= k.after_jobs.max(1) {
+                // tsdist-lint: allow(no-unwrap-in-lib, reason = "the deliberate chaos abort: kill-shard must die exactly like a real worker bug so the supervisor path under test is the production path")
+                panic!("chaos kill-shard: aborting worker mid-batch after {processed} jobs");
+            }
+        }
+        let requests: Vec<QueryRequest> = batch.iter().map(|j| j.req.clone()).collect();
+        let responses = engine.answer_batch(&requests);
+        for ((job, token), response) in batch.iter().zip(tokens).zip(responses) {
+            // Answer first, then clear the board: a crash in the gap
+            // yields a duplicate `shard_restarted` line, never silence.
+            let _ = job.reply.send(response.render());
+            state.board.complete(token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_guard_releases_on_drop() {
+        let outstanding = Arc::new(AtomicUsize::new(0));
+        let a = QuotaGuard::try_acquire(&outstanding, 2);
+        let b = QuotaGuard::try_acquire(&outstanding, 2);
+        assert!(a.is_some() && b.is_some());
+        assert!(QuotaGuard::try_acquire(&outstanding, 2).is_none());
+        drop(a);
+        let c = QuotaGuard::try_acquire(&outstanding, 2);
+        assert!(c.is_some());
+        drop(b);
+        assert_eq!(outstanding.load(Ordering::SeqCst), 1);
+        drop(c);
+        assert_eq!(outstanding.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn quarantine_opens_at_threshold() {
+        let q = Quarantine::new(3);
+        assert!(!q.record_fault("sbd"));
+        assert!(!q.record_fault("sbd"));
+        assert!(!q.is_quarantined("sbd"));
+        assert!(q.record_fault("sbd"));
+        assert!(q.is_quarantined("sbd"));
+        assert!(!q.is_quarantined("ed"));
+        assert_eq!(q.quarantined_count(), 1);
+        assert_eq!(q.quarantined_measures(), vec!["sbd".to_string()]);
+        // Further faults keep it open without re-reporting a trip.
+        assert!(q.record_fault("sbd"));
+    }
+
+    #[test]
+    fn inflight_board_drains_only_uncompleted_jobs() {
+        let board = InflightBoard::default();
+        let (tx, rx) = mpsc::channel::<String>();
+        let t1 = board.register(1, tx.clone());
+        let _t2 = board.register(2, tx.clone());
+        board.complete(t1);
+        let stranded = board.drain();
+        assert_eq!(stranded.len(), 1);
+        assert_eq!(stranded[0].0, 2);
+        assert!(board.is_empty());
+        drop((tx, rx));
+    }
+}

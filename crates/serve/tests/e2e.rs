@@ -15,10 +15,12 @@ use tsdist_core::measure::Distance;
 use tsdist_core::normalization::Normalization;
 use tsdist_data::synthetic::{generate_dataset, ArchiveConfig};
 use tsdist_data::Dataset;
+use tsdist_eval::journal::recover_lines;
 use tsdist_eval::Eval;
+use tsdist_serve::supervisor::KillSpec;
 use tsdist_serve::{
-    render_query, replay_journal, Client, ErrorCode, MeasureResolver, QueryRequest, Response,
-    Server, ServerConfig,
+    fuzz_server, render_query, replay_journal, Client, ErrorCode, FuzzConfig, Limits,
+    MeasureResolver, QueryRequest, Response, RetryPolicy, Server, ServerConfig,
 };
 
 /// A measure that sleeps per pairwise call — deadline and backpressure
@@ -276,8 +278,11 @@ fn shutdown_mid_batch_drains_and_journal_replays_byte_identically() {
 
     // Whatever made it into the journal was accepted, so it must have a
     // live answer — and the offline replay must reproduce it exactly.
-    let journal = std::fs::read_to_string(&journal_path).expect("journal file");
-    let journal_lines: Vec<String> = journal.lines().map(|l| l.to_string()).collect();
+    // The journal is a v2 durable journal now: recover its framed
+    // records (none may be corrupt after a clean shutdown).
+    let recovered = recover_lines(&journal_path).expect("recover journal");
+    assert_eq!(recovered.corrupt_records, 0);
+    let journal_lines: Vec<String> = recovered.lines;
     assert!(
         !journal_lines.is_empty(),
         "burst must journal accepted requests"
@@ -314,9 +319,13 @@ fn chaos_faults_degrade_gracefully() {
     let mut client = Client::connect(handle.addr()).expect("connect");
 
     // Alternate healthy and chaos-injected queries. The chaos measure
-    // panics on a schedule; those must come back as typed `internal`
-    // errors while the worker keeps serving byte-correct answers.
+    // panics on a schedule; those come back as typed `internal` errors
+    // until the circuit breaker opens (threshold 3), after which the
+    // measure is quarantined and answered `measure_quarantined` without
+    // being invoked — while the worker keeps serving byte-correct
+    // answers for healthy measures throughout.
     let mut internal = 0usize;
+    let mut quarantined = 0usize;
     for (i, series) in datasets[0].test.iter().enumerate().take(10) {
         let chaos = QueryRequest {
             id: (2 * i + 1) as u64,
@@ -329,10 +338,14 @@ fn chaos_faults_degrade_gracefully() {
             deadline_ms: None,
         };
         match client.query(&chaos).expect("chaos query") {
-            Response::Error { code, message, .. } => {
-                assert_eq!(code, ErrorCode::Internal, "{message}");
-                internal += 1;
-            }
+            Response::Error { code, message, .. } => match code {
+                ErrorCode::Internal => {
+                    assert_eq!(quarantined, 0, "no internal fault after the breaker opened");
+                    internal += 1;
+                }
+                ErrorCode::MeasureQuarantined => quarantined += 1,
+                other => panic!("unexpected error code {other:?}: {message}"),
+            },
             Response::Answer { .. } => {}
             other => panic!("unexpected {other:?}"),
         }
@@ -350,7 +363,261 @@ fn chaos_faults_degrade_gracefully() {
         }
     }
     assert!(internal > 0, "the chaos schedule must fire at least once");
+    assert!(
+        quarantined > 0,
+        "repeated faults must open the circuit breaker"
+    );
+    assert!(internal <= 3, "the breaker must open at the threshold");
+    // The quarantine is visible in the health report.
+    let health = client.health(998).expect("health");
+    assert_eq!(health.total_quarantined(), 1);
     // The server is still alive and polite after repeated faults.
     assert!(client.ping(999).expect("ping"));
+    handle.shutdown();
+}
+
+#[test]
+fn killed_shard_restarts_inflight_jobs_get_typed_errors_and_service_recovers() {
+    let datasets = archive();
+    let mut handle = Server::start(
+        datasets.clone(),
+        resolver(),
+        &ServerConfig {
+            shards: 2,
+            queue_cap: 256,
+            batch_max: 8,
+            kill: Some(KillSpec { after_jobs: 3 }),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Burst enough queries that both shards' first incarnations pick up
+    // batches, die mid-batch, and get restarted by the supervisor.
+    let queries = mixed_queries(&datasets);
+    let lines: Vec<String> = queries.iter().map(render_query).collect();
+    let responses = client.roundtrip(&lines).expect("roundtrip");
+    assert_eq!(
+        responses.len(),
+        queries.len(),
+        "every request gets exactly one response — a killed worker never swallows jobs"
+    );
+
+    let mut answered = 0usize;
+    let mut restarted = 0usize;
+    for line in &responses {
+        match Response::parse(line).expect("parse") {
+            Response::Answer { id, answer } => {
+                let q = queries.iter().find(|q| q.id == id).expect("query for id");
+                assert_eq!(answer, offline_answer(&datasets, q), "id {id}");
+                answered += 1;
+            }
+            Response::Error {
+                code: ErrorCode::ShardRestarted,
+                ..
+            } => restarted += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(
+        restarted > 0,
+        "the kill must strand at least one in-flight job"
+    );
+    assert!(
+        answered > 0,
+        "queued jobs must survive the crash and be answered"
+    );
+
+    // The supervisor's work is visible in health: every shard alive,
+    // restart counters matching the kills.
+    let health = client.health(9_000).expect("health");
+    assert!(health.all_alive());
+    assert!(health.total_restarts() >= 1);
+    assert!(
+        health.total_restarts() <= 2,
+        "each shard re-kills at most once"
+    );
+
+    // The restarted shards serve subsequent requests correctly.
+    let again: Vec<QueryRequest> = queries
+        .iter()
+        .take(20)
+        .map(|q| QueryRequest {
+            id: q.id + 10_000,
+            ..q.clone()
+        })
+        .collect();
+    let again_lines: Vec<String> = again.iter().map(render_query).collect();
+    for line in client
+        .roundtrip(&again_lines)
+        .expect("post-restart roundtrip")
+    {
+        match Response::parse(&line).expect("parse") {
+            Response::Answer { id, answer } => {
+                let q = again.iter().find(|q| q.id == id).expect("query");
+                assert_eq!(answer, offline_answer(&datasets, q), "post-restart id {id}");
+            }
+            other => panic!("post-restart: unexpected {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn retrying_client_turns_shard_restarts_into_answers() {
+    let datasets = archive();
+    let mut handle = Server::start(
+        datasets.clone(),
+        resolver(),
+        &ServerConfig {
+            shards: 2,
+            queue_cap: 256,
+            batch_max: 8,
+            kill: Some(KillSpec { after_jobs: 3 }),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let queries = mixed_queries(&datasets);
+    let lines: Vec<String> = queries.iter().map(render_query).collect();
+    let responses = client
+        .pipeline_with_retry(&lines, &RetryPolicy::default())
+        .expect("retrying pipeline");
+    assert_eq!(responses.len(), queries.len());
+    for line in &responses {
+        match Response::parse(line).expect("parse") {
+            Response::Answer { id, answer } => {
+                let q = queries.iter().find(|q| q.id == id).expect("query");
+                assert_eq!(answer, offline_answer(&datasets, q), "id {id}");
+            }
+            other => panic!("retry must convert transient rejections, got {other:?}"),
+        }
+    }
+    let health = client.health(9_001).expect("health");
+    assert!(
+        health.total_restarts() >= 1,
+        "the chaos kill must have fired"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn ingress_limits_are_typed_rejections() {
+    let datasets = archive();
+    let mut handle = Server::start(
+        datasets.clone(),
+        resolver(),
+        &ServerConfig {
+            shards: 1,
+            limits: Limits {
+                max_line_bytes: 512,
+                max_series_len: 8,
+                max_k: 2,
+                max_inflight_per_conn: 128,
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let ds = &datasets[0].name;
+
+    let expect_code = |client: &mut Client, line: &str, want: ErrorCode| {
+        client.send_line(line).expect("send");
+        match client.recv_response().expect("recv") {
+            Response::Error { code, .. } => assert_eq!(code, want, "line {line:?}"),
+            other => panic!("line {line:?}: unexpected {other:?}"),
+        }
+    };
+
+    // A line over the byte cap: discarded, answered `limit_exceeded`,
+    // and the connection stays line-synchronized.
+    let huge = format!(
+        "{{\"op\":\"query\",\"id\":1,\"dataset\":\"{ds}\",\"measure\":\"ed\",\"series\":\"{}\"}}",
+        "1,".repeat(600)
+    );
+    assert!(huge.len() > 512);
+    expect_code(&mut client, &huge, ErrorCode::LimitExceeded);
+
+    // Series longer than the point cap (but under the byte cap).
+    let long_series = format!(
+        "{{\"op\":\"query\",\"id\":2,\"dataset\":\"{ds}\",\"measure\":\"ed\",\"series\":\"1,2,3,4,5,6,7,8,9\"}}"
+    );
+    expect_code(&mut client, &long_series, ErrorCode::LimitExceeded);
+
+    // k over the cap.
+    let big_k = format!(
+        "{{\"op\":\"query\",\"id\":3,\"dataset\":\"{ds}\",\"measure\":\"ed\",\"k\":3,\"series\":\"1,2\"}}"
+    );
+    expect_code(&mut client, &big_k, ErrorCode::LimitExceeded);
+
+    // Structurally broken JSON is `bad_request`; a parseable object with
+    // a bad field is `invalid_request`.
+    expect_code(
+        &mut client,
+        "{\"op\":\"query\",\"id\":4",
+        ErrorCode::BadRequest,
+    );
+    let bad_field = format!(
+        "{{\"op\":\"query\",\"id\":5,\"dataset\":\"{ds}\",\"measure\":\"ed\",\"norm\":\"nope\",\"series\":\"1,2\"}}"
+    );
+    expect_code(&mut client, &bad_field, ErrorCode::InvalidRequest);
+
+    // A legal request still works on the same connection afterwards.
+    let q = QueryRequest {
+        id: 6,
+        dataset: ds.clone(),
+        measure: "ed".into(),
+        norm: Normalization::ZScore,
+        k: 1,
+        pruned: true,
+        series: datasets[0].test[0].iter().copied().take(8).collect(),
+        deadline_ms: None,
+    };
+    match client.query(&q).expect("query") {
+        Response::Answer { .. } => {}
+        other => panic!("legal query after rejections failed: {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn fuzz_smoke_in_process() {
+    let datasets = archive();
+    let mut handle = Server::start(
+        datasets.clone(),
+        resolver(),
+        &ServerConfig {
+            shards: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+
+    let mut templates: Vec<String> = mixed_queries(&datasets)
+        .iter()
+        .take(6)
+        .map(render_query)
+        .collect();
+    templates.push(tsdist_serve::protocol::render_ping(77));
+    let report = fuzz_server(
+        handle.addr(),
+        &templates,
+        &FuzzConfig {
+            seed: 0xdead_beef,
+            iterations: 2_000,
+            deadline: Duration::from_secs(10),
+        },
+    )
+    .expect("fuzz run must complete without hangs, panics, or lost workers");
+    assert_eq!(report.sent, 2_000);
+    assert_eq!(report.restarts_before, report.restarts_after);
+    assert!(
+        !report.errors.is_empty(),
+        "mutated lines must produce typed errors"
+    );
     handle.shutdown();
 }

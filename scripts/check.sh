@@ -131,15 +131,77 @@ fi
 diff "$SMOKE/live.txt" "$SMOKE/replayed.txt"
 echo "    100 served answers clean; journal replay is byte-identical to the live run"
 
-echo "==> bench_serve smoke (throughput/latency + offline equivalence)"
+echo "==> kill-shard chaos smoke (supervisor restart, retrying client recovers)"
+"$TSDIST" serve "$SMOKE/archive" --addr 127.0.0.1:0 --chaos kill-shard:3 \
+  --port-file "$SMOKE/chaos_port" >"$SMOKE/chaos_serve.log" 2>&1 &
+CHAOS_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SMOKE/chaos_port" ] && break
+  sleep 0.1
+done
+if [ ! -s "$SMOKE/chaos_port" ]; then
+  echo "chaos tsdist serve never wrote its port file" >&2
+  exit 1
+fi
+"$TSDIST" serve-client "$(cat "$SMOKE/chaos_port")" "$SMOKE/requests.ndjson" \
+  --shutdown >"$SMOKE/chaos_live.txt"
+if ! wait "$CHAOS_PID"; then
+  echo "chaos tsdist serve exited non-zero" >&2
+  cat "$SMOKE/chaos_serve.log" >&2
+  exit 1
+fi
+# The kill must actually have fired (worker panic in the server log)...
+grep -q "chaos kill-shard: aborting worker" "$SMOKE/chaos_serve.log"
+grep -q "server shut down cleanly" "$SMOKE/chaos_serve.log"
+# ...and the retrying client must still deliver every answer cleanly.
+lines=$(wc -l < "$SMOKE/chaos_live.txt")
+if [ "$lines" -ne 100 ]; then
+  echo "expected 100 chaos responses, got $lines" >&2
+  exit 1
+fi
+if grep -q '"error"' "$SMOKE/chaos_live.txt"; then
+  echo "kill-shard smoke leaked error responses through the retrying client:" >&2
+  grep '"error"' "$SMOKE/chaos_live.txt" >&2
+  exit 1
+fi
+echo "    shard killed, supervisor restarted it, 100/100 answers via retry"
+
+echo "==> ingress fuzz smoke (10k mutated requests, fixed seed, no panics/hangs)"
+"$TSDIST" serve "$SMOKE/archive" --addr 127.0.0.1:0 \
+  --port-file "$SMOKE/fuzz_port" >"$SMOKE/fuzz_serve.log" 2>&1 &
+FUZZ_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$SMOKE/fuzz_port" ] && break
+  sleep 0.1
+done
+if [ ! -s "$SMOKE/fuzz_port" ]; then
+  echo "fuzz tsdist serve never wrote its port file" >&2
+  exit 1
+fi
+"$TSDIST" serve-fuzz "$(cat "$SMOKE/fuzz_port")" "$SMOKE/requests.ndjson" \
+  --seed 20 --iterations 10000 >"$SMOKE/fuzz.txt"
+grep -q "fuzz ok" "$SMOKE/fuzz.txt"
+"$TSDIST" serve-client "$(cat "$SMOKE/fuzz_port")" /dev/null --shutdown >/dev/null
+if ! wait "$FUZZ_PID"; then
+  echo "fuzz tsdist serve exited non-zero" >&2
+  cat "$SMOKE/fuzz_serve.log" >&2
+  exit 1
+fi
+grep -q "server shut down cleanly" "$SMOKE/fuzz_serve.log"
+echo "    10k mutants, every line answered typed, zero worker restarts"
+
+echo "==> bench_serve smoke (throughput/latency + offline equivalence + chaos pass)"
 cargo build -q --offline -p tsdist-bench --bin bench_serve
-target/debug/bench_serve --quick --out "$SMOKE" >/dev/null 2>"$SMOKE/bench_serve.log"
+target/debug/bench_serve --quick --chaos --out "$SMOKE" >/dev/null 2>"$SMOKE/bench_serve.log"
 if [ ! -s "$SMOKE/BENCH_serve.json" ]; then
   echo "bench_serve wrote no BENCH_serve.json" >&2
   exit 1
 fi
 grep -q '"failures": 0' "$SMOKE/BENCH_serve.json"
 grep -q '"throughput_qps"' "$SMOKE/BENCH_serve.json"
-echo "    bench_serve smoke: zero served-vs-offline mismatches"
+# The chaos pass must have run and stayed degraded-but-typed.
+grep -q '"chaos"' "$SMOKE/BENCH_serve.json"
+grep -q '"untyped": 0' "$SMOKE/BENCH_serve.json"
+echo "    bench_serve smoke: zero mismatches; chaos pass degraded-but-typed"
 
 echo "All checks passed."
