@@ -1,0 +1,382 @@
+//! `BENCH_kernels.json`: vectorized kernel micro-benchmark.
+//!
+//! Times the production distance kernels against their scalar twins on
+//! fixed-seed synthetic series, reporting medians and derived throughput:
+//!
+//! * **lock-step** — the multi-lane `chunks_exact` reductions
+//!   (`lanes::lane_sum` family) vs a sequential zip fold of the same
+//!   term, in GB/s of series data touched (two `f64` slices per pair);
+//! * **DP** — the anti-diagonal wavefront DTW/WDTW vs the row-major
+//!   reference kernels, in DP cells/s.
+//!
+//! The scalar twins live in this binary on purpose: they are the
+//! pre-vectorization implementations, kept runnable so the speedup
+//! claims in DESIGN.md §9 stay measurable rather than historical. The
+//! run also asserts the numeric contracts that make the comparison
+//! meaningful — wavefront DP values are *bit-identical* to row-major;
+//! lane reductions agree within the lock-step conformance tolerance —
+//! and reports `lanes_hint` coverage over the parameter-free registry.
+//!
+//! `--quick` shrinks series lengths / pair counts / repetitions for the
+//! `scripts/check.sh` smoke; the acceptance run uses defaults.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use tsdist_bench::ExperimentConfig;
+use tsdist_core::elastic::{
+    dtw::dtw_banded_ws, wavefront::dtw_wavefront_ws, DerivativeDtw, Dtw, Erp, Msm, Twe, WeightedDtw,
+};
+use tsdist_core::lockstep::{Chebyshev, CityBlock, Euclidean, Minkowski};
+use tsdist_core::measure::Distance;
+use tsdist_core::registry;
+use tsdist_core::Workspace;
+
+/// SplitMix64 noise in `[-2, 2)` — the same deterministic generator the
+/// conformance batteries use, so runs are reproducible by seed alone.
+struct Noise(u64);
+
+impl Noise {
+    fn next(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) as f64 / u64::MAX as f64) * 4.0 - 2.0
+    }
+
+    fn series(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next()).collect()
+    }
+}
+
+/// Median wall-clock of `reps` runs of `f`, with the returned sink value
+/// folded into `black_box` so the work cannot be elided.
+fn median_seconds(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct LockstepRow {
+    name: &'static str,
+    scalar_seconds: f64,
+    lane_seconds: f64,
+    gbps_scalar: f64,
+    gbps_lane: f64,
+    max_rel_err: f64,
+    lanes_hint: usize,
+}
+
+/// One lock-step measure against its sequential twin over all pairs.
+fn bench_lockstep(
+    name: &'static str,
+    d: &dyn Distance,
+    scalar: &dyn Fn(&[f64], &[f64]) -> f64,
+    pairs: &[(Vec<f64>, Vec<f64>)],
+    reps: usize,
+) -> LockstepRow {
+    let mut ws = Workspace::new();
+    let lane_seconds = median_seconds(reps, || {
+        pairs
+            .iter()
+            .map(|(x, y)| d.distance_ws(x, y, &mut ws))
+            .sum()
+    });
+    let scalar_seconds = median_seconds(reps, || pairs.iter().map(|(x, y)| scalar(x, y)).sum());
+    let mut max_rel_err = 0.0f64;
+    for (x, y) in pairs {
+        let a = d.distance_ws(x, y, &mut ws);
+        let b = scalar(x, y);
+        let rel = (a - b).abs() / a.abs().max(b.abs()).max(1.0);
+        max_rel_err = max_rel_err.max(rel);
+    }
+    let bytes = (pairs.len() * pairs[0].0.len() * 2 * std::mem::size_of::<f64>()) as f64;
+    LockstepRow {
+        name,
+        scalar_seconds,
+        lane_seconds,
+        gbps_scalar: bytes / scalar_seconds.max(1e-12) / 1e9,
+        gbps_lane: bytes / lane_seconds.max(1e-12) / 1e9,
+        max_rel_err,
+        lanes_hint: d.lanes_hint(),
+    }
+}
+
+/// Banded DP cell count for an `m × n` table with Sakoe–Chiba radius
+/// `band` (matches the row-major kernel's per-row windows).
+fn banded_cells(m: usize, n: usize, band: usize) -> u64 {
+    let mut cells = 0u64;
+    for i in 1..=m {
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(n);
+        if lo <= hi {
+            cells += (hi - lo + 1) as u64;
+        }
+    }
+    cells
+}
+
+struct DpRow {
+    name: &'static str,
+    rowmajor_seconds: f64,
+    wavefront_seconds: f64,
+    cells_per_sec_rowmajor: f64,
+    cells_per_sec_wavefront: f64,
+    identical_bits: bool,
+    lanes_hint: usize,
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let (len, ls_pairs, dp_pairs, reps) = if cfg.quick {
+        (256usize, 64usize, 8usize, 3usize)
+    } else {
+        (1024, 256, 32, 5)
+    };
+    let band = len / 10;
+    let mut noise = Noise(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xBEEF);
+    let pairs: Vec<(Vec<f64>, Vec<f64>)> = (0..ls_pairs)
+        .map(|_| (noise.series(len), noise.series(len)))
+        .collect();
+    eprintln!(
+        "[bench_kernels] {ls_pairs} lock-step pairs / {dp_pairs} DP pairs, length {len}, \
+         band {band}, {reps} reps"
+    );
+
+    // --- Lock-step: multi-lane reduction vs sequential zip fold. ------
+    let mink = Minkowski::new(3.0);
+    let lockstep: Vec<LockstepRow> = vec![
+        bench_lockstep(
+            "ED",
+            &Euclidean,
+            &|x, y| {
+                x.iter()
+                    .zip(y)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt()
+            },
+            &pairs,
+            reps,
+        ),
+        bench_lockstep(
+            "CityBlock",
+            &CityBlock,
+            &|x, y| x.iter().zip(y).map(|(&a, &b)| (a - b).abs()).sum(),
+            &pairs,
+            reps,
+        ),
+        bench_lockstep(
+            "Chebyshev",
+            &Chebyshev,
+            &|x, y| {
+                x.iter()
+                    .zip(y)
+                    .map(|(&a, &b)| (a - b).abs())
+                    .fold(0.0f64, f64::max)
+            },
+            &pairs,
+            reps,
+        ),
+        bench_lockstep(
+            "Minkowski(p=3)",
+            &mink,
+            &|x, y| {
+                x.iter()
+                    .zip(y)
+                    .map(|(&a, &b)| (a - b).abs().powf(3.0))
+                    .sum::<f64>()
+                    .powf(1.0 / 3.0)
+            },
+            &pairs,
+            reps,
+        ),
+    ];
+    for row in &lockstep {
+        eprintln!(
+            "[bench_kernels] {:14} scalar {:7.2} GB/s  lanes {:7.2} GB/s  x{:4.2}  \
+             rel-err {:.2e}",
+            row.name,
+            row.gbps_scalar,
+            row.gbps_lane,
+            row.scalar_seconds / row.lane_seconds.max(1e-12),
+            row.max_rel_err
+        );
+    }
+
+    // --- DP: anti-diagonal wavefront vs row-major reference. ----------
+    let dp_inputs = &pairs[..dp_pairs];
+    let cells = banded_cells(len, len, band) * dp_pairs as u64;
+    let full_cells = banded_cells(len, len, len) * dp_pairs as u64;
+    let mut ws = Workspace::new();
+    let dtw = Dtw::with_window_pct(10.0);
+    let wdtw = WeightedDtw::new(0.05);
+
+    let mut dp_rows: Vec<DpRow> = Vec::new();
+    {
+        let wavefront_seconds = median_seconds(reps, || {
+            dp_inputs
+                .iter()
+                .map(|(x, y)| dtw_wavefront_ws(x, y, band, &mut ws))
+                .sum()
+        });
+        let rowmajor_seconds = median_seconds(reps, || {
+            dp_inputs
+                .iter()
+                .map(|(x, y)| dtw_banded_ws(x, y, band, &mut ws))
+                .sum()
+        });
+        let identical_bits = dp_inputs.iter().all(|(x, y)| {
+            dtw_wavefront_ws(x, y, band, &mut ws).to_bits()
+                == dtw_banded_ws(x, y, band, &mut ws).to_bits()
+        });
+        dp_rows.push(DpRow {
+            name: "DTW(10%)",
+            rowmajor_seconds,
+            wavefront_seconds,
+            cells_per_sec_rowmajor: cells as f64 / rowmajor_seconds.max(1e-12),
+            cells_per_sec_wavefront: cells as f64 / wavefront_seconds.max(1e-12),
+            identical_bits,
+            lanes_hint: dtw.lanes_hint(),
+        });
+    }
+    {
+        let wavefront_seconds = median_seconds(reps, || {
+            dp_inputs
+                .iter()
+                .map(|(x, y)| wdtw.distance_ws(x, y, &mut ws))
+                .sum()
+        });
+        let rowmajor_seconds = median_seconds(reps, || {
+            dp_inputs.iter().map(|(x, y)| wdtw.distance(x, y)).sum()
+        });
+        let identical_bits = dp_inputs.iter().all(|(x, y)| {
+            wdtw.distance_ws(x, y, &mut ws).to_bits() == wdtw.distance(x, y).to_bits()
+        });
+        dp_rows.push(DpRow {
+            name: "WDTW(g=0.05)",
+            rowmajor_seconds,
+            wavefront_seconds,
+            cells_per_sec_rowmajor: full_cells as f64 / rowmajor_seconds.max(1e-12),
+            cells_per_sec_wavefront: full_cells as f64 / wavefront_seconds.max(1e-12),
+            identical_bits,
+            lanes_hint: wdtw.lanes_hint(),
+        });
+    }
+    for row in &dp_rows {
+        eprintln!(
+            "[bench_kernels] {:14} row-major {:8.1} Mcells/s  wavefront {:8.1} Mcells/s  \
+             x{:4.2}  bits {}",
+            row.name,
+            row.cells_per_sec_rowmajor / 1e6,
+            row.cells_per_sec_wavefront / 1e6,
+            row.rowmajor_seconds / row.wavefront_seconds.max(1e-12),
+            row.identical_bits
+        );
+    }
+
+    // --- lanes_hint coverage over the registry. -----------------------
+    let mut instances: Vec<(String, usize)> = registry::lockstep_parameter_free()
+        .into_iter()
+        .map(|d| (d.name(), d.lanes_hint()))
+        .collect();
+    let elastic: Vec<Box<dyn Distance>> = vec![
+        Box::new(Dtw::with_window_pct(10.0)),
+        Box::new(DerivativeDtw::with_window_pct(10.0)),
+        Box::new(WeightedDtw::new(0.05)),
+        Box::new(Msm::new(0.5)),
+        Box::new(Twe::new(1.0, 1e-4)),
+        Box::new(Erp::new()),
+    ];
+    instances.extend(elastic.iter().map(|d| (d.name(), d.lanes_hint())));
+    let vectorized = instances.iter().filter(|(_, l)| *l > 1).count();
+    eprintln!(
+        "[bench_kernels] coverage: {vectorized} of {} registry instances vectorized",
+        instances.len()
+    );
+
+    // --- JSON artifact. ----------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"length\": {len}, \"lockstep_pairs\": {ls_pairs}, \
+         \"dp_pairs\": {dp_pairs}, \"band\": {band}, \"repetitions\": {reps}, \
+         \"seed\": {}, \"quick\": {}}},\n",
+        cfg.seed, cfg.quick
+    ));
+    json.push_str("  \"lockstep\": [\n");
+    for (i, r) in lockstep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scalar_seconds\": {:.6}, \"lane_seconds\": {:.6}, \
+             \"speedup\": {:.3}, \"gbps_scalar\": {:.3}, \"gbps_lane\": {:.3}, \
+             \"max_rel_err\": {:e}, \"lanes_hint\": {}}}{}\n",
+            r.name,
+            r.scalar_seconds,
+            r.lane_seconds,
+            r.scalar_seconds / r.lane_seconds.max(1e-12),
+            r.gbps_scalar,
+            r.gbps_lane,
+            r.max_rel_err,
+            r.lanes_hint,
+            if i + 1 < lockstep.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"dp\": [\n");
+    for (i, r) in dp_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rowmajor_seconds\": {:.6}, \
+             \"wavefront_seconds\": {:.6}, \"speedup\": {:.3}, \
+             \"cells_per_sec_rowmajor\": {:.0}, \"cells_per_sec_wavefront\": {:.0}, \
+             \"identical_bits\": {}, \"lanes_hint\": {}}}{}\n",
+            r.name,
+            r.rowmajor_seconds,
+            r.wavefront_seconds,
+            r.rowmajor_seconds / r.wavefront_seconds.max(1e-12),
+            r.cells_per_sec_rowmajor,
+            r.cells_per_sec_wavefront,
+            r.identical_bits,
+            r.lanes_hint,
+            if i + 1 < dp_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"coverage\": {{\"vectorized\": {vectorized}, \"total\": {}}}\n}}\n",
+        instances.len()
+    ));
+    cfg.save("BENCH_kernels.json", &json);
+
+    // --- Gates. -------------------------------------------------------
+    let mut failed = false;
+    for r in &lockstep {
+        // Lock-step conformance tolerance: the lane reduction may only
+        // reassociate, never change the math.
+        if r.max_rel_err > 1e-12 {
+            eprintln!(
+                "FAIL: {} lane kernel drifts {:e} from the scalar twin (tolerance 1e-12)",
+                r.name, r.max_rel_err
+            );
+            failed = true;
+        }
+    }
+    for r in &dp_rows {
+        if !r.identical_bits {
+            eprintln!(
+                "FAIL: {} wavefront is not bit-identical to row-major",
+                r.name
+            );
+            failed = true;
+        }
+    }
+    if vectorized == 0 {
+        eprintln!("FAIL: no registry instance reports a vectorized kernel");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

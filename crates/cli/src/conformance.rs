@@ -22,9 +22,10 @@ pub fn cmd_conformance(args: &[String]) -> Result<(), String> {
     let (golden_path, rest) = super::take_flag(args, "--golden")?;
     let (update, rest) = super::take_bool_flag(&rest, "--update");
     let (quick, rest) = super::take_bool_flag(&rest, "--quick");
+    let (ulps, rest) = super::take_bool_flag(&rest, "--ulps");
     if let Some(stray) = rest.first() {
         return Err(format!(
-            "unexpected argument {stray:?}\nusage: tsdist conformance [--update] [--quick] [--golden <file>]"
+            "unexpected argument {stray:?}\nusage: tsdist conformance [--update] [--quick] [--ulps] [--golden <file>]"
         ));
     }
     let golden_path = golden_path.unwrap_or_else(|| DEFAULT_GOLDEN.to_string());
@@ -48,6 +49,27 @@ pub fn cmd_conformance(args: &[String]) -> Result<(), String> {
         "differential: {} measures, {} checks, all clean",
         report.cases, report.checks
     );
+    println!(
+        "kernels: {} of {} instances vectorized (lanes_hint > 1), {} scalar",
+        report.vectorized_cases,
+        report.cases,
+        report.cases - report.vectorized_cases
+    );
+    if ulps {
+        use tsdist_conformance::Category;
+        println!("max ULP drift vs naive reference, per category:");
+        println!("  {:<10} {:>8}  (rel tolerance)", "category", "max-ulps");
+        for cat in [
+            Category::LockStep,
+            Category::Sliding,
+            Category::Elastic,
+            Category::Kernel,
+        ] {
+            if let Some(worst) = report.max_ulps.get(cat.label()) {
+                println!("  {:<10} {worst:>8}  ({:e})", cat.label(), cat.tolerance());
+            }
+        }
+    }
 
     // 2. Golden snapshot: bit-exact against the committed file. Updates
     // always re-pin the *full* registry so --quick can't shrink the file.

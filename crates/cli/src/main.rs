@@ -78,7 +78,7 @@ USAGE:
   tsdist motif <series-file> --window <W>
   tsdist generate <out-dir> [--datasets <N>] [--seed <S>] [--quick]
   tsdist summary <dataset-dir>
-  tsdist conformance [--update] [--quick] [--golden <file>]
+  tsdist conformance [--update] [--quick] [--ulps] [--golden <file>]
   tsdist lint [--json] [--deny-warnings] [--root <dir>] [--out <file>]
   tsdist serve <archive-root> [--addr <A>] [--shards <N>] [--queue <Q>]
                [--batch <B>] [--cache <C>] [--journal <file>]
@@ -109,7 +109,9 @@ conformance checks every registry measure against its naive reference
 implementation and the committed golden snapshot
 (results/conformance/registry_v1.tsv), exiting non-zero on any
 divergence. --update re-pins the golden after a reviewed numeric change;
---quick runs the representative subset for fast gates.
+--quick runs the representative subset for fast gates; --ulps prints the
+worst observed production-vs-reference drift per category in units of
+last place, alongside the vectorized-kernel coverage counts.
 
 lint runs the workspace invariant checker (determinism, panic-safety,
 hot-path allocation rules) over every library source file. Findings

@@ -74,6 +74,14 @@ pub struct Report {
     pub checks: usize,
     /// Everything that failed (empty on a clean run).
     pub discrepancies: Vec<Discrepancy>,
+    /// Worst observed production-vs-reference drift in ULPs, per category
+    /// label — the empirical counterpart of each category's tolerance
+    /// (`u64::MAX` would mean a sign/NaN disagreement, which the
+    /// `reference` check reports separately).
+    pub max_ulps: std::collections::BTreeMap<&'static str, u64>,
+    /// Cases whose measure reports a multi-lane kernel
+    /// ([`tsdist_core::measure::Distance::lanes_hint`] `> 1`).
+    pub vectorized_cases: usize,
 }
 
 impl Report {
@@ -115,9 +123,38 @@ pub fn close(a: f64, b: f64, tol: f64) -> bool {
     (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
 }
 
+/// Distance between two floats in units of last place: the number of
+/// representable `f64`s strictly between `a` and `b`. `0` means
+/// bit-identical (or both NaN); `u64::MAX` flags a NaN-vs-number
+/// comparison. Works across signs via the standard monotone mapping of
+/// the IEEE bit pattern onto a linear integer scale.
+pub fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()) {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    fn ordered(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        // Negative floats sort by descending bit pattern; reflecting them
+        // below zero makes the whole line monotone (and maps -0.0 and
+        // +0.0 both to 0). `bits < 0` bounds the subtraction, so it
+        // cannot overflow.
+        if bits < 0 {
+            i64::MIN.wrapping_sub(bits)
+        } else {
+            bits
+        }
+    }
+    let (oa, ob) = (ordered(a), ordered(b));
+    oa.abs_diff(ob)
+}
+
 struct Checker {
     checks: usize,
     discrepancies: Vec<Discrepancy>,
+    max_ulps: std::collections::BTreeMap<&'static str, u64>,
 }
 
 impl Checker {
@@ -153,6 +190,13 @@ fn check_pair(
         "reference",
         format!("reference {expected:e}, production {d:e}"),
     );
+    // Track the worst drift per category — but only for comparisons the
+    // tolerance check accepted, so one hard failure doesn't swamp the
+    // table with `u64::MAX`.
+    if close(d, expected, case.category.tolerance()) {
+        let slot = c.max_ulps.entry(case.category.label()).or_insert(0);
+        *slot = (*slot).max(ulp_diff(d, expected));
+    }
 
     let d_ws = case.measure.distance_ws(x, y, ws);
     c.check(
@@ -307,13 +351,18 @@ pub fn run_differential(cases: &[OracleCase], cfg: &EngineConfig) -> Report {
     let mut checker = Checker {
         checks: 0,
         discrepancies: Vec::new(),
+        max_ulps: std::collections::BTreeMap::new(),
     };
     let standard = standard_battery(cfg.seed);
     let unequal = unequal_battery(cfg.seed);
     let mut ws = Workspace::new();
     let mut rng = SplitMix64::new(cfg.seed ^ 0x5EED_0003);
+    let mut vectorized_cases = 0;
 
     for case in cases {
+        if case.measure.lanes_hint() > 1 {
+            vectorized_cases += 1;
+        }
         for pair in &standard {
             check_pair(case, pair, &mut ws, &mut rng, cfg, &mut checker);
         }
@@ -331,5 +380,55 @@ pub fn run_differential(cases: &[OracleCase], cfg: &EngineConfig) -> Report {
         cases: cases.len(),
         checks: checker.checks,
         discrepancies: checker.discrepancies,
+        max_ulps: checker.max_ulps,
+        vectorized_cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_diff_counts_representable_steps() {
+        assert_eq!(ulp_diff(1.0, 1.0), 0);
+        assert_eq!(ulp_diff(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_diff(1.0, f64::from_bits(1.0f64.to_bits() + 7)), 7);
+        // Symmetric.
+        assert_eq!(
+            ulp_diff(f64::from_bits(2.5f64.to_bits() + 3), 2.5),
+            ulp_diff(2.5, f64::from_bits(2.5f64.to_bits() + 3))
+        );
+        // Signed zeros coincide; the crossing from -eps to +eps spans
+        // both subnormal ranges.
+        assert_eq!(ulp_diff(0.0, -0.0), 0);
+        assert_eq!(ulp_diff(f64::from_bits((-0.0f64).to_bits() + 1), 0.0), 1);
+        // Negative pairs count the same as their mirrored positives.
+        assert_eq!(ulp_diff(-1.0, f64::from_bits((-1.0f64).to_bits() + 4)), 4);
+        // NaN never compares.
+        assert_eq!(ulp_diff(f64::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_diff(f64::NAN, f64::NAN), 0);
+        // Equal infinities are zero apart.
+        assert_eq!(ulp_diff(f64::INFINITY, f64::INFINITY), 0);
+    }
+
+    #[test]
+    fn differential_report_tracks_ulps_and_lane_coverage() {
+        let cases = crate::quick_registry();
+        let cfg = EngineConfig {
+            dataset_checks: false,
+            ..EngineConfig::default()
+        };
+        let report = run_differential(&cases, &cfg);
+        assert!(report.is_clean(), "{}", report.render());
+        // The quick registry includes lock-step measures, which are all
+        // lane-vectorized, and at least one category records a drift
+        // entry (possibly 0 ulps).
+        assert!(report.vectorized_cases > 0);
+        assert!(report.vectorized_cases <= report.cases);
+        assert!(!report.max_ulps.is_empty());
+        for (&label, &worst) in &report.max_ulps {
+            assert!(worst < u64::MAX, "category {label} recorded a NaN drift");
+        }
     }
 }

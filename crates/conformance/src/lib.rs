@@ -29,7 +29,7 @@ pub mod inputs;
 pub mod oracle;
 pub mod reference;
 
-pub use engine::{run_differential, Discrepancy, EngineConfig, Report};
+pub use engine::{run_differential, ulp_diff, Discrepancy, EngineConfig, Report};
 pub use golden::{diff as golden_diff, parse as golden_parse, render as golden_render, snapshot};
 pub use inputs::{labeled_dataset, standard_battery, unequal_battery, InputPair};
 pub use oracle::{oracle_registry, quick_registry, Category, OracleCase};

@@ -105,6 +105,10 @@ impl<D: Distance> Distance for ChaosDistance<D> {
         format!("Chaos({})", self.inner.name())
     }
 
+    fn lanes_hint(&self) -> usize {
+        self.inner.lanes_hint()
+    }
+
     fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
         match self.inject() {
             Some(v) => v,

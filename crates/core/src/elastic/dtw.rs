@@ -57,7 +57,10 @@ impl Distance for Dtw {
     }
 
     fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
-        dtw_banded_ws(x, y, self.band(x.len(), y.len()), ws)
+        // The anti-diagonal wavefront kernel: bit-identical to
+        // `dtw_banded` / `dtw_banded_ws` (same per-cell dataflow), but
+        // free of the row-major left-neighbour dependency chain.
+        super::wavefront::dtw_wavefront_ws(x, y, self.band(x.len(), y.len()), ws)
     }
 
     fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {
@@ -65,6 +68,10 @@ impl Distance for Dtw {
             return self.distance_ws(x, y, ws);
         }
         dtw_banded_pruned(x, y, self.band(x.len(), y.len()), cutoff, ws).0
+    }
+
+    fn lanes_hint(&self) -> usize {
+        crate::lanes::LANES
     }
 }
 
@@ -118,6 +125,7 @@ pub fn dtw_banded_ws(x: &[f64], y: &[f64], band: usize, ws: &mut Workspace) -> f
     prev.fill(INF);
     prev[0] = 0.0;
 
+    // tsdist-lint: allow(hot-path-bounds-check, reason = "reference row-major kernel kept for wavefront equivalence tests; not on the production dispatch path")
     for i in 1..=m {
         curr.fill(INF);
         let lo = i.saturating_sub(band).max(1);
@@ -137,11 +145,12 @@ pub fn dtw_banded_ws(x: &[f64], y: &[f64], band: usize, ws: &mut Workspace) -> f
     prev[n]
 }
 
-/// Cutoff-pruned banded DTW (EAPruned-style, after Herrmann & Webb):
-/// tracks the window of *live* cells (accumulated cost `< cutoff`) in the
-/// previous row and only computes cells reachable from it, abandoning the
-/// whole computation as soon as a row goes fully dead — admissible because
-/// every warping path crosses every row.
+/// Cutoff-pruned banded DTW (EAPruned-style, after Herrmann & Webb),
+/// since the vectorized-kernel backend a thin wrapper over the
+/// anti-diagonal [`super::wavefront::dtw_wavefront_pruned`]: live-window
+/// pruning now runs in diagonal space, abandoning once two *consecutive*
+/// diagonals go fully dead (a warping path can skip one diagonal via the
+/// diagonal move, never two).
 ///
 /// Returns `(distance, dp_cells_computed)`. The distance honours the
 /// [`crate::measure::Distance::distance_upto`] contract against
@@ -156,98 +165,7 @@ pub fn dtw_banded_pruned(
     cutoff: f64,
     ws: &mut Workspace,
 ) -> (f64, u64) {
-    let m = x.len();
-    let n = y.len();
-    if m == 0 || n == 0 {
-        return (if m == n { 0.0 } else { f64::INFINITY }, 0);
-    }
-
-    const INF: f64 = f64::INFINITY;
-    if cutoff.is_nan() || cutoff <= 0.0 {
-        return (INF, 0);
-    }
-    // The band cannot reach column `n` on the last row: every in-band
-    // path misses the corner, exactly as the full kernel's all-INF final
-    // column. (Callers deriving the band from the measure never hit this.)
-    if m + band < n {
-        return (INF, 0);
-    }
-    let (mut prev, mut curr) = ws.dp_rows2(n + 1);
-    prev.fill(INF);
-    prev[0] = 0.0;
-
-    // Live window of the previous row: first/last 1-based column whose
-    // accumulated cost is below the cutoff. Row 0 is live only at column 0.
-    let (mut p_lo, mut p_hi) = (0usize, 0usize);
-    let mut cells = 0u64;
-    for i in 1..=m {
-        let lo = i.saturating_sub(band).max(1);
-        let hi = (i + band).min(n);
-        // Cells left of the live window only have dead predecessors, so
-        // their true values are already >= cutoff: skip them.
-        let start = lo.max(p_lo);
-        // Unlike the exact kernel, the row is NOT bulk-filled with INF —
-        // with a narrow live window the O(n) fill dominates the O(live)
-        // DP work. Instead the row writes exactly the segment it touches:
-        // an INF sentinel on the left, the computed cells, and an INF
-        // backfill to one past the band so the next row (whose band
-        // extends one column further right) never reads a stale cell
-        // from two rows ago.
-        curr[start - 1] = INF;
-        let mut live_lo = usize::MAX;
-        let mut live_hi = 0usize;
-        let mut j_end = start - 1;
-        // Cells up to one past the previous live window can reach a live
-        // predecessor from above, so no per-cell abandon check is needed
-        // there; right of it the only finite input is the left neighbour,
-        // and once it dies the rest of the row is dead too. Splitting the
-        // loop keeps the check out of the bulk region.
-        let unchecked_hi = hi.min(p_hi + 1);
-        for j in start..=unchecked_hi {
-            let d = x[i - 1] - y[j - 1];
-            let cost = d * d;
-            let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
-            let v = cost + best;
-            curr[j] = v;
-            cells += 1;
-            j_end = j;
-            if v < cutoff {
-                if live_lo == usize::MAX {
-                    live_lo = j;
-                }
-                live_hi = j;
-            }
-        }
-        for j in start.max(unchecked_hi + 1)..=hi {
-            if curr[j - 1] >= cutoff {
-                break;
-            }
-            let d = x[i - 1] - y[j - 1];
-            let cost = d * d;
-            let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
-            let v = cost + best;
-            curr[j] = v;
-            cells += 1;
-            j_end = j;
-            if v < cutoff {
-                if live_lo == usize::MAX {
-                    live_lo = j;
-                }
-                live_hi = j;
-            }
-        }
-        if live_lo == usize::MAX {
-            return (INF, cells);
-        }
-        let fill_hi = (hi + 1).min(n);
-        if j_end < fill_hi {
-            curr[j_end + 1..=fill_hi].fill(INF);
-        }
-        p_lo = live_lo;
-        p_hi = live_hi;
-        std::mem::swap(&mut prev, &mut curr);
-    }
-    (prev[n], cells)
+    super::wavefront::dtw_wavefront_pruned(x, y, band, cutoff, ws)
 }
 
 /// Derivative DTW (Keogh & Pazzani 2001): DTW applied to the estimated
@@ -330,6 +248,10 @@ impl Distance for DerivativeDtw {
         ws.put_aux2(dy);
         d
     }
+
+    fn lanes_hint(&self) -> usize {
+        self.dtw.lanes_hint()
+    }
 }
 
 /// Weighted DTW (Jeong et al. 2011): penalizes warping-path cells by a
@@ -389,25 +311,12 @@ impl Distance for WeightedDtw {
         if m == 0 || n == 0 {
             return if m == n { 0.0 } else { f64::INFINITY };
         }
-        const INF: f64 = f64::INFINITY;
         let half = m.max(n) as f64 / 2.0;
         let mut weights = ws.take_aux();
         weights.extend((0..m.max(n)).map(|k| 1.0 / (1.0 + (-self.g * (k as f64 - half)).exp())));
-
-        let (mut prev, mut curr) = ws.dp_rows2(n + 1);
-        prev.fill(INF);
-        prev[0] = 0.0;
-        for i in 1..=m {
-            curr.fill(INF);
-            for j in 1..=n {
-                let d = x[i - 1] - y[j - 1];
-                let w = weights[i.abs_diff(j)];
-                let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
-                curr[j] = w * d * d + best;
-            }
-            std::mem::swap(&mut prev, &mut curr);
-        }
-        let out = prev[n];
+        // Anti-diagonal wavefront sweep, bit-identical to the allocating
+        // row-major `distance` (same per-cell dataflow).
+        let out = super::wavefront::wdtw_wavefront_ws(x, y, &weights, ws);
         ws.put_aux(weights);
         out
     }
@@ -421,53 +330,21 @@ impl Distance for WeightedDtw {
         if m == 0 || n == 0 {
             return if m == n { 0.0 } else { f64::INFINITY };
         }
-        const INF: f64 = f64::INFINITY;
-        if cutoff.is_nan() || cutoff <= 0.0 {
-            return INF;
+        if cutoff <= 0.0 {
+            return f64::INFINITY;
         }
         let half = m.max(n) as f64 / 2.0;
         let mut weights = ws.take_aux();
         weights.extend((0..m.max(n)).map(|k| 1.0 / (1.0 + (-self.g * (k as f64 - half)).exp())));
-
-        // Same live-window pruning as `dtw_banded_pruned`, with the
-        // logistic weight folded into the (still non-negative) local cost.
-        let (mut prev, mut curr) = ws.dp_rows2(n + 1);
-        prev.fill(INF);
-        prev[0] = 0.0;
-        let (mut p_lo, mut p_hi) = (0usize, 0usize);
-        let mut dead = false;
-        for i in 1..=m {
-            curr.fill(INF);
-            let start = p_lo.max(1);
-            let mut live_lo = usize::MAX;
-            let mut live_hi = 0usize;
-            for j in start..=n {
-                if j > p_hi + 1 && curr[j - 1] >= cutoff {
-                    break;
-                }
-                let d = x[i - 1] - y[j - 1];
-                let w = weights[i.abs_diff(j)];
-                let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
-                let v = w * d * d + best;
-                curr[j] = v;
-                if v < cutoff {
-                    if live_lo == usize::MAX {
-                        live_lo = j;
-                    }
-                    live_hi = j;
-                }
-            }
-            if live_lo == usize::MAX {
-                dead = true;
-                break;
-            }
-            p_lo = live_lo;
-            p_hi = live_hi;
-            std::mem::swap(&mut prev, &mut curr);
-        }
-        let out = if dead { INF } else { prev[n] };
+        // Wavefront live-window pruning, with the logistic weight folded
+        // into the (still non-negative) local cost.
+        let out = super::wavefront::wdtw_wavefront_pruned(x, y, &weights, cutoff, ws).0;
         ws.put_aux(weights);
         out
+    }
+
+    fn lanes_hint(&self) -> usize {
+        crate::lanes::LANES
     }
 }
 

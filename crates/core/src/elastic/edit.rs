@@ -70,6 +70,7 @@ impl Distance for Lcss {
 
         let (mut prev, mut curr) = ws.int_rows2(n + 1);
         prev.fill(0);
+        // tsdist-lint: allow(hot-path-bounds-check, reason = "branchy threshold recurrence; the comparison chain, not the bounds check, dominates and blocks vectorization")
         for i in 1..=m {
             curr.fill(0);
             let lo = i.saturating_sub(band).max(1);
@@ -143,6 +144,7 @@ impl Distance for Edr {
         for (j, slot) in prev.iter_mut().enumerate() {
             *slot = j as u32;
         }
+        // tsdist-lint: allow(hot-path-bounds-check, reason = "branchy threshold recurrence; the comparison chain, not the bounds check, dominates and blocks vectorization")
         for i in 1..=m {
             curr[0] = i as u32;
             for j in 1..=n {
@@ -212,29 +214,41 @@ impl Distance for Erp {
     }
 
     fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        // Anti-diagonal wavefront sweep (see `super::wavefront`): the
+        // inner loop carries no dependency through the delete-in-y
+        // (left-neighbour) term. Cost expressions and `min` operand order
+        // match the allocating row-major `distance` exactly — including
+        // the row-0 running-sum chain, built one term per diagonal — so
+        // results are bit-identical.
         let m = x.len();
         let n = y.len();
         let g = self.gap;
-        let (mut prev, mut curr) = ws.dp_rows2(n + 1);
-        // Row 0: deleting all of y against gaps (same running sum as the
-        // allocating path's `scan`).
-        prev[0] = 0.0;
-        let mut acc = 0.0;
-        for j in 1..=n {
-            acc += (y[j - 1] - g).abs();
-            prev[j] = acc;
-        }
-        for i in 1..=m {
-            curr[0] = prev[0] + (x[i - 1] - g).abs();
-            for j in 1..=n {
-                let match_cost = prev[j - 1] + (x[i - 1] - y[j - 1]).abs();
-                let del_x = prev[j] + (x[i - 1] - g).abs();
-                let del_y = curr[j - 1] + (y[j - 1] - g).abs();
-                curr[j] = match_cost.min(del_x).min(del_y);
+        let (mut p2, mut p1, mut cur, _) = ws.diag_scratch(m + 1, 0);
+        // Diagonal 0 is the origin cell (0, 0).
+        p1[0] = 0.0;
+        // tsdist-lint: allow(hot-path-bounds-check, reason = "diagonal index arithmetic (j = d - i) and O(1) boundary cells have no slice-friendly form; every index is proven in-bounds by the diagonal-range algebra")
+        for d in 1..=(m + n) {
+            // Row-0 cell (0, d): delete all of y against gaps.
+            if d <= n {
+                cur[0] = p1[0] + (y[d - 1] - g).abs();
             }
-            std::mem::swap(&mut prev, &mut curr);
+            // Column-0 cell (d, 0): delete all of x against gaps.
+            if d <= m {
+                cur[d] = p1[d - 1] + (x[d - 1] - g).abs();
+            }
+            let lo = 1.max(d.saturating_sub(n));
+            let hi = m.min(d - 1);
+            for i in lo..=hi {
+                let j = d - i;
+                let match_cost = p2[i - 1] + (x[i - 1] - y[j - 1]).abs();
+                let del_x = p1[i - 1] + (x[i - 1] - g).abs();
+                let del_y = p1[i] + (y[j - 1] - g).abs();
+                cur[i] = match_cost.min(del_x).min(del_y);
+            }
+            std::mem::swap(&mut p2, &mut p1);
+            std::mem::swap(&mut p1, &mut cur);
         }
-        prev[n]
+        p1[m]
     }
 
     fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {
@@ -254,6 +268,7 @@ impl Distance for Erp {
         prev[0] = 0.0;
         let mut acc = 0.0;
         let mut p_hi = 0usize;
+        // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
         for j in 1..=n {
             acc += (y[j - 1] - g).abs();
             prev[j] = acc;
@@ -262,6 +277,7 @@ impl Distance for Erp {
             }
         }
         let mut p_lo = 0usize;
+        // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
         for i in 1..=m {
             curr.fill(INF);
             // Column 0 (delete all of x so far) is O(1) per row; keeping
@@ -368,6 +384,7 @@ impl Distance for Swale {
         for (j, slot) in prev.iter_mut().enumerate() {
             *slot = -self.penalty * j as f64;
         }
+        // tsdist-lint: allow(hot-path-bounds-check, reason = "branchy threshold recurrence; the comparison chain, not the bounds check, dominates and blocks vectorization")
         for i in 1..=m {
             curr[0] = -self.penalty * i as f64;
             for j in 1..=n {

@@ -19,7 +19,9 @@
 //! [`WeightedDtw`] — are provided for the ablation benches, as are the
 //! [`lower_bounds`] used to accelerate DTW 1-NN search.
 //!
-//! All DP implementations use two-row rolling buffers (O(m) memory).
+//! All DP implementations run in O(m) memory: the reference kernels use
+//! two-row rolling buffers, the production DTW/WDTW/MSM/TWE/ERP paths use
+//! three rolling anti-diagonals (see [`wavefront`]).
 
 pub mod dtw;
 pub mod edit;
@@ -27,13 +29,17 @@ pub mod lower_bounds;
 pub mod msm;
 pub mod twe;
 pub mod variants;
+pub mod wavefront;
 
 pub use dtw::{dtw_banded, dtw_banded_pruned, dtw_banded_ws, DerivativeDtw, Dtw, WeightedDtw};
 pub use edit::{Edr, Erp, Lcss, Swale};
-pub use lower_bounds::{keogh_envelope, lb_erp, lb_keogh, lb_keogh_full, lb_kim};
+pub use lower_bounds::{keogh_envelope, lb_erp, lb_keogh, lb_keogh_full, lb_keogh_upto, lb_kim};
 pub use msm::Msm;
 pub use twe::Twe;
 pub use variants::{Cid, ItakuraDtw};
+pub use wavefront::{
+    dtw_wavefront_pruned, dtw_wavefront_ws, wdtw_wavefront_pruned, wdtw_wavefront_ws,
+};
 
 #[cfg(test)]
 mod tests {

@@ -75,6 +75,11 @@ impl Distance for Twe {
     }
 
     fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 {
+        // Anti-diagonal wavefront sweep (see `super::wavefront`): the
+        // inner loop carries no dependency through the delete-in-y
+        // (left-neighbour) term. Cost expressions and `min` operand order
+        // match the allocating row-major `distance` exactly, so results
+        // are bit-identical.
         let m = x.len();
         let n = y.len();
         if m == 0 || n == 0 {
@@ -83,27 +88,35 @@ impl Distance for Twe {
         let xi = |i: usize| if i == 0 { 0.0 } else { x[i - 1] };
         let yj = |j: usize| if j == 0 { 0.0 } else { y[j - 1] };
 
-        let (mut prev, mut curr) = ws.dp_rows2(n + 1);
-        prev[0] = 0.0;
-        // Row 0: delete all of y.
-        for j in 1..=n {
-            prev[j] = prev[j - 1] + (yj(j) - yj(j - 1)).abs() + self.nu + self.lambda;
-        }
-
-        for i in 1..=m {
-            curr[0] = prev[0] + (xi(i) - xi(i - 1)).abs() + self.nu + self.lambda;
-            for j in 1..=n {
-                let m_cost = prev[j - 1]
+        let (mut p2, mut p1, mut cur, _) = ws.diag_scratch(m + 1, 0);
+        // Diagonal 0 is the padded origin cell (0, 0).
+        p1[0] = 0.0;
+        // tsdist-lint: allow(hot-path-bounds-check, reason = "diagonal index arithmetic (j = d - i) and O(1) boundary cells have no slice-friendly form; every index is proven in-bounds by the diagonal-range algebra")
+        for d in 1..=(m + n) {
+            // Row-0 cell (0, d): delete all of y, one term per diagonal.
+            if d <= n {
+                cur[0] = p1[0] + (yj(d) - yj(d - 1)).abs() + self.nu + self.lambda;
+            }
+            // Column-0 cell (d, 0): delete all of x.
+            if d <= m {
+                cur[d] = p1[d - 1] + (xi(d) - xi(d - 1)).abs() + self.nu + self.lambda;
+            }
+            let lo = 1.max(d.saturating_sub(n));
+            let hi = m.min(d - 1);
+            for i in lo..=hi {
+                let j = d - i;
+                let m_cost = p2[i - 1]
                     + (xi(i) - yj(j)).abs()
                     + (xi(i - 1) - yj(j - 1)).abs()
                     + 2.0 * self.nu * (i as f64 - j as f64).abs();
-                let dx = prev[j] + (xi(i) - xi(i - 1)).abs() + self.nu + self.lambda;
-                let dy = curr[j - 1] + (yj(j) - yj(j - 1)).abs() + self.nu + self.lambda;
-                curr[j] = m_cost.min(dx).min(dy);
+                let dx = p1[i - 1] + (xi(i) - xi(i - 1)).abs() + self.nu + self.lambda;
+                let dy = p1[i] + (yj(j) - yj(j - 1)).abs() + self.nu + self.lambda;
+                cur[i] = m_cost.min(dx).min(dy);
             }
-            std::mem::swap(&mut prev, &mut curr);
+            std::mem::swap(&mut p2, &mut p1);
+            std::mem::swap(&mut p1, &mut cur);
         }
-        prev[n]
+        p1[m]
     }
 
     fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {
@@ -127,6 +140,7 @@ impl Distance for Twe {
         // live window the prefix `[0, p_hi]`.
         prev[0] = 0.0;
         let mut p_hi = 0usize;
+        // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
         for j in 1..=n {
             prev[j] = prev[j - 1] + (yj(j) - yj(j - 1)).abs() + self.nu + self.lambda;
             if prev[j] < cutoff {
@@ -145,6 +159,7 @@ impl Distance for Twe {
                 live_lo = 0;
             }
             let start = if live_lo == 0 { 1 } else { p_lo.max(1) };
+            // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
             for j in start..=n {
                 if j > p_hi + 1 && curr[j - 1] >= cutoff {
                     break;

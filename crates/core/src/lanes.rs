@@ -1,0 +1,428 @@
+//! Multi-lane accumulation kernels for the lock-step hot paths.
+//!
+//! Every lock-step measure reduces `f(x_i, y_i)` over the common prefix
+//! of two series. A sequential fold serializes on the accumulator's
+//! add latency (~4 cycles per element); splitting the reduction across
+//! [`LANES`] independent accumulators fed by [`slice::chunks_exact`]
+//! exposes the instruction-level and SIMD parallelism the backend can
+//! actually use, with a scalar tail for the remainder.
+//!
+//! The price is *reassociation*: `(((t0+t1)+t2)+t3)+…` becomes a fixed
+//! binary tree over per-lane partial sums, so results differ from the
+//! sequential fold by a few ULPs (bounded by `n·eps` relative error for
+//! non-negative terms; see DESIGN.md §9 for the per-family policy).
+//! What never varies is the association *within this module*: the exact
+//! path ([`lane_sum`]) and the early-abandoning path ([`lane_sum_upto`])
+//! accumulate chunk-for-chunk identically, so a non-abandoned `upto`
+//! call reproduces the exact value bit-for-bit — the
+//! [`crate::measure::Distance::distance_upto`] contract.
+//!
+//! Early abandoning checks the cutoff once per [`ABANDON_BLOCK`]
+//! elements (not per element): the combined partial sum of non-negative
+//! terms is monotone non-decreasing under both per-lane accumulation and
+//! the combine tree, so a partial `>= cutoff` proves the full sum is too.
+//! Max-reductions ([`lane_max`]) are exactly reassociable — `f64::max`
+//! ignores NaN in any order and the terms are absolute values, so signed
+//! zeros cannot appear — and therefore bit-match the sequential fold.
+
+/// Number of independent accumulator lanes in the chunked reductions.
+///
+/// Eight `f64` lanes fill one AVX-512 register or four SSE2 registers;
+/// either way the reduction becomes throughput-bound instead of
+/// latency-bound.
+pub const LANES: usize = 8;
+
+/// Elements between cutoff checks in the `upto` kernels: four chunks of
+/// [`LANES`], so the (7-add) combine tree amortizes to well under one
+/// extra operation per element.
+pub const ABANDON_BLOCK: usize = 4 * LANES;
+
+/// The fixed combine tree over the per-lane partial sums. Every caller
+/// — exact or abandoning — reduces through this same tree, which is what
+/// keeps the two paths bit-identical.
+#[inline]
+fn combine(acc: &[f64; LANES]) -> f64 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+#[inline]
+fn combine_max(acc: &[f64; LANES]) -> f64 {
+    (acc[0].max(acc[1]).max(acc[2].max(acc[3]))).max(acc[4].max(acc[5]).max(acc[6].max(acc[7])))
+}
+
+/// Accumulates one [`LANES`]-sized chunk pair into the lane accumulators.
+#[inline]
+fn accumulate_chunk(
+    acc: &mut [f64; LANES],
+    cx: &[f64],
+    cy: &[f64],
+    f: &mut impl FnMut(f64, f64) -> f64,
+) {
+    // `chunks_exact` guarantees `cx.len() == cy.len() == LANES`, so the
+    // bounds checks vanish and the loop is a straight-line SLP candidate.
+    for k in 0..LANES {
+        acc[k] += f(cx[k], cy[k]);
+    }
+}
+
+/// `sum f(x_i, y_i)` over the common prefix, reduced across [`LANES`]
+/// accumulators with a scalar tail.
+#[inline]
+pub fn lane_sum(x: &[f64], y: &[f64], mut f: impl FnMut(f64, f64) -> f64) -> f64 {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &y[..n]);
+    let mut acc = [0.0f64; LANES];
+    let mut xc = x.chunks_exact(LANES);
+    let mut yc = y.chunks_exact(LANES);
+    for (cx, cy) in (&mut xc).zip(&mut yc) {
+        accumulate_chunk(&mut acc, cx, cy, &mut f);
+    }
+    let mut tail = 0.0;
+    for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += f(a, b);
+    }
+    combine(&acc) + tail
+}
+
+/// Early-abandoning [`lane_sum`] for **non-negative** term functions,
+/// generic over the abandon predicate (Euclidean confirms through a
+/// `sqrt`, Minkowski through a `powf` root; plain sums compare directly).
+///
+/// Returns `None` as soon as `abandon(partial_sum)` holds — checked once
+/// per [`ABANDON_BLOCK`] elements and once on the final sum — otherwise
+/// `Some(sum)` with `sum` bit-identical to [`lane_sum`].
+///
+/// Admissibility: each partial handed to `abandon` is a combine-tree sum
+/// of per-lane prefixes. Adding non-negative terms is monotone
+/// non-decreasing in every lane, and the combine tree is monotone in
+/// every operand, so each partial is a lower bound of the final sum; a
+/// partial that already satisfies the (monotone) abandon predicate
+/// proves the final sum would too. NaN terms never satisfy `>=`
+/// predicates and simply fall through to the exact value.
+#[inline]
+pub fn lane_sum_upto_by(
+    x: &[f64],
+    y: &[f64],
+    mut f: impl FnMut(f64, f64) -> f64,
+    mut abandon: impl FnMut(f64) -> bool,
+) -> Option<f64> {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &y[..n]);
+    let mut acc = [0.0f64; LANES];
+    let mut i = 0;
+    while i + ABANDON_BLOCK <= n {
+        for (cx, cy) in x[i..i + ABANDON_BLOCK]
+            .chunks_exact(LANES)
+            .zip(y[i..i + ABANDON_BLOCK].chunks_exact(LANES))
+        {
+            accumulate_chunk(&mut acc, cx, cy, &mut f);
+        }
+        if abandon(combine(&acc)) {
+            return None;
+        }
+        i += ABANDON_BLOCK;
+    }
+    let mut xc = x[i..].chunks_exact(LANES);
+    let mut yc = y[i..].chunks_exact(LANES);
+    for (cx, cy) in (&mut xc).zip(&mut yc) {
+        accumulate_chunk(&mut acc, cx, cy, &mut f);
+    }
+    let mut tail = 0.0;
+    for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += f(a, b);
+    }
+    let total = combine(&acc) + tail;
+    if abandon(total) {
+        return None;
+    }
+    Some(total)
+}
+
+/// [`lane_sum_upto_by`] with the plain `partial >= cutoff` predicate,
+/// returning [`f64::INFINITY`] on abandon (the `distance_upto` canon).
+#[inline]
+pub fn lane_sum_upto(x: &[f64], y: &[f64], cutoff: f64, f: impl FnMut(f64, f64) -> f64) -> f64 {
+    lane_sum_upto_by(x, y, f, |partial| partial >= cutoff).unwrap_or(f64::INFINITY)
+}
+
+/// Accumulates one [`LANES`]-sized chunk triple into the lane
+/// accumulators (the three-slice analogue of [`accumulate_chunk`], used
+/// by the envelope-based lower bounds).
+#[inline]
+fn accumulate_chunk3(
+    acc: &mut [f64; LANES],
+    cx: &[f64],
+    cu: &[f64],
+    cl: &[f64],
+    f: &mut impl FnMut(f64, f64, f64) -> f64,
+) {
+    for k in 0..LANES {
+        acc[k] += f(cx[k], cu[k], cl[k]);
+    }
+}
+
+/// `sum f(x_i, u_i, l_i)` over the common prefix of three slices,
+/// reduced across [`LANES`] accumulators with a scalar tail — the
+/// three-slice [`lane_sum`], shaped for LB_Keogh's
+/// (query, upper-envelope, lower-envelope) walk.
+#[inline]
+pub fn lane_sum3(x: &[f64], u: &[f64], l: &[f64], mut f: impl FnMut(f64, f64, f64) -> f64) -> f64 {
+    let n = x.len().min(u.len()).min(l.len());
+    let (x, u, l) = (&x[..n], &u[..n], &l[..n]);
+    let mut acc = [0.0f64; LANES];
+    let mut xc = x.chunks_exact(LANES);
+    let mut uc = u.chunks_exact(LANES);
+    let mut lc = l.chunks_exact(LANES);
+    for ((cx, cu), cl) in (&mut xc).zip(&mut uc).zip(&mut lc) {
+        accumulate_chunk3(&mut acc, cx, cu, cl, &mut f);
+    }
+    let mut tail = 0.0;
+    for ((&a, &b), &c) in xc
+        .remainder()
+        .iter()
+        .zip(uc.remainder())
+        .zip(lc.remainder())
+    {
+        tail += f(a, b, c);
+    }
+    combine(&acc) + tail
+}
+
+/// Early-abandoning [`lane_sum3`] for **non-negative** term functions:
+/// returns [`f64::INFINITY`] as soon as a block-boundary partial reaches
+/// `cutoff`, otherwise the exact [`lane_sum3`] value bit-for-bit (same
+/// chunk layout, same combine tree — the admissibility argument of
+/// [`lane_sum_upto_by`] applies unchanged).
+#[inline]
+pub fn lane_sum3_upto(
+    x: &[f64],
+    u: &[f64],
+    l: &[f64],
+    cutoff: f64,
+    mut f: impl FnMut(f64, f64, f64) -> f64,
+) -> f64 {
+    let n = x.len().min(u.len()).min(l.len());
+    let (x, u, l) = (&x[..n], &u[..n], &l[..n]);
+    let mut acc = [0.0f64; LANES];
+    let mut i = 0;
+    while i + ABANDON_BLOCK <= n {
+        for ((cx, cu), cl) in x[i..i + ABANDON_BLOCK]
+            .chunks_exact(LANES)
+            .zip(u[i..i + ABANDON_BLOCK].chunks_exact(LANES))
+            .zip(l[i..i + ABANDON_BLOCK].chunks_exact(LANES))
+        {
+            accumulate_chunk3(&mut acc, cx, cu, cl, &mut f);
+        }
+        if combine(&acc) >= cutoff {
+            return f64::INFINITY;
+        }
+        i += ABANDON_BLOCK;
+    }
+    let mut xc = x[i..].chunks_exact(LANES);
+    let mut uc = u[i..].chunks_exact(LANES);
+    let mut lc = l[i..].chunks_exact(LANES);
+    for ((cx, cu), cl) in (&mut xc).zip(&mut uc).zip(&mut lc) {
+        accumulate_chunk3(&mut acc, cx, cu, cl, &mut f);
+    }
+    let mut tail = 0.0;
+    for ((&a, &b), &c) in xc
+        .remainder()
+        .iter()
+        .zip(uc.remainder())
+        .zip(lc.remainder())
+    {
+        tail += f(a, b, c);
+    }
+    let total = combine(&acc) + tail;
+    if total >= cutoff {
+        return f64::INFINITY;
+    }
+    total
+}
+
+/// `max f(x_i, y_i)` over the common prefix, reduced across [`LANES`]
+/// lanes. Bit-identical to the sequential `fold(0.0, f64::max)` for
+/// terms that are never negative zero (absolute values): `f64::max`
+/// ignores NaN operands in any order, so the reduction is exactly
+/// reassociable.
+#[inline]
+pub fn lane_max(x: &[f64], y: &[f64], mut f: impl FnMut(f64, f64) -> f64) -> f64 {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &y[..n]);
+    let mut acc = [0.0f64; LANES];
+    let mut xc = x.chunks_exact(LANES);
+    let mut yc = y.chunks_exact(LANES);
+    for (cx, cy) in (&mut xc).zip(&mut yc) {
+        for k in 0..LANES {
+            acc[k] = acc[k].max(f(cx[k], cy[k]));
+        }
+    }
+    let mut tail = 0.0f64;
+    for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+        tail = tail.max(f(a, b));
+    }
+    combine_max(&acc).max(tail)
+}
+
+/// Early-abandoning [`lane_max`]: the running max is monotone
+/// non-decreasing, so a block whose combined max reaches `cutoff`
+/// settles the comparison. Returns [`f64::INFINITY`] on abandon,
+/// otherwise the exact [`lane_max`] value.
+#[inline]
+pub fn lane_max_upto(x: &[f64], y: &[f64], cutoff: f64, mut f: impl FnMut(f64, f64) -> f64) -> f64 {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &y[..n]);
+    let mut acc = [0.0f64; LANES];
+    let mut i = 0;
+    while i + ABANDON_BLOCK <= n {
+        for (cx, cy) in x[i..i + ABANDON_BLOCK]
+            .chunks_exact(LANES)
+            .zip(y[i..i + ABANDON_BLOCK].chunks_exact(LANES))
+        {
+            for k in 0..LANES {
+                acc[k] = acc[k].max(f(cx[k], cy[k]));
+            }
+        }
+        if combine_max(&acc) >= cutoff {
+            return f64::INFINITY;
+        }
+        i += ABANDON_BLOCK;
+    }
+    let mut xc = x[i..].chunks_exact(LANES);
+    let mut yc = y[i..].chunks_exact(LANES);
+    for (cx, cy) in (&mut xc).zip(&mut yc) {
+        for k in 0..LANES {
+            acc[k] = acc[k].max(f(cx[k], cy[k]));
+        }
+    }
+    let mut tail = 0.0f64;
+    for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+        tail = tail.max(f(a, b));
+    }
+    let total = combine_max(&acc).max(tail);
+    if total >= cutoff {
+        return f64::INFINITY;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        // SplitMix64-ish deterministic noise.
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            ((z ^ (z >> 31)) as f64 / u64::MAX as f64) * 4.0 - 2.0
+        };
+        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+        let y: Vec<f64> = (0..n).map(|_| next()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn lane_sum_matches_sequential_within_ulps() {
+        for n in [0, 1, 2, LANES - 1, LANES, LANES + 1, 2 * LANES + 3, 256] {
+            let (x, y) = series(n, n as u64 + 1);
+            let lane = lane_sum(&x, &y, |a, b| (a - b) * (a - b));
+            let seq: f64 = x.iter().zip(&y).map(|(&a, &b)| (a - b) * (a - b)).sum();
+            assert!(
+                (lane - seq).abs() <= 1e-12 * seq.abs().max(1.0),
+                "n={n}: lane {lane} vs seq {seq}"
+            );
+        }
+    }
+
+    #[test]
+    fn upto_without_abandon_is_bit_identical_to_exact() {
+        for n in [
+            0,
+            1,
+            2,
+            LANES - 1,
+            LANES,
+            LANES + 1,
+            2 * LANES + 3,
+            255,
+            256,
+        ] {
+            let (x, y) = series(n, 77 + n as u64);
+            let exact = lane_sum(&x, &y, |a, b| (a - b).abs());
+            let upto = lane_sum_upto(&x, &y, f64::INFINITY, |a, b| (a - b).abs());
+            assert_eq!(exact.to_bits(), upto.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn upto_abandons_at_or_above_cutoff() {
+        let (x, y) = series(256, 3);
+        let exact = lane_sum(&x, &y, |a, b| (a - b).abs());
+        for frac in [0.1, 0.5, 0.99, 1.0] {
+            let cutoff = exact * frac;
+            let got = lane_sum_upto(&x, &y, cutoff, |a, b| (a - b).abs());
+            assert!(got >= cutoff, "cutoff {cutoff}: got {got}");
+        }
+        let above = lane_sum_upto(&x, &y, exact * 1.01, |a, b| (a - b).abs());
+        assert_eq!(above.to_bits(), exact.to_bits());
+    }
+
+    #[test]
+    fn lane_sum3_matches_two_slice_shape_and_upto_contract() {
+        for n in [0, 1, 2, LANES - 1, LANES, LANES + 1, 2 * LANES + 3, 256] {
+            let (x, u) = series(n, 1000 + n as u64);
+            let l: Vec<f64> = u.iter().map(|v| v - 1.0).collect();
+            let term = |v: f64, up: f64, lo: f64| {
+                let d = (v - up).max(0.0) + (lo - v).max(0.0);
+                d * d
+            };
+            let exact = lane_sum3(&x, &u, &l, term);
+            // Same terms through the two-slice kernel (folding the lower
+            // envelope into the closure) — identical chunk layout must
+            // give identical bits.
+            let li = std::cell::Cell::new(0usize);
+            let two = lane_sum(&x, &u, |v, up| {
+                let lo = l[li.get()];
+                li.set(li.get() + 1);
+                term(v, up, lo)
+            });
+            assert_eq!(exact.to_bits(), two.to_bits(), "n={n}");
+            // Non-abandoned upto is bit-identical; cutoff at half the
+            // value abandons admissibly.
+            let upto = lane_sum3_upto(&x, &u, &l, f64::INFINITY, term);
+            assert_eq!(exact.to_bits(), upto.to_bits(), "n={n}");
+            if exact > 0.0 {
+                let cut = lane_sum3_upto(&x, &u, &l, exact * 0.5, term);
+                assert!(cut >= exact * 0.5, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_max_is_bit_identical_to_fold() {
+        for n in [0, 1, LANES, LANES + 1, 2 * LANES + 3, 100] {
+            let (x, y) = series(n, 11 + n as u64);
+            let lane = lane_max(&x, &y, |a, b| (a - b).abs());
+            let seq = x
+                .iter()
+                .zip(&y)
+                .map(|(&a, &b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert_eq!(lane.to_bits(), seq.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn lane_max_upto_matches_contract() {
+        let (x, y) = series(200, 5);
+        let exact = lane_max(&x, &y, |a, b| (a - b).abs());
+        let below = lane_max_upto(&x, &y, exact * 0.5, |a, b| (a - b).abs());
+        assert_eq!(below, f64::INFINITY);
+        let above = lane_max_upto(&x, &y, exact * 2.0, |a, b| (a - b).abs());
+        assert_eq!(above.to_bits(), exact.to_bits());
+    }
+}

@@ -50,6 +50,7 @@ pub mod chaos;
 pub mod elastic;
 pub mod embedding;
 pub mod kernel;
+pub mod lanes;
 pub mod lockstep;
 pub mod measure;
 pub mod multivariate;

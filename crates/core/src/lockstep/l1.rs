@@ -46,10 +46,27 @@ lockstep_measure!(
 );
 
 lockstep_measure!(
+    upto
     /// Canberra distance: `sum |x-y| / (x+y)` — a per-coordinate weighted L1.
+    ///
+    /// Early-abandonable *when every denominator is non-negative*: the
+    /// guarded terms `|x-y| / (x+y)` are then all `>= 0` and partial sums
+    /// are monotone. On data where some `x_i + y_i < 0` (e.g. z-scored
+    /// series) [`safe_div`] yields negative terms, so the upto path
+    /// detects that with a vectorizable prescan and falls back to the
+    /// exact sum — still contract-correct, just without abandoning.
     Canberra,
     "Canberra",
-    |x, y| zip_sum(x, y, |a, b| safe_div((a - b).abs(), a + b))
+    |x, y| zip_sum(x, y, |a, b| safe_div((a - b).abs(), a + b)),
+    |x, y, cutoff| {
+        let n = x.len().min(y.len());
+        let all_nonneg = x[..n].iter().zip(&y[..n]).all(|(&a, &b)| a + b >= 0.0);
+        if all_nonneg {
+            zip_sum_upto(x, y, cutoff, |a, b| safe_div((a - b).abs(), a + b))
+        } else {
+            zip_sum(x, y, |a, b| safe_div((a - b).abs(), a + b))
+        }
+    }
 );
 
 lockstep_measure!(
@@ -59,8 +76,8 @@ lockstep_measure!(
     /// measure.
     ///
     /// Early-abandonable: `ln(1 + |x-y|) >= 0`, so partial sums are
-    /// monotone. (Canberra, by contrast, is *not* abandonable — its
-    /// guarded `|x-y| / (x+y)` terms go negative on z-normalized data.)
+    /// monotone. (Canberra abandons too, but only after a prescan proves
+    /// its denominators non-negative — see its definition above.)
     Lorentzian,
     "Lorentzian",
     |x, y| zip_sum(x, y, |a, b| (1.0 + (a - b).abs()).ln()),
@@ -140,6 +157,39 @@ mod tests {
             let b = m.distance(&Y, &X);
             assert!((a - b).abs() < 1e-12, "{} not symmetric", m.name());
         }
+    }
+
+    #[test]
+    fn canberra_upto_abandons_on_positive_data_and_stays_exact_on_zscored() {
+        use crate::workspace::Workspace;
+        let mut ws = Workspace::default();
+
+        // Positive regime: prescan passes, so a cutoff below the true
+        // distance must abandon (INF) and a cutoff above it must return
+        // the exact bits.
+        let xp: Vec<f64> = (0..40)
+            .map(|i| 0.1 + (i as f64 * 0.7).sin().abs())
+            .collect();
+        let yp: Vec<f64> = (0..40)
+            .map(|i| 0.1 + (i as f64 * 1.3).cos().abs())
+            .collect();
+        let exact = Canberra.distance(&xp, &yp);
+        assert_eq!(
+            Canberra.distance_upto(&xp, &yp, &mut ws, exact * 0.5),
+            f64::INFINITY
+        );
+        let non_abandoned = Canberra.distance_upto(&xp, &yp, &mut ws, exact * 2.0);
+        assert_eq!(non_abandoned.to_bits(), exact.to_bits());
+
+        // Z-scored regime: some x_i + y_i < 0, terms can be negative, so
+        // the prescan must route to the exact sum even under a tiny
+        // cutoff (abandoning on a partial sum would be inadmissible).
+        let xz = [0.0, -1.3, 1.3, 0.0, 0.5, -0.5, -2.0, 1.1];
+        let yz = [0.0, 1.3, -1.3, 0.5, 0.5, -1.0, 1.9, -0.9];
+        assert!(xz.iter().zip(&yz).any(|(&a, &b)| a + b < 0.0));
+        let exact_z = Canberra.distance(&xz, &yz);
+        let upto_z = Canberra.distance_upto(&xz, &yz, &mut ws, exact_z * 1e-6);
+        assert_eq!(upto_z.to_bits(), exact_z.to_bits());
     }
 
     #[test]

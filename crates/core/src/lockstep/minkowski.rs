@@ -1,6 +1,7 @@
 //! The Minkowski (Lp) family: Euclidean, City-block, Minkowski, Chebyshev.
 
 use super::{lockstep_measure, zip_sum, zip_sum_upto};
+use crate::lanes::lane_sum_upto_by;
 use crate::measure::Distance;
 use crate::workspace::Workspace;
 
@@ -15,16 +16,18 @@ lockstep_measure!(
         // Cheap squared trigger, then an exact confirm on the rounded
         // sqrt: sqrt is correctly rounded and monotone, so a partial sum
         // whose sqrt already reaches `cutoff` bounds the full distance.
+        // The lane kernel accumulates exactly like the exact path, so a
+        // non-abandoned sum (and hence its sqrt) matches bit-for-bit.
         let sq = cutoff * cutoff;
-        let mut acc = 0.0;
-        for (&a, &b) in x.iter().zip(y) {
-            let d = a - b;
-            acc += d * d;
-            if acc >= sq && acc.sqrt() >= cutoff {
-                return f64::INFINITY;
-            }
+        match lane_sum_upto_by(
+            x,
+            y,
+            |a, b| (a - b) * (a - b),
+            |partial| partial >= sq && partial.sqrt() >= cutoff,
+        ) {
+            Some(sum) => sum.sqrt(),
+            None => f64::INFINITY,
         }
-        acc.sqrt()
     }
 );
 
@@ -40,24 +43,17 @@ lockstep_measure!(
 lockstep_measure!(
     upto
     /// Chebyshev distance (L-infinity norm): `max |x_i - y_i|`.
+    ///
+    /// The lane reduction is bit-identical to the old sequential fold:
+    /// `f64::max` ignores NaN in any order and the absolute-value terms
+    /// exclude negative zero, so max is exactly reassociable.
     Chebyshev,
     "Chebyshev",
-    |x, y| x
-        .iter()
-        .zip(y)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max),
+    |x, y| crate::lanes::lane_max(x, y, |a, b| (a - b).abs()),
     |x, y, cutoff| {
-        // Running max is monotone non-decreasing, so the first point at
-        // or past the cutoff settles the comparison.
-        let mut acc = 0.0f64;
-        for (&a, &b) in x.iter().zip(y) {
-            acc = acc.max((a - b).abs());
-            if acc >= cutoff {
-                return f64::INFINITY;
-            }
-        }
-        acc
+        // Running max is monotone non-decreasing, so a block whose
+        // combined max reaches the cutoff settles the comparison.
+        crate::lanes::lane_max_upto(x, y, cutoff, |a, b| (a - b).abs())
     }
 );
 
@@ -102,16 +98,23 @@ impl Distance for Minkowski {
         // (orders of magnitude above powf's few-ulp error) before
         // abandoning. For negative cutoffs `cutoff.powf(p)` is NaN and the
         // trigger never fires: the exact value is computed, which is
-        // trivially admissible.
+        // trivially admissible. The lane kernel accumulates exactly like
+        // the exact path, so a non-abandoned sum matches bit-for-bit.
         let thresh = cutoff.powf(self.p);
-        let mut acc = 0.0;
-        for (&a, &b) in x.iter().zip(y) {
-            acc += (a - b).abs().powf(self.p);
-            if acc >= thresh && acc.powf(1.0 / self.p) >= cutoff * (1.0 + 1e-9) {
-                return f64::INFINITY;
-            }
+        let p = self.p;
+        match lane_sum_upto_by(
+            x,
+            y,
+            |a, b| (a - b).abs().powf(p),
+            |partial| partial >= thresh && partial.powf(1.0 / p) >= cutoff * (1.0 + 1e-9),
+        ) {
+            Some(sum) => sum.powf(1.0 / p),
+            None => f64::INFINITY,
         }
-        acc.powf(1.0 / self.p)
+    }
+
+    fn lanes_hint(&self) -> usize {
+        crate::lanes::LANES
     }
 }
 

@@ -68,35 +68,40 @@ pub(crate) fn clamp_pos(v: f64) -> f64 {
 }
 
 /// Sums `f(x_i, y_i)` over the common prefix of both series.
+///
+/// Since the vectorized-kernel backend landed this is a multi-lane
+/// chunked reduction ([`crate::lanes::lane_sum`]): per-lane partial sums
+/// over [`crate::lanes::LANES`]-wide chunks, combined through a fixed
+/// tree, plus a scalar tail. The reassociation moves results a few ULPs
+/// from the old sequential fold (see DESIGN.md §9 for bounds); what
+/// stays exact is the agreement between this path and
+/// [`zip_sum_upto`] — both accumulate chunk-for-chunk identically.
 #[inline]
-pub(crate) fn zip_sum(x: &[f64], y: &[f64], mut f: impl FnMut(f64, f64) -> f64) -> f64 {
-    x.iter().zip(y).map(|(&a, &b)| f(a, b)).sum()
+pub(crate) fn zip_sum(x: &[f64], y: &[f64], f: impl FnMut(f64, f64) -> f64) -> f64 {
+    crate::lanes::lane_sum(x, y, f)
 }
 
 /// Early-abandoning twin of [`zip_sum`] for **non-negative** term
-/// functions: accumulates in the identical order (`f64::sum` is a
-/// sequential fold from `0.0`, so partial sums match bit-for-bit) and
-/// returns [`f64::INFINITY`] as soon as the partial sum reaches `cutoff`.
+/// functions: accumulates in the identical lane layout (so a
+/// non-abandoned call matches [`zip_sum`] bit-for-bit) and returns
+/// [`f64::INFINITY`] once the combined partial sum reaches `cutoff` —
+/// checked once per [`crate::lanes::ABANDON_BLOCK`] elements, not per
+/// element, so the combine tree stays off the hot loop.
 ///
 /// Admissible because floating-point addition of non-negative terms is
-/// monotone non-decreasing: a prefix `>= cutoff` forces the full sum
-/// `>= cutoff`. Callers must guarantee `f >= 0` (or NaN, which never
-/// trips the `>=` test and therefore falls through to the exact value).
+/// monotone non-decreasing in every lane and the combine tree is
+/// monotone in every operand: a combined partial `>= cutoff` forces the
+/// full sum `>= cutoff`. Callers must guarantee `f >= 0` (or NaN, which
+/// never trips the `>=` test and therefore falls through to the exact
+/// value).
 #[inline]
 pub(crate) fn zip_sum_upto(
     x: &[f64],
     y: &[f64],
     cutoff: f64,
-    mut f: impl FnMut(f64, f64) -> f64,
+    f: impl FnMut(f64, f64) -> f64,
 ) -> f64 {
-    let mut acc = 0.0;
-    for (&a, &b) in x.iter().zip(y) {
-        acc += f(a, b);
-        if acc >= cutoff {
-            return f64::INFINITY;
-        }
-    }
-    acc
+    crate::lanes::lane_sum_upto(x, y, cutoff, f)
 }
 
 /// Defines a parameter-free lock-step measure as a unit struct
@@ -138,6 +143,9 @@ macro_rules! lockstep_measure {
                 }
                 $ubody
             }
+            fn lanes_hint(&self) -> usize {
+                crate::lanes::LANES
+            }
         }
     };
     (asymmetric $(#[$doc:meta])* $name:ident, $label:expr, |$x:ident, $y:ident| $body:expr) => {
@@ -155,6 +163,9 @@ macro_rules! lockstep_measure {
             fn is_symmetric(&self) -> bool {
                 false
             }
+            fn lanes_hint(&self) -> usize {
+                crate::lanes::LANES
+            }
         }
     };
     ($(#[$doc:meta])* $name:ident, $label:expr, |$x:ident, $y:ident| $body:expr) => {
@@ -168,6 +179,9 @@ macro_rules! lockstep_measure {
             }
             fn distance(&self, $x: &[f64], $y: &[f64]) -> f64 {
                 $body
+            }
+            fn lanes_hint(&self) -> usize {
+                crate::lanes::LANES
             }
         }
     };

@@ -84,6 +84,19 @@ pub trait Distance: Send + Sync {
     fn is_symmetric(&self) -> bool {
         true
     }
+
+    /// How many independent accumulation/DP lanes the measure's hot
+    /// paths ([`Distance::distance_ws`] / [`Distance::distance_upto`])
+    /// process concurrently; `1` means a plain scalar loop.
+    ///
+    /// Pure introspection for coverage reporting (`tsdist conformance`,
+    /// `bench_kernels`) — the value never influences results. Measures
+    /// built on the chunked lock-step reductions or the anti-diagonal
+    /// wavefront DPs report [`crate::lanes::LANES`]; delegating wrappers
+    /// forward their inner measure's hint.
+    fn lanes_hint(&self) -> usize {
+        1
+    }
 }
 
 impl<D: Distance + ?Sized> Distance for Box<D> {
@@ -102,6 +115,9 @@ impl<D: Distance + ?Sized> Distance for Box<D> {
     fn is_symmetric(&self) -> bool {
         (**self).is_symmetric()
     }
+    fn lanes_hint(&self) -> usize {
+        (**self).lanes_hint()
+    }
 }
 
 impl<D: Distance + ?Sized> Distance for &D {
@@ -119,6 +135,9 @@ impl<D: Distance + ?Sized> Distance for &D {
     }
     fn is_symmetric(&self) -> bool {
         (**self).is_symmetric()
+    }
+    fn lanes_hint(&self) -> usize {
+        (**self).lanes_hint()
     }
 }
 

@@ -183,6 +183,12 @@ impl<D: Distance> Distance for AdaptiveScaled<D> {
         format!("Adaptive({})", self.inner.name())
     }
 
+    fn lanes_hint(&self) -> usize {
+        // Scaling is a cheap prologue; the inner measure's kernel does
+        // the heavy lifting.
+        self.inner.lanes_hint()
+    }
+
     fn distance(&self, x: &[f64], y: &[f64]) -> f64 {
         let xy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
         let yy: f64 = y.iter().map(|b| b * b).sum();

@@ -71,6 +71,31 @@ impl Workspace {
         (a, b, c, d)
     }
 
+    /// Three diagonal rows of length `rows` plus one `extra` slice, carved
+    /// from the shared `f64` DP arena — the layout of the anti-diagonal
+    /// wavefront DP kernels (current / previous / second-previous diagonal,
+    /// plus measure-specific scratch such as a reversed series or gathered
+    /// weights; callers split `extra` further with `split_at_mut`).
+    ///
+    /// Uses only the `dp` arena, so [`Workspace::take_aux`] /
+    /// [`Workspace::take_aux2`] stay free for callers (DDTW derivatives,
+    /// WDTW weights) that wrap a wavefront call. Contents are unspecified;
+    /// callers must initialize every cell they read.
+    pub fn diag_scratch(
+        &mut self,
+        rows: usize,
+        extra: usize,
+    ) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+        let total = 3 * rows + extra;
+        if self.dp.len() < total {
+            self.dp.resize(total, 0.0);
+        }
+        let (a, rest) = self.dp[..total].split_at_mut(rows);
+        let (b, rest) = rest.split_at_mut(rows);
+        let (c, extra) = rest.split_at_mut(rows);
+        (a, b, c, extra)
+    }
+
     /// Two `u32` DP rows of length `len` (LCSS/EDR counters).
     ///
     /// Contents are unspecified; callers must initialize every cell they
@@ -150,6 +175,25 @@ mod tests {
         assert_eq!(a.len() + b.len() + c.len() + d.len(), 64);
         let (a, _) = ws.dp_rows2(4);
         assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn diag_scratch_is_disjoint_and_right_sized() {
+        let mut ws = Workspace::new();
+        let (a, b, c, extra) = ws.diag_scratch(11, 30);
+        assert_eq!(a.len(), 11);
+        assert_eq!(b.len(), 11);
+        assert_eq!(c.len(), 11);
+        assert_eq!(extra.len(), 30);
+        a.fill(1.0);
+        b.fill(2.0);
+        c.fill(3.0);
+        extra.fill(4.0);
+        let (a, b, c, extra) = ws.diag_scratch(11, 30);
+        assert!(a.iter().all(|&v| v == 1.0));
+        assert!(b.iter().all(|&v| v == 2.0));
+        assert!(c.iter().all(|&v| v == 3.0));
+        assert!(extra.iter().all(|&v| v == 4.0));
     }
 
     #[test]

@@ -54,6 +54,13 @@ fn input_pairs() -> Vec<(Vec<f64>, Vec<f64>)> {
         (g.series(64), g.series(64)),
         (g.series(31), g.series(31)),
         (g.series(7), g.series(7)),
+        // Lane-boundary lengths for the 8-lane chunked kernels: below,
+        // at, and just past one chunk, plus two chunks with a tail.
+        (g.series(1), g.series(1)),
+        (g.series(2), g.series(2)),
+        (g.series(8), g.series(8)),
+        (g.series(9), g.series(9)),
+        (g.series(19), g.series(19)),
         (vec![0.5; 40], g.series(40)),
         (vec![1.0; 16], vec![1.0; 16]),
         (g.series(17), g.series(64)),
@@ -72,6 +79,11 @@ fn all_distances() -> Vec<Box<dyn Distance>> {
     for family in registry::elastic_families() {
         all.extend(family.grid);
     }
+    // Odd window percentages give Sakoe-Chiba radii that are not
+    // multiples of the lane width, exercising the wavefront's ragged
+    // diagonal ranges.
+    all.push(Box::new(Dtw::with_window_pct(5.0)));
+    all.push(Box::new(Dtw::with_window_pct(37.0)));
     all.push(Box::new(DerivativeDtw::with_window_pct(10.0)));
     all.push(Box::new(WeightedDtw::new(0.1)));
     all.push(Box::new(Cid::new(Dtw::with_window_pct(10.0))));

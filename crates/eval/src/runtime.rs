@@ -7,8 +7,7 @@ use std::time::Instant;
 use crate::matrices::distance_matrix;
 use crate::nn::one_nn_accuracy;
 use tsdist_core::elastic::{
-    dtw::{dtw_banded_pruned, dtw_banded_ws},
-    keogh_envelope, lb_keogh, lb_kim,
+    dtw::dtw_banded_pruned, keogh_envelope, lb_keogh_upto, lb_kim, wavefront::dtw_wavefront_ws,
 };
 use tsdist_core::measure::Distance;
 use tsdist_core::Workspace;
@@ -217,7 +216,10 @@ pub fn pruned_dtw_search_cached(ds: &Dataset, cache: &EnvelopeCache) -> PrunedSe
                 continue;
             }
             let (upper, lower) = cache.envelope(j);
-            if lb_keogh(query, upper, lower) >= best {
+            // The early-abandoning LB walk: a partial envelope excursion
+            // reaching `best` settles the comparison without finishing
+            // the sum (and a finished sum is bit-identical to `lb_keogh`).
+            if lb_keogh_upto(query, upper, lower, best) >= best {
                 pruned += 1;
                 continue;
             }
@@ -226,7 +228,7 @@ pub fn pruned_dtw_search_cached(ds: &Dataset, cache: &EnvelopeCache) -> PrunedSe
             let (d, cells) = if best < f64::INFINITY {
                 dtw_banded_pruned(query, candidate, band, best, &mut ws)
             } else {
-                (dtw_banded_ws(query, candidate, band, &mut ws), full)
+                (dtw_wavefront_ws(query, candidate, band, &mut ws), full)
             };
             dp_cells += cells;
             if d < best {

@@ -20,6 +20,7 @@
 //! | `float-total-order` | error | no `partial_cmp` and no `==`/`!=` against float literals — use `f64::total_cmp` |
 //! | `nondeterministic-iteration` | error | no `HashMap`/`HashSet` in library code — `BTreeMap`/`BTreeSet` or sorted `Vec` |
 //! | `hot-path-alloc` | error | no `Vec::new`/`vec!`/`to_vec`/`collect`/… inside `*_ws`/`*_upto` bodies — use the `Workspace` arena |
+//! | `hot-path-bounds-check` | warning | no loop-variable indexing inside `lockstep/`/`elastic/` `*_ws`/`*_upto`/`*_pruned` bodies — zip or pre-cut slices so the checks fold away |
 //! | `asymmetric-float-expr` | warning | no `(a / b).ln()`-style swap-asymmetric expressions in measures claiming symmetry |
 //! | `suppression-audit` | error/warning | every allow carries a reason, names a known lint, and suppresses something |
 //!

@@ -1,0 +1,218 @@
+//! `hot-path-bounds-check` (warning): indexed loops in the kernel hot
+//! paths.
+//!
+//! The vectorized-kernel backend gets its throughput from inner loops
+//! that LLVM can prove in-bounds: iterate with zips/`chunks_exact`, or
+//! pre-cut every slice to the loop length so the `slice[k]` checks fold
+//! away. A `for i in lo..hi { … a[i] … }` over a full-length slice keeps
+//! the bounds check (and its branch) on the hot path and blocks
+//! vectorization. This pass flags `for`-loops inside `*_ws` / `*_upto` /
+//! `*_pruned` bodies under `lockstep/` or `elastic/` whose body indexes
+//! with the loop variable; loops that are deliberate (diagonal index
+//! arithmetic, pre-cut slices) carry a reasoned suppression above the
+//! loop header, which is where the diagnostic anchors.
+
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+use crate::report::{Diagnostic, Severity};
+
+pub const NAME: &str = "hot-path-bounds-check";
+
+/// True for files holding kernel hot paths: the lock-step and elastic
+/// measure implementations.
+fn is_kernel_file(path: &str) -> bool {
+    path.contains("lockstep") || path.contains("elastic")
+}
+
+pub fn check(model: &FileModel, out: &mut Vec<Diagnostic>) {
+    if !is_kernel_file(&model.path) {
+        return;
+    }
+    let tokens = &model.tokens;
+    for f in &model.fns {
+        if !(f.name.ends_with("_ws") || f.name.ends_with("_upto") || f.name.ends_with("_pruned")) {
+            continue;
+        }
+        if model.in_test_region(f.open) {
+            continue;
+        }
+        let mut i = f.open + 1;
+        while i < f.close {
+            // `for <var> in … { body }`
+            if tokens[i].is_ident("for")
+                && tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == TokenKind::Ident)
+                && tokens.get(i + 2).is_some_and(|t| t.is_ident("in"))
+            {
+                let var = tokens[i + 1].text.clone();
+                // The loop body is the first `{` after the header.
+                let mut open = i + 3;
+                while open < f.close && !tokens[open].is_open("{") {
+                    open += 1;
+                }
+                let close = model
+                    .match_of
+                    .get(open)
+                    .copied()
+                    .filter(|&c| c != usize::MAX && c <= f.close)
+                    .unwrap_or(f.close);
+                let mut hit = false;
+                for k in open + 1..close {
+                    // `…[var` — indexing with the loop variable (possibly
+                    // inside arithmetic like `a[var - 1]`).
+                    if tokens[k].is_open("[")
+                        && k > 0
+                        && (tokens[k - 1].kind == TokenKind::Ident
+                            || tokens[k - 1].is_close("]")
+                            || tokens[k - 1].is_close(")"))
+                        && tokens.get(k + 1).is_some_and(|t| t.is_ident(&var))
+                    {
+                        hit = true;
+                        break;
+                    }
+                }
+                if hit {
+                    // Anchor at the loop header so one suppression above
+                    // the `for` covers the whole loop body.
+                    out.push(Diagnostic {
+                        lint: NAME,
+                        severity: Severity::Warning,
+                        file: model.path.clone(),
+                        line: tokens[i].line,
+                        message: format!(
+                            "loop variable `{var}` indexes a slice inside `{}`: bounds \
+                             checks stay on the kernel hot path — iterate with zips or \
+                             pre-cut every slice to the loop length (suppress with a \
+                             reason when the checks provably fold away)",
+                            f.name
+                        ),
+                    });
+                    // One diagnostic per flagged loop: a suppression above
+                    // the header covers the nested body too.
+                    i = close.max(i + 1);
+                } else {
+                    // No hit at this level — descend so nested indexed
+                    // loops still get their own diagnostic.
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let model = FileModel::analyze(path, src);
+        let mut out = Vec::new();
+        check(&model, &mut out);
+        out
+    }
+
+    const KERNEL: &str = "crates/core/src/elastic/k.rs";
+
+    #[test]
+    fn fires_on_indexed_loops_in_kernel_hot_paths() {
+        let d = run(
+            KERNEL,
+            "fn dtw_ws(x: &[f64]) -> f64 { let mut s = 0.0; for i in 0..x.len() { s += x[i]; } s }",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].severity, Severity::Warning);
+        // Index arithmetic still counts.
+        assert_eq!(
+            run(
+                KERNEL,
+                "fn f_upto(x: &[f64]) -> f64 { for j in 1..n { let v = x[j - 1]; } 0.0 }",
+            )
+            .len(),
+            1
+        );
+        // `_pruned` kernels are hot paths too.
+        assert_eq!(
+            run(
+                KERNEL,
+                "fn dtw_pruned(x: &[f64]) -> f64 { for i in 0..x.len() { let v = x[i]; } 0.0 }",
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn descends_into_nested_loops_and_anchors_at_the_guilty_header() {
+        // Outer loop never indexes with `d`; the inner loop indexes with
+        // `k` — exactly one diagnostic, anchored at the inner header.
+        let d = run(
+            KERNEL,
+            "fn wf_ws(x: &[f64], out: &mut [f64]) {\n\
+             for d in 0..4 {\n\
+             let lo = d;\n\
+             for k in 0..2 {\n\
+             out[k] = x[k] + lo as f64;\n\
+             }\n\
+             }\n\
+             }",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 4);
+        // Outer loop indexing flags the outer header once; the nested
+        // loop is covered by the same diagnostic.
+        let d = run(
+            KERNEL,
+            "fn wf_ws(x: &[f64], out: &mut [f64]) {\n\
+             for d in 1..4 {\n\
+             out[d] = x[d - 1];\n\
+             for k in 0..2 {\n\
+             out[k] = 0.0;\n\
+             }\n\
+             }\n\
+             }",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn silent_outside_kernel_files_hot_fns_and_on_zips() {
+        // Same code, non-kernel path.
+        assert!(run(
+            "crates/eval/src/runtime.rs",
+            "fn f_ws(x: &[f64]) -> f64 { for i in 0..8 { let v = x[i]; } 0.0 }",
+        )
+        .is_empty());
+        // Kernel file, cold function.
+        assert!(run(
+            KERNEL,
+            "fn distance(x: &[f64]) -> f64 { for i in 0..8 { let v = x[i]; } 0.0 }",
+        )
+        .is_empty());
+        // Zip iteration never indexes.
+        assert!(run(
+            KERNEL,
+            "fn f_ws(x: &[f64], y: &[f64]) -> f64 { let mut s = 0.0; \
+             for (a, b) in x.iter().zip(y) { s += a - b; } s }",
+        )
+        .is_empty());
+        // Indexing with something other than the loop variable.
+        assert!(run(
+            KERNEL,
+            "fn f_ws(x: &[f64]) -> f64 { for i in 0..8 { let v = x[0]; } 0.0 }",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        assert!(run(
+            KERNEL,
+            "#[cfg(test)]\nmod t { fn fake_ws(x: &[f64]) { for i in 0..2 { let _ = x[i]; } } }",
+        )
+        .is_empty());
+    }
+}

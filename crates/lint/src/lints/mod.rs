@@ -11,6 +11,7 @@ use crate::report::Diagnostic;
 pub mod asymmetric_expr;
 pub mod float_order;
 pub mod hot_path_alloc;
+pub mod hot_path_bounds_check;
 pub mod no_unwrap;
 pub mod nondet_iter;
 
@@ -21,6 +22,7 @@ pub const LINT_NAMES: &[&str] = &[
     float_order::NAME,
     nondet_iter::NAME,
     hot_path_alloc::NAME,
+    hot_path_bounds_check::NAME,
     asymmetric_expr::NAME,
     crate::engine::SUPPRESSION_AUDIT,
 ];
@@ -34,6 +36,7 @@ pub fn run_all(model: &FileModel, no_unwrap_exempt: bool) -> Vec<Diagnostic> {
     float_order::check(model, &mut out);
     nondet_iter::check(model, &mut out);
     hot_path_alloc::check(model, &mut out);
+    hot_path_bounds_check::check(model, &mut out);
     asymmetric_expr::check(model, &mut out);
     out
 }

@@ -28,6 +28,23 @@ echo "==> conformance gate (quick differential + committed golden bits)"
 "$TSDIST" conformance --quick >/dev/null
 echo "    quick oracle subset clean, golden bits match results/conformance/registry_v1.tsv"
 
+echo "==> bench_kernels smoke (lane/wavefront kernels vs scalar twins, bit gates)"
+cargo build -q --offline -p tsdist-bench --bin bench_kernels
+target/debug/bench_kernels --quick --out "$SMOKE" >/dev/null 2>"$SMOKE/bench_kernels.log"
+if [ ! -s "$SMOKE/BENCH_kernels.json" ]; then
+  echo "bench_kernels wrote no BENCH_kernels.json" >&2
+  exit 1
+fi
+# The binary exits non-zero on any gate failure; assert the gates it
+# checked are recorded in the artifact rather than silently absent.
+grep -q '"identical_bits": true' "$SMOKE/BENCH_kernels.json"
+grep -q '"coverage": {"vectorized": ' "$SMOKE/BENCH_kernels.json"
+if grep -q '"identical_bits": false' "$SMOKE/BENCH_kernels.json"; then
+  echo "bench_kernels reported a wavefront/row-major bit mismatch" >&2
+  exit 1
+fi
+echo "    lane + wavefront kernels bit/tolerance gates pass; artifact has coverage"
+
 echo "==> resumable-study smoke (kill after one cell, resume, diff)"
 "$TSDIST" generate "$SMOKE/archive" --datasets 2 --seed 7 --quick >/dev/null
 
