@@ -117,12 +117,14 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (chaos, rest) = take_flag(&rest, "--chaos")?;
     let (port_file, rest) = take_flag(&rest, "--port-file")?;
     let (lenient, rest) = take_bool_flag(&rest, "--lenient");
+    let (no_index, rest) = take_bool_flag(&rest, "--no-index");
     let [root] = rest.as_slice() else {
         return Err(
             "usage: tsdist serve <archive-root> [--addr A] [--shards N] [--queue Q] \
              [--batch B] [--cache C] [--journal FILE] [--fsync never|rotate|every-<n>] \
              [--segment-bytes N] [--quarantine N] [--max-line-bytes N] [--max-series-len N] \
-             [--max-k N] [--max-inflight N] [--chaos SPEC] [--port-file FILE] [--lenient]"
+             [--max-k N] [--max-inflight N] [--chaos SPEC] [--port-file FILE] [--lenient] \
+             [--no-index]"
                 .into(),
         );
     };
@@ -179,6 +181,7 @@ pub fn cmd_serve(args: &[String]) -> Result<(), String> {
             defaults.quarantine_threshold as usize,
             "--quarantine",
         )? as u32,
+        index: !no_index,
         kill: match chaos {
             Some(ChaosSpec::KillShard(after_jobs)) => Some(KillSpec { after_jobs }),
             _ => None,

@@ -37,10 +37,21 @@ impl Dtw {
 
     /// The absolute band radius for series lengths `m`, `n`: at least
     /// `|m - n|` so a path always exists.
-    fn band(&self, m: usize, n: usize) -> usize {
-        let base = (self.window_pct / 100.0 * m.max(n) as f64).ceil() as usize;
-        base.max(m.abs_diff(n))
+    ///
+    /// Public so the index tier can build Keogh envelopes with the *same*
+    /// band arithmetic the measure evaluates with — any drift between the
+    /// two would make the envelope bounds inadmissible.
+    pub fn band(&self, m: usize, n: usize) -> usize {
+        band_radius(self.window_pct, m, n)
     }
+}
+
+/// The Sakoe–Chiba band radius for a `window_pct`% band over lengths
+/// `m`, `n` — the single source of truth shared by [`Dtw`] and the index
+/// tier's envelope builder.
+pub fn band_radius(window_pct: f64, m: usize, n: usize) -> usize {
+    let base = (window_pct / 100.0 * m.max(n) as f64).ceil() as usize;
+    base.max(m.abs_diff(n))
 }
 
 impl Distance for Dtw {
@@ -72,6 +83,16 @@ impl Distance for Dtw {
 
     fn lanes_hint(&self) -> usize {
         crate::lanes::LANES
+    }
+
+    fn index_profile(&self) -> crate::measure::IndexProfile {
+        // Plain banded DTW over raw values is exactly what LB_PAA /
+        // LB_Keogh envelopes lower-bound. The derivative and weighted
+        // variants below keep the `None` default: envelopes over the raw
+        // series say nothing about transformed or reweighted costs.
+        crate::measure::IndexProfile::KeoghDtw {
+            window_pct: self.window_pct,
+        }
     }
 }
 

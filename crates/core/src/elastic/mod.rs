@@ -31,7 +31,9 @@ pub mod twe;
 pub mod variants;
 pub mod wavefront;
 
-pub use dtw::{dtw_banded, dtw_banded_pruned, dtw_banded_ws, DerivativeDtw, Dtw, WeightedDtw};
+pub use dtw::{
+    band_radius, dtw_banded, dtw_banded_pruned, dtw_banded_ws, DerivativeDtw, Dtw, WeightedDtw,
+};
 pub use edit::{Edr, Erp, Lcss, Swale};
 pub use lower_bounds::{keogh_envelope, lb_erp, lb_keogh, lb_keogh_full, lb_keogh_upto, lb_kim};
 pub use msm::Msm;

@@ -1,0 +1,370 @@
+//! The sublinear 1-NN index tier: PAA summaries over Keogh envelopes and
+//! metric pivot tables.
+//!
+//! A [`TrainIndex`] is built once per `(dataset, normalization)` train
+//! split and then specialized per measure with
+//! [`TrainIndex::prepare_measure`]:
+//!
+//! * measures reporting [`IndexProfile::KeoghDtw`] (plain banded DTW) get
+//!   a [`DtwBandIndex`] — full Keogh envelopes plus their per-segment PAA
+//!   summary — powering the lower-bound cascade
+//!   `LB_PAA → LB_Keogh → distance_upto`;
+//! * measures declaring a non-`None` [`MetricRegime`] get a
+//!   [`PivotTable`] of exact pivot distances, powering reverse-triangle
+//!   pruning — after the declared regime passes sampled conformance
+//!   ([`assert_metric_on`]), so a wrongly-flagged measure fails loudly at
+//!   build time instead of silently corrupting answers.
+//!
+//! The query planner in `tsdist-eval` asks [`TrainIndex::plan`] per query
+//! row; anything that doesn't fit (ragged train, length mismatch,
+//! positive-regime data with a non-positive query, unprepared measure)
+//! falls back to [`QueryPlan::Linear`], i.e. the existing exact scan.
+//! Every bound produced here is deflated for floating-point safety
+//! (see [`paa::LB_DEFLATE`] and [`pivots::PIVOT_MARGIN`]), which is what
+//! lets the planner skip candidates while keeping 1-NN/k-NN answers
+//! byte-identical to the exact scan, ties included.
+
+pub mod paa;
+pub mod pivots;
+
+use std::collections::BTreeMap;
+
+use crate::elastic::{band_radius, keogh_envelope};
+use crate::measure::{Distance, IndexProfile, MetricRegime, EPS};
+
+pub use paa::{envelope_summary, lb_paa, paa_means, segment_bounds, LB_DEFLATE};
+pub use pivots::{assert_metric_on, find_metric_violation, PivotTable, PIVOT_MARGIN};
+
+/// Seed for the conformance sampling run at pivot-table build time.
+const CONFORMANCE_SEED: u64 = 0x7D15_7A9C_E11B_0001;
+
+/// Keogh envelopes for one DTW band over the whole train split, plus the
+/// per-segment PAA summary of each envelope.
+#[derive(Debug, Clone)]
+pub struct DtwBandIndex {
+    band: usize,
+    /// Per train series: the `(upper, lower)` Keogh envelope.
+    envelopes: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Per train series: the `(Û, L̂)` per-segment envelope summary.
+    summaries: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Per train series: every value finite. Sliding min/max over NaN is
+    /// comparison-order-dependent, so envelopes of unclean series can be
+    /// finite garbage — such candidates must never be pruned by a bound.
+    clean: Vec<bool>,
+}
+
+impl DtwBandIndex {
+    fn build(train: &[Vec<f64>], band: usize, bounds: &[usize]) -> Self {
+        let envelopes: Vec<_> = train.iter().map(|t| keogh_envelope(t, band)).collect();
+        let summaries = envelopes
+            .iter()
+            .map(|(u, l)| envelope_summary(u, l, bounds))
+            .collect();
+        let clean = train
+            .iter()
+            .map(|t| t.iter().all(|v| v.is_finite()))
+            .collect();
+        DtwBandIndex {
+            band,
+            envelopes,
+            summaries,
+            clean,
+        }
+    }
+
+    /// Whether train series `j` is fully finite — only then are its
+    /// envelope-derived bounds trustworthy; unclean candidates fall back
+    /// to the exact computation.
+    pub fn is_clean(&self, j: usize) -> bool {
+        self.clean[j]
+    }
+
+    /// The absolute Sakoe–Chiba radius the envelopes were built with.
+    pub fn band(&self) -> usize {
+        self.band
+    }
+
+    /// The full Keogh envelope of train series `j`.
+    pub fn envelope(&self, j: usize) -> (&[f64], &[f64]) {
+        let (u, l) = &self.envelopes[j];
+        (u, l)
+    }
+
+    /// LB_PAA of a query (summarized by `qmeans` under the index's
+    /// segment bounds) against train series `j`. Unclean candidates get
+    /// the vacuous bound `0.0`.
+    pub fn lb_paa(&self, qmeans: &[f64], bounds: &[usize], j: usize) -> f64 {
+        if !self.clean[j] {
+            return 0.0;
+        }
+        let (umax, lmin) = &self.summaries[j];
+        lb_paa(qmeans, umax, lmin, bounds)
+    }
+}
+
+/// Counts the serve layer's `health` command reports per shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Indexed train series.
+    pub series: u64,
+    /// Distinct DTW bands with an envelope + PAA structure.
+    pub dtw_bands: u64,
+    /// Measures with a built pivot table.
+    pub pivot_tables: u64,
+}
+
+/// How the planner should search one query row.
+pub enum QueryPlan<'a> {
+    /// LB_PAA → cached LB_Keogh → `distance_upto` cascade.
+    Cascade(&'a DtwBandIndex),
+    /// Reverse-triangle pivot pruning → `distance_upto`.
+    Pivots(&'a PivotTable),
+    /// No admissible structure: exact linear scan.
+    Linear,
+}
+
+/// The per-train-split index: PAA segment layout shared by every band,
+/// lazily populated per-measure structures.
+#[derive(Debug, Clone, Default)]
+pub struct TrainIndex {
+    /// Uniform series length; `0` when the split is empty or ragged (the
+    /// index then refuses every plan).
+    series_len: usize,
+    n: usize,
+    /// Every train value `>= EPS` — the gate for `MetricRegime::Positive`
+    /// pivot tables.
+    positive: bool,
+    /// Shared PAA segment boundaries (`segments + 1` cut points).
+    bounds: Vec<usize>,
+    dtw_bands: BTreeMap<usize, DtwBandIndex>,
+    pivot_tables: BTreeMap<String, PivotTable>,
+}
+
+/// Target points per PAA segment: segments = `len / 8`, clamped to
+/// `[1, 64]`. Coarse enough that summaries stay tiny, fine enough that
+/// LB_PAA keeps most of LB_Keogh's pruning power.
+fn default_segments(len: usize) -> usize {
+    (len / 8).clamp(1, 64)
+}
+
+impl TrainIndex {
+    /// Builds the base index over a train split. Cheap — per-measure
+    /// structures are added by [`TrainIndex::prepare_measure`].
+    pub fn build(train: &[Vec<f64>]) -> Self {
+        let series_len = train.first().map_or(0, Vec::len);
+        let uniform = series_len > 0 && train.iter().all(|t| t.len() == series_len);
+        if !uniform {
+            return TrainIndex::default();
+        }
+        TrainIndex {
+            series_len,
+            n: train.len(),
+            positive: train.iter().all(|t| t.iter().all(|&v| v >= EPS)),
+            bounds: segment_bounds(series_len, default_segments(series_len)),
+            dtw_bands: BTreeMap::new(),
+            pivot_tables: BTreeMap::new(),
+        }
+    }
+
+    /// Number of indexed train series (0 when the split was empty or
+    /// ragged and the index is inert).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the index holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The uniform series length, when the split was indexable.
+    pub fn series_len(&self) -> Option<usize> {
+        (self.series_len > 0).then_some(self.series_len)
+    }
+
+    /// The shared PAA segment boundaries.
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// Builds (idempotently) the per-measure structure for `d`: a
+    /// [`DtwBandIndex`] for `IndexProfile::KeoghDtw` measures, a
+    /// conformance-checked [`PivotTable`] for declared metrics. `train`
+    /// must be the same split the index was built over.
+    ///
+    /// # Panics
+    /// Panics when `d` declares a [`MetricRegime`] that fails sampled
+    /// triangle-inequality conformance — a wrong flag fails loudly here
+    /// rather than silently corrupting pruned answers.
+    pub fn prepare_measure(&mut self, d: &dyn Distance, train: &[Vec<f64>]) {
+        if self.series_len == 0 || train.len() != self.n {
+            return;
+        }
+        match d.index_profile() {
+            IndexProfile::KeoghDtw { window_pct } => {
+                let band = band_radius(window_pct, self.series_len, self.series_len);
+                self.dtw_bands
+                    .entry(band)
+                    .or_insert_with(|| DtwBandIndex::build(train, band, &self.bounds));
+            }
+            IndexProfile::None => {
+                let regime = d.metric_regime();
+                let eligible = d.is_symmetric()
+                    && match regime {
+                        MetricRegime::All => true,
+                        MetricRegime::Positive => self.positive,
+                        MetricRegime::None => false,
+                    };
+                if eligible && !self.pivot_tables.contains_key(&d.name()) {
+                    assert_metric_on(d, regime, train, CONFORMANCE_SEED);
+                    self.pivot_tables
+                        .insert(d.name(), pivots::build_pivot_table(d, train));
+                }
+            }
+        }
+    }
+
+    /// Resolves the search plan for one query row. Falls back to
+    /// [`QueryPlan::Linear`] whenever the structure would not be
+    /// admissible: length mismatch, unprepared measure, or a
+    /// positive-regime pivot table facing a query with coordinates below
+    /// `EPS` (NaN coordinates fail that gate too).
+    pub fn plan(&self, d: &dyn Distance, query: &[f64]) -> QueryPlan<'_> {
+        if self.series_len == 0 || query.len() != self.series_len {
+            return QueryPlan::Linear;
+        }
+        match d.index_profile() {
+            IndexProfile::KeoghDtw { window_pct } => {
+                let band = band_radius(window_pct, self.series_len, self.series_len);
+                match self.dtw_bands.get(&band) {
+                    Some(ix) => QueryPlan::Cascade(ix),
+                    None => QueryPlan::Linear,
+                }
+            }
+            IndexProfile::None => match self.pivot_tables.get(&d.name()) {
+                Some(t) => {
+                    let regime_ok = match t.regime() {
+                        MetricRegime::Positive => query.iter().all(|&v| v >= EPS),
+                        _ => true,
+                    };
+                    if regime_ok {
+                        QueryPlan::Pivots(t)
+                    } else {
+                        QueryPlan::Linear
+                    }
+                }
+                None => QueryPlan::Linear,
+            },
+        }
+    }
+
+    /// Per-segment means of `query` under the index's boundaries —
+    /// scratch for [`DtwBandIndex::lb_paa`].
+    pub fn query_means(&self, query: &[f64], out: &mut Vec<f64>) {
+        paa_means(query, &self.bounds, out);
+    }
+
+    /// Structure counts, for `serve` health reporting and benches.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            series: self.n as u64,
+            dtw_bands: self.dtw_bands.len() as u64,
+            pivot_tables: self.pivot_tables.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elastic::Dtw;
+    use crate::lockstep::{Canberra, Euclidean, SquaredEuclidean};
+
+    fn toy_train(n: usize, len: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..len)
+                    .map(|t| ((i * 5 + t) as f64 * 0.41).sin())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_ragged_splits_yield_an_inert_index() {
+        let mut ix = TrainIndex::build(&[]);
+        ix.prepare_measure(&Euclidean, &[]);
+        assert!(matches!(ix.plan(&Euclidean, &[1.0]), QueryPlan::Linear));
+        assert_eq!(ix.stats(), IndexStats::default());
+
+        let ragged = vec![vec![1.0, 2.0], vec![1.0, 2.0, 3.0]];
+        let ix = TrainIndex::build(&ragged);
+        assert!(ix.series_len().is_none());
+        assert!(matches!(
+            ix.plan(&Euclidean, &[1.0, 2.0]),
+            QueryPlan::Linear
+        ));
+    }
+
+    #[test]
+    fn dtw_measures_get_a_cascade_plan_and_share_bands() {
+        let train = toy_train(12, 40);
+        let mut ix = TrainIndex::build(&train);
+        ix.prepare_measure(&Dtw::with_window_pct(10.0), &train);
+        ix.prepare_measure(&Dtw::with_window_pct(10.0), &train);
+        assert_eq!(ix.stats().dtw_bands, 1);
+        let q = vec![0.0; 40];
+        assert!(matches!(
+            ix.plan(&Dtw::with_window_pct(10.0), &q),
+            QueryPlan::Cascade(_)
+        ));
+        // Unprepared band and mismatched length fall back.
+        assert!(matches!(
+            ix.plan(&Dtw::with_window_pct(50.0), &q),
+            QueryPlan::Linear
+        ));
+        assert!(matches!(
+            ix.plan(&Dtw::with_window_pct(10.0), &[0.0; 8]),
+            QueryPlan::Linear
+        ));
+    }
+
+    #[test]
+    fn metric_measures_get_pivots_and_unflagged_ones_do_not() {
+        let train = toy_train(16, 24);
+        let mut ix = TrainIndex::build(&train);
+        ix.prepare_measure(&Euclidean, &train);
+        ix.prepare_measure(&SquaredEuclidean, &train);
+        assert_eq!(ix.stats().pivot_tables, 1);
+        let q = vec![0.25; 24];
+        assert!(matches!(ix.plan(&Euclidean, &q), QueryPlan::Pivots(_)));
+        assert!(matches!(ix.plan(&SquaredEuclidean, &q), QueryPlan::Linear));
+    }
+
+    #[test]
+    fn positive_regime_gates_on_train_and_query_positivity() {
+        // Z-scored-style train data (negatives): Canberra must not get a
+        // pivot table at all.
+        let train = toy_train(10, 16);
+        let mut ix = TrainIndex::build(&train);
+        ix.prepare_measure(&Canberra, &train);
+        assert_eq!(ix.stats().pivot_tables, 0);
+
+        // Positive train data: the table builds, but a query dipping
+        // below EPS still falls back to linear.
+        let pos: Vec<Vec<f64>> = toy_train(10, 16)
+            .into_iter()
+            .map(|t| t.into_iter().map(|v| 1.5 + v).collect())
+            .collect();
+        let mut ix = TrainIndex::build(&pos);
+        ix.prepare_measure(&Canberra, &pos);
+        assert_eq!(ix.stats().pivot_tables, 1);
+        assert!(matches!(
+            ix.plan(&Canberra, &[0.5; 16]),
+            QueryPlan::Pivots(_)
+        ));
+        let mut bad = vec![0.5; 16];
+        bad[3] = 0.0;
+        assert!(matches!(ix.plan(&Canberra, &bad), QueryPlan::Linear));
+    }
+}

@@ -49,6 +49,7 @@
 pub mod chaos;
 pub mod elastic;
 pub mod embedding;
+pub mod index;
 pub mod kernel;
 pub mod lanes;
 pub mod lockstep;
@@ -62,6 +63,7 @@ pub mod sliding;
 pub mod subsequence;
 pub mod workspace;
 
-pub use measure::{Distance, Kernel, KernelDistance, EPS};
+pub use index::{IndexStats, QueryPlan, TrainIndex};
+pub use measure::{Distance, IndexProfile, Kernel, KernelDistance, MetricRegime, EPS};
 pub use normalization::{AdaptiveScaled, Normalization};
 pub use workspace::Workspace;

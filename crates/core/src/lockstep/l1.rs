@@ -21,14 +21,20 @@ lockstep_measure!(
     /// Gower distance: the mean absolute difference, `(1/m) sum |x-y|`.
     Gower,
     "Gower",
+    metric All,
     |x, y| zip_sum(x, y, |a, b| (a - b).abs()) / x.len().max(1) as f64
 );
 
 lockstep_measure!(
     /// Soergel distance: `sum |x-y| / sum max(x,y)`. One of the paper's
     /// newly surfaced winners — but only under MinMax normalization.
+    ///
+    /// On density-like data (every coordinate `>= EPS`) the denominator
+    /// guard never fires and Soergel is the Ruzicka/Jaccard metric, so it
+    /// declares `MetricRegime::Positive`.
     Soergel,
     "Soergel",
+    metric Positive,
     |x, y| safe_div(
         zip_sum(x, y, |a, b| (a - b).abs()),
         zip_sum(x, y, f64::max)
@@ -55,8 +61,17 @@ lockstep_measure!(
     /// series) [`safe_div`] yields negative terms, so the upto path
     /// detects that with a vectorizable prescan and falls back to the
     /// exact sum — still contract-correct, just without abandoning.
+    ///
+    /// Canberra is the classical metric on non-negative reals, but the
+    /// [`safe_div`] guard bends the triangle inequality for coordinate
+    /// pairs summing below `EPS` (e.g. `d(0, ε) > d(0, ε/2) + d(ε/2, ε)`
+    /// under a guarded denominator). `MetricRegime::Positive` — every
+    /// coordinate `>= EPS` — is exactly the regime where the guard never
+    /// fires and the classical proof applies, so the pivot layer engages
+    /// there and nowhere else.
     Canberra,
     "Canberra",
+    metric Positive,
     |x, y| zip_sum(x, y, |a, b| safe_div((a - b).abs(), a + b)),
     |x, y, cutoff| {
         let n = x.len().min(y.len());
@@ -78,8 +93,13 @@ lockstep_measure!(
     /// Early-abandonable: `ln(1 + |x-y|) >= 0`, so partial sums are
     /// monotone. (Canberra abandons too, but only after a prescan proves
     /// its denominators non-negative — see its definition above.)
+    ///
+    /// A metric on all of `R^n`: `t ↦ ln(1 + t)` is concave, increasing,
+    /// and zero at zero, hence subadditive, so each coordinate term is a
+    /// metric and their sum is too — `metric All`.
     Lorentzian,
     "Lorentzian",
+    metric All,
     |x, y| zip_sum(x, y, |a, b| (1.0 + (a - b).abs()).ln()),
     |x, y, cutoff| zip_sum_upto(x, y, cutoff, |a, b| (1.0 + (a - b).abs()).ln())
 );

@@ -11,6 +11,7 @@ lockstep_measure!(
     /// `sqrt(sum (x_i - y_i)^2)`.
     Euclidean,
     "ED",
+    metric All,
     |x, y| zip_sum(x, y, |a, b| (a - b) * (a - b)).sqrt(),
     |x, y, cutoff| {
         // Cheap squared trigger, then an exact confirm on the rounded
@@ -36,6 +37,7 @@ lockstep_measure!(
     /// City-block / Manhattan distance (L1 norm): `sum |x_i - y_i|`.
     CityBlock,
     "Manhattan",
+    metric All,
     |x, y| zip_sum(x, y, |a, b| (a - b).abs()),
     |x, y, cutoff| zip_sum_upto(x, y, cutoff, |a, b| (a - b).abs())
 );
@@ -49,6 +51,7 @@ lockstep_measure!(
     /// exclude negative zero, so max is exactly reassociable.
     Chebyshev,
     "Chebyshev",
+    metric All,
     |x, y| crate::lanes::lane_max(x, y, |a, b| (a - b).abs()),
     |x, y, cutoff| {
         // Running max is monotone non-decreasing, so a block whose
@@ -115,6 +118,17 @@ impl Distance for Minkowski {
 
     fn lanes_hint(&self) -> usize {
         crate::lanes::LANES
+    }
+
+    fn metric_regime(&self) -> crate::measure::MetricRegime {
+        // Lp is a norm-induced metric only for p >= 1; the fractional
+        // orders in Table 4's grid (p < 1) break the triangle inequality
+        // and must stay out of the pivot layer.
+        if self.p >= 1.0 {
+            crate::measure::MetricRegime::All
+        } else {
+            crate::measure::MetricRegime::None
+        }
     }
 }
 

@@ -117,8 +117,16 @@ pub(crate) fn zip_sum_upto(
 /// body. The macro supplies the non-finite-cutoff guard (`+∞` must be
 /// bit-identical to the exact path, and a NaN cutoff means "no cutoff"),
 /// so the body only sees a finite cutoff.
+///
+/// An optional `metric <Regime>,` token after the label declares the
+/// [`crate::measure::MetricRegime`] on which the measure satisfies the
+/// triangle inequality, opting it into the index tier's pivot layer. The
+/// declaration is validated against sampled triples at pivot-table build
+/// time, so a wrong flag fails loudly (satisfying the "Canberra silently
+/// falls out of the metric layer" fix with a checked, explicit opt-in).
 macro_rules! lockstep_measure {
-    (upto $(#[$doc:meta])* $name:ident, $label:expr, |$x:ident, $y:ident| $body:expr,
+    (upto $(#[$doc:meta])* $name:ident, $label:expr, $(metric $regime:ident,)?
+     |$x:ident, $y:ident| $body:expr,
      |$ux:ident, $uy:ident, $cutoff:ident| $ubody:expr) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -146,6 +154,11 @@ macro_rules! lockstep_measure {
             fn lanes_hint(&self) -> usize {
                 crate::lanes::LANES
             }
+            $(
+                fn metric_regime(&self) -> crate::measure::MetricRegime {
+                    crate::measure::MetricRegime::$regime
+                }
+            )?
         }
     };
     (asymmetric $(#[$doc:meta])* $name:ident, $label:expr, |$x:ident, $y:ident| $body:expr) => {
@@ -168,7 +181,8 @@ macro_rules! lockstep_measure {
             }
         }
     };
-    ($(#[$doc:meta])* $name:ident, $label:expr, |$x:ident, $y:ident| $body:expr) => {
+    ($(#[$doc:meta])* $name:ident, $label:expr, $(metric $regime:ident,)?
+     |$x:ident, $y:ident| $body:expr) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
         pub struct $name;
@@ -183,6 +197,11 @@ macro_rules! lockstep_measure {
             fn lanes_hint(&self) -> usize {
                 crate::lanes::LANES
             }
+            $(
+                fn metric_regime(&self) -> crate::measure::MetricRegime {
+                    crate::measure::MetricRegime::$regime
+                }
+            )?
         }
     };
 }

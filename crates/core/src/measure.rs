@@ -11,6 +11,51 @@
 
 use crate::workspace::Workspace;
 
+/// The input regime on which a [`Distance`] is a (pseudo)metric —
+/// symmetric, with `d(x, z) <= d(x, y) + d(y, z)` for every triple drawn
+/// from the regime.
+///
+/// The index tier's pivot layer (`crate::index`) prunes candidates with
+/// the reverse triangle inequality, so it only engages for measures that
+/// *declare* a regime here — and the declaration is checked, not trusted:
+/// building a pivot table samples random triples from the actual data and
+/// panics if a declared regime is violated (see
+/// [`crate::index::assert_metric_on`]). `Canberra` is the motivating
+/// case: its guarded formula is a metric only on density-like positive
+/// data, so it declares [`MetricRegime::Positive`] and silently falls
+/// back to the lower-bound cascade or linear scan on z-scored inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricRegime {
+    /// Not a metric (or not known to be one) on any supported inputs.
+    None,
+    /// A metric when every coordinate of every operand is `>= EPS` —
+    /// the "density-like" regime Cha's formulas assume. Below that floor
+    /// the [`EPS`]-guarded denominators distort the triangle inequality.
+    Positive,
+    /// A metric on all of `R^n` (equal-length inputs).
+    All,
+}
+
+/// Which index-tier summary structure can lower-bound a [`Distance`].
+///
+/// Returned by [`Distance::index_profile`]; the planner in `tsdist-eval`
+/// uses it to decide whether a PAA/Keogh envelope cascade is admissible
+/// for the measure. Wrappers that transform the series (derivatives,
+/// adaptive scaling, logistic weights) must report [`IndexProfile::None`]
+/// — envelope bounds over the *raw* series do not survive the transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IndexProfile {
+    /// No summary structure lower-bounds this measure.
+    None,
+    /// Banded DTW over raw values: LB_PAA and LB_Keogh envelopes built
+    /// with this Sakoe-Chiba `window_pct` are admissible lower bounds.
+    KeoghDtw {
+        /// The window percentage the envelopes must be built with —
+        /// identical to the measure's own band arithmetic.
+        window_pct: f64,
+    },
+}
+
 /// A pairwise dissimilarity between two equal-purpose time series.
 ///
 /// Implementations must be thread-safe ([`Send`] + [`Sync`]) because the
@@ -97,6 +142,31 @@ pub trait Distance: Send + Sync {
     fn lanes_hint(&self) -> usize {
         1
     }
+
+    /// The input regime on which this measure is a (pseudo)metric — see
+    /// [`MetricRegime`]. The default is [`MetricRegime::None`]: a measure
+    /// must opt in explicitly to be eligible for triangle-inequality
+    /// pivot pruning, and the declaration is validated against sampled
+    /// triples when a pivot table is built, so a wrong flag fails loudly
+    /// instead of silently corrupting answers.
+    fn metric_regime(&self) -> MetricRegime {
+        MetricRegime::None
+    }
+
+    /// Whether the measure is a metric on *some* declared input regime —
+    /// shorthand for `metric_regime() != MetricRegime::None`.
+    fn is_metric(&self) -> bool {
+        self.metric_regime() != MetricRegime::None
+    }
+
+    /// Which index-tier summary structure admissibly lower-bounds this
+    /// measure — see [`IndexProfile`]. The default is
+    /// [`IndexProfile::None`]; only plain banded DTW opts in, and
+    /// transforming wrappers (derivative, weighted, adaptive-scaled)
+    /// deliberately keep the default.
+    fn index_profile(&self) -> IndexProfile {
+        IndexProfile::None
+    }
 }
 
 impl<D: Distance + ?Sized> Distance for Box<D> {
@@ -118,6 +188,12 @@ impl<D: Distance + ?Sized> Distance for Box<D> {
     fn lanes_hint(&self) -> usize {
         (**self).lanes_hint()
     }
+    fn metric_regime(&self) -> MetricRegime {
+        (**self).metric_regime()
+    }
+    fn index_profile(&self) -> IndexProfile {
+        (**self).index_profile()
+    }
 }
 
 impl<D: Distance + ?Sized> Distance for &D {
@@ -138,6 +214,12 @@ impl<D: Distance + ?Sized> Distance for &D {
     }
     fn lanes_hint(&self) -> usize {
         (**self).lanes_hint()
+    }
+    fn metric_regime(&self) -> MetricRegime {
+        (**self).metric_regime()
+    }
+    fn index_profile(&self) -> IndexProfile {
+        (**self).index_profile()
     }
 }
 

@@ -27,7 +27,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use crate::error::EvalError;
-use tsdist_core::measure::{Distance, Kernel};
+use tsdist_core::measure::{Distance, IndexProfile, Kernel, MetricRegime};
 use tsdist_core::Workspace;
 use tsdist_linalg::Matrix;
 
@@ -299,6 +299,15 @@ impl Distance for GuardedDistance<'_> {
     }
     fn is_symmetric(&self) -> bool {
         self.inner.is_symmetric()
+    }
+    // The index planner consults these on the *guarded* wrapper; without
+    // forwarding, every indexed evaluation would silently degrade to the
+    // linear fallback plan.
+    fn metric_regime(&self) -> MetricRegime {
+        self.inner.metric_regime()
+    }
+    fn index_profile(&self) -> IndexProfile {
+        self.inner.index_profile()
     }
 }
 

@@ -385,6 +385,61 @@ pub(crate) fn distance_cell_pruned_prepared(
     Ok(Evaluation::unsupervised(accuracy))
 }
 
+/// [`distance_cell_pruned_prepared`] with an index tier: rows with an
+/// admissible plan skip candidates via the lower-bound cascade or pivot
+/// bounds; everything else takes the linear scan. Byte-identical
+/// accuracy either way. The `index` must have been built over this
+/// *prepared* train split (the caller's contract, as with
+/// `assume_prepared`); a mismatched index is detected by length and
+/// never prunes.
+pub(crate) fn distance_cell_indexed_prepared(
+    d: &dyn Distance,
+    prepared: &Dataset,
+    norm: Normalization,
+    cancel: &CancelFlag,
+    index: &tsdist_core::TrainIndex,
+    warm_start: bool,
+    cache: Option<&crate::runtime::EnvelopeCache>,
+) -> Result<Evaluation, CellError> {
+    cancel.checkpoint()?;
+    if prepared.train.is_empty() {
+        return Err(EvalError::EmptyTrainSet.into());
+    }
+    let guarded = GuardedDistance::new(d, cancel);
+    let (nns, _) = if norm.is_pairwise() {
+        // Per-pair rescaling invalidates every precomputed bound; the
+        // wrapper declares no index profile, so each row's plan falls
+        // back to the linear scan on its own.
+        let wrapped = AdaptiveScaled::new(guarded);
+        crate::index::indexed_nn_search_rows(
+            &wrapped,
+            &prepared.test,
+            &prepared.train,
+            index,
+            warm_start,
+            cache,
+        )
+    } else {
+        crate::index::indexed_nn_search_rows(
+            &guarded,
+            &prepared.test,
+            &prepared.train,
+            index,
+            warm_start,
+            cache,
+        )
+    };
+    if let Some((i, j)) = nns
+        .iter()
+        .enumerate()
+        .find_map(|(i, nn)| nn.non_finite.map(|j| (i, j)))
+    {
+        return Err(CellError::NonFiniteDistance { i, j });
+    }
+    let accuracy = one_nn_vote_accuracy(&nns, &prepared.test_labels, &prepared.train_labels);
+    Ok(Evaluation::unsupervised(accuracy))
+}
+
 /// Cancellable, fault-classified variant of
 /// [`evaluate_distance_supervised`]: the flag is checked between grid
 /// points, and the selected point's LOOCV accuracy is returned alongside

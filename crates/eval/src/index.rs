@@ -1,0 +1,903 @@
+//! The indexed 1-NN/k-NN query planner: lower-bound cascades and pivot
+//! pruning over a [`TrainIndex`], byte-identical to the exact scan.
+//!
+//! Per query row the planner asks [`TrainIndex::plan`] and dispatches:
+//!
+//! * [`QueryPlan::Cascade`] (plain banded DTW): candidates are visited in
+//!   ascending `LB_PAA` order; a candidate is skipped when its stored
+//!   (deflated) `LB_PAA` reaches the cutoff, then when the cached
+//!   `LB_Keogh` walk reaches the inflated threshold, and only survivors
+//!   run `distance_upto`. Because the order is sorted, the first
+//!   in-sorted-region PAA skip ends the row.
+//! * [`QueryPlan::Pivots`] (declared-metric lock-step measures): the
+//!   pivot candidates are visited first with *exact* distances — which
+//!   both seeds the incumbent and yields the query-to-pivot distances the
+//!   reverse-triangle bound needs — then the remaining candidates are
+//!   visited in ascending pivot-bound order with the same skip rule.
+//! * [`QueryPlan::Linear`]: the existing pruned scan of
+//!   [`crate::pruned`], row for row.
+//!
+//! # Why skipping preserves byte-identity
+//!
+//! A candidate `j` is only ever skipped when a provable lower bound on
+//! its true distance reaches `cutoff = best.next_up()` (k-NN: `next_up`
+//! of the current `k`-th distance). Then `d_j >= cutoff > best`, so `j`
+//! can neither win nor tie the incumbent — and a candidate that *ties*
+//! has `d_j = best < cutoff`, hence `lb <= d_j < cutoff`, and is always
+//! computed exactly. Combined with the order-independent update rule
+//! shared with [`crate::pruned`] (smallest index among minimizers,
+//! non-finite values never displace finite ones), every row's result is
+//! identical to the exact scan's for any visiting order and any subset
+//! of admissible skips.
+//!
+//! Floating-point safety: `LB_PAA` values are stored pre-deflated
+//! ([`tsdist_core::index::LB_DEFLATE`]); the `LB_Keogh` tier instead
+//! inflates the threshold by [`KEOGH_INFLATE`] — the early-abandoning
+//! walk's partial sums are monotone, so `lb_keogh_upto(...) >= thresh`
+//! proves the *computed* full bound reaches `thresh`, and the `1e-8`
+//! inflation strictly dominates the sum's `~1e-9` relative error, so the
+//! *true* bound (and hence the true DTW) still reaches `cutoff`.
+
+use crate::error::EvalError;
+use crate::parallel::parallel_map;
+use crate::pruned::{
+    chunk_spans, knn_row, knn_vote_accuracy, nearest_in_order, order_candidates, promote,
+    NearestNeighbour,
+};
+use crate::runtime::EnvelopeCache;
+use tsdist_core::elastic::lb_keogh_upto;
+use tsdist_core::index::{paa_means, DtwBandIndex, PivotTable, QueryPlan, TrainIndex};
+use tsdist_core::measure::Distance;
+use tsdist_core::Workspace;
+use tsdist_data::Label;
+
+/// Relative inflation of the cutoff before the cached `LB_Keogh` tier
+/// compares against it: skipping requires the computed bound to reach
+/// `cutoff * KEOGH_INFLATE`, which (being far above the bound's own
+/// relative summation error) guarantees the true bound reaches `cutoff`.
+pub const KEOGH_INFLATE: f64 = 1.0 + 1e-8;
+
+/// Work counters of an indexed search — the evidence that the index tier
+/// actually prunes (and the `bench_index` payload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexedStats {
+    /// Query rows answered.
+    pub rows: u64,
+    /// Candidate pairs considered (self-exclusions already removed).
+    pub candidates: u64,
+    /// Candidates that reached a distance computation.
+    pub examined: u64,
+    /// Candidates skipped by the stored `LB_PAA` tier.
+    pub paa_skipped: u64,
+    /// Candidates skipped by the cached `LB_Keogh` tier.
+    pub keogh_skipped: u64,
+    /// Candidates skipped by the reverse-triangle pivot bound.
+    pub pivot_skipped: u64,
+    /// Rows that fell back to the linear (exact) scan plan.
+    pub fallback_rows: u64,
+}
+
+impl IndexedStats {
+    /// Fraction of candidates that reached a distance computation.
+    pub fn examined_fraction(&self) -> f64 {
+        self.examined as f64 / self.candidates.max(1) as f64
+    }
+
+    fn absorb(&mut self, o: &IndexedStats) {
+        self.rows += o.rows;
+        self.candidates += o.candidates;
+        self.examined += o.examined;
+        self.paa_skipped += o.paa_skipped;
+        self.keogh_skipped += o.keogh_skipped;
+        self.pivot_skipped += o.pivot_skipped;
+        self.fallback_rows += o.fallback_rows;
+    }
+}
+
+/// Per-chunk scratch reused across rows.
+#[derive(Default)]
+struct Scratch {
+    qmeans: Vec<f64>,
+    lbs: Vec<f64>,
+    order: Vec<usize>,
+    scores: Vec<f64>,
+    qsamples: Vec<f64>,
+    qd: Vec<f64>,
+    is_pivot: Vec<bool>,
+    heap: Vec<(f64, usize)>,
+}
+
+/// Incumbent state of one 1-NN row, shared between the pivot pre-visit
+/// and the lower-bound-ordered tail scan.
+struct RowState {
+    best: f64,
+    best_j: Option<usize>,
+    non_finite: Option<usize>,
+}
+
+impl RowState {
+    fn new() -> Self {
+        RowState {
+            best: f64::INFINITY,
+            best_j: None,
+            non_finite: None,
+        }
+    }
+
+    /// The shared update rule of [`crate::pruned::nearest_in_order`]:
+    /// smallest index among minimizers, non-finite never displaces.
+    fn update(&mut self, v: f64, j: usize, exact: bool) {
+        if self.non_finite.is_none() && (v.is_nan() || (exact && !v.is_finite())) {
+            self.non_finite = Some(j);
+        }
+        if v < self.best || (v == self.best && self.best_j.is_some_and(|b| j < b)) {
+            self.best = v;
+            self.best_j = Some(j);
+        }
+    }
+
+    fn finish(self) -> NearestNeighbour {
+        NearestNeighbour {
+            index: self.best_j,
+            distance: self.best,
+            non_finite: self.non_finite,
+        }
+    }
+}
+
+/// Sorts the candidates in `order` ascending by `(lbs[j], j)`.
+fn sort_by_lb(order: &mut [usize], lbs: &[f64]) {
+    order.sort_unstable_by(|&a, &b| lbs[a].total_cmp(&lbs[b]).then(a.cmp(&b)));
+}
+
+/// The 1-NN tail scan over lower-bound-ordered candidates. Positions
+/// `>= sorted_from` are still in ascending-bound order, so the first
+/// bound-skip there proves every remaining bound also reaches the cutoff
+/// and ends the row. `keogh` adds the cached-envelope middle tier
+/// (cascade plans only).
+#[allow(clippy::too_many_arguments)]
+fn lb_ordered_nn_scan(
+    d: &dyn Distance,
+    x: &[f64],
+    train: &[Vec<f64>],
+    order: &[usize],
+    sorted_from: usize,
+    lbs: &[f64],
+    keogh: Option<&DtwBandIndex>,
+    st: &mut RowState,
+    ws: &mut Workspace,
+    lb_skipped: &mut u64,
+    keogh_skipped: &mut u64,
+    examined: &mut u64,
+) {
+    for (pos, &j) in order.iter().enumerate() {
+        let cutoff = st.best.next_up();
+        if cutoff.is_finite() && cutoff > 0.0 {
+            if lbs[j] >= cutoff {
+                if pos >= sorted_from {
+                    *lb_skipped += (order.len() - pos) as u64;
+                    return;
+                }
+                *lb_skipped += 1;
+                continue;
+            }
+            if let Some(bix) = keogh {
+                if bix.is_clean(j) {
+                    let (upper, lower) = bix.envelope(j);
+                    let thresh = cutoff * KEOGH_INFLATE;
+                    if lb_keogh_upto(x, upper, lower, thresh) >= thresh {
+                        *keogh_skipped += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        *examined += 1;
+        let exact = cutoff.is_nan() || cutoff == f64::INFINITY;
+        let v = d.distance_upto(x, &train[j], ws, cutoff);
+        st.update(v, j, exact);
+    }
+}
+
+/// One cascade-planned 1-NN row: LB_PAA order → LB_Keogh → exact.
+#[allow(clippy::too_many_arguments)]
+fn cascade_nn_row(
+    d: &dyn Distance,
+    x: &[f64],
+    train: &[Vec<f64>],
+    bix: &DtwBandIndex,
+    bounds: &[usize],
+    skip: usize,
+    prev: Option<usize>,
+    s: &mut Scratch,
+    ws: &mut Workspace,
+    stats: &mut IndexedStats,
+) -> NearestNeighbour {
+    paa_means(x, bounds, &mut s.qmeans);
+    s.lbs.clear();
+    s.lbs
+        .extend((0..train.len()).map(|j| bix.lb_paa(&s.qmeans, bounds, j)));
+    s.order.clear();
+    s.order.extend((0..train.len()).filter(|&j| j != skip));
+    sort_by_lb(&mut s.order, &s.lbs);
+    let mut sorted_from = 0;
+    if let Some(p) = prev {
+        sorted_from += usize::from(promote(&mut s.order, p));
+    }
+    let mut st = RowState::new();
+    lb_ordered_nn_scan(
+        d,
+        x,
+        train,
+        &s.order,
+        sorted_from,
+        &s.lbs,
+        Some(bix),
+        &mut st,
+        ws,
+        &mut stats.paa_skipped,
+        &mut stats.keogh_skipped,
+        &mut stats.examined,
+    );
+    st.finish()
+}
+
+/// One pivot-planned 1-NN row: exact pivot visits (seeding the incumbent
+/// and the reverse-triangle inputs), then the bound-ordered tail.
+#[allow(clippy::too_many_arguments)]
+fn pivot_nn_row(
+    d: &dyn Distance,
+    x: &[f64],
+    train: &[Vec<f64>],
+    table: &PivotTable,
+    skip: usize,
+    prev: Option<usize>,
+    s: &mut Scratch,
+    ws: &mut Workspace,
+    stats: &mut IndexedStats,
+) -> NearestNeighbour {
+    let mut st = RowState::new();
+    s.qd.clear();
+    s.is_pivot.clear();
+    s.is_pivot.resize(train.len(), false);
+    for &p in table.pivots() {
+        s.is_pivot[p] = true;
+        // Exact by construction — this value both visits candidate `p`
+        // and feeds `lower_bound` for every remaining candidate.
+        let v = d.distance_ws(x, &train[p], ws);
+        s.qd.push(v);
+        if p != skip {
+            stats.examined += 1;
+            st.update(v, p, true);
+        }
+    }
+    s.lbs.clear();
+    s.lbs.resize(train.len(), 0.0);
+    s.order.clear();
+    for j in 0..train.len() {
+        if j != skip && !s.is_pivot[j] {
+            s.lbs[j] = table.lower_bound(&s.qd, j);
+            s.order.push(j);
+        }
+    }
+    sort_by_lb(&mut s.order, &s.lbs);
+    let mut sorted_from = 0;
+    if let Some(p) = prev {
+        sorted_from += usize::from(promote(&mut s.order, p));
+    }
+    lb_ordered_nn_scan(
+        d,
+        x,
+        train,
+        &s.order,
+        sorted_from,
+        &s.lbs,
+        None,
+        &mut st,
+        ws,
+        &mut stats.pivot_skipped,
+        &mut stats.keogh_skipped,
+        &mut stats.examined,
+    );
+    st.finish()
+}
+
+/// Inserts `(v, j)` into the sorted `k`-bounded heap under the
+/// `(total_cmp, index)` order — the exact insertion rule of the pruned
+/// k-NN scan.
+fn knn_insert(heap: &mut Vec<(f64, usize)>, k: usize, v: f64, j: usize) {
+    if heap.len() == k {
+        let (kv, kj) = heap[k - 1];
+        if kv.total_cmp(&v).then(kj.cmp(&j)).is_le() {
+            return;
+        }
+    }
+    let pos = heap.partition_point(|&(hv, hj)| hv.total_cmp(&v).then(hj.cmp(&j)).is_lt());
+    heap.insert(pos, (v, j));
+    heap.truncate(k);
+}
+
+/// The k-NN cutoff: `next_up` of the current `k`-th distance once the
+/// heap is full, infinite (exact) before that.
+fn knn_cutoff(heap: &[(f64, usize)], k: usize) -> f64 {
+    if heap.len() < k {
+        f64::INFINITY
+    } else {
+        heap[k - 1].0.next_up()
+    }
+}
+
+/// The k-NN tail scan over lower-bound-ordered candidates; the k-NN twin
+/// of [`lb_ordered_nn_scan`].
+#[allow(clippy::too_many_arguments)]
+fn lb_ordered_knn_scan(
+    d: &dyn Distance,
+    x: &[f64],
+    train: &[Vec<f64>],
+    order: &[usize],
+    sorted_from: usize,
+    lbs: &[f64],
+    keogh: Option<&DtwBandIndex>,
+    heap: &mut Vec<(f64, usize)>,
+    k: usize,
+    ws: &mut Workspace,
+    lb_skipped: &mut u64,
+    keogh_skipped: &mut u64,
+    examined: &mut u64,
+) {
+    for (pos, &j) in order.iter().enumerate() {
+        let cutoff = knn_cutoff(heap, k);
+        if cutoff.is_finite() && cutoff > 0.0 {
+            if lbs[j] >= cutoff {
+                if pos >= sorted_from {
+                    *lb_skipped += (order.len() - pos) as u64;
+                    return;
+                }
+                *lb_skipped += 1;
+                continue;
+            }
+            if let Some(bix) = keogh {
+                if bix.is_clean(j) {
+                    let (upper, lower) = bix.envelope(j);
+                    let thresh = cutoff * KEOGH_INFLATE;
+                    if lb_keogh_upto(x, upper, lower, thresh) >= thresh {
+                        *keogh_skipped += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        *examined += 1;
+        let v = d.distance_upto(x, &train[j], ws, cutoff);
+        knn_insert(heap, k, v, j);
+    }
+}
+
+/// One cascade-planned k-NN row.
+#[allow(clippy::too_many_arguments)]
+fn cascade_knn_row(
+    d: &dyn Distance,
+    x: &[f64],
+    train: &[Vec<f64>],
+    bix: &DtwBandIndex,
+    bounds: &[usize],
+    k: usize,
+    prev: &[usize],
+    s: &mut Scratch,
+    ws: &mut Workspace,
+    stats: &mut IndexedStats,
+) {
+    paa_means(x, bounds, &mut s.qmeans);
+    s.lbs.clear();
+    s.lbs
+        .extend((0..train.len()).map(|j| bix.lb_paa(&s.qmeans, bounds, j)));
+    s.order.clear();
+    s.order.extend(0..train.len());
+    sort_by_lb(&mut s.order, &s.lbs);
+    let mut sorted_from = 0;
+    for &p in prev.iter().rev() {
+        sorted_from += usize::from(promote(&mut s.order, p));
+    }
+    s.heap.clear();
+    lb_ordered_knn_scan(
+        d,
+        x,
+        train,
+        &s.order,
+        sorted_from,
+        &s.lbs,
+        Some(bix),
+        &mut s.heap,
+        k,
+        ws,
+        &mut stats.paa_skipped,
+        &mut stats.keogh_skipped,
+        &mut stats.examined,
+    );
+}
+
+/// One pivot-planned k-NN row.
+#[allow(clippy::too_many_arguments)]
+fn pivot_knn_row(
+    d: &dyn Distance,
+    x: &[f64],
+    train: &[Vec<f64>],
+    table: &PivotTable,
+    k: usize,
+    prev: &[usize],
+    s: &mut Scratch,
+    ws: &mut Workspace,
+    stats: &mut IndexedStats,
+) {
+    s.qd.clear();
+    s.is_pivot.clear();
+    s.is_pivot.resize(train.len(), false);
+    s.heap.clear();
+    for &p in table.pivots() {
+        s.is_pivot[p] = true;
+        let v = d.distance_ws(x, &train[p], ws);
+        s.qd.push(v);
+        stats.examined += 1;
+        knn_insert(&mut s.heap, k, v, p);
+    }
+    s.lbs.clear();
+    s.lbs.resize(train.len(), 0.0);
+    s.order.clear();
+    for j in 0..train.len() {
+        if !s.is_pivot[j] {
+            s.lbs[j] = table.lower_bound(&s.qd, j);
+            s.order.push(j);
+        }
+    }
+    sort_by_lb(&mut s.order, &s.lbs);
+    let mut sorted_from = 0;
+    for &p in prev.iter().rev() {
+        sorted_from += usize::from(promote(&mut s.order, p));
+    }
+    lb_ordered_knn_scan(
+        d,
+        x,
+        train,
+        &s.order,
+        sorted_from,
+        &s.lbs,
+        None,
+        &mut s.heap,
+        k,
+        ws,
+        &mut stats.pivot_skipped,
+        &mut stats.keogh_skipped,
+        &mut stats.examined,
+    );
+}
+
+/// Indexed 1-NN search of every `test` row against `train`:
+/// byte-identical results to [`crate::pruned::pruned_nn_search`], with
+/// the index's lower-bound tiers skipping candidates the exact scan
+/// would merely abandon late.
+pub fn indexed_nn_search(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    ix: &TrainIndex,
+    warm_start: bool,
+) -> Vec<NearestNeighbour> {
+    indexed_nn_search_rows(d, test, train, ix, warm_start, None).0
+}
+
+/// [`indexed_nn_search`] also returning the tier work counters.
+pub fn indexed_nn_search_stats(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    ix: &TrainIndex,
+    warm_start: bool,
+) -> (Vec<NearestNeighbour>, IndexedStats) {
+    indexed_nn_search_rows(d, test, train, ix, warm_start, None)
+}
+
+pub(crate) fn indexed_nn_search_rows(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    ix: &TrainIndex,
+    warm_start: bool,
+    cache: Option<&EnvelopeCache>,
+) -> (Vec<NearestNeighbour>, IndexedStats) {
+    indexed_search_rows(
+        test.len(),
+        warm_start,
+        |i| &test[i],
+        |_| usize::MAX,
+        d,
+        train,
+        ix,
+        cache,
+    )
+}
+
+/// Indexed leave-one-out 1-NN over `train` (row `i` excludes candidate
+/// `i`): byte-identical to [`crate::pruned::pruned_loocv_search`].
+pub fn indexed_loocv_search(
+    d: &dyn Distance,
+    train: &[Vec<f64>],
+    ix: &TrainIndex,
+    warm_start: bool,
+) -> Vec<NearestNeighbour> {
+    indexed_search_rows(
+        train.len(),
+        warm_start,
+        |i| &train[i],
+        |i| i,
+        d,
+        train,
+        ix,
+        None,
+    )
+    .0
+}
+
+#[allow(clippy::too_many_arguments)]
+fn indexed_search_rows<'a>(
+    n: usize,
+    warm_start: bool,
+    row: impl Fn(usize) -> &'a [f64] + Sync,
+    skip: impl Fn(usize) -> usize + Sync,
+    d: &dyn Distance,
+    train: &[Vec<f64>],
+    ix: &TrainIndex,
+    cache: Option<&EnvelopeCache>,
+) -> (Vec<NearestNeighbour>, IndexedStats) {
+    if n == 0 {
+        return (Vec::new(), IndexedStats::default());
+    }
+    // An index built over a different split must never prune; every row
+    // then takes the linear plan (same best-effort contract as the
+    // candidate-order cache).
+    let valid = ix.len() == train.len();
+    let spans = chunk_spans(n);
+    let per_chunk = parallel_map(spans.len(), |c| {
+        let (lo, hi) = spans[c];
+        let mut ws = Workspace::new();
+        let mut s = Scratch::default();
+        let mut stats = IndexedStats::default();
+        let mut out = Vec::with_capacity(hi - lo);
+        let mut prev: Option<usize> = None;
+        for i in lo..hi {
+            let x = row(i);
+            let sk = skip(i);
+            stats.rows += 1;
+            stats.candidates += (train.len() - usize::from(sk < train.len())) as u64;
+            let seed = prev.filter(|_| warm_start);
+            let plan = if valid {
+                ix.plan(d, x)
+            } else {
+                QueryPlan::Linear
+            };
+            let nn = match plan {
+                QueryPlan::Cascade(bix) => cascade_nn_row(
+                    d,
+                    x,
+                    train,
+                    bix,
+                    ix.bounds(),
+                    sk,
+                    seed,
+                    &mut s,
+                    &mut ws,
+                    &mut stats,
+                ),
+                QueryPlan::Pivots(table) => {
+                    pivot_nn_row(d, x, train, table, sk, seed, &mut s, &mut ws, &mut stats)
+                }
+                QueryPlan::Linear => {
+                    stats.fallback_rows += 1;
+                    stats.examined += (train.len() - usize::from(sk < train.len())) as u64;
+                    order_candidates(
+                        x,
+                        train,
+                        cache,
+                        &mut s.qsamples,
+                        &mut s.order,
+                        &mut s.scores,
+                    );
+                    if let Some(p) = seed {
+                        promote(&mut s.order, p);
+                    }
+                    nearest_in_order(d, x, train, &s.order, sk, &mut ws)
+                }
+            };
+            if nn.index.is_some() {
+                prev = nn.index;
+            }
+            out.push(nn);
+        }
+        (out, stats)
+    });
+    let mut stats = IndexedStats::default();
+    let mut rows = Vec::with_capacity(n);
+    for (chunk, chunk_stats) in per_chunk {
+        rows.extend(chunk);
+        stats.absorb(&chunk_stats);
+    }
+    (rows, stats)
+}
+
+/// Indexed k-NN search: each row's result is its `min(k, train.len())`
+/// nearest `(distance, index)` pairs in `(total_cmp, index)` order —
+/// byte-identical to [`crate::pruned::pruned_knn_search`].
+pub fn indexed_knn_search(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    ix: &TrainIndex,
+    k: usize,
+    warm_start: bool,
+) -> Vec<Vec<(f64, usize)>> {
+    indexed_knn_search_rows(d, test, train, ix, k, warm_start, None).0
+}
+
+/// [`indexed_knn_search`] also returning the tier work counters.
+pub fn indexed_knn_search_stats(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    ix: &TrainIndex,
+    k: usize,
+    warm_start: bool,
+) -> (Vec<Vec<(f64, usize)>>, IndexedStats) {
+    indexed_knn_search_rows(d, test, train, ix, k, warm_start, None)
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn indexed_knn_search_rows(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    ix: &TrainIndex,
+    k: usize,
+    warm_start: bool,
+    cache: Option<&EnvelopeCache>,
+) -> (Vec<Vec<(f64, usize)>>, IndexedStats) {
+    let k = k.min(train.len());
+    let n = test.len();
+    if n == 0 || k == 0 {
+        return (vec![Vec::new(); n], IndexedStats::default());
+    }
+    let valid = ix.len() == train.len();
+    let spans = chunk_spans(n);
+    let per_chunk = parallel_map(spans.len(), |c| {
+        let (lo, hi) = spans[c];
+        let mut ws = Workspace::new();
+        let mut s = Scratch::default();
+        let mut stats = IndexedStats::default();
+        let mut prev: Vec<usize> = Vec::new();
+        let mut out = Vec::with_capacity(hi - lo);
+        for query in &test[lo..hi] {
+            stats.rows += 1;
+            stats.candidates += train.len() as u64;
+            let seed: &[usize] = if warm_start { &prev } else { &[] };
+            let plan = if valid {
+                ix.plan(d, query)
+            } else {
+                QueryPlan::Linear
+            };
+            match plan {
+                QueryPlan::Cascade(bix) => cascade_knn_row(
+                    d,
+                    query,
+                    train,
+                    bix,
+                    ix.bounds(),
+                    k,
+                    seed,
+                    &mut s,
+                    &mut ws,
+                    &mut stats,
+                ),
+                QueryPlan::Pivots(table) => {
+                    pivot_knn_row(d, query, train, table, k, seed, &mut s, &mut ws, &mut stats)
+                }
+                QueryPlan::Linear => {
+                    stats.fallback_rows += 1;
+                    stats.examined += train.len() as u64;
+                    order_candidates(
+                        query,
+                        train,
+                        cache,
+                        &mut s.qsamples,
+                        &mut s.order,
+                        &mut s.scores,
+                    );
+                    for &p in seed.iter().rev() {
+                        promote(&mut s.order, p);
+                    }
+                    knn_row(d, query, train, &s.order, k, &mut ws, &mut s.heap);
+                }
+            }
+            if s.heap.len() == k {
+                prev.clear();
+                prev.extend(s.heap.iter().map(|&(_, j)| j));
+            }
+            out.push(s.heap.clone());
+        }
+        (out, stats)
+    });
+    let mut stats = IndexedStats::default();
+    let mut rows = Vec::with_capacity(n);
+    for (chunk, chunk_stats) in per_chunk {
+        rows.extend(chunk);
+        stats.absorb(&chunk_stats);
+    }
+    (rows, stats)
+}
+
+/// The shape-checked indexed k-NN accuracy core — the indexed twin of
+/// [`crate::pruned::knn_accuracy_core`], byte-identical by the skip-rule
+/// argument above.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn knn_accuracy_indexed_core(
+    d: &dyn Distance,
+    test: &[Vec<f64>],
+    train: &[Vec<f64>],
+    test_labels: &[Label],
+    train_labels: &[Label],
+    k: usize,
+    warm_start: bool,
+    ix: &TrainIndex,
+    cache: Option<&EnvelopeCache>,
+) -> Result<f64, EvalError> {
+    if k == 0 {
+        return Err(EvalError::ZeroK);
+    }
+    crate::pruned::check_shapes(test.len(), train.len(), test_labels, train_labels)?;
+    if test.is_empty() {
+        return Ok(0.0);
+    }
+    let (rows, _) = indexed_knn_search_rows(d, test, train, ix, k, warm_start, cache);
+    Ok(knn_vote_accuracy(&rows, test_labels, train_labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pruned::{pruned_knn_search, pruned_loocv_search, pruned_nn_search};
+    use tsdist_core::elastic::Dtw;
+    use tsdist_core::lockstep::{Canberra, Euclidean, SquaredEuclidean};
+
+    fn toy(n: usize, m: usize, off: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..m)
+                    .map(|j| ((i * m + j) as f64 * 0.7).sin() + off)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn prepared_index(d: &dyn Distance, train: &[Vec<f64>]) -> TrainIndex {
+        let mut ix = TrainIndex::build(train);
+        ix.prepare_measure(d, train);
+        ix
+    }
+
+    /// Well-separated clusters: candidates from foreign clusters sit far
+    /// outside each other's envelopes, so the bound tiers have something
+    /// to prune.
+    fn clustered(n: usize, m: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let off = (i % 4) as f64 * 4.0;
+                (0..m).map(|j| ((i + j) as f64 * 0.7).sin() + off).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cascade_matches_pruned_and_actually_skips() {
+        let train = clustered(24, 64);
+        let test = clustered(10, 64);
+        let d = Dtw::with_window_pct(10.0);
+        let ix = prepared_index(&d, &train);
+        for warm in [false, true] {
+            let exact = pruned_nn_search(&d, &test, &train, warm);
+            let (got, stats) = indexed_nn_search_stats(&d, &test, &train, &ix, warm);
+            assert_eq!(got, exact, "warm={warm}");
+            assert_eq!(stats.fallback_rows, 0);
+            assert!(
+                stats.examined < stats.candidates,
+                "no candidate skipped: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pivots_match_pruned_for_metric_measures() {
+        let train = toy(20, 32, 0.0);
+        let test = toy(8, 32, 0.5);
+        let ix = prepared_index(&Euclidean, &train);
+        let exact = pruned_nn_search(&Euclidean, &test, &train, true);
+        let (got, stats) = indexed_nn_search_stats(&Euclidean, &test, &train, &ix, true);
+        assert_eq!(got, exact);
+        assert_eq!(stats.fallback_rows, 0);
+        assert!(stats.pivot_skipped > 0, "pivot tier never fired: {stats:?}");
+    }
+
+    #[test]
+    fn unindexable_measures_fall_back_to_linear_rows() {
+        let train = toy(10, 16, 0.0);
+        let test = toy(4, 16, 0.2);
+        let ix = prepared_index(&SquaredEuclidean, &train);
+        let exact = pruned_nn_search(&SquaredEuclidean, &test, &train, true);
+        let (got, stats) = indexed_nn_search_stats(&SquaredEuclidean, &test, &train, &ix, true);
+        assert_eq!(got, exact);
+        assert_eq!(stats.fallback_rows, stats.rows);
+        assert_eq!(stats.examined, stats.candidates);
+    }
+
+    #[test]
+    fn mismatched_index_never_prunes() {
+        let train = toy(12, 16, 0.0);
+        let other = toy(5, 16, 0.0);
+        let test = toy(3, 16, 0.2);
+        let ix = prepared_index(&Euclidean, &other);
+        let (got, stats) = indexed_nn_search_stats(&Euclidean, &test, &train, &ix, true);
+        assert_eq!(got, pruned_nn_search(&Euclidean, &test, &train, true));
+        assert_eq!(stats.fallback_rows, stats.rows);
+    }
+
+    #[test]
+    fn knn_rows_match_pruned_rows() {
+        let train = toy(18, 48, 0.0);
+        let test = toy(7, 48, 0.4);
+        let d = Dtw::with_window_pct(10.0);
+        let ix = prepared_index(&d, &train);
+        for k in [1, 3, 5, 99] {
+            for warm in [false, true] {
+                let exact = pruned_knn_search(&d, &test, &train, k, warm);
+                let (got, _) = indexed_knn_search_rows(&d, &test, &train, &ix, k, warm, None);
+                assert_eq!(got, exact, "k={k} warm={warm}");
+            }
+        }
+    }
+
+    #[test]
+    fn loocv_matches_pruned_including_self_exclusion() {
+        let train = toy(16, 40, 0.0);
+        let d = Dtw::with_window_pct(10.0);
+        let ix = prepared_index(&d, &train);
+        for warm in [false, true] {
+            assert_eq!(
+                indexed_loocv_search(&d, &train, &ix, warm),
+                pruned_loocv_search(&d, &train, warm),
+                "warm={warm}"
+            );
+        }
+        // Pivot plans must also honour the self-exclusion.
+        let ix = prepared_index(&Euclidean, &train);
+        assert_eq!(
+            indexed_loocv_search(&Euclidean, &train, &ix, true),
+            pruned_loocv_search(&Euclidean, &train, true),
+        );
+    }
+
+    #[test]
+    fn positive_regime_queries_fall_back_per_row() {
+        // Positive train data with one non-positive query: that row (and
+        // only that row) must take the linear plan.
+        let train: Vec<Vec<f64>> = toy(10, 16, 2.0);
+        let mut test = toy(3, 16, 2.0);
+        test[1][4] = 0.0;
+        let ix = prepared_index(&Canberra, &train);
+        assert_eq!(ix.stats().pivot_tables, 1);
+        let exact = pruned_nn_search(&Canberra, &test, &train, false);
+        let (got, stats) = indexed_nn_search_stats(&Canberra, &test, &train, &ix, false);
+        assert_eq!(got, exact);
+        assert_eq!(stats.fallback_rows, 1);
+    }
+
+    #[test]
+    fn examined_fraction_is_well_defined_when_empty() {
+        assert_eq!(IndexedStats::default().examined_fraction(), 0.0);
+    }
+}

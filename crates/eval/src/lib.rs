@@ -73,6 +73,7 @@ pub mod cell;
 pub mod comparison;
 pub mod error;
 pub mod evaluator;
+pub mod index;
 pub mod journal;
 pub mod knn;
 pub mod matrices;
@@ -101,6 +102,10 @@ pub use evaluator::{
     evaluate_kernel, evaluate_kernel_supervised, prepare, try_evaluate_distance_supervised,
     try_evaluate_embedding, try_evaluate_embedding_supervised, try_evaluate_kernel,
     try_evaluate_kernel_supervised, SupervisedOutcome,
+};
+pub use index::{
+    indexed_knn_search, indexed_knn_search_stats, indexed_loocv_search, indexed_nn_search,
+    indexed_nn_search_stats, IndexedStats, KEOGH_INFLATE,
 };
 pub use journal::{
     crc32, is_v2_journal, read_journal, recover_journal, recover_lines, DurableConfig,

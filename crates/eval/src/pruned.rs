@@ -98,7 +98,7 @@ pub(crate) fn cheap_sample_positions(n: usize) -> Vec<usize> {
 /// `cache` when available (bit-identical, so the order is too) and from
 /// a full [`cheap_score`] pass otherwise. `qsamples`/`scores` are
 /// scratch reused across rows.
-fn order_candidates(
+pub(crate) fn order_candidates(
     x: &[f64],
     train: &[Vec<f64>],
     cache: Option<&EnvelopeCache>,
@@ -121,17 +121,22 @@ fn order_candidates(
 /// Moves candidate `front` to the head of `order`, preserving the
 /// relative order of everything else (the warm-start hook: the first
 /// candidate is always computed under an infinite cutoff, so seeding is
-/// just visiting the previous row's winner first).
-fn promote(order: &mut [usize], front: usize) {
+/// just visiting the previous row's winner first). Returns whether the
+/// candidate was present — the indexed planner counts promotions to know
+/// where its sorted-by-bound region starts.
+pub(crate) fn promote(order: &mut [usize], front: usize) -> bool {
     if let Some(pos) = order.iter().position(|&j| j == front) {
         order[..=pos].rotate_right(1);
+        true
+    } else {
+        false
     }
 }
 
 /// One pruned row scan over `train` in the given candidate `order`,
 /// skipping index `skip` (use `usize::MAX` for none — the LOOCV
 /// self-exclusion hook).
-fn nearest_in_order(
+pub(crate) fn nearest_in_order(
     d: &dyn Distance,
     x: &[f64],
     train: &[Vec<f64>],
@@ -172,7 +177,7 @@ fn nearest_in_order(
 
 /// Splits `0..n` into one contiguous span per worker. Chunk boundaries
 /// affect only where warm-start chains reset, never any row's result.
-fn chunk_spans(n: usize) -> Vec<(usize, usize)> {
+pub(crate) fn chunk_spans(n: usize) -> Vec<(usize, usize)> {
     let chunk = n.div_ceil(worker_count().max(1)).max(1);
     (0..n)
         .step_by(chunk)
@@ -515,7 +520,17 @@ pub(crate) fn knn_accuracy_core(
         return Ok(0.0);
     }
     let rows = pruned_knn_search_rows(d, test, train, k, warm_start, cache);
-    let mut neighbours: Vec<usize> = Vec::with_capacity(k.min(train.len()));
+    Ok(knn_vote_accuracy(&rows, test_labels, train_labels))
+}
+
+/// The majority-vote accuracy over per-row k-NN results — shared by the
+/// pruned and indexed k-NN accuracy cores.
+pub(crate) fn knn_vote_accuracy(
+    rows: &[Vec<(f64, usize)>],
+    test_labels: &[Label],
+    train_labels: &[Label],
+) -> f64 {
+    let mut neighbours: Vec<usize> = Vec::new();
     let correct = rows
         .iter()
         .zip(test_labels)
@@ -525,7 +540,7 @@ pub(crate) fn knn_accuracy_core(
             majority_vote(&neighbours, train_labels) == Some(truth)
         })
         .count();
-    Ok(correct as f64 / n as f64)
+    correct as f64 / rows.len().max(1) as f64
 }
 
 /// Pruned k-nearest-neighbour search of every `test` row against
@@ -604,7 +619,7 @@ pub(crate) fn pruned_knn_search_rows(
 /// Fills `heap` with the `k` smallest `(distance, index)` pairs under
 /// `(total_cmp, index)` order, abandoning candidates at `next_up` of the
 /// current `k`-th distance once the heap is full.
-fn knn_row(
+pub(crate) fn knn_row(
     d: &dyn Distance,
     x: &[f64],
     train: &[Vec<f64>],
@@ -636,7 +651,7 @@ fn knn_row(
     }
 }
 
-fn check_shapes(
+pub(crate) fn check_shapes(
     rows: usize,
     cols: usize,
     test_labels: &[Label],

@@ -31,14 +31,17 @@ use std::time::Duration;
 use crate::cell::{CancelFlag, CancelPanic, GuardedDistance, Watchdog};
 use crate::error::EvalError;
 use crate::evaluator::{
-    distance_cell_prepared, distance_cell_pruned_prepared, prepare, preprocess_series,
+    distance_cell_indexed_prepared, distance_cell_prepared, distance_cell_pruned_prepared, prepare,
+    preprocess_series,
 };
+use crate::index::{indexed_knn_search_rows, indexed_nn_search_rows, knn_accuracy_indexed_core};
 use crate::knn::majority_vote;
 use crate::matrices::distance_matrix;
 use crate::pruned::{knn_accuracy_core, pruned_knn_search_rows, pruned_nn_search_rows};
 use crate::runtime::EnvelopeCache;
 use tsdist_core::measure::Distance;
 use tsdist_core::normalization::{AdaptiveScaled, Normalization};
+use tsdist_core::TrainIndex;
 use tsdist_data::{Dataset, Label};
 
 /// Entry point of the consolidated evaluation API:
@@ -59,6 +62,7 @@ pub struct EvalRequest<'a> {
     cancel: Option<&'a CancelFlag>,
     queries: Option<&'a [Vec<f64>]>,
     cache: Option<&'a EnvelopeCache>,
+    index: Option<&'a TrainIndex>,
     assume_prepared: bool,
 }
 
@@ -78,6 +82,7 @@ impl<'a> EvalRequest<'a> {
             cancel: None,
             queries: None,
             cache: None,
+            index: None,
             assume_prepared: false,
         }
     }
@@ -145,6 +150,20 @@ impl<'a> EvalRequest<'a> {
     /// on it.
     pub fn with_cache(mut self, cache: &'a EnvelopeCache) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Search through a caller-owned [`TrainIndex`] built over this
+    /// dataset's **prepared** train split: rows with an admissible plan
+    /// skip candidates via the PAA lower-bound cascade or metric pivot
+    /// bounds, everything else takes the usual scan. Answers and
+    /// accuracies are byte-identical with or without the index — it only
+    /// changes how much work is done. Building the index on anything
+    /// other than the prepared split the request will search violates
+    /// the contract (like a wrong `assume_prepared`); a split of a
+    /// *different size* is detected and ignored.
+    pub fn indexed(mut self, index: &'a TrainIndex) -> Self {
+        self.index = Some(index);
         self
     }
 
@@ -217,7 +236,17 @@ impl<'a> EvalRequest<'a> {
             &prepared_storage
         };
         let accuracy = if self.k == 1 {
-            let cell = if self.pruned {
+            let cell = if let Some(ix) = self.index {
+                distance_cell_indexed_prepared(
+                    self.measure,
+                    prepared,
+                    self.norm,
+                    flag,
+                    ix,
+                    self.warm_start,
+                    self.cache,
+                )
+            } else if self.pruned {
                 distance_cell_pruned_prepared(self.measure, prepared, self.norm, flag)
             } else {
                 distance_cell_prepared(self.measure, prepared, self.norm, flag)
@@ -226,7 +255,19 @@ impl<'a> EvalRequest<'a> {
         } else {
             let guarded = GuardedDistance::new(self.measure, flag);
             let knn = |d: &dyn Distance| -> Result<f64, EvalError> {
-                if self.pruned {
+                if let Some(ix) = self.index {
+                    knn_accuracy_indexed_core(
+                        d,
+                        &prepared.test,
+                        &prepared.train,
+                        &prepared.test_labels,
+                        &prepared.train_labels,
+                        self.k,
+                        self.warm_start,
+                        ix,
+                        self.cache,
+                    )
+                } else if self.pruned {
                     knn_accuracy_core(
                         d,
                         &prepared.test,
@@ -309,8 +350,13 @@ impl<'a> EvalRequest<'a> {
         // series) must not be consulted; length equality is re-checked
         // per query inside the ordering itself.
         let cache = self.cache.filter(|c| c.len() == train.len());
+        // A mismatched index is additionally re-checked (and demoted to
+        // all-linear rows) inside the indexed search itself.
+        let index = self.index.filter(|ix| ix.len() == train.len());
         if self.k == 1 {
-            let nns = if self.pruned {
+            let nns = if let Some(ix) = index {
+                indexed_nn_search_rows(d, queries, train, ix, self.warm_start, cache).0
+            } else if self.pruned {
                 pruned_nn_search_rows(d, queries, train, self.warm_start, cache)
             } else {
                 exact_nn_rows(d, queries, train)
@@ -326,7 +372,9 @@ impl<'a> EvalRequest<'a> {
                 })
                 .collect()
         } else {
-            let rows = if self.pruned {
+            let rows = if let Some(ix) = index {
+                indexed_knn_search_rows(d, queries, train, ix, self.k, self.warm_start, cache).0
+            } else if self.pruned {
                 pruned_knn_search_rows(d, queries, train, self.k, self.warm_start, cache)
             } else {
                 exact_knn_rows(d, queries, train, self.k)

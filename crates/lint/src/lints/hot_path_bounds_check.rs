@@ -7,10 +7,12 @@
 //! away. A `for i in lo..hi { … a[i] … }` over a full-length slice keeps
 //! the bounds check (and its branch) on the hot path and blocks
 //! vectorization. This pass flags `for`-loops inside `*_ws` / `*_upto` /
-//! `*_pruned` bodies under `lockstep/` or `elastic/` whose body indexes
-//! with the loop variable; loops that are deliberate (diagonal index
-//! arithmetic, pre-cut slices) carry a reasoned suppression above the
-//! loop header, which is where the diagnostic anchors.
+//! `*_pruned` bodies under `lockstep/`, `elastic/`, or `index/` (the
+//! sublinear index tier's bound kernels sit on the same per-candidate
+//! hot path) whose body indexes with the loop variable; loops that are
+//! deliberate (diagonal index arithmetic, pre-cut slices) carry a
+//! reasoned suppression above the loop header, which is where the
+//! diagnostic anchors.
 
 use crate::lexer::TokenKind;
 use crate::model::FileModel;
@@ -19,9 +21,9 @@ use crate::report::{Diagnostic, Severity};
 pub const NAME: &str = "hot-path-bounds-check";
 
 /// True for files holding kernel hot paths: the lock-step and elastic
-/// measure implementations.
+/// measure implementations, and the index tier's bound kernels.
 fn is_kernel_file(path: &str) -> bool {
-    path.contains("lockstep") || path.contains("elastic")
+    path.contains("lockstep") || path.contains("elastic") || path.contains("index")
 }
 
 pub fn check(model: &FileModel, out: &mut Vec<Diagnostic>) {
@@ -138,6 +140,15 @@ mod tests {
             run(
                 KERNEL,
                 "fn dtw_pruned(x: &[f64]) -> f64 { for i in 0..x.len() { let v = x[i]; } 0.0 }",
+            )
+            .len(),
+            1
+        );
+        // The index tier's bound kernels are kernel files too.
+        assert_eq!(
+            run(
+                "crates/core/src/index/paa.rs",
+                "fn lb_ws(x: &[f64]) -> f64 { let mut s = 0.0; for i in 0..x.len() { s += x[i]; } s }",
             )
             .len(),
             1

@@ -4,29 +4,34 @@
 //! against a replay.
 //!
 //! An [`Engine`] owns a set of datasets and lazily-built per-`(dataset,
-//! normalization)` state: the [`prepare`]d train split and an
-//! [`EnvelopeCache`] for pruned candidate ordering. Both are built once
-//! and amortized across every batch the engine answers — the point of
-//! shard-affine routing. Measures resolve once per spec and persist, so
-//! stateful wrappers (fault-injection counters) behave like a long-lived
-//! server process.
+//! normalization)` state: the [`prepare`]d train split, an
+//! [`EnvelopeCache`] for pruned candidate ordering, and a [`TrainIndex`]
+//! — the sublinear tier (PAA lower-bound cascade for banded DTW, metric
+//! pivot tables for declared metrics) that every query row consults
+//! before falling back to the linear scan. All are built once at shard
+//! prepare time and amortized across every batch the engine answers —
+//! the point of shard-affine routing. Measures resolve once per spec and
+//! persist, so stateful wrappers (fault-injection counters) behave like
+//! a long-lived server process.
 //!
 //! Every evaluation runs with a cancel flag armed, so a measure that
 //! panics (chaos testing) is caught by [`Eval`]'s typed-fault path and
 //! surfaces as an `internal` response instead of killing the worker.
 
 use std::collections::btree_map::Entry;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
 use tsdist_core::measure::Distance;
+use tsdist_core::{IndexStats, TrainIndex};
 use tsdist_data::Dataset;
 use tsdist_eval::{prepare, CancelFlag, EnvelopeCache, Eval, EvalError};
 
 use crate::cache::{AnswerCache, CacheKey};
 use crate::protocol::{norm_tag, ErrorCode, QueryRequest, Response};
-use crate::supervisor::Quarantine;
+use crate::supervisor::{IndexStatsCell, Quarantine};
 
 /// Resolves a measure spec (e.g. `"ed"`, `"dtw:10"`) to a distance.
 /// Injected by the embedder — the CLI passes its `measures::resolve`,
@@ -42,6 +47,14 @@ struct PreparedEntry {
     /// deliberate: the ordering is a heuristic shared by every measure
     /// served from this entry, and answers never depend on it.
     envelopes: EnvelopeCache,
+    /// The sublinear tier over the prepared train split, specialized
+    /// per served measure by `prepare_measure`. `None` when the engine
+    /// was built with the index disabled.
+    index: Option<TrainIndex>,
+    /// Measure specs whose `prepare_measure` panicked (a declared metric
+    /// regime that flunked sampled conformance). Remembered so the loud
+    /// failure fires once; those measures serve through the linear plan.
+    index_failed: BTreeSet<String>,
 }
 
 /// Requests that can be answered by one [`Eval`] call share a group.
@@ -87,11 +100,14 @@ pub struct Engine {
     prepared: BTreeMap<(String, &'static str), PreparedEntry>,
     answers: AnswerCache,
     quarantine: Option<Arc<Quarantine>>,
+    index_enabled: bool,
+    index_stats: Option<Arc<IndexStatsCell>>,
 }
 
 impl Engine {
     /// An engine serving `datasets`, resolving measures through
-    /// `resolver`, with an answer cache of `cache_cap` entries.
+    /// `resolver`, with an answer cache of `cache_cap` entries. The
+    /// sublinear index tier is on by default.
     pub fn new(datasets: Vec<Dataset>, resolver: MeasureResolver, cache_cap: usize) -> Engine {
         Engine {
             datasets: datasets.into_iter().map(|d| (d.name.clone(), d)).collect(),
@@ -100,7 +116,40 @@ impl Engine {
             prepared: BTreeMap::new(),
             answers: AnswerCache::new(cache_cap),
             quarantine: None,
+            index_enabled: true,
+            index_stats: None,
         }
+    }
+
+    /// Enables or disables the index tier. Answers are byte-identical
+    /// either way; disabling forces every row through the linear scan.
+    pub fn with_index(mut self, enabled: bool) -> Engine {
+        self.index_enabled = enabled;
+        self
+    }
+
+    /// Attaches a shared stats cell the engine keeps in sync with its
+    /// index structures (the shard `health` report reads it). Zeroed on
+    /// attach: a rebuilt engine starts with no structures, and the cell
+    /// must say so until its entries are re-prepared.
+    pub fn with_index_stats(mut self, cell: Arc<IndexStatsCell>) -> Engine {
+        cell.store(IndexStats::default());
+        self.index_stats = Some(cell);
+        self
+    }
+
+    /// Totals of every prepared entry's index structures.
+    pub fn index_stats(&self) -> IndexStats {
+        let mut total = IndexStats::default();
+        for entry in self.prepared.values() {
+            if let Some(ix) = &entry.index {
+                let s = ix.stats();
+                total.series += s.series;
+                total.dtw_bands += s.dtw_bands;
+                total.pivot_tables += s.pivot_tables;
+            }
+        }
+        total
     }
 
     /// Attaches the shard's panic circuit breaker: quarantined measures
@@ -210,17 +259,46 @@ impl Engine {
             );
         };
         let measure: &dyn Distance = measure.as_ref();
-        let entry = self
-            .prepared
-            .entry((q0.dataset.clone(), norm_tag(q0.norm)))
-            .or_insert_with(|| {
-                let prepared = prepare(ds, q0.norm);
-                let envelopes = EnvelopeCache::build(&prepared.train, 0);
-                PreparedEntry {
-                    prepared,
-                    envelopes,
+        let key = (q0.dataset.clone(), norm_tag(q0.norm));
+        let index_enabled = self.index_enabled;
+        let entry = self.prepared.entry(key.clone()).or_insert_with(|| {
+            let prepared = prepare(ds, q0.norm);
+            let envelopes = EnvelopeCache::build(&prepared.train, 0);
+            // Shard prepare time: the summary index is built here, once
+            // per (dataset, normalization), and reused by every batch.
+            let index = index_enabled.then(|| TrainIndex::build(&prepared.train));
+            PreparedEntry {
+                prepared,
+                envelopes,
+                index,
+                index_failed: BTreeSet::new(),
+            }
+        });
+        if let Some(ix) = entry.index.as_mut() {
+            if !entry.index_failed.contains(&q0.measure) {
+                // `prepare_measure` fails loudly (panics) when a measure's
+                // declared metric regime flunks sampled triangle-inequality
+                // conformance. A served measure must not take the worker
+                // down for that: contain it, remember the spec, and serve
+                // it through the linear plan instead.
+                let train = &entry.prepared.train;
+                if catch_unwind(AssertUnwindSafe(|| ix.prepare_measure(measure, train))).is_err() {
+                    entry.index_failed.insert(q0.measure.clone());
                 }
-            });
+            }
+        }
+        if let Some(cell) = &self.index_stats {
+            cell.store(self.index_stats());
+        }
+        let Some(entry) = self.prepared.get(&key) else {
+            return fail(
+                requests,
+                members,
+                out,
+                ErrorCode::Internal,
+                "prepared-entry cache lookup failed",
+            );
+        };
         let queries: Vec<Vec<f64>> = members
             .iter()
             .map(|&i| requests[i].series.clone())
@@ -238,6 +316,9 @@ impl Engine {
             .assume_prepared(true)
             .with_cache(&entry.envelopes)
             .cancelled_by(&flag);
+        if let Some(ix) = &entry.index {
+            eval = eval.indexed(ix);
+        }
         if let Some(ms) = q0.deadline_ms {
             eval = eval.deadline(Duration::from_millis(ms));
         }
@@ -339,6 +420,29 @@ mod tests {
         let second = engine.answer_batch(std::slice::from_ref(&q));
         assert_eq!(first, second);
         assert_eq!(engine.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn index_tier_is_on_by_default_and_byte_identical_to_linear_serving() {
+        let ds = generate_dataset(&ArchiveConfig::quick(1, 11), 0);
+        let queries: Vec<QueryRequest> = ds
+            .test
+            .iter()
+            .enumerate()
+            .map(|(i, s)| query(i as u64 + 1, &ds.name, s.clone()))
+            .collect();
+        let mut indexed = Engine::new(vec![ds.clone()], resolver(), 0);
+        let mut linear = Engine::new(vec![ds], resolver(), 0).with_index(false);
+        assert_eq!(
+            indexed.answer_batch(&queries),
+            linear.answer_batch(&queries)
+        );
+        // Euclidean is a declared metric: the indexed engine must hold a
+        // conformance-checked pivot table; the linear engine holds none.
+        let stats = indexed.index_stats();
+        assert!(stats.series > 0);
+        assert!(stats.pivot_tables > 0);
+        assert_eq!(linear.index_stats(), IndexStats::default());
     }
 
     #[test]

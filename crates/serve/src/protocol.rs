@@ -35,13 +35,15 @@
 //! `measure_quarantined` (the per-measure circuit breaker opened), and
 //! `internal` (a faulted measure; the shard survives and keeps serving).
 //!
-//! The `health` request returns per-shard liveness, queue depth, and the
-//! supervisor's restart / quarantine counters as flat `shard_<i>` string
-//! fields (the wire dialect has no nesting):
+//! The `health` request returns per-shard liveness, queue depth, the
+//! supervisor's restart / quarantine counters, and the engine's index
+//! tier structure counts as flat `shard_<i>` string fields (the wire
+//! dialect has no nesting):
 //!
 //! ```text
 //! {"id":4,"status":"ok","health":1,"shards":2,"restarts":1,"quarantined":0,
-//!  "shard_0":"up queue=0 restarts=1 quarantined=0","shard_1":"up queue=3 restarts=0 quarantined=0"}
+//!  "shard_0":"up queue=0 restarts=1 quarantined=0 index_series=24 index_bands=1 index_pivots=2",
+//!  "shard_1":"up queue=3 restarts=0 quarantined=0 index_series=0 index_bands=0 index_pivots=0"}
 //! ```
 
 use crate::limits::Limits;
@@ -210,18 +212,27 @@ pub struct ShardHealth {
     pub restarts: u64,
     /// Measures currently quarantined on this shard.
     pub quarantined: usize,
+    /// Train series covered by the current engine's index tier.
+    pub index_series: u64,
+    /// Distinct DTW band structures (PAA + Keogh envelopes) held.
+    pub index_bands: u64,
+    /// Conformance-checked metric pivot tables held.
+    pub index_pivots: u64,
 }
 
 impl ShardHealth {
     /// Renders the compact wire form, e.g. `up queue=0 restarts=1
-    /// quarantined=0`.
+    /// quarantined=0 index_series=24 index_bands=1 index_pivots=2`.
     pub fn render(&self) -> String {
         format!(
-            "{} queue={} restarts={} quarantined={}",
+            "{} queue={} restarts={} quarantined={} index_series={} index_bands={} index_pivots={}",
             if self.alive { "up" } else { "down" },
             self.queue_depth,
             self.restarts,
-            self.quarantined
+            self.quarantined,
+            self.index_series,
+            self.index_bands,
+            self.index_pivots
         )
     }
 
@@ -248,6 +259,9 @@ impl ShardHealth {
                 "queue" => health.queue_depth = n as usize,
                 "restarts" => health.restarts = n,
                 "quarantined" => health.quarantined = n as usize,
+                "index_series" => health.index_series = n,
+                "index_bands" => health.index_bands = n,
+                "index_pivots" => health.index_pivots = n,
                 _ => return Err(format!("unknown shard field {key:?}")),
             }
         }
@@ -276,6 +290,20 @@ impl HealthReport {
     /// Whether every shard currently has a live worker.
     pub fn all_alive(&self) -> bool {
         self.shards.iter().all(|s| s.alive)
+    }
+
+    /// Total train series covered by index tiers across all shards.
+    pub fn total_indexed_series(&self) -> u64 {
+        self.shards.iter().map(|s| s.index_series).sum()
+    }
+
+    /// Total index structures (DTW bands + pivot tables) across all
+    /// shards.
+    pub fn total_index_structures(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.index_bands + s.index_pivots)
+            .sum()
     }
 }
 
@@ -735,6 +763,36 @@ mod tests {
             "{\"op\":\"query\",\"id\":1,\"dataset\":\"d\",\"measure\":\"ed\",\"k\":0,\"series\":\"1\"}",
         ] {
             assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn health_reports_roundtrip_with_index_stats() {
+        let report = HealthReport {
+            shards: vec![
+                ShardHealth {
+                    alive: true,
+                    queue_depth: 3,
+                    restarts: 1,
+                    quarantined: 0,
+                    index_series: 24,
+                    index_bands: 1,
+                    index_pivots: 2,
+                },
+                ShardHealth {
+                    alive: false,
+                    ..ShardHealth::default()
+                },
+            ],
+        };
+        let r = Response::Health { id: 9, report };
+        assert_eq!(Response::parse(&r.render()).unwrap(), r, "{}", r.render());
+        match Response::parse(&r.render()).unwrap() {
+            Response::Health { report, .. } => {
+                assert_eq!(report.total_indexed_series(), 24);
+                assert_eq!(report.total_index_structures(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 

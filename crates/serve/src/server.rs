@@ -95,6 +95,9 @@ pub struct ServerConfig {
     pub limits: Limits,
     /// Measure faults before the per-shard circuit breaker opens.
     pub quarantine_threshold: u32,
+    /// Build the sublinear index tier at shard prepare time (default
+    /// on; answers are byte-identical either way).
+    pub index: bool,
     /// Chaos: abort each shard worker's first incarnation mid-batch.
     pub kill: Option<KillSpec>,
 }
@@ -111,6 +114,7 @@ impl Default for ServerConfig {
             journal_config: DurableConfig::default(),
             limits: Limits::default(),
             quarantine_threshold: 3,
+            index: true,
             kill: None,
         }
     }
@@ -177,6 +181,7 @@ impl Server {
                 batch_max: config.batch_max,
                 cache_cap: config.cache_cap,
                 quarantine_threshold: config.quarantine_threshold,
+                index: config.index,
                 kill: config.kill,
             },
         );

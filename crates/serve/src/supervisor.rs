@@ -37,6 +37,7 @@ use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 
+use tsdist_core::IndexStats;
 use tsdist_data::Dataset;
 
 use crate::engine::{Engine, MeasureResolver};
@@ -182,6 +183,37 @@ impl Quarantine {
     }
 }
 
+/// Aggregated index-structure counters of one shard's engine, shared by
+/// the worker incarnations (writers) and the health path (reader). A
+/// fresh incarnation zeroes the cell when its engine attaches, so the
+/// counters always describe structures the *current* engine actually
+/// holds — which is exactly what the kill-shard chaos suite reads to
+/// prove a restarted worker rebuilt its index tier from scratch.
+#[derive(Default)]
+pub struct IndexStatsCell {
+    series: AtomicU64,
+    bands: AtomicU64,
+    pivots: AtomicU64,
+}
+
+impl IndexStatsCell {
+    /// Overwrites the counters with the engine's current totals.
+    pub fn store(&self, stats: IndexStats) {
+        self.series.store(stats.series, Ordering::SeqCst);
+        self.bands.store(stats.dtw_bands, Ordering::SeqCst);
+        self.pivots.store(stats.pivot_tables, Ordering::SeqCst);
+    }
+
+    /// The counters as last stored.
+    pub fn load(&self) -> IndexStats {
+        IndexStats {
+            series: self.series.load(Ordering::SeqCst),
+            dtw_bands: self.bands.load(Ordering::SeqCst),
+            pivot_tables: self.pivots.load(Ordering::SeqCst),
+        }
+    }
+}
+
 /// A deterministic chaos plan: the *first* incarnation of every shard
 /// worker panics mid-batch once it has picked up `after_jobs` jobs —
 /// after the batch is registered on the in-flight board, before any
@@ -205,6 +237,10 @@ pub struct SupervisorConfig {
     pub cache_cap: usize,
     /// Measure faults before the breaker opens.
     pub quarantine_threshold: u32,
+    /// Build the sublinear index tier at shard prepare time (answers are
+    /// byte-identical either way; `false` forces every row through the
+    /// linear scan).
+    pub index: bool,
     /// Optional chaos kill plan (tests, `--chaos kill-shard`).
     pub kill: Option<KillSpec>,
 }
@@ -216,6 +252,7 @@ impl Default for SupervisorConfig {
             batch_max: 16,
             cache_cap: 256,
             quarantine_threshold: 3,
+            index: true,
             kill: None,
         }
     }
@@ -228,6 +265,8 @@ pub struct ShardState {
     board: Arc<InflightBoard>,
     /// The shard's panic circuit breaker.
     pub quarantine: Arc<Quarantine>,
+    /// The current incarnation's index-structure counters.
+    index_stats: Arc<IndexStatsCell>,
     queue_depth: AtomicUsize,
     restarts: AtomicU64,
     alive: AtomicBool,
@@ -256,11 +295,15 @@ impl ShardState {
 
     /// This shard's current health snapshot.
     pub fn health(&self) -> ShardHealth {
+        let index = self.index_stats.load();
         ShardHealth {
             alive: self.alive.load(Ordering::SeqCst),
             queue_depth: self.queue_depth.load(Ordering::SeqCst),
             restarts: self.restarts(),
             quarantined: self.quarantine.quarantined_count(),
+            index_series: index.series,
+            index_bands: index.dtw_bands,
+            index_pivots: index.pivot_tables,
         }
     }
 }
@@ -293,6 +336,7 @@ impl Supervisor {
                 rx: Arc::new(Mutex::new(rx)),
                 board: Arc::new(InflightBoard::default()),
                 quarantine: Arc::new(Quarantine::new(config.quarantine_threshold)),
+                index_stats: Arc::new(IndexStatsCell::default()),
                 queue_depth: AtomicUsize::new(0),
                 restarts: AtomicU64::new(0),
                 alive: AtomicBool::new(true),
@@ -391,7 +435,9 @@ fn worker_loop(
     kill: Option<KillSpec>,
 ) {
     let mut engine = Engine::new(datasets, resolver, config.cache_cap)
-        .with_quarantine(Arc::clone(&state.quarantine));
+        .with_quarantine(Arc::clone(&state.quarantine))
+        .with_index(config.index)
+        .with_index_stats(Arc::clone(&state.index_stats));
     let batch_max = config.batch_max.max(1);
     // Held for the incarnation's lifetime; a panic poisons it and the
     // next incarnation recovers it via `lock`.

@@ -106,6 +106,162 @@ fn offline_answer(datasets: &[Dataset], q: &QueryRequest) -> tsdist_eval::Answer
     report.answers.into_iter().next().expect("one answer")
 }
 
+/// Answers a query offline through the exact linear scan — no pruning,
+/// no index — the strongest possible ground truth for the index tier.
+fn offline_exact_answer(datasets: &[Dataset], q: &QueryRequest) -> tsdist_eval::Answer {
+    let ds = datasets
+        .iter()
+        .find(|d| d.name == q.dataset)
+        .expect("dataset");
+    let measure = (resolver())(&q.measure).expect("measure");
+    let queries = vec![q.series.clone()];
+    let report = Eval::new(measure.as_ref())
+        .on(ds)
+        .queries(&queries)
+        .normalized(q.norm)
+        .k(q.k)
+        .pruned(false)
+        .run()
+        .expect("offline exact evaluation");
+    report.answers.into_iter().next().expect("one answer")
+}
+
+#[test]
+fn indexed_serving_is_byte_identical_to_the_exact_scan_and_health_reports_the_index() {
+    let datasets = archive();
+    let mut handle = Server::start(
+        datasets.clone(),
+        resolver(),
+        &ServerConfig {
+            shards: 2,
+            queue_cap: 256,
+            batch_max: 8,
+            // `index: true` is the default — this test pins that the
+            // default-on index tier never changes a single answer bit.
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+
+    let queries = mixed_queries(&datasets);
+    let lines: Vec<String> = queries.iter().map(render_query).collect();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let responses = client.roundtrip(&lines).expect("roundtrip");
+    assert_eq!(responses.len(), queries.len());
+
+    let mut by_id: BTreeMap<u64, Response> = BTreeMap::new();
+    for line in &responses {
+        let r = Response::parse(line).expect("parse response");
+        by_id.insert(r.id(), r);
+    }
+    let mut matched = 0usize;
+    for q in &queries {
+        let expect = offline_exact_answer(&datasets, q);
+        match by_id.get(&q.id) {
+            Some(Response::Answer { answer, .. }) => {
+                assert_eq!(answer, &expect, "query id {}", q.id);
+                assert_eq!(
+                    answer.distance.to_bits(),
+                    expect.distance.to_bits(),
+                    "query id {}",
+                    q.id
+                );
+                matched += 1;
+            }
+            other => panic!("query id {}: unexpected {other:?}", q.id),
+        }
+    }
+    assert_eq!(matched, 100, "all 100 mixed queries answered indexed");
+
+    // The index tier is visible in health: shards that served queries
+    // report the summary structures they built at prepare time.
+    let health = client.health(9_100).expect("health");
+    assert!(
+        health.total_indexed_series() > 0,
+        "serving shards must report indexed train series"
+    );
+    assert!(
+        health.total_index_structures() > 0,
+        "dtw:10 queries prepare a band index and ed (a declared metric) a pivot table"
+    );
+    let bands: u64 = health.shards.iter().map(|s| s.index_bands).sum();
+    let pivots: u64 = health.shards.iter().map(|s| s.index_pivots).sum();
+    assert!(bands > 0, "dtw:10 traffic must have built a band index");
+    assert!(pivots > 0, "ed traffic must have built a pivot table");
+    handle.shutdown();
+}
+
+#[test]
+fn restarted_shard_rebuilds_its_index_and_retry_delivers_identical_answers() {
+    let datasets = archive();
+    let mut handle = Server::start(
+        datasets.clone(),
+        resolver(),
+        &ServerConfig {
+            shards: 2,
+            queue_cap: 256,
+            batch_max: 8,
+            kill: Some(KillSpec { after_jobs: 3 }),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // The kill chaos murders each shard's first incarnation mid-batch;
+    // the retrying client must still end with 100/100 answers that are
+    // byte-identical to the exact scan — the restarted incarnations
+    // rebuild their indexes from scratch and serve through them.
+    let queries = mixed_queries(&datasets);
+    let lines: Vec<String> = queries.iter().map(render_query).collect();
+    let responses = client
+        .pipeline_with_retry(&lines, &RetryPolicy::default())
+        .expect("retrying pipeline");
+    assert_eq!(responses.len(), queries.len());
+    let mut matched = 0usize;
+    for line in &responses {
+        match Response::parse(line).expect("parse") {
+            Response::Answer { id, answer } => {
+                let q = queries.iter().find(|q| q.id == id).expect("query for id");
+                let expect = offline_exact_answer(&datasets, q);
+                assert_eq!(answer, expect, "id {id}");
+                assert_eq!(
+                    answer.distance.to_bits(),
+                    expect.distance.to_bits(),
+                    "id {id}"
+                );
+                matched += 1;
+            }
+            other => panic!("retry must convert restarts into answers, got {other:?}"),
+        }
+    }
+    assert_eq!(matched, 100, "every query answered despite the kills");
+
+    // Health proves the rebuild: the stats cell is zeroed when a fresh
+    // incarnation attaches, so a shard that restarted and reports a
+    // nonzero indexed-series count has demonstrably re-prepared its
+    // index after the crash.
+    let health = client.health(9_101).expect("health");
+    assert!(health.all_alive());
+    assert!(health.total_restarts() >= 1, "the kill chaos must fire");
+    let mut rebuilt = 0usize;
+    for (i, shard) in health.shards.iter().enumerate() {
+        if shard.restarts > 0 {
+            assert!(
+                shard.index_series > 0,
+                "restarted shard {i} must rebuild its index"
+            );
+            rebuilt += 1;
+        }
+    }
+    assert!(
+        rebuilt > 0,
+        "at least one restarted shard rebuilt its index"
+    );
+    assert!(health.total_index_structures() > 0);
+    handle.shutdown();
+}
+
 #[test]
 fn served_answers_are_byte_identical_to_the_offline_evaluator() {
     let datasets = archive();

@@ -105,6 +105,19 @@ grep -q '"failures": 0' "$SMOKE/BENCH_prune.json"
 grep -q 'bit-identical to golden' "$SMOKE/bench_prune.log"
 echo "    bench_prune smoke: zero equivalence failures, accuracies match the committed golden"
 
+echo "==> bench_index smoke (index-vs-scan identity + golden pruning counters)"
+cargo build -q --offline -p tsdist-bench --bin bench_index
+target/debug/bench_index --quick --out "$SMOKE" >/dev/null 2>"$SMOKE/bench_index.log"
+if [ ! -s "$SMOKE/BENCH_index.json" ]; then
+  echo "bench_index wrote no BENCH_index.json" >&2
+  exit 1
+fi
+grep -q '"answers_identical": true' "$SMOKE/BENCH_index.json"
+# The binary exits non-zero on a golden mismatch; double-check it actually
+# reached the golden comparison rather than silently skipping it.
+grep -q 'identical to golden' "$SMOKE/bench_index.log"
+echo "    bench_index smoke: indexed answers byte-identical, counters match the committed golden"
+
 echo "==> serve smoke (100 mixed queries, live vs replay, clean shutdown)"
 "$TSDIST" serve "$SMOKE/archive" --addr 127.0.0.1:0 \
   --port-file "$SMOKE/port" --journal "$SMOKE/serve.ndjson" \
