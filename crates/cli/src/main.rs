@@ -80,6 +80,8 @@ USAGE:
   tsdist summary <dataset-dir>
   tsdist conformance [--update] [--quick] [--ulps] [--golden <file>]
   tsdist lint [--json] [--deny-warnings] [--root <dir>] [--out <file>]
+              [--baseline <file>] [--write-baseline <file>]
+              [--graph-stats] [--severity <lint>=<level>]
   tsdist serve <archive-root> [--addr <A>] [--shards <N>] [--queue <Q>]
                [--batch <B>] [--cache <C>] [--journal <file>]
                [--fsync never|rotate|every-<n>] [--segment-bytes <N>]
@@ -113,10 +115,16 @@ divergence. --update re-pins the golden after a reviewed numeric change;
 worst observed production-vs-reference drift per category in units of
 last place, alongside the vectorized-kernel coverage counts.
 
-lint runs the workspace invariant checker (determinism, panic-safety,
-hot-path allocation rules) over every library source file. Findings
-need fixing or an inline reasoned suppression; --deny-warnings fails on
-warnings too, --out writes the machine-readable JSON report.
+lint runs the workspace invariant checker: per-file passes
+(determinism, panic-safety, hot-path allocation rules) plus flow-aware
+passes over the workspace call graph (panic reachability from public
+entry points, lock ordering and blocking-under-guard discipline,
+early-abandon contract shape, wire-error leg coverage). Findings need
+fixing or an inline reasoned suppression; --deny-warnings fails on
+warnings too, --out writes the machine-readable JSON report,
+--baseline compares against pinned fingerprints so only new findings
+fail, --write-baseline pins the current findings, --graph-stats prints
+call-graph edge accounting, --severity overrides a lint's level.
 
 serve answers 1-NN/k-NN queries over TCP (newline-delimited JSON) with
 shard-affine dataset ownership, request batching, an LRU answer cache,

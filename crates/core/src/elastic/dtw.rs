@@ -146,7 +146,6 @@ pub fn dtw_banded_ws(x: &[f64], y: &[f64], band: usize, ws: &mut Workspace) -> f
     prev.fill(INF);
     prev[0] = 0.0;
 
-    // tsdist-lint: allow(hot-path-bounds-check, reason = "reference row-major kernel kept for wavefront equivalence tests; not on the production dispatch path")
     for i in 1..=m {
         curr.fill(INF);
         let lo = i.saturating_sub(band).max(1);
@@ -156,6 +155,7 @@ pub fn dtw_banded_ws(x: &[f64], y: &[f64], band: usize, ws: &mut Workspace) -> f
             continue;
         }
         for j in lo..=hi {
+            // tsdist-lint: allow(hot-path-bounds-check, reason = "reference row-major kernel kept for wavefront equivalence tests; not on the production dispatch path")
             let d = x[i - 1] - y[j - 1];
             let cost = d * d;
             let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);

@@ -18,6 +18,12 @@ pub struct Lcss {
 
 impl Lcss {
     /// Creates LCSS with threshold `epsilon` and window `delta_pct`%.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epsilon` is negative or `delta_pct` is outside
+    /// `[0, 100]` — construction-time validation so every later
+    /// distance call runs unchecked.
     pub fn new(epsilon: f64, delta_pct: f64) -> Self {
         assert!(epsilon >= 0.0, "epsilon must be non-negative");
         assert!(
@@ -70,12 +76,12 @@ impl Distance for Lcss {
 
         let (mut prev, mut curr) = ws.int_rows2(n + 1);
         prev.fill(0);
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "branchy threshold recurrence; the comparison chain, not the bounds check, dominates and blocks vectorization")
         for i in 1..=m {
             curr.fill(0);
             let lo = i.saturating_sub(band).max(1);
             let hi = (i + band).min(n);
             for j in lo..=hi {
+                // tsdist-lint: allow(hot-path-bounds-check, reason = "branchy threshold recurrence; the comparison chain, not the bounds check, dominates and blocks vectorization")
                 if (x[i - 1] - y[j - 1]).abs() < self.epsilon {
                     curr[j] = prev[j - 1] + 1;
                 } else {
@@ -102,6 +108,10 @@ pub struct Edr {
 
 impl Edr {
     /// Creates EDR with threshold `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epsilon` is negative.
     pub fn new(epsilon: f64) -> Self {
         assert!(epsilon >= 0.0, "epsilon must be non-negative");
         Edr { epsilon }
@@ -144,10 +154,10 @@ impl Distance for Edr {
         for (j, slot) in prev.iter_mut().enumerate() {
             *slot = j as u32;
         }
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "branchy threshold recurrence; the comparison chain, not the bounds check, dominates and blocks vectorization")
         for i in 1..=m {
             curr[0] = i as u32;
             for j in 1..=n {
+                // tsdist-lint: allow(hot-path-bounds-check, reason = "branchy threshold recurrence; the comparison chain, not the bounds check, dominates and blocks vectorization")
                 let subcost = u32::from((x[i - 1] - y[j - 1]).abs() > self.epsilon);
                 curr[j] = (prev[j - 1] + subcost)
                     .min(prev[j] + 1)
@@ -226,10 +236,10 @@ impl Distance for Erp {
         let (mut p2, mut p1, mut cur, _) = ws.diag_scratch(m + 1, 0);
         // Diagonal 0 is the origin cell (0, 0).
         p1[0] = 0.0;
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "diagonal index arithmetic (j = d - i) and O(1) boundary cells have no slice-friendly form; every index is proven in-bounds by the diagonal-range algebra")
         for d in 1..=(m + n) {
             // Row-0 cell (0, d): delete all of y against gaps.
             if d <= n {
+                // tsdist-lint: allow(hot-path-bounds-check, reason = "diagonal index arithmetic (j = d - i) and O(1) boundary cells have no slice-friendly form; every index is proven in-bounds by the diagonal-range algebra")
                 cur[0] = p1[0] + (y[d - 1] - g).abs();
             }
             // Column-0 cell (d, 0): delete all of x against gaps.
@@ -268,8 +278,8 @@ impl Distance for Erp {
         prev[0] = 0.0;
         let mut acc = 0.0;
         let mut p_hi = 0usize;
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
         for j in 1..=n {
+            // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
             acc += (y[j - 1] - g).abs();
             prev[j] = acc;
             if acc < cutoff {
@@ -277,11 +287,11 @@ impl Distance for Erp {
             }
         }
         let mut p_lo = 0usize;
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
         for i in 1..=m {
             curr.fill(INF);
             // Column 0 (delete all of x so far) is O(1) per row; keeping
             // its chain exact lets liveness re-enter from the left.
+            // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
             curr[0] = prev[0] + (x[i - 1] - g).abs();
             let mut live_lo = usize::MAX;
             let mut live_hi = 0usize;
@@ -334,6 +344,10 @@ pub struct Swale {
 impl Swale {
     /// Creates Swale with the paper's parameterization (Table 4 uses
     /// `reward = 1`, `penalty = 5` and tunes `epsilon`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epsilon` is negative.
     pub fn new(epsilon: f64, reward: f64, penalty: f64) -> Self {
         assert!(epsilon >= 0.0, "epsilon must be non-negative");
         Swale {
@@ -384,10 +398,10 @@ impl Distance for Swale {
         for (j, slot) in prev.iter_mut().enumerate() {
             *slot = -self.penalty * j as f64;
         }
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "branchy threshold recurrence; the comparison chain, not the bounds check, dominates and blocks vectorization")
         for i in 1..=m {
             curr[0] = -self.penalty * i as f64;
             for j in 1..=n {
+                // tsdist-lint: allow(hot-path-bounds-check, reason = "branchy threshold recurrence; the comparison chain, not the bounds check, dominates and blocks vectorization")
                 if (x[i - 1] - y[j - 1]).abs() <= self.epsilon {
                     curr[j] = prev[j - 1] + self.reward;
                 } else {

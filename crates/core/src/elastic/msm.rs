@@ -92,13 +92,13 @@ impl Distance for Msm {
 
         // Row 0.
         prev[0] = (x[0] - y[0]).abs();
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "branchy threshold recurrence; the comparison chain, not the bounds check, dominates and blocks vectorization")
         for j in 1..n {
+            // tsdist-lint: allow(hot-path-bounds-check, reason = "branchy threshold recurrence; the comparison chain, not the bounds check, dominates and blocks vectorization")
             prev[j] = prev[j - 1] + self.c(y[j], y[j - 1], x[0]);
         }
 
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "branchy threshold recurrence; the comparison chain, not the bounds check, dominates and blocks vectorization")
         for i in 1..m {
+            // tsdist-lint: allow(hot-path-bounds-check, reason = "branchy threshold recurrence; the comparison chain, not the bounds check, dominates and blocks vectorization")
             curr[0] = prev[0] + self.c(x[i], x[i - 1], y[0]);
             for j in 1..n {
                 let move_cost = prev[j - 1] + (x[i] - y[j]).abs();
@@ -131,8 +131,8 @@ impl Distance for Msm {
         prev[0] = (x[0] - y[0]).abs();
         let mut p_hi = 0usize;
         let mut row0_live = prev[0] < cutoff;
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
         for j in 1..n {
+            // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
             prev[j] = prev[j - 1] + self.c(y[j], y[j - 1], x[0]);
             if prev[j] < cutoff {
                 p_hi = j;
@@ -143,11 +143,11 @@ impl Distance for Msm {
             return INF;
         }
         let mut p_lo = 0usize;
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
         for i in 1..m {
             curr.fill(INF);
             // Column 0 (split chain) stays exact so liveness can re-enter
             // from the left.
+            // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
             curr[0] = prev[0] + self.c(x[i], x[i - 1], y[0]);
             let mut live_lo = usize::MAX;
             let mut live_hi = 0usize;
@@ -199,11 +199,11 @@ impl Msm {
 
         // Diagonal 0 is the single corner cell.
         p1[0] = (x[0] - y[0]).abs();
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "diagonal index arithmetic (j = d - i) and O(1) boundary cells have no slice-friendly form; every index is proven in-bounds by the diagonal-range algebra")
         for d in 1..=(m + n - 2) {
             // Row-0 cell (0, d): the same chain as the row-major row 0,
             // one term per diagonal.
             if d < n {
+                // tsdist-lint: allow(hot-path-bounds-check, reason = "diagonal index arithmetic (j = d - i) and O(1) boundary cells have no slice-friendly form; every index is proven in-bounds by the diagonal-range algebra")
                 cur[0] = p1[0] + self.c(y[d], y[d - 1], x[0]);
             }
             // Column-0 cell (d, 0): the split chain down column 0.

@@ -91,7 +91,6 @@ impl Distance for Twe {
         let (mut p2, mut p1, mut cur, _) = ws.diag_scratch(m + 1, 0);
         // Diagonal 0 is the padded origin cell (0, 0).
         p1[0] = 0.0;
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "diagonal index arithmetic (j = d - i) and O(1) boundary cells have no slice-friendly form; every index is proven in-bounds by the diagonal-range algebra")
         for d in 1..=(m + n) {
             // Row-0 cell (0, d): delete all of y, one term per diagonal.
             if d <= n {
@@ -99,6 +98,7 @@ impl Distance for Twe {
             }
             // Column-0 cell (d, 0): delete all of x.
             if d <= m {
+                // tsdist-lint: allow(hot-path-bounds-check, reason = "diagonal index arithmetic (j = d - i) and O(1) boundary cells have no slice-friendly form; every index is proven in-bounds by the diagonal-range algebra")
                 cur[d] = p1[d - 1] + (xi(d) - xi(d - 1)).abs() + self.nu + self.lambda;
             }
             let lo = 1.max(d.saturating_sub(n));
@@ -140,8 +140,8 @@ impl Distance for Twe {
         // live window the prefix `[0, p_hi]`.
         prev[0] = 0.0;
         let mut p_hi = 0usize;
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
         for j in 1..=n {
+            // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
             prev[j] = prev[j - 1] + (yj(j) - yj(j - 1)).abs() + self.nu + self.lambda;
             if prev[j] < cutoff {
                 p_hi = j;
@@ -159,8 +159,8 @@ impl Distance for Twe {
                 live_lo = 0;
             }
             let start = if live_lo == 0 { 1 } else { p_lo.max(1) };
-            // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
             for j in start..=n {
+                // tsdist-lint: allow(hot-path-bounds-check, reason = "pruned-window DP: the live window is data-dependent, so loop-variable indexing is inherent and bounded by the window clamps")
                 if j > p_hi + 1 && curr[j - 1] >= cutoff {
                     break;
                 }

@@ -165,13 +165,13 @@ impl Distance for ItakuraDtw {
             let (mut prev, mut curr) = ws.dp_rows2(n + 1);
             prev.fill(INF);
             prev[0] = 0.0;
-            // tsdist-lint: allow(hot-path-bounds-check, reason = "Itakura-parallelogram mask makes every cell conditional; indexing is inherent and bounded by the mask clamp")
             for i in 1..=m {
                 curr.fill(INF);
                 for j in 1..=n {
                     if !self.inside(i, j, m, n) {
                         continue;
                     }
+                    // tsdist-lint: allow(hot-path-bounds-check, reason = "Itakura-parallelogram mask makes every cell conditional; indexing is inherent and bounded by the mask clamp")
                     let d = x[i - 1] - y[j - 1];
                     let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
                     if best.is_finite() {
@@ -211,7 +211,6 @@ impl Distance for ItakuraDtw {
         prev.fill(INF);
         prev[0] = 0.0;
         let (mut p_lo, mut p_hi) = (0usize, 0usize);
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "Itakura-parallelogram mask makes every cell conditional; indexing is inherent and bounded by the mask clamp")
         for i in 1..=m {
             curr.fill(INF);
             let start = p_lo.max(1);
@@ -224,6 +223,7 @@ impl Distance for ItakuraDtw {
                 if !self.inside(i, j, m, n) {
                     continue;
                 }
+                // tsdist-lint: allow(hot-path-bounds-check, reason = "Itakura-parallelogram mask makes every cell conditional; indexing is inherent and bounded by the mask clamp")
                 let d = x[i - 1] - y[j - 1];
                 let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
                 if best.is_finite() {

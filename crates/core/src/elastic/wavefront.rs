@@ -105,8 +105,8 @@ pub fn dtw_wavefront_ws(x: &[f64], y: &[f64], band: usize, ws: &mut Workspace) -
             let pt = &p1[lo - 1..lo - 1 + len];
             let pl = &p1[lo..lo + len];
             let out = &mut cur[lo..lo + len];
-            // tsdist-lint: allow(hot-path-bounds-check, reason = "all six slices are pre-cut to `len`, so the checks fold away and the loop vectorizes")
             for k in 0..len {
+                // tsdist-lint: allow(hot-path-bounds-check, reason = "all six slices are pre-cut to `len`, so the checks fold away and the loop vectorizes")
                 let diff = xs[k] - ys[k];
                 let best = pd[k].min(pt[k]).min(pl[k]);
                 out[k] = diff * diff + best;
@@ -195,8 +195,8 @@ pub fn dtw_wavefront_pruned(
             let pt = &p1[clo - 1..clo - 1 + len];
             let pl = &p1[clo..clo + len];
             let out = &mut cur[clo..clo + len];
-            // tsdist-lint: allow(hot-path-bounds-check, reason = "all six slices are pre-cut to `len`, so the checks fold away and the loop vectorizes")
             for k in 0..len {
+                // tsdist-lint: allow(hot-path-bounds-check, reason = "all six slices are pre-cut to `len`, so the checks fold away and the loop vectorizes")
                 let diff = xs[k] - ys[k];
                 let best = pd[k].min(pt[k]).min(pl[k]);
                 out[k] = diff * diff + best;
@@ -261,13 +261,13 @@ pub fn wdtw_wavefront_ws(x: &[f64], y: &[f64], weights: &[f64], ws: &mut Workspa
         let pt = &p1[lo - 1..lo - 1 + len];
         let pl = &p1[lo..lo + len];
         let wk = &mut wq[..len];
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "weight gather over a pre-cut slice; the index is data-independent")
         for k in 0..len {
+            // tsdist-lint: allow(hot-path-bounds-check, reason = "weight gather over a pre-cut slice; the index is data-independent")
             wk[k] = weights[(2 * (lo + k)).abs_diff(d)];
         }
         let out = &mut cur[lo..lo + len];
-        // tsdist-lint: allow(hot-path-bounds-check, reason = "all seven slices are pre-cut to `len`, so the checks fold away and the loop vectorizes")
         for k in 0..len {
+            // tsdist-lint: allow(hot-path-bounds-check, reason = "all seven slices are pre-cut to `len`, so the checks fold away and the loop vectorizes")
             let diff = xs[k] - ys[k];
             let best = pd[k].min(pt[k]).min(pl[k]);
             out[k] = wk[k] * diff * diff + best;
@@ -343,13 +343,13 @@ pub fn wdtw_wavefront_pruned(
             let pt = &p1[clo - 1..clo - 1 + len];
             let pl = &p1[clo..clo + len];
             let wk = &mut wq[..len];
-            // tsdist-lint: allow(hot-path-bounds-check, reason = "weight gather over a pre-cut slice; the index is data-independent")
             for k in 0..len {
+                // tsdist-lint: allow(hot-path-bounds-check, reason = "weight gather over a pre-cut slice; the index is data-independent")
                 wk[k] = weights[(2 * (clo + k)).abs_diff(d)];
             }
             let out = &mut cur[clo..clo + len];
-            // tsdist-lint: allow(hot-path-bounds-check, reason = "all seven slices are pre-cut to `len`, so the checks fold away and the loop vectorizes")
             for k in 0..len {
+                // tsdist-lint: allow(hot-path-bounds-check, reason = "all seven slices are pre-cut to `len`, so the checks fold away and the loop vectorizes")
                 let diff = xs[k] - ys[k];
                 let best = pd[k].min(pt[k]).min(pl[k]);
                 out[k] = wk[k] * diff * diff + best;

@@ -28,6 +28,11 @@ pub struct Grail {
 
 impl Grail {
     /// Creates a GRAIL embedder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gamma` is not positive or `landmarks`/`dims` is
+    /// zero.
     pub fn new(gamma: f64, landmarks: usize, dims: usize, seed: u64) -> Self {
         assert!(gamma > 0.0, "GRAIL gamma must be positive");
         assert!(

@@ -31,6 +31,11 @@ pub struct Rws {
 
 impl Rws {
     /// Creates an RWS embedder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gamma` is not positive, `features` is zero, or
+    /// `d_max` is zero.
     pub fn new(gamma: f64, features: usize, d_max: usize, seed: u64) -> Self {
         assert!(gamma > 0.0, "RWS gamma must be positive");
         assert!(features > 0, "RWS needs at least one feature");

@@ -37,6 +37,10 @@ pub struct Sidl {
 
 impl Sidl {
     /// Creates a SIDL embedder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `atoms` is zero or `atom_len` is below two.
     pub fn new(atoms: usize, atom_len: usize, iterations: usize, seed: u64) -> Self {
         assert!(atoms > 0, "SIDL needs at least one atom");
         assert!(atom_len >= 2, "SIDL atoms need at least two samples");

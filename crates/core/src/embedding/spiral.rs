@@ -30,6 +30,11 @@ pub struct Spiral {
 
 impl Spiral {
     /// Creates a SPIRAL embedder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gamma` is not positive or `landmarks`/`dims` is
+    /// zero.
     pub fn new(gamma: f64, landmarks: usize, dims: usize, seed: u64) -> Self {
         assert!(gamma > 0.0, "SPIRAL gamma must be positive");
         assert!(

@@ -82,6 +82,10 @@ pub fn shape_extraction(series: &[Vec<f64>], reference: &[f64]) -> Vec<f64> {
 
 /// Iterated shape extraction starting from the first series, the way
 /// k-Shape refines a cluster centroid.
+///
+/// # Panics
+///
+/// Panics when `series` is empty — there is no shape of nothing.
 pub fn kshape_centroid(series: &[Vec<f64>], iterations: usize) -> Vec<f64> {
     assert!(!series.is_empty(), "cannot extract a shape from nothing");
     let mut reference = {

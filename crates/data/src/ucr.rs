@@ -153,6 +153,10 @@ pub fn dataset_from_splits(
 /// Serializes one split of a dataset as UCR-format tab-separated text
 /// (`label<TAB>v1<TAB>v2...`), the inverse of [`parse_ucr_text`]. Labels
 /// are written as the dense class indices.
+///
+/// # Panics
+///
+/// Panics when `series` and `labels` disagree in length.
 pub fn to_ucr_text(series: &[Vec<f64>], labels: &[usize]) -> String {
     assert_eq!(series.len(), labels.len(), "series/label count mismatch");
     let mut out = String::new();

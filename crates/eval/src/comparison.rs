@@ -198,6 +198,11 @@ impl RankingAnalysis {
 
 /// Runs the Friedman + Nemenyi analysis over an accuracy table
 /// (`accuracies[d][m]` = accuracy of measure `m` on dataset `d`).
+///
+/// # Panics
+///
+/// Panics when `names` is empty or any accuracy row's width differs
+/// from the measure count — a ragged table has no ranking.
 pub fn rank_measures(names: &[String], accuracies: &[Vec<f64>]) -> RankingAnalysis {
     assert!(!names.is_empty());
     assert!(accuracies.iter().all(|row| row.len() == names.len()));

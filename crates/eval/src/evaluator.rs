@@ -138,6 +138,11 @@ fn distance_accuracy_pruned(d: &dyn Distance, ds: &Dataset, norm: Normalization)
 /// training accuracy is computed from `W`; the best (first on ties, in
 /// grid order — matching the deterministic tuning of Section 3) is then
 /// scored on the test split.
+///
+/// # Panics
+///
+/// Panics when `grid` is empty — there is no "best of nothing" to
+/// score.
 pub fn evaluate_distance_supervised(
     grid: &[Box<dyn Distance>],
     ds: &Dataset,
@@ -180,6 +185,10 @@ pub fn evaluate_kernel(k: &dyn Kernel, ds: &Dataset) -> f64 {
 }
 
 /// Supervised evaluation of a kernel grid (LOOCV on `W`, test on `E`).
+///
+/// # Panics
+///
+/// Panics when `grid` is empty.
 pub fn evaluate_kernel_supervised(grid: &[Box<dyn Kernel>], ds: &Dataset) -> SupervisedOutcome {
     assert!(!grid.is_empty(), "empty parameter grid");
     let prepared = prepare(ds, Normalization::ZScore);
@@ -218,6 +227,10 @@ pub fn evaluate_embedding(emb: &dyn Embedding, ds: &Dataset) -> f64 {
 }
 
 /// Supervised evaluation of an embedding grid.
+///
+/// # Panics
+///
+/// Panics when `grid` is empty.
 pub fn evaluate_embedding_supervised(
     grid: &[Box<dyn Embedding>],
     ds: &Dataset,

@@ -110,6 +110,12 @@ pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
 ///
 /// Eigenvalues below `1e-10 * lambda_max` are discarded; `d` is capped at
 /// `dims`.
+///
+/// # Panics
+///
+/// Panics when `k_ll` is not square or `k_nl`'s column count differs
+/// from the landmark count — mismatched kernel blocks have no Nyström
+/// factorization.
 pub fn nystroem_features(k_ll: &Matrix, k_nl: &Matrix, dims: usize) -> Matrix {
     assert_eq!(k_ll.rows(), k_ll.cols(), "landmark kernel must be square");
     assert_eq!(

@@ -1,8 +1,18 @@
 //! The lint driver: file discovery, lint execution, suppression
 //! matching, and the `suppression-audit` meta-lint.
+//!
+//! Since the flow-aware v2 the engine is two-phase: the per-file
+//! token-tree lints run over each library file in isolation, then the
+//! [`WorkspaceModel`] call graph is built over *all* files at once and
+//! the workspace lints (panic-reachability, lock-discipline,
+//! upto-contract-shape, wire-error-exhaustiveness) run over it.
+//! Integration-test files ride along as *evidence* — never linted, but
+//! visible to lints whose invariant is "some test covers X".
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use crate::graph::WorkspaceModel;
 use crate::lints::{self, LINT_NAMES};
 use crate::model::FileModel;
 use crate::report::{Diagnostic, Report, Severity, SuppressedDiagnostic};
@@ -17,9 +27,19 @@ pub struct LintConfig {
     /// Path prefixes (workspace-relative, `/`-separated) skipped
     /// entirely: vendored stubs, build output, lint fixtures.
     pub skip_prefixes: Vec<String>,
-    /// Path prefixes exempt from `no-unwrap-in-lib`: the bench/report
-    /// binaries, which abort-on-error by design.
+    /// Path prefixes exempt from `no-unwrap-in-lib` *and*
+    /// `panic-reachability`: the bench/report binaries, which
+    /// abort-on-error by design.
     pub no_unwrap_exempt_prefixes: Vec<String>,
+    /// Path prefixes `lock-discipline` analyzes: the crates that
+    /// actually share Mutexes across threads. Everything else is out of
+    /// scope (single-threaded code takes locks only in tests, if ever).
+    pub lock_scope_prefixes: Vec<String>,
+    /// Per-lint severity overrides (`lint-name` → severity), applied to
+    /// findings before suppression matching. Lets a deployment demote a
+    /// heuristic lint to warning or promote one to error without a
+    /// rebuild.
+    pub severity_overrides: BTreeMap<String, Severity>,
 }
 
 impl Default for LintConfig {
@@ -31,6 +51,8 @@ impl Default for LintConfig {
                 "crates/lint/tests/fixtures/".into(),
             ],
             no_unwrap_exempt_prefixes: vec!["crates/bench/".into()],
+            lock_scope_prefixes: vec!["crates/serve/src/".into(), "crates/eval/src/".into()],
+            severity_overrides: BTreeMap::new(),
         }
     }
 }
@@ -47,43 +69,118 @@ impl LintConfig {
             .iter()
             .any(|p| rel.starts_with(p.as_str()))
     }
+
+    /// Whether `panic-reachability` ignores this path. Shares the
+    /// no-unwrap exemption list: a binary allowed to abort on error is
+    /// equally allowed to assert.
+    pub(crate) fn panic_exempt(&self, rel: &str) -> bool {
+        self.no_unwrap_exempt(rel)
+    }
+
+    /// Whether `lock-discipline` analyzes this path.
+    pub(crate) fn lock_scope(&self, rel: &str) -> bool {
+        self.lock_scope_prefixes
+            .iter()
+            .any(|p| rel.starts_with(p.as_str()))
+    }
 }
 
-/// Lints one source string. `rel_path` is the diagnostic label and
-/// drives path-based exemptions. This is the unit the fixture suite
-/// tests; [`lint_workspace`] folds it over the tree.
-pub fn lint_source(rel_path: &str, source: &str, config: &LintConfig) -> Report {
-    let model = FileModel::analyze(rel_path, source);
-    let raw = lints::run_all(&model, config.no_unwrap_exempt(rel_path));
-    let suppressions = find_suppressions(&model.comments, &model.tokens);
+/// One input to [`lint_files`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative, forward-slash path (the diagnostic label;
+    /// drives path-based exemptions and crate derivation).
+    pub rel_path: String,
+    pub source: String,
+    /// Evidence files (integration tests) are parsed and searchable by
+    /// workspace lints but produce no diagnostics of their own.
+    pub evidence: bool,
+}
+
+/// Lints a file set: per-file passes over every non-evidence file, then
+/// the workspace passes over the call graph of all of them together.
+/// This is the single execution path — [`lint_source`] and
+/// [`lint_workspace`] are wrappers.
+pub fn lint_files(inputs: Vec<SourceFile>, config: &LintConfig) -> Report {
+    let mut lib_models: Vec<FileModel> = Vec::new();
+    let mut evidence_models: Vec<FileModel> = Vec::new();
+    for f in inputs {
+        if config.skips(&f.rel_path) {
+            continue;
+        }
+        let model = FileModel::analyze(&f.rel_path, &f.source);
+        if f.evidence {
+            evidence_models.push(model);
+        } else {
+            lib_models.push(model);
+        }
+    }
+
+    // Phase 1: per-file token-tree lints.
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for model in &lib_models {
+        raw.extend(lints::run_all(model, config.no_unwrap_exempt(&model.path)));
+    }
+
+    // Phase 2: the call graph and the flow-aware lints.
+    let ws = WorkspaceModel::build(lib_models, evidence_models);
+    lints::run_workspace(&ws, config, &mut raw);
+
+    // Severity overrides apply to every finding uniformly.
+    for d in &mut raw {
+        if let Some(sev) = config.severity_overrides.get(d.lint) {
+            d.severity = *sev;
+        }
+    }
 
     let mut report = Report {
-        files_scanned: 1,
+        files_scanned: ws.files.len(),
+        graph: Some(ws.stats.clone()),
         ..Report::default()
     };
 
-    // Malformed suppressions are always errors.
-    for m in &suppressions.malformed {
-        report.diagnostics.push(Diagnostic {
-            lint: SUPPRESSION_AUDIT,
-            severity: Severity::Error,
-            file: rel_path.to_string(),
-            line: m.line,
-            message: m.message.clone(),
-        });
+    // Suppression matching is per-file: parse each file's allows, match
+    // findings (from either phase) by file + covered line.
+    struct FileSuppressions {
+        parsed: Vec<Suppression>,
+        used: Vec<bool>,
+    }
+    let mut by_file: BTreeMap<&str, FileSuppressions> = BTreeMap::new();
+    for fm in &ws.files {
+        let found = find_suppressions(&fm.comments, &fm.tokens);
+        for m in &found.malformed {
+            report.diagnostics.push(Diagnostic {
+                lint: SUPPRESSION_AUDIT,
+                severity: Severity::Error,
+                file: fm.path.clone(),
+                line: m.line,
+                message: m.message.clone(),
+            });
+        }
+        let used = vec![false; found.parsed.len()];
+        by_file.insert(
+            fm.path.as_str(),
+            FileSuppressions {
+                parsed: found.parsed,
+                used,
+            },
+        );
     }
 
-    // Match each finding against the suppressions.
-    let mut used = vec![false; suppressions.parsed.len()];
     for d in raw {
-        let hit = suppressions
-            .parsed
-            .iter()
-            .enumerate()
-            .find(|(_, s)| s.lint == d.lint && (d.line == s.covers.0 || d.line == s.covers.1));
+        let mut hit: Option<Option<String>> = None;
+        if let Some(fs) = by_file.get_mut(d.file.as_str()) {
+            let found = fs
+                .parsed
+                .iter()
+                .position(|s| s.lint == d.lint && (d.line == s.covers.0 || d.line == s.covers.1));
+            if let Some(idx) = found {
+                fs.used[idx] = true;
+                hit = Some(fs.parsed[idx].reason.clone());
+            }
+        }
         match hit {
-            Some((idx, s)) => {
-                used[idx] = true;
+            Some(reason) => {
                 report.suppressed.push(SuppressedDiagnostic {
                     lint: d.lint.to_string(),
                     file: d.file,
@@ -92,7 +189,7 @@ pub fn lint_source(rel_path: &str, source: &str, config: &LintConfig) -> Report 
                     // error below is the only new finding, not a
                     // duplicate pair); the placeholder keeps the JSON
                     // self-describing.
-                    reason: s.reason.clone().unwrap_or_else(|| "<missing>".into()),
+                    reason: reason.unwrap_or_else(|| "<missing>".into()),
                 });
             }
             None => report.diagnostics.push(d),
@@ -100,12 +197,28 @@ pub fn lint_source(rel_path: &str, source: &str, config: &LintConfig) -> Report 
     }
 
     // Audit the suppressions themselves.
-    for (s, used) in suppressions.parsed.iter().zip(&used) {
-        audit_suppression(s, *used, rel_path, &mut report.diagnostics);
+    for (path, fs) in &by_file {
+        for (s, used) in fs.parsed.iter().zip(&fs.used) {
+            audit_suppression(s, *used, path, &mut report.diagnostics);
+        }
     }
 
     report.sort();
     report
+}
+
+/// Lints one source string. `rel_path` is the diagnostic label and
+/// drives path-based exemptions. This is the unit the fixture suite
+/// tests; the workspace lints see a one-file call graph.
+pub fn lint_source(rel_path: &str, source: &str, config: &LintConfig) -> Report {
+    lint_files(
+        vec![SourceFile {
+            rel_path: rel_path.to_string(),
+            source: source.to_string(),
+            evidence: false,
+        }],
+        config,
+    )
 }
 
 fn audit_suppression(s: &Suppression, used: bool, rel_path: &str, out: &mut Vec<Diagnostic>) {
@@ -151,12 +264,15 @@ fn audit_suppression(s: &Suppression, used: bool, rel_path: &str, out: &mut Vec<
 }
 
 /// Lints every library source file under `root` (the workspace
-/// directory): `src/` and `crates/*/src/`. Integration tests and bench
-/// suites are out of scope — the invariants are library invariants —
-/// and `compat/` is vendored.
+/// directory): `src/` and `crates/*/src/`. Integration-test files
+/// (`tests/` and `crates/*/tests/`) are collected as evidence — never
+/// linted, but searched by the workspace lints for coverage facts.
+/// `compat/` is vendored and skipped.
 pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, String> {
     let mut files: Vec<PathBuf> = Vec::new();
+    let mut evidence: Vec<PathBuf> = Vec::new();
     collect_rs_files(&root.join("src"), &mut files)?;
+    collect_rs_files(&root.join("tests"), &mut evidence)?;
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = Vec::new();
     if crates_dir.is_dir() {
@@ -172,24 +288,28 @@ pub fn lint_workspace(root: &Path, config: &LintConfig) -> Result<Report, String
     crate_dirs.sort();
     for dir in crate_dirs {
         collect_rs_files(&dir.join("src"), &mut files)?;
+        collect_rs_files(&dir.join("tests"), &mut evidence)?;
     }
     files.sort();
+    evidence.sort();
 
-    let mut report = Report::default();
-    for file in files {
-        let rel = relative_label(root, &file);
-        if config.skips(&rel) {
-            continue;
+    let mut inputs: Vec<SourceFile> = Vec::new();
+    for (list, is_evidence) in [(&files, false), (&evidence, true)] {
+        for file in list {
+            let rel = relative_label(root, file);
+            if config.skips(&rel) {
+                continue;
+            }
+            let source = std::fs::read_to_string(file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            inputs.push(SourceFile {
+                rel_path: rel,
+                source,
+                evidence: is_evidence,
+            });
         }
-        let source = std::fs::read_to_string(&file)
-            .map_err(|e| format!("reading {}: {e}", file.display()))?;
-        let file_report = lint_source(&rel, &source, config);
-        report.files_scanned += 1;
-        report.diagnostics.extend(file_report.diagnostics);
-        report.suppressed.extend(file_report.suppressed);
     }
-    report.sort();
-    Ok(report)
+    Ok(lint_files(inputs, config))
 }
 
 /// Recursively collects `*.rs` files; a missing directory is fine.
@@ -318,6 +438,55 @@ mod tests {
         let r = lint_source("crates/bench/src/bin/table9.rs", src, &cfg());
         assert_eq!(r.diagnostics.len(), 1);
         assert_eq!(r.diagnostics[0].lint, "float-total-order");
+    }
+
+    #[test]
+    fn workspace_lints_run_and_suppress_across_the_file_set() {
+        // A cross-file panic chain: the finding (from the workspace
+        // phase) lands on entry.rs and a suppression there silences it;
+        // the assert site itself also fires, un-suppressed.
+        let inputs = vec![
+            SourceFile {
+                rel_path: "crates/cli/src/entry.rs".into(),
+                source: "// tsdist-lint: allow(panic-reachability, reason = \"top-level CLI: aborting on a bad spec is the UX\")\n\
+                         pub fn entry(x: usize) { tsdist_core::helper(x); }\n"
+                    .into(),
+                evidence: false,
+            },
+            SourceFile {
+                rel_path: "crates/core/src/lib.rs".into(),
+                source: "pub fn helper(x: usize) { assert!(x > 0); }\n".into(),
+                evidence: false,
+            },
+        ];
+        let r = lint_files(inputs, &cfg());
+        assert_eq!(r.suppressed.len(), 1, "{r:?}");
+        assert_eq!(r.suppressed[0].lint, "panic-reachability");
+        assert_eq!(r.diagnostics.len(), 1, "{r:?}");
+        assert!(r.diagnostics[0].file.contains("core"));
+    }
+
+    #[test]
+    fn evidence_files_are_not_linted() {
+        let inputs = vec![SourceFile {
+            rel_path: "crates/serve/tests/e2e.rs".into(),
+            source: "fn t() { x.unwrap(); let m = std::collections::HashMap::new(); }\n".into(),
+            evidence: true,
+        }];
+        let r = lint_files(inputs, &cfg());
+        assert!(r.diagnostics.is_empty(), "{r:?}");
+        assert_eq!(r.files_scanned, 0);
+    }
+
+    #[test]
+    fn severity_overrides_apply_before_denial() {
+        let mut config = cfg();
+        config
+            .severity_overrides
+            .insert("no-unwrap-in-lib".into(), Severity::Warning);
+        let r = lint_source("lib.rs", "fn f() { x.unwrap(); }\n", &config);
+        assert_eq!(r.errors(), 0);
+        assert_eq!(r.warnings(), 1);
     }
 
     #[test]

@@ -12,7 +12,15 @@
 //! reports named, severity-tagged diagnostics with `file:line`
 //! positions and machine-readable JSON output.
 //!
+//! Since v2 the engine is *flow-aware*: it resolves a workspace-wide
+//! function call graph ([`graph::WorkspaceModel`]) — `use`-map path
+//! resolution, `crate::`/`super::` normalization, method-call fan-out
+//! with explicit unresolved-edge accounting — and runs four lints over
+//! it that no single-file scan can express.
+//!
 //! # The lint set
+//!
+//! Per-file token-tree lints:
 //!
 //! | lint | severity | invariant |
 //! |------|----------|-----------|
@@ -23,6 +31,15 @@
 //! | `hot-path-bounds-check` | warning | no loop-variable indexing inside `lockstep/`/`elastic/` `*_ws`/`*_upto`/`*_pruned` bodies — zip or pre-cut slices so the checks fold away |
 //! | `asymmetric-float-expr` | warning | no `(a / b).ln()`-style swap-asymmetric expressions in measures claiming symmetry |
 //! | `suppression-audit` | error/warning | every allow carries a reason, names a known lint, and suppresses something |
+//!
+//! Workspace (call-graph) lints:
+//!
+//! | lint | severity | invariant |
+//! |------|----------|-----------|
+//! | `panic-reachability` | error | no public fn transitively reaches an `assert!` lacking a `# Panics` doc — the full call chain is printed |
+//! | `lock-discipline` | error | consistent Mutex acquisition order in `crates/serve`/`crates/eval`; no blocking op (send/recv/IO/join/sleep) under a live guard |
+//! | `upto-contract-shape` | error | every `distance_upto` override delegates or keeps the cutoff comparison reachable from each accumulation loop; every public `lb_*` has an admissibility test |
+//! | `wire-error-exhaustiveness` | error | every constructed `ErrorCode` variant appears in `label()`, `from_label()`, and the serve e2e suite |
 //!
 //! # Suppressions
 //!
@@ -35,38 +52,59 @@
 //! finding) is itself a warning, so suppressions cannot outlive the
 //! code they excuse.
 //!
+//! # The baseline
+//!
+//! Findings carry stable fingerprints (see [`report`]); a pinned
+//! baseline file makes `--baseline` runs fail only on **new** findings.
+//! `results/lint/baseline.json` is the committed pin; `check.sh` gates
+//! on it with `--deny-warnings`.
+//!
 //! # Entry points
 //!
-//! Run as `tsdist lint [--json] [--deny-warnings]` or standalone via
+//! Run as `tsdist lint [flags]` or standalone via
 //! `cargo run -p tsdist-lint`. [`lint_workspace`] drives the whole
 //! tree; [`lint_source`] lints one string (what the fixture suite
-//! exercises).
+//! exercises); [`engine::lint_files`] is the multi-file core.
 
 pub mod engine;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
 pub mod model;
 pub mod report;
+pub mod resolve;
 pub mod suppress;
 
-pub use engine::{find_workspace_root, lint_source, lint_workspace, LintConfig};
-pub use report::{Diagnostic, Report, Severity, SuppressedDiagnostic};
+pub use engine::{
+    find_workspace_root, lint_files, lint_source, lint_workspace, LintConfig, SourceFile,
+};
+pub use report::{Baseline, Diagnostic, Report, Severity, SuppressedDiagnostic};
 
 /// Shared CLI driver for the standalone binary and the `tsdist lint`
-/// subcommand. Parses `[--json] [--deny-warnings] [--root DIR]
-/// [--out FILE]`, lints the workspace, prints the report, writes the
-/// JSON artifact, and returns `Err` (with a summary message) when the
-/// run must fail.
+/// subcommand. Parses the flags below, lints the workspace, prints the
+/// report, writes the JSON artifact, and returns `Err` (with a summary
+/// message) when the run must fail.
+///
+/// ```text
+/// lint [--json] [--deny-warnings] [--root DIR] [--out FILE]
+///      [--baseline FILE] [--write-baseline FILE] [--graph-stats]
+///      [--severity LINT=LEVEL]...
+/// ```
 pub fn run_cli(args: &[String]) -> Result<(), String> {
     let mut json = false;
     let mut deny_warnings = false;
+    let mut graph_stats = false;
     let mut root: Option<String> = None;
     let mut out_file: Option<String> = None;
+    let mut baseline_file: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut config = LintConfig::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--deny-warnings" => deny_warnings = true,
+            "--graph-stats" => graph_stats = true,
             "--root" => {
                 root = Some(
                     iter.next()
@@ -77,10 +115,42 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
             "--out" => {
                 out_file = Some(iter.next().ok_or("--out needs a file argument")?.clone());
             }
+            "--baseline" => {
+                baseline_file = Some(
+                    iter.next()
+                        .ok_or("--baseline needs a file argument")?
+                        .clone(),
+                );
+            }
+            "--write-baseline" => {
+                write_baseline = Some(
+                    iter.next()
+                        .ok_or("--write-baseline needs a file argument")?
+                        .clone(),
+                );
+            }
+            "--severity" => {
+                let spec = iter.next().ok_or("--severity needs LINT=LEVEL")?;
+                let (lint, level) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--severity {spec:?}: expected LINT=LEVEL"))?;
+                if !lints::LINT_NAMES.contains(&lint) {
+                    return Err(format!(
+                        "--severity names unknown lint {lint:?} (known: {})",
+                        lints::LINT_NAMES.join(", ")
+                    ));
+                }
+                let severity = Severity::parse(level).ok_or_else(|| {
+                    format!("--severity level {level:?}: expected `warning` or `error`")
+                })?;
+                config.severity_overrides.insert(lint.to_string(), severity);
+            }
             other => {
                 return Err(format!(
                     "unknown lint option {other:?}\n\
-                     usage: lint [--json] [--deny-warnings] [--root DIR] [--out FILE]"
+                     usage: lint [--json] [--deny-warnings] [--root DIR] [--out FILE]\n\
+                     \x20           [--baseline FILE] [--write-baseline FILE] [--graph-stats]\n\
+                     \x20           [--severity LINT=LEVEL]..."
                 ));
             }
         }
@@ -93,21 +163,40 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
             find_workspace_root(&cwd)?
         }
     };
-    let report = lint_workspace(&root, &LintConfig::default())?;
+    let mut report = lint_workspace(&root, &config)?;
 
+    if let Some(path) = &baseline_file {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading baseline {path}: {e}"))?;
+        report.apply_baseline(&Baseline::parse(&text));
+    }
+
+    if let Some(path) = &write_baseline {
+        // Pin everything currently firing (active + already-baselined):
+        // the new baseline absorbs the old one plus the fresh debt.
+        let mut all = Report {
+            files_scanned: report.files_scanned,
+            diagnostics: report
+                .diagnostics
+                .iter()
+                .chain(report.baselined.iter())
+                .cloned()
+                .collect(),
+            ..Report::default()
+        };
+        all.sort();
+        write_text_file(path, &all.render_json())?;
+    }
     if let Some(path) = &out_file {
-        if let Some(parent) = std::path::Path::new(path).parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)
-                    .map_err(|e| format!("creating {}: {e}", parent.display()))?;
-            }
-        }
-        std::fs::write(path, report.render_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        write_text_file(path, &report.render_json())?;
     }
     if json {
         print!("{}", report.render_json());
     } else {
         print!("{}", report.render_human());
+    }
+    if graph_stats {
+        print!("{}", report.render_graph_stats());
     }
 
     let errors = report.errors();
@@ -123,4 +212,14 @@ pub fn run_cli(args: &[String]) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+fn write_text_file(path: &str, text: &str) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
 }

@@ -9,10 +9,10 @@
 //! vectorization. This pass flags `for`-loops inside `*_ws` / `*_upto` /
 //! `*_pruned` bodies under `lockstep/`, `elastic/`, or `index/` (the
 //! sublinear index tier's bound kernels sit on the same per-candidate
-//! hot path) whose body indexes with the loop variable; loops that are
-//! deliberate (diagonal index arithmetic, pre-cut slices) carry a
-//! reasoned suppression above the loop header, which is where the
-//! diagnostic anchors.
+//! hot path) whose body indexes with the loop variable. The diagnostic
+//! anchors at the first offending index expression — the line a reader
+//! (and a reasoned suppression) must actually look at — and is deduped
+//! per loop: one finding covers every indexed line of that loop.
 
 use crate::lexer::TokenKind;
 use crate::model::FileModel;
@@ -59,7 +59,7 @@ pub fn check(model: &FileModel, out: &mut Vec<Diagnostic>) {
                     .copied()
                     .filter(|&c| c != usize::MAX && c <= f.close)
                     .unwrap_or(f.close);
-                let mut hit = false;
+                let mut hit: Option<u32> = None;
                 for k in open + 1..close {
                     // `…[var` — indexing with the loop variable (possibly
                     // inside arithmetic like `a[var - 1]`).
@@ -70,28 +70,29 @@ pub fn check(model: &FileModel, out: &mut Vec<Diagnostic>) {
                             || tokens[k - 1].is_close(")"))
                         && tokens.get(k + 1).is_some_and(|t| t.is_ident(&var))
                     {
-                        hit = true;
+                        hit = Some(tokens[k].line);
                         break;
                     }
                 }
-                if hit {
-                    // Anchor at the loop header so one suppression above
-                    // the `for` covers the whole loop body.
+                if let Some(index_line) = hit {
+                    // Anchor at the first offending index expression (the
+                    // line the fix or suppression belongs to); one
+                    // diagnostic per loop.
                     out.push(Diagnostic {
                         lint: NAME,
                         severity: Severity::Warning,
                         file: model.path.clone(),
-                        line: tokens[i].line,
+                        line: index_line,
                         message: format!(
-                            "loop variable `{var}` indexes a slice inside `{}`: bounds \
-                             checks stay on the kernel hot path — iterate with zips or \
-                             pre-cut every slice to the loop length (suppress with a \
-                             reason when the checks provably fold away)",
-                            f.name
+                            "loop variable `{var}` (loop at line {}) indexes a slice \
+                             inside `{}`: bounds checks stay on the kernel hot path — \
+                             iterate with zips or pre-cut every slice to the loop length \
+                             (suppress with a reason when the checks provably fold away)",
+                            tokens[i].line, f.name
                         ),
                     });
-                    // One diagnostic per flagged loop: a suppression above
-                    // the header covers the nested body too.
+                    // One diagnostic per flagged loop: later indexed lines
+                    // and nested loops are covered by the same finding.
                     i = close.max(i + 1);
                 } else {
                     // No hit at this level — descend so nested indexed
@@ -156,9 +157,10 @@ mod tests {
     }
 
     #[test]
-    fn descends_into_nested_loops_and_anchors_at_the_guilty_header() {
+    fn descends_into_nested_loops_and_anchors_at_the_guilty_index() {
         // Outer loop never indexes with `d`; the inner loop indexes with
-        // `k` — exactly one diagnostic, anchored at the inner header.
+        // `k` — exactly one diagnostic, anchored at the offending index
+        // expression inside the inner loop.
         let d = run(
             KERNEL,
             "fn wf_ws(x: &[f64], out: &mut [f64]) {\n\
@@ -171,9 +173,14 @@ mod tests {
              }",
         );
         assert_eq!(d.len(), 1);
-        assert_eq!(d[0].line, 4);
-        // Outer loop indexing flags the outer header once; the nested
-        // loop is covered by the same diagnostic.
+        assert_eq!(d[0].line, 5);
+        assert!(
+            d[0].message.contains("(loop at line 4)"),
+            "{}",
+            d[0].message
+        );
+        // Outer loop indexing is flagged once, at its first indexed line;
+        // the nested loop is covered by the same diagnostic.
         let d = run(
             KERNEL,
             "fn wf_ws(x: &[f64], out: &mut [f64]) {\n\
@@ -186,7 +193,12 @@ mod tests {
              }",
         );
         assert_eq!(d.len(), 1);
-        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].line, 3);
+        assert!(
+            d[0].message.contains("(loop at line 2)"),
+            "{}",
+            d[0].message
+        );
     }
 
     #[test]

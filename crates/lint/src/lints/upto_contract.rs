@@ -1,0 +1,357 @@
+//! `upto-contract-shape` (error): structural checks on the
+//! early-abandon contract.
+//!
+//! Two shapes, both load-bearing for the paper's pruning claims:
+//!
+//! 1. **`distance_upto` overrides.** The contract (measure.rs) says an
+//!    override must return exactly `distance_ws` whenever it returns at
+//!    all — pruning may only stop early, never change the value. The
+//!    structural evidence: either the body delegates (calls
+//!    `distance_ws`, or forwards its cutoff parameter into a callee),
+//!    or every top-level accumulation loop has the cutoff comparison
+//!    reachable — the loop region mentions the cutoff parameter or
+//!    calls a `*_upto`/`*_pruned` kernel. A loop that never sees the
+//!    cutoff is either dead weight (the override prunes nothing there)
+//!    or a fork from the exact path; both are contract bugs the
+//!    equivalence tests only catch when the fork changes a result on
+//!    sampled data.
+//! 2. **Lower bounds.** Every public `lb_*` function must be referenced
+//!    from an admissibility test — test code (a `#[cfg(test)]` region
+//!    or an integration-test file) whose function name or file path
+//!    mentions bounds/admissibility. An untested lower bound is how an
+//!    inadmissible bound (one that overshoots the true distance) ships:
+//!    1-NN answers silently change, which is precisely the corruption
+//!    the paper's misconception studies guard against.
+
+use crate::engine::LintConfig;
+use crate::graph::WorkspaceModel;
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+use crate::report::{Diagnostic, Severity};
+
+pub const NAME: &str = "upto-contract-shape";
+
+/// Substrings marking test code as admissibility evidence (matched
+/// against the containing fn name and the file path, lower-cased).
+const EVIDENCE_MARKS: &[&str] = &["admissib", "bound", "lb_", "lower_bound"];
+
+/// Top-level loop regions (`for`/`while`/`loop` at body nesting depth)
+/// of a fn body: `(keyword_tok, block_open, block_close)`.
+fn top_level_loops(fm: &FileModel, open: usize, close: usize) -> Vec<(usize, usize, usize)> {
+    let tokens = &fm.tokens;
+    let mut out = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let t = &tokens[k];
+        if t.kind == TokenKind::Ident && matches!(t.text.as_str(), "for" | "while" | "loop") {
+            // The loop body is the next `{` at the current level; the
+            // header (`for x in expr`) may contain groups to skip.
+            let mut j = k + 1;
+            let mut body = None;
+            while j < close {
+                let h = &tokens[j];
+                if h.is_open("{") {
+                    body = Some(j);
+                    break;
+                }
+                if h.kind == TokenKind::OpenDelim {
+                    let c = fm.match_of[j];
+                    if c == usize::MAX {
+                        break;
+                    }
+                    j = c;
+                }
+                if h.is_punct(";") {
+                    break; // malformed/`loop` label edge: bail on this one
+                }
+                j += 1;
+            }
+            if let Some(b) = body {
+                let c = fm.match_of[b];
+                if c != usize::MAX && c <= close {
+                    out.push((k, b, c));
+                    k = c + 1; // nested loops belong to this region
+                    continue;
+                }
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Whether the token range mentions ident `name`.
+fn mentions(fm: &FileModel, from: usize, to: usize, name: &str) -> bool {
+    fm.tokens[from..to]
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text == name)
+}
+
+/// Whether the token range calls a `*_upto`/`*_pruned` kernel.
+fn calls_pruning_kernel(fm: &FileModel, from: usize, to: usize) -> bool {
+    let tokens = &fm.tokens;
+    (from..to).any(|k| {
+        tokens[k].kind == TokenKind::Ident
+            && (tokens[k].text.ends_with("_upto") || tokens[k].text.ends_with("_pruned"))
+            && tokens.get(k + 1).is_some_and(|t| t.is_open("("))
+    })
+}
+
+pub fn check(ws: &WorkspaceModel, _config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    // Rule 1: distance_upto override shape.
+    for (i, n) in ws.nodes.iter().enumerate() {
+        if n.in_test || n.name != "distance_upto" {
+            continue;
+        }
+        let fm = &ws.files[n.file];
+        let span = &fm.fns[n.fn_idx];
+        let cutoff = span
+            .params
+            .iter()
+            .find(|p| p.contains("cutoff"))
+            .or(span.params.last())
+            .cloned();
+        let Some(cutoff) = cutoff else { continue };
+        let loops = top_level_loops(fm, span.open, span.close);
+        if loops.is_empty() {
+            let delegates = ws.callees[i]
+                .iter()
+                .any(|c| ws.nodes[c.callee].name == "distance_ws")
+                || mentions(fm, span.open, span.close, "distance_ws");
+            let forwards = mentions(fm, span.open, span.close, &cutoff);
+            if !delegates && !forwards {
+                out.push(Diagnostic {
+                    lint: NAME,
+                    severity: Severity::Error,
+                    file: fm.path.clone(),
+                    line: n.line,
+                    message: format!(
+                        "`{}` neither delegates to `distance_ws` nor uses its `{cutoff}` \
+                         parameter: an override that ignores the cutoff cannot uphold the \
+                         early-abandon contract (exact value or early stop — never a third \
+                         result)",
+                        ws.display_name(i)
+                    ),
+                });
+            }
+            continue;
+        }
+        for (kw, b_open, b_close) in loops {
+            // The comparison may sit in the loop header (a live-window
+            // bound derived from cutoff) or the body: scan the whole
+            // region from the keyword.
+            if mentions(fm, kw, b_close + 1, &cutoff) || calls_pruning_kernel(fm, kw, b_close + 1) {
+                continue;
+            }
+            out.push(Diagnostic {
+                lint: NAME,
+                severity: Severity::Error,
+                file: fm.path.clone(),
+                line: fm.tokens[kw].line,
+                message: format!(
+                    "accumulation loop in `{}` never consults `{cutoff}` and calls no \
+                     `*_upto`/`*_pruned` kernel: the early-abandon contract requires the \
+                     cutoff comparison to be reachable from every accumulation loop \
+                     (line {} is unpruned work at best, a value fork at worst)",
+                    ws.display_name(i),
+                    fm.tokens[b_open].line
+                ),
+            });
+        }
+    }
+
+    // Rule 2: public lb_* fns need admissibility-test references.
+    // Evidence sites: test-region fns in lib files + every fn in the
+    // integration-test corpus, qualified by fn-name/path marks.
+    let mut evidence: Vec<(&FileModel, usize, usize, String)> = Vec::new(); // (file, open, close, qualifier)
+    for fm in ws.files.iter().filter(|f| !f.fns.is_empty()) {
+        for span in &fm.fns {
+            if fm.in_test_region(span.open) {
+                evidence.push((
+                    fm,
+                    span.open,
+                    span.close,
+                    format!("{}|{}", fm.path.to_lowercase(), span.name.to_lowercase()),
+                ));
+            }
+        }
+    }
+    for fm in &ws.evidence {
+        for span in &fm.fns {
+            evidence.push((
+                fm,
+                span.open,
+                span.close,
+                format!("{}|{}", fm.path.to_lowercase(), span.name.to_lowercase()),
+            ));
+        }
+    }
+    for (i, n) in ws.nodes.iter().enumerate() {
+        if n.in_test || !n.is_pub || !n.name.starts_with("lb_") {
+            continue;
+        }
+        let covered = evidence.iter().any(|(fm, open, close, qual)| {
+            EVIDENCE_MARKS.iter().any(|m| qual.contains(m)) && mentions(fm, *open, *close, &n.name)
+        });
+        if !covered {
+            out.push(Diagnostic {
+                lint: NAME,
+                severity: Severity::Error,
+                file: ws.files[n.file].path.clone(),
+                line: n.line,
+                message: format!(
+                    "lower bound `{}` is referenced by no admissibility test: an untested \
+                     bound can overshoot the true distance and silently corrupt 1-NN \
+                     answers — add a test (named or filed under bounds/admissibility) \
+                     asserting `{}(…) <= distance(…)` on generated pairs",
+                    ws.display_name(i),
+                    n.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    fn run(files: &[(&str, &str)], evidence: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let models = files
+            .iter()
+            .map(|(p, s)| FileModel::analyze(p, s))
+            .collect();
+        let ev = evidence
+            .iter()
+            .map(|(p, s)| FileModel::analyze(p, s))
+            .collect();
+        let ws = WorkspaceModel::build(models, ev);
+        let mut out = Vec::new();
+        check(&ws, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn unpruned_loop_in_an_upto_override_fires() {
+        let d = run(
+            &[(
+                "crates/core/src/lockstep/mod.rs",
+                "impl Distance for Euclid {\n\
+                 fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {\n\
+                 let mut s = 0.0;\n\
+                 for i in 0..x.len() { s += (x[i] - y[i]) * (x[i] - y[i]); }\n\
+                 s.sqrt()\n\
+                 }\n\
+                 }\n",
+            )],
+            &[],
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("never consults `cutoff`"));
+    }
+
+    #[test]
+    fn cutoff_comparison_in_the_loop_is_the_fix() {
+        let d = run(
+            &[(
+                "crates/core/src/lockstep/mod.rs",
+                "impl Distance for Euclid {\n\
+                 fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {\n\
+                 let lim = cutoff * cutoff;\n\
+                 let mut s = 0.0;\n\
+                 for i in 0..x.len() { s += (x[i] - y[i]) * (x[i] - y[i]); if s >= lim && s.sqrt() >= cutoff { return f64::INFINITY; } }\n\
+                 s.sqrt()\n\
+                 }\n\
+                 }\n",
+            )],
+            &[],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn delegating_and_kernel_calling_overrides_are_clean() {
+        let d = run(
+            &[(
+                "crates/core/src/elastic/dtw.rs",
+                "impl Distance for Dtw {\n\
+                 fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {\n\
+                 if cutoff.is_nan() { return self.distance_ws(x, y, ws); }\n\
+                 dtw_banded_pruned(x, y, self.band(), cutoff, ws).0\n\
+                 }\n\
+                 fn distance_ws(&self, x: &[f64], y: &[f64], ws: &mut Workspace) -> f64 { 0.0 }\n\
+                 }\n",
+            )],
+            &[],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn wrapper_forwarding_cutoff_without_loops_is_clean() {
+        let d = run(
+            &[(
+                "crates/eval/src/cell.rs",
+                "impl Distance for Guard {\n\
+                 fn distance_upto(&self, x: &[f64], y: &[f64], ws: &mut Workspace, cutoff: f64) -> f64 {\n\
+                 self.inner.distance_upto(x, y, ws, cutoff)\n\
+                 }\n\
+                 }\n",
+            )],
+            &[],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn untested_lower_bound_fires_and_an_admissibility_test_clears_it() {
+        let files = [(
+            "crates/core/src/elastic/lower_bounds.rs",
+            "pub fn lb_kim(x: &[f64], y: &[f64]) -> f64 { 0.0 }\n",
+        )];
+        let d = run(&files, &[]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0]
+            .message
+            .contains("`lb_kim` is referenced by no admissibility test"));
+
+        // An integration test in a bounds-marked file covers it.
+        let d = run(
+            &files,
+            &[(
+                "tests/lower_bound_admissibility.rs",
+                "#[test]\nfn kim_is_admissible() { assert!(lb_kim(&[1.0], &[2.0]) <= 1.0); }\n",
+            )],
+        );
+        assert!(d.is_empty(), "{d:?}");
+
+        // So does an in-crate #[cfg(test)] fn whose *name* carries the mark.
+        let d = run(
+            &[(
+                "crates/core/src/elastic/lower_bounds.rs",
+                "pub fn lb_kim(x: &[f64], y: &[f64]) -> f64 { 0.0 }\n\
+                 #[cfg(test)]\nmod tests {\n\
+                 #[test]\nfn lb_kim_lower_bounds_dtw() { super::lb_kim(&[1.0], &[2.0]); }\n\
+                 }\n",
+            )],
+            &[],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unmarked_test_references_do_not_count_as_admissibility_evidence() {
+        let d = run(
+            &[(
+                "crates/core/src/index/paa.rs",
+                "pub fn lb_paa(q: &[f64]) -> f64 { 0.0 }\n\
+                 #[cfg(test)]\nmod tests {\n\
+                 #[test]\nfn smoke() { super::lb_paa(&[1.0]); }\n\
+                 }\n",
+            )],
+            &[],
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+}

@@ -1,0 +1,348 @@
+//! `wire-error-exhaustiveness` (error): every typed error the server
+//! can construct must round-trip the wire and be exercised end-to-end.
+//!
+//! The serve protocol's `ErrorCode` enum is the contract between three
+//! parties that the compiler cannot cross-check: the server's `label()`
+//! encode arm, the client's `from_label()` decode arm, and the e2e
+//! suite that proves the pair against a real socket. Rust's own
+//! exhaustiveness keeps `label`/`from_label` total over the *enum*, but
+//! nothing ties a variant the server actually *constructs* to an e2e
+//! test observing it on the wire — PR 6 shipped `UnknownDataset` and
+//! `UnknownMeasure` rejections with zero e2e coverage, and a typo'd
+//! label would have reached clients as an unparseable code.
+//!
+//! For each variant constructed in serve library code (outside the
+//! codec fns themselves), this lint requires three legs:
+//!
+//! 1. **encode** — the variant appears in `label()`, with its wire
+//!    string extractable from the match arm;
+//! 2. **decode** — the variant appears in `from_label()`;
+//! 3. **e2e** — the wire string or variant name appears in the serve
+//!    integration-test corpus (`crates/serve/tests/`).
+
+use std::collections::BTreeMap;
+
+use crate::engine::LintConfig;
+use crate::graph::WorkspaceModel;
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
+use crate::report::{Diagnostic, Severity};
+
+pub const NAME: &str = "wire-error-exhaustiveness";
+
+/// Fns that *are* the coverage legs (or derived views of them):
+/// variant mentions inside them are not construction sites.
+const CODEC_FNS: &[&str] = &["from_label", "is_retryable", "label"];
+
+/// The error enum's variants: `(name, line)`, in declaration order.
+fn enum_variants(fm: &FileModel) -> Vec<(String, u32)> {
+    let tokens = &fm.tokens;
+    let mut out = Vec::new();
+    for k in 0..tokens.len() {
+        if !tokens[k].is_ident("enum")
+            || !tokens.get(k + 1).is_some_and(|t| t.is_ident("ErrorCode"))
+        {
+            continue;
+        }
+        let Some(open) = (k..tokens.len()).find(|&j| tokens[j].is_open("{")) else {
+            continue;
+        };
+        let close = fm.match_of[open];
+        if close == usize::MAX {
+            continue;
+        }
+        let mut j = open + 1;
+        while j < close {
+            let t = &tokens[j];
+            if t.is_punct("#") && tokens.get(j + 1).is_some_and(|n| n.is_open("[")) {
+                let c = fm.match_of[j + 1];
+                j = if c == usize::MAX { j + 2 } else { c + 1 };
+                continue;
+            }
+            if t.kind == TokenKind::Ident {
+                out.push((t.text.clone(), t.line));
+                // Skip any payload `(…)`/`{…}` and the trailing comma.
+                j += 1;
+                if tokens
+                    .get(j)
+                    .is_some_and(|n| n.kind == TokenKind::OpenDelim)
+                {
+                    let c = fm.match_of[j];
+                    j = if c == usize::MAX { j + 1 } else { c + 1 };
+                }
+            }
+            j += 1;
+        }
+        return out;
+    }
+    out
+}
+
+/// Variant mentions (`ErrorCode::X`) in a token range, as `(name, tok)`.
+fn variant_mentions(fm: &FileModel, from: usize, to: usize) -> Vec<(String, usize)> {
+    let tokens = &fm.tokens;
+    let mut out = Vec::new();
+    for k in from..to.min(tokens.len()).saturating_sub(2) {
+        if tokens[k].is_ident("ErrorCode")
+            && tokens[k + 1].is_punct("::")
+            && tokens[k + 2].kind == TokenKind::Ident
+        {
+            out.push((tokens[k + 2].text.clone(), k + 2));
+        }
+    }
+    out
+}
+
+/// The wire string of a variant inside `label()`: the first string
+/// literal after `ErrorCode::X =>`.
+fn arm_string(fm: &FileModel, variant_tok: usize) -> Option<String> {
+    let tokens = &fm.tokens;
+    for t in tokens.iter().skip(variant_tok + 1).take(4) {
+        if t.kind == TokenKind::StrLit {
+            return Some(t.text.trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+pub fn check(ws: &WorkspaceModel, _config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    // Locate the enum (a serve lib file declaring `enum ErrorCode`).
+    let mut variants: Vec<(String, u32)> = Vec::new();
+    let mut enum_file: Option<usize> = None;
+    for (fi, fm) in ws.files.iter().enumerate() {
+        if !fm.path.starts_with("crates/serve/src/") {
+            continue;
+        }
+        let v = enum_variants(fm);
+        if !v.is_empty() {
+            variants = v;
+            enum_file = Some(fi);
+            break;
+        }
+    }
+    let Some(enum_file) = enum_file else { return };
+
+    // Legs observed per variant.
+    #[derive(Default)]
+    struct Legs {
+        encode: bool,
+        wire: Option<String>,
+        decode: bool,
+        constructed_at: Option<(String, u32)>,
+    }
+    let mut legs: BTreeMap<&str, Legs> = variants
+        .iter()
+        .map(|(name, _)| (name.as_str(), Legs::default()))
+        .collect();
+
+    for fm in ws
+        .files
+        .iter()
+        .filter(|f| f.path.starts_with("crates/serve/src/"))
+    {
+        // Codec fns by name, wherever they live.
+        for span in &fm.fns {
+            let codec = CODEC_FNS.binary_search(&span.name.as_str()).is_ok();
+            for (name, tok) in variant_mentions(fm, span.open, span.close) {
+                let Some(l) = legs.get_mut(name.as_str()) else {
+                    continue;
+                };
+                if codec {
+                    match span.name.as_str() {
+                        "label" => {
+                            l.encode = true;
+                            if l.wire.is_none() {
+                                l.wire = arm_string(fm, tok);
+                            }
+                        }
+                        "from_label" => l.decode = true,
+                        _ => {}
+                    }
+                } else if !fm.in_test_region(tok) && l.constructed_at.is_none() {
+                    l.constructed_at = Some((fm.path.clone(), fm.tokens[tok].line));
+                }
+            }
+        }
+        // Mentions outside any fn (consts, statics) count as construction.
+        let covered: Vec<(usize, usize)> = fm.fns.iter().map(|s| (s.open, s.close)).collect();
+        for (name, tok) in variant_mentions(fm, 0, fm.tokens.len()) {
+            if covered.iter().any(|&(o, c)| tok > o && tok < c) || fm.in_test_region(tok) {
+                continue;
+            }
+            if let Some(l) = legs.get_mut(name.as_str()) {
+                // Skip the declaration itself.
+                if fm.path != ws.files[enum_file].path && l.constructed_at.is_none() {
+                    l.constructed_at = Some((fm.path.clone(), fm.tokens[tok].line));
+                }
+            }
+        }
+    }
+
+    // Leg 3: the serve e2e corpus.
+    let e2e: Vec<&FileModel> = ws
+        .evidence
+        .iter()
+        .filter(|f| f.path.starts_with("crates/serve/tests/"))
+        .collect();
+    let e2e_has = |needle: &str| {
+        e2e.iter().any(|fm| {
+            fm.tokens.iter().any(|t| match t.kind {
+                TokenKind::Ident => t.text == needle,
+                TokenKind::StrLit => t.text.trim_matches('"') == needle,
+                _ => false,
+            })
+        })
+    };
+
+    for (name, line) in &variants {
+        let l = &legs[name.as_str()];
+        let Some((site_file, site_line)) = &l.constructed_at else {
+            continue; // never constructed: dead-variant analysis is not this lint
+        };
+        let mut missing: Vec<String> = Vec::new();
+        if !l.encode {
+            missing.push("protocol encode (`label()`)".into());
+        }
+        if !l.decode {
+            missing.push("client decode (`from_label()`)".into());
+        }
+        let tested = e2e_has(name) || l.wire.as_deref().is_some_and(&e2e_has);
+        if !tested {
+            missing.push(format!(
+                "e2e coverage (no crates/serve/tests/ file mentions `{}`{})",
+                name,
+                match &l.wire {
+                    Some(w) => format!(" or \"{w}\""),
+                    None => String::new(),
+                }
+            ));
+        }
+        if missing.is_empty() {
+            continue;
+        }
+        out.push(Diagnostic {
+            lint: NAME,
+            severity: Severity::Error,
+            file: ws.files[enum_file].path.clone(),
+            line: *line,
+            message: format!(
+                "`ErrorCode::{name}` is constructed ({site_file}:{site_line}) but missing \
+                 {}: every wire-visible error needs all three legs or clients meet a code \
+                 no test ever decoded",
+                missing.join(", ")
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+
+    const ENUM_SRC: &str = "pub enum ErrorCode { QueueFull, UnknownDataset }\n\
+         impl ErrorCode {\n\
+         pub fn label(self) -> &'static str {\n\
+         match self { ErrorCode::QueueFull => \"queue_full\", ErrorCode::UnknownDataset => \"unknown_dataset\" }\n\
+         }\n\
+         pub fn from_label(l: &str) -> Option<ErrorCode> {\n\
+         match l { \"queue_full\" => Some(ErrorCode::QueueFull), \"unknown_dataset\" => Some(ErrorCode::UnknownDataset), _ => None }\n\
+         }\n\
+         }\n";
+
+    fn run(files: &[(&str, &str)], evidence: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let models = files
+            .iter()
+            .map(|(p, s)| FileModel::analyze(p, s))
+            .collect();
+        let ev = evidence
+            .iter()
+            .map(|(p, s)| FileModel::analyze(p, s))
+            .collect();
+        let ws = WorkspaceModel::build(models, ev);
+        let mut out = Vec::new();
+        check(&ws, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn constructed_variant_without_e2e_coverage_fires() {
+        let d = run(
+            &[
+                ("crates/serve/src/protocol.rs", ENUM_SRC),
+                (
+                    "crates/serve/src/worker.rs",
+                    "pub fn reject() -> ErrorCode { ErrorCode::UnknownDataset }\n",
+                ),
+            ],
+            &[(
+                "crates/serve/tests/e2e.rs",
+                "#[test]\nfn full_queue() { assert_eq!(code, \"queue_full\"); }\n",
+            )],
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("ErrorCode::UnknownDataset"));
+        assert!(d[0].message.contains("e2e coverage"));
+        assert!(d[0].message.contains("unknown_dataset"));
+        assert!(d[0].file.contains("protocol.rs"), "anchored at the enum");
+    }
+
+    #[test]
+    fn wire_string_in_the_e2e_suite_satisfies_the_third_leg() {
+        let d = run(
+            &[
+                ("crates/serve/src/protocol.rs", ENUM_SRC),
+                (
+                    "crates/serve/src/worker.rs",
+                    "pub fn reject() -> ErrorCode { ErrorCode::UnknownDataset }\n",
+                ),
+            ],
+            &[(
+                "crates/serve/tests/e2e.rs",
+                "#[test]\nfn unknown() { assert_eq!(code, \"unknown_dataset\"); }\n",
+            )],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_decode_arm_is_named() {
+        let src = "pub enum ErrorCode { QueueFull }\n\
+             impl ErrorCode {\n\
+             pub fn label(self) -> &'static str { match self { ErrorCode::QueueFull => \"queue_full\" } }\n\
+             pub fn from_label(l: &str) -> Option<ErrorCode> { None }\n\
+             }\n";
+        let d = run(
+            &[
+                ("crates/serve/src/protocol.rs", src),
+                (
+                    "crates/serve/src/worker.rs",
+                    "pub fn reject() -> ErrorCode { ErrorCode::QueueFull }\n",
+                ),
+            ],
+            &[(
+                "crates/serve/tests/e2e.rs",
+                "#[test]\nfn t() { let _ = \"queue_full\"; }\n",
+            )],
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("client decode"));
+    }
+
+    #[test]
+    fn unconstructed_variants_and_test_only_mentions_are_ignored() {
+        // QueueFull appears only in the codec and a #[cfg(test)] region:
+        // not constructed, so no legs are demanded of it.
+        let d = run(
+            &[(
+                "crates/serve/src/protocol.rs",
+                &format!(
+                    "{ENUM_SRC}#[cfg(test)]\nmod tests {{\n\
+                     #[test]\nfn t() {{ let _ = ErrorCode::QueueFull; }}\n}}\n"
+                ),
+            )],
+            &[],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -30,14 +30,28 @@ pub struct FileModel {
     pub fns: Vec<FnSpan>,
 }
 
-/// One function definition: its name and body delimiter indices.
+/// One function definition: its name, body delimiter indices, and the
+/// signature facts the call-graph layer needs.
 #[derive(Debug)]
 pub struct FnSpan {
     pub name: String,
+    /// Index of the `fn` keyword token (diagnostic anchor; also where
+    /// the visibility walk starts).
+    pub fn_tok: usize,
     /// Index of the body's `{` token.
     pub open: usize,
     /// Index of the body's `}` token.
     pub close: usize,
+    /// Declared `pub` with no restriction — `pub(crate)`/`pub(super)`
+    /// are *not* public entry points for reachability purposes.
+    pub is_pub: bool,
+    /// Parameter binding names in order (`self` excluded; destructuring
+    /// patterns contribute nothing).
+    pub params: Vec<String>,
+    /// A `# Panics` doc section sits in the doc block attached directly
+    /// above this item: the panic behaviour is a documented part of the
+    /// contract (an audited facade for `panic-reachability`).
+    pub has_panics_doc: bool,
 }
 
 impl FileModel {
@@ -46,7 +60,7 @@ impl FileModel {
         let lexed = lex(source);
         let match_of = match_delimiters(&lexed.tokens);
         let test_ranges = find_test_ranges(&lexed.tokens, &match_of);
-        let fns = find_fns(&lexed.tokens, &match_of);
+        let fns = find_fns(&lexed.tokens, &match_of, &lexed.comments);
         FileModel {
             path: path.to_string(),
             tokens: lexed.tokens,
@@ -167,7 +181,7 @@ fn find_test_ranges(tokens: &[Token], match_of: &[usize]) -> Vec<(usize, usize)>
 
 /// Finds every `fn name … { body }`. Trait-method declarations ending
 /// in `;` have no body and are skipped.
-fn find_fns(tokens: &[Token], match_of: &[usize]) -> Vec<FnSpan> {
+fn find_fns(tokens: &[Token], match_of: &[usize], comments: &[Comment]) -> Vec<FnSpan> {
     let mut fns = Vec::new();
     for i in 0..tokens.len() {
         if !tokens[i].is_ident("fn") {
@@ -194,8 +208,12 @@ fn find_fns(tokens: &[Token], match_of: &[usize]) -> Vec<FnSpan> {
                     if match_of[j] != usize::MAX {
                         fns.push(FnSpan {
                             name: name_tok.text.clone(),
+                            fn_tok: i,
                             open: j,
                             close: match_of[j],
+                            is_pub: fn_is_pub(tokens, i),
+                            params: fn_params(tokens, match_of, i),
+                            has_panics_doc: fn_has_panics_doc(tokens, match_of, comments, i),
                         });
                     }
                     break;
@@ -210,6 +228,134 @@ fn find_fns(tokens: &[Token], match_of: &[usize]) -> Vec<FnSpan> {
         }
     }
     fns
+}
+
+/// True when the `fn` at `fn_idx` is declared bare `pub` (restricted
+/// forms like `pub(crate)` are intra-crate and do not count).
+fn fn_is_pub(tokens: &[Token], fn_idx: usize) -> bool {
+    let mut k = fn_idx;
+    while k > 0 {
+        k -= 1;
+        let t = &tokens[k];
+        // Qualifiers that may sit between `pub` and `fn`.
+        if t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "unsafe" | "const" | "async" | "extern")
+        {
+            continue;
+        }
+        if t.kind == TokenKind::StrLit {
+            // `extern "C"` ABI string.
+            continue;
+        }
+        if t.is_close(")") {
+            // `pub(crate)` / `pub(super)` / `pub(in …)`: restricted.
+            return false;
+        }
+        return t.is_ident("pub");
+    }
+    false
+}
+
+/// Parameter binding names of the `fn` at `fn_idx`: the ident directly
+/// before each top-level `:` inside the parameter parentheses. `self`
+/// receivers and destructuring patterns contribute nothing.
+fn fn_params(tokens: &[Token], match_of: &[usize], fn_idx: usize) -> Vec<String> {
+    let mut params = Vec::new();
+    // Find the parameter `(`, skipping a generics `<…>` region (tracked
+    // by angle depth — `<` and `>` are plain puncts to the lexer).
+    let mut j = fn_idx + 2;
+    let mut angle = 0i32;
+    let paren = loop {
+        let Some(t) = tokens.get(j) else {
+            return params;
+        };
+        match t.text.as_str() {
+            "<" if t.kind == TokenKind::Punct => angle += 1,
+            ">" if t.kind == TokenKind::Punct => angle -= 1,
+            ">>" if t.kind == TokenKind::Punct => angle -= 2,
+            "(" if t.kind == TokenKind::OpenDelim && angle <= 0 => break j,
+            "{" | ";" => return params,
+            _ => {}
+        }
+        j += 1;
+    };
+    let close = match_of[paren];
+    if close == usize::MAX {
+        return params;
+    }
+    let mut depth = 0i32;
+    for k in paren + 1..close {
+        match tokens[k].kind {
+            TokenKind::OpenDelim => depth += 1,
+            TokenKind::CloseDelim => depth -= 1,
+            TokenKind::Punct
+                if depth == 0
+                    && tokens[k].text == ":"
+                    && k > paren + 1
+                    && tokens[k - 1].kind == TokenKind::Ident =>
+            {
+                params.push(tokens[k - 1].text.clone());
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+/// True when the doc block attached directly above the item holding the
+/// `fn` at `fn_idx` contains a `# Panics` section. The item start is
+/// found by walking back over visibility, qualifiers, and attributes;
+/// doc comments between the previous token and the item start attach.
+fn fn_has_panics_doc(
+    tokens: &[Token],
+    match_of: &[usize],
+    comments: &[Comment],
+    fn_idx: usize,
+) -> bool {
+    let mut k = fn_idx;
+    loop {
+        if k == 0 {
+            break;
+        }
+        let t = &tokens[k - 1];
+        if t.kind == TokenKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "pub" | "unsafe" | "const" | "async" | "extern"
+            )
+        {
+            k -= 1;
+            continue;
+        }
+        if t.kind == TokenKind::StrLit && k >= 2 && tokens[k - 2].is_ident("extern") {
+            k -= 1;
+            continue;
+        }
+        if t.is_close(")") {
+            // `pub(crate)` restriction group.
+            let open = match_of[k - 1];
+            if open != usize::MAX && open > 0 && tokens[open - 1].is_ident("pub") {
+                k = open - 1;
+                continue;
+            }
+            break;
+        }
+        if t.is_close("]") {
+            // `#[attr]` — keep walking above the attribute.
+            let open = match_of[k - 1];
+            if open != usize::MAX && open > 0 && tokens[open - 1].is_punct("#") {
+                k = open - 1;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    let start_line = tokens[k].line;
+    let prev_line = if k > 0 { tokens[k - 1].line } else { 0 };
+    comments.iter().any(|c| {
+        c.is_doc && c.line >= prev_line && c.line <= start_line && c.text.contains("# Panics")
+    })
 }
 
 #[cfg(test)]
@@ -273,6 +419,41 @@ mod tests {
     fn not_test_cfg_is_not_a_test_region() {
         let m = FileModel::analyze("x.rs", "#[cfg(not(test))]\nmod real { fn f() {} }");
         assert!(m.test_ranges.is_empty());
+    }
+
+    #[test]
+    fn fn_metadata_is_extracted() {
+        let src = "/// Does x.\n///\n/// # Panics\n/// Panics when `n` is 0.\n#[inline]\n\
+                   pub fn checked(n: usize, label: &str) -> usize { n }\n\n\
+                   pub(crate) fn internal(x: f64) -> f64 { x }\n\n\
+                   fn private<T: Fn(f64) -> f64>(a: u8, f: T) -> u8 { a }\n";
+        let m = FileModel::analyze("x.rs", src);
+        let f = |name: &str| {
+            m.fns
+                .iter()
+                .find(|f| f.name == name)
+                .expect("fn present in fixture")
+        };
+        assert!(f("checked").is_pub);
+        assert!(f("checked").has_panics_doc);
+        assert_eq!(f("checked").params, vec!["n", "label"]);
+        // Restricted visibility is not public, and the doc block above
+        // `checked` does not leak onto later items.
+        assert!(!f("internal").is_pub);
+        assert!(!f("internal").has_panics_doc);
+        // Generics with `Fn(…)` bounds don't confuse the param scan.
+        assert!(!f("private").is_pub);
+        assert_eq!(f("private").params, vec!["a", "f"]);
+    }
+
+    #[test]
+    fn methods_with_self_receiver_have_no_self_param() {
+        let m = FileModel::analyze(
+            "x.rs",
+            "impl W { pub fn dist(&self, x: &[f64], cutoff: f64) -> f64 { cutoff } }",
+        );
+        assert_eq!(m.fns[0].params, vec!["x", "cutoff"]);
+        assert!(m.fns[0].is_pub);
     }
 
     #[test]

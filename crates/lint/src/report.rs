@@ -1,10 +1,27 @@
-//! Diagnostics, suppressed findings, and the machine-readable report.
+//! Diagnostics, suppressed findings, fingerprints, the pinned baseline,
+//! and the machine-readable report.
 //!
 //! The JSON report is hand-serialized (no external crates, matching the
 //! journal's NDJSON discipline) and deterministic: diagnostics and
 //! suppressions are sorted by `(file, line, lint)` so two runs over the
 //! same tree produce byte-identical output — future PRs diff
 //! `results/lint/report.json` to audit suppression-count drift.
+//!
+//! # Fingerprints and the baseline (report v2)
+//!
+//! Every diagnostic carries a stable *fingerprint*: FNV-1a/64 over
+//! `lint | file | message-with-digit-runs-normalized`. Line numbers are
+//! deliberately excluded and digit runs in the message collapse to `#`,
+//! so a finding keeps its identity when unrelated edits shift the file
+//! underneath it. A *baseline* is a pinned set of fingerprints
+//! (`results/lint/baseline.json`): under `--baseline`, findings whose
+//! fingerprint is pinned move to the `baselined` list and stop counting
+//! toward the error/warning totals — only **new** findings fail CI,
+//! which is what lets a strict lint land on a codebase with known,
+//! triaged debt. A baselined entry that disappears shows up as baseline
+//! shrinkage in the JSON diff, so pinned debt cannot silently regrow.
+
+use crate::graph::GraphStats;
 
 /// How severe a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +42,15 @@ impl Severity {
             Severity::Error => "error",
         }
     }
+
+    /// Parses a label (for `--severity lint=level` CLI overrides).
+    pub fn parse(label: &str) -> Option<Severity> {
+        match label {
+            "warning" | "warn" => Some(Severity::Warning),
+            "error" | "deny" => Some(Severity::Error),
+            _ => None,
+        }
+    }
 }
 
 /// One lint finding.
@@ -40,6 +66,40 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+impl Diagnostic {
+    /// Stable identity of the finding across unrelated edits: FNV-1a/64
+    /// of `lint|file|message` with digit runs in the message collapsed
+    /// to `#` (line numbers quoted inside messages would otherwise
+    /// churn the identity on every shift).
+    pub fn fingerprint(&self) -> String {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(self.lint.as_bytes());
+        eat(b"|");
+        eat(self.file.as_bytes());
+        eat(b"|");
+        let mut in_digits = false;
+        for c in self.message.chars() {
+            if c.is_ascii_digit() {
+                if !in_digits {
+                    eat(b"#");
+                    in_digits = true;
+                }
+            } else {
+                in_digits = false;
+                let mut buf = [0u8; 4];
+                eat(c.encode_utf8(&mut buf).as_bytes());
+            }
+        }
+        format!("{h:016x}")
+    }
+}
+
 /// A finding silenced by an inline `tsdist-lint: allow(…)` comment.
 #[derive(Debug, Clone)]
 pub struct SuppressedDiagnostic {
@@ -52,14 +112,54 @@ pub struct SuppressedDiagnostic {
     pub reason: String,
 }
 
+/// A pinned set of finding fingerprints. Loaded from a prior report (or
+/// a dedicated baseline file): any JSON containing
+/// `"fingerprint": "<16 hex>"` entries works, so `--write-baseline` and
+/// hand-pruning are both fine.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    pub fingerprints: std::collections::BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Extracts every `"fingerprint": "…"` value from a JSON text. A
+    /// full parser is unnecessary: fingerprints are fixed-shape hex
+    /// strings under a fixed key, and this loader accepts both report
+    /// files and minimal hand-written baselines.
+    pub fn parse(text: &str) -> Baseline {
+        let mut fingerprints = std::collections::BTreeSet::new();
+        let key = "\"fingerprint\"";
+        let mut rest = text;
+        while let Some(at) = rest.find(key) {
+            rest = &rest[at + key.len()..];
+            let Some(colon) = rest.find(':') else { break };
+            let after = rest[colon + 1..].trim_start();
+            if let Some(stripped) = after.strip_prefix('"') {
+                if let Some(end) = stripped.find('"') {
+                    let value = &stripped[..end];
+                    if !value.is_empty() && value.chars().all(|c| c.is_ascii_hexdigit()) {
+                        fingerprints.insert(value.to_string());
+                    }
+                }
+            }
+        }
+        Baseline { fingerprints }
+    }
+}
+
 /// The full result of linting a file set.
 #[derive(Debug, Default)]
 pub struct Report {
     pub files_scanned: usize,
-    /// Active findings (not suppressed), sorted.
+    /// Active findings (not suppressed, not baselined), sorted.
     pub diagnostics: Vec<Diagnostic>,
+    /// Findings matched by the pinned baseline: reported for
+    /// visibility, excluded from the error/warning totals.
+    pub baselined: Vec<Diagnostic>,
     /// Suppressed findings with their reasons, sorted.
     pub suppressed: Vec<SuppressedDiagnostic>,
+    /// Call-graph construction statistics (workspace runs only).
+    pub graph: Option<GraphStats>,
 }
 
 impl Report {
@@ -79,9 +179,22 @@ impl Report {
             .count()
     }
 
+    /// Moves findings whose fingerprint is pinned to the `baselined`
+    /// list. Only what remains in `diagnostics` counts toward failure.
+    pub fn apply_baseline(&mut self, baseline: &Baseline) {
+        let (pinned, fresh): (Vec<_>, Vec<_>) = std::mem::take(&mut self.diagnostics)
+            .into_iter()
+            .partition(|d| baseline.fingerprints.contains(&d.fingerprint()));
+        self.baselined.extend(pinned);
+        self.diagnostics = fresh;
+        self.sort();
+    }
+
     /// Sorts diagnostics and suppressions into the canonical order.
     pub fn sort(&mut self) {
         self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+        self.baselined
             .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
         self.suppressed
             .sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
@@ -101,20 +214,41 @@ impl Report {
             ));
         }
         out.push_str(&format!(
-            "{} file(s) scanned: {} error(s), {} warning(s), {} suppressed finding(s)\n",
+            "{} file(s) scanned: {} error(s), {} warning(s), {} suppressed, {} baselined\n",
             self.files_scanned,
             self.errors(),
             self.warnings(),
-            self.suppressed.len()
+            self.suppressed.len(),
+            self.baselined.len()
         ));
         out
     }
 
-    /// Machine-readable JSON rendering (one pretty-stable schema;
-    /// `version` bumps on breaking changes).
+    /// Human-readable call-graph statistics (`--graph-stats`).
+    pub fn render_graph_stats(&self) -> String {
+        match &self.graph {
+            Some(g) => format!(
+                "call graph: {} fn(s), {} edge(s); resolution {:.1}% \
+                 ({} unique + {} ambiguous resolved, {} unresolved, \
+                 {} external, {} std-shadowed)\n",
+                g.nodes,
+                g.edges,
+                g.resolution_pct(),
+                g.resolved_unique,
+                g.resolved_ambiguous,
+                g.unresolved,
+                g.external,
+                g.std_shadowed
+            ),
+            None => "call graph: not built (single-source run)\n".to_string(),
+        }
+    }
+
+    /// Machine-readable JSON rendering. Version 2: adds per-diagnostic
+    /// fingerprints, the `baselined` section, and `graph` statistics.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"version\": 1,\n");
+        out.push_str("  \"version\": 2,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!("  \"errors\": {},\n", self.errors()));
         out.push_str(&format!("  \"warnings\": {},\n", self.warnings()));
@@ -122,19 +256,46 @@ impl Report {
             "  \"suppression_count\": {},\n",
             self.suppressed.len()
         ));
-        out.push_str("  \"diagnostics\": [\n");
-        for (i, d) in self.diagnostics.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"lint\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
-                json_string(d.lint),
-                json_string(d.severity.label()),
-                json_string(&d.file),
-                d.line,
-                json_string(&d.message),
-                if i + 1 < self.diagnostics.len() { "," } else { "" }
-            ));
+        out.push_str(&format!(
+            "  \"baselined_count\": {},\n",
+            self.baselined.len()
+        ));
+        match &self.graph {
+            Some(g) => out.push_str(&format!(
+                "  \"graph\": {{\"nodes\": {}, \"edges\": {}, \"resolved_unique\": {}, \
+                 \"resolved_ambiguous\": {}, \"unresolved\": {}, \"external\": {}, \
+                 \"std_shadowed\": {}, \"resolution_pct\": {:.1}}},\n",
+                g.nodes,
+                g.edges,
+                g.resolved_unique,
+                g.resolved_ambiguous,
+                g.unresolved,
+                g.external,
+                g.std_shadowed,
+                g.resolution_pct()
+            )),
+            None => out.push_str("  \"graph\": null,\n"),
         }
-        out.push_str("  ],\n");
+        for (key, list) in [
+            ("diagnostics", &self.diagnostics),
+            ("baselined", &self.baselined),
+        ] {
+            out.push_str(&format!("  \"{key}\": [\n"));
+            for (i, d) in list.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"lint\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \
+                     \"fingerprint\": {}, \"message\": {}}}{}\n",
+                    json_string(d.lint),
+                    json_string(d.severity.label()),
+                    json_string(&d.file),
+                    d.line,
+                    json_string(&d.fingerprint()),
+                    json_string(&d.message),
+                    if i + 1 < list.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  ],\n");
+        }
         out.push_str("  \"suppressions\": [\n");
         for (i, s) in self.suppressed.iter().enumerate() {
             out.push_str(&format!(
@@ -198,12 +359,14 @@ mod tests {
                     message: "stale".into(),
                 },
             ],
+            baselined: Vec::new(),
             suppressed: vec![SuppressedDiagnostic {
                 lint: "float-total-order".into(),
                 file: "a.rs".into(),
                 line: 4,
                 reason: "exact-zero guard".into(),
             }],
+            graph: None,
         }
     }
 
@@ -225,8 +388,10 @@ mod tests {
         assert!(json.contains("\\\""));
         assert!(json.contains("\\\\"));
         assert!(json.contains("\\n"));
+        assert!(json.contains("\"version\": 2"));
         assert!(json.contains("\"errors\": 1"));
         assert!(json.contains("\"suppression_count\": 1"));
+        assert!(json.contains("\"fingerprint\": \""));
         // Balanced braces / brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -238,5 +403,58 @@ mod tests {
         let text = r.render_human();
         assert!(text.contains("error: [no-unwrap-in-lib] b.rs:3"));
         assert!(text.contains("2 file(s) scanned: 1 error(s), 1 warning(s), 1 suppressed"));
+    }
+
+    #[test]
+    fn fingerprints_ignore_lines_and_quoted_numbers() {
+        let a = Diagnostic {
+            lint: "panic-reachability",
+            severity: Severity::Error,
+            file: "x.rs".into(),
+            line: 10,
+            message: "can reach `assert!` (x.rs:42) via f → g".into(),
+        };
+        let mut b = a.clone();
+        b.line = 99;
+        b.message = "can reach `assert!` (x.rs:617) via f → g".into();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.message = "can reach `assert!` (x.rs:42) via f → h".into();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = a.clone();
+        d.file = "y.rs".into();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_report_json() {
+        let mut r = sample();
+        let baseline = Baseline::parse(&r.render_json());
+        assert_eq!(baseline.fingerprints.len(), 2);
+        r.apply_baseline(&baseline);
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(r.baselined.len(), 2);
+        assert_eq!(r.errors(), 0);
+        assert_eq!(r.warnings(), 0);
+        // A fresh finding is NOT absorbed.
+        r.diagnostics.push(Diagnostic {
+            lint: "lock-discipline",
+            severity: Severity::Error,
+            file: "c.rs".into(),
+            line: 1,
+            message: "new".into(),
+        });
+        let again = Baseline::parse("{\"fingerprint\": \"0000000000000000\"}");
+        r.apply_baseline(&again);
+        assert_eq!(r.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn severity_parse_accepts_both_spellings() {
+        assert_eq!(Severity::parse("warn"), Some(Severity::Warning));
+        assert_eq!(Severity::parse("warning"), Some(Severity::Warning));
+        assert_eq!(Severity::parse("error"), Some(Severity::Error));
+        assert_eq!(Severity::parse("deny"), Some(Severity::Error));
+        assert_eq!(Severity::parse("note"), None);
     }
 }

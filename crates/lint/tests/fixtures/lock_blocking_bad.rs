@@ -1,0 +1,16 @@
+//! Known-bad: a blocking channel send while an unrelated MutexGuard is
+//! live — every thread needing that mutex stalls behind the send.
+
+use std::sync::Mutex;
+
+pub struct Hub {
+    peers: Mutex<Vec<u32>>,
+}
+
+impl Hub {
+    pub fn broadcast(&self, out: &std::sync::mpsc::Sender<u32>) {
+        let peers = self.peers.lock();
+        out.send(1);
+        drop(peers);
+    }
+}

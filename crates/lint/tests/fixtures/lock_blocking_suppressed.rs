@@ -1,0 +1,17 @@
+//! The blocking-send shape with a reasoned suppression on the blocking
+//! call line, where the diagnostic anchors.
+
+use std::sync::Mutex;
+
+pub struct Hub {
+    peers: Mutex<Vec<u32>>,
+}
+
+impl Hub {
+    pub fn broadcast(&self, out: &std::sync::mpsc::Sender<u32>) {
+        let peers = self.peers.lock();
+        // tsdist-lint: allow(lock-discipline, reason = "fixture: bounded channel drained by a dedicated thread; send cannot block")
+        out.send(1);
+        drop(peers);
+    }
+}

@@ -1,0 +1,25 @@
+//! Known-bad: two functions take the same pair of mutexes in opposite
+//! orders — the classic deadlock when both run concurrently.
+
+use std::sync::Mutex;
+
+pub struct Registry {
+    conns: Mutex<Vec<u32>>,
+    senders: Mutex<Vec<u32>>,
+}
+
+impl Registry {
+    pub fn forward(&self) {
+        let c = self.conns.lock();
+        let s = self.senders.lock();
+        drop(s);
+        drop(c);
+    }
+
+    pub fn reverse(&self) {
+        let s = self.senders.lock();
+        let c = self.conns.lock();
+        drop(c);
+        drop(s);
+    }
+}

@@ -1,0 +1,25 @@
+//! Clean: both functions honor the same global order (conns before
+//! senders), and every blocking-looking call targets its own guard.
+
+use std::sync::Mutex;
+
+pub struct Registry {
+    conns: Mutex<Vec<u32>>,
+    senders: Mutex<Vec<u32>>,
+}
+
+impl Registry {
+    pub fn forward(&self) {
+        let c = self.conns.lock();
+        let s = self.senders.lock();
+        drop(s);
+        drop(c);
+    }
+
+    pub fn forward_again(&self) {
+        let c = self.conns.lock();
+        let s = self.senders.lock();
+        drop(s);
+        drop(c);
+    }
+}

@@ -1,0 +1,34 @@
+//! Known-bad: three locks acquired in a rock-paper-scissors cycle
+//! (a before b, b before c, c before a). No single pair looks inverted
+//! in isolation — only the order graph's cycle reveals the deadlock.
+
+use std::sync::Mutex;
+
+pub struct Trio {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    c: Mutex<u32>,
+}
+
+impl Trio {
+    pub fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    pub fn bc(&self) {
+        let gb = self.b.lock();
+        let gc = self.c.lock();
+        drop(gc);
+        drop(gb);
+    }
+
+    pub fn ca(&self) {
+        let gc = self.c.lock();
+        let ga = self.a.lock();
+        drop(ga);
+        drop(gc);
+    }
+}

@@ -1,0 +1,18 @@
+//! Known-bad: a public entry reaches an undocumented constructor
+//! `assert!` through the call graph — the PR 7 shape (`resolve` walking
+//! into a panicking facade) that panic-reachability exists to catch.
+
+pub struct Band {
+    width: usize,
+}
+
+impl Band {
+    fn new(width: usize) -> Self {
+        assert!(width > 0, "band width must be positive");
+        Self { width }
+    }
+}
+
+pub fn resolve_band(width: usize) -> Band {
+    Band::new(width)
+}

@@ -1,0 +1,21 @@
+//! Clean: the asserting constructor documents its `# Panics` contract,
+//! which absorbs the whole caller sub-tree.
+
+pub struct Band {
+    width: usize,
+}
+
+impl Band {
+    /// Builds a band.
+    ///
+    /// # Panics
+    /// Panics when `width` is zero.
+    fn new(width: usize) -> Self {
+        assert!(width > 0, "band width must be positive");
+        Self { width }
+    }
+}
+
+pub fn resolve_band(width: usize) -> Band {
+    Band::new(width)
+}

@@ -1,0 +1,16 @@
+//! Known-bad: a `distance_upto` override whose accumulation loop never
+//! consults the cutoff and calls no pruning kernel — unpruned work at
+//! best, a fork from the exact value at worst.
+
+pub struct Sq;
+
+impl Sq {
+    pub fn distance_upto(&self, x: &[f64], y: &[f64], cutoff: f64) -> f64 {
+        let mut acc = 0.0;
+        for (a, b) in x.iter().zip(y) {
+            let d = a - b;
+            acc += d * d;
+        }
+        acc
+    }
+}

@@ -1,0 +1,40 @@
+//! Clean: the override's loop breaks on the cutoff, and the public
+//! lower bound is referenced from an admissibility-marked test.
+
+pub struct Sq;
+
+impl Sq {
+    pub fn distance_upto(&self, x: &[f64], y: &[f64], cutoff: f64) -> f64 {
+        let mut acc = 0.0;
+        for (a, b) in x.iter().zip(y) {
+            let d = a - b;
+            acc += d * d;
+            if acc > cutoff {
+                return f64::INFINITY;
+            }
+        }
+        acc
+    }
+}
+
+pub fn lb_fixture(x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        acc += a - b;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lb_fixture_lower_bounds_the_distance() {
+        let x = [1.0, 2.0];
+        let y = [0.0, 1.0];
+        let lb = lb_fixture(&x, &y);
+        let exact = Sq.distance_upto(&x, &y, f64::INFINITY);
+        assert!(lb <= exact);
+    }
+}

@@ -1,0 +1,10 @@
+//! Known-bad: a public lower bound no admissibility test references —
+//! an inadmissible bound silently corrupts 1-NN answers.
+
+pub fn lb_fixture(x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        acc += a - b;
+    }
+    acc
+}

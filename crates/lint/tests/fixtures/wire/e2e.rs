@@ -1,0 +1,8 @@
+//! Wire fixture, e2e side: only `queue_full` is ever observed on a
+//! socket — `Stale` has zero end-to-end coverage.
+
+#[test]
+fn overload_is_rejected_with_queue_full() {
+    let code = "queue_full";
+    assert_eq!(code, "queue_full");
+}

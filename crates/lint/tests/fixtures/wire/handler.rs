@@ -1,0 +1,14 @@
+//! Wire fixture, server side: both variants are constructed, so both
+//! owe all three coverage legs.
+
+use crate::protocol::ErrorCode;
+
+pub fn admit(pending: usize, epoch_ok: bool) -> Result<(), ErrorCode> {
+    if pending > 64 {
+        return Err(ErrorCode::QueueFull);
+    }
+    if !epoch_ok {
+        return Err(ErrorCode::Stale);
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Wire fixture, codec side: `Stale` is encoded but never decoded —
+//! `from_label` silently drops it on the client.
+
+pub enum ErrorCode {
+    QueueFull,
+    Stale,
+}
+
+impl ErrorCode {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::Stale => "stale",
+        }
+    }
+
+    pub fn from_label(s: &str) -> Option<ErrorCode> {
+        match s {
+            "queue_full" => Some(ErrorCode::QueueFull),
+            _ => None,
+        }
+    }
+}

@@ -6,21 +6,28 @@
 use std::fs;
 use std::path::Path;
 
-use tsdist_lint::{find_workspace_root, lint_source, lint_workspace, LintConfig, Report};
+use tsdist_lint::{
+    find_workspace_root, lint_files, lint_source, lint_workspace, LintConfig, Report, SourceFile,
+};
+
+fn read_fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+/// Lints a fixture file under the given workspace-relative path (which
+/// drives path-based scoping: lock-discipline only runs under
+/// `crates/serve/src/` / `crates/eval/src/`, exemptions likewise).
+fn lint_fixture_at(rel_path: &str, name: &str) -> Report {
+    lint_source(rel_path, &read_fixture(name), &LintConfig::default())
+}
 
 /// Lints a fixture file as if it lived in an ordinary library crate
 /// (no path-based exemptions apply).
 fn lint_fixture(name: &str) -> Report {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures")
-        .join(name);
-    let source = fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
-    lint_source(
-        &format!("crates/example/src/{name}"),
-        &source,
-        &LintConfig::default(),
-    )
+    lint_fixture_at(&format!("crates/example/src/{name}"), name)
 }
 
 /// Asserts the fixture yields exactly one finding, of the given lint.
@@ -108,6 +115,149 @@ fn clean_fixture_is_silent() {
 }
 
 #[test]
+fn panic_reachability_fires_once_on_the_constructor_assert_chain() {
+    // The PR 7 shape: a public entry walks into a panicking constructor
+    // facade. One diagnostic, on the entry, printing the chain.
+    let report = lint_fixture("panic_reach_bad.rs");
+    let names: Vec<&str> = report.diagnostics.iter().map(|d| d.lint).collect();
+    assert_eq!(
+        names,
+        vec!["panic-reachability"],
+        "{:?}",
+        report.diagnostics
+    );
+    let msg = &report.diagnostics[0].message;
+    assert!(
+        msg.contains("resolve_band") && msg.contains("Band::new"),
+        "chain missing from: {msg}"
+    );
+}
+
+#[test]
+fn panic_reachability_suppressed_and_documented_variants_are_silent() {
+    let report = lint_fixture("panic_reach_suppressed.rs");
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].lint, "panic-reachability");
+
+    // A `# Panics` doc on the asserting fn absorbs the whole sub-tree.
+    let report = lint_fixture("panic_reach_clean.rs");
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn lock_discipline_fires_once_on_opposite_acquisition_orders() {
+    let report = lint_fixture_at("crates/serve/src/registry.rs", "lock_order_bad.rs");
+    let names: Vec<&str> = report.diagnostics.iter().map(|d| d.lint).collect();
+    assert_eq!(names, vec!["lock-discipline"], "{:?}", report.diagnostics);
+    let msg = &report.diagnostics[0].message;
+    assert!(msg.contains("conns") && msg.contains("senders"), "{msg}");
+}
+
+#[test]
+fn lock_discipline_reports_each_pair_of_a_three_lock_cycle() {
+    // a -> b -> c -> a: no pair is inverted in isolation, only the
+    // order graph's cycle reveals the deadlock — one finding per pair.
+    let report = lint_fixture_at("crates/serve/src/trio.rs", "lock_three_cycle_bad.rs");
+    let names: Vec<&str> = report.diagnostics.iter().map(|d| d.lint).collect();
+    assert_eq!(
+        names,
+        vec!["lock-discipline"; 3],
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn lock_discipline_blocking_send_fires_and_a_reasoned_allow_silences() {
+    let report = lint_fixture_at("crates/serve/src/hub.rs", "lock_blocking_bad.rs");
+    let names: Vec<&str> = report.diagnostics.iter().map(|d| d.lint).collect();
+    assert_eq!(names, vec!["lock-discipline"], "{:?}", report.diagnostics);
+    assert!(report.diagnostics[0].message.contains("send"));
+
+    let report = lint_fixture_at("crates/serve/src/hub.rs", "lock_blocking_suppressed.rs");
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.suppressed.len(), 1);
+}
+
+#[test]
+fn lock_discipline_is_scoped_to_the_concurrent_crates() {
+    // The same deadlock shape outside crates/serve|eval/src/ is out of
+    // scope: single-threaded crates hold locks only in tests.
+    let report = lint_fixture("lock_order_bad.rs");
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+
+    let report = lint_fixture_at("crates/serve/src/registry.rs", "lock_order_clean.rs");
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn upto_contract_fires_on_unpruned_loop_and_untested_lower_bound() {
+    let report = lint_fixture("upto_contract_bad.rs");
+    let names: Vec<&str> = report.diagnostics.iter().map(|d| d.lint).collect();
+    assert_eq!(
+        names,
+        vec!["upto-contract-shape"],
+        "{:?}",
+        report.diagnostics
+    );
+    assert!(report.diagnostics[0].message.contains("cutoff"));
+
+    let report = lint_fixture("upto_lb_untested_bad.rs");
+    let names: Vec<&str> = report.diagnostics.iter().map(|d| d.lint).collect();
+    assert_eq!(
+        names,
+        vec!["upto-contract-shape"],
+        "{:?}",
+        report.diagnostics
+    );
+    assert!(report.diagnostics[0].message.contains("lb_fixture"));
+
+    // Cutoff consulted in the loop + an admissibility-marked test
+    // referencing the bound: silent.
+    let report = lint_fixture("upto_contract_clean.rs");
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn wire_error_exhaustiveness_flags_the_partially_wired_variant() {
+    // QueueFull has all three legs; Stale is constructed but never
+    // decoded and never observed end-to-end — exactly one finding.
+    let inputs = vec![
+        SourceFile {
+            rel_path: "crates/serve/src/protocol.rs".into(),
+            source: read_fixture("wire/protocol.rs"),
+            evidence: false,
+        },
+        SourceFile {
+            rel_path: "crates/serve/src/handler.rs".into(),
+            source: read_fixture("wire/handler.rs"),
+            evidence: false,
+        },
+        SourceFile {
+            rel_path: "crates/serve/tests/e2e.rs".into(),
+            source: read_fixture("wire/e2e.rs"),
+            evidence: true,
+        },
+    ];
+    let report = lint_files(inputs, &LintConfig::default());
+    let names: Vec<&str> = report.diagnostics.iter().map(|d| d.lint).collect();
+    assert_eq!(
+        names,
+        vec!["wire-error-exhaustiveness"],
+        "{:?}",
+        report.diagnostics
+    );
+    let msg = &report.diagnostics[0].message;
+    assert!(msg.contains("Stale"), "{msg}");
+    assert!(msg.contains("from_label"), "{msg}");
+    assert!(msg.contains("e2e"), "{msg}");
+    // The diagnostic anchors at the variant's declaration line.
+    assert_eq!(report.diagnostics[0].file, "crates/serve/src/protocol.rs");
+}
+
+#[test]
 fn workspace_is_lint_clean_and_every_suppression_has_a_reason() {
     let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
         .expect("fixture suite runs inside the workspace");
@@ -132,4 +282,34 @@ fn workspace_is_lint_clean_and_every_suppression_has_a_reason() {
             s.line
         );
     }
+    // The call graph the workspace lints ran over must be trustworthy:
+    // at least 80% of intra-workspace call sites resolved.
+    let graph = report
+        .graph
+        .as_ref()
+        .expect("workspace scan builds a graph");
+    assert!(
+        graph.resolution_pct() >= 80.0,
+        "call-graph resolution regressed to {:.1}% ({graph:?})",
+        graph.resolution_pct()
+    );
+}
+
+#[test]
+fn workspace_is_clean_under_the_pinned_baseline() {
+    // The committed baseline is what CI gates on (`--baseline
+    // results/lint/baseline.json`): applying it must leave zero *new*
+    // findings, whatever legacy fingerprints it pins.
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("fixture suite runs inside the workspace");
+    let mut report = lint_workspace(&root, &LintConfig::default()).expect("workspace scan");
+    let pinned = fs::read_to_string(root.join("results/lint/baseline.json"))
+        .expect("results/lint/baseline.json is committed");
+    report.apply_baseline(&tsdist_lint::Baseline::parse(&pinned));
+    assert_eq!(
+        report.errors() + report.warnings(),
+        0,
+        "new findings not covered by the pinned baseline:\n{}",
+        report.render_human()
+    );
 }

@@ -339,6 +339,57 @@ fn deadlines_surface_as_typed_errors() {
 }
 
 #[test]
+fn unknown_dataset_and_unknown_measure_are_typed_rejections() {
+    let datasets = archive();
+    let mut handle =
+        Server::start(datasets.clone(), resolver(), &ServerConfig::default()).expect("server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let mut req = QueryRequest {
+        id: 10,
+        dataset: "no-such-archive".into(),
+        measure: "ed".into(),
+        norm: Normalization::ZScore,
+        k: 1,
+        pruned: true,
+        series: datasets[0].test[0].clone(),
+        deadline_ms: None,
+    };
+    match client.query(&req).expect("query") {
+        Response::Error { id, code, .. } => {
+            assert_eq!(id, 10);
+            assert_eq!(code, ErrorCode::UnknownDataset);
+            assert_eq!(code.label(), "unknown_dataset");
+            assert!(!code.is_retryable(), "a bad name never self-heals");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    req.id = 11;
+    req.dataset = datasets[0].name.clone();
+    req.measure = "no-such-measure".into();
+    match client.query(&req).expect("query") {
+        Response::Error { id, code, .. } => {
+            assert_eq!(id, 11);
+            assert_eq!(code, ErrorCode::UnknownMeasure);
+            assert_eq!(code.label(), "unknown_measure");
+            assert!(!code.is_retryable());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Both rejections leave the connection and the shard healthy: the
+    // same socket immediately serves a real answer.
+    req.id = 12;
+    req.measure = "ed".into();
+    match client.query(&req).expect("query") {
+        Response::Answer { id, .. } => assert_eq!(id, 12),
+        other => panic!("unexpected {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn overload_is_a_typed_queue_full_response() {
     let datasets = archive();
     let mut handle = Server::start(

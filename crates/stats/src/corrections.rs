@@ -122,6 +122,10 @@ pub fn paired_t_test(x: &[f64], y: &[f64]) -> Option<PairedTTestResult> {
 
 /// CDF of Student's t distribution via the regularized incomplete beta
 /// function (continued-fraction evaluation).
+///
+/// # Panics
+///
+/// Panics when `dof` is not positive.
 pub fn student_t_cdf(t: f64, dof: f64) -> f64 {
     assert!(dof > 0.0);
     let x = dof / (dof + t * t);

@@ -121,6 +121,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 ///
 /// Series expansion for `x < a + 1`, continued fraction otherwise
 /// (Numerical Recipes `gammp`).
+///
+/// # Panics
+///
+/// Panics outside the domain `a > 0, x >= 0`.
 pub fn gamma_p(a: f64, x: f64) -> f64 {
     assert!(a > 0.0 && x >= 0.0, "gamma_p domain error: a={a}, x={x}");
     // tsdist-lint: allow(float-total-order, reason = "exact boundary: P(a, 0) = 0 by definition")
@@ -170,6 +174,10 @@ pub fn gamma_p(a: f64, x: f64) -> f64 {
 }
 
 /// Chi-squared cumulative distribution function with `k` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics when `k` is not positive.
 pub fn chi_squared_cdf(x: f64, k: f64) -> f64 {
     assert!(k > 0.0, "chi_squared_cdf requires k > 0");
     if x <= 0.0 {
@@ -184,6 +192,11 @@ pub fn chi_squared_cdf(x: f64, k: f64) -> f64 {
 /// `F_R(q) = k * Integral phi(z) * [Phi(z) - Phi(z - q)]^{k-1} dz`.
 ///
 /// Numerically integrated with Simpson's rule over `[-8, 8 + q]`.
+///
+/// # Panics
+///
+/// Panics when `k < 2` — the range of fewer than two variables is
+/// degenerate.
 pub fn studentized_range_cdf(q: f64, k: usize) -> f64 {
     assert!(k >= 2, "range of fewer than two variables is degenerate");
     if q <= 0.0 {
@@ -207,6 +220,11 @@ pub fn studentized_range_cdf(q: f64, k: usize) -> f64 {
 
 /// Upper-`alpha` quantile of the infinite-df studentized range: the value
 /// `q` with `P(range > q) = alpha`, found by bisection.
+///
+/// # Panics
+///
+/// Panics when `alpha` is outside `(0, 1)` or `k < 2` (via
+/// [`studentized_range_cdf`]).
 pub fn studentized_range_quantile(alpha: f64, k: usize) -> f64 {
     assert!(alpha > 0.0 && alpha < 1.0);
     let target = 1.0 - alpha;

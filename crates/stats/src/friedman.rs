@@ -95,6 +95,11 @@ pub fn friedman_test(accuracies: &[Vec<f64>]) -> FriedmanResult {
 /// The Nemenyi critical difference for `k` measures over `n` datasets at
 /// significance level `alpha`: two measures are significantly different if
 /// their average ranks differ by at least this amount.
+///
+/// # Panics
+///
+/// Panics when `k < 2` or `n < 1` — fewer than two measures (or zero
+/// datasets) have no rank differences to test.
 pub fn nemenyi_critical_difference(alpha: f64, k: usize, n: usize) -> f64 {
     assert!(k >= 2 && n >= 1);
     let q_alpha = studentized_range_quantile(alpha, k) / 2.0f64.sqrt();

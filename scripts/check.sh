@@ -19,10 +19,11 @@ trap 'rm -rf "$SMOKE"' EXIT
 TSDIST=target/debug/tsdist
 cargo build -q --offline -p tsdist-cli
 
-echo "==> tsdist lint --deny-warnings (project invariants, results/lint/report.json)"
+echo "==> tsdist lint --deny-warnings --baseline (project invariants, results/lint/)"
 mkdir -p results/lint
-"$TSDIST" lint --deny-warnings --out results/lint/report.json
-echo "    workspace lint-clean; machine-readable report refreshed"
+"$TSDIST" lint --deny-warnings --baseline results/lint/baseline.json \
+  --graph-stats --out results/lint/report.json
+echo "    no findings beyond the pinned baseline; machine-readable report refreshed"
 
 echo "==> conformance gate (quick differential + committed golden bits)"
 "$TSDIST" conformance --quick >/dev/null
